@@ -1,0 +1,155 @@
+package reef_test
+
+import (
+	"testing"
+
+	"reef/internal/eventalg"
+	"reef/internal/experiments"
+	"reef/internal/ir"
+	"reef/internal/pubsub"
+)
+
+// One bench per reproduced table/figure (DESIGN.md §4). Benches run the
+// experiment harnesses at reduced scale so `go test -bench=.` stays brisk;
+// cmd/reef-bench runs the paper-scale versions.
+
+// BenchmarkE1TopicDiscovery regenerates the §3.2 crawl-statistics table.
+func BenchmarkE1TopicDiscovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E1TopicDiscovery(experiments.E1Options{
+			Seed: 2006, Users: 3, Days: 6, Scale: 0.1,
+		})
+		if r.Values["requests"] == 0 {
+			b.Fatal("no requests measured")
+		}
+	}
+}
+
+// BenchmarkE2RecommendationRate regenerates the §6 recommendations-per-day
+// claim.
+func BenchmarkE2RecommendationRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E2RecommendationRate(experiments.E2Options{
+			Seed: 2006, Users: 3, Days: 6, Scale: 0.1,
+		})
+		if r.Values["recs_per_user_day"] < 0 {
+			b.Fatal("bad rate")
+		}
+	}
+}
+
+// BenchmarkE3PrecisionSweep regenerates the §3.3 precision-vs-N sweep.
+func BenchmarkE3PrecisionSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E3PrecisionSweep(experiments.E3Options{
+			Seed: 2006, Stories: 200, AttendedPages: 1200, Trials: 1,
+			TermCounts: []int{5, 30, 200},
+		})
+		if len(r.Values) == 0 {
+			b.Fatal("no sweep values")
+		}
+	}
+}
+
+// BenchmarkF1Centralized and BenchmarkF2Distributed regenerate the
+// Figure 1 / Figure 2 architecture comparison.
+func BenchmarkF1Centralized(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.F1F2Comparison(experiments.FOptions{
+			Seed: 2006, UserCounts: []int{3}, Days: 3, Scale: 0.08,
+		})
+		if r.Values["central_clicks_u3"] == 0 {
+			b.Fatal("no centralized measurements")
+		}
+	}
+}
+
+func BenchmarkF2Distributed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.F1F2Comparison(experiments.FOptions{
+			Seed: 2006, UserCounts: []int{3}, Days: 3, Scale: 0.08,
+		})
+		if r.Values["p2p_crawl_u3"] != 0 {
+			b.Fatal("distributed run crawled")
+		}
+	}
+}
+
+// BenchmarkA1TermSelection regenerates the footnote-1 ablation.
+func BenchmarkA1TermSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.A1TermSelection(experiments.E3Options{
+			Seed: 2006, Stories: 150, AttendedPages: 800, Trials: 1,
+		})
+	}
+}
+
+// BenchmarkA2Covering regenerates the covering-propagation ablation.
+func BenchmarkA2Covering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.A2Covering(experiments.A2Options{
+			Seed: 2006, Leaves: 6, FeedsPerLeaf: 6, Events: 50,
+		})
+		if r.Values["table_on"] >= r.Values["table_off"] {
+			b.Fatal("covering ineffective")
+		}
+	}
+}
+
+// BenchmarkA3AdFilter regenerates the flag-and-skip ablation.
+func BenchmarkA3AdFilter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.A3AdFilter(experiments.A3Options{
+			Seed: 2006, Users: 2, Days: 3, Scale: 0.08,
+		})
+	}
+}
+
+// Micro-benchmarks for the substrate hot paths.
+
+func BenchmarkBrokerPublish(b *testing.B) {
+	broker := pubsub.NewBroker("bench", nil)
+	defer broker.Close()
+	for i := 0; i < 100; i++ {
+		if _, err := broker.Subscribe(pubsub.TopicFilter("t")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ev := pubsub.NewEvent("src", eventalg.Tuple{"topic": eventalg.String("t")}, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := broker.Publish(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterParse(b *testing.B) {
+	src := `topic = "sports" and hits > 3 and url prefix "http://news"`
+	for i := 0; i < b.N; i++ {
+		if _, err := eventalg.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPorterStem(b *testing.B) {
+	words := []string{"generalizations", "oscillators", "relational", "connected", "happiness"}
+	for i := 0; i < b.N; i++ {
+		ir.Stem(words[i%len(words)])
+	}
+}
+
+func BenchmarkBM25Rank(b *testing.B) {
+	c := ir.NewCorpus()
+	for i := 0; i < 500; i++ {
+		c.AddText(string(rune('a'+i%26))+string(rune('a'+(i/26)%26))+string(rune('a'+i/676)),
+			"alpha beta gamma delta epsilon zeta eta theta")
+	}
+	s := ir.NewBM25(c, ir.DefaultBM25)
+	q := map[string]float64{"alpha": 1, "gamma": 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Rank(q)
+	}
+}

@@ -1,0 +1,82 @@
+// Command reef-bench regenerates every table and figure of the paper's
+// evaluation (DESIGN.md §4). With no arguments it runs the full suite at
+// paper scale; pass experiment IDs (e1 e2 e3 f1 f2 a1 a2 a3) to run a
+// subset, and -quick for a reduced-scale smoke run.
+//
+//	reef-bench            # full suite
+//	reef-bench e1 e3      # just E1 and E3
+//	reef-bench -quick e1  # fast scaled-down E1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"reef/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	quick := flag.Bool("quick", false, "run at reduced scale for a fast smoke test")
+	seed := flag.Int64("seed", 2006, "random seed for all experiments")
+	flag.Parse()
+
+	wanted := map[string]bool{}
+	for _, a := range flag.Args() {
+		wanted[strings.ToLower(a)] = true
+	}
+	all := len(wanted) == 0
+
+	type exp struct {
+		id  string
+		run func() experiments.Result
+	}
+	e1opt := experiments.E1Options{Seed: *seed}
+	e3opt := experiments.E3Options{Seed: *seed}
+	fopt := experiments.FOptions{Seed: *seed}
+	a2opt := experiments.A2Options{Seed: *seed}
+	a3opt := experiments.A3Options{Seed: *seed}
+	if *quick {
+		e1opt.Users, e1opt.Days, e1opt.Scale = 3, 10, 0.15
+		e3opt.Stories, e3opt.AttendedPages, e3opt.Trials = 200, 1500, 2
+		e3opt.TermCounts = []int{5, 30, 200}
+		fopt.UserCounts, fopt.Days, fopt.Scale = []int{3, 6}, 5, 0.1
+		a2opt.Leaves, a2opt.Events = 8, 100
+		a3opt.Users, a3opt.Days, a3opt.Scale = 2, 4, 0.1
+	}
+
+	suite := []exp{
+		{"e1", func() experiments.Result { return experiments.E1TopicDiscovery(e1opt) }},
+		{"e2", func() experiments.Result { return experiments.E2RecommendationRate(e1opt) }},
+		{"e3", func() experiments.Result { return experiments.E3PrecisionSweep(e3opt) }},
+		{"f1", func() experiments.Result { return experiments.F1F2Comparison(fopt) }},
+		{"f2", func() experiments.Result { return experiments.F1F2Comparison(fopt) }},
+		{"a1", func() experiments.Result { return experiments.A1TermSelection(e3opt) }},
+		{"a2", func() experiments.Result { return experiments.A2Covering(a2opt) }},
+		{"a3", func() experiments.Result { return experiments.A3AdFilter(a3opt) }},
+	}
+
+	ranF := false // f1 and f2 share one table; print once
+	for _, e := range suite {
+		if !all && !wanted[e.id] {
+			continue
+		}
+		if e.id == "f1" || e.id == "f2" {
+			if ranF {
+				continue
+			}
+			ranF = true
+		}
+		start := time.Now()
+		res := e.run()
+		fmt.Println(res.Table.String())
+		fmt.Printf("[%s finished in %.1fs]\n\n", strings.ToUpper(e.id), time.Since(start).Seconds())
+	}
+	return 0
+}

@@ -1,0 +1,118 @@
+// Command reef-sim runs the full closed-loop Reef simulation: synthetic
+// web, browsing workload, centralized server, extensions with sidebars,
+// WAIF proxy, and simulated users who click or ignore the events they
+// receive. It prints a day-by-day digest and a final summary.
+//
+//	reef-sim -users 5 -days 21 -seed 2006
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"reef/internal/core"
+	"reef/internal/pubsub"
+	"reef/internal/store"
+	"reef/internal/topics"
+	"reef/internal/waif"
+	"reef/internal/websim"
+	"reef/internal/workload"
+)
+
+func main() {
+	users := flag.Int("users", 5, "number of simulated users")
+	days := flag.Int("days", 21, "observation window in days")
+	seed := flag.Int64("seed", 2006, "random seed")
+	scale := flag.Float64("scale", 0.3, "web scale")
+	clickProb := flag.Float64("click", 0.3, "probability a user clicks a sidebar event")
+	flag.Parse()
+	if err := run(*users, *days, *seed, *scale, *clickProb); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+type brokerPublisher struct{ b *pubsub.Broker }
+
+func (p brokerPublisher) Publish(ev pubsub.Event) error {
+	_, err := p.b.Publish(ev)
+	return err
+}
+
+func run(users, days int, seed int64, scale, clickProb float64) error {
+	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	model := topics.NewModel(seed, 16, 50, 80)
+	wcfg := websim.DefaultConfig(seed, start)
+	wcfg.NumContentServers = int(float64(wcfg.NumContentServers) * scale)
+	wcfg.NumAdServers = int(float64(wcfg.NumAdServers) * scale)
+	wcfg.NumSpamServers = int(float64(wcfg.NumSpamServers) * scale)
+	web := websim.Generate(wcfg, model)
+
+	server := core.NewServer(core.ServerConfig{Fetcher: web})
+	broker := pubsub.NewBroker("edge", nil)
+	defer broker.Close()
+	proxy := waif.New(waif.Config{Fetcher: web, Publish: brokerPublisher{broker}, PollEvery: 2 * time.Hour})
+
+	gen := workload.NewGenerator(workload.DefaultConfigAdjusted(seed, start, users, days), web)
+	rng := rand.New(rand.NewSource(seed + 99))
+	exts := make(map[string]*core.Extension)
+	for _, u := range gen.Users() {
+		ext := core.NewExtension(core.ExtensionConfig{
+			User: u.ID, Sink: server, Subscriber: broker, Proxy: proxy,
+			SidebarTTL: 48 * time.Hour,
+		})
+		exts[u.ID] = ext
+		defer func() { _ = ext.Close() }()
+	}
+
+	gen.GenerateAll(func(d workload.Day) {
+		ext := exts[d.User]
+		for _, c := range d.Clicks {
+			_ = ext.Recorder.Record(c.URL, c.At)
+		}
+		_ = ext.Recorder.Flush()
+		now := d.Date.Add(24 * time.Hour)
+		stats := server.RunPipeline(now)
+		for _, e := range exts {
+			_, _ = e.PullRecommendations(server)
+		}
+		web.AdvanceTo(now)
+		_, published := proxy.PollDue(now)
+
+		// Users react to their sidebars: click some events, let the rest
+		// age out; both signals feed the recommender (closed loop).
+		for user, e := range exts {
+			for _, item := range e.Sidebar().Items() {
+				if rng.Float64() < clickProb {
+					if _, ok := e.ClickEvent(item.ID, now); ok {
+						server.ObserveEventFeedback(user, item.FeedURL, true, now)
+					}
+				}
+			}
+			for _, item := range e.Sidebar().Items() {
+				_ = item // remaining items age toward TTL expiry
+			}
+			e.Sidebar().Expire(now)
+		}
+		if stats.Recommendations > 0 || published > 0 {
+			fmt.Printf("%s %s: recs=%d pushed=%d\n",
+				d.Date.Format("01-02"), d.User, stats.Recommendations, published)
+		}
+	})
+
+	st := server.Store()
+	fmt.Printf("\n=== summary after %d users x %d days ===\n", users, days)
+	fmt.Printf("clicks: %d over %d servers (%d flagged ad)\n",
+		st.Len(), st.DistinctServers(), st.CountFlagged(store.FlagAd))
+	fmt.Printf("feeds found: %d, proxy manages %d\n", server.DistinctFeedsFound(), proxy.NumFeeds())
+	for user, e := range exts {
+		shown, clicked, deleted, expired := e.Sidebar().Stats()
+		fmt.Printf("%s: subs=%d sidebar shown=%d clicked=%d deleted=%d expired=%d\n",
+			user, len(e.Frontend.ActiveSubscriptions()), shown, clicked, deleted, expired)
+	}
+	return nil
+}

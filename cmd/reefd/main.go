@@ -1,0 +1,82 @@
+// Command reefd runs the centralized Reef server (Figure 1) over HTTP: the
+// LAMP-stack analogue of the paper's prototype. It serves the click-upload
+// and recommendation API, hosts the synthetic web on the same listener
+// (under /web/), and runs the crawl/analysis pipeline periodically.
+//
+//	reefd -addr :7070 -pipeline 30s -seed 2006
+//
+// Endpoints:
+//
+//	POST /v1/clicks                   JSON array of clicks
+//	GET  /v1/recommendations?user=U   drain U's pending recommendations
+//	GET  /v1/stats                    server counters
+//	GET  /web/<host>/<path>           the synthetic web
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"reef/internal/core"
+	"reef/internal/topics"
+	"reef/internal/websim"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	seed := flag.Int64("seed", 2006, "synthetic web seed")
+	scale := flag.Float64("scale", 0.25, "synthetic web scale (1.0 = paper scale)")
+	pipelineEvery := flag.Duration("pipeline", 30*time.Second, "pipeline interval")
+	flag.Parse()
+
+	if err := run(*addr, *seed, *scale, *pipelineEvery); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, seed int64, scale float64, pipelineEvery time.Duration) error {
+	model := topics.NewModel(seed, 16, 50, 80)
+	wcfg := websim.DefaultConfig(seed, time.Now().UTC())
+	wcfg.NumContentServers = int(float64(wcfg.NumContentServers) * scale)
+	wcfg.NumAdServers = int(float64(wcfg.NumAdServers) * scale)
+	web := websim.Generate(wcfg, model)
+	server := core.NewServer(core.ServerConfig{Fetcher: web})
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", core.NewAPI(server))
+	mux.Handle("/web/", http.StripPrefix("/web", &websim.Handler{Web: web}))
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(pipelineEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				now := time.Now().UTC()
+				web.AdvanceTo(now)
+				stats := server.RunPipeline(now)
+				if stats.Crawled > 0 || stats.Recommendations > 0 {
+					log.Printf("pipeline: crawled=%d feeds=%d recs=%d errors=%d",
+						stats.Crawled, stats.FeedsDiscovered, stats.Recommendations, stats.CrawlErrors)
+				}
+			}
+		}
+	}()
+	defer func() { close(stop); <-done }()
+
+	log.Printf("reefd listening on %s (web scale %.2f, pipeline every %s)", addr, scale, pipelineEvery)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		return fmt.Errorf("reefd: %w", err)
+	}
+	return nil
+}

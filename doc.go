@@ -1,0 +1,18 @@
+// Package reef is a reproduction of "Automatic Subscriptions In
+// Publish-Subscribe Systems" (Brenna, Gurrin, Johansen, Zagorodnov,
+// ICDCS Workshops 2006).
+//
+// Reef automates subscription management in publish-subscribe systems by
+// watching user attention (browsing clicks), parsing it into tokens that
+// form valid name-value pairs for a pub-sub schema, and letting a
+// recommendation service place and remove subscriptions on the user's
+// behalf. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// the paper-versus-measured record of every reproduced result.
+//
+// The implementation lives under internal/: the pub-sub substrate
+// (eventalg, pubsub), the IR toolkit (ir), the Web and workload simulation
+// (websim, workload, topics, video), the Reef components (attention,
+// crawler, store, recommend, frontend, waif, cluster), and the two
+// deployments (core). Binaries live under cmd/ and runnable examples under
+// examples/.
+package reef

@@ -1,0 +1,107 @@
+// Quickstart: the smallest end-to-end Reef loop. A user browses a page on
+// the synthetic web; the centralized Reef server crawls it, discovers the
+// site's RSS feed, and recommends a zero-click subscription; the WAIF proxy
+// then polls the feed and pushes new items into the user's sidebar.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"reef/internal/core"
+	"reef/internal/pubsub"
+	"reef/internal/topics"
+	"reef/internal/waif"
+	"reef/internal/websim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// brokerPublisher adapts a broker to the WAIF proxy's publish interface.
+type brokerPublisher struct{ b *pubsub.Broker }
+
+func (p brokerPublisher) Publish(ev pubsub.Event) error {
+	_, err := p.b.Publish(ev)
+	return err
+}
+
+func run() error {
+	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	// A small synthetic web where every content server hosts a feed.
+	model := topics.NewModel(1, 8, 30, 40)
+	wcfg := websim.DefaultConfig(1, start)
+	wcfg.NumContentServers = 20
+	wcfg.NumAdServers = 10
+	wcfg.NumSpamServers = 2
+	wcfg.NumMultimediaServers = 1
+	wcfg.FeedProb = 1.0
+	web := websim.Generate(wcfg, model)
+
+	// The centralized Reef server (Figure 1) and the user's machinery.
+	server := core.NewServer(core.ServerConfig{Fetcher: web})
+	broker := pubsub.NewBroker("edge", nil)
+	defer broker.Close()
+	proxy := waif.New(waif.Config{
+		Fetcher: web, Publish: brokerPublisher{broker}, PollEvery: time.Hour,
+	})
+	ext := core.NewExtension(core.ExtensionConfig{
+		User: "alice", Sink: server, Subscriber: broker, Proxy: proxy,
+	})
+	defer ext.Close()
+
+	// 1. Alice browses a page. Her attention is recorded and uploaded.
+	site := web.Servers(websim.KindContent)[0]
+	var pageURL string
+	for _, p := range site.Pages {
+		pageURL = site.URL(p.Path)
+		break
+	}
+	fmt.Printf("alice browses %s\n", pageURL)
+	if err := ext.Browse(pageURL, start); err != nil {
+		return err
+	}
+	if err := ext.Recorder.Flush(); err != nil {
+		return err
+	}
+
+	// 2. The server's nightly pipeline crawls the page and finds the feed.
+	stats := server.RunPipeline(start.Add(24 * time.Hour))
+	fmt.Printf("server pipeline: crawled=%d feeds discovered=%d recommendations=%d\n",
+		stats.Crawled, stats.FeedsDiscovered, stats.Recommendations)
+
+	// 3. The extension pulls and applies the recommendation: zero clicks.
+	applied, err := ext.PullRecommendations(server)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice's extension auto-applied %d subscription(s): %v\n",
+		applied, ext.Frontend.ActiveSubscriptions())
+
+	// 4. The WAIF proxy polls the feed; a week of items arrive push-style.
+	proxy.PollDue(start.Add(24 * time.Hour)) // priming poll
+	web.AdvanceTo(start.Add(8 * 24 * time.Hour))
+	_, published := proxy.PollDue(start.Add(8 * 24 * time.Hour))
+	fmt.Printf("WAIF proxy pushed %d new items\n", published)
+
+	// 5. The items appear in Alice's sidebar; clicking one feeds the loop.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(ext.Sidebar().Items()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	for _, item := range ext.Sidebar().Items() {
+		fmt.Printf("sidebar: %s -> %s\n", item.Title, item.Link)
+	}
+	if items := ext.Sidebar().Items(); len(items) > 0 {
+		link, _ := ext.ClickEvent(items[0].ID, start.Add(9*24*time.Hour))
+		fmt.Printf("alice clicks the first item (%s); the click re-enters her attention stream\n", link)
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package attention
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"reef/internal/simclock"
+)
+
+// Sink receives batches of clicks from a recorder. In Centralized Reef the
+// sink posts the batch to the Reef server; in Distributed Reef it feeds the
+// local pipeline directly.
+type Sink interface {
+	ReceiveClicks(batch []Click) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(batch []Click) error
+
+// ReceiveClicks implements Sink.
+func (f SinkFunc) ReceiveClicks(batch []Click) error { return f(batch) }
+
+// ErrRecorderClosed is returned by Record after Close.
+var ErrRecorderClosed = errors.New("attention: recorder closed")
+
+// RecorderConfig tunes batching.
+type RecorderConfig struct {
+	// User is the cookie attached to recorded clicks.
+	User string
+	// FlushEvery bounds batch age; 0 disables the timer (flush on size or
+	// Close only).
+	FlushEvery time.Duration
+	// MaxBatch flushes when this many clicks accumulate (default 64).
+	MaxBatch int
+	// Clock defaults to the real clock.
+	Clock simclock.Clock
+}
+
+// Recorder is the browser-extension analogue: it logs clicks and forwards
+// them to a Sink in batches (paper §3.1 "periodically forwards batches of
+// requests to a Reef server"). It is safe for concurrent use.
+type Recorder struct {
+	cfg  RecorderConfig
+	sink Sink
+
+	mu      sync.Mutex
+	pending []Click
+	closed  bool
+
+	stopTimer chan struct{}
+	timerDone chan struct{}
+
+	// flushErr remembers the most recent sink failure for Err().
+	flushErr error
+	dropped  int
+}
+
+// NewRecorder builds a recorder and starts its flush timer (if enabled).
+func NewRecorder(cfg RecorderConfig, sink Sink) *Recorder {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	r := &Recorder{
+		cfg:       cfg,
+		sink:      sink,
+		stopTimer: make(chan struct{}),
+		timerDone: make(chan struct{}),
+	}
+	if cfg.FlushEvery > 0 {
+		go r.timerLoop()
+	} else {
+		close(r.timerDone)
+	}
+	return r
+}
+
+// timerLoop flushes on a cadence until Close.
+func (r *Recorder) timerLoop() {
+	defer close(r.timerDone)
+	for {
+		select {
+		case <-r.stopTimer:
+			return
+		case <-r.cfg.Clock.After(r.cfg.FlushEvery):
+			_ = r.Flush()
+		}
+	}
+}
+
+// Record logs one click. The user cookie is stamped on if unset. When the
+// pending batch reaches MaxBatch it is flushed inline.
+func (r *Recorder) Record(url string, at time.Time, opts ...ClickOption) error {
+	c := Click{User: r.cfg.User, URL: url, At: at}
+	for _, o := range opts {
+		o(&c)
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRecorderClosed
+	}
+	r.pending = append(r.pending, c)
+	full := len(r.pending) >= r.cfg.MaxBatch
+	r.mu.Unlock()
+	if full {
+		return r.Flush()
+	}
+	return nil
+}
+
+// ClickOption customizes a recorded click.
+type ClickOption func(*Click)
+
+// WithReferrer sets the click's referrer.
+func WithReferrer(ref string) ClickOption {
+	return func(c *Click) { c.Referrer = ref }
+}
+
+// FromEvent marks the click as caused by a delivered event (closed loop).
+func FromEvent() ClickOption {
+	return func(c *Click) { c.FromEvent = true }
+}
+
+// Flush forwards all pending clicks to the sink. On sink error the batch
+// is retained for the next flush (bounded: past 10*MaxBatch pending, the
+// oldest are dropped and counted).
+func (r *Recorder) Flush() error {
+	r.mu.Lock()
+	batch := r.pending
+	r.pending = nil
+	r.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := r.sink.ReceiveClicks(batch); err != nil {
+		r.mu.Lock()
+		r.pending = append(batch, r.pending...)
+		if max := r.cfg.MaxBatch * 10; len(r.pending) > max {
+			r.dropped += len(r.pending) - max
+			r.pending = r.pending[len(r.pending)-max:]
+		}
+		r.flushErr = err
+		r.mu.Unlock()
+		return err
+	}
+	r.mu.Lock()
+	r.flushErr = nil
+	r.mu.Unlock()
+	return nil
+}
+
+// Pending reports the number of unflushed clicks.
+func (r *Recorder) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// Dropped reports clicks discarded because the sink stayed unreachable.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Err returns the most recent flush error, or nil.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flushErr
+}
+
+// Close stops the timer and performs a final flush.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.stopTimer)
+	<-r.timerDone
+	return r.Flush()
+}

@@ -1,0 +1,186 @@
+package attention
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"reef/internal/simclock"
+)
+
+type captureSink struct {
+	mu      sync.Mutex
+	batches [][]Click
+	fail    bool
+}
+
+func (s *captureSink) ReceiveClicks(batch []Click) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail {
+		return errors.New("sink down")
+	}
+	cp := make([]Click, len(batch))
+	copy(cp, batch)
+	s.batches = append(s.batches, cp)
+	return nil
+}
+
+func (s *captureSink) total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, b := range s.batches {
+		n += len(b)
+	}
+	return n
+}
+
+func (s *captureSink) setFail(v bool) {
+	s.mu.Lock()
+	s.fail = v
+	s.mu.Unlock()
+}
+
+var at0 = time.Date(2006, 5, 1, 10, 0, 0, 0, time.UTC)
+
+func TestRecorderBatchBySize(t *testing.T) {
+	sink := &captureSink{}
+	r := NewRecorder(RecorderConfig{User: "u1", MaxBatch: 3}, sink)
+	defer r.Close()
+	for i := 0; i < 7; i++ {
+		if err := r.Record("http://a.test/", at0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sink.total(); got != 6 {
+		t.Errorf("flushed = %d, want 6 (two full batches)", got)
+	}
+	if r.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", r.Pending())
+	}
+}
+
+func TestRecorderCloseFlushes(t *testing.T) {
+	sink := &captureSink{}
+	r := NewRecorder(RecorderConfig{User: "u1", MaxBatch: 100}, sink)
+	r.Record("http://a.test/x", at0)
+	r.Record("http://a.test/y", at0)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.total() != 2 {
+		t.Errorf("flushed = %d, want 2", sink.total())
+	}
+	if err := r.Record("http://a.test/z", at0); !errors.Is(err, ErrRecorderClosed) {
+		t.Errorf("Record after Close = %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("second Close = %v", err)
+	}
+}
+
+func TestRecorderUserStamp(t *testing.T) {
+	sink := &captureSink{}
+	r := NewRecorder(RecorderConfig{User: "cookie-9", MaxBatch: 1}, sink)
+	defer r.Close()
+	r.Record("http://a.test/", at0, WithReferrer("http://ref.test/"), FromEvent())
+	if sink.total() != 1 {
+		t.Fatal("no flush")
+	}
+	c := sink.batches[0][0]
+	if c.User != "cookie-9" || c.Referrer != "http://ref.test/" || !c.FromEvent {
+		t.Errorf("click = %+v", c)
+	}
+}
+
+func TestRecorderSinkFailureRetains(t *testing.T) {
+	sink := &captureSink{}
+	sink.setFail(true)
+	r := NewRecorder(RecorderConfig{User: "u", MaxBatch: 2}, sink)
+	defer r.Close()
+	r.Record("http://a.test/1", at0)
+	r.Record("http://a.test/2", at0) // triggers failed flush
+	if r.Err() == nil {
+		t.Error("Err() nil after failed flush")
+	}
+	if r.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2 (retained)", r.Pending())
+	}
+	sink.setFail(false)
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.total() != 2 {
+		t.Errorf("delivered = %d after recovery", sink.total())
+	}
+	if r.Err() != nil {
+		t.Error("Err() non-nil after successful flush")
+	}
+}
+
+func TestRecorderRetentionBound(t *testing.T) {
+	sink := &captureSink{}
+	sink.setFail(true)
+	r := NewRecorder(RecorderConfig{User: "u", MaxBatch: 2}, sink)
+	defer r.Close()
+	for i := 0; i < 100; i++ {
+		r.Record("http://a.test/", at0)
+	}
+	if r.Pending() > 20 {
+		t.Errorf("Pending = %d, want <= 10*MaxBatch", r.Pending())
+	}
+	if r.Dropped() == 0 {
+		t.Error("Dropped = 0, want > 0 under sustained sink failure")
+	}
+}
+
+func TestRecorderTimerFlush(t *testing.T) {
+	sink := &captureSink{}
+	clock := simclock.NewVirtual(at0)
+	r := NewRecorder(RecorderConfig{
+		User: "u", MaxBatch: 100, FlushEvery: time.Minute, Clock: clock,
+	}, sink)
+	defer r.Close()
+	r.Record("http://a.test/", at0)
+
+	// Wait for the timer goroutine to register its After, then advance.
+	deadline := time.Now().Add(5 * time.Second)
+	for clock.PendingWaiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("timer never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clock.Advance(time.Minute)
+	for sink.total() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("timer flush never happened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRecorderEmptyFlush(t *testing.T) {
+	sink := &captureSink{}
+	r := NewRecorder(RecorderConfig{User: "u"}, sink)
+	defer r.Close()
+	if err := r.Flush(); err != nil {
+		t.Errorf("empty Flush = %v", err)
+	}
+	if len(sink.batches) != 0 {
+		t.Error("empty flush reached sink")
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	called := false
+	var s Sink = SinkFunc(func(batch []Click) error {
+		called = true
+		return nil
+	})
+	if err := s.ReceiveClicks(nil); err != nil || !called {
+		t.Error("SinkFunc adapter broken")
+	}
+}

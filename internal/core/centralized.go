@@ -1,0 +1,299 @@
+// Package core wires the four Reef components — attention recorder,
+// attention parser, recommendation service, subscription frontend — into
+// the paper's two deployments: Centralized Reef (Figure 1), where a server
+// holds the click database, crawls visited pages and recommends
+// subscriptions to browser extensions; and Distributed Reef (Figure 2),
+// where the whole pipeline runs on the user's host over the browser cache
+// and peers exchange recommendations within interest communities.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"reef/internal/attention"
+	"reef/internal/crawler"
+	"reef/internal/ir"
+	"reef/internal/metrics"
+	"reef/internal/recommend"
+	"reef/internal/store"
+	"reef/internal/websim"
+)
+
+// ServerConfig tunes a centralized Reef server.
+type ServerConfig struct {
+	// Fetcher is the crawler's access to the web.
+	Fetcher websim.Fetcher
+	// CrawlWorkers bounds crawl parallelism (default 8).
+	CrawlWorkers int
+	// Topic tunes the topic-based recommender.
+	Topic recommend.TopicConfig
+	// Content tunes the content-based recommender.
+	Content recommend.ContentConfig
+}
+
+// PipelineStats summarizes one RunPipeline invocation.
+type PipelineStats struct {
+	// Crawled is the number of URLs fetched and analyzed.
+	Crawled int
+	// CrawlErrors counts failed fetches.
+	CrawlErrors int
+	// FeedsDiscovered counts autodiscovered feed references (with
+	// duplicates across pages).
+	FeedsDiscovered int
+	// Recommendations counts new subscribe/unsubscribe recommendations
+	// appended to user outboxes.
+	Recommendations int
+	// FlaggedServers counts servers newly flagged ad/spam/multimedia.
+	FlaggedServers int
+}
+
+// Server is the centralized Reef server: click database, crawler,
+// recommenders and per-user recommendation outboxes. It implements
+// attention.Sink so recorders can post batches directly (step 1 of
+// Figure 1); Recommendations drains a user's outbox (step 2).
+type Server struct {
+	cfg   ServerConfig
+	store *store.ClickStore
+	crawl *crawler.Crawler
+	reg   *metrics.Registry
+
+	mu sync.Mutex
+	// pendingCrawl batches URLs for the next pipeline run ("the URIs in
+	// them are batched for periodic crawling", §3.1).
+	pendingCrawl []string
+	pendingSeen  map[string]struct{}
+	// clickOf remembers which users visited each URL (for attributing
+	// crawl analysis to user profiles).
+	urlUsers map[string]map[string]struct{}
+	// corpus is the background collection built from crawled content
+	// pages; the content recommender's statistics come from here.
+	corpus     *ir.Corpus
+	topicRec   *recommend.TopicRecommender
+	contentRec *recommend.ContentRecommender
+	outbox     map[string][]recommend.Recommendation
+	// feedsSeen is the distinct feed URLs the crawler has found (§3.2's
+	// "424 distinct RSS feeds were found").
+	feedsSeen map[string]struct{}
+	// uploadBytes approximates click-upload network cost (F1 metric).
+	uploadBytes int64
+}
+
+var _ attention.Sink = (*Server)(nil)
+
+// NewServer builds a centralized Reef server.
+func NewServer(cfg ServerConfig) *Server {
+	st := store.NewClickStore()
+	s := &Server{
+		cfg:   cfg,
+		store: st,
+		reg:   metrics.NewRegistry(),
+
+		pendingSeen: make(map[string]struct{}),
+		urlUsers:    make(map[string]map[string]struct{}),
+		corpus:      ir.NewCorpus(),
+		topicRec:    recommend.NewTopicRecommender(cfg.Topic),
+		outbox:      make(map[string][]recommend.Recommendation),
+		feedsSeen:   make(map[string]struct{}),
+	}
+	s.contentRec = recommend.NewContentRecommender(cfg.Content, s.corpus)
+	s.crawl = crawler.New(crawler.Config{
+		Fetcher: cfg.Fetcher,
+		Workers: cfg.CrawlWorkers,
+		Skip: func(host string) bool {
+			// Never re-crawl flagged or already-crawled hosts (§3.1).
+			return st.HasFlag(host, store.FlagAd|store.FlagSpam|store.FlagMultimedia|store.FlagCrawled)
+		},
+	})
+	return s
+}
+
+// DisableFlagSkip turns off the §3.1 flag-and-skip policy for the A3
+// ablation: the crawler refetches every URL (no host skip, no
+// classification), so ads and spam are analyzed like ordinary content.
+// Call before the first pipeline run.
+func (s *Server) DisableFlagSkip() {
+	s.crawl = crawler.New(crawler.Config{
+		Fetcher:               s.cfg.Fetcher,
+		Workers:               s.cfg.CrawlWorkers,
+		DisableClassification: true,
+	})
+}
+
+// Store exposes the click database (experiments read aggregates from it).
+func (s *Server) Store() *store.ClickStore { return s.store }
+
+// Corpus exposes the crawled-page background corpus.
+func (s *Server) Corpus() *ir.Corpus { return s.corpus }
+
+// ContentRecommender exposes the content recommender for ranking flows.
+func (s *Server) ContentRecommender() *recommend.ContentRecommender { return s.contentRec }
+
+// TopicRecommender exposes the topic recommender.
+func (s *Server) TopicRecommender() *recommend.TopicRecommender { return s.topicRec }
+
+// Metrics exposes server instrumentation.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// UploadBytes reports accumulated click-upload network cost.
+func (s *Server) UploadBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.uploadBytes
+}
+
+// ReceiveClicks implements attention.Sink: it stores the batch, notes
+// host visits for the topic recommender, and queues page URLs for the next
+// crawl round.
+func (s *Server) ReceiveClicks(batch []attention.Click) error {
+	s.store.AddBatch(batch)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range batch {
+		s.uploadBytes += int64(len(c.URL) + len(c.User) + 32) // timestamp+cookie overhead
+		host := c.Host()
+		if host == "" {
+			continue
+		}
+		s.topicRec.ObserveVisit(c.User, host, c.At)
+		if _, dup := s.pendingSeen[c.URL]; !dup {
+			s.pendingSeen[c.URL] = struct{}{}
+			s.pendingCrawl = append(s.pendingCrawl, c.URL)
+		}
+		users := s.urlUsers[c.URL]
+		if users == nil {
+			users = make(map[string]struct{})
+			s.urlUsers[c.URL] = users
+		}
+		users[c.User] = struct{}{}
+	}
+	s.reg.Counter("clicks_received").Add(int64(len(batch)))
+	return nil
+}
+
+// PendingCrawl reports the queued URL count.
+func (s *Server) PendingCrawl() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pendingCrawl)
+}
+
+// RunPipeline performs one periodic analysis round: crawl the queued URLs,
+// flag ad/spam/multimedia servers, feed discoveries and page terms into
+// the recommenders, and sweep inactive subscriptions. New recommendations
+// land in per-user outboxes.
+func (s *Server) RunPipeline(now time.Time) PipelineStats {
+	s.mu.Lock()
+	batch := s.pendingCrawl
+	s.pendingCrawl = nil
+	s.pendingSeen = make(map[string]struct{})
+	s.mu.Unlock()
+
+	results := s.crawl.Crawl(batch)
+
+	var stats PipelineStats
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range results {
+		if r.Err != nil {
+			stats.CrawlErrors++
+			continue
+		}
+		stats.Crawled++
+		if r.Flags != 0 {
+			if s.store.Flags(r.Host)&r.Flags != r.Flags {
+				stats.FlaggedServers++
+			}
+			s.store.SetFlag(r.Host, r.Flags)
+			continue
+		}
+		s.store.SetFlag(r.Host, store.FlagCrawled)
+
+		users := s.urlUsers[r.URL]
+		// Feed discoveries become topic-based recommendations.
+		for _, d := range r.Feeds {
+			stats.FeedsDiscovered++
+			s.feedsSeen[d.Href] = struct{}{}
+			feedHost, _, err := websim.SplitURL(d.Href)
+			if err != nil {
+				continue
+			}
+			for user := range users {
+				if rec, ok := s.topicRec.ObserveFeed(user, d.Href, feedHost, now); ok {
+					s.outbox[user] = append(s.outbox[user], rec)
+					stats.Recommendations++
+				}
+			}
+		}
+		// Page text grows the background corpus and user profiles.
+		if len(r.Terms) > 0 {
+			s.corpus.Add(&ir.Document{ID: r.URL, Terms: r.Terms, Len: termTotal(r.Terms)})
+			for user := range users {
+				s.contentRec.ObservePage(user, r.Terms)
+			}
+		}
+	}
+
+	// Unsubscribe sweep.
+	for _, rec := range s.topicRec.SweepInactive(now) {
+		s.outbox[rec.User] = append(s.outbox[rec.User], rec)
+		stats.Recommendations++
+	}
+
+	s.reg.Counter("pipeline_runs").Inc()
+	s.reg.Counter("urls_crawled").Add(int64(stats.Crawled))
+	s.reg.Counter("recommendations").Add(int64(stats.Recommendations))
+	return stats
+}
+
+// termTotal sums a term-count map.
+func termTotal(m map[string]int) int {
+	n := 0
+	for _, c := range m {
+		n += c
+	}
+	return n
+}
+
+// DistinctFeedsFound reports how many distinct feed URLs the crawler has
+// discovered so far.
+func (s *Server) DistinctFeedsFound() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.feedsSeen)
+}
+
+// ObserveEventFeedback routes closed-loop sidebar feedback (clicks and
+// expiries on delivered events) back into the topic recommender.
+func (s *Server) ObserveEventFeedback(user, feedURL string, clicked bool, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.topicRec.ObserveFeedback(user, feedURL, clicked, at)
+}
+
+// Recommendations drains the user's outbox (Figure 1, step 2: the server
+// recommends subscribe/unsubscribe actions to the extension).
+func (s *Server) Recommendations(user string) []recommend.Recommendation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.outbox[user]
+	delete(s.outbox, user)
+	return out
+}
+
+// QueueFeedRecommendation lets operators inject a feed recommendation
+// directly (used by the collaborative exchange bridge and tests).
+func (s *Server) QueueFeedRecommendation(user, feedURL string, now time.Time) error {
+	host, _, err := websim.SplitURL(feedURL)
+	if err != nil {
+		return fmt.Errorf("core: bad feed URL: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.topicRec.ObserveVisit(user, host, now)
+	if rec, ok := s.topicRec.ObserveFeed(user, feedURL, host, now); ok {
+		s.outbox[user] = append(s.outbox[user], rec)
+	}
+	return nil
+}

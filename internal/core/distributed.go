@@ -1,0 +1,260 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"reef/internal/attention"
+	"reef/internal/cluster"
+	"reef/internal/crawler"
+	"reef/internal/feed"
+	"reef/internal/frontend"
+	"reef/internal/ir"
+	"reef/internal/recommend"
+	"reef/internal/simclock"
+	"reef/internal/websim"
+)
+
+// PeerConfig wires one Distributed Reef peer (Figure 2).
+type PeerConfig struct {
+	// User is the peer's identity.
+	User string
+	// Subscriber places pub-sub subscriptions on the peer's edge broker.
+	Subscriber frontend.Subscriber
+	// Proxy manages WAIF feed registrations; may be nil.
+	Proxy frontend.FeedProxy
+	// Clock drives timestamps.
+	Clock simclock.Clock
+	// Topic and Content tune the local recommenders.
+	Topic   recommend.TopicConfig
+	Content recommend.ContentConfig
+	// SidebarCapacity and SidebarTTL tune the display.
+	SidebarCapacity int
+	SidebarTTL      time.Duration
+}
+
+// Peer runs the entire Reef pipeline on the user's host: the attention
+// data never leaves the machine, page content comes from the browser
+// cache (no crawl traffic), and recommendations are generated and applied
+// locally. Peers optionally exchange discovered feeds within interest
+// communities (§4, §5.2).
+type Peer struct {
+	cfg      PeerConfig
+	clock    simclock.Clock
+	frontend *frontend.Frontend
+
+	mu         sync.Mutex
+	corpus     *ir.Corpus
+	topicRec   *recommend.TopicRecommender
+	contentRec *recommend.ContentRecommender
+	profile    map[string]int // term counts for community clustering
+	knownFeeds map[string]struct{}
+	applied    int
+}
+
+// NewPeer builds a distributed peer.
+func NewPeer(cfg PeerConfig) *Peer {
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	sidebar := frontend.NewSidebar(frontend.Config{
+		Capacity: cfg.SidebarCapacity,
+		TTL:      cfg.SidebarTTL,
+	})
+	p := &Peer{
+		cfg:        cfg,
+		clock:      cfg.Clock,
+		corpus:     ir.NewCorpus(),
+		topicRec:   recommend.NewTopicRecommender(cfg.Topic),
+		profile:    make(map[string]int),
+		knownFeeds: make(map[string]struct{}),
+	}
+	p.contentRec = recommend.NewContentRecommender(cfg.Content, p.corpus)
+	p.frontend = frontend.NewFrontend(cfg.User, cfg.Subscriber, cfg.Proxy, sidebar, cfg.Clock.Now)
+	return p
+}
+
+// User returns the peer's identity.
+func (p *Peer) User() string { return p.cfg.User }
+
+// Frontend exposes the peer's subscription frontend.
+func (p *Peer) Frontend() *frontend.Frontend { return p.frontend }
+
+// Sidebar exposes the display panel.
+func (p *Peer) Sidebar() *frontend.Sidebar { return p.frontend.Sidebar() }
+
+// ObservePageView processes one page view entirely locally: the page body
+// comes from the browser cache (res), so no network fetch is needed. The
+// peer classifies the page, discovers feeds, updates its profile, and
+// immediately applies any new recommendations. It returns the
+// recommendations generated.
+func (p *Peer) ObservePageView(click attention.Click, res *websim.Resource) []recommend.Recommendation {
+	host := click.Host()
+	if host == "" || res == nil {
+		return nil
+	}
+	now := click.At
+
+	p.mu.Lock()
+	p.topicRec.ObserveVisit(click.User, host, now)
+	var recs []recommend.Recommendation
+	if crawler.Classify(res) != 0 {
+		// Ads, spam and media carry no subscription signal.
+		p.mu.Unlock()
+		return nil
+	}
+	for _, d := range discoverFeeds(res) {
+		feedHost, _, err := websim.SplitURL(d)
+		if err != nil {
+			continue
+		}
+		if rec, ok := p.topicRec.ObserveFeed(p.cfg.User, d, feedHost, now); ok {
+			recs = append(recs, rec)
+		}
+		p.knownFeeds[d] = struct{}{}
+	}
+	terms := ir.TermCounts(websim.ExtractText(res.Body))
+	if len(terms) > 0 {
+		p.corpus.Add(&ir.Document{ID: click.URL, Terms: terms, Len: termTotal(terms)})
+		p.contentRec.ObservePage(p.cfg.User, terms)
+		for t, n := range terms {
+			p.profile[t] += n
+		}
+	}
+	p.mu.Unlock()
+
+	for _, rec := range recs {
+		if err := p.frontend.Apply(rec); err == nil {
+			p.mu.Lock()
+			p.applied++
+			p.mu.Unlock()
+		}
+	}
+	return recs
+}
+
+// discoverFeeds returns autodiscovered feed URLs of a cached page.
+func discoverFeeds(res *websim.Resource) []string {
+	found := feed.Discover(res.URL, res.Body)
+	out := make([]string, 0, len(found))
+	for _, d := range found {
+		out = append(out, d.Href)
+	}
+	return out
+}
+
+// SweepInactive runs the local unsubscribe policy and applies the results.
+func (p *Peer) SweepInactive(now time.Time) []recommend.Recommendation {
+	p.mu.Lock()
+	recs := p.topicRec.SweepInactive(now)
+	p.mu.Unlock()
+	for _, rec := range recs {
+		_ = p.frontend.Apply(rec)
+	}
+	return recs
+}
+
+// KnownFeeds returns the peer's discovered feed set (for community
+// exchange).
+func (p *Peer) KnownFeeds() map[string]struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]struct{}, len(p.knownFeeds))
+	for f := range p.knownFeeds {
+		out[f] = struct{}{}
+	}
+	return out
+}
+
+// ProfileVector returns the peer's term profile for community clustering.
+// Only the top terms travel (a privacy-preserving sketch, not the raw
+// attention log).
+func (p *Peer) ProfileVector() cluster.Vector {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	terms := ir.SelectTerms(p.profile, nil, maxInt(1, p.contentRec.ProfileSize(p.cfg.User)), p.corpus, 50, ir.SelectRawTF)
+	v := make(cluster.Vector, len(terms))
+	for _, t := range terms {
+		v[t.Term] = t.Score
+	}
+	return v
+}
+
+// ReceivePeerFeeds ingests feed URLs recommended by community peers,
+// applying subscriptions for unknown ones. It returns how many were new.
+func (p *Peer) ReceivePeerFeeds(feeds []string, now time.Time) int {
+	applied := 0
+	for _, f := range feeds {
+		feedHost, _, err := websim.SplitURL(f)
+		if err != nil {
+			continue
+		}
+		p.mu.Lock()
+		var rec recommend.Recommendation
+		var ok bool
+		if _, known := p.knownFeeds[f]; !known {
+			p.knownFeeds[f] = struct{}{}
+			// Community provenance substitutes for a direct visit.
+			p.topicRec.ObserveVisit(p.cfg.User, feedHost, now)
+			rec, ok = p.topicRec.ObserveFeed(p.cfg.User, f, feedHost, now)
+		}
+		p.mu.Unlock()
+		if ok {
+			if err := p.frontend.Apply(rec); err == nil {
+				applied++
+			}
+		}
+	}
+	return applied
+}
+
+// AppliedRecommendations reports how many recommendations the peer has
+// auto-applied.
+func (p *Peer) AppliedRecommendations() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.applied
+}
+
+// ObserveEventFeedback routes sidebar dispositions into the local
+// recommender (closed loop).
+func (p *Peer) ObserveEventFeedback(feedURL string, clicked bool, at time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.topicRec.ObserveFeedback(p.cfg.User, feedURL, clicked, at)
+}
+
+// Close tears down the peer's subscriptions.
+func (p *Peer) Close() {
+	p.frontend.Close()
+}
+
+// ExchangeCommunities clusters peers by profile similarity and delivers
+// collaborative feed recommendations within each community. It returns
+// the number of communities and the total recommendations exchanged.
+func ExchangeCommunities(peers []*Peer, threshold float64, now time.Time) (int, int) {
+	members := make([]cluster.Member, 0, len(peers))
+	byID := make(map[string]*Peer, len(peers))
+	known := make(map[string]map[string]struct{}, len(peers))
+	for _, p := range peers {
+		members = append(members, cluster.Member{ID: p.User(), Profile: p.ProfileVector()})
+		byID[p.User()] = p
+		known[p.User()] = p.KnownFeeds()
+	}
+	comms := cluster.BuildCommunities(members, threshold)
+	shared := cluster.Exchange(comms, known)
+	total := 0
+	for id, feeds := range shared {
+		if peer, ok := byID[id]; ok && len(feeds) > 0 {
+			total += peer.ReceivePeerFeeds(feeds, now)
+		}
+	}
+	return len(comms), total
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"reef/internal/attention"
+	"reef/internal/pubsub"
+	"reef/internal/topics"
+	"reef/internal/websim"
+)
+
+func newPeerRig(t *testing.T, seed int64) (*websim.Web, *pubsub.Broker) {
+	t.Helper()
+	model := topics.NewModel(seed, 8, 30, 40)
+	wcfg := websim.DefaultConfig(seed, ct0)
+	wcfg.NumContentServers = 40
+	wcfg.NumAdServers = 20
+	wcfg.NumSpamServers = 3
+	wcfg.NumMultimediaServers = 2
+	wcfg.FeedProb = 0.6
+	web := websim.Generate(wcfg, model)
+	broker := pubsub.NewBroker("edge", nil)
+	t.Cleanup(broker.Close)
+	return web, broker
+}
+
+func browsePage(t *testing.T, web *websim.Web, p *Peer, url string, at time.Time) {
+	t.Helper()
+	res, err := web.Fetch(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ObservePageView(attention.Click{User: p.User(), URL: url, At: at}, res)
+}
+
+func TestPeerLocalPipeline(t *testing.T) {
+	web, broker := newPeerRig(t, 1)
+	peer := NewPeer(PeerConfig{User: "p1", Subscriber: broker})
+	defer peer.Close()
+
+	pageURL, _ := feedHostPage(t, web)
+	web.ResetStats()
+	res, err := web.Fetch(pageURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := peer.ObservePageView(attention.Click{User: "p1", URL: pageURL, At: ct0}, res)
+	if len(recs) == 0 {
+		t.Fatal("no local recommendations")
+	}
+	if peer.AppliedRecommendations() == 0 {
+		t.Fatal("recommendations not auto-applied")
+	}
+	// The peer analyzed the cached copy: exactly one fetch (the browse
+	// itself), zero crawl traffic.
+	fetches, _ := web.Stats()
+	if fetches != 1 {
+		t.Errorf("fetches = %d, want 1 (no crawl traffic)", fetches)
+	}
+	if len(peer.KnownFeeds()) == 0 {
+		t.Error("no known feeds")
+	}
+	if broker.NumSubscriptions() == 0 {
+		t.Error("no pub-sub subscriptions placed")
+	}
+}
+
+func TestPeerIgnoresAdPages(t *testing.T) {
+	web, broker := newPeerRig(t, 2)
+	peer := NewPeer(PeerConfig{User: "p1", Subscriber: broker})
+	defer peer.Close()
+	ad := web.Servers(websim.KindAd)[0]
+	browsePage(t, web, peer, ad.URL("/banner/1"), ct0)
+	if len(peer.KnownFeeds()) != 0 || peer.AppliedRecommendations() != 0 {
+		t.Error("ad page produced recommendations")
+	}
+	if peer.ProfileVector() == nil {
+		// Profile may be empty; just ensure no panic.
+		_ = peer
+	}
+}
+
+func TestPeerProfileVector(t *testing.T) {
+	web, broker := newPeerRig(t, 3)
+	peer := NewPeer(PeerConfig{User: "p1", Subscriber: broker})
+	defer peer.Close()
+	srv := web.Servers(websim.KindContent)[0]
+	for _, p := range srv.Pages {
+		browsePage(t, web, peer, srv.URL(p.Path), ct0)
+	}
+	v := peer.ProfileVector()
+	if len(v) == 0 {
+		t.Fatal("empty profile vector after browsing")
+	}
+	if len(v) > 50 {
+		t.Errorf("profile sketch too large: %d terms", len(v))
+	}
+}
+
+func TestPeerCommunityExchange(t *testing.T) {
+	web, broker := newPeerRig(t, 4)
+	// Two peers browse the same topical server (similar profiles); one of
+	// them also finds a feed the other has not seen.
+	p1 := NewPeer(PeerConfig{User: "p1", Subscriber: broker})
+	defer p1.Close()
+	p2 := NewPeer(PeerConfig{User: "p2", Subscriber: broker})
+	defer p2.Close()
+
+	shared := web.Servers(websim.KindContent)[0]
+	for _, pg := range shared.Pages {
+		url := shared.URL(pg.Path)
+		browsePage(t, web, p1, url, ct0)
+		browsePage(t, web, p2, url, ct0)
+	}
+	// p1 additionally browses a feed host p2 never visits.
+	feedPage, _ := feedHostPage(t, web)
+	browsePage(t, web, p1, feedPage, ct0)
+
+	before := len(p2.KnownFeeds())
+	comms, exchanged := ExchangeCommunities([]*Peer{p1, p2}, 0.2, ct0.Add(time.Hour))
+	if comms == 0 {
+		t.Fatal("no communities formed")
+	}
+	if len(p1.KnownFeeds()) == 0 {
+		t.Fatal("p1 has no feeds to share")
+	}
+	if exchanged == 0 && before == len(p2.KnownFeeds()) {
+		t.Error("no collaborative exchange happened")
+	}
+	if len(p2.KnownFeeds()) < len(p1.KnownFeeds()) {
+		t.Error("p2 did not learn p1's feeds")
+	}
+}
+
+func TestPeerSweepInactive(t *testing.T) {
+	web, broker := newPeerRig(t, 5)
+	peer := NewPeer(PeerConfig{User: "p1", Subscriber: broker})
+	defer peer.Close()
+	pageURL, _ := feedHostPage(t, web)
+	browsePage(t, web, peer, pageURL, ct0)
+	if peer.AppliedRecommendations() == 0 {
+		t.Fatal("setup: no subscriptions")
+	}
+	active := len(peer.Frontend().ActiveSubscriptions())
+	recs := peer.SweepInactive(ct0.Add(60 * 24 * time.Hour))
+	if len(recs) == 0 {
+		t.Fatal("sweep found nothing after 60 idle days")
+	}
+	if got := len(peer.Frontend().ActiveSubscriptions()); got >= active {
+		t.Errorf("active subs %d -> %d; sweep did not unsubscribe", active, got)
+	}
+}
+
+func TestPeerEventFeedback(t *testing.T) {
+	web, broker := newPeerRig(t, 6)
+	peer := NewPeer(PeerConfig{User: "p1", Subscriber: broker})
+	defer peer.Close()
+	pageURL, _ := feedHostPage(t, web)
+	browsePage(t, web, peer, pageURL, ct0)
+	for f := range peer.KnownFeeds() {
+		peer.ObserveEventFeedback(f, true, ct0.Add(time.Hour))
+	}
+	// Click feedback extends the grace period: a sweep at 1.5x the window
+	// keeps the feeds.
+	if recs := peer.SweepInactive(ct0.Add(30 * 24 * time.Hour)); len(recs) != 0 {
+		t.Errorf("clicked feeds swept early: %d", len(recs))
+	}
+}
+
+func TestPeerMalformedInput(t *testing.T) {
+	_, broker := newPeerRig(t, 7)
+	peer := NewPeer(PeerConfig{User: "p1", Subscriber: broker})
+	defer peer.Close()
+	if recs := peer.ObservePageView(attention.Click{User: "p1", URL: "garbage"}, nil); recs != nil {
+		t.Error("nil resource produced recommendations")
+	}
+	if n := peer.ReceivePeerFeeds([]string{"::bad::"}, ct0); n != 0 {
+		t.Error("bad feed URL applied")
+	}
+}

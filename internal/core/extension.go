@@ -1,0 +1,117 @@
+package core
+
+import (
+	"time"
+
+	"reef/internal/attention"
+	"reef/internal/frontend"
+	"reef/internal/recommend"
+	"reef/internal/simclock"
+)
+
+// RecommendationSource is where an extension pulls its pending
+// recommendations from — the in-process *Server, or an HTTP client against
+// a remote reefd.
+type RecommendationSource interface {
+	Recommendations(user string) []recommend.Recommendation
+}
+
+// ExtensionConfig wires a browser extension.
+type ExtensionConfig struct {
+	// User is the cookie identity.
+	User string
+	// Sink receives recorded click batches (the Reef server, direct or
+	// over HTTP).
+	Sink attention.Sink
+	// Subscriber places pub-sub subscriptions (the user's edge broker).
+	Subscriber frontend.Subscriber
+	// Proxy manages WAIF feed registrations; may be nil.
+	Proxy frontend.FeedProxy
+	// Clock drives timestamps; nil means real time.
+	Clock simclock.Clock
+	// FlushEvery batches click uploads (0: flush by size/Close only).
+	FlushEvery time.Duration
+	// SidebarCapacity and SidebarTTL tune the display panel.
+	SidebarCapacity int
+	SidebarTTL      time.Duration
+	// Feedback receives sidebar dispositions in addition to internal
+	// routing; may be nil.
+	Feedback frontend.FeedbackFunc
+}
+
+// Extension is the user-host half of Centralized Reef: the attention
+// recorder plus the subscription frontend and sidebar (Figure 1).
+type Extension struct {
+	user     string
+	clock    simclock.Clock
+	Recorder *attention.Recorder
+	Frontend *frontend.Frontend
+}
+
+// NewExtension builds and wires an extension.
+func NewExtension(cfg ExtensionConfig) *Extension {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	sidebar := frontend.NewSidebar(frontend.Config{
+		Capacity: cfg.SidebarCapacity,
+		TTL:      cfg.SidebarTTL,
+		Feedback: cfg.Feedback,
+	})
+	fe := frontend.NewFrontend(cfg.User, cfg.Subscriber, cfg.Proxy, sidebar, clock.Now)
+	rec := attention.NewRecorder(attention.RecorderConfig{
+		User:       cfg.User,
+		FlushEvery: cfg.FlushEvery,
+		Clock:      clock,
+	}, cfg.Sink)
+	return &Extension{
+		user:     cfg.User,
+		clock:    clock,
+		Recorder: rec,
+		Frontend: fe,
+	}
+}
+
+// User returns the extension's user identity.
+func (e *Extension) User() string { return e.user }
+
+// Sidebar returns the display panel.
+func (e *Extension) Sidebar() *frontend.Sidebar { return e.Frontend.Sidebar() }
+
+// Browse records one page view (and implicitly any further URLs the
+// caller records separately).
+func (e *Extension) Browse(url string, at time.Time) error {
+	return e.Recorder.Record(url, at)
+}
+
+// ClickEvent simulates the user opening a sidebar item: the click is
+// recorded as closed-loop attention and the item leaves the sidebar.
+func (e *Extension) ClickEvent(itemID int64, at time.Time) (string, bool) {
+	link, ok := e.Sidebar().Click(itemID, at)
+	if !ok {
+		return "", false
+	}
+	// Closed loop: the click re-enters the attention stream (§2.2).
+	_ = e.Recorder.Record(link, at, attention.FromEvent())
+	return link, true
+}
+
+// PullRecommendations drains and applies the user's pending
+// recommendations from the source. It returns how many were applied.
+func (e *Extension) PullRecommendations(src RecommendationSource) (int, error) {
+	recs := src.Recommendations(e.user)
+	for i, rec := range recs {
+		if err := e.Frontend.Apply(rec); err != nil {
+			return i, err
+		}
+	}
+	return len(recs), nil
+}
+
+// Close flushes the recorder and tears down subscriptions.
+func (e *Extension) Close() error {
+	err := e.Recorder.Close()
+	e.Frontend.Close()
+	return err
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"reef/internal/attention"
+)
+
+// API is the centralized server's HTTP surface — the "LAMP" interface of
+// the prototype (§3): browser extensions POST click batches and GET their
+// pending recommendations.
+//
+//	POST /v1/clicks            body: JSON array of attention.Click
+//	GET  /v1/recommendations?user=<id>
+//	GET  /v1/stats
+type API struct {
+	Server *Server
+	mux    *http.ServeMux
+}
+
+// NewAPI mounts the routes.
+func NewAPI(s *Server) *API {
+	a := &API{Server: s, mux: http.NewServeMux()}
+	a.mux.HandleFunc("/v1/clicks", a.handleClicks)
+	a.mux.HandleFunc("/v1/recommendations", a.handleRecommendations)
+	a.mux.HandleFunc("/v1/stats", a.handleStats)
+	return a
+}
+
+var _ http.Handler = (*API)(nil)
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	a.mux.ServeHTTP(rw, req)
+}
+
+func (a *API) handleClicks(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, 16<<20))
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var batch []attention.Click
+	if err := json.Unmarshal(body, &batch); err != nil {
+		http.Error(rw, "bad click batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := a.Server.ReceiveClicks(batch); err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rw.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(rw, `{"accepted":%d}`, len(batch))
+}
+
+// wireRec is the JSON form of a recommendation (filters travel as text).
+type wireRec struct {
+	Kind    string  `json:"kind"`
+	User    string  `json:"user"`
+	FeedURL string  `json:"feed_url,omitempty"`
+	Filter  string  `json:"filter,omitempty"`
+	Reason  string  `json:"reason,omitempty"`
+	AtUnix  int64   `json:"at_unix"`
+	Terms   []wTerm `json:"terms,omitempty"`
+}
+
+type wTerm struct {
+	Term  string  `json:"term"`
+	Score float64 `json:"score"`
+}
+
+func (a *API) handleRecommendations(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(rw, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	user := req.URL.Query().Get("user")
+	if user == "" {
+		http.Error(rw, "missing user parameter", http.StatusBadRequest)
+		return
+	}
+	recs := a.Server.Recommendations(user)
+	out := make([]wireRec, 0, len(recs))
+	for _, r := range recs {
+		w := wireRec{
+			Kind:    r.Kind.String(),
+			User:    r.User,
+			FeedURL: r.FeedURL,
+			Reason:  r.Reason,
+			AtUnix:  r.At.Unix(),
+		}
+		if !r.Filter.IsEmpty() {
+			w.Filter = r.Filter.String()
+		}
+		for _, t := range r.Terms {
+			w.Terms = append(w.Terms, wTerm{Term: t.Term, Score: t.Score})
+		}
+		out = append(out, w)
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(out)
+}
+
+func (a *API) handleStats(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(rw, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := a.Server.Metrics().Snapshot()
+	snap["clicks_stored"] = float64(a.Server.Store().Len())
+	snap["distinct_servers"] = float64(a.Server.Store().DistinctServers())
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(snap)
+}
+
+// HTTPSink posts click batches to a remote reefd (the extension side of
+// the wire).
+type HTTPSink struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7070".
+	BaseURL string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+var _ attention.Sink = (*HTTPSink)(nil)
+
+// ReceiveClicks implements attention.Sink over HTTP.
+func (h *HTTPSink) ReceiveClicks(batch []attention.Click) error {
+	data, err := json.Marshal(batch)
+	if err != nil {
+		return fmt.Errorf("core: encoding click batch: %w", err)
+	}
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(h.BaseURL+"/v1/clicks", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("core: posting clicks: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("core: click upload status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"reef/internal/attention"
+	"reef/internal/topics"
+	"reef/internal/websim"
+)
+
+func newAPIServer(t *testing.T, seed int64) (*httptest.Server, *Server, *websim.Web) {
+	t.Helper()
+	model := topics.NewModel(seed, 6, 25, 30)
+	wcfg := websim.DefaultConfig(seed, ct0)
+	wcfg.NumContentServers = 30
+	wcfg.NumAdServers = 10
+	wcfg.NumSpamServers = 2
+	wcfg.NumMultimediaServers = 1
+	wcfg.FeedProb = 0.6
+	web := websim.Generate(wcfg, model)
+	server := NewServer(ServerConfig{Fetcher: web})
+	ts := httptest.NewServer(NewAPI(server))
+	t.Cleanup(ts.Close)
+	return ts, server, web
+}
+
+func TestAPIClickUploadAndRecommendations(t *testing.T) {
+	ts, server, web := newAPIServer(t, 1)
+	pageURL, _ := feedHostPage(t, web)
+
+	sink := &HTTPSink{BaseURL: ts.URL}
+	batch := []attention.Click{{User: "u1", URL: pageURL, At: ct0}}
+	if err := sink.ReceiveClicks(batch); err != nil {
+		t.Fatal(err)
+	}
+	if server.Store().Len() != 1 {
+		t.Fatalf("stored = %d", server.Store().Len())
+	}
+
+	server.RunPipeline(ct0.Add(time.Hour))
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/recommendations?user=u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var recs []wireRec
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no recommendations over HTTP")
+	}
+	if recs[0].Kind != "subscribe-feed" || recs[0].FeedURL == "" || recs[0].Filter == "" {
+		t.Errorf("rec = %+v", recs[0])
+	}
+}
+
+func TestAPIStats(t *testing.T) {
+	ts, server, web := newAPIServer(t, 2)
+	s := web.Servers(websim.KindContent)[0]
+	server.ReceiveClicks([]attention.Click{{User: "u1", URL: s.URL("/p/0.html"), At: ct0}})
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap["clicks_stored"] != 1 {
+		t.Errorf("clicks_stored = %v", snap["clicks_stored"])
+	}
+}
+
+func TestAPIErrorPaths(t *testing.T) {
+	ts, _, _ := newAPIServer(t, 3)
+	client := ts.Client()
+
+	// Wrong method.
+	resp, _ := client.Get(ts.URL + "/v1/clicks")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/clicks = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Bad JSON.
+	resp, _ = client.Post(ts.URL+"/v1/clicks", "application/json", strings.NewReader("not json"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Missing user.
+	resp, _ = client.Get(ts.URL + "/v1/recommendations")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing user = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Wrong method on recommendations.
+	resp, _ = client.Post(ts.URL+"/v1/recommendations", "", nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST recommendations = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPSinkErrors(t *testing.T) {
+	sink := &HTTPSink{BaseURL: "http://127.0.0.1:1"} // nothing listens
+	err := sink.ReceiveClicks([]attention.Click{{User: "u", URL: "http://a.test/"}})
+	if err == nil {
+		t.Error("unreachable server accepted clicks")
+	}
+}

@@ -1,0 +1,95 @@
+// Package crawler implements the Reef server's page analysis pipeline
+// (paper §3.1): it retrieves the pages users visited, classifies ad
+// servers, spam sites and multimedia so they are never crawled again,
+// scans pages for Web feeds (autodiscovery), and extracts keyword
+// statistics for the content-based recommender.
+package crawler
+
+import (
+	"strings"
+
+	"reef/internal/ir"
+	"reef/internal/store"
+	"reef/internal/websim"
+)
+
+// Classify inspects a fetched resource and returns the server flags it
+// implies (zero means ordinary content). Heuristics:
+//
+//   - multimedia: non-HTML media content types;
+//   - ad: redirect-only documents (meta refresh with almost no text) or
+//     tracking-pixel documents, plus hostname hints (the EasyList
+//     analogue);
+//   - spam: keyword stuffing — long pages with abnormally low distinct/
+//     total term ratios.
+func Classify(res *websim.Resource) store.Flag {
+	ct := strings.ToLower(res.ContentType)
+	if strings.HasPrefix(ct, "video/") || strings.HasPrefix(ct, "audio/") ||
+		strings.HasPrefix(ct, "image/") {
+		return store.FlagMultimedia
+	}
+	if !strings.Contains(ct, "html") && !strings.Contains(ct, "xml") && ct != "" {
+		return 0
+	}
+	body := string(res.Body)
+	lower := strings.ToLower(body)
+
+	if isAdDocument(res.URL, lower) {
+		return store.FlagAd
+	}
+	if isSpamDocument(body) {
+		return store.FlagSpam
+	}
+	return 0
+}
+
+// adHostHints are hostname fragments that mark advertisement
+// infrastructure (the moral equivalent of an ad-blocker host list).
+var adHostHints = []string{".adnet.", ".ads.", ".doubleclick.", ".tracker."}
+
+func isAdDocument(url, lowerBody string) bool {
+	host, _, err := websim.SplitURL(url)
+	if err == nil {
+		lh := strings.ToLower(host)
+		for _, hint := range adHostHints {
+			if strings.Contains(lh, hint) {
+				return true
+			}
+		}
+		if strings.HasPrefix(lh, "ad") && strings.Contains(lh, ".") {
+			// adNNNN.* style hosts.
+			rest := lh[2:]
+			if len(rest) > 0 && rest[0] >= '0' && rest[0] <= '9' {
+				return true
+			}
+		}
+	}
+	// Content signal: instant redirect with a near-empty body, or a 1x1
+	// tracking pixel document.
+	hasRefresh := strings.Contains(lowerBody, `http-equiv="refresh"`) ||
+		strings.Contains(lowerBody, `http-equiv='refresh'`)
+	text := strings.TrimSpace(websim.ExtractText([]byte(lowerBody)))
+	if hasRefresh && len(text) < 60 {
+		return true
+	}
+	if strings.Contains(lowerBody, `width="1" height="1"`) && len(text) < 60 {
+		return true
+	}
+	return false
+}
+
+// isSpamDocument detects keyword stuffing: a long body whose vocabulary is
+// tiny relative to its length.
+func isSpamDocument(body string) bool {
+	text := websim.ExtractText([]byte(body))
+	terms := ir.Tokenize(text)
+	if len(terms) < 400 {
+		return false
+	}
+	distinct := make(map[string]struct{}, len(terms))
+	for _, t := range terms {
+		distinct[t] = struct{}{}
+	}
+	ratio := float64(len(distinct)) / float64(len(terms))
+	return ratio < 0.15
+}

@@ -1,0 +1,132 @@
+package crawler
+
+import (
+	"sort"
+	"sync"
+
+	"reef/internal/feed"
+	"reef/internal/ir"
+	"reef/internal/store"
+	"reef/internal/websim"
+)
+
+// Result is the analysis of one crawled URL.
+type Result struct {
+	// URL is the crawled address.
+	URL string
+	// Host is the server component.
+	Host string
+	// Flags are the classifications implied by the page (may be zero).
+	Flags store.Flag
+	// Feeds are autodiscovered feed references (content pages only).
+	Feeds []feed.Discovered
+	// Terms are the page's analyzed term counts (content pages only).
+	Terms map[string]int
+	// Links are extracted hyperlinks (content pages only).
+	Links []string
+	// Err records a fetch failure; other fields are zero when set.
+	Err error
+}
+
+// Config tunes a crawler.
+type Config struct {
+	// Fetcher retrieves resources (the synthetic web, or real HTTP).
+	Fetcher websim.Fetcher
+	// Workers is the parallel fetch fan-out (default 8).
+	Workers int
+	// Skip, when non-nil, suppresses fetching hosts the caller has already
+	// flagged (paper: flagged servers "will not be crawled again").
+	Skip func(host string) bool
+	// SkipTermExtraction turns off keyword extraction for callers that
+	// only need feed discovery and classification.
+	SkipTermExtraction bool
+	// DisableClassification skips ad/spam/multimedia detection entirely
+	// (ablation A3): every fetched page is analyzed as content.
+	DisableClassification bool
+}
+
+// Crawler fetches and analyzes batches of URLs with a bounded worker pool.
+type Crawler struct {
+	cfg Config
+}
+
+// New builds a crawler. A nil fetcher panics at first use, not here, so
+// tests can construct partially.
+func New(cfg Config) *Crawler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	return &Crawler{cfg: cfg}
+}
+
+// Crawl fetches every URL (minus skipped hosts and duplicates) and returns
+// results sorted by URL for determinism. It blocks until all workers
+// finish.
+func (c *Crawler) Crawl(urls []string) []Result {
+	// Dedup while preserving the candidate set.
+	seen := make(map[string]struct{}, len(urls))
+	var work []string
+	for _, u := range urls {
+		if _, dup := seen[u]; dup {
+			continue
+		}
+		seen[u] = struct{}{}
+		host, _, err := websim.SplitURL(u)
+		if err == nil && c.cfg.Skip != nil && c.cfg.Skip(host) {
+			continue
+		}
+		work = append(work, u)
+	}
+
+	jobs := make(chan string)
+	results := make(chan Result)
+	var wg sync.WaitGroup
+	for i := 0; i < c.cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range jobs {
+				results <- c.crawlOne(u)
+			}
+		}()
+	}
+	go func() {
+		for _, u := range work {
+			jobs <- u
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	out := make([]Result, 0, len(work))
+	for r := range results {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// crawlOne fetches and analyzes a single URL.
+func (c *Crawler) crawlOne(url string) Result {
+	host, _, _ := websim.SplitURL(url)
+	res, err := c.cfg.Fetcher.Fetch(url)
+	if err != nil {
+		return Result{URL: url, Host: host, Err: err}
+	}
+	r := Result{URL: url, Host: host}
+	if !c.cfg.DisableClassification {
+		r.Flags = Classify(res)
+	}
+	if r.Flags != 0 {
+		// Flagged pages are not analyzed further: the paper's pipeline
+		// stops at the flag so these servers stop consuming crawl budget.
+		return r
+	}
+	r.Feeds = feed.Discover(res.URL, res.Body)
+	if !c.cfg.SkipTermExtraction {
+		r.Terms = ir.TermCounts(websim.ExtractText(res.Body))
+	}
+	r.Links = websim.ExtractLinks(res.URL, res.Body)
+	return r
+}

@@ -1,0 +1,249 @@
+package crawler
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"reef/internal/store"
+	"reef/internal/topics"
+	"reef/internal/websim"
+)
+
+var simStart = time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func testWeb(seed int64) *websim.Web {
+	model := topics.NewModel(seed, 6, 25, 30)
+	cfg := websim.DefaultConfig(seed, simStart)
+	cfg.NumContentServers = 25
+	cfg.NumAdServers = 15
+	cfg.NumSpamServers = 4
+	cfg.NumMultimediaServers = 2
+	return websim.Generate(cfg, model)
+}
+
+func TestClassifyKinds(t *testing.T) {
+	w := testWeb(1)
+	fetch := func(url string) *websim.Resource {
+		t.Helper()
+		res, err := w.Fetch(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	ad := w.Servers(websim.KindAd)[0]
+	if got := Classify(fetch(ad.URL("/banner/1"))); got != store.FlagAd {
+		t.Errorf("ad classified as %v", got)
+	}
+	spam := w.Servers(websim.KindSpam)[0]
+	if got := Classify(fetch(spam.URL("/offer/0.html"))); got != store.FlagSpam {
+		t.Errorf("spam classified as %v", got)
+	}
+	mm := w.Servers(websim.KindMultimedia)[0]
+	if got := Classify(fetch(mm.URL("/v/0.mp4"))); got != store.FlagMultimedia {
+		t.Errorf("multimedia classified as %v", got)
+	}
+	content := w.Servers(websim.KindContent)[0]
+	var page *websim.Page
+	for _, p := range content.Pages {
+		page = p
+		break
+	}
+	if got := Classify(fetch(content.URL(page.Path))); got != 0 {
+		t.Errorf("content page classified as %v", got)
+	}
+}
+
+func TestClassifyContentSignalsWithoutHostHint(t *testing.T) {
+	// An ad-style redirect page on a neutral hostname must still be
+	// caught by the content heuristic.
+	res := &websim.Resource{
+		URL:         "http://innocent.test/x",
+		ContentType: "text/html",
+		Body: []byte(`<html><head><meta http-equiv="refresh" content="0;url=http://t.test/c">` +
+			`</head><body></body></html>`),
+	}
+	if got := Classify(res); got != store.FlagAd {
+		t.Errorf("redirect page classified as %v, want ad", got)
+	}
+}
+
+func TestCrawlAnalyzesContent(t *testing.T) {
+	w := testWeb(2)
+	c := New(Config{Fetcher: w, Workers: 4})
+	var urls []string
+	var feedHost *websim.Server
+	for _, s := range w.Servers(websim.KindContent) {
+		if len(s.Feeds) > 0 {
+			feedHost = s
+			break
+		}
+	}
+	if feedHost == nil {
+		t.Skip("no feed hosts at this scale")
+	}
+	for _, p := range feedHost.Pages {
+		urls = append(urls, feedHost.URL(p.Path))
+	}
+	results := c.Crawl(urls)
+	if len(results) != len(urls) {
+		t.Fatalf("results = %d, want %d", len(results), len(urls))
+	}
+	foundFeed := false
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("crawl error: %v", r.Err)
+		}
+		if len(r.Terms) == 0 {
+			t.Errorf("no terms extracted from %s", r.URL)
+		}
+		if len(r.Feeds) > 0 {
+			foundFeed = true
+		}
+	}
+	if !foundFeed {
+		t.Error("autodiscovery found no feeds on a feed-hosting server")
+	}
+}
+
+func TestCrawlDedupsAndSorts(t *testing.T) {
+	w := testWeb(3)
+	s := w.Servers(websim.KindContent)[0]
+	var first string
+	for _, p := range s.Pages {
+		first = s.URL(p.Path)
+		break
+	}
+	c := New(Config{Fetcher: w, Workers: 2})
+	results := c.Crawl([]string{first, first, first})
+	if len(results) != 1 {
+		t.Fatalf("dedup failed: %d results", len(results))
+	}
+	fetches, _ := w.Stats()
+	if fetches != 1 {
+		t.Errorf("fetches = %d, want 1", fetches)
+	}
+}
+
+func TestCrawlSkip(t *testing.T) {
+	w := testWeb(4)
+	ad := w.Servers(websim.KindAd)[0]
+	c := New(Config{
+		Fetcher: w,
+		Skip:    func(host string) bool { return host == ad.Host },
+	})
+	results := c.Crawl([]string{ad.URL("/banner/1")})
+	if len(results) != 0 {
+		t.Fatalf("skipped host was crawled: %+v", results)
+	}
+	fetches, _ := w.Stats()
+	if fetches != 0 {
+		t.Errorf("fetches = %d, want 0", fetches)
+	}
+}
+
+func TestCrawlRecordsErrors(t *testing.T) {
+	w := testWeb(5)
+	s := w.Servers(websim.KindContent)[0]
+	w.SetDown(s.Host, true)
+	c := New(Config{Fetcher: w})
+	results := c.Crawl([]string{s.URL("/p/0.html"), "http://nosuch.test/x"})
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Err == nil {
+			t.Errorf("expected error for %s", r.URL)
+		}
+	}
+}
+
+func TestCrawlFlaggedPagesNotAnalyzed(t *testing.T) {
+	w := testWeb(6)
+	ad := w.Servers(websim.KindAd)[0]
+	c := New(Config{Fetcher: w})
+	results := c.Crawl([]string{ad.URL("/banner/1")})
+	if len(results) != 1 {
+		t.Fatal("missing result")
+	}
+	r := results[0]
+	if r.Flags != store.FlagAd {
+		t.Fatalf("flags = %v", r.Flags)
+	}
+	if len(r.Terms) != 0 || len(r.Feeds) != 0 || len(r.Links) != 0 {
+		t.Error("flagged page was analyzed")
+	}
+}
+
+type countingFetcher struct {
+	inner    websim.Fetcher
+	inflight atomic.Int32
+	maxSeen  atomic.Int32
+}
+
+func (f *countingFetcher) Fetch(url string) (*websim.Resource, error) {
+	cur := f.inflight.Add(1)
+	for {
+		max := f.maxSeen.Load()
+		if cur <= max || f.maxSeen.CompareAndSwap(max, cur) {
+			break
+		}
+	}
+	defer f.inflight.Add(-1)
+	time.Sleep(time.Millisecond)
+	return f.inner.Fetch(url)
+}
+
+func TestCrawlParallelismBounded(t *testing.T) {
+	w := testWeb(7)
+	cf := &countingFetcher{inner: w}
+	c := New(Config{Fetcher: cf, Workers: 3})
+	var urls []string
+	for _, s := range w.Servers(websim.KindContent) {
+		for _, p := range s.Pages {
+			urls = append(urls, s.URL(p.Path))
+		}
+		if len(urls) > 30 {
+			break
+		}
+	}
+	c.Crawl(urls)
+	if got := cf.maxSeen.Load(); got > 3 {
+		t.Errorf("max concurrent fetches = %d, want <= 3", got)
+	}
+	if got := cf.maxSeen.Load(); got < 2 {
+		t.Logf("warning: observed concurrency only %d", got)
+	}
+}
+
+func TestCrawlSkipTermExtraction(t *testing.T) {
+	w := testWeb(8)
+	s := w.Servers(websim.KindContent)[0]
+	var url string
+	for _, p := range s.Pages {
+		url = s.URL(p.Path)
+		break
+	}
+	c := New(Config{Fetcher: w, SkipTermExtraction: true})
+	results := c.Crawl([]string{url})
+	if len(results[0].Terms) != 0 {
+		t.Error("terms extracted despite SkipTermExtraction")
+	}
+}
+
+func TestIsSpamShortDocNotSpam(t *testing.T) {
+	if isSpamDocument(strings.Repeat("word ", 100)) {
+		t.Error("short repetitive doc flagged as spam")
+	}
+}
+
+func TestCrawlEmptyInput(t *testing.T) {
+	w := testWeb(9)
+	c := New(Config{Fetcher: w})
+	if got := c.Crawl(nil); len(got) != 0 {
+		t.Errorf("Crawl(nil) = %d results", len(got))
+	}
+}

@@ -1,0 +1,152 @@
+package eventalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFilterMatch(t *testing.T) {
+	f := NewFilter(
+		C("topic", OpEq, String("sports")),
+		C("hits", OpGt, Int(3)),
+	)
+	tests := []struct {
+		tuple Tuple
+		want  bool
+	}{
+		{Tuple{"topic": String("sports"), "hits": Int(5)}, true},
+		{Tuple{"topic": String("sports"), "hits": Int(3)}, false},
+		{Tuple{"topic": String("news"), "hits": Int(5)}, false},
+		{Tuple{"topic": String("sports")}, false},
+		{Tuple{}, false},
+	}
+	for _, tt := range tests {
+		if got := f.Match(tt.tuple); got != tt.want {
+			t.Errorf("Match(%v) = %v, want %v", tt.tuple, got, tt.want)
+		}
+	}
+}
+
+func TestEmptyFilterMatchesAll(t *testing.T) {
+	f := NewFilter()
+	if !f.Match(Tuple{}) || !f.Match(Tuple{"a": Int(1)}) {
+		t.Error("empty filter must match everything")
+	}
+	if !f.IsEmpty() {
+		t.Error("IsEmpty() = false")
+	}
+	if f.String() != "<all>" {
+		t.Errorf("String() = %q", f.String())
+	}
+}
+
+func TestFilterCovers(t *testing.T) {
+	all := NewFilter()
+	sports := MustParse(`topic = sports`)
+	sportsHot := MustParse(`topic = sports and hits > 10`)
+	news := MustParse(`topic = news`)
+
+	tests := []struct {
+		f, g Filter
+		want bool
+	}{
+		{all, sports, true},
+		{sports, all, false},
+		{sports, sportsHot, true},
+		{sportsHot, sports, false},
+		{sports, news, false},
+		{sports, sports, true},
+		{all, all, true},
+	}
+	for _, tt := range tests {
+		if got := tt.f.Covers(tt.g); got != tt.want {
+			t.Errorf("(%s).Covers(%s) = %v, want %v", tt.f, tt.g, got, tt.want)
+		}
+	}
+}
+
+// TestFilterCoversSound property-checks the conjunction covering rule.
+func TestFilterCoversSound(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	attrs := []string{"a", "b", "c"}
+	genFilter := func() Filter {
+		n := r.Intn(3)
+		cs := make([]Constraint, 0, n)
+		for i := 0; i < n; i++ {
+			cs = append(cs, Constraint{
+				Attr: attrs[r.Intn(len(attrs))],
+				Op:   genOp(r),
+				Val:  genValue(r),
+			})
+		}
+		return NewFilter(cs...)
+	}
+	genTuple := func() Tuple {
+		tu := Tuple{}
+		for _, a := range attrs {
+			if r.Intn(4) > 0 {
+				tu[a] = genValue(r)
+			}
+		}
+		return tu
+	}
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		f, g := genFilter(), genFilter()
+		if !f.Covers(g) {
+			continue
+		}
+		for j := 0; j < 30; j++ {
+			tu := genTuple()
+			if g.Match(tu) && !f.Match(tu) {
+				t.Fatalf("unsound covering: (%s).Covers(%s) but %v matches g not f", f, g, tu)
+			}
+		}
+	}
+}
+
+func TestFilterCanonicalAndEqual(t *testing.T) {
+	f1 := MustParse(`a = 1 and b = 2`)
+	f2 := MustParse(`b = 2 and a = 1`)
+	if f1.Canonical() != f2.Canonical() {
+		t.Errorf("Canonical differs: %q vs %q", f1.Canonical(), f2.Canonical())
+	}
+	if !f1.Equal(f2) {
+		t.Error("Equal(false) for reordered conjunctions")
+	}
+	f3 := MustParse(`a = 1 and b = 3`)
+	if f1.Equal(f3) {
+		t.Error("Equal(true) for different filters")
+	}
+}
+
+func TestFilterAnd(t *testing.T) {
+	f := MustParse(`a = 1`)
+	g := f.And(C("b", OpGt, Int(0)))
+	if f.Len() != 1 {
+		t.Error("And mutated receiver")
+	}
+	if g.Len() != 2 {
+		t.Errorf("And result Len = %d, want 2", g.Len())
+	}
+	if !g.Match(Tuple{"a": Int(1), "b": Int(5)}) {
+		t.Error("And result does not match expected tuple")
+	}
+}
+
+func TestFilterAttrs(t *testing.T) {
+	f := MustParse(`b = 1 and a = 2 and b > 0`)
+	got := f.Attrs()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Attrs() = %v, want [a b]", got)
+	}
+}
+
+func TestFilterConstraintsCopy(t *testing.T) {
+	f := MustParse(`a = 1`)
+	cs := f.Constraints()
+	cs[0] = C("z", OpEq, Int(9))
+	if !f.Match(Tuple{"a": Int(1)}) {
+		t.Error("mutating Constraints() result affected the filter")
+	}
+}

@@ -1,0 +1,195 @@
+package eventalg
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the textual filter syntax:
+//
+//	topic = "sports" and hits > 3 and source prefix "http://news"
+//
+// Constraints are separated by "and", "&&" or ",". Operators are
+// = == != <> < <= > >= prefix suffix contains exists. Values are quoted
+// strings, numbers, booleans, or bare words (parsed as strings). The empty
+// string parses to the match-all filter.
+func Parse(text string) (Filter, error) {
+	toks, err := lex(text)
+	if err != nil {
+		return Filter{}, err
+	}
+	p := &parser{toks: toks}
+	return p.parseFilter()
+}
+
+// MustParse is Parse that panics on error, for tests and literals.
+func MustParse(text string) Filter {
+	f, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokKind int
+
+const (
+	tokWord tokKind = iota + 1
+	tokString
+	tokOp
+	tokSep
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(text string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(text) {
+		r := rune(text[i])
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == ',':
+			toks = append(toks, token{kind: tokSep, text: ",", pos: i})
+			i++
+		case r == '&':
+			if i+1 < len(text) && text[i+1] == '&' {
+				toks = append(toks, token{kind: tokSep, text: "&&", pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("eventalg: stray '&' at %d", i)
+			}
+		case r == '"' || r == '\'':
+			j, err := scanQuoted(text, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokString, text: text[i:j], pos: i})
+			i = j
+		case strings.ContainsRune("=!<>", r):
+			j := i + 1
+			for j < len(text) && strings.ContainsRune("=!<>", rune(text[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokOp, text: text[i:j], pos: i})
+			i = j
+		default:
+			j := i
+			for j < len(text) && !unicode.IsSpace(rune(text[j])) &&
+				!strings.ContainsRune(`,&=!<>"'`, rune(text[j])) {
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("eventalg: unexpected character %q at %d", r, i)
+			}
+			toks = append(toks, token{kind: tokWord, text: text[i:j], pos: i})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func scanQuoted(text string, start int) (int, error) {
+	quote := text[start]
+	for j := start + 1; j < len(text); j++ {
+		switch text[j] {
+		case '\\':
+			j++
+		case quote:
+			return j + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("eventalg: unterminated string starting at %d", start)
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) parseFilter() (Filter, error) {
+	var cs []Constraint
+	for {
+		if _, ok := p.peek(); !ok {
+			break
+		}
+		c, err := p.parseConstraint()
+		if err != nil {
+			return Filter{}, err
+		}
+		cs = append(cs, c)
+		sep, ok := p.next()
+		if !ok {
+			break
+		}
+		isAnd := sep.kind == tokSep ||
+			(sep.kind == tokWord && strings.EqualFold(sep.text, "and"))
+		if !isAnd {
+			return Filter{}, fmt.Errorf("eventalg: expected 'and' at %d, got %q", sep.pos, sep.text)
+		}
+		if _, ok := p.peek(); !ok {
+			return Filter{}, fmt.Errorf("eventalg: dangling %q at %d", sep.text, sep.pos)
+		}
+	}
+	return NewFilter(cs...), nil
+}
+
+func (p *parser) parseConstraint() (Constraint, error) {
+	attrTok, ok := p.next()
+	if !ok || attrTok.kind != tokWord {
+		return Constraint{}, fmt.Errorf("eventalg: expected attribute name at %d", attrTok.pos)
+	}
+	opTok, ok := p.next()
+	if !ok {
+		return Constraint{}, fmt.Errorf("eventalg: expected operator after %q", attrTok.text)
+	}
+	var opText string
+	switch opTok.kind {
+	case tokOp:
+		opText = opTok.text
+	case tokWord:
+		opText = strings.ToLower(opTok.text)
+	default:
+		return Constraint{}, fmt.Errorf("eventalg: expected operator at %d, got %q", opTok.pos, opTok.text)
+	}
+	op, err := ParseOp(opText)
+	if err != nil {
+		return Constraint{}, err
+	}
+	if op == OpExists {
+		return Exists(attrTok.text), nil
+	}
+	valTok, ok := p.next()
+	if !ok {
+		return Constraint{}, fmt.Errorf("eventalg: expected value after %q %s", attrTok.text, op)
+	}
+	if valTok.kind != tokWord && valTok.kind != tokString {
+		return Constraint{}, fmt.Errorf("eventalg: expected value at %d, got %q", valTok.pos, valTok.text)
+	}
+	val, err := ParseValue(valTok.text)
+	if err != nil {
+		return Constraint{}, err
+	}
+	return C(attrTok.text, op, val), nil
+}

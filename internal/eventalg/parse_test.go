@@ -1,0 +1,161 @@
+package eventalg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	f, err := Parse(`topic = "sports" and hits > 3`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", f.Len())
+	}
+	if !f.Match(Tuple{"topic": String("sports"), "hits": Int(4)}) {
+		t.Error("parsed filter does not match expected tuple")
+	}
+	if f.Match(Tuple{"topic": String("sports"), "hits": Int(3)}) {
+		t.Error("parsed filter matched hits=3 against hits>3")
+	}
+}
+
+func TestParseSeparators(t *testing.T) {
+	for _, src := range []string{
+		`a = 1 and b = 2`,
+		`a = 1 && b = 2`,
+		`a = 1, b = 2`,
+		`a=1 AND b=2`,
+	} {
+		f, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if f.Len() != 2 {
+			t.Errorf("Parse(%q).Len = %d, want 2", src, f.Len())
+		}
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	tests := []struct {
+		src   string
+		tuple Tuple
+		want  bool
+	}{
+		{`x != 3`, Tuple{"x": Int(4)}, true},
+		{`x <> 3`, Tuple{"x": Int(3)}, false},
+		{`x <= 3`, Tuple{"x": Int(3)}, true},
+		{`x >= 3.5`, Tuple{"x": Float(3.5)}, true},
+		{`u prefix "http://"`, Tuple{"u": String("http://a.b")}, true},
+		{`u suffix rss`, Tuple{"u": String("feed.rss")}, true},
+		{`u contains 'example'`, Tuple{"u": String("an example here")}, true},
+		{`u exists`, Tuple{"u": String("")}, true},
+		{`u exists`, Tuple{"v": String("")}, false},
+		{`flag = true`, Tuple{"flag": Bool(true)}, true},
+		{`word = sports`, Tuple{"word": String("sports")}, true},
+	}
+	for _, tt := range tests {
+		f, err := Parse(tt.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.src, err)
+			continue
+		}
+		if got := f.Match(tt.tuple); got != tt.want {
+			t.Errorf("Parse(%q).Match(%v) = %v, want %v", tt.src, tt.tuple, got, tt.want)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	f, err := Parse("")
+	if err != nil {
+		t.Fatalf("Parse empty: %v", err)
+	}
+	if !f.IsEmpty() {
+		t.Error("empty source should give match-all filter")
+	}
+	f2, err := Parse("   ")
+	if err != nil || !f2.IsEmpty() {
+		t.Error("whitespace source should give match-all filter")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`topic =`,
+		`= sports`,
+		`topic ~ sports`,
+		`topic = "unterminated`,
+		`a = 1 b = 2`,
+		`a & b`,
+		`a = 1 and`,
+		`and a = 1`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	sources := []string{
+		`topic = "sports" and hits > 3`,
+		`u prefix "http://" and u suffix ".rss" and n >= -2`,
+		`a exists and b != 4.5`,
+	}
+	for _, src := range sources {
+		f1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		f2, err := Parse(f1.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", f1.String(), err)
+		}
+		if !f1.Equal(f2) {
+			t.Errorf("round trip changed filter: %q -> %q", src, f2.String())
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse(`topic =`)
+}
+
+func TestParseEscapedQuotes(t *testing.T) {
+	f, err := Parse(`name = "he said \"hi\""`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !f.Match(Tuple{"name": String(`he said "hi"`)}) {
+		t.Error("escaped quote value did not match")
+	}
+}
+
+func TestParseLongConjunction(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 50; i++ {
+		if i > 0 {
+			sb.WriteString(" and ")
+		}
+		sb.WriteString("a")
+		sb.WriteString(string(rune('a' + i%26)))
+		sb.WriteString(" exists")
+	}
+	f, err := Parse(sb.String())
+	if err != nil {
+		t.Fatalf("Parse long: %v", err)
+	}
+	if f.Len() != 50 {
+		t.Errorf("Len = %d, want 50", f.Len())
+	}
+}

@@ -1,0 +1,136 @@
+package eventalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AttrSpec describes one attribute of a publish-subscribe interface: its
+// type, and optionally the closed domain of legal string values (e.g. the
+// set of known stock symbols) or a validation predicate (e.g. "looks like a
+// feed URL"). The attention parser uses AttrSpecs to decide which raw
+// attention tokens form valid name-value pairs (paper §2.1).
+type AttrSpec struct {
+	Name string
+	Type Kind
+	// Domain, when non-empty, closes the set of legal string values.
+	Domain []string
+	// Validate, when non-nil, accepts or rejects candidate values. It is
+	// consulted after Domain (if both are set, either may accept).
+	Validate func(Value) bool
+	// Doc describes the attribute for generated documentation.
+	Doc string
+}
+
+// allows reports whether the spec accepts v.
+func (a AttrSpec) allows(v Value) bool {
+	if v.Kind() != a.Type {
+		return false
+	}
+	if len(a.Domain) == 0 && a.Validate == nil {
+		return true
+	}
+	if len(a.Domain) > 0 && v.Kind() == KindString {
+		for _, d := range a.Domain {
+			if d == v.Str() {
+				return true
+			}
+		}
+	}
+	if a.Validate != nil && a.Validate(v) {
+		return true
+	}
+	return false
+}
+
+// Schema is the specification of valid name-value pairs for one
+// publish-subscribe system (paper §2.1: "a specification for valid
+// name-value pairs in the system").
+type Schema struct {
+	attrs map[string]AttrSpec
+}
+
+// NewSchema builds a schema from attribute specs. Later specs with the same
+// name override earlier ones.
+func NewSchema(specs ...AttrSpec) *Schema {
+	s := &Schema{attrs: make(map[string]AttrSpec, len(specs))}
+	for _, sp := range specs {
+		s.attrs[sp.Name] = sp
+	}
+	return s
+}
+
+// Attr returns the spec for name.
+func (s *Schema) Attr(name string) (AttrSpec, bool) {
+	sp, ok := s.attrs[name]
+	return sp, ok
+}
+
+// AttrNames returns the sorted attribute names.
+func (s *Schema) AttrNames() []string {
+	out := make([]string, 0, len(s.attrs))
+	for n := range s.attrs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidatePair reports whether (name, v) is a valid name-value pair under
+// the schema.
+func (s *Schema) ValidatePair(name string, v Value) bool {
+	sp, ok := s.attrs[name]
+	if !ok {
+		return false
+	}
+	return sp.allows(v)
+}
+
+// ValidateTuple checks every pair of the tuple, returning the first error.
+func (s *Schema) ValidateTuple(t Tuple) error {
+	for name, v := range t {
+		sp, ok := s.attrs[name]
+		if !ok {
+			return fmt.Errorf("eventalg: attribute %q not in schema", name)
+		}
+		if !sp.allows(v) {
+			return fmt.Errorf("eventalg: value %s not allowed for attribute %q", v, name)
+		}
+	}
+	return nil
+}
+
+// ValidateFilter checks that every constraint of f references a schema
+// attribute with a type-compatible value.
+func (s *Schema) ValidateFilter(f Filter) error {
+	for _, c := range f.Constraints() {
+		sp, ok := s.attrs[c.Attr]
+		if !ok {
+			return fmt.Errorf("eventalg: filter attribute %q not in schema", c.Attr)
+		}
+		if c.Op == OpExists {
+			continue
+		}
+		if !typeCompatible(sp.Type, c.Val.Kind(), c.Op) {
+			return fmt.Errorf("eventalg: constraint %s: value kind %s incompatible with attribute type %s",
+				c, c.Val.Kind(), sp.Type)
+		}
+	}
+	return nil
+}
+
+// typeCompatible reports whether a constraint value of kind vk can be
+// applied to an attribute of type at under op (numeric kinds interoperate;
+// substring operators require strings).
+func typeCompatible(at, vk Kind, op Op) bool {
+	numeric := func(k Kind) bool { return k == KindInt || k == KindFloat }
+	switch op {
+	case OpPrefix, OpSuffix, OpContains:
+		return at == KindString && vk == KindString
+	default:
+		if numeric(at) && numeric(vk) {
+			return true
+		}
+		return at == vk
+	}
+}

@@ -1,0 +1,115 @@
+package eventalg
+
+import (
+	"strings"
+	"testing"
+)
+
+func stockSchema() *Schema {
+	return NewSchema(
+		AttrSpec{Name: "symbol", Type: KindString, Domain: []string{"AAPL", "GOOG", "MSFT"}},
+		AttrSpec{Name: "price", Type: KindFloat},
+		AttrSpec{Name: "volume", Type: KindInt},
+		AttrSpec{
+			Name: "feed", Type: KindString,
+			Validate: func(v Value) bool { return strings.HasPrefix(v.Str(), "http") },
+		},
+	)
+}
+
+func TestSchemaValidatePair(t *testing.T) {
+	s := stockSchema()
+	tests := []struct {
+		name string
+		v    Value
+		want bool
+	}{
+		{"symbol", String("AAPL"), true},
+		{"symbol", String("IBM"), false},
+		{"symbol", Int(3), false},
+		{"price", Float(12.5), true},
+		{"price", Int(12), false}, // schema types are strict
+		{"volume", Int(100), true},
+		{"feed", String("http://a.example/rss"), true},
+		{"feed", String("ftp://a.example/rss"), false},
+		{"unknown", String("x"), false},
+	}
+	for _, tt := range tests {
+		if got := s.ValidatePair(tt.name, tt.v); got != tt.want {
+			t.Errorf("ValidatePair(%q, %v) = %v, want %v", tt.name, tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestSchemaValidateTuple(t *testing.T) {
+	s := stockSchema()
+	if err := s.ValidateTuple(Tuple{"symbol": String("GOOG"), "price": Float(1.0)}); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	if err := s.ValidateTuple(Tuple{"symbol": String("NOPE")}); err == nil {
+		t.Error("out-of-domain symbol accepted")
+	}
+	if err := s.ValidateTuple(Tuple{"other": Int(1)}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestSchemaValidateFilter(t *testing.T) {
+	s := stockSchema()
+	tests := []struct {
+		src     string
+		wantErr bool
+	}{
+		{`symbol = "AAPL"`, false},
+		{`price > 10`, false}, // numeric kinds interoperate in constraints
+		{`volume <= 3.5`, false},
+		{`symbol prefix "AA"`, false},
+		{`price prefix "1"`, true}, // substring op on non-string attr
+		{`nosuch = 1`, true},
+		{`symbol exists`, false},
+		{`symbol > 3`, true},
+	}
+	for _, tt := range tests {
+		f := MustParse(tt.src)
+		err := s.ValidateFilter(f)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ValidateFilter(%q) error = %v, wantErr %v", tt.src, err, tt.wantErr)
+		}
+	}
+}
+
+func TestSchemaAttrNames(t *testing.T) {
+	s := stockSchema()
+	got := s.AttrNames()
+	want := []string{"feed", "price", "symbol", "volume"}
+	if len(got) != len(want) {
+		t.Fatalf("AttrNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AttrNames() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchemaAttrLookup(t *testing.T) {
+	s := stockSchema()
+	sp, ok := s.Attr("price")
+	if !ok || sp.Type != KindFloat {
+		t.Errorf("Attr(price) = (%+v, %v)", sp, ok)
+	}
+	if _, ok := s.Attr("none"); ok {
+		t.Error("Attr(none) found")
+	}
+}
+
+func TestSchemaOverride(t *testing.T) {
+	s := NewSchema(
+		AttrSpec{Name: "x", Type: KindInt},
+		AttrSpec{Name: "x", Type: KindString},
+	)
+	sp, _ := s.Attr("x")
+	if sp.Type != KindString {
+		t.Error("later AttrSpec did not override earlier one")
+	}
+}

@@ -1,0 +1,144 @@
+package eventalg
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Sequence is a stateful subscription that spans multiple events, in the
+// spirit of Cayuga's "FOLLOWED BY" operator (paper §5.3): it completes when
+// events matching Steps[0], Steps[1], ... Steps[n-1] are observed in order,
+// with the whole chain falling within Window of the first matched event.
+type Sequence struct {
+	Steps  []Filter
+	Window time.Duration
+}
+
+// NewSequence constructs a sequence subscription. It panics if no steps are
+// given or the window is non-positive, which are programming errors.
+func NewSequence(window time.Duration, steps ...Filter) Sequence {
+	if len(steps) == 0 {
+		panic("eventalg: sequence needs at least one step")
+	}
+	if window <= 0 {
+		panic("eventalg: sequence window must be positive")
+	}
+	out := make([]Filter, len(steps))
+	copy(out, steps)
+	return Sequence{Steps: out, Window: window}
+}
+
+// String renders the sequence for logs.
+func (s Sequence) String() string {
+	parts := make([]string, len(s.Steps))
+	for i, f := range s.Steps {
+		parts[i] = "(" + f.String() + ")"
+	}
+	return strings.Join(parts, " then ") + fmt.Sprintf(" within %s", s.Window)
+}
+
+// SequenceMatch is a completed sequence instance: the tuples that satisfied
+// each step, in order.
+type SequenceMatch struct {
+	Tuples []Tuple
+	// Start and End bound the matched chain in event time.
+	Start, End time.Time
+}
+
+// partial is an in-progress chain: the next step to satisfy and the
+// deadline by which the whole chain must complete.
+type partial struct {
+	next     int
+	tuples   []Tuple
+	start    time.Time
+	deadline time.Time
+}
+
+// SequenceMatcher incrementally evaluates a Sequence over a stream of
+// timestamped tuples. It is not safe for concurrent use; callers in the
+// broker serialize event delivery per subscription.
+type SequenceMatcher struct {
+	seq      Sequence
+	partials []partial
+	// MaxPartials bounds state (oldest dropped first); 0 means the default.
+	MaxPartials int
+	dropped     int
+}
+
+// DefaultMaxPartials bounds in-flight chains per matcher so that a hostile
+// or pathological stream cannot exhaust broker memory.
+const DefaultMaxPartials = 1024
+
+// NewSequenceMatcher constructs a matcher for seq.
+func NewSequenceMatcher(seq Sequence) *SequenceMatcher {
+	return &SequenceMatcher{seq: seq}
+}
+
+// Dropped reports how many partial chains were evicted due to the state
+// bound.
+func (m *SequenceMatcher) Dropped() int { return m.dropped }
+
+// Pending reports the number of in-progress chains.
+func (m *SequenceMatcher) Pending() int { return len(m.partials) }
+
+// Feed processes one timestamped tuple and returns any sequences it
+// completes. A single tuple may complete several overlapping chains.
+func (m *SequenceMatcher) Feed(at time.Time, t Tuple) []SequenceMatch {
+	var out []SequenceMatch
+
+	// Expire chains whose window has passed, then try to extend the rest.
+	kept := m.partials[:0]
+	for _, p := range m.partials {
+		if at.After(p.deadline) {
+			continue
+		}
+		if m.seq.Steps[p.next].Match(t) {
+			tuples := make([]Tuple, len(p.tuples), len(p.tuples)+1)
+			copy(tuples, p.tuples)
+			tuples = append(tuples, t.Clone())
+			if p.next+1 == len(m.seq.Steps) {
+				out = append(out, SequenceMatch{Tuples: tuples, Start: p.start, End: at})
+				// A completed chain is consumed; do not keep it.
+				continue
+			}
+			kept = append(kept, partial{
+				next:     p.next + 1,
+				tuples:   tuples,
+				start:    p.start,
+				deadline: p.deadline,
+			})
+			continue
+		}
+		kept = append(kept, p)
+	}
+	m.partials = kept
+
+	// The tuple may also start a new chain.
+	if m.seq.Steps[0].Match(t) {
+		if len(m.seq.Steps) == 1 {
+			out = append(out, SequenceMatch{
+				Tuples: []Tuple{t.Clone()},
+				Start:  at,
+				End:    at,
+			})
+		} else {
+			max := m.MaxPartials
+			if max <= 0 {
+				max = DefaultMaxPartials
+			}
+			if len(m.partials) >= max {
+				// Evict the oldest chain to stay within the bound.
+				m.partials = m.partials[1:]
+				m.dropped++
+			}
+			m.partials = append(m.partials, partial{
+				next:     1,
+				tuples:   []Tuple{t.Clone()},
+				start:    at,
+				deadline: at.Add(m.seq.Window),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package eventalg
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSequenceTwoSteps(t *testing.T) {
+	seq := NewSequence(time.Minute,
+		MustParse(`type = login`),
+		MustParse(`type = purchase`),
+	)
+	m := NewSequenceMatcher(seq)
+
+	if got := m.Feed(t0, Tuple{"type": String("login")}); len(got) != 0 {
+		t.Fatalf("first step alone completed: %v", got)
+	}
+	got := m.Feed(t0.Add(30*time.Second), Tuple{"type": String("purchase")})
+	if len(got) != 1 {
+		t.Fatalf("matches = %d, want 1", len(got))
+	}
+	if len(got[0].Tuples) != 2 {
+		t.Fatalf("match tuples = %d, want 2", len(got[0].Tuples))
+	}
+	if !got[0].Start.Equal(t0) || !got[0].End.Equal(t0.Add(30*time.Second)) {
+		t.Errorf("match bounds = %v..%v", got[0].Start, got[0].End)
+	}
+}
+
+func TestSequenceWindowExpiry(t *testing.T) {
+	seq := NewSequence(time.Minute,
+		MustParse(`type = login`),
+		MustParse(`type = purchase`),
+	)
+	m := NewSequenceMatcher(seq)
+	m.Feed(t0, Tuple{"type": String("login")})
+	got := m.Feed(t0.Add(2*time.Minute), Tuple{"type": String("purchase")})
+	if len(got) != 0 {
+		t.Fatalf("completed after window expiry: %v", got)
+	}
+	if m.Pending() != 0 {
+		t.Errorf("Pending = %d after expiry, want 0", m.Pending())
+	}
+}
+
+func TestSequenceWindowBoundaryInclusive(t *testing.T) {
+	seq := NewSequence(time.Minute,
+		MustParse(`type = a`), MustParse(`type = b`))
+	m := NewSequenceMatcher(seq)
+	m.Feed(t0, Tuple{"type": String("a")})
+	got := m.Feed(t0.Add(time.Minute), Tuple{"type": String("b")})
+	if len(got) != 1 {
+		t.Fatalf("exactly-at-window event did not complete; got %d matches", len(got))
+	}
+}
+
+func TestSequenceSingleStep(t *testing.T) {
+	seq := NewSequence(time.Minute, MustParse(`x > 0`))
+	m := NewSequenceMatcher(seq)
+	got := m.Feed(t0, Tuple{"x": Int(1)})
+	if len(got) != 1 {
+		t.Fatalf("single-step sequence matches = %d, want 1", len(got))
+	}
+	if m.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", m.Pending())
+	}
+}
+
+func TestSequenceOverlappingChains(t *testing.T) {
+	seq := NewSequence(time.Hour,
+		MustParse(`type = a`), MustParse(`type = b`))
+	m := NewSequenceMatcher(seq)
+	m.Feed(t0, Tuple{"type": String("a"), "n": Int(1)})
+	m.Feed(t0.Add(time.Second), Tuple{"type": String("a"), "n": Int(2)})
+	got := m.Feed(t0.Add(2*time.Second), Tuple{"type": String("b")})
+	if len(got) != 2 {
+		t.Fatalf("overlapping chains completed = %d, want 2", len(got))
+	}
+}
+
+func TestSequenceThreeSteps(t *testing.T) {
+	seq := NewSequence(time.Hour,
+		MustParse(`s = 1`), MustParse(`s = 2`), MustParse(`s = 3`))
+	m := NewSequenceMatcher(seq)
+	m.Feed(t0, Tuple{"s": Int(1)})
+	m.Feed(t0.Add(time.Second), Tuple{"s": Int(2)})
+	// An out-of-order event must not complete the chain.
+	if got := m.Feed(t0.Add(2*time.Second), Tuple{"s": Int(1)}); len(got) != 0 {
+		t.Fatal("wrong-step event completed chain")
+	}
+	got := m.Feed(t0.Add(3*time.Second), Tuple{"s": Int(3)})
+	// Two chains are in flight (the second s=1 started one) but only the
+	// first has reached step 3.
+	if len(got) != 1 {
+		t.Fatalf("matches = %d, want 1", len(got))
+	}
+	if len(got[0].Tuples) != 3 {
+		t.Fatalf("tuples = %d, want 3", len(got[0].Tuples))
+	}
+}
+
+func TestSequenceStateBound(t *testing.T) {
+	seq := NewSequence(time.Hour,
+		MustParse(`type = a`), MustParse(`type = never`))
+	m := NewSequenceMatcher(seq)
+	m.MaxPartials = 10
+	for i := 0; i < 100; i++ {
+		m.Feed(t0.Add(time.Duration(i)*time.Second), Tuple{"type": String("a")})
+	}
+	if m.Pending() > 10 {
+		t.Errorf("Pending = %d, want <= 10", m.Pending())
+	}
+	if m.Dropped() != 90 {
+		t.Errorf("Dropped = %d, want 90", m.Dropped())
+	}
+}
+
+func TestSequenceTupleIsolation(t *testing.T) {
+	seq := NewSequence(time.Hour, MustParse(`type = a`), MustParse(`type = b`))
+	m := NewSequenceMatcher(seq)
+	src := Tuple{"type": String("a")}
+	m.Feed(t0, src)
+	src["type"] = String("mutated")
+	got := m.Feed(t0.Add(time.Second), Tuple{"type": String("b")})
+	if len(got) != 1 {
+		t.Fatal("chain did not complete")
+	}
+	if got[0].Tuples[0]["type"].Str() != "a" {
+		t.Error("matcher did not clone fed tuples; caller mutation leaked in")
+	}
+}
+
+func TestNewSequencePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("no steps", func() { NewSequence(time.Minute) })
+	mustPanic("zero window", func() { NewSequence(0, MustParse(`a = 1`)) })
+}
+
+func TestSequenceString(t *testing.T) {
+	seq := NewSequence(time.Minute, MustParse(`a = 1`), MustParse(`b = 2`))
+	got := seq.String()
+	want := `(a = 1) then (b = 2) within 1m0s`
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"testing"
+
+	"reef/internal/ir"
+)
+
+// TestE3Diagnostics prints the per-N precision internals when run with -v;
+// it asserts only basic sanity so the suite stays fast.
+func TestE3Diagnostics(t *testing.T) {
+	opt := E3Options{Seed: 2006, Stories: 200, AttendedPages: 1500, Trials: 1}
+	opt = opt.withDefaults()
+	tr := setupTrial(opt, 0)
+	t.Logf("base P@%d = %.3f, relevant = %d", opt.EvalDepth, tr.base, len(tr.gt.Relevant))
+	for _, n := range []int{1, 5, 10, 20, 30, 50, 100, 200, 500} {
+		q := uniformQuery(tr.cr.SelectTerms(tr.user, n))
+		rank := tr.archive.Rank(q, ir.DefaultBM25)
+		p := ir.PrecisionAtK(rank, tr.gt.Relevant, opt.EvalDepth)
+		t.Logf("N=%d |query|=%d P@%d=%.3f improvement=%+.1f%%",
+			n, len(q), opt.EvalDepth, p, 100*ir.Improvement(tr.base, p))
+	}
+	for i, ts := range tr.cr.SelectTerms(tr.user, 10) {
+		t.Logf("term %d: %s %.2f", i, ts.Term, ts.Score)
+	}
+}

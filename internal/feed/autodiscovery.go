@@ -1,0 +1,177 @@
+package feed
+
+import (
+	"strings"
+)
+
+// feedMIMETypes are the type attribute values that mark a feed alternate.
+var feedMIMETypes = map[string]Format{
+	"application/rss+xml":  FormatRSS2,
+	"application/atom+xml": FormatAtom,
+	"application/rdf+xml":  FormatRDF,
+}
+
+// Discovered is one feed reference found in an HTML page.
+type Discovered struct {
+	// Href is the feed URL, resolved against the page URL when relative.
+	Href string
+	// Title is the link's advertised title, if any.
+	Title string
+	// Format is inferred from the type attribute.
+	Format Format
+}
+
+// Discover scans HTML for feed autodiscovery links:
+//
+//	<link rel="alternate" type="application/rss+xml" href="...">
+//
+// It uses a tolerant tag scanner (the stdlib has no HTML parser) that
+// handles attribute reordering, single/double/no quotes and arbitrary
+// whitespace. Relative hrefs are resolved against baseURL.
+func Discover(baseURL string, html []byte) []Discovered {
+	var out []Discovered
+	s := string(html)
+	lower := asciiLower(s)
+	for i := 0; i < len(s); {
+		start := strings.Index(lower[i:], "<link")
+		if start < 0 {
+			break
+		}
+		start += i
+		end := strings.IndexByte(s[start:], '>')
+		if end < 0 {
+			break
+		}
+		end += start
+		tag := s[start:end]
+		i = end + 1
+
+		attrs := parseAttrs(tag[len("<link"):])
+		if !strings.EqualFold(attrs["rel"], "alternate") {
+			continue
+		}
+		format, ok := feedMIMETypes[strings.ToLower(attrs["type"])]
+		if !ok {
+			continue
+		}
+		href := attrs["href"]
+		if href == "" {
+			continue
+		}
+		out = append(out, Discovered{
+			Href:   ResolveRef(baseURL, href),
+			Title:  attrs["title"],
+			Format: format,
+		})
+	}
+	return out
+}
+
+// asciiLower lowercases ASCII letters only, preserving byte offsets for
+// multi-byte runes (strings.ToLower can change the length of non-ASCII
+// text, which would misalign tag indices).
+func asciiLower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+	}
+	return string(b)
+}
+
+// parseAttrs extracts name="value" pairs from the inside of a tag.
+func parseAttrs(s string) map[string]string {
+	out := make(map[string]string)
+	i := 0
+	for i < len(s) {
+		// Skip whitespace and slashes.
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r' || s[i] == '/') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		// Attribute name.
+		nameStart := i
+		for i < len(s) && s[i] != '=' && s[i] != ' ' && s[i] != '\t' && s[i] != '\n' && s[i] != '>' {
+			i++
+		}
+		name := strings.ToLower(strings.TrimSpace(s[nameStart:i]))
+		if name == "" {
+			i++
+			continue
+		}
+		// Skip to '=' if present.
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) || s[i] != '=' {
+			out[name] = "" // valueless attribute
+			continue
+		}
+		i++ // consume '='
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) {
+			out[name] = ""
+			break
+		}
+		var val string
+		switch s[i] {
+		case '"', '\'':
+			quote := s[i]
+			i++
+			valStart := i
+			for i < len(s) && s[i] != quote {
+				i++
+			}
+			val = s[valStart:i]
+			if i < len(s) {
+				i++
+			}
+		default:
+			valStart := i
+			for i < len(s) && s[i] != ' ' && s[i] != '\t' && s[i] != '\n' {
+				i++
+			}
+			val = s[valStart:i]
+		}
+		out[name] = val
+	}
+	return out
+}
+
+// ResolveRef resolves href against base with the subset of RFC 3986 the
+// synthetic web needs: absolute URLs pass through, root-relative paths
+// attach to the base's scheme+host, and other relative paths attach to the
+// base's directory.
+func ResolveRef(base, href string) string {
+	if href == "" {
+		return base
+	}
+	if strings.Contains(href, "://") {
+		return href
+	}
+	schemeEnd := strings.Index(base, "://")
+	if schemeEnd < 0 {
+		return href
+	}
+	hostStart := schemeEnd + 3
+	pathStart := strings.IndexByte(base[hostStart:], '/')
+	var origin, dir string
+	if pathStart < 0 {
+		origin = base
+		dir = "/"
+	} else {
+		origin = base[:hostStart+pathStart]
+		path := base[hostStart+pathStart:]
+		slash := strings.LastIndexByte(path, '/')
+		dir = path[:slash+1]
+	}
+	if strings.HasPrefix(href, "/") {
+		return origin + href
+	}
+	return origin + dir + href
+}

@@ -1,0 +1,98 @@
+package feed
+
+import "testing"
+
+func TestDiscoverBasic(t *testing.T) {
+	html := []byte(`<html><head>
+<link rel="alternate" type="application/rss+xml" title="Main feed" href="/feed.xml">
+<link rel="stylesheet" href="/style.css">
+<link rel="alternate" type="application/atom+xml" href="http://other.example.org/atom">
+</head><body></body></html>`)
+	got := Discover("http://site.example.com/page/index.html", html)
+	if len(got) != 2 {
+		t.Fatalf("Discover found %d, want 2: %+v", len(got), got)
+	}
+	if got[0].Href != "http://site.example.com/feed.xml" {
+		t.Errorf("href[0] = %q", got[0].Href)
+	}
+	if got[0].Title != "Main feed" || got[0].Format != FormatRSS2 {
+		t.Errorf("entry[0] = %+v", got[0])
+	}
+	if got[1].Href != "http://other.example.org/atom" || got[1].Format != FormatAtom {
+		t.Errorf("entry[1] = %+v", got[1])
+	}
+}
+
+func TestDiscoverAttributeVariants(t *testing.T) {
+	html := []byte(`
+<LINK REL=alternate TYPE=application/rdf+xml HREF=rdf.xml>
+<link type='application/rss+xml' href='f2.xml' rel='alternate'/>
+`)
+	got := Discover("http://h.example.com/dir/page.html", html)
+	if len(got) != 2 {
+		t.Fatalf("Discover = %+v, want 2", got)
+	}
+	if got[0].Href != "http://h.example.com/dir/rdf.xml" || got[0].Format != FormatRDF {
+		t.Errorf("entry[0] = %+v", got[0])
+	}
+	if got[1].Href != "http://h.example.com/dir/f2.xml" {
+		t.Errorf("entry[1] = %+v", got[1])
+	}
+}
+
+func TestDiscoverIgnoresNonFeeds(t *testing.T) {
+	html := []byte(`
+<link rel="alternate" type="text/html" href="/mobile">
+<link rel="alternate" href="/notype">
+<link rel="alternate" type="application/rss+xml">
+<a href="/feed.xml">feed</a>
+`)
+	if got := Discover("http://h/", html); len(got) != 0 {
+		t.Errorf("Discover = %+v, want none", got)
+	}
+}
+
+func TestDiscoverEmptyAndTruncated(t *testing.T) {
+	if got := Discover("http://h/", nil); len(got) != 0 {
+		t.Errorf("nil html = %+v", got)
+	}
+	// Unterminated tag must not loop or panic.
+	if got := Discover("http://h/", []byte(`<link rel="alternate" type="application/rss+xml" href="/f`)); len(got) != 0 {
+		t.Errorf("truncated = %+v", got)
+	}
+}
+
+func TestResolveRef(t *testing.T) {
+	tests := []struct {
+		base, href, want string
+	}{
+		{"http://h.example.com/a/b.html", "http://x.org/f", "http://x.org/f"},
+		{"http://h.example.com/a/b.html", "/feed.xml", "http://h.example.com/feed.xml"},
+		{"http://h.example.com/a/b.html", "feed.xml", "http://h.example.com/a/feed.xml"},
+		{"http://h.example.com", "feed.xml", "http://h.example.com/feed.xml"},
+		{"http://h.example.com", "/feed.xml", "http://h.example.com/feed.xml"},
+		{"http://h.example.com/a/b.html", "", "http://h.example.com/a/b.html"},
+		{"nonsense", "feed.xml", "feed.xml"},
+	}
+	for _, tt := range tests {
+		if got := ResolveRef(tt.base, tt.href); got != tt.want {
+			t.Errorf("ResolveRef(%q, %q) = %q, want %q", tt.base, tt.href, got, tt.want)
+		}
+	}
+}
+
+func TestParseAttrs(t *testing.T) {
+	got := parseAttrs(` rel="alternate" type='application/rss+xml' href=/f.xml disabled`)
+	if got["rel"] != "alternate" {
+		t.Errorf("rel = %q", got["rel"])
+	}
+	if got["type"] != "application/rss+xml" {
+		t.Errorf("type = %q", got["type"])
+	}
+	if got["href"] != "/f.xml" {
+		t.Errorf("href = %q", got["href"])
+	}
+	if _, ok := got["disabled"]; !ok {
+		t.Error("valueless attribute missing")
+	}
+}

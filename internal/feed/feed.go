@@ -1,0 +1,105 @@
+// Package feed models Web feeds — the pull-based resources that Reef's
+// topic-based case study (paper §3.2) discovers in browsing history and
+// wraps with a push interface. It parses and generates the three formats
+// the paper names (RSS 2.0, Atom 1.0, and RDF/RSS 1.0), and implements the
+// <link rel="alternate"> autodiscovery scan the crawler runs over visited
+// pages.
+package feed
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Format identifies a feed syntax.
+type Format int
+
+// Feed formats.
+const (
+	FormatRSS2 Format = iota + 1
+	FormatAtom
+	FormatRDF
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatRSS2:
+		return "rss2.0"
+	case FormatAtom:
+		return "atom1.0"
+	case FormatRDF:
+		return "rss1.0-rdf"
+	default:
+		return fmt.Sprintf("format(%d)", int(f))
+	}
+}
+
+// Item is one entry of a feed.
+type Item struct {
+	// GUID uniquely identifies the item within its feed; change detection
+	// dedupes on it.
+	GUID string
+	// Title is the headline.
+	Title string
+	// Link points at the full story.
+	Link string
+	// Description is the summary or body text.
+	Description string
+	// Published is the item's publication time.
+	Published time.Time
+}
+
+// Feed is the format-independent representation.
+type Feed struct {
+	// URL is where the feed was fetched from.
+	URL string
+	// Title is the channel title.
+	Title string
+	// SiteLink points at the feed's HTML site.
+	SiteLink string
+	// Description is the channel description.
+	Description string
+	// Format records the syntax the feed was parsed from or should be
+	// rendered in.
+	Format Format
+	// Items holds the entries, newest first by convention.
+	Items []Item
+}
+
+// ErrUnknownFormat is returned when a document matches no supported syntax.
+var ErrUnknownFormat = errors.New("feed: unrecognized feed format")
+
+// ItemsSince returns the items published strictly after t, newest first.
+func (f *Feed) ItemsSince(t time.Time) []Item {
+	var out []Item
+	for _, it := range f.Items {
+		if it.Published.After(t) {
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Published.After(out[j].Published) })
+	return out
+}
+
+// GUIDs returns the set of item GUIDs.
+func (f *Feed) GUIDs() map[string]struct{} {
+	out := make(map[string]struct{}, len(f.Items))
+	for _, it := range f.Items {
+		out[it.GUID] = struct{}{}
+	}
+	return out
+}
+
+// NewItems returns items whose GUIDs are not in seen, preserving order.
+func (f *Feed) NewItems(seen map[string]struct{}) []Item {
+	var out []Item
+	for _, it := range f.Items {
+		if _, ok := seen[it.GUID]; !ok {
+			out = append(out, it)
+		}
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package feed
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var itemTime = time.Date(2006, 2, 10, 12, 0, 0, 0, time.UTC)
+
+func sampleFeed(format Format) *Feed {
+	return &Feed{
+		URL:         "http://news.example.com/feed.xml",
+		Title:       "Example News",
+		SiteLink:    "http://news.example.com/",
+		Description: "All the example news",
+		Format:      format,
+		Items: []Item{
+			{
+				GUID:        "guid-2",
+				Title:       "Second story",
+				Link:        "http://news.example.com/2",
+				Description: "Later happenings",
+				Published:   itemTime.Add(time.Hour),
+			},
+			{
+				GUID:        "guid-1",
+				Title:       "First story",
+				Link:        "http://news.example.com/1",
+				Description: "Things happened",
+				Published:   itemTime,
+			},
+		},
+	}
+}
+
+func TestRoundTripAllFormats(t *testing.T) {
+	for _, format := range []Format{FormatRSS2, FormatAtom, FormatRDF} {
+		t.Run(format.String(), func(t *testing.T) {
+			orig := sampleFeed(format)
+			data, err := Render(orig)
+			if err != nil {
+				t.Fatalf("Render: %v", err)
+			}
+			got, err := Parse(orig.URL, data)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if got.Format != format {
+				t.Errorf("Format = %v, want %v", got.Format, format)
+			}
+			if got.Title != orig.Title {
+				t.Errorf("Title = %q, want %q", got.Title, orig.Title)
+			}
+			if got.SiteLink != orig.SiteLink {
+				t.Errorf("SiteLink = %q, want %q", got.SiteLink, orig.SiteLink)
+			}
+			if len(got.Items) != len(orig.Items) {
+				t.Fatalf("Items = %d, want %d", len(got.Items), len(orig.Items))
+			}
+			for i, it := range got.Items {
+				want := orig.Items[i]
+				if it.GUID != want.GUID || it.Title != want.Title || it.Link != want.Link {
+					t.Errorf("item %d = %+v, want %+v", i, it, want)
+				}
+				if !it.Published.Equal(want.Published) {
+					t.Errorf("item %d Published = %v, want %v", i, it.Published, want.Published)
+				}
+			}
+		})
+	}
+}
+
+func TestParseSniffsFormat(t *testing.T) {
+	for _, format := range []Format{FormatRSS2, FormatAtom, FormatRDF} {
+		data, err := Render(sampleFeed(format))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Parse("u", data)
+		if err != nil {
+			t.Fatalf("Parse %v: %v", format, err)
+		}
+		if got.Format != format {
+			t.Errorf("sniffed %v, want %v", got.Format, format)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse("u", []byte("not xml at all")); err == nil {
+		t.Error("Parse accepted non-XML")
+	}
+	if _, err := Parse("u", []byte("<html><body>hi</body></html>")); err == nil {
+		t.Error("Parse accepted HTML as a feed")
+	}
+	if _, err := Parse("u", []byte("")); err == nil {
+		t.Error("Parse accepted empty document")
+	}
+}
+
+func TestParseGUIDFallsBackToLink(t *testing.T) {
+	raw := `<?xml version="1.0"?>
+<rss version="2.0"><channel><title>t</title>
+<item><title>a</title><link>http://x/1</link></item>
+</channel></rss>`
+	f, err := Parse("u", []byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Items[0].GUID != "http://x/1" {
+		t.Errorf("GUID = %q, want link fallback", f.Items[0].GUID)
+	}
+}
+
+func TestParseTimeFormats(t *testing.T) {
+	inputs := []string{
+		"Fri, 10 Feb 2006 12:00:00 +0000",
+		"Fri, 10 Feb 2006 12:00:00 UTC",
+		"2006-02-10T12:00:00Z",
+		"2006-02-10T12:00:00",
+		"2006-02-10 12:00:00",
+	}
+	for _, in := range inputs {
+		got := parseTime(in)
+		if got.IsZero() {
+			t.Errorf("parseTime(%q) = zero", in)
+			continue
+		}
+		if got.UTC().Hour() != 12 {
+			t.Errorf("parseTime(%q) = %v", in, got)
+		}
+	}
+	if !parseTime("garbage").IsZero() {
+		t.Error("parseTime(garbage) non-zero")
+	}
+	if !parseTime("").IsZero() {
+		t.Error("parseTime empty non-zero")
+	}
+}
+
+func TestItemsSince(t *testing.T) {
+	f := sampleFeed(FormatRSS2)
+	got := f.ItemsSince(itemTime)
+	if len(got) != 1 || got[0].GUID != "guid-2" {
+		t.Errorf("ItemsSince = %+v", got)
+	}
+	if got := f.ItemsSince(itemTime.Add(-time.Hour)); len(got) != 2 {
+		t.Errorf("ItemsSince(early) = %d items", len(got))
+	}
+	// Newest first.
+	all := f.ItemsSince(time.Time{})
+	if len(all) == 2 && all[0].Published.Before(all[1].Published) {
+		t.Error("ItemsSince not newest-first")
+	}
+}
+
+func TestNewItems(t *testing.T) {
+	f := sampleFeed(FormatRSS2)
+	seen := map[string]struct{}{"guid-1": {}}
+	got := f.NewItems(seen)
+	if len(got) != 1 || got[0].GUID != "guid-2" {
+		t.Errorf("NewItems = %+v", got)
+	}
+	if got := f.NewItems(f.GUIDs()); len(got) != 0 {
+		t.Errorf("NewItems with all seen = %d", len(got))
+	}
+}
+
+func TestRenderUnknownFormat(t *testing.T) {
+	if _, err := Render(&Feed{Format: Format(99)}); err == nil {
+		t.Error("Render accepted unknown format")
+	}
+}
+
+func TestAtomEntryLinkFallback(t *testing.T) {
+	raw := `<?xml version="1.0"?>
+<feed xmlns="http://www.w3.org/2005/Atom">
+<title>t</title>
+<entry><title>e</title><id>id1</id><link href="http://x/only"/></entry>
+</feed>`
+	f, err := Parse("u", []byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Items[0].Link != "http://x/only" {
+		t.Errorf("Link = %q", f.Items[0].Link)
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if FormatRSS2.String() != "rss2.0" || FormatAtom.String() != "atom1.0" ||
+		FormatRDF.String() != "rss1.0-rdf" {
+		t.Error("format names wrong")
+	}
+	if !strings.Contains(Format(42).String(), "42") {
+		t.Error("unknown format name")
+	}
+}

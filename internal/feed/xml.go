@@ -1,0 +1,306 @@
+package feed
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Wire formats. Each struct mirrors just the elements Reef consumes.
+
+type rss2Doc struct {
+	XMLName xml.Name    `xml:"rss"`
+	Version string      `xml:"version,attr"`
+	Channel rss2Channel `xml:"channel"`
+}
+
+type rss2Channel struct {
+	Title       string     `xml:"title"`
+	Link        string     `xml:"link"`
+	Description string     `xml:"description"`
+	Items       []rss2Item `xml:"item"`
+}
+
+type rss2Item struct {
+	Title       string `xml:"title"`
+	Link        string `xml:"link"`
+	Description string `xml:"description"`
+	GUID        string `xml:"guid"`
+	PubDate     string `xml:"pubDate"`
+}
+
+type atomDoc struct {
+	XMLName  xml.Name    `xml:"http://www.w3.org/2005/Atom feed"`
+	Title    string      `xml:"title"`
+	Subtitle string      `xml:"subtitle"`
+	Links    []atomLink  `xml:"link"`
+	Entries  []atomEntry `xml:"entry"`
+}
+
+type atomLink struct {
+	Rel  string `xml:"rel,attr"`
+	Href string `xml:"href,attr"`
+}
+
+type atomEntry struct {
+	Title   string     `xml:"title"`
+	ID      string     `xml:"id"`
+	Links   []atomLink `xml:"link"`
+	Summary string     `xml:"summary"`
+	Updated string     `xml:"updated"`
+}
+
+type rdfDoc struct {
+	XMLName xml.Name   `xml:"http://www.w3.org/1999/02/22-rdf-syntax-ns# RDF"`
+	Channel rdfChannel `xml:"channel"`
+	Items   []rdfItem  `xml:"item"`
+}
+
+type rdfChannel struct {
+	Title       string `xml:"title"`
+	Link        string `xml:"link"`
+	Description string `xml:"description"`
+}
+
+type rdfItem struct {
+	About       string `xml:"about,attr"`
+	Title       string `xml:"title"`
+	Link        string `xml:"link"`
+	Description string `xml:"description"`
+	Date        string `xml:"date"`
+}
+
+// Parse decodes a feed document in any supported format, sniffing the
+// syntax from the root element.
+func Parse(url string, data []byte) (*Feed, error) {
+	root, err := rootElement(data)
+	if err != nil {
+		return nil, fmt.Errorf("feed: parsing %s: %w", url, err)
+	}
+	switch root {
+	case "rss":
+		return parseRSS2(url, data)
+	case "feed":
+		return parseAtom(url, data)
+	case "RDF":
+		return parseRDF(url, data)
+	default:
+		return nil, fmt.Errorf("%w: root element <%s> in %s", ErrUnknownFormat, root, url)
+	}
+}
+
+// rootElement returns the local name of the document's first start element.
+func rootElement(data []byte) (string, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", err
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			return se.Name.Local, nil
+		}
+	}
+}
+
+func parseRSS2(url string, data []byte) (*Feed, error) {
+	var doc rss2Doc
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("feed: bad RSS 2.0 in %s: %w", url, err)
+	}
+	f := &Feed{
+		URL:         url,
+		Title:       doc.Channel.Title,
+		SiteLink:    doc.Channel.Link,
+		Description: doc.Channel.Description,
+		Format:      FormatRSS2,
+	}
+	for _, it := range doc.Channel.Items {
+		f.Items = append(f.Items, Item{
+			GUID:        orDefault(it.GUID, it.Link),
+			Title:       it.Title,
+			Link:        it.Link,
+			Description: it.Description,
+			Published:   parseTime(it.PubDate),
+		})
+	}
+	return f, nil
+}
+
+func parseAtom(url string, data []byte) (*Feed, error) {
+	var doc atomDoc
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("feed: bad Atom in %s: %w", url, err)
+	}
+	f := &Feed{
+		URL:         url,
+		Title:       doc.Title,
+		SiteLink:    pickAtomLink(doc.Links, "alternate"),
+		Description: doc.Subtitle,
+		Format:      FormatAtom,
+	}
+	for _, e := range doc.Entries {
+		link := pickAtomLink(e.Links, "alternate")
+		if link == "" && len(e.Links) > 0 {
+			link = e.Links[0].Href
+		}
+		f.Items = append(f.Items, Item{
+			GUID:        orDefault(e.ID, link),
+			Title:       e.Title,
+			Link:        link,
+			Description: e.Summary,
+			Published:   parseTime(e.Updated),
+		})
+	}
+	return f, nil
+}
+
+func pickAtomLink(links []atomLink, rel string) string {
+	for _, l := range links {
+		if l.Rel == rel || (rel == "alternate" && l.Rel == "") {
+			return l.Href
+		}
+	}
+	return ""
+}
+
+func parseRDF(url string, data []byte) (*Feed, error) {
+	var doc rdfDoc
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("feed: bad RDF in %s: %w", url, err)
+	}
+	f := &Feed{
+		URL:         url,
+		Title:       doc.Channel.Title,
+		SiteLink:    doc.Channel.Link,
+		Description: doc.Channel.Description,
+		Format:      FormatRDF,
+	}
+	for _, it := range doc.Items {
+		f.Items = append(f.Items, Item{
+			GUID:        orDefault(it.About, it.Link),
+			Title:       it.Title,
+			Link:        it.Link,
+			Description: it.Description,
+			Published:   parseTime(it.Date),
+		})
+	}
+	return f, nil
+}
+
+func orDefault(v, def string) string {
+	if v != "" {
+		return v
+	}
+	return def
+}
+
+// timeFormats are tried in order when parsing item dates: RFC 1123 (RSS),
+// RFC 3339 (Atom, RDF dc:date), and a few sloppy variants seen in the wild.
+var timeFormats = []string{
+	time.RFC1123Z,
+	time.RFC1123,
+	time.RFC3339,
+	"2006-01-02T15:04:05",
+	"2006-01-02 15:04:05",
+	"2006-01-02",
+}
+
+func parseTime(s string) time.Time {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return time.Time{}
+	}
+	for _, f := range timeFormats {
+		if t, err := time.Parse(f, s); err == nil {
+			return t
+		}
+	}
+	return time.Time{}
+}
+
+// Render serders the feed back to XML in its Format. The output parses back
+// to an equivalent Feed (round-trip property tested).
+func Render(f *Feed) ([]byte, error) {
+	switch f.Format {
+	case FormatRSS2:
+		return renderRSS2(f)
+	case FormatAtom:
+		return renderAtom(f)
+	case FormatRDF:
+		return renderRDF(f)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnknownFormat, f.Format)
+	}
+}
+
+func renderRSS2(f *Feed) ([]byte, error) {
+	doc := rss2Doc{Version: "2.0", Channel: rss2Channel{
+		Title:       f.Title,
+		Link:        f.SiteLink,
+		Description: f.Description,
+	}}
+	for _, it := range f.Items {
+		doc.Channel.Items = append(doc.Channel.Items, rss2Item{
+			Title:       it.Title,
+			Link:        it.Link,
+			Description: it.Description,
+			GUID:        it.GUID,
+			PubDate:     formatTime(it.Published, time.RFC1123Z),
+		})
+	}
+	return marshalDoc(doc)
+}
+
+func renderAtom(f *Feed) ([]byte, error) {
+	doc := atomDoc{
+		Title:    f.Title,
+		Subtitle: f.Description,
+		Links:    []atomLink{{Rel: "alternate", Href: f.SiteLink}},
+	}
+	for _, it := range f.Items {
+		doc.Entries = append(doc.Entries, atomEntry{
+			Title:   it.Title,
+			ID:      it.GUID,
+			Links:   []atomLink{{Rel: "alternate", Href: it.Link}},
+			Summary: it.Description,
+			Updated: formatTime(it.Published, time.RFC3339),
+		})
+	}
+	return marshalDoc(doc)
+}
+
+func renderRDF(f *Feed) ([]byte, error) {
+	doc := rdfDoc{Channel: rdfChannel{
+		Title:       f.Title,
+		Link:        f.SiteLink,
+		Description: f.Description,
+	}}
+	for _, it := range f.Items {
+		doc.Items = append(doc.Items, rdfItem{
+			About:       it.GUID,
+			Title:       it.Title,
+			Link:        it.Link,
+			Description: it.Description,
+			Date:        formatTime(it.Published, time.RFC3339),
+		})
+	}
+	return marshalDoc(doc)
+}
+
+func formatTime(t time.Time, layout string) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.Format(layout)
+}
+
+func marshalDoc(doc interface{}) ([]byte, error) {
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("feed: render: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}

@@ -1,0 +1,269 @@
+package frontend
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"reef/internal/eventalg"
+	"reef/internal/pubsub"
+	"reef/internal/recommend"
+	"reef/internal/waif"
+)
+
+var ft0 = time.Date(2006, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func feedEvent(feedURL, title string) pubsub.Event {
+	return pubsub.Event{
+		Attrs: eventalg.Tuple{
+			"type":  eventalg.String(waif.EventAttrType),
+			"feed":  eventalg.String(feedURL),
+			"title": eventalg.String(title),
+			"link":  eventalg.String(feedURL + "/item"),
+		},
+	}
+}
+
+type feedbackRec struct {
+	mu    sync.Mutex
+	calls []Disposition
+}
+
+func (f *feedbackRec) fn(feedURL string, d Disposition, at time.Time) {
+	f.mu.Lock()
+	f.calls = append(f.calls, d)
+	f.mu.Unlock()
+}
+
+func (f *feedbackRec) count(d Disposition) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, c := range f.calls {
+		if c == d {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSidebarAddClickDelete(t *testing.T) {
+	fb := &feedbackRec{}
+	s := NewSidebar(Config{Capacity: 10, TTL: time.Hour, Feedback: fb.fn})
+	it1 := s.Add(feedEvent("http://f.test/x.xml", "one"), ft0)
+	it2 := s.Add(feedEvent("http://f.test/x.xml", "two"), ft0)
+	if len(s.Items()) != 2 {
+		t.Fatalf("items = %d", len(s.Items()))
+	}
+	link, ok := s.Click(it1.ID, ft0.Add(time.Minute))
+	if !ok || link != "http://f.test/x.xml/item" {
+		t.Errorf("Click = (%q, %v)", link, ok)
+	}
+	if !s.Delete(it2.ID, ft0.Add(time.Minute)) {
+		t.Error("Delete failed")
+	}
+	if len(s.Items()) != 0 {
+		t.Error("items remain")
+	}
+	if _, ok := s.Click(999, ft0); ok {
+		t.Error("clicked nonexistent item")
+	}
+	if fb.count(DispositionClicked) != 1 || fb.count(DispositionDeleted) != 1 {
+		t.Errorf("feedback calls = %+v", fb.calls)
+	}
+	shown, clicked, deleted, expired := s.Stats()
+	if shown != 2 || clicked != 1 || deleted != 1 || expired != 0 {
+		t.Errorf("stats = %d %d %d %d", shown, clicked, deleted, expired)
+	}
+}
+
+func TestSidebarExpiry(t *testing.T) {
+	fb := &feedbackRec{}
+	s := NewSidebar(Config{Capacity: 10, TTL: time.Hour, Feedback: fb.fn})
+	s.Add(feedEvent("http://f.test/x.xml", "old"), ft0)
+	s.Add(feedEvent("http://f.test/x.xml", "new"), ft0.Add(50*time.Minute))
+	if got := s.Expire(ft0.Add(65 * time.Minute)); got != 1 {
+		t.Fatalf("Expire = %d", got)
+	}
+	if len(s.Items()) != 1 || s.Items()[0].Title != "new" {
+		t.Error("wrong item expired")
+	}
+	if fb.count(DispositionExpired) != 1 {
+		t.Error("expiry feedback missing")
+	}
+}
+
+func TestSidebarCapacityEvictsOldest(t *testing.T) {
+	fb := &feedbackRec{}
+	s := NewSidebar(Config{Capacity: 3, TTL: time.Hour, Feedback: fb.fn})
+	for i := 0; i < 5; i++ {
+		s.Add(feedEvent("http://f.test/x.xml", "t"), ft0)
+	}
+	if len(s.Items()) != 3 {
+		t.Fatalf("items = %d, want capacity 3", len(s.Items()))
+	}
+	if fb.count(DispositionExpired) != 2 {
+		t.Errorf("evictions = %d", fb.count(DispositionExpired))
+	}
+}
+
+// fakeProxy records proxy calls.
+type fakeProxy struct {
+	mu   sync.Mutex
+	subs map[string]int
+}
+
+func newFakeProxy() *fakeProxy { return &fakeProxy{subs: map[string]int{}} }
+
+func (p *fakeProxy) Subscribe(feedURL string, now time.Time) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.subs[feedURL]++
+	return nil
+}
+
+func (p *fakeProxy) Unsubscribe(feedURL string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.subs[feedURL]--
+}
+
+func (p *fakeProxy) count(feedURL string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.subs[feedURL]
+}
+
+func newTestFrontend(t *testing.T) (*Frontend, *pubsub.Broker, *fakeProxy) {
+	t.Helper()
+	broker := pubsub.NewBroker("local", nil)
+	t.Cleanup(broker.Close)
+	proxy := newFakeProxy()
+	sidebar := NewSidebar(Config{Capacity: 50, TTL: time.Hour})
+	fe := NewFrontend("u1", broker, proxy, sidebar, func() time.Time { return ft0 })
+	t.Cleanup(fe.Close)
+	return fe, broker, proxy
+}
+
+func feedRec(url string) recommend.Recommendation {
+	return recommend.Recommendation{
+		Kind:    recommend.KindSubscribeFeed,
+		User:    "u1",
+		FeedURL: url,
+		Filter:  waif.ItemFilter(url),
+		At:      ft0,
+	}
+}
+
+func TestFrontendApplySubscribe(t *testing.T) {
+	fe, broker, proxy := newTestFrontend(t)
+	url := "http://h.test/f.xml"
+	if err := fe.Apply(feedRec(url)); err != nil {
+		t.Fatal(err)
+	}
+	if proxy.count(url) != 1 {
+		t.Error("proxy not subscribed")
+	}
+	if got := fe.ActiveSubscriptions(); len(got) != 1 {
+		t.Fatalf("active = %v", got)
+	}
+	// Publish a matching event; it must reach the sidebar via the pump.
+	broker.Publish(feedEvent(url, "story"))
+	deadline := time.Now().Add(5 * time.Second)
+	for len(fe.Sidebar().Items()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("event never reached sidebar")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if fe.Sidebar().Items()[0].Title != "story" {
+		t.Error("wrong item in sidebar")
+	}
+}
+
+func TestFrontendDuplicateSubscribe(t *testing.T) {
+	fe, _, proxy := newTestFrontend(t)
+	url := "http://h.test/f.xml"
+	fe.Apply(feedRec(url))
+	fe.Apply(feedRec(url))
+	if proxy.count(url) != 1 {
+		t.Errorf("proxy count = %d, want 1 (dup ignored)", proxy.count(url))
+	}
+	if len(fe.ActiveSubscriptions()) != 1 {
+		t.Error("duplicate active subscription")
+	}
+}
+
+func TestFrontendUnsubscribe(t *testing.T) {
+	fe, broker, proxy := newTestFrontend(t)
+	url := "http://h.test/f.xml"
+	fe.Apply(feedRec(url))
+	if err := fe.Apply(recommend.Recommendation{
+		Kind: recommend.KindUnsubscribeFeed, User: "u1", FeedURL: url, At: ft0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if proxy.count(url) != 0 {
+		t.Error("proxy still subscribed")
+	}
+	if len(fe.ActiveSubscriptions()) != 0 {
+		t.Error("subscription still active")
+	}
+	if broker.NumSubscriptions() != 0 {
+		t.Error("broker subscription leaked")
+	}
+	// Unknown unsubscribe: no-op.
+	if err := fe.Apply(recommend.Recommendation{
+		Kind: recommend.KindUnsubscribeFeed, User: "u1", FeedURL: "http://other.test/f.xml",
+	}); err != nil {
+		t.Errorf("unknown unsubscribe = %v", err)
+	}
+}
+
+func TestFrontendContentQuery(t *testing.T) {
+	fe, broker, _ := newTestFrontend(t)
+	rec := recommend.Recommendation{
+		Kind:   recommend.KindContentQuery,
+		User:   "u1",
+		Filter: eventalg.MustParse(`keywords contains "quasar"`),
+		At:     ft0,
+	}
+	if err := fe.Apply(rec); err != nil {
+		t.Fatal(err)
+	}
+	broker.Publish(pubsub.Event{Attrs: eventalg.Tuple{
+		"keywords": eventalg.String("quasar redshift"),
+		"title":    eventalg.String("science story"),
+	}})
+	deadline := time.Now().Add(5 * time.Second)
+	for len(fe.Sidebar().Items()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("content event never displayed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFrontendClose(t *testing.T) {
+	fe, broker, proxy := newTestFrontend(t)
+	url := "http://h.test/f.xml"
+	fe.Apply(feedRec(url))
+	fe.Close()
+	fe.Close() // idempotent
+	if proxy.count(url) != 0 {
+		t.Error("proxy subscription leaked on Close")
+	}
+	if broker.NumSubscriptions() != 0 {
+		t.Error("broker subscription leaked on Close")
+	}
+	if err := fe.Apply(feedRec(url)); err != ErrFrontendClosed {
+		t.Errorf("Apply after Close = %v", err)
+	}
+}
+
+func TestFrontendUnknownKind(t *testing.T) {
+	fe, _, _ := newTestFrontend(t)
+	if err := fe.Apply(recommend.Recommendation{Kind: recommend.Kind(42)}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package ir
+
+import (
+	"math"
+	"sort"
+)
+
+// BM25Params are the Okapi BM25 free parameters. The defaults follow the
+// values the paper's footnote 2 describes as "trained from a previous
+// experiment into user relevance feedback for video search" (Gurrin et al.,
+// ECIR 2006); k1 in the usual 1.2–2.0 band and a moderate length
+// normalization.
+type BM25Params struct {
+	K1 float64
+	B  float64
+}
+
+// DefaultBM25 is the parameter set used by the video case study.
+var DefaultBM25 = BM25Params{K1: 1.2, B: 0.75}
+
+// BM25 scores documents in a corpus against weighted-term queries.
+type BM25 struct {
+	corpus *Corpus
+	params BM25Params
+}
+
+// NewBM25 builds a scorer over the corpus. Zero-valued params fall back to
+// DefaultBM25.
+func NewBM25(c *Corpus, p BM25Params) *BM25 {
+	if p.K1 == 0 && p.B == 0 {
+		p = DefaultBM25
+	}
+	return &BM25{corpus: c, params: p}
+}
+
+// IDF returns the Robertson–Spärck Jones inverse document frequency with
+// the standard +0.5 smoothing, floored at zero so very common terms cannot
+// carry negative evidence.
+func (s *BM25) IDF(term string) float64 {
+	n := float64(s.corpus.DF(term))
+	N := float64(s.corpus.N())
+	idf := math.Log((N - n + 0.5) / (n + 0.5))
+	if idf < 0 {
+		return 0
+	}
+	return idf
+}
+
+// ScoreDoc computes the BM25 score of one document for a query given as
+// term -> weight. Weights multiply each term's contribution; use weight 1
+// for plain queries.
+func (s *BM25) ScoreDoc(d *Document, query map[string]float64) float64 {
+	if d.Len == 0 {
+		return 0
+	}
+	k1, b := s.params.K1, s.params.B
+	avg := s.corpus.AvgLen()
+	if avg == 0 {
+		return 0
+	}
+	var score float64
+	for term, w := range query {
+		tf := float64(d.TF(term))
+		if tf == 0 {
+			continue
+		}
+		idf := s.IDF(term)
+		norm := tf * (k1 + 1) / (tf + k1*(1-b+b*float64(d.Len)/avg))
+		score += w * idf * norm
+	}
+	return score
+}
+
+// Ranked is one entry of a ranking.
+type Ranked struct {
+	ID    string
+	Score float64
+}
+
+// Rank scores every document and returns them ordered by descending score.
+// Ties break by document ID for determinism.
+func (s *BM25) Rank(query map[string]float64) []Ranked {
+	docs := s.corpus.Docs()
+	out := make([]Ranked, 0, len(docs))
+	for _, d := range docs {
+		out = append(out, Ranked{ID: d.ID, Score: s.ScoreDoc(d, query)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

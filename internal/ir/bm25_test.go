@@ -1,0 +1,121 @@
+package ir
+
+import (
+	"math"
+	"testing"
+)
+
+func newTestCorpus() *Corpus {
+	c := NewCorpus()
+	c.AddText("sports1", "football match championship goal striker football")
+	c.AddText("sports2", "basketball game playoff score court")
+	c.AddText("politics1", "election parliament vote minister policy")
+	c.AddText("politics2", "election campaign debate candidate vote")
+	c.AddText("tech1", "software protocol network router packet")
+	return c
+}
+
+func TestBM25RanksRelevantFirst(t *testing.T) {
+	c := newTestCorpus()
+	s := NewBM25(c, DefaultBM25)
+	q := map[string]float64{Stem("election"): 1, Stem("vote"): 1}
+	ranked := s.Rank(q)
+	if ranked[0].ID != "politics1" && ranked[0].ID != "politics2" {
+		t.Errorf("top result = %q, want a politics doc", ranked[0].ID)
+	}
+	if ranked[1].ID != "politics1" && ranked[1].ID != "politics2" {
+		t.Errorf("second result = %q, want the other politics doc", ranked[1].ID)
+	}
+	// Non-matching docs score zero.
+	last := ranked[len(ranked)-1]
+	if last.Score != 0 {
+		t.Errorf("non-matching doc score = %v, want 0", last.Score)
+	}
+}
+
+func TestBM25TermFrequencySaturation(t *testing.T) {
+	c := NewCorpus()
+	c.AddText("once", "keyword filler filler filler filler")
+	c.AddText("many", "keyword keyword keyword keyword keyword filler filler filler filler filler filler filler filler filler filler filler filler filler filler filler")
+	// Enough non-matching docs that IDF(keyword) clears the zero floor.
+	for i := 0; i < 8; i++ {
+		c.AddText(string(rune('p'+i)), "other stuff entirely here")
+	}
+	s := NewBM25(c, DefaultBM25)
+	kw := Stem("keyword")
+	q := map[string]float64{kw: 1}
+	dOnce, _ := c.Doc("once")
+	dMany, _ := c.Doc("many")
+	so, sm := s.ScoreDoc(dOnce, q), s.ScoreDoc(dMany, q)
+	if so <= 0 || sm <= 0 {
+		t.Fatalf("scores = %v, %v; want positive", so, sm)
+	}
+	// tf saturates: 5x the tf must not give 5x the score.
+	if sm > 3*so {
+		t.Errorf("no tf saturation: once=%v many=%v", so, sm)
+	}
+}
+
+func TestBM25IDFFloor(t *testing.T) {
+	c := NewCorpus()
+	c.AddText("d1", "common word")
+	c.AddText("d2", "common word")
+	c.AddText("d3", "common word")
+	s := NewBM25(c, DefaultBM25)
+	if idf := s.IDF(Stem("common")); idf != 0 {
+		t.Errorf("IDF of ubiquitous term = %v, want 0 (floored)", idf)
+	}
+	if idf := s.IDF("unseen"); idf <= 0 {
+		t.Errorf("IDF of unseen term = %v, want > 0", idf)
+	}
+}
+
+func TestBM25QueryWeights(t *testing.T) {
+	c := newTestCorpus()
+	s := NewBM25(c, DefaultBM25)
+	d, _ := c.Doc("tech1")
+	low := s.ScoreDoc(d, map[string]float64{Stem("protocol"): 0.1})
+	high := s.ScoreDoc(d, map[string]float64{Stem("protocol"): 1.0})
+	if math.Abs(high-10*low) > 1e-9 {
+		t.Errorf("weights not linear: low=%v high=%v", low, high)
+	}
+}
+
+func TestBM25DeterministicTieBreak(t *testing.T) {
+	c := NewCorpus()
+	c.AddText("b", "alpha beta")
+	c.AddText("a", "alpha beta")
+	c.AddText("c", "gamma delta")
+	s := NewBM25(c, DefaultBM25)
+	r1 := s.Rank(map[string]float64{Stem("alpha"): 1})
+	r2 := s.Rank(map[string]float64{Stem("alpha"): 1})
+	for i := range r1 {
+		if r1[i].ID != r2[i].ID {
+			t.Fatal("ranking not deterministic")
+		}
+	}
+	if r1[0].ID != "a" || r1[1].ID != "b" {
+		t.Errorf("tie not broken by ID: %v", r1)
+	}
+}
+
+func TestBM25ZeroParamsDefault(t *testing.T) {
+	c := newTestCorpus()
+	s := NewBM25(c, BM25Params{})
+	if s.params != DefaultBM25 {
+		t.Errorf("params = %+v, want default", s.params)
+	}
+}
+
+func TestBM25EmptyCorpusAndDocs(t *testing.T) {
+	c := NewCorpus()
+	s := NewBM25(c, DefaultBM25)
+	if got := s.Rank(map[string]float64{"x": 1}); len(got) != 0 {
+		t.Error("Rank on empty corpus returned results")
+	}
+	c.AddText("empty", "")
+	d, _ := c.Doc("empty")
+	if got := s.ScoreDoc(d, map[string]float64{"x": 1}); got != 0 {
+		t.Errorf("score of empty doc = %v", got)
+	}
+}

@@ -1,0 +1,115 @@
+package ir
+
+import (
+	"sort"
+)
+
+// Document is one retrievable unit: an ID plus its analyzed term counts and
+// length (total term occurrences).
+type Document struct {
+	ID    string
+	Terms map[string]int
+	Len   int
+}
+
+// NewDocument analyzes text into a document.
+func NewDocument(id, text string) *Document {
+	terms := TermCounts(text)
+	n := 0
+	for _, c := range terms {
+		n += c
+	}
+	return &Document{ID: id, Terms: terms, Len: n}
+}
+
+// TF returns the term's frequency in the document.
+func (d *Document) TF(term string) int { return d.Terms[term] }
+
+// Corpus is an indexed document collection with the global statistics BM25
+// and Offer Weight need: document frequencies and average length.
+type Corpus struct {
+	docs   []*Document
+	byID   map[string]*Document
+	df     map[string]int
+	sumLen int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{
+		byID: make(map[string]*Document),
+		df:   make(map[string]int),
+	}
+}
+
+// Add indexes a document. Adding a duplicate ID replaces the old version.
+func (c *Corpus) Add(d *Document) {
+	if old, ok := c.byID[d.ID]; ok {
+		c.removeStats(old)
+		for i, x := range c.docs {
+			if x.ID == d.ID {
+				c.docs[i] = d
+				break
+			}
+		}
+	} else {
+		c.docs = append(c.docs, d)
+	}
+	c.byID[d.ID] = d
+	for t := range d.Terms {
+		c.df[t]++
+	}
+	c.sumLen += d.Len
+}
+
+// AddText analyzes and indexes text under the given ID.
+func (c *Corpus) AddText(id, text string) *Document {
+	d := NewDocument(id, text)
+	c.Add(d)
+	return d
+}
+
+func (c *Corpus) removeStats(d *Document) {
+	for t := range d.Terms {
+		if c.df[t] <= 1 {
+			delete(c.df, t)
+		} else {
+			c.df[t]--
+		}
+	}
+	c.sumLen -= d.Len
+}
+
+// N returns the number of documents.
+func (c *Corpus) N() int { return len(c.docs) }
+
+// DF returns the document frequency of a term.
+func (c *Corpus) DF(term string) int { return c.df[term] }
+
+// AvgLen returns the mean document length (0 for an empty corpus).
+func (c *Corpus) AvgLen() float64 {
+	if len(c.docs) == 0 {
+		return 0
+	}
+	return float64(c.sumLen) / float64(len(c.docs))
+}
+
+// Doc returns the document with the given ID.
+func (c *Corpus) Doc(id string) (*Document, bool) {
+	d, ok := c.byID[id]
+	return d, ok
+}
+
+// Docs returns the documents in insertion order. The slice is shared; do
+// not mutate.
+func (c *Corpus) Docs() []*Document { return c.docs }
+
+// Vocabulary returns all indexed terms, sorted.
+func (c *Corpus) Vocabulary() []string {
+	out := make([]string, 0, len(c.df))
+	for t := range c.df {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,84 @@
+package ir
+
+import "testing"
+
+func TestCorpusStats(t *testing.T) {
+	c := NewCorpus()
+	c.AddText("d1", "football match tonight")
+	c.AddText("d2", "football season begins")
+	c.AddText("d3", "election results announced")
+
+	if c.N() != 3 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if got := c.DF(Stem("football")); got != 2 {
+		t.Errorf("DF(football) = %d, want 2", got)
+	}
+	if got := c.DF(Stem("election")); got != 1 {
+		t.Errorf("DF(election) = %d, want 1", got)
+	}
+	if got := c.DF("absent"); got != 0 {
+		t.Errorf("DF(absent) = %d", got)
+	}
+	if got := c.AvgLen(); got != 3 {
+		t.Errorf("AvgLen = %v, want 3", got)
+	}
+}
+
+func TestCorpusReplace(t *testing.T) {
+	c := NewCorpus()
+	c.AddText("d1", "football football")
+	c.AddText("d1", "election")
+	if c.N() != 1 {
+		t.Fatalf("N after replace = %d", c.N())
+	}
+	if got := c.DF(Stem("football")); got != 0 {
+		t.Errorf("DF(football) after replace = %d", got)
+	}
+	if got := c.DF(Stem("election")); got != 1 {
+		t.Errorf("DF(election) = %d", got)
+	}
+	if got := c.AvgLen(); got != 1 {
+		t.Errorf("AvgLen = %v", got)
+	}
+	d, ok := c.Doc("d1")
+	if !ok || d.TF(Stem("election")) != 1 {
+		t.Error("Doc lookup after replace failed")
+	}
+}
+
+func TestCorpusEmpty(t *testing.T) {
+	c := NewCorpus()
+	if c.AvgLen() != 0 || c.N() != 0 {
+		t.Error("empty corpus stats non-zero")
+	}
+	if _, ok := c.Doc("x"); ok {
+		t.Error("Doc on empty corpus found something")
+	}
+	if len(c.Vocabulary()) != 0 {
+		t.Error("vocabulary non-empty")
+	}
+}
+
+func TestCorpusVocabularySorted(t *testing.T) {
+	c := NewCorpus()
+	c.AddText("d1", "zebra apple mango")
+	v := c.Vocabulary()
+	for i := 1; i < len(v); i++ {
+		if v[i-1] >= v[i] {
+			t.Fatalf("vocabulary not sorted: %v", v)
+		}
+	}
+}
+
+func TestDocumentAnalysis(t *testing.T) {
+	d := NewDocument("x", "The running runner runs")
+	// "the" is a stopword; running/runner/runs conflate imperfectly but
+	// "running"->"run" and "runs"->"run".
+	if d.Len < 2 {
+		t.Errorf("Len = %d, want >= 2", d.Len)
+	}
+	if d.TF(Stem("running")) < 2 {
+		t.Errorf("TF(run) = %d, want >= 2 (terms=%v)", d.TF(Stem("running")), d.Terms)
+	}
+}

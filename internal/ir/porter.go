@@ -1,0 +1,252 @@
+package ir
+
+// Stem applies the Porter stemming algorithm (M.F. Porter, 1980) to a
+// lower-case word. Words shorter than three characters or containing
+// non-ASCII letters are returned unchanged.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c < 'a' || c > 'z' {
+			return word
+		}
+	}
+	w := []byte(word)
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isCons reports whether w[i] is a consonant in Porter's sense.
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m in Porter's [C](VC)^m[V] decomposition of w[:end].
+func measure(w []byte, end int) int {
+	m := 0
+	i := 0
+	// Skip initial consonant run.
+	for i < end && isCons(w, i) {
+		i++
+	}
+	for i < end {
+		// Vowel run.
+		for i < end && !isCons(w, i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		// Consonant run -> one VC.
+		for i < end && isCons(w, i) {
+			i++
+		}
+		m++
+	}
+	return m
+}
+
+// hasVowel reports whether w[:end] contains a vowel.
+func hasVowel(w []byte, end int) bool {
+	for i := 0; i < end; i++ {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleCons reports whether w ends with a double consonant.
+func endsDoubleCons(w []byte) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isCons(w, n-1)
+}
+
+// endsCVC reports whether w[:end] ends consonant-vowel-consonant where the
+// final consonant is not w, x or y.
+func endsCVC(w []byte, end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !isCons(w, end-3) || isCons(w, end-2) || !isCons(w, end-1) {
+		return false
+	}
+	switch w[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(w []byte, s string) bool {
+	if len(w) < len(s) {
+		return false
+	}
+	return string(w[len(w)-len(s):]) == s
+}
+
+// replaceSuffix replaces suffix s with r when the stem (w without s) has
+// measure > m. Returns the possibly-new word and whether the suffix matched
+// (regardless of the measure test).
+func replaceSuffix(w []byte, s, r string, m int) ([]byte, bool) {
+	if !hasSuffix(w, s) {
+		return w, false
+	}
+	stem := len(w) - len(s)
+	if measure(w, stem) > m {
+		out := make([]byte, 0, stem+len(r))
+		out = append(out, w[:stem]...)
+		out = append(out, r...)
+		return out, true
+	}
+	return w, true
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w, len(w)-3) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	var stem []byte
+	switch {
+	case hasSuffix(w, "ed") && hasVowel(w, len(w)-2):
+		stem = w[:len(w)-2]
+	case hasSuffix(w, "ing") && hasVowel(w, len(w)-3):
+		stem = w[:len(w)-3]
+	default:
+		return w
+	}
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem, 'e')
+	case endsDoubleCons(stem):
+		last := stem[len(stem)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			return stem[:len(stem)-1]
+		}
+		return stem
+	case measure(stem, len(stem)) == 1 && endsCVC(stem, len(stem)):
+		return append(stem, 'e')
+	}
+	return stem
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowel(w, len(w)-1) {
+		out := make([]byte, len(w))
+		copy(out, w)
+		out[len(out)-1] = 'i'
+		return out
+	}
+	return w
+}
+
+var step2Rules = []struct{ s, r string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(w []byte) []byte {
+	for _, rule := range step2Rules {
+		if out, matched := replaceSuffix(w, rule.s, rule.r, 0); matched {
+			return out
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ s, r string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w []byte) []byte {
+	for _, rule := range step3Rules {
+		if out, matched := replaceSuffix(w, rule.s, rule.r, 0); matched {
+			return out
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		stem := len(w) - len(s)
+		if s == "ion" {
+			// "ion" only drops after s or t.
+			if stem > 0 && (w[stem-1] == 's' || w[stem-1] == 't') && measure(w, stem) > 1 {
+				return w[:stem]
+			}
+			return w
+		}
+		if measure(w, stem) > 1 {
+			return w[:stem]
+		}
+		return w
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if hasSuffix(w, "e") {
+		stem := len(w) - 1
+		m := measure(w, stem)
+		if m > 1 || (m == 1 && !endsCVC(w, stem)) {
+			return w[:stem]
+		}
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if endsDoubleCons(w) && w[len(w)-1] == 'l' && measure(w, len(w)-1) > 1 {
+		return w[:len(w)-1]
+	}
+	return w
+}

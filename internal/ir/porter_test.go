@@ -1,0 +1,132 @@
+package ir
+
+import "testing"
+
+// TestStemPaperExamples checks the flagship multi-step examples from
+// Porter's 1980 paper.
+func TestStemPaperExamples(t *testing.T) {
+	tests := map[string]string{
+		"generalizations": "gener",
+		"oscillators":     "oscil",
+	}
+	for in, want := range tests {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestStemStepExamples covers the per-step examples of the algorithm
+// definition, carried through the full pipeline.
+func TestStemStepExamples(t *testing.T) {
+	tests := map[string]string{
+		// Step 1a.
+		"caresses": "caress",
+		"ponies":   "poni",
+		"ties":     "ti",
+		"caress":   "caress",
+		"cats":     "cat",
+		// Step 1b.
+		"feed":      "feed",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// Step 1c.
+		"happy": "happi",
+		"sky":   "sky",
+		// Step 2.
+		"relational":  "relat",
+		"conditional": "condit",
+		"digitizer":   "digit",
+		"operator":    "oper",
+		"feudalism":   "feudal",
+		"hopefulness": "hope",
+		// Step 3.
+		"goodness":   "good",
+		"formalize":  "formal",
+		"triplicate": "triplic",
+		// Step 4.
+		"revival":    "reviv",
+		"allowance":  "allow",
+		"inference":  "infer",
+		"airliner":   "airlin",
+		"adjustable": "adjust",
+		"effective":  "effect",
+		"bowdlerize": "bowdler",
+		// Step 5.
+		"probate":    "probat",
+		"controlled": "control",
+		"plotted":    "plot",
+		"sized":      "size",
+	}
+	for in, want := range tests {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemConflation(t *testing.T) {
+	// The point of stemming: morphological variants conflate.
+	groups := [][]string{
+		{"connect", "connected", "connecting", "connection", "connections"},
+		{"relate", "related", "relating"},
+	}
+	for _, g := range groups {
+		base := Stem(g[0])
+		for _, w := range g[1:] {
+			if got := Stem(w); got != base {
+				t.Errorf("Stem(%q) = %q, want %q (conflate with %q)", w, got, base, g[0])
+			}
+		}
+	}
+}
+
+func TestStemShortAndNonASCII(t *testing.T) {
+	for _, w := range []string{"a", "at", "go", "", "ab"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+	for _, w := range []string{"café", "naïve", "über"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged (non-ASCII)", w, got)
+		}
+	}
+	// Upper-case and digit-bearing input is out of contract but must not
+	// panic or corrupt.
+	if got := Stem("mp3s"); got != "mp3s" {
+		t.Errorf("Stem(mp3s) = %q, want unchanged", got)
+	}
+}
+
+func TestStemNoPanicOnVocabulary(t *testing.T) {
+	// Hammer the stemmer with generated strings to catch slicing bugs.
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	words := []string{}
+	for i := 0; i < len(letters); i++ {
+		for j := 0; j < len(letters); j += 3 {
+			words = append(words,
+				string(letters[i])+"ing",
+				string(letters[i])+string(letters[j])+"ed",
+				string(letters[i])+string(letters[j])+"ational",
+				string(letters[i])+string(letters[j])+"fulness",
+				string(letters[i])+string(letters[j])+"ization",
+			)
+		}
+	}
+	for _, w := range words {
+		got := Stem(w)
+		if len(got) == 0 {
+			t.Fatalf("Stem(%q) produced empty string", w)
+		}
+	}
+}

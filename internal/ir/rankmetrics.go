@@ -1,0 +1,60 @@
+package ir
+
+// PrecisionAtK returns the fraction of the top k ranked IDs that are in the
+// relevant set. k larger than the ranking is clamped.
+func PrecisionAtK(ranking []string, relevant map[string]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	if k == 0 {
+		return 0
+	}
+	hits := 0
+	for _, id := range ranking[:k] {
+		if relevant[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// AveragePrecision returns the mean of precision@rank over the ranks where
+// relevant documents appear, the standard AP measure.
+func AveragePrecision(ranking []string, relevant map[string]bool) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	var sum float64
+	for i, id := range ranking {
+		if relevant[id] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	if hits == 0 {
+		return 0
+	}
+	return sum / float64(len(relevant))
+}
+
+// Improvement returns the relative improvement of measured over baseline as
+// a fraction: (measured-baseline)/baseline. A zero baseline returns 0.
+func Improvement(baseline, measured float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (measured - baseline) / baseline
+}
+
+// IDs projects a ranking to its document IDs.
+func IDs(ranked []Ranked) []string {
+	out := make([]string, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.ID
+	}
+	return out
+}

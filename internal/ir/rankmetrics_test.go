@@ -1,0 +1,76 @@
+package ir
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPrecisionAtK(t *testing.T) {
+	ranking := []string{"a", "b", "c", "d"}
+	rel := map[string]bool{"a": true, "c": true}
+	tests := []struct {
+		k    int
+		want float64
+	}{
+		{1, 1},
+		{2, 0.5},
+		{3, 2.0 / 3.0},
+		{4, 0.5},
+		{10, 0.5}, // clamped
+		{0, 0},
+	}
+	for _, tt := range tests {
+		if got := PrecisionAtK(ranking, rel, tt.k); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("PrecisionAtK(k=%d) = %v, want %v", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestPrecisionAtKEmpty(t *testing.T) {
+	if got := PrecisionAtK(nil, map[string]bool{"a": true}, 5); got != 0 {
+		t.Errorf("empty ranking precision = %v", got)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	ranking := []string{"a", "x", "b", "y"}
+	rel := map[string]bool{"a": true, "b": true}
+	// AP = (1/1 + 2/3) / 2 = 5/6.
+	want := 5.0 / 6.0
+	if got := AveragePrecision(ranking, rel); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AP = %v, want %v", got, want)
+	}
+	if got := AveragePrecision(ranking, map[string]bool{}); got != 0 {
+		t.Errorf("AP with no relevant = %v", got)
+	}
+	if got := AveragePrecision([]string{"x"}, rel); got != 0 {
+		t.Errorf("AP with no hits = %v", got)
+	}
+}
+
+func TestAveragePrecisionPerfect(t *testing.T) {
+	ranking := []string{"a", "b", "c"}
+	rel := map[string]bool{"a": true, "b": true, "c": true}
+	if got := AveragePrecision(ranking, rel); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect AP = %v, want 1", got)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(0.2, 0.268); math.Abs(got-0.34) > 1e-9 {
+		t.Errorf("Improvement = %v, want 0.34", got)
+	}
+	if got := Improvement(0, 5); got != 0 {
+		t.Errorf("Improvement with zero baseline = %v", got)
+	}
+	if got := Improvement(0.5, 0.25); got != -0.5 {
+		t.Errorf("negative improvement = %v", got)
+	}
+}
+
+func TestIDs(t *testing.T) {
+	got := IDs([]Ranked{{ID: "a"}, {ID: "b"}})
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("IDs = %v", got)
+	}
+}

@@ -1,0 +1,96 @@
+// Package ir is the information-retrieval toolkit behind Reef's
+// content-based subscriptions (paper §3.3): tokenization, stopword removal,
+// Porter stemming, corpus statistics, BM25 ranking (Robertson & Spärck
+// Jones, "Simple Proven Approaches to Text Retrieval") and term selection
+// with Robertson's Offer Weight, including the paper's modification that
+// integrates term frequency into the selection value (footnote 1).
+package ir
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lower-cased alphanumeric tokens. Tokens shorter
+// than two characters and pure numbers are dropped: they carry no topical
+// signal and would pollute term statistics.
+func Tokenize(text string) []string {
+	var out []string
+	var sb strings.Builder
+	flush := func() {
+		if sb.Len() >= 2 {
+			tok := sb.String()
+			if !allDigits(tok) {
+				out = append(out, tok)
+			}
+		}
+		sb.Reset()
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			sb.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+func allDigits(s string) bool {
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// stopwords is the standard small English stoplist (van Rijsbergen style),
+// sufficient for the synthetic corpora in the experiments.
+var stopwords = map[string]struct{}{}
+
+func init() {
+	for _, w := range strings.Fields(`
+a about above after again against all am an and any are as at be because
+been before being below between both but by can did do does doing down
+during each few for from further had has have having he her here hers
+herself him himself his how if in into is it its itself just me more most
+my myself no nor not now of off on once only or other our ours ourselves
+out over own same she should so some such than that the their theirs them
+themselves then there these they this those through to too under until up
+very was we were what when where which while who whom why will with you
+your yours yourself yourselves www http https com html htm php index page
+`) {
+		stopwords[w] = struct{}{}
+	}
+}
+
+// IsStopword reports whether the (lower-case) token is on the stoplist.
+func IsStopword(tok string) bool {
+	_, ok := stopwords[tok]
+	return ok
+}
+
+// Terms runs the full analysis chain: tokenize, drop stopwords, stem.
+func Terms(text string) []string {
+	toks := Tokenize(text)
+	out := toks[:0]
+	for _, t := range toks {
+		if IsStopword(t) {
+			continue
+		}
+		out = append(out, Stem(t))
+	}
+	return out
+}
+
+// TermCounts returns the term-frequency map of the analyzed text.
+func TermCounts(text string) map[string]int {
+	out := make(map[string]int)
+	for _, t := range Terms(text) {
+		out[t]++
+	}
+	return out
+}

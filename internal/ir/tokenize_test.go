@@ -1,0 +1,72 @@
+package ir
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"foo-bar baz_qux", []string{"foo", "bar", "baz", "qux"}},
+		{"", nil},
+		{"a I x", nil}, // single-char tokens dropped
+		{"2006 42 word2vec", []string{"word2vec"}}, // pure numbers dropped
+		{"MixedCASE Tokens", []string{"mixedcase", "tokens"}},
+		{"tabs\tand\nnewlines", []string{"tabs", "and", "newlines"}},
+	}
+	for _, tt := range tests {
+		if got := Tokenize(tt.in); !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "and", "is", "http", "www"} {
+		if !IsStopword(w) {
+			t.Errorf("IsStopword(%q) = false", w)
+		}
+	}
+	for _, w := range []string{"football", "election", "protocol"} {
+		if IsStopword(w) {
+			t.Errorf("IsStopword(%q) = true", w)
+		}
+	}
+}
+
+func TestTerms(t *testing.T) {
+	got := Terms("The connected connections are connecting")
+	// "the" and "are" are stopwords; the rest conflate to "connect".
+	if len(got) != 3 {
+		t.Fatalf("Terms returned %v, want 3 terms", got)
+	}
+	for _, g := range got {
+		if g != "connect" {
+			t.Errorf("term %q, want connect", g)
+		}
+	}
+}
+
+func TestTermCounts(t *testing.T) {
+	got := TermCounts("football football election")
+	if got[Stem("football")] != 2 {
+		t.Errorf("counts = %v", got)
+	}
+	if got[Stem("election")] != 1 {
+		t.Errorf("counts = %v", got)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Tokenize("Tromsø København résumé")
+	if len(got) != 3 {
+		t.Fatalf("Tokenize unicode = %v", got)
+	}
+	if got[0] != "tromsø" {
+		t.Errorf("got[0] = %q", got[0])
+	}
+}

@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(5)
+	c.Add(-3) // ignored
+	if got := c.Value(); got != 6 {
+		t.Errorf("Value = %d, want 6", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("Value = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Errorf("Value = %d, want 6", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Sum() != 10 {
+		t.Errorf("Sum = %v", h.Sum())
+	}
+	if h.Mean() != 2.5 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 4 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 500 || p50 > 1024 {
+		t.Errorf("Quantile(0.5) = %v, want within [500,1024]", p50)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want min", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("Quantile(1) = %v, want max", got)
+	}
+	if got := h.Quantile(0.999); got > 1000 {
+		t.Errorf("Quantile(0.999) = %v exceeds max", got)
+	}
+}
+
+func TestHistogramNonPositive(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	if h.Count() != 2 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != -5 {
+		t.Errorf("Min = %v", h.Min())
+	}
+}
+
+func TestRegistryReuse(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("msgs")
+	c1.Inc()
+	c2 := r.Counter("msgs")
+	if c2.Value() != 1 {
+		t.Error("Counter(name) did not return the same instance")
+	}
+	if r.Gauge("depth") != r.Gauge("depth") {
+		t.Error("Gauge(name) did not return the same instance")
+	}
+	if r.Histogram("lat") != r.Histogram("lat") {
+		t.Error("Histogram(name) did not return the same instance")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(-2)
+	r.Histogram("c").Observe(4)
+	snap := r.Snapshot()
+	if snap["a"] != 3 || snap["b"] != -2 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	if snap["c.count"] != 1 || snap["c.mean"] != 4 || snap["c.max"] != 4 {
+		t.Errorf("histogram snapshot = %v", snap)
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z")
+	r.Gauge("a")
+	r.Histogram("m")
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a" || names[1] != "m" || names[2] != "z" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"},
+		{-7, "-7"},
+		{2.5, "2.500"},
+		{0.333333, "0.333"},
+		{77000, "77000"},
+	}
+	for _, tt := range tests {
+		if got := FormatValue(tt.in); got != tt.want {
+			t.Errorf("FormatValue(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E1", "metric", "paper", "measured")
+	tb.AddRow("requests", "77000", "76814")
+	tb.AddRowf("feeds", 424, 431.0)
+	tb.AddNote("seed=%d", 42)
+	out := tb.String()
+	for _, want := range []string{"E1", "metric", "requests", "77000", "76814", "431", "note: seed=42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "dropped")
+	out := tb.String()
+	if strings.Contains(out, "dropped") {
+		t.Error("extra cell was not dropped")
+	}
+	if !strings.Contains(out, "only-one") {
+		t.Error("short row missing")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 1; j <= 500; j++ {
+				h.Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 2000 {
+		t.Errorf("Count = %d, want 2000", h.Count())
+	}
+}

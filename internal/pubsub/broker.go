@@ -1,0 +1,444 @@
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"reef/internal/eventalg"
+	"reef/internal/metrics"
+	"reef/internal/simclock"
+)
+
+// ErrClosed is returned by operations on a closed broker.
+var ErrClosed = errors.New("pubsub: broker closed")
+
+// DeliveryPolicy selects what a broker does when a subscriber's queue is
+// full.
+type DeliveryPolicy int
+
+// Delivery policies. Start at 1 so the zero value is invalid and defaults
+// are explicit.
+const (
+	// DropNewest discards the incoming event (default): the subscriber
+	// keeps the oldest undelivered events.
+	DropNewest DeliveryPolicy = iota + 1
+	// DropOldest evicts the oldest queued event to admit the new one.
+	DropOldest
+	// Block makes Publish wait until the subscriber drains. Use only when
+	// the subscriber is guaranteed to consume promptly.
+	Block
+)
+
+// DefaultQueueSize is the per-subscription delivery queue length used when
+// no option overrides it.
+const DefaultQueueSize = 64
+
+// SubOption configures a subscription.
+type SubOption func(*subConfig)
+
+type subConfig struct {
+	queueSize int
+	policy    DeliveryPolicy
+}
+
+// WithQueueSize sets the delivery queue length (minimum 1).
+func WithQueueSize(n int) SubOption {
+	return func(c *subConfig) {
+		if n > 0 {
+			c.queueSize = n
+		}
+	}
+}
+
+// WithPolicy sets the overflow policy.
+func WithPolicy(p DeliveryPolicy) SubOption {
+	return func(c *subConfig) { c.policy = p }
+}
+
+// Subscription is a local content-based subscription: a filter plus a
+// bounded delivery queue.
+type Subscription struct {
+	id     int64
+	filter eventalg.Filter
+	ch     chan Event
+	policy DeliveryPolicy
+	broker *Broker
+
+	// onCancel, when set, runs after the subscription is removed from the
+	// broker. The overlay uses it to withdraw propagated subscriptions.
+	onCancel func()
+
+	mu       sync.Mutex
+	canceled bool
+	dropped  int64
+}
+
+// ID returns the broker-local subscription ID.
+func (s *Subscription) ID() int64 { return s.id }
+
+// Filter returns the subscription's filter.
+func (s *Subscription) Filter() eventalg.Filter { return s.filter }
+
+// Events returns the delivery channel. It is closed when the subscription
+// is canceled or the broker shuts down.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Dropped reports how many events were discarded due to queue overflow.
+func (s *Subscription) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Cancel removes the subscription from its broker and closes the delivery
+// channel. Cancel is idempotent.
+func (s *Subscription) Cancel() {
+	s.broker.unsubscribe(s)
+}
+
+// deliver enqueues one event under the subscription's overflow policy.
+// Returns false if the event was dropped.
+func (s *Subscription) deliver(ev Event) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.canceled {
+		return false
+	}
+	switch s.policy {
+	case Block:
+		// Blocking delivery must not hold the lock (Cancel would deadlock),
+		// but a concurrent Cancel closing s.ch would panic a blocked send.
+		// Keep the lock: Block is documented for prompt consumers only, and
+		// Cancel waits for the same lock, preserving safety.
+		s.ch <- ev
+		return true
+	case DropOldest:
+		for {
+			select {
+			case s.ch <- ev:
+				return true
+			default:
+				select {
+				case <-s.ch:
+					s.dropped++
+				default:
+				}
+			}
+		}
+	default: // DropNewest
+		select {
+		case s.ch <- ev:
+			return true
+		default:
+			s.dropped++
+			return false
+		}
+	}
+}
+
+func (s *Subscription) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.canceled {
+		s.canceled = true
+		close(s.ch)
+	}
+}
+
+// SequenceSubscription is a stateful multi-event subscription (paper §5.3,
+// Cayuga-style). Completed sequences arrive on Matches.
+type SequenceSubscription struct {
+	id      int64
+	seq     eventalg.Sequence
+	matcher *eventalg.SequenceMatcher
+	ch      chan eventalg.SequenceMatch
+	broker  *Broker
+
+	mu       sync.Mutex
+	canceled bool
+	dropped  int64
+}
+
+// Matches returns the channel of completed sequence instances.
+func (s *SequenceSubscription) Matches() <-chan eventalg.SequenceMatch { return s.ch }
+
+// Dropped reports discarded matches due to queue overflow.
+func (s *SequenceSubscription) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Cancel removes the sequence subscription. Idempotent.
+func (s *SequenceSubscription) Cancel() {
+	s.broker.unsubscribeSequence(s)
+}
+
+func (s *SequenceSubscription) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.canceled {
+		s.canceled = true
+		close(s.ch)
+	}
+}
+
+// Broker is a single content-based matching engine with local subscribers.
+// It is safe for concurrent use.
+type Broker struct {
+	name  string
+	clock simclock.Clock
+
+	mu     sync.Mutex
+	closed bool
+	index  *Index
+	subs   map[int64]*Subscription
+	seqs   map[int64]*SequenceSubscription
+	reg    *metrics.Registry
+}
+
+// NewBroker creates a broker. A nil clock defaults to the real clock.
+func NewBroker(name string, clock simclock.Clock) *Broker {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Broker{
+		name:  name,
+		clock: clock,
+		index: NewIndex(),
+		subs:  make(map[int64]*Subscription),
+		seqs:  make(map[int64]*SequenceSubscription),
+		reg:   metrics.NewRegistry(),
+	}
+}
+
+// Name returns the broker's name.
+func (b *Broker) Name() string { return b.name }
+
+// Metrics exposes the broker's instrumentation registry.
+func (b *Broker) Metrics() *metrics.Registry { return b.reg }
+
+// Subscribe registers a filter and returns the subscription handle.
+func (b *Broker) Subscribe(f eventalg.Filter, opts ...SubOption) (*Subscription, error) {
+	cfg := subConfig{queueSize: DefaultQueueSize, policy: DropNewest}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	id := b.index.Add(f)
+	sub := &Subscription{
+		id:     id,
+		filter: f,
+		ch:     make(chan Event, cfg.queueSize),
+		policy: cfg.policy,
+		broker: b,
+	}
+	b.subs[id] = sub
+	b.reg.Counter("subscribes").Inc()
+	b.reg.Gauge("subscriptions").Set(int64(len(b.subs)))
+	return sub, nil
+}
+
+// SubscribeSequence registers a stateful sequence subscription.
+func (b *Broker) SubscribeSequence(seq eventalg.Sequence, opts ...SubOption) (*SequenceSubscription, error) {
+	cfg := subConfig{queueSize: DefaultQueueSize, policy: DropNewest}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	id := int64(len(b.seqs) + 1)
+	for {
+		if _, exists := b.seqs[id]; !exists {
+			break
+		}
+		id++
+	}
+	sub := &SequenceSubscription{
+		id:      id,
+		seq:     seq,
+		matcher: eventalg.NewSequenceMatcher(seq),
+		ch:      make(chan eventalg.SequenceMatch, cfg.queueSize),
+		broker:  b,
+	}
+	b.seqs[id] = sub
+	b.reg.Counter("seq_subscribes").Inc()
+	return sub, nil
+}
+
+func (b *Broker) unsubscribe(s *Subscription) {
+	b.mu.Lock()
+	_, present := b.subs[s.id]
+	if present {
+		delete(b.subs, s.id)
+		b.index.Remove(s.id)
+		b.reg.Counter("unsubscribes").Inc()
+		b.reg.Gauge("subscriptions").Set(int64(len(b.subs)))
+	}
+	b.mu.Unlock()
+	s.close()
+	if present && s.onCancel != nil {
+		s.onCancel()
+	}
+}
+
+// Filters returns the distinct filters of all live local subscriptions.
+func (b *Broker) Filters() []eventalg.Filter {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	seen := make(map[string]struct{}, len(b.subs))
+	out := make([]eventalg.Filter, 0, len(b.subs))
+	for _, s := range b.subs {
+		key := s.filter.Canonical()
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, s.filter)
+	}
+	return out
+}
+
+func (b *Broker) unsubscribeSequence(s *SequenceSubscription) {
+	b.mu.Lock()
+	if _, ok := b.seqs[s.id]; ok {
+		delete(b.seqs, s.id)
+		b.reg.Counter("seq_unsubscribes").Inc()
+	}
+	b.mu.Unlock()
+	s.close()
+}
+
+// Publish assigns the event an ID and timestamp (if unset) and delivers it
+// to every matching local subscriber. It returns the number of successful
+// local deliveries.
+func (b *Broker) Publish(ev Event) (int, error) {
+	if ev.ID == 0 {
+		ev.ID = nextEventID()
+	}
+	if ev.Published.IsZero() {
+		ev.Published = b.clock.Now()
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0, ErrClosed
+	}
+	b.reg.Counter("published").Inc()
+	ids := b.index.Match(ev.Attrs)
+	targets := make([]*Subscription, 0, len(ids))
+	for _, id := range ids {
+		if s, ok := b.subs[id]; ok {
+			targets = append(targets, s)
+		}
+	}
+	seqTargets := make([]*SequenceSubscription, 0, len(b.seqs))
+	for _, s := range b.seqs {
+		seqTargets = append(seqTargets, s)
+	}
+	b.mu.Unlock()
+
+	delivered := 0
+	for _, s := range targets {
+		if s.deliver(ev) {
+			delivered++
+			b.reg.Counter("delivered").Inc()
+		} else {
+			b.reg.Counter("dropped").Inc()
+		}
+	}
+	for _, s := range seqTargets {
+		b.feedSequence(s, ev)
+	}
+	return delivered, nil
+}
+
+// feedSequence advances one sequence matcher with the event. Matcher state
+// is guarded by the subscription's own mutex so concurrent Publish calls
+// serialize per sequence, not per broker.
+func (b *Broker) feedSequence(s *SequenceSubscription, ev Event) {
+	s.mu.Lock()
+	if s.canceled {
+		s.mu.Unlock()
+		return
+	}
+	matches := s.matcher.Feed(ev.Published, ev.Attrs)
+	var droppedNow int
+	for _, m := range matches {
+		select {
+		case s.ch <- m:
+		default:
+			s.dropped++
+			droppedNow++
+		}
+	}
+	s.mu.Unlock()
+	if droppedNow > 0 {
+		b.reg.Counter("seq_dropped").Add(int64(droppedNow))
+	}
+	if n := len(matches) - droppedNow; n > 0 {
+		b.reg.Counter("seq_delivered").Add(int64(n))
+	}
+}
+
+// MatchCount returns how many local subscriptions the tuple would match,
+// without delivering anything. Used by experiments to probe routing tables.
+func (b *Broker) MatchCount(t eventalg.Tuple) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.index.Match(t))
+}
+
+// NumSubscriptions returns the number of live local subscriptions.
+func (b *Broker) NumSubscriptions() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Close shuts the broker down, canceling every subscription. Idempotent.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := make([]*Subscription, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	seqs := make([]*SequenceSubscription, 0, len(b.seqs))
+	for _, s := range b.seqs {
+		seqs = append(seqs, s)
+	}
+	b.subs = map[int64]*Subscription{}
+	b.seqs = map[int64]*SequenceSubscription{}
+	b.mu.Unlock()
+
+	for _, s := range subs {
+		s.close()
+	}
+	for _, s := range seqs {
+		s.close()
+	}
+}
+
+// NewEvent is a convenience constructor used throughout the examples.
+func NewEvent(source string, attrs eventalg.Tuple, payload []byte) Event {
+	return Event{Attrs: attrs, Payload: payload, Source: source}
+}
+
+// FormatEventKey renders a stable dedup key for an event (source + id).
+func FormatEventKey(ev Event) string {
+	return fmt.Sprintf("%s#%d@%d", ev.Source, ev.ID, ev.Published.UnixNano())
+}

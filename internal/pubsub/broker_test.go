@@ -1,0 +1,313 @@
+package pubsub
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"reef/internal/eventalg"
+	"reef/internal/simclock"
+)
+
+func testEvent(topic string) Event {
+	return NewEvent("test", eventalg.Tuple{"topic": eventalg.String(topic)}, nil)
+}
+
+func TestBrokerDelivery(t *testing.T) {
+	b := NewBroker("b1", nil)
+	defer b.Close()
+	sub, err := b.Subscribe(TopicFilter("sports"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.Publish(testEvent("sports"))
+	if err != nil || n != 1 {
+		t.Fatalf("Publish = (%d, %v), want (1, nil)", n, err)
+	}
+	select {
+	case ev := <-sub.Events():
+		if ev.Topic() != "sports" {
+			t.Errorf("delivered topic = %q", ev.Topic())
+		}
+		if ev.ID == 0 {
+			t.Error("event ID not assigned")
+		}
+		if ev.Published.IsZero() {
+			t.Error("event timestamp not assigned")
+		}
+	default:
+		t.Fatal("no event delivered")
+	}
+}
+
+func TestBrokerNoMatchNoDelivery(t *testing.T) {
+	b := NewBroker("b1", nil)
+	defer b.Close()
+	sub, _ := b.Subscribe(TopicFilter("sports"))
+	n, _ := b.Publish(testEvent("news"))
+	if n != 0 {
+		t.Fatalf("Publish matched %d, want 0", n)
+	}
+	select {
+	case <-sub.Events():
+		t.Fatal("unexpected delivery")
+	default:
+	}
+}
+
+func TestBrokerCancel(t *testing.T) {
+	b := NewBroker("b1", nil)
+	defer b.Close()
+	sub, _ := b.Subscribe(TopicFilter("sports"))
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	if n := b.NumSubscriptions(); n != 0 {
+		t.Fatalf("NumSubscriptions = %d after Cancel", n)
+	}
+	if _, ok := <-sub.Events(); ok {
+		t.Error("channel not closed after Cancel")
+	}
+	n, _ := b.Publish(testEvent("sports"))
+	if n != 0 {
+		t.Error("delivery to canceled subscription")
+	}
+}
+
+func TestBrokerOnCancelHook(t *testing.T) {
+	b := NewBroker("b1", nil)
+	defer b.Close()
+	sub, _ := b.Subscribe(TopicFilter("x"))
+	called := 0
+	sub.onCancel = func() { called++ }
+	sub.Cancel()
+	sub.Cancel()
+	if called != 1 {
+		t.Fatalf("onCancel called %d times, want 1", called)
+	}
+}
+
+func TestBrokerDropNewest(t *testing.T) {
+	b := NewBroker("b1", nil)
+	defer b.Close()
+	sub, _ := b.Subscribe(TopicFilter("t"), WithQueueSize(2), WithPolicy(DropNewest))
+	for i := 0; i < 5; i++ {
+		b.Publish(testEvent("t"))
+	}
+	if got := sub.Dropped(); got != 3 {
+		t.Errorf("Dropped = %d, want 3", got)
+	}
+	// The two oldest events survive.
+	if len(sub.Events()) != 2 {
+		t.Errorf("queued = %d, want 2", len(sub.Events()))
+	}
+}
+
+func TestBrokerDropOldest(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(1000, 0))
+	b := NewBroker("b1", clock)
+	defer b.Close()
+	sub, _ := b.Subscribe(TopicFilter("t"), WithQueueSize(2), WithPolicy(DropOldest))
+	var lastID uint64
+	for i := 0; i < 5; i++ {
+		ev := testEvent("t")
+		b.Publish(ev)
+	}
+	if got := sub.Dropped(); got != 3 {
+		t.Errorf("Dropped = %d, want 3", got)
+	}
+	// Drain: the newest two events should be there.
+	var ids []uint64
+	for len(sub.Events()) > 0 {
+		ev := <-sub.Events()
+		ids = append(ids, ev.ID)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("drained %d events, want 2", len(ids))
+	}
+	if ids[0] >= ids[1] {
+		t.Errorf("events out of order: %v", ids)
+	}
+	_ = lastID
+}
+
+func TestBrokerBlockPolicy(t *testing.T) {
+	b := NewBroker("b1", nil)
+	defer b.Close()
+	sub, _ := b.Subscribe(TopicFilter("t"), WithQueueSize(1), WithPolicy(Block))
+	b.Publish(testEvent("t")) // fills the queue
+
+	done := make(chan struct{})
+	go func() {
+		b.Publish(testEvent("t")) // must block until drained
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("blocking publish returned with full queue")
+	case <-time.After(20 * time.Millisecond):
+	}
+	<-sub.Events()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocking publish did not resume after drain")
+	}
+}
+
+func TestBrokerClose(t *testing.T) {
+	b := NewBroker("b1", nil)
+	sub, _ := b.Subscribe(TopicFilter("t"))
+	b.Close()
+	b.Close() // idempotent
+	if _, ok := <-sub.Events(); ok {
+		t.Error("channel not closed after broker Close")
+	}
+	if _, err := b.Publish(testEvent("t")); err != ErrClosed {
+		t.Errorf("Publish after Close error = %v, want ErrClosed", err)
+	}
+	if _, err := b.Subscribe(TopicFilter("t")); err != ErrClosed {
+		t.Errorf("Subscribe after Close error = %v, want ErrClosed", err)
+	}
+}
+
+func TestBrokerVirtualClockTimestamps(t *testing.T) {
+	start := time.Date(2006, 4, 1, 0, 0, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(start)
+	b := NewBroker("b1", clock)
+	defer b.Close()
+	sub, _ := b.Subscribe(TopicFilter("t"))
+	clock.Advance(time.Hour)
+	b.Publish(testEvent("t"))
+	ev := <-sub.Events()
+	if want := start.Add(time.Hour); !ev.Published.Equal(want) {
+		t.Errorf("Published = %v, want %v", ev.Published, want)
+	}
+}
+
+func TestBrokerSequenceSubscription(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	b := NewBroker("b1", clock)
+	defer b.Close()
+	seq := eventalg.NewSequence(time.Minute,
+		eventalg.MustParse(`topic = login`),
+		eventalg.MustParse(`topic = buy`),
+	)
+	ss, err := b.SubscribeSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Publish(testEvent("login"))
+	clock.Advance(10 * time.Second)
+	b.Publish(testEvent("buy"))
+	select {
+	case m := <-ss.Matches():
+		if len(m.Tuples) != 2 {
+			t.Errorf("match tuples = %d", len(m.Tuples))
+		}
+	default:
+		t.Fatal("sequence did not complete")
+	}
+	ss.Cancel()
+	ss.Cancel()
+	if _, ok := <-ss.Matches(); ok {
+		t.Error("Matches not closed after Cancel")
+	}
+}
+
+func TestBrokerSequenceWindowExpiresAcrossPublishes(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	b := NewBroker("b1", clock)
+	defer b.Close()
+	seq := eventalg.NewSequence(time.Minute,
+		eventalg.MustParse(`topic = login`),
+		eventalg.MustParse(`topic = buy`),
+	)
+	ss, _ := b.SubscribeSequence(seq)
+	b.Publish(testEvent("login"))
+	clock.Advance(2 * time.Minute)
+	b.Publish(testEvent("buy"))
+	select {
+	case <-ss.Matches():
+		t.Fatal("expired chain completed")
+	default:
+	}
+}
+
+func TestBrokerMetrics(t *testing.T) {
+	b := NewBroker("b1", nil)
+	defer b.Close()
+	sub, _ := b.Subscribe(TopicFilter("t"))
+	b.Publish(testEvent("t"))
+	b.Publish(testEvent("other"))
+	snap := b.Metrics().Snapshot()
+	if snap["published"] != 2 {
+		t.Errorf("published = %v", snap["published"])
+	}
+	if snap["delivered"] != 1 {
+		t.Errorf("delivered = %v", snap["delivered"])
+	}
+	if snap["subscriptions"] != 1 {
+		t.Errorf("subscriptions gauge = %v", snap["subscriptions"])
+	}
+	sub.Cancel()
+	snap = b.Metrics().Snapshot()
+	if snap["subscriptions"] != 0 {
+		t.Errorf("subscriptions gauge after cancel = %v", snap["subscriptions"])
+	}
+}
+
+func TestBrokerFilters(t *testing.T) {
+	b := NewBroker("b1", nil)
+	defer b.Close()
+	b.Subscribe(TopicFilter("a"))
+	b.Subscribe(TopicFilter("a")) // duplicate filter
+	b.Subscribe(TopicFilter("b"))
+	fs := b.Filters()
+	if len(fs) != 2 {
+		t.Errorf("Filters() returned %d, want 2 distinct", len(fs))
+	}
+}
+
+func TestBrokerConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBroker("b1", nil)
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				b.Publish(testEvent("t"))
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s, err := b.Subscribe(TopicFilter("t"), WithQueueSize(4))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				s.Cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	if b.NumSubscriptions() != 0 {
+		t.Errorf("NumSubscriptions = %d at end", b.NumSubscriptions())
+	}
+}
+
+func TestBrokerMatchCount(t *testing.T) {
+	b := NewBroker("b1", nil)
+	defer b.Close()
+	b.Subscribe(TopicFilter("t"))
+	b.Subscribe(eventalg.NewFilter())
+	got := b.MatchCount(eventalg.Tuple{"topic": eventalg.String("t")})
+	if got != 2 {
+		t.Errorf("MatchCount = %d, want 2", got)
+	}
+}

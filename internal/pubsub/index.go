@@ -1,0 +1,166 @@
+package pubsub
+
+import (
+	"reef/internal/eventalg"
+)
+
+// Index is a counting-algorithm matcher for conjunctive filters: each
+// registered filter matches an event when every one of its constraints is
+// satisfied. Matching cost is proportional to the constraints registered on
+// the attributes that actually appear in the event, with a hash fast path
+// for string/bool equality constraints (the common case for topic and feed
+// subscriptions).
+//
+// Index is not safe for concurrent use; Broker serializes access.
+type Index struct {
+	nextID int64
+	// entries maps entry ID to its filter metadata.
+	entries map[int64]*indexEntry
+	// eq maps attribute -> value -> refs, for string/bool equality
+	// constraints (hash fast path).
+	eq map[string]map[eventalg.Value][]constraintRef
+	// scan maps attribute -> refs for all other constraints.
+	scan map[string][]constraintRef
+	// matchAll holds entries whose filter has no constraints.
+	matchAll map[int64]struct{}
+	// counts is reused across Match calls to avoid per-event allocation.
+	counts map[int64]int
+}
+
+type indexEntry struct {
+	id     int64
+	filter eventalg.Filter
+	need   int
+}
+
+type constraintRef struct {
+	entry *indexEntry
+	c     eventalg.Constraint
+}
+
+// NewIndex returns an empty matcher index.
+func NewIndex() *Index {
+	return &Index{
+		entries:  make(map[int64]*indexEntry),
+		eq:       make(map[string]map[eventalg.Value][]constraintRef),
+		scan:     make(map[string][]constraintRef),
+		matchAll: make(map[int64]struct{}),
+		counts:   make(map[int64]int),
+	}
+}
+
+// Len returns the number of registered filters.
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// hashable reports whether an equality constraint can use the hash fast
+// path. Numeric equality stays on the scan path because Int(3) and Float(3)
+// compare equal but hash differently.
+func hashable(c eventalg.Constraint) bool {
+	if c.Op != eventalg.OpEq {
+		return false
+	}
+	k := c.Val.Kind()
+	return k == eventalg.KindString || k == eventalg.KindBool
+}
+
+// Add registers a filter and returns its entry ID for later removal.
+func (ix *Index) Add(f eventalg.Filter) int64 {
+	ix.nextID++
+	id := ix.nextID
+	cs := f.Constraints()
+	e := &indexEntry{id: id, filter: f, need: len(cs)}
+	ix.entries[id] = e
+	if len(cs) == 0 {
+		ix.matchAll[id] = struct{}{}
+		return id
+	}
+	for _, c := range cs {
+		ref := constraintRef{entry: e, c: c}
+		if hashable(c) {
+			m := ix.eq[c.Attr]
+			if m == nil {
+				m = make(map[eventalg.Value][]constraintRef)
+				ix.eq[c.Attr] = m
+			}
+			m[c.Val] = append(m[c.Val], ref)
+		} else {
+			ix.scan[c.Attr] = append(ix.scan[c.Attr], ref)
+		}
+	}
+	return id
+}
+
+// Remove unregisters the entry. Removing an unknown ID is a no-op.
+func (ix *Index) Remove(id int64) {
+	e, ok := ix.entries[id]
+	if !ok {
+		return
+	}
+	delete(ix.entries, id)
+	delete(ix.matchAll, id)
+	for _, c := range e.filter.Constraints() {
+		if hashable(c) {
+			m := ix.eq[c.Attr]
+			m[c.Val] = dropRefs(m[c.Val], id)
+			if len(m[c.Val]) == 0 {
+				delete(m, c.Val)
+			}
+			if len(m) == 0 {
+				delete(ix.eq, c.Attr)
+			}
+		} else {
+			ix.scan[c.Attr] = dropRefs(ix.scan[c.Attr], id)
+			if len(ix.scan[c.Attr]) == 0 {
+				delete(ix.scan, c.Attr)
+			}
+		}
+	}
+}
+
+func dropRefs(refs []constraintRef, id int64) []constraintRef {
+	out := refs[:0]
+	for _, r := range refs {
+		if r.entry.id != id {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Match returns the IDs of all filters the tuple satisfies. The returned
+// slice is freshly allocated and may be retained by the caller.
+func (ix *Index) Match(t eventalg.Tuple) []int64 {
+	clear(ix.counts)
+	counts := ix.counts
+	for attr, v := range t {
+		if m, ok := ix.eq[attr]; ok {
+			for _, ref := range m[v] {
+				counts[ref.entry.id]++
+			}
+		}
+		for _, ref := range ix.scan[attr] {
+			if ref.c.Match(t) {
+				counts[ref.entry.id]++
+			}
+		}
+	}
+	out := make([]int64, 0, len(ix.matchAll)+4)
+	for id := range ix.matchAll {
+		out = append(out, id)
+	}
+	for id, n := range counts {
+		if n == ix.entries[id].need {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Filter returns the filter registered under id.
+func (ix *Index) Filter(id int64) (eventalg.Filter, bool) {
+	e, ok := ix.entries[id]
+	if !ok {
+		return eventalg.Filter{}, false
+	}
+	return e.filter, true
+}

@@ -1,0 +1,198 @@
+package pubsub
+
+import (
+	"math/rand"
+	"testing"
+
+	"reef/internal/eventalg"
+)
+
+func containsID(ids []int64, id int64) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIndexBasicMatch(t *testing.T) {
+	ix := NewIndex()
+	sports := ix.Add(eventalg.MustParse(`topic = sports`))
+	hot := ix.Add(eventalg.MustParse(`topic = sports and hits > 10`))
+	news := ix.Add(eventalg.MustParse(`topic = news`))
+
+	got := ix.Match(eventalg.Tuple{"topic": eventalg.String("sports"), "hits": eventalg.Int(20)})
+	if !containsID(got, sports) || !containsID(got, hot) {
+		t.Errorf("Match missing expected ids: %v", got)
+	}
+	if containsID(got, news) {
+		t.Errorf("Match included wrong id: %v", got)
+	}
+
+	got = ix.Match(eventalg.Tuple{"topic": eventalg.String("sports"), "hits": eventalg.Int(5)})
+	if !containsID(got, sports) || containsID(got, hot) {
+		t.Errorf("partial-match results wrong: %v", got)
+	}
+}
+
+func TestIndexMatchAll(t *testing.T) {
+	ix := NewIndex()
+	all := ix.Add(eventalg.NewFilter())
+	got := ix.Match(eventalg.Tuple{"anything": eventalg.Int(1)})
+	if !containsID(got, all) {
+		t.Error("empty filter did not match")
+	}
+	got = ix.Match(eventalg.Tuple{})
+	if !containsID(got, all) {
+		t.Error("empty filter did not match empty tuple")
+	}
+}
+
+func TestIndexRemove(t *testing.T) {
+	ix := NewIndex()
+	id := ix.Add(eventalg.MustParse(`topic = sports`))
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	ix.Remove(id)
+	if ix.Len() != 0 {
+		t.Fatalf("Len after Remove = %d", ix.Len())
+	}
+	got := ix.Match(eventalg.Tuple{"topic": eventalg.String("sports")})
+	if len(got) != 0 {
+		t.Errorf("removed filter still matches: %v", got)
+	}
+	ix.Remove(id) // idempotent
+	ix.Remove(999)
+}
+
+func TestIndexNumericEqAcrossKinds(t *testing.T) {
+	ix := NewIndex()
+	id := ix.Add(eventalg.MustParse(`price = 3`))
+	got := ix.Match(eventalg.Tuple{"price": eventalg.Float(3.0)})
+	if !containsID(got, id) {
+		t.Error("Int constraint did not match Float value of same magnitude")
+	}
+}
+
+func TestIndexDuplicateConstraints(t *testing.T) {
+	ix := NewIndex()
+	f := eventalg.NewFilter(
+		eventalg.C("x", eventalg.OpGt, eventalg.Int(1)),
+		eventalg.C("x", eventalg.OpGt, eventalg.Int(1)),
+	)
+	id := ix.Add(f)
+	got := ix.Match(eventalg.Tuple{"x": eventalg.Int(5)})
+	if !containsID(got, id) {
+		t.Error("duplicate-constraint filter did not match")
+	}
+}
+
+func TestIndexMultiAttr(t *testing.T) {
+	ix := NewIndex()
+	id := ix.Add(eventalg.MustParse(`a = 1 and b = 2 and c = 3`))
+	full := eventalg.Tuple{"a": eventalg.Int(1), "b": eventalg.Int(2), "c": eventalg.Int(3)}
+	if got := ix.Match(full); !containsID(got, id) {
+		t.Error("full tuple did not match")
+	}
+	partial := eventalg.Tuple{"a": eventalg.Int(1), "b": eventalg.Int(2)}
+	if got := ix.Match(partial); containsID(got, id) {
+		t.Error("partial tuple matched 3-constraint filter")
+	}
+}
+
+func TestIndexFilterLookup(t *testing.T) {
+	ix := NewIndex()
+	f := eventalg.MustParse(`topic = x`)
+	id := ix.Add(f)
+	got, ok := ix.Filter(id)
+	if !ok || !got.Equal(f) {
+		t.Errorf("Filter(%d) = (%v, %v)", id, got, ok)
+	}
+	if _, ok := ix.Filter(999); ok {
+		t.Error("Filter(999) found")
+	}
+}
+
+// TestIndexAgainstBruteForce cross-checks the counting index against direct
+// filter evaluation on randomized filters and tuples.
+func TestIndexAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	attrs := []string{"a", "b", "c", "d"}
+	words := []string{"x", "y", "z", "http://a", "http://b"}
+	genVal := func() eventalg.Value {
+		switch r.Intn(3) {
+		case 0:
+			return eventalg.Int(int64(r.Intn(5)))
+		case 1:
+			return eventalg.String(words[r.Intn(len(words))])
+		default:
+			return eventalg.Bool(r.Intn(2) == 0)
+		}
+	}
+	ops := []eventalg.Op{
+		eventalg.OpEq, eventalg.OpNe, eventalg.OpLt, eventalg.OpGt,
+		eventalg.OpPrefix, eventalg.OpContains, eventalg.OpExists,
+	}
+	genFilter := func() eventalg.Filter {
+		n := r.Intn(4)
+		cs := make([]eventalg.Constraint, 0, n)
+		for i := 0; i < n; i++ {
+			cs = append(cs, eventalg.Constraint{
+				Attr: attrs[r.Intn(len(attrs))],
+				Op:   ops[r.Intn(len(ops))],
+				Val:  genVal(),
+			})
+		}
+		return eventalg.NewFilter(cs...)
+	}
+
+	ix := NewIndex()
+	filters := make(map[int64]eventalg.Filter)
+	for i := 0; i < 200; i++ {
+		f := genFilter()
+		filters[ix.Add(f)] = f
+	}
+	// Remove a random third to exercise Remove bookkeeping.
+	for id := range filters {
+		if r.Intn(3) == 0 {
+			ix.Remove(id)
+			delete(filters, id)
+		}
+	}
+
+	for trial := 0; trial < 500; trial++ {
+		tu := eventalg.Tuple{}
+		for _, a := range attrs {
+			if r.Intn(3) > 0 {
+				tu[a] = genVal()
+			}
+		}
+		got := ix.Match(tu)
+		gotSet := make(map[int64]bool, len(got))
+		for _, id := range got {
+			gotSet[id] = true
+		}
+		for id, f := range filters {
+			want := f.Match(tu)
+			if gotSet[id] != want {
+				t.Fatalf("index disagrees with brute force: filter %s, tuple %v: index=%v want=%v",
+					f, tu, gotSet[id], want)
+			}
+		}
+	}
+}
+
+func BenchmarkIndexMatch1000(b *testing.B) {
+	ix := NewIndex()
+	topics := []string{"sports", "news", "tech", "finance", "music"}
+	for i := 0; i < 1000; i++ {
+		ix.Add(TopicFilter(topics[i%len(topics)]))
+	}
+	tu := eventalg.Tuple{"topic": eventalg.String("sports")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Match(tu)
+	}
+}

@@ -1,0 +1,68 @@
+package pubsub
+
+import "sync"
+
+// mailbox is an unbounded FIFO queue feeding a node's actor goroutine.
+//
+// Overlay nodes exchange messages through mailboxes instead of bounded
+// channels so that a cross-node send can never block: with bounded inboxes
+// two nodes forwarding to each other under load can deadlock. Memory is
+// bounded by the quiescence discipline of the experiments (publishers call
+// Overlay.Quiesce between batches).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []nodeMsg
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues a message. Messages put after close are discarded; the
+// second return reports acceptance.
+func (m *mailbox) put(msg nodeMsg) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.queue = append(m.queue, msg)
+	m.cond.Signal()
+	return true
+}
+
+// get blocks until a message is available or the mailbox is closed.
+// The second return is false when the mailbox is closed and drained.
+func (m *mailbox) get() (nodeMsg, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return nodeMsg{}, false
+	}
+	msg := m.queue[0]
+	m.queue[0] = nodeMsg{}
+	m.queue = m.queue[1:]
+	return msg, true
+}
+
+// close wakes any blocked get. Pending messages are still drained.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// depth returns the current queue length.
+func (m *mailbox) depth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}

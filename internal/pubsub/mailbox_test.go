@@ -1,0 +1,84 @@
+package pubsub
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	m := newMailbox()
+	for i := 0; i < 5; i++ {
+		if !m.put(nodeMsg{hops: i}) {
+			t.Fatal("put rejected on open mailbox")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		msg, ok := m.get()
+		if !ok || msg.hops != i {
+			t.Fatalf("get #%d = (%v, %v)", i, msg.hops, ok)
+		}
+	}
+	if m.depth() != 0 {
+		t.Errorf("depth = %d", m.depth())
+	}
+}
+
+func TestMailboxCloseWakesGetter(t *testing.T) {
+	m := newMailbox()
+	done := make(chan struct{})
+	go func() {
+		_, ok := m.get()
+		if ok {
+			t.Error("get returned a message from empty closed mailbox")
+		}
+		close(done)
+	}()
+	m.close()
+	<-done
+}
+
+func TestMailboxDrainsAfterClose(t *testing.T) {
+	m := newMailbox()
+	m.put(nodeMsg{hops: 1})
+	m.close()
+	msg, ok := m.get()
+	if !ok || msg.hops != 1 {
+		t.Fatal("pending message lost on close")
+	}
+	if _, ok := m.get(); ok {
+		t.Fatal("get after drain returned message")
+	}
+	if m.put(nodeMsg{}) {
+		t.Fatal("put accepted after close")
+	}
+}
+
+func TestMailboxConcurrent(t *testing.T) {
+	m := newMailbox()
+	const producers, per = 4, 1000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.put(nodeMsg{})
+			}
+		}()
+	}
+	received := 0
+	done := make(chan struct{})
+	go func() {
+		for received < producers*per {
+			if _, ok := m.get(); ok {
+				received++
+			}
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	if received != producers*per {
+		t.Fatalf("received %d, want %d", received, producers*per)
+	}
+}

@@ -1,0 +1,374 @@
+package pubsub
+
+import (
+	"testing"
+	"time"
+
+	"reef/internal/eventalg"
+)
+
+const quiesceTimeout = 10 * time.Second
+
+func mustQuiesce(t *testing.T, o *Overlay) {
+	t.Helper()
+	if err := o.Quiesce(quiesceTimeout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func twoNodeOverlay(t *testing.T, opts ...OverlayOption) (*Overlay, *Node, *Node) {
+	t.Helper()
+	o := NewOverlay(opts...)
+	t.Cleanup(o.Close)
+	a, err := o.AddNode("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.AddNode("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Connect("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	return o, a, b
+}
+
+func TestOverlayCrossNodeDelivery(t *testing.T) {
+	o, a, b := twoNodeOverlay(t)
+	sub, err := b.Subscribe(TopicFilter("sports"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustQuiesce(t, o)
+
+	if err := a.Publish(testEvent("sports")); err != nil {
+		t.Fatal(err)
+	}
+	mustQuiesce(t, o)
+
+	select {
+	case ev := <-sub.Events():
+		if ev.Topic() != "sports" {
+			t.Errorf("topic = %q", ev.Topic())
+		}
+	default:
+		t.Fatal("event not delivered across link")
+	}
+}
+
+func TestOverlayNoInterestNoForward(t *testing.T) {
+	o, a, b := twoNodeOverlay(t)
+	_, err := b.Subscribe(TopicFilter("sports"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustQuiesce(t, o)
+
+	a.Publish(testEvent("weather"))
+	mustQuiesce(t, o)
+
+	if got := o.Metrics().Snapshot()["events_forwarded"]; got != 0 {
+		t.Errorf("events_forwarded = %v, want 0", got)
+	}
+}
+
+func TestOverlayLocalDeliveryAtPublisher(t *testing.T) {
+	o, a, _ := twoNodeOverlay(t)
+	sub, _ := a.Subscribe(TopicFilter("x"))
+	mustQuiesce(t, o)
+	a.Publish(testEvent("x"))
+	mustQuiesce(t, o)
+	select {
+	case <-sub.Events():
+	default:
+		t.Fatal("publisher-local subscriber missed event")
+	}
+}
+
+func TestOverlayMultiHopLine(t *testing.T) {
+	o := NewOverlay()
+	defer o.Close()
+	nodes, err := BuildLine(o, "n", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := nodes[4].Subscribe(TopicFilter("deep"))
+	mustQuiesce(t, o)
+
+	nodes[0].Publish(testEvent("deep"))
+	mustQuiesce(t, o)
+
+	select {
+	case <-sub.Events():
+	default:
+		t.Fatal("event did not traverse 4 hops")
+	}
+	// The event is forwarded exactly once per hop: 4 link crossings.
+	if got := o.Metrics().Snapshot()["events_forwarded"]; got != 4 {
+		t.Errorf("events_forwarded = %v, want 4", got)
+	}
+}
+
+func TestOverlayNoDuplicateDelivery(t *testing.T) {
+	o := NewOverlay()
+	defer o.Close()
+	hub, leaves, err := BuildStar(o, "s", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := leaves[0].Subscribe(TopicFilter("t"))
+	mustQuiesce(t, o)
+
+	hub.Publish(testEvent("t"))
+	leaves[1].Publish(testEvent("t"))
+	mustQuiesce(t, o)
+
+	count := 0
+	for len(sub.Events()) > 0 {
+		<-sub.Events()
+		count++
+	}
+	if count != 2 {
+		t.Errorf("delivered %d events, want exactly 2 (no duplicates)", count)
+	}
+}
+
+func TestOverlayUnsubscribeStopsForwarding(t *testing.T) {
+	o, a, b := twoNodeOverlay(t)
+	sub, _ := b.Subscribe(TopicFilter("t"))
+	mustQuiesce(t, o)
+	sub.Cancel()
+	mustQuiesce(t, o)
+
+	a.Publish(testEvent("t"))
+	mustQuiesce(t, o)
+	if got := o.Metrics().Snapshot()["events_forwarded"]; got != 0 {
+		t.Errorf("events_forwarded after unsubscribe = %v, want 0", got)
+	}
+	if got := a.RoutingTableSize(); got != 0 {
+		t.Errorf("publisher routing table = %d after unsubscribe, want 0", got)
+	}
+}
+
+func TestOverlayCoveringSuppressesPropagation(t *testing.T) {
+	o, a, b := twoNodeOverlay(t)
+	_ = a
+	broad := eventalg.MustParse(`topic = sports`)
+	narrow := eventalg.MustParse(`topic = sports and hits > 10`)
+
+	if _, err := b.Subscribe(broad); err != nil {
+		t.Fatal(err)
+	}
+	mustQuiesce(t, o)
+	if _, err := b.Subscribe(narrow); err != nil {
+		t.Fatal(err)
+	}
+	mustQuiesce(t, o)
+
+	// Only the broad filter should have been forwarded to a.
+	if got := a.RoutingTableSize(); got != 1 {
+		t.Errorf("routing table size with covering = %d, want 1", got)
+	}
+
+	// Events matching the narrow filter still arrive (via the broad one).
+	sub2, _ := b.Subscribe(narrow)
+	mustQuiesce(t, o)
+	ev := NewEvent("src", eventalg.Tuple{
+		"topic": eventalg.String("sports"),
+		"hits":  eventalg.Int(20),
+	}, nil)
+	a.Publish(ev)
+	mustQuiesce(t, o)
+	select {
+	case <-sub2.Events():
+	default:
+		t.Fatal("narrow subscriber missed covered event")
+	}
+}
+
+func TestOverlayCoveringDisabled(t *testing.T) {
+	o, a, b := twoNodeOverlay(t, WithCovering(false))
+	broad := eventalg.MustParse(`topic = sports`)
+	narrow := eventalg.MustParse(`topic = sports and hits > 10`)
+	b.Subscribe(broad)
+	b.Subscribe(narrow)
+	mustQuiesce(t, o)
+	if got := a.RoutingTableSize(); got != 2 {
+		t.Errorf("routing table size without covering = %d, want 2", got)
+	}
+}
+
+func TestOverlayCoveringUnsubRestoresNarrow(t *testing.T) {
+	o, a, b := twoNodeOverlay(t)
+	broadSub, _ := b.Subscribe(eventalg.MustParse(`topic = sports`))
+	b.Subscribe(eventalg.MustParse(`topic = sports and hits > 10`))
+	mustQuiesce(t, o)
+	if got := a.RoutingTableSize(); got != 1 {
+		t.Fatalf("pre-unsub table = %d, want 1", got)
+	}
+	// Withdrawing the broad filter must re-expose the narrow one upstream.
+	broadSub.Cancel()
+	mustQuiesce(t, o)
+	if got := a.RoutingTableSize(); got != 1 {
+		t.Fatalf("post-unsub table = %d, want 1 (narrow)", got)
+	}
+	sub, _ := b.Subscribe(eventalg.MustParse(`topic = sports and hits > 10`))
+	mustQuiesce(t, o)
+	a.Publish(NewEvent("s", eventalg.Tuple{
+		"topic": eventalg.String("sports"), "hits": eventalg.Int(50),
+	}, nil))
+	mustQuiesce(t, o)
+	select {
+	case <-sub.Events():
+	default:
+		t.Fatal("narrow subscription lost after covering filter withdrawn")
+	}
+}
+
+func TestOverlayCycleRefused(t *testing.T) {
+	o := NewOverlay()
+	defer o.Close()
+	nodes, _ := BuildLine(o, "n", 3)
+	_ = nodes
+	if err := o.Connect("n0", "n2"); err != ErrCycle {
+		t.Errorf("Connect closing cycle = %v, want ErrCycle", err)
+	}
+	if err := o.Connect("n0", "n0"); err == nil {
+		t.Error("self-link accepted")
+	}
+	if err := o.Connect("n0", "missing"); err == nil {
+		t.Error("link to unknown node accepted")
+	}
+}
+
+func TestOverlayDuplicateNode(t *testing.T) {
+	o := NewOverlay()
+	defer o.Close()
+	if _, err := o.AddNode("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddNode("x"); err == nil {
+		t.Error("duplicate AddNode accepted")
+	}
+	if o.NumNodes() != 1 {
+		t.Errorf("NumNodes = %d", o.NumNodes())
+	}
+}
+
+func TestOverlayTreeBroadcast(t *testing.T) {
+	o := NewOverlay()
+	defer o.Close()
+	nodes, err := BuildTree(o, "t", 2, 3) // 15 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 15 {
+		t.Fatalf("tree nodes = %d, want 15", len(nodes))
+	}
+	// Everyone subscribes; publish at a leaf must reach all.
+	subs := make([]*Subscription, len(nodes))
+	for i, n := range nodes {
+		s, err := n.Subscribe(TopicFilter("all"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = s
+	}
+	mustQuiesce(t, o)
+	nodes[len(nodes)-1].Publish(testEvent("all"))
+	mustQuiesce(t, o)
+	for i, s := range subs {
+		select {
+		case <-s.Events():
+		default:
+			t.Errorf("node %d missed broadcast", i)
+		}
+	}
+	// A tree of 15 nodes has 14 links; each crossed exactly once.
+	if got := o.Metrics().Snapshot()["events_forwarded"]; got != 14 {
+		t.Errorf("events_forwarded = %v, want 14", got)
+	}
+}
+
+func TestOverlayHopsHistogram(t *testing.T) {
+	o := NewOverlay()
+	defer o.Close()
+	nodes, _ := BuildLine(o, "n", 3)
+	sub, _ := nodes[2].Subscribe(TopicFilter("h"))
+	_ = sub
+	mustQuiesce(t, o)
+	nodes[0].Publish(testEvent("h"))
+	mustQuiesce(t, o)
+	snap := o.Metrics().Snapshot()
+	if snap["delivery_hops.count"] != 1 {
+		t.Fatalf("delivery_hops.count = %v", snap["delivery_hops.count"])
+	}
+	if snap["delivery_hops.max"] != 2 {
+		t.Errorf("delivery_hops.max = %v, want 2", snap["delivery_hops.max"])
+	}
+}
+
+func TestOverlayPublishAfterClose(t *testing.T) {
+	o := NewOverlay()
+	a, _ := o.AddNode("a")
+	o.Close()
+	if err := a.Publish(testEvent("t")); err != ErrClosed {
+		t.Errorf("Publish after Close = %v, want ErrClosed", err)
+	}
+	if _, err := o.AddNode("b"); err != ErrClosed {
+		t.Errorf("AddNode after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestOverlayLinkCounters(t *testing.T) {
+	o, a, b := twoNodeOverlay(t)
+	b.Subscribe(TopicFilter("t"))
+	mustQuiesce(t, o)
+	a.Publish(testEvent("t"))
+	mustQuiesce(t, o)
+
+	links := a.Links()
+	l, ok := links["b"]
+	if !ok {
+		t.Fatal("link a->b missing")
+	}
+	if got := l.EventsSent.Value(); got != 1 {
+		t.Errorf("EventsSent = %d, want 1", got)
+	}
+	bl := b.Links()["a"]
+	if got := bl.SubsSent.Value(); got != 1 {
+		t.Errorf("SubsSent b->a = %d, want 1", got)
+	}
+	if l.PeerName() != "b" {
+		t.Errorf("PeerName = %q", l.PeerName())
+	}
+}
+
+func TestOverlaySameFilterTwiceForwardedOnce(t *testing.T) {
+	o, a, b := twoNodeOverlay(t)
+	b.Subscribe(TopicFilter("t"))
+	b.Subscribe(TopicFilter("t"))
+	mustQuiesce(t, o)
+	if got := a.RoutingTableSize(); got != 1 {
+		t.Errorf("routing table = %d for duplicate filters, want 1", got)
+	}
+	bl := b.Links()["a"]
+	if got := bl.SubsSent.Value(); got != 1 {
+		t.Errorf("SubsSent = %d, want 1", got)
+	}
+}
+
+func TestNodeSync(t *testing.T) {
+	o := NewOverlay()
+	defer o.Close()
+	a, _ := o.AddNode("a")
+	sub, _ := a.Subscribe(TopicFilter("t"))
+	a.Publish(testEvent("t"))
+	a.Sync()
+	select {
+	case <-sub.Events():
+	default:
+		t.Fatal("Sync returned before publish processed")
+	}
+}

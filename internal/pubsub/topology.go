@@ -1,0 +1,77 @@
+package pubsub
+
+import "fmt"
+
+// BuildStar creates a hub node and n leaf nodes connected to it. Node names
+// are prefix+"hub" and prefix+"leaf<i>". It returns the hub and the leaves.
+func BuildStar(o *Overlay, prefix string, n int) (*Node, []*Node, error) {
+	hub, err := o.AddNode(prefix + "hub")
+	if err != nil {
+		return nil, nil, err
+	}
+	leaves := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		leaf, err := o.AddNode(fmt.Sprintf("%sleaf%d", prefix, i))
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := o.Connect(hub.Name(), leaf.Name()); err != nil {
+			return nil, nil, err
+		}
+		leaves = append(leaves, leaf)
+	}
+	return hub, leaves, nil
+}
+
+// BuildLine creates n nodes connected in a chain and returns them in order.
+func BuildLine(o *Overlay, prefix string, n int) ([]*Node, error) {
+	nodes := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		nd, err := o.AddNode(fmt.Sprintf("%s%d", prefix, i))
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, nd)
+		if i > 0 {
+			if err := o.Connect(nodes[i-1].Name(), nd.Name()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nodes, nil
+}
+
+// BuildTree creates a complete tree with the given branching factor and
+// depth (depth 0 is a single root). It returns all nodes in breadth-first
+// order; the root is first.
+func BuildTree(o *Overlay, prefix string, branching, depth int) ([]*Node, error) {
+	if branching < 1 {
+		return nil, fmt.Errorf("pubsub: branching must be >= 1, got %d", branching)
+	}
+	root, err := o.AddNode(prefix + "0")
+	if err != nil {
+		return nil, err
+	}
+	nodes := []*Node{root}
+	frontier := []*Node{root}
+	id := 1
+	for d := 0; d < depth; d++ {
+		var next []*Node
+		for _, parent := range frontier {
+			for b := 0; b < branching; b++ {
+				child, err := o.AddNode(fmt.Sprintf("%s%d", prefix, id))
+				if err != nil {
+					return nil, err
+				}
+				id++
+				if err := o.Connect(parent.Name(), child.Name()); err != nil {
+					return nil, err
+				}
+				nodes = append(nodes, child)
+				next = append(next, child)
+			}
+		}
+		frontier = next
+	}
+	return nodes, nil
+}

@@ -1,0 +1,128 @@
+package recommend
+
+import (
+	"fmt"
+	"time"
+
+	"reef/internal/eventalg"
+	"reef/internal/ir"
+)
+
+// ContentConfig tunes the content-based recommender.
+type ContentConfig struct {
+	// NumTerms is the N of "top N terms" (paper: optimal 30).
+	NumTerms int
+	// Mode selects the term-ranking formula (paper: modified offer
+	// weight; others for ablation A1).
+	Mode ir.TermSelectionMode
+}
+
+// contentUser accumulates one user's attention profile.
+type contentUser struct {
+	profile map[string]int // term -> total occurrences across attended docs
+	relDF   map[string]int // term -> number of attended docs containing it
+	R       int            // attended doc count
+}
+
+// ContentRecommender drives §3.3: it accumulates term statistics from the
+// pages a user attends to and builds weighted keyword queries from the top
+// N terms by (modified) offer weight against a background corpus. It is
+// not safe for concurrent use.
+type ContentRecommender struct {
+	cfg    ContentConfig
+	corpus *ir.Corpus
+	users  map[string]*contentUser
+}
+
+// NewContentRecommender builds a content recommender over the background
+// corpus (the collection queries will run against).
+func NewContentRecommender(cfg ContentConfig, corpus *ir.Corpus) *ContentRecommender {
+	if cfg.NumTerms <= 0 {
+		cfg.NumTerms = 30
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ir.SelectModifiedOW
+	}
+	return &ContentRecommender{
+		cfg:    cfg,
+		corpus: corpus,
+		users:  make(map[string]*contentUser),
+	}
+}
+
+func (cr *ContentRecommender) user(id string) *contentUser {
+	u, ok := cr.users[id]
+	if !ok {
+		u = &contentUser{
+			profile: make(map[string]int),
+			relDF:   make(map[string]int),
+		}
+		cr.users[id] = u
+	}
+	return u
+}
+
+// ObservePage folds one attended page's term counts into the user profile.
+func (cr *ContentRecommender) ObservePage(user string, terms map[string]int) {
+	if len(terms) == 0 {
+		return
+	}
+	u := cr.user(user)
+	u.R++
+	for t, n := range terms {
+		u.profile[t] += n
+		u.relDF[t]++
+	}
+}
+
+// ProfileSize reports how many attended pages back the user's profile.
+func (cr *ContentRecommender) ProfileSize(user string) int {
+	if u, ok := cr.users[user]; ok {
+		return u.R
+	}
+	return 0
+}
+
+// SelectTerms returns the user's top-n profile terms under the configured
+// mode (n <= 0 uses the configured NumTerms).
+func (cr *ContentRecommender) SelectTerms(user string, n int) []ir.TermScore {
+	u, ok := cr.users[user]
+	if !ok {
+		return nil
+	}
+	if n <= 0 {
+		n = cr.cfg.NumTerms
+	}
+	return ir.SelectTerms(u.profile, u.relDF, u.R, cr.corpus, n, cr.cfg.Mode)
+}
+
+// Query builds the weighted BM25 query for the user's top-n terms.
+func (cr *ContentRecommender) Query(user string, n int) map[string]float64 {
+	return ir.QueryFromTerms(cr.SelectTerms(user, n))
+}
+
+// Recommend produces the user's content-query recommendation: a pub-sub
+// filter requiring events to carry at least one strong profile term in
+// their keyword attribute, plus the term list for ranking use.
+func (cr *ContentRecommender) Recommend(user string, at time.Time) (Recommendation, bool) {
+	terms := cr.SelectTerms(user, 0)
+	if len(terms) == 0 {
+		return Recommendation{}, false
+	}
+	// The subscription filter matches events whose "keywords" attribute
+	// contains the single strongest term; ranking the matched events uses
+	// the full weighted query. (Event algebra conjunctions cannot express
+	// disjunction; the strongest-term filter is the standard conservative
+	// projection.)
+	f := eventalg.NewFilter(
+		eventalg.C("keywords", eventalg.OpContains, eventalg.String(terms[0].Term)),
+	)
+	return Recommendation{
+		Kind:   KindContentQuery,
+		User:   user,
+		Filter: f,
+		Terms:  terms,
+		Reason: fmt.Sprintf("top-%d profile terms over %d attended pages", len(terms), cr.users[user].R),
+		At:     at,
+	}, true
+}

@@ -1,0 +1,249 @@
+// Package recommend implements Reef's recommendation service (paper §2.2):
+// it turns parsed attention data into subscribe/unsubscribe recommendations.
+// Two recommenders mirror the paper's case studies — topic-based feed
+// subscriptions from feeds discovered in browsing history (§3.2), and
+// content-based queries built from the top-N offer-weight terms of the
+// user's attention profile (§3.3) — plus the closed-loop feedback scorer
+// that reads clicks on delivered events as positive signal and expiry as
+// negative signal (§2.2).
+package recommend
+
+import (
+	"fmt"
+	"time"
+
+	"reef/internal/eventalg"
+	"reef/internal/ir"
+	"reef/internal/waif"
+)
+
+// Kind classifies a recommendation.
+type Kind int
+
+// Recommendation kinds.
+const (
+	// KindSubscribeFeed recommends placing a topic-based feed subscription.
+	KindSubscribeFeed Kind = iota + 1
+	// KindUnsubscribeFeed recommends removing one.
+	KindUnsubscribeFeed
+	// KindContentQuery recommends (re)placing the user's content-based
+	// query subscription.
+	KindContentQuery
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSubscribeFeed:
+		return "subscribe-feed"
+	case KindUnsubscribeFeed:
+		return "unsubscribe-feed"
+	case KindContentQuery:
+		return "content-query"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Recommendation is one subscribe/unsubscribe action sent to a user's
+// subscription frontend.
+type Recommendation struct {
+	Kind Kind
+	User string
+	// FeedURL is set for feed recommendations.
+	FeedURL string
+	// Filter is the pub-sub subscription to place (subscribe kinds).
+	Filter eventalg.Filter
+	// Terms carries the selected profile terms for content queries.
+	Terms []ir.TermScore
+	// Reason is a human-readable explanation (shown in the sidebar UI).
+	Reason string
+	// At is when the recommendation was issued.
+	At time.Time
+}
+
+// TopicConfig tunes the topic-based recommender.
+type TopicConfig struct {
+	// MinHostVisits is how many times the user must have visited a feed's
+	// host before the feed is recommended (default 1: the paper recommends
+	// every feed discovered on visited pages).
+	MinHostVisits int
+	// InactiveAfter triggers unsubscribe recommendations for feeds whose
+	// host the user stopped visiting and whose events draw no clicks
+	// (default 21 days).
+	InactiveAfter time.Duration
+	// MinScore is the feedback score below which an inactive feed is
+	// dropped (see ObserveFeedback; default 0).
+	MinScore float64
+}
+
+// userFeedState tracks one (user, feed) pair.
+type userFeedState struct {
+	feedURL     string
+	host        string
+	recommended bool
+	subscribed  bool
+	score       float64
+	lastSignal  time.Time
+}
+
+// userState is the topic recommender's per-user state.
+type userState struct {
+	hostVisits map[string]int
+	lastVisit  map[string]time.Time
+	feeds      map[string]*userFeedState
+}
+
+// TopicRecommender drives §3.2: feeds discovered in the user's browsing
+// history become zero-click subscription recommendations. It is not safe
+// for concurrent use; the Reef server serializes pipeline phases.
+type TopicRecommender struct {
+	cfg   TopicConfig
+	users map[string]*userState
+}
+
+// NewTopicRecommender builds a topic recommender.
+func NewTopicRecommender(cfg TopicConfig) *TopicRecommender {
+	if cfg.MinHostVisits <= 0 {
+		cfg.MinHostVisits = 1
+	}
+	if cfg.InactiveAfter <= 0 {
+		cfg.InactiveAfter = 21 * 24 * time.Hour
+	}
+	return &TopicRecommender{cfg: cfg, users: make(map[string]*userState)}
+}
+
+func (tr *TopicRecommender) user(id string) *userState {
+	u, ok := tr.users[id]
+	if !ok {
+		u = &userState{
+			hostVisits: make(map[string]int),
+			lastVisit:  make(map[string]time.Time),
+			feeds:      make(map[string]*userFeedState),
+		}
+		tr.users[id] = u
+	}
+	return u
+}
+
+// ObserveVisit records that the user visited a host at the given time.
+func (tr *TopicRecommender) ObserveVisit(user, host string, at time.Time) {
+	u := tr.user(user)
+	u.hostVisits[host]++
+	if at.After(u.lastVisit[host]) {
+		u.lastVisit[host] = at
+	}
+}
+
+// ObserveFeed records a feed discovered on a page the user visited and
+// returns a subscribe recommendation when the feed is new for this user
+// and the visit threshold is met.
+func (tr *TopicRecommender) ObserveFeed(user, feedURL, host string, at time.Time) (Recommendation, bool) {
+	u := tr.user(user)
+	st, ok := u.feeds[feedURL]
+	if !ok {
+		st = &userFeedState{feedURL: feedURL, host: host, lastSignal: at}
+		u.feeds[feedURL] = st
+	}
+	if st.recommended {
+		return Recommendation{}, false
+	}
+	if u.hostVisits[host] < tr.cfg.MinHostVisits {
+		return Recommendation{}, false
+	}
+	st.recommended = true
+	st.subscribed = true
+	st.lastSignal = at
+	return Recommendation{
+		Kind:    KindSubscribeFeed,
+		User:    user,
+		FeedURL: feedURL,
+		Filter:  waif.ItemFilter(feedURL),
+		Reason:  fmt.Sprintf("feed discovered on %s after %d visits", host, u.hostVisits[host]),
+		At:      at,
+	}, true
+}
+
+// ObserveFeedback applies closed-loop feedback for a delivered event from
+// a feed: a click is +1, an expiry (the user ignored the event until it
+// disappeared) is -0.25.
+func (tr *TopicRecommender) ObserveFeedback(user, feedURL string, clicked bool, at time.Time) {
+	u := tr.user(user)
+	st, ok := u.feeds[feedURL]
+	if !ok {
+		return
+	}
+	if clicked {
+		st.score++
+		st.lastSignal = at
+	} else {
+		st.score -= 0.25
+	}
+}
+
+// SweepInactive issues unsubscribe recommendations for subscribed feeds
+// with no recent positive signal — no host visits and no event clicks
+// within InactiveAfter — whose score is at or below MinScore.
+func (tr *TopicRecommender) SweepInactive(now time.Time) []Recommendation {
+	var out []Recommendation
+	for user, u := range tr.users {
+		for _, st := range u.feeds {
+			if !st.subscribed {
+				continue
+			}
+			lastVisit := u.lastVisit[st.host]
+			if st.lastSignal.After(lastVisit) {
+				lastVisit = st.lastSignal
+			}
+			idle := now.Sub(lastVisit)
+			if idle < tr.cfg.InactiveAfter {
+				continue
+			}
+			// A positive score earns a grace period, but past twice the
+			// inactivity window silence wins regardless of history.
+			if st.score > tr.cfg.MinScore && idle < 2*tr.cfg.InactiveAfter {
+				continue
+			}
+			st.subscribed = false
+			out = append(out, Recommendation{
+				Kind:    KindUnsubscribeFeed,
+				User:    user,
+				FeedURL: st.feedURL,
+				Reason:  fmt.Sprintf("no attention signal since %s", lastVisit.Format("2006-01-02")),
+				At:      now,
+			})
+		}
+	}
+	return out
+}
+
+// Recommended reports how many feeds have been recommended to the user so
+// far (the paper's "one new feed recommendation per day" metric).
+func (tr *TopicRecommender) Recommended(user string) int {
+	u, ok := tr.users[user]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, st := range u.feeds {
+		if st.recommended {
+			n++
+		}
+	}
+	return n
+}
+
+// Subscribed reports the user's currently subscribed feed count.
+func (tr *TopicRecommender) Subscribed(user string) int {
+	u, ok := tr.users[user]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, st := range u.feeds {
+		if st.subscribed {
+			n++
+		}
+	}
+	return n
+}

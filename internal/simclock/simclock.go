@@ -1,0 +1,142 @@
+// Package simclock provides a clock abstraction so that time-dependent
+// components (poll schedulers, expiry policies, recommendation decay) can run
+// against real time in production and against a deterministic virtual clock
+// in tests and experiments.
+//
+// The virtual clock is the backbone of the reproduction harness: every
+// experiment in EXPERIMENTS.md advances a Virtual clock through the paper's
+// ten-week observation window in milliseconds of real time.
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the interface used by all time-dependent Reef components.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// After returns a channel that receives the then-current time once the
+	// clock has advanced by at least d.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until the clock has advanced by at least d.
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the system wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// waiter is a pending After/Sleep registration on a Virtual clock.
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+	index    int
+}
+
+// waiterHeap orders waiters by deadline (earliest first).
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int            { return len(h) }
+func (h waiterHeap) Less(i, j int) bool  { return h[i].deadline.Before(h[j].deadline) }
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *waiterHeap) Push(x interface{}) { w := x.(*waiter); w.index = len(*h); *h = append(*h, w) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// Virtual is a deterministic Clock that only moves when Advance or Set is
+// called. It is safe for concurrent use. The zero value is not usable; use
+// NewVirtual.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// NewVirtual returns a Virtual clock whose current time is start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// After implements Clock. The returned channel has capacity 1 and is never
+// closed; it fires exactly once when the clock passes the deadline.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	heap.Push(&v.waiters, &waiter{deadline: v.now.Add(d), ch: ch})
+	return ch
+}
+
+// Sleep implements Clock. On a Virtual clock, Sleep blocks until another
+// goroutine advances the clock past the deadline.
+func (v *Virtual) Sleep(d time.Duration) {
+	<-v.After(d)
+}
+
+// Advance moves the clock forward by d, firing every waiter whose deadline
+// falls within the advanced window, in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	v.advanceLocked(target)
+	v.mu.Unlock()
+}
+
+// Set moves the clock to t (which must not be earlier than the current
+// time; earlier values are ignored) and fires due waiters.
+func (v *Virtual) Set(t time.Time) {
+	v.mu.Lock()
+	if t.After(v.now) {
+		v.advanceLocked(t)
+	}
+	v.mu.Unlock()
+}
+
+func (v *Virtual) advanceLocked(target time.Time) {
+	for len(v.waiters) > 0 && !v.waiters[0].deadline.After(target) {
+		w := heap.Pop(&v.waiters).(*waiter)
+		// Deliver the time at which the waiter fired, as time.After does.
+		w.ch <- w.deadline
+	}
+	v.now = target
+}
+
+// PendingWaiters reports how many After/Sleep registrations have not yet
+// fired. It exists for tests that need to synchronize with sleepers.
+func (v *Virtual) PendingWaiters() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}

@@ -1,0 +1,153 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2006, 1, 2, 15, 4, 5, 0, time.UTC)
+
+func TestVirtualNow(t *testing.T) {
+	v := NewVirtual(epoch)
+	if got := v.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.Advance(90 * time.Second)
+	if got, want := v.Now(), epoch.Add(90*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() after Advance = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAfterFiresInOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	c1 := v.After(1 * time.Second)
+	c2 := v.After(2 * time.Second)
+	c3 := v.After(3 * time.Second)
+
+	v.Advance(2 * time.Second)
+
+	select {
+	case got := <-c1:
+		if want := epoch.Add(1 * time.Second); !got.Equal(want) {
+			t.Errorf("c1 fired with %v, want %v", got, want)
+		}
+	default:
+		t.Fatal("c1 did not fire after Advance(2s)")
+	}
+	select {
+	case <-c2:
+	default:
+		t.Fatal("c2 did not fire after Advance(2s)")
+	}
+	select {
+	case <-c3:
+		t.Fatal("c3 fired early")
+	default:
+	}
+
+	v.Advance(1 * time.Second)
+	select {
+	case <-c3:
+	default:
+		t.Fatal("c3 did not fire after total Advance(3s)")
+	}
+}
+
+func TestVirtualAfterNonPositive(t *testing.T) {
+	v := NewVirtual(epoch)
+	select {
+	case <-v.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+	select {
+	case <-v.After(-time.Second):
+	default:
+		t.Fatal("After(negative) should fire immediately")
+	}
+}
+
+func TestVirtualSet(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch := v.After(time.Hour)
+	v.Set(epoch.Add(2 * time.Hour))
+	select {
+	case <-ch:
+	default:
+		t.Fatal("waiter did not fire on Set past deadline")
+	}
+	// Setting to an earlier time is a no-op.
+	v.Set(epoch)
+	if got, want := v.Now(), epoch.Add(2*time.Hour); !got.Equal(want) {
+		t.Fatalf("Set backwards moved clock: got %v, want %v", got, want)
+	}
+}
+
+func TestVirtualSleepBlocksUntilAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v.Sleep(time.Minute)
+		close(done)
+	}()
+
+	// Wait for the sleeper to register.
+	for v.PendingWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	default:
+	}
+	v.Advance(time.Minute)
+	wg.Wait()
+	select {
+	case <-done:
+	default:
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestVirtualConcurrentWaiters(t *testing.T) {
+	v := NewVirtual(epoch)
+	const n = 100
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			v.Sleep(time.Duration(i%10+1) * time.Second)
+		}(i)
+	}
+	for v.PendingWaiters() < n {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(10 * time.Second)
+	wg.Wait()
+	if got := v.PendingWaiters(); got != 0 {
+		t.Fatalf("PendingWaiters = %d after all fired, want 0", got)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatalf("Real.Now() = %v far behind wall clock %v", now, before)
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.After(1ms) did not fire within 5s")
+	}
+}

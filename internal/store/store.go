@@ -1,0 +1,275 @@
+// Package store is the click database of the centralized Reef server (the
+// paper's MySQL substitute, see DESIGN.md §2): an in-memory store of
+// attention clicks with the indexes the analysis pipeline needs (by user,
+// by server, time ranges), a server-flag table recording crawl
+// classifications (ad / spam / multimedia / crawled, §3.1), and JSON
+// snapshot persistence.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"reef/internal/attention"
+)
+
+// Flag is a server classification bit (paper §3.1: the crawler "looks for
+// ad servers and spam sites, as well as multimedia, and flags them as such
+// in the database, ensuring they will not be crawled again").
+type Flag int
+
+// Server flags.
+const (
+	FlagAd Flag = 1 << iota
+	FlagSpam
+	FlagMultimedia
+	FlagCrawled
+)
+
+// String names the flag set.
+func (f Flag) String() string {
+	names := ""
+	add := func(s string) {
+		if names != "" {
+			names += "|"
+		}
+		names += s
+	}
+	if f&FlagAd != 0 {
+		add("ad")
+	}
+	if f&FlagSpam != 0 {
+		add("spam")
+	}
+	if f&FlagMultimedia != 0 {
+		add("multimedia")
+	}
+	if f&FlagCrawled != 0 {
+		add("crawled")
+	}
+	if names == "" {
+		return "none"
+	}
+	return names
+}
+
+// ClickStore is the indexed click database. All methods are safe for
+// concurrent use.
+type ClickStore struct {
+	mu sync.RWMutex
+	// clicks in arrival order.
+	clicks []attention.Click
+	// byUser indexes click positions per user.
+	byUser map[string][]int
+	// serverHits counts clicks per server host.
+	serverHits map[string]int
+	// serverUsers tracks which users visited each server.
+	serverUsers map[string]map[string]struct{}
+	// flags per server host.
+	flags map[string]Flag
+}
+
+// NewClickStore returns an empty store.
+func NewClickStore() *ClickStore {
+	return &ClickStore{
+		byUser:      make(map[string][]int),
+		serverHits:  make(map[string]int),
+		serverUsers: make(map[string]map[string]struct{}),
+		flags:       make(map[string]Flag),
+	}
+}
+
+// Add stores one click.
+func (s *ClickStore) Add(c attention.Click) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := len(s.clicks)
+	s.clicks = append(s.clicks, c)
+	s.byUser[c.User] = append(s.byUser[c.User], idx)
+	host := c.Host()
+	if host != "" {
+		s.serverHits[host]++
+		users := s.serverUsers[host]
+		if users == nil {
+			users = make(map[string]struct{})
+			s.serverUsers[host] = users
+		}
+		users[c.User] = struct{}{}
+	}
+}
+
+// AddBatch stores a batch (the recorder sink path).
+func (s *ClickStore) AddBatch(batch []attention.Click) {
+	for _, c := range batch {
+		s.Add(c)
+	}
+}
+
+// Len returns the total click count.
+func (s *ClickStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.clicks)
+}
+
+// ByUser returns the user's clicks in arrival order.
+func (s *ClickStore) ByUser(user string) []attention.Click {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idxs := s.byUser[user]
+	out := make([]attention.Click, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.clicks[idx]
+	}
+	return out
+}
+
+// ByUserSince returns the user's clicks with At after t.
+func (s *ClickStore) ByUserSince(user string, t time.Time) []attention.Click {
+	all := s.ByUser(user)
+	out := all[:0]
+	for _, c := range all {
+		if c.At.After(t) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Users returns all user cookies, sorted.
+func (s *ClickStore) Users() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byUser))
+	for u := range s.byUser {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServerCount is a per-server aggregate row.
+type ServerCount struct {
+	Host  string
+	Hits  int
+	Users int
+}
+
+// Servers returns per-server hit counts, descending by hits then host.
+func (s *ClickStore) Servers() []ServerCount {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ServerCount, 0, len(s.serverHits))
+	for h, n := range s.serverHits {
+		out = append(out, ServerCount{Host: h, Hits: n, Users: len(s.serverUsers[h])})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hits != out[j].Hits {
+			return out[i].Hits > out[j].Hits
+		}
+		return out[i].Host < out[j].Host
+	})
+	return out
+}
+
+// DistinctServers returns the number of distinct hosts seen.
+func (s *ClickStore) DistinctServers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.serverHits)
+}
+
+// HitsTo returns the number of clicks to servers for which pred returns
+// true.
+func (s *ClickStore) HitsTo(pred func(host string) bool) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for h, hits := range s.serverHits {
+		if pred(h) {
+			n += hits
+		}
+	}
+	return n
+}
+
+// SetFlag ors the flag onto a host's classification.
+func (s *ClickStore) SetFlag(host string, f Flag) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flags[host] |= f
+}
+
+// HasFlag reports whether the host carries the flag.
+func (s *ClickStore) HasFlag(host string, f Flag) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.flags[host]&f != 0
+}
+
+// Flags returns the host's full flag set.
+func (s *ClickStore) Flags(host string) Flag {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.flags[host]
+}
+
+// CountFlagged returns how many hosts carry the flag.
+func (s *ClickStore) CountFlagged(f Flag) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, fl := range s.flags {
+		if fl&f != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// snapshot is the JSON persistence format.
+type snapshot struct {
+	Clicks []attention.Click `json:"clicks"`
+	Flags  map[string]Flag   `json:"flags"`
+}
+
+// Save writes a JSON snapshot of the store.
+func (s *ClickStore) Save(w io.Writer) error {
+	s.mu.RLock()
+	snap := snapshot{Clicks: s.clicks, Flags: make(map[string]Flag, len(s.flags))}
+	for h, f := range s.flags {
+		snap.Flags[h] = f
+	}
+	s.mu.RUnlock()
+	if err := json.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the store's contents from a JSON snapshot.
+func (s *ClickStore) Load(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("store: load: %w", err)
+	}
+	fresh := NewClickStore()
+	fresh.AddBatch(snap.Clicks)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fresh.mu.RLock()
+	defer fresh.mu.RUnlock()
+	s.clicks = fresh.clicks
+	s.byUser = fresh.byUser
+	s.serverHits = fresh.serverHits
+	s.serverUsers = fresh.serverUsers
+	s.flags = snap.Flags
+	if s.flags == nil {
+		s.flags = make(map[string]Flag)
+	}
+	return nil
+}

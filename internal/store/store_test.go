@@ -1,0 +1,171 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"reef/internal/attention"
+)
+
+var base = time.Date(2006, 2, 1, 0, 0, 0, 0, time.UTC)
+
+func click(user, url string, at time.Time) attention.Click {
+	return attention.Click{User: user, URL: url, At: at}
+}
+
+func populated() *ClickStore {
+	s := NewClickStore()
+	s.Add(click("u1", "http://a.test/1", base))
+	s.Add(click("u1", "http://a.test/2", base.Add(time.Hour)))
+	s.Add(click("u1", "http://b.test/1", base.Add(2*time.Hour)))
+	s.Add(click("u2", "http://a.test/1", base.Add(3*time.Hour)))
+	return s
+}
+
+func TestClickStoreIndexes(t *testing.T) {
+	s := populated()
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := len(s.ByUser("u1")); got != 3 {
+		t.Errorf("ByUser(u1) = %d", got)
+	}
+	if got := len(s.ByUser("nobody")); got != 0 {
+		t.Errorf("ByUser(nobody) = %d", got)
+	}
+	if got := s.DistinctServers(); got != 2 {
+		t.Errorf("DistinctServers = %d", got)
+	}
+	users := s.Users()
+	if len(users) != 2 || users[0] != "u1" || users[1] != "u2" {
+		t.Errorf("Users = %v", users)
+	}
+}
+
+func TestClickStoreServers(t *testing.T) {
+	s := populated()
+	servers := s.Servers()
+	if len(servers) != 2 {
+		t.Fatalf("Servers = %+v", servers)
+	}
+	if servers[0].Host != "a.test" || servers[0].Hits != 3 || servers[0].Users != 2 {
+		t.Errorf("top server = %+v", servers[0])
+	}
+	if servers[1].Host != "b.test" || servers[1].Hits != 1 || servers[1].Users != 1 {
+		t.Errorf("second server = %+v", servers[1])
+	}
+}
+
+func TestByUserSince(t *testing.T) {
+	s := populated()
+	got := s.ByUserSince("u1", base.Add(30*time.Minute))
+	if len(got) != 2 {
+		t.Errorf("ByUserSince = %d clicks", len(got))
+	}
+}
+
+func TestHitsTo(t *testing.T) {
+	s := populated()
+	got := s.HitsTo(func(h string) bool { return strings.HasPrefix(h, "a.") })
+	if got != 3 {
+		t.Errorf("HitsTo = %d", got)
+	}
+}
+
+func TestFlags(t *testing.T) {
+	s := NewClickStore()
+	s.SetFlag("ads.test", FlagAd)
+	s.SetFlag("ads.test", FlagCrawled)
+	if !s.HasFlag("ads.test", FlagAd) || !s.HasFlag("ads.test", FlagCrawled) {
+		t.Error("flags not set")
+	}
+	if s.HasFlag("ads.test", FlagSpam) {
+		t.Error("spurious flag")
+	}
+	if s.HasFlag("other.test", FlagAd) {
+		t.Error("flag on unknown host")
+	}
+	if got := s.Flags("ads.test"); got != FlagAd|FlagCrawled {
+		t.Errorf("Flags = %v", got)
+	}
+	if got := s.CountFlagged(FlagAd); got != 1 {
+		t.Errorf("CountFlagged = %d", got)
+	}
+}
+
+func TestFlagString(t *testing.T) {
+	if got := (FlagAd | FlagSpam).String(); got != "ad|spam" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Flag(0).String(); got != "none" {
+		t.Errorf("zero flag = %q", got)
+	}
+	if got := (FlagMultimedia | FlagCrawled).String(); got != "multimedia|crawled" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := populated()
+	s.SetFlag("a.test", FlagCrawled)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewClickStore()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != s.Len() {
+		t.Errorf("restored Len = %d, want %d", restored.Len(), s.Len())
+	}
+	if restored.DistinctServers() != 2 {
+		t.Errorf("restored servers = %d", restored.DistinctServers())
+	}
+	if !restored.HasFlag("a.test", FlagCrawled) {
+		t.Error("flag lost in round trip")
+	}
+	if got := len(restored.ByUser("u1")); got != 3 {
+		t.Errorf("restored ByUser = %d", got)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	s := NewClickStore()
+	if err := s.Load(strings.NewReader("not json")); err == nil {
+		t.Error("Load accepted garbage")
+	}
+}
+
+func TestAddBatch(t *testing.T) {
+	s := NewClickStore()
+	s.AddBatch([]attention.Click{
+		click("u1", "http://a.test/", base),
+		click("u2", "http://b.test/", base),
+	})
+	if s.Len() != 2 || s.DistinctServers() != 2 {
+		t.Error("AddBatch failed")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewClickStore()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			s.Add(click("u1", "http://a.test/", base))
+		}
+		close(done)
+	}()
+	for i := 0; i < 100; i++ {
+		s.Servers()
+		s.Len()
+		s.HasFlag("a.test", FlagAd)
+	}
+	<-done
+	if s.Len() != 1000 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}

@@ -1,0 +1,217 @@
+// Package topics provides the seeded synthetic topic model that underlies
+// both the synthetic web (internal/websim) and the synthetic video archive
+// (internal/video). Substituting the paper's real browsing data and TRECVid
+// transcripts requires text with controllable topical structure: each topic
+// owns a vocabulary of generated pseudo-words, documents are drawn from
+// topic mixtures, and user interest profiles are distributions over topics.
+// Everything is deterministic given a seed.
+package topics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Topic is a named vocabulary of pseudo-words.
+type Topic struct {
+	Name  string
+	Words []string
+}
+
+// Model is a collection of topics plus a shared background vocabulary of
+// words common to all documents (function-word analogue).
+type Model struct {
+	Topics     []Topic
+	Background []string
+}
+
+// syllables used to build pronounceable pseudo-words that pass the
+// tokenizer (letters only) and stem stably.
+var syllables = []string{
+	"ba", "ko", "ru", "zen", "ti", "lo", "mar", "vek", "su", "pli",
+	"dro", "fa", "gim", "hul", "jor", "kel", "nam", "os", "pra", "qua",
+	"rif", "sol", "tun", "ulm", "vor", "wis", "xan", "yel", "zob", "cre",
+}
+
+// word builds a deterministic pseudo-word from an rng.
+func word(rng *rand.Rand, minSyl, maxSyl int) string {
+	n := minSyl + rng.Intn(maxSyl-minSyl+1)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteString(syllables[rng.Intn(len(syllables))])
+	}
+	return sb.String()
+}
+
+// NewModel builds numTopics topics of wordsPerTopic words each, plus a
+// background vocabulary, all derived from seed. Vocabularies are disjoint:
+// collisions across topics are re-rolled so that a term identifies its
+// topic unambiguously (document mixtures, not shared words, provide
+// cross-topic ambiguity).
+func NewModel(seed int64, numTopics, wordsPerTopic, backgroundWords int) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	used := make(map[string]struct{})
+	fresh := func(minSyl, maxSyl int) string {
+		for {
+			w := word(rng, minSyl, maxSyl)
+			if _, ok := used[w]; !ok {
+				used[w] = struct{}{}
+				return w
+			}
+		}
+	}
+	m := &Model{}
+	for t := 0; t < numTopics; t++ {
+		topic := Topic{Name: fmt.Sprintf("topic%02d", t)}
+		for w := 0; w < wordsPerTopic; w++ {
+			topic.Words = append(topic.Words, fresh(3, 4))
+		}
+		m.Topics = append(m.Topics, topic)
+	}
+	for w := 0; w < backgroundWords; w++ {
+		m.Background = append(m.Background, fresh(2, 3))
+	}
+	return m
+}
+
+// NumTopics returns the number of topics.
+func (m *Model) NumTopics() int { return len(m.Topics) }
+
+// Mixture is a distribution over topic indices; weights need not be
+// normalized (sampling normalizes).
+type Mixture map[int]float64
+
+// Normalize returns a copy whose weights sum to 1; an empty or zero-sum
+// mixture returns nil.
+func (mx Mixture) Normalize() Mixture {
+	var sum float64
+	for _, w := range mx {
+		if w > 0 {
+			sum += w
+		}
+	}
+	if sum == 0 {
+		return nil
+	}
+	out := make(Mixture, len(mx))
+	for t, w := range mx {
+		if w > 0 {
+			out[t] = w / sum
+		}
+	}
+	return out
+}
+
+// sample draws a topic index from the normalized mixture.
+func (mx Mixture) sample(rng *rand.Rand) int {
+	x := rng.Float64()
+	// Deterministic iteration order: sort keys.
+	keys := make([]int, 0, len(mx))
+	for k := range mx {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var cum float64
+	for _, k := range keys {
+		cum += mx[k]
+		if x < cum {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// SampleText draws nWords words: with probability bgProb a background word,
+// otherwise a word of a topic drawn from the mixture. The mixture must be
+// normalized (see Normalize).
+func (m *Model) SampleText(rng *rand.Rand, mx Mixture, nWords int, bgProb float64) string {
+	if len(mx) == 0 || nWords <= 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i := 0; i < nWords; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if len(m.Background) > 0 && rng.Float64() < bgProb {
+			sb.WriteString(m.Background[rng.Intn(len(m.Background))])
+			continue
+		}
+		t := mx.sample(rng)
+		words := m.Topics[t%len(m.Topics)].Words
+		// Zipf-ish within-topic word popularity: favor low indices.
+		idx := int(float64(len(words)) * rng.Float64() * rng.Float64())
+		if idx >= len(words) {
+			idx = len(words) - 1
+		}
+		sb.WriteString(words[idx])
+	}
+	return sb.String()
+}
+
+// Blend mixes two mixtures: (1-wb)·a + wb·b, normalized. It models topical
+// bleed — real documents are never pure draws from one topic.
+func Blend(a, b Mixture, wb float64) Mixture {
+	out := make(Mixture)
+	for t, w := range a {
+		out[t] += (1 - wb) * w
+	}
+	for t, w := range b {
+		out[t] += wb * w
+	}
+	return out.Normalize()
+}
+
+// UniformAll spreads weight evenly over all n topics.
+func UniformAll(n int) Mixture {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return UniformMixture(idx...)
+}
+
+// UniformMixture spreads weight evenly over the given topics.
+func UniformMixture(topicIdx ...int) Mixture {
+	mx := make(Mixture, len(topicIdx))
+	for _, t := range topicIdx {
+		mx[t] = 1
+	}
+	return mx.Normalize()
+}
+
+// InterestProfile is a user's long-term interest: a mixture over topics,
+// used by the workload generator to pick pages and by the video ground
+// truth to score stories.
+type InterestProfile struct {
+	Name    string
+	Mixture Mixture
+}
+
+// NewInterestProfile draws a profile concentrated on a few topics: nCore
+// topics carry most of the weight and nMinor topics a little, mirroring
+// users with a handful of strong interests plus stragglers.
+func NewInterestProfile(rng *rand.Rand, name string, numTopics, nCore, nMinor int) InterestProfile {
+	mx := make(Mixture)
+	perm := rng.Perm(numTopics)
+	i := 0
+	for ; i < nCore && i < len(perm); i++ {
+		mx[perm[i]] = 3 + rng.Float64()*2 // heavy
+	}
+	for ; i < nCore+nMinor && i < len(perm); i++ {
+		mx[perm[i]] = 0.3 + rng.Float64()*0.4 // light
+	}
+	return InterestProfile{Name: name, Mixture: mx.Normalize()}
+}
+
+// Affinity returns how well a document mixture matches the profile: the
+// dot product of the two normalized mixtures.
+func (p InterestProfile) Affinity(doc Mixture) float64 {
+	var sum float64
+	for t, w := range p.Mixture {
+		sum += w * doc[t]
+	}
+	return sum
+}

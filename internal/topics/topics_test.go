@@ -1,0 +1,174 @@
+package topics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNewModelDeterministic(t *testing.T) {
+	m1 := NewModel(42, 5, 10, 20)
+	m2 := NewModel(42, 5, 10, 20)
+	if len(m1.Topics) != 5 || len(m1.Background) != 20 {
+		t.Fatalf("model shape: %d topics, %d background", len(m1.Topics), len(m1.Background))
+	}
+	for i := range m1.Topics {
+		if m1.Topics[i].Name != m2.Topics[i].Name {
+			t.Fatal("topic names differ across same-seed models")
+		}
+		for j := range m1.Topics[i].Words {
+			if m1.Topics[i].Words[j] != m2.Topics[i].Words[j] {
+				t.Fatal("topic words differ across same-seed models")
+			}
+		}
+	}
+	m3 := NewModel(43, 5, 10, 20)
+	same := true
+	for j := range m1.Topics[0].Words {
+		if m1.Topics[0].Words[j] != m3.Topics[0].Words[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical vocabularies")
+	}
+}
+
+func TestModelVocabulariesDisjoint(t *testing.T) {
+	m := NewModel(7, 10, 40, 50)
+	seen := make(map[string]string)
+	record := func(w, owner string) {
+		if prev, ok := seen[w]; ok {
+			t.Fatalf("word %q in both %s and %s", w, prev, owner)
+		}
+		seen[w] = owner
+	}
+	for _, topic := range m.Topics {
+		for _, w := range topic.Words {
+			record(w, topic.Name)
+		}
+	}
+	for _, w := range m.Background {
+		record(w, "background")
+	}
+}
+
+func TestMixtureNormalize(t *testing.T) {
+	mx := Mixture{0: 2, 1: 2}.Normalize()
+	if math.Abs(mx[0]-0.5) > 1e-12 || math.Abs(mx[1]-0.5) > 1e-12 {
+		t.Errorf("Normalize = %v", mx)
+	}
+	if (Mixture{}).Normalize() != nil {
+		t.Error("empty mixture should normalize to nil")
+	}
+	if (Mixture{0: 0}).Normalize() != nil {
+		t.Error("zero-sum mixture should normalize to nil")
+	}
+	// Negative weights dropped.
+	mx = Mixture{0: -1, 1: 1}.Normalize()
+	if _, ok := mx[0]; ok {
+		t.Error("negative weight survived Normalize")
+	}
+}
+
+func TestSampleTextRespectsMixture(t *testing.T) {
+	m := NewModel(11, 4, 30, 10)
+	rng := rand.New(rand.NewSource(1))
+	mx := UniformMixture(2)
+	text := m.SampleText(rng, mx, 500, 0)
+
+	topicWords := make(map[string]int)
+	for i, topic := range m.Topics {
+		for _, w := range topic.Words {
+			_ = i
+			topicWords[w] = i
+		}
+	}
+	for _, w := range strings.Fields(text) {
+		if got, ok := topicWords[w]; ok && got != 2 {
+			t.Fatalf("word %q from topic %d leaked into pure topic-2 text", w, got)
+		}
+	}
+}
+
+func TestSampleTextBackground(t *testing.T) {
+	m := NewModel(11, 2, 10, 10)
+	rng := rand.New(rand.NewSource(2))
+	text := m.SampleText(rng, UniformMixture(0), 1000, 0.5)
+	bg := make(map[string]bool)
+	for _, w := range m.Background {
+		bg[w] = true
+	}
+	nBG := 0
+	words := strings.Fields(text)
+	for _, w := range words {
+		if bg[w] {
+			nBG++
+		}
+	}
+	frac := float64(nBG) / float64(len(words))
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("background fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestSampleTextDegenerate(t *testing.T) {
+	m := NewModel(1, 2, 5, 5)
+	rng := rand.New(rand.NewSource(3))
+	if got := m.SampleText(rng, nil, 10, 0); got != "" {
+		t.Errorf("nil mixture text = %q", got)
+	}
+	if got := m.SampleText(rng, UniformMixture(0), 0, 0); got != "" {
+		t.Errorf("zero words text = %q", got)
+	}
+}
+
+func TestUniformMixture(t *testing.T) {
+	mx := UniformMixture(1, 3, 5)
+	if len(mx) != 3 {
+		t.Fatalf("mixture size = %d", len(mx))
+	}
+	for _, w := range mx {
+		if math.Abs(w-1.0/3.0) > 1e-12 {
+			t.Errorf("weight = %v", w)
+		}
+	}
+}
+
+func TestInterestProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := NewInterestProfile(rng, "u1", 10, 2, 3)
+	if len(p.Mixture) != 5 {
+		t.Fatalf("profile topics = %d, want 5", len(p.Mixture))
+	}
+	var sum float64
+	for _, w := range p.Mixture {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("profile weights sum = %v", sum)
+	}
+}
+
+func TestAffinity(t *testing.T) {
+	p := InterestProfile{Mixture: Mixture{0: 0.8, 1: 0.2}}
+	aligned := Mixture{0: 1.0}
+	misaligned := Mixture{5: 1.0}
+	if p.Affinity(aligned) <= p.Affinity(misaligned) {
+		t.Error("aligned doc does not score higher")
+	}
+	if got := p.Affinity(misaligned); got != 0 {
+		t.Errorf("orthogonal affinity = %v", got)
+	}
+}
+
+func TestSampleDeterministicGivenSeed(t *testing.T) {
+	m := NewModel(9, 3, 10, 5)
+	t1 := m.SampleText(rand.New(rand.NewSource(4)), UniformMixture(0, 1), 50, 0.2)
+	t2 := m.SampleText(rand.New(rand.NewSource(4)), UniformMixture(0, 1), 50, 0.2)
+	if t1 != t2 {
+		t.Error("same-seed sampling differs")
+	}
+}

@@ -1,0 +1,199 @@
+// Package video models the news-video archive of the paper's content-based
+// case study (§3.3): 500 stories that aired on ABC and CNN in 2004 (the
+// TRECVid dataset), each with a transcript, an air date, and — substituting
+// the paper's human test user — a ground-truth interest ranking derived
+// from a synthetic user interest profile (see DESIGN.md §2).
+package video
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"reef/internal/ir"
+	"reef/internal/topics"
+)
+
+// Story is one archived news video.
+type Story struct {
+	// ID is the archive identifier.
+	ID string
+	// Title is the headline.
+	Title string
+	// Transcript is the spoken-text transcript the retrieval runs over.
+	Transcript string
+	// Channel is "ABC" or "CNN".
+	Channel string
+	// Aired is the broadcast time; the airing order is the paper's
+	// baseline ranking.
+	Aired time.Time
+	// Mixture is the generation ground truth (not visible to retrieval).
+	Mixture topics.Mixture
+}
+
+// Archive is the story collection plus its retrieval index.
+type Archive struct {
+	stories []*Story
+	corpus  *ir.Corpus
+	model   *topics.Model
+}
+
+// Config tunes archive generation.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// NumStories defaults to the paper's 500.
+	NumStories int
+	// Start is the first air date; stories spread over Span.
+	Start time.Time
+	// Span is the airing window (default: one year, as in 2004).
+	Span time.Duration
+	// WordsPerTranscript bounds transcript length.
+	WordsMin, WordsMax int
+	// BackgroundProb is the share of non-topical words.
+	BackgroundProb float64
+	// TopicBleed blends every story's mixture with a uniform spread over
+	// all topics: real transcripts always mention off-topic matter.
+	TopicBleed float64
+}
+
+// DefaultConfig mirrors the paper's archive shape.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		NumStories:     500,
+		Start:          time.Date(2004, 1, 1, 0, 0, 0, 0, time.UTC),
+		Span:           365 * 24 * time.Hour,
+		WordsMin:       120,
+		WordsMax:       400,
+		BackgroundProb: 0.45,
+	}
+}
+
+// Generate builds a deterministic archive over the topic model.
+func Generate(cfg Config, model *topics.Model) *Archive {
+	if cfg.NumStories <= 0 {
+		cfg.NumStories = 500
+	}
+	if cfg.Span <= 0 {
+		cfg.Span = 365 * 24 * time.Hour
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a := &Archive{corpus: ir.NewCorpus(), model: model}
+	channels := []string{"ABC", "CNN"}
+	for i := 0; i < cfg.NumStories; i++ {
+		// Stories lean on one or two topics.
+		var mx topics.Mixture
+		if rng.Float64() < 0.6 {
+			mx = topics.UniformMixture(rng.Intn(model.NumTopics()))
+		} else {
+			t1, t2 := rng.Intn(model.NumTopics()), rng.Intn(model.NumTopics())
+			mx = topics.Mixture{t1: 0.7, t2: 0.3}.Normalize()
+		}
+		if cfg.TopicBleed > 0 {
+			mx = topics.Blend(mx, topics.UniformAll(model.NumTopics()), cfg.TopicBleed)
+		}
+		nWords := cfg.WordsMin
+		if cfg.WordsMax > cfg.WordsMin {
+			nWords += rng.Intn(cfg.WordsMax - cfg.WordsMin + 1)
+		}
+		aired := cfg.Start.Add(time.Duration(rng.Int63n(int64(cfg.Span))))
+		st := &Story{
+			ID:         fmt.Sprintf("story%03d", i),
+			Title:      fmt.Sprintf("News story %d", i),
+			Transcript: model.SampleText(rng, mx, nWords, cfg.BackgroundProb),
+			Channel:    channels[rng.Intn(len(channels))],
+			Aired:      aired,
+			Mixture:    mx,
+		}
+		a.stories = append(a.stories, st)
+		a.corpus.AddText(st.ID, st.Transcript)
+	}
+	return a
+}
+
+// Stories returns the archive's stories (shared slice; do not mutate).
+func (a *Archive) Stories() []*Story { return a.stories }
+
+// Story returns a story by ID.
+func (a *Archive) Story(id string) (*Story, bool) {
+	for _, s := range a.stories {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Corpus exposes the retrieval index.
+func (a *Archive) Corpus() *ir.Corpus { return a.corpus }
+
+// AiringOrder returns story IDs by air date (the paper's baseline: "the
+// order in which the stories originally aired").
+func (a *Archive) AiringOrder() []string {
+	sorted := make([]*Story, len(a.stories))
+	copy(sorted, a.stories)
+	sort.Slice(sorted, func(i, j int) bool {
+		if !sorted[i].Aired.Equal(sorted[j].Aired) {
+			return sorted[i].Aired.Before(sorted[j].Aired)
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	out := make([]string, len(sorted))
+	for i, s := range sorted {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// Rank orders story IDs by BM25 score for the weighted-term query.
+func (a *Archive) Rank(query map[string]float64, params ir.BM25Params) []string {
+	scorer := ir.NewBM25(a.corpus, params)
+	return ir.IDs(scorer.Rank(query))
+}
+
+// GroundTruth derives the synthetic user's interest ranking: stories are
+// ordered by profile affinity perturbed by noise (imperfect human
+// judgment), and the top interestingFrac of that ranking is the "relevant"
+// set the paper's precision measure counts.
+type GroundTruth struct {
+	// Ranking is the user's full preference order.
+	Ranking []string
+	// Relevant is the interesting set.
+	Relevant map[string]bool
+}
+
+// UserRanking builds the ground truth for a profile. noise is the standard
+// deviation of the judgment perturbation relative to the affinity scale
+// (0 = perfectly topical user).
+func (a *Archive) UserRanking(profile topics.InterestProfile, seed int64, noise, interestingFrac float64) GroundTruth {
+	rng := rand.New(rand.NewSource(seed))
+	type scored struct {
+		id string
+		s  float64
+	}
+	rows := make([]scored, len(a.stories))
+	for i, st := range a.stories {
+		s := profile.Affinity(st.Mixture) + rng.NormFloat64()*noise
+		rows[i] = scored{id: st.ID, s: s}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].s != rows[j].s {
+			return rows[i].s > rows[j].s
+		}
+		return rows[i].id < rows[j].id
+	})
+	gt := GroundTruth{
+		Ranking:  make([]string, len(rows)),
+		Relevant: make(map[string]bool),
+	}
+	nRel := int(float64(len(rows)) * interestingFrac)
+	for i, r := range rows {
+		gt.Ranking[i] = r.id
+		if i < nRel {
+			gt.Relevant[r.id] = true
+		}
+	}
+	return gt
+}

@@ -1,0 +1,120 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"reef/internal/ir"
+	"reef/internal/topics"
+)
+
+func testArchive(seed int64, n int) (*Archive, *topics.Model) {
+	model := topics.NewModel(seed, 8, 40, 60)
+	cfg := DefaultConfig(seed)
+	cfg.NumStories = n
+	return Generate(cfg, model), model
+}
+
+func TestGenerateShape(t *testing.T) {
+	a, _ := testArchive(1, 100)
+	if len(a.Stories()) != 100 {
+		t.Fatalf("stories = %d", len(a.Stories()))
+	}
+	if a.Corpus().N() != 100 {
+		t.Fatalf("corpus N = %d", a.Corpus().N())
+	}
+	for _, s := range a.Stories() {
+		if s.Transcript == "" || s.Aired.IsZero() {
+			t.Fatalf("incomplete story %+v", s)
+		}
+		if s.Channel != "ABC" && s.Channel != "CNN" {
+			t.Fatalf("channel = %q", s.Channel)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a1, _ := testArchive(5, 50)
+	a2, _ := testArchive(5, 50)
+	for i := range a1.Stories() {
+		if a1.Stories()[i].Transcript != a2.Stories()[i].Transcript {
+			t.Fatal("same-seed archives differ")
+		}
+	}
+}
+
+func TestAiringOrderSorted(t *testing.T) {
+	a, _ := testArchive(2, 80)
+	order := a.AiringOrder()
+	if len(order) != 80 {
+		t.Fatalf("order = %d", len(order))
+	}
+	var prev time.Time
+	for _, id := range order {
+		s, ok := a.Story(id)
+		if !ok {
+			t.Fatalf("unknown id %s", id)
+		}
+		if s.Aired.Before(prev) {
+			t.Fatal("airing order not sorted")
+		}
+		prev = s.Aired
+	}
+}
+
+func TestUserRankingPrefersProfileTopics(t *testing.T) {
+	a, model := testArchive(3, 200)
+	rng := rand.New(rand.NewSource(9))
+	profile := topics.NewInterestProfile(rng, "u", model.NumTopics(), 2, 1)
+	gt := a.UserRanking(profile, 7, 0.0, 0.2)
+	if len(gt.Ranking) != 200 || len(gt.Relevant) != 40 {
+		t.Fatalf("gt shape: %d ranked, %d relevant", len(gt.Ranking), len(gt.Relevant))
+	}
+	// With zero noise the top-ranked story has affinity >= the bottom.
+	top, _ := a.Story(gt.Ranking[0])
+	bottom, _ := a.Story(gt.Ranking[len(gt.Ranking)-1])
+	if profile.Affinity(top.Mixture) < profile.Affinity(bottom.Mixture) {
+		t.Error("ranking not affinity-ordered at zero noise")
+	}
+}
+
+func TestUserRankingDeterministicPerSeed(t *testing.T) {
+	a, model := testArchive(4, 100)
+	rng := rand.New(rand.NewSource(1))
+	p := topics.NewInterestProfile(rng, "u", model.NumTopics(), 2, 1)
+	g1 := a.UserRanking(p, 11, 0.1, 0.2)
+	g2 := a.UserRanking(p, 11, 0.1, 0.2)
+	for i := range g1.Ranking {
+		if g1.Ranking[i] != g2.Ranking[i] {
+			t.Fatal("same-seed ground truth differs")
+		}
+	}
+}
+
+func TestRankRetrievesTopicalStories(t *testing.T) {
+	a, model := testArchive(6, 300)
+	// Query made of topic-0 words must rank topic-0 stories first.
+	q := map[string]float64{}
+	for _, w := range model.Topics[0].Words[:5] {
+		q[ir.Stem(w)] = 1
+	}
+	ranked := a.Rank(q, ir.DefaultBM25)
+	if len(ranked) != 300 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	top, _ := a.Story(ranked[0])
+	if top.Mixture[0] == 0 {
+		t.Errorf("top story has no topic-0 weight: %v", top.Mixture)
+	}
+}
+
+func TestStoryLookup(t *testing.T) {
+	a, _ := testArchive(7, 10)
+	if _, ok := a.Story("story000"); !ok {
+		t.Error("story000 missing")
+	}
+	if _, ok := a.Story("nope"); ok {
+		t.Error("bogus story found")
+	}
+}

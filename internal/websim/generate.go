@@ -1,0 +1,247 @@
+package websim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"reef/internal/feed"
+	"reef/internal/topics"
+)
+
+// Config parameterizes synthetic web generation. The defaults (see
+// DefaultConfig) are calibrated so that the E1 experiment reproduces the
+// aggregate statistics of the paper's §3.2 crawl.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Start is the initial feed time.
+	Start time.Time
+
+	// NumContentServers is the pool of ordinary topical servers.
+	NumContentServers int
+	// NumAdServers is the pool of advertisement hosts.
+	NumAdServers int
+	// NumSpamServers is the pool of keyword-stuffed spam hosts.
+	NumSpamServers int
+	// NumMultimediaServers is the pool of media CDNs.
+	NumMultimediaServers int
+
+	// PagesPerServerMin/Max bound pages per content server.
+	PagesPerServerMin, PagesPerServerMax int
+	// WordsPerPageMin/Max bound body length in words.
+	WordsPerPageMin, WordsPerPageMax int
+	// BackgroundProb is the chance a body word is background vocabulary.
+	BackgroundProb float64
+
+	// FeedProb is the probability a content server hosts at least one feed.
+	FeedProb float64
+	// MaxFeedsPerServer bounds feeds on feed-hosting servers.
+	MaxFeedsPerServer int
+	// FeedUpdateMin/Max bound each feed's publication interval.
+	FeedUpdateMin, FeedUpdateMax time.Duration
+
+	// AdsPerPageMax bounds embedded ad references per content page.
+	AdsPerPageMax int
+	// LinksPerPageMax bounds hyperlinks per page.
+	LinksPerPageMax int
+}
+
+// DefaultConfig returns the E1-calibrated configuration over the given
+// model. The counts mirror §3.2: ~900 content servers that users actually
+// reach, ~1700 ad hosts, and 424 distinct feeds comes from FeedProb and
+// MaxFeedsPerServer (measured, not forced).
+func DefaultConfig(seed int64, start time.Time) Config {
+	return Config{
+		Seed:                 seed,
+		Start:                start,
+		NumContentServers:    1060,
+		NumAdServers:         950,
+		NumSpamServers:       40,
+		NumMultimediaServers: 30,
+		PagesPerServerMin:    3,
+		PagesPerServerMax:    12,
+		WordsPerPageMin:      80,
+		WordsPerPageMax:      260,
+		BackgroundProb:       0.35,
+		FeedProb:             0.36,
+		MaxFeedsPerServer:    2,
+		FeedUpdateMin:        2 * time.Hour,
+		FeedUpdateMax:        72 * time.Hour,
+		AdsPerPageMax:        5,
+		LinksPerPageMax:      6,
+	}
+}
+
+// Generate builds a deterministic synthetic web from the config and model.
+func Generate(cfg Config, model *topics.Model) *Web {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := NewWeb(model, cfg.Start)
+
+	// Ad servers first so content pages can reference them.
+	adHosts := make([]string, 0, cfg.NumAdServers)
+	for i := 0; i < cfg.NumAdServers; i++ {
+		host := fmt.Sprintf("ad%04d.adnet.test", i)
+		adHosts = append(adHosts, host)
+		w.AddServer(&Server{
+			Host:  host,
+			Kind:  KindAd,
+			Pages: map[string]*Page{},
+			Feeds: map[string]*FeedSpec{},
+		})
+	}
+
+	for i := 0; i < cfg.NumMultimediaServers; i++ {
+		host := fmt.Sprintf("media%03d.cdn.test", i)
+		s := &Server{Host: host, Kind: KindMultimedia, Pages: map[string]*Page{}, Feeds: map[string]*FeedSpec{}}
+		for p := 0; p < 4; p++ {
+			path := fmt.Sprintf("/v/%d.mp4", p)
+			s.Pages[path] = &Page{Path: path, Title: fmt.Sprintf("clip %d", p)}
+		}
+		w.AddServer(s)
+	}
+
+	for i := 0; i < cfg.NumSpamServers; i++ {
+		host := fmt.Sprintf("spam%03d.junk.test", i)
+		s := &Server{Host: host, Kind: KindSpam, Pages: map[string]*Page{}, Feeds: map[string]*FeedSpec{}}
+		mx := topics.UniformMixture(rng.Intn(model.NumTopics()))
+		for p := 0; p < 3; p++ {
+			path := fmt.Sprintf("/offer/%d.html", p)
+			s.Pages[path] = &Page{
+				Path:    path,
+				Title:   fmt.Sprintf("AMAZING OFFER %d", p),
+				Text:    model.SampleText(rng, mx, 30, 0.1),
+				Mixture: mx,
+			}
+		}
+		w.AddServer(s)
+	}
+
+	// Content servers with topical pages, cross-links, ads and feeds.
+	servers := make([]*Server, 0, cfg.NumContentServers)
+	for i := 0; i < cfg.NumContentServers; i++ {
+		host := fmt.Sprintf("c%04d.web.test", i)
+		var mx topics.Mixture
+		if rng.Float64() < 0.7 {
+			mx = topics.UniformMixture(rng.Intn(model.NumTopics()))
+		} else {
+			mx = topics.UniformMixture(rng.Intn(model.NumTopics()), rng.Intn(model.NumTopics()))
+		}
+		s := &Server{Host: host, Kind: KindContent, Mixture: mx,
+			Pages: map[string]*Page{}, Feeds: map[string]*FeedSpec{}}
+
+		// Feeds.
+		var feedPaths []string
+		if rng.Float64() < cfg.FeedProb {
+			nf := 1 + rng.Intn(cfg.MaxFeedsPerServer)
+			for f := 0; f < nf; f++ {
+				path := fmt.Sprintf("/feeds/%d.xml", f)
+				interval := cfg.FeedUpdateMin +
+					time.Duration(rng.Int63n(int64(cfg.FeedUpdateMax-cfg.FeedUpdateMin)+1))
+				format := feed.FormatRSS2
+				switch rng.Intn(4) {
+				case 0:
+					format = feed.FormatAtom
+				case 1:
+					if rng.Intn(2) == 0 {
+						format = feed.FormatRDF
+					}
+				}
+				s.Feeds[path] = &FeedSpec{
+					Path: path,
+					Feed: &feed.Feed{
+						URL:         s.URL(path),
+						Title:       fmt.Sprintf("%s feed %d", host, f),
+						SiteLink:    s.URL("/"),
+						Description: "synthetic feed",
+						Format:      format,
+					},
+					UpdateEvery: interval,
+					NextUpdate:  cfg.Start.Add(time.Duration(rng.Int63n(int64(interval)))),
+					Mixture:     mx,
+				}
+				feedPaths = append(feedPaths, path)
+			}
+		}
+
+		nPages := cfg.PagesPerServerMin
+		if cfg.PagesPerServerMax > cfg.PagesPerServerMin {
+			nPages += rng.Intn(cfg.PagesPerServerMax - cfg.PagesPerServerMin + 1)
+		}
+		for p := 0; p < nPages; p++ {
+			path := fmt.Sprintf("/p/%d.html", p)
+			nWords := cfg.WordsPerPageMin
+			if cfg.WordsPerPageMax > cfg.WordsPerPageMin {
+				nWords += rng.Intn(cfg.WordsPerPageMax - cfg.WordsPerPageMin + 1)
+			}
+			page := &Page{
+				Path:    path,
+				Title:   fmt.Sprintf("%s page %d", host, p),
+				Text:    model.SampleText(rng, mx, nWords, cfg.BackgroundProb),
+				Mixture: mx,
+			}
+			// Every page advertises the server's feeds (sites put the
+			// autodiscovery link in their shared header).
+			page.FeedPaths = feedPaths
+			// Ads.
+			if cfg.AdsPerPageMax > 0 && len(adHosts) > 0 {
+				nAds := rng.Intn(cfg.AdsPerPageMax + 1)
+				for a := 0; a < nAds; a++ {
+					// Most ad slots go to the big networks (Zipf head);
+					// a quarter go to one-off minor trackers drawn
+					// uniformly, giving the long tail of servers seen
+					// only once that real traffic shows.
+					var ad string
+					if rng.Float64() < 0.25 {
+						ad = adHosts[rng.Intn(len(adHosts))]
+					} else {
+						ad = adHosts[zipfIndex(rng, len(adHosts))]
+					}
+					page.AdRefs = append(page.AdRefs,
+						fmt.Sprintf("http://%s/banner/%d", ad, rng.Intn(1000)))
+				}
+			}
+			s.Pages[path] = page
+		}
+		servers = append(servers, s)
+		w.AddServer(s)
+	}
+
+	// Hyperlinks: same-server links plus a few cross-server ones. Pages
+	// iterate in sorted path order to keep generation deterministic.
+	for _, s := range servers {
+		paths := make([]string, 0, len(s.Pages))
+		for path := range s.Pages {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			p := s.Pages[path]
+			nLinks := rng.Intn(cfg.LinksPerPageMax + 1)
+			for l := 0; l < nLinks; l++ {
+				if rng.Float64() < 0.6 {
+					p.Links = append(p.Links, s.URL(fmt.Sprintf("/p/%d.html", rng.Intn(len(s.Pages)))))
+				} else {
+					target := servers[zipfIndex(rng, len(servers))]
+					p.Links = append(p.Links, target.URL(fmt.Sprintf("/p/%d.html", rng.Intn(len(target.Pages)))))
+				}
+			}
+		}
+	}
+	return w
+}
+
+// zipfIndex draws an index in [0, n) with a Zipf-like skew toward 0.
+func zipfIndex(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Squaring a uniform draws low indices more often; cheap and seedable.
+	x := rng.Float64()
+	i := int(float64(n) * x * x)
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

@@ -1,0 +1,93 @@
+package websim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Handler adapts the synthetic web to net/http: requests to
+// "/<host>/<path>" are served from the corresponding synthetic server.
+// This lets integration tests and the reefd binary exercise the real HTTP
+// stack against the simulated web.
+type Handler struct {
+	Web *Web
+}
+
+var _ http.Handler = (*Handler)(nil)
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	// Path form: /<host>/<rest...>
+	path := req.URL.Path
+	if len(path) < 2 {
+		http.Error(rw, "missing host segment", http.StatusBadRequest)
+		return
+	}
+	host, rest := path[1:], "/"
+	for i := 1; i < len(path); i++ {
+		if path[i] == '/' {
+			host, rest = path[1:i], path[i:]
+			break
+		}
+	}
+	res, err := h.Web.Fetch("http://" + host + rest)
+	switch {
+	case err == nil:
+		rw.Header().Set("Content-Type", res.ContentType)
+		_, _ = rw.Write(res.Body)
+	case errors.Is(err, ErrNotFound):
+		http.Error(rw, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrServerDown):
+		http.Error(rw, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// HTTPFetcher is a Fetcher that rewrites synthetic URLs onto a Handler
+// served at baseURL and fetches them over real HTTP.
+type HTTPFetcher struct {
+	// BaseURL is where a Handler is mounted, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client is the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+}
+
+var _ Fetcher = (*HTTPFetcher)(nil)
+
+// Fetch implements Fetcher over real HTTP.
+func (f *HTTPFetcher) Fetch(url string) (*Resource, error) {
+	host, path, err := SplitURL(url)
+	if err != nil {
+		return nil, err
+	}
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(f.BaseURL + "/" + host + path)
+	if err != nil {
+		return nil, fmt.Errorf("websim: http fetch %s: %w", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, url)
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return nil, fmt.Errorf("%w: %s", ErrServerDown, url)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("websim: http fetch %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, fmt.Errorf("websim: reading %s: %w", url, err)
+	}
+	return &Resource{
+		URL:         url,
+		ContentType: resp.Header.Get("Content-Type"),
+		Body:        body,
+	}, nil
+}

@@ -1,0 +1,68 @@
+package websim
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"reef/internal/topics"
+)
+
+func TestHandlerServesWeb(t *testing.T) {
+	model := topics.NewModel(21, 4, 20, 20)
+	cfg := smallConfig(21)
+	w := Generate(cfg, model)
+	srv := httptest.NewServer(&Handler{Web: w})
+	defer srv.Close()
+
+	f := &HTTPFetcher{BaseURL: srv.URL}
+	content := w.Servers(KindContent)[0]
+	var page *Page
+	for _, p := range content.Pages {
+		page = p
+		break
+	}
+	res, err := f.Fetch(content.URL(page.Path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.ContentType, "text/html") {
+		t.Errorf("ContentType = %q", res.ContentType)
+	}
+	if !strings.Contains(string(res.Body), page.Title) {
+		t.Error("HTTP-fetched page missing title")
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	model := topics.NewModel(22, 4, 20, 20)
+	w := Generate(smallConfig(22), model)
+	srv := httptest.NewServer(&Handler{Web: w})
+	defer srv.Close()
+	f := &HTTPFetcher{BaseURL: srv.URL}
+
+	if _, err := f.Fetch("http://nosuch.host.test/x"); err == nil {
+		t.Error("unknown host fetched over HTTP")
+	}
+	s := w.Servers(KindContent)[0]
+	w.SetDown(s.Host, true)
+	if _, err := f.Fetch(s.URL("/p/0.html")); err == nil {
+		t.Error("down host fetched over HTTP")
+	}
+}
+
+func TestHandlerBadPath(t *testing.T) {
+	model := topics.NewModel(23, 2, 10, 10)
+	w := Generate(smallConfig(23), model)
+	srv := httptest.NewServer(&Handler{Web: w})
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Error("empty path served 200")
+	}
+}

@@ -1,0 +1,495 @@
+// Package websim is the deterministic synthetic Web used in place of the
+// live Web the paper's test users browsed (see DESIGN.md §2). It hosts
+// content servers (topical pages with hyperlinks, embedded ad references
+// and RSS/Atom autodiscovery links), advertisement servers, spam sites and
+// multimedia servers. Feeds update on a schedule as simulated time
+// advances, so the WAIF proxy and crawler exercise the same code paths they
+// would against real services.
+package websim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"reef/internal/feed"
+	"reef/internal/topics"
+)
+
+// ServerKind classifies a synthetic web server.
+type ServerKind int
+
+// Server kinds.
+const (
+	KindContent ServerKind = iota + 1
+	KindAd
+	KindSpam
+	KindMultimedia
+)
+
+// String names the kind.
+func (k ServerKind) String() string {
+	switch k {
+	case KindContent:
+		return "content"
+	case KindAd:
+		return "ad"
+	case KindSpam:
+		return "spam"
+	case KindMultimedia:
+		return "multimedia"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Page is one HTML page of a content, ad, or spam server.
+type Page struct {
+	// Path is the server-relative path, e.g. "/p/3.html".
+	Path string
+	// Title is the page title.
+	Title string
+	// Text is the body text (topical pseudo-words).
+	Text string
+	// Links are absolute URLs of hyperlinked pages.
+	Links []string
+	// AdRefs are absolute URLs of ad-server resources the page embeds;
+	// a browser visiting the page also requests these.
+	AdRefs []string
+	// FeedPaths are server-relative paths of feeds this page advertises
+	// via autodiscovery links.
+	FeedPaths []string
+	// Mixture records the topic mixture the text was drawn from (ground
+	// truth for experiments; not exposed in HTML).
+	Mixture topics.Mixture
+}
+
+// FeedSpec is a live feed hosted by a server: a document that grows new
+// items as simulated time advances.
+type FeedSpec struct {
+	// Path is the server-relative path, e.g. "/feeds/0.xml".
+	Path string
+	// Feed is the current document.
+	Feed *feed.Feed
+	// UpdateEvery is the publication interval.
+	UpdateEvery time.Duration
+	// NextUpdate is when the next item appears.
+	NextUpdate time.Time
+	// Mixture drives item text.
+	Mixture topics.Mixture
+
+	counter int
+}
+
+// Server is one synthetic web host.
+type Server struct {
+	// Host is the DNS-style name, e.g. "c0042.web.test".
+	Host string
+	// Kind classifies the server.
+	Kind ServerKind
+	// Mixture is the server's topical leaning (content servers only).
+	Mixture topics.Mixture
+	// Pages maps path to page.
+	Pages map[string]*Page
+	// Feeds maps path to feed spec.
+	Feeds map[string]*FeedSpec
+}
+
+// URL returns the absolute URL of a server-relative path.
+func (s *Server) URL(path string) string {
+	return "http://" + s.Host + path
+}
+
+// PageURLs returns the absolute URLs of all pages, sorted by path order of
+// insertion (callers needing determinism sort themselves).
+func (s *Server) PageURLs() []string {
+	out := make([]string, 0, len(s.Pages))
+	for p := range s.Pages {
+		out = append(out, s.URL(p))
+	}
+	return out
+}
+
+// Resource is a fetched web resource.
+type Resource struct {
+	URL         string
+	ContentType string
+	Body        []byte
+}
+
+// Fetcher retrieves web resources; the crawler and WAIF proxy depend on
+// this interface so tests can substitute failures and real HTTP can be
+// swapped in.
+type Fetcher interface {
+	Fetch(url string) (*Resource, error)
+}
+
+// Fetch errors.
+var (
+	ErrNotFound   = errors.New("websim: not found")
+	ErrBadURL     = errors.New("websim: malformed url")
+	ErrServerDown = errors.New("websim: server down")
+)
+
+// Web is the synthetic web: a set of servers plus the topic model and
+// simulated feed time. It is safe for concurrent use.
+type Web struct {
+	mu      sync.Mutex
+	servers map[string]*Server
+	model   *topics.Model
+	now     time.Time
+
+	fetches    int64
+	bytesSent  int64
+	downHosts  map[string]bool
+	genCounter int
+}
+
+// NewWeb creates an empty web whose feed clock starts at start.
+func NewWeb(model *topics.Model, start time.Time) *Web {
+	return &Web{
+		servers:   make(map[string]*Server),
+		model:     model,
+		now:       start,
+		downHosts: make(map[string]bool),
+	}
+}
+
+// Model returns the topic model backing the web.
+func (w *Web) Model() *topics.Model { return w.model }
+
+// AddServer registers a server. Duplicate hosts are replaced.
+func (w *Web) AddServer(s *Server) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.servers[s.Host] = s
+}
+
+// Server returns the server for a host.
+func (w *Web) Server(host string) (*Server, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s, ok := w.servers[host]
+	return s, ok
+}
+
+// Servers returns all servers of the given kinds (all kinds when none
+// given), in unspecified order.
+func (w *Web) Servers(kinds ...ServerKind) []*Server {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []*Server
+	for _, s := range w.servers {
+		if len(kinds) == 0 {
+			out = append(out, s)
+			continue
+		}
+		for _, k := range kinds {
+			if s.Kind == k {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SetDown marks a host unreachable (failure injection for crawler tests).
+func (w *Web) SetDown(host string, down bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.downHosts[host] = down
+}
+
+// SplitURL parses "http://host/path" into host and path.
+func SplitURL(url string) (host, path string, err error) {
+	rest, ok := strings.CutPrefix(url, "http://")
+	if !ok {
+		rest, ok = strings.CutPrefix(url, "https://")
+		if !ok {
+			return "", "", fmt.Errorf("%w: %q", ErrBadURL, url)
+		}
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[:i], rest[i:], nil
+	}
+	return rest, "/", nil
+}
+
+// Fetch implements Fetcher against the synthetic web.
+func (w *Web) Fetch(url string) (*Resource, error) {
+	host, path, err := SplitURL(url)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.downHosts[host] {
+		return nil, fmt.Errorf("%w: %s", ErrServerDown, host)
+	}
+	s, ok := w.servers[host]
+	if !ok {
+		// One-off tracker hosts (per-impression ad subdomains) exist
+		// implicitly: any *.tracker.test host answers with a pixel
+		// document. They model the long tail of ad infrastructure that
+		// real browsing logs show as servers visited exactly once.
+		if strings.HasSuffix(host, ".tracker.test") {
+			res := &Resource{
+				URL:         url,
+				ContentType: "text/html",
+				Body:        []byte(`<html><body><img src="/pixel.gif" width="1" height="1"></body></html>`),
+			}
+			w.fetches++
+			w.bytesSent += int64(len(res.Body))
+			return res, nil
+		}
+		return nil, fmt.Errorf("%w: no such host %s", ErrNotFound, host)
+	}
+	res, err := w.renderLocked(s, path)
+	if err != nil {
+		return nil, err
+	}
+	w.fetches++
+	w.bytesSent += int64(len(res.Body))
+	return res, nil
+}
+
+// renderLocked produces the resource at path on server s.
+func (w *Web) renderLocked(s *Server, path string) (*Resource, error) {
+	if fs, ok := s.Feeds[path]; ok {
+		data, err := feed.Render(fs.Feed)
+		if err != nil {
+			return nil, err
+		}
+		return &Resource{URL: s.URL(path), ContentType: "application/xml", Body: data}, nil
+	}
+	if p, ok := s.Pages[path]; ok {
+		switch s.Kind {
+		case KindMultimedia:
+			return &Resource{
+				URL:         s.URL(path),
+				ContentType: "video/mp4",
+				Body:        []byte("SYNTHETIC-MEDIA " + p.Title),
+			}, nil
+		default:
+			return &Resource{
+				URL:         s.URL(path),
+				ContentType: "text/html",
+				Body:        []byte(RenderHTML(s, p)),
+			}, nil
+		}
+	}
+	// Ad servers answer any path with a synthetic banner (real ad servers
+	// mint unique URLs per impression).
+	if s.Kind == KindAd {
+		return &Resource{
+			URL:         s.URL(path),
+			ContentType: "text/html",
+			Body:        []byte(renderAdHTML(s, path)),
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: %s%s", ErrNotFound, s.Host, path)
+}
+
+// Stats reports fetch counters (network-load experiments F1/F2).
+func (w *Web) Stats() (fetches, bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fetches, w.bytesSent
+}
+
+// ResetStats zeroes the fetch counters.
+func (w *Web) ResetStats() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fetches, w.bytesSent = 0, 0
+}
+
+// Now returns the web's simulated feed time.
+func (w *Web) Now() time.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.now
+}
+
+// AdvanceTo moves simulated time forward, publishing any feed items that
+// come due. Moving backwards is a no-op.
+func (w *Web) AdvanceTo(now time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if now.Before(w.now) {
+		return
+	}
+	w.now = now
+	for _, s := range w.servers {
+		for _, fs := range s.Feeds {
+			w.updateFeedLocked(s, fs)
+		}
+	}
+}
+
+// updateFeedLocked appends items to fs until NextUpdate passes w.now.
+func (w *Web) updateFeedLocked(s *Server, fs *FeedSpec) {
+	for !fs.NextUpdate.After(w.now) {
+		fs.counter++
+		w.genCounter++
+		title := fmt.Sprintf("%s item %d", fs.Feed.Title, fs.counter)
+		guid := fmt.Sprintf("%s%s#%d", s.Host, fs.Path, fs.counter)
+		link := s.URL(fmt.Sprintf("/story/%d.html", fs.counter))
+		// Deterministic item text: a fixed phrase from the server mixture
+		// vocabulary keyed by the counter.
+		desc := w.deterministicText(fs.Mixture, 24, uint64(fs.counter)*2654435761)
+		fs.Feed.Items = append([]feed.Item{{
+			GUID:        guid,
+			Title:       title,
+			Link:        link,
+			Description: desc,
+			Published:   fs.NextUpdate,
+		}}, fs.Feed.Items...)
+		if len(fs.Feed.Items) > 50 {
+			fs.Feed.Items = fs.Feed.Items[:50] // feeds window old items out
+		}
+		fs.NextUpdate = fs.NextUpdate.Add(fs.UpdateEvery)
+	}
+}
+
+// deterministicText emits n pseudo-words from the mixture's topics using a
+// simple hash stream (no shared rng, so concurrent fetches stay
+// deterministic).
+func (w *Web) deterministicText(mx topics.Mixture, n int, seed uint64) string {
+	if len(mx) == 0 || w.model == nil {
+		return ""
+	}
+	idxs := make([]int, 0, len(mx))
+	for t := range mx {
+		idxs = append(idxs, t)
+	}
+	// Insertion-sort for determinism.
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && idxs[j] < idxs[j-1]; j-- {
+			idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+		}
+	}
+	var sb strings.Builder
+	x := seed
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		t := idxs[int(x>>33)%len(idxs)]
+		words := w.model.Topics[t%len(w.model.Topics)].Words
+		x = x*6364136223846793005 + 1442695040888963407
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(words[int(x>>33)%len(words)])
+	}
+	return sb.String()
+}
+
+// RenderHTML renders a page as HTML, including autodiscovery links for its
+// feeds, hyperlinks, and embedded ad references.
+func RenderHTML(s *Server, p *Page) string {
+	var sb strings.Builder
+	sb.WriteString("<html><head><title>")
+	sb.WriteString(p.Title)
+	sb.WriteString("</title>\n")
+	for _, fp := range p.FeedPaths {
+		sb.WriteString(`<link rel="alternate" type="application/rss+xml" title="`)
+		sb.WriteString(p.Title)
+		sb.WriteString(` feed" href="`)
+		sb.WriteString(fp)
+		sb.WriteString("\">\n")
+	}
+	sb.WriteString("</head><body>\n<p>")
+	sb.WriteString(p.Text)
+	sb.WriteString("</p>\n")
+	for _, l := range p.Links {
+		sb.WriteString(`<a href="`)
+		sb.WriteString(l)
+		sb.WriteString(`">link</a>` + "\n")
+	}
+	for _, a := range p.AdRefs {
+		sb.WriteString(`<img src="`)
+		sb.WriteString(a)
+		sb.WriteString(`" width="468" height="60">` + "\n")
+	}
+	if s.Kind == KindSpam {
+		// Spam pages stuff keywords: repeat the body many times.
+		for i := 0; i < 20; i++ {
+			sb.WriteString("<p>")
+			sb.WriteString(p.Text)
+			sb.WriteString("</p>\n")
+		}
+	}
+	sb.WriteString("</body></html>\n")
+	return sb.String()
+}
+
+// renderAdHTML renders the tiny redirect-style documents ad servers serve.
+func renderAdHTML(s *Server, path string) string {
+	return fmt.Sprintf(`<html><head><meta http-equiv="refresh" content="0;url=http://%s/click%s">`+
+		`</head><body><img src="http://%s/pixel.gif" width="1" height="1"></body></html>`,
+		s.Host, path, s.Host)
+}
+
+// ExtractText strips tags from rendered HTML, returning body text for the
+// crawler's keyword extraction. Minimal but sufficient for synthetic pages.
+func ExtractText(html []byte) string {
+	var sb strings.Builder
+	in := false
+	for _, c := range string(html) {
+		switch {
+		case c == '<':
+			in = true
+		case c == '>':
+			in = false
+			sb.WriteByte(' ')
+		case !in:
+			sb.WriteRune(c)
+		}
+	}
+	return sb.String()
+}
+
+// ExtractLinks returns the href targets of <a> tags, resolved against the
+// page URL.
+func ExtractLinks(pageURL string, html []byte) []string {
+	var out []string
+	s := string(html)
+	lower := strings.ToLower(s)
+	for i := 0; i < len(s); {
+		start := strings.Index(lower[i:], "<a ")
+		if start < 0 {
+			break
+		}
+		start += i
+		end := strings.IndexByte(s[start:], '>')
+		if end < 0 {
+			break
+		}
+		end += start
+		tag := s[start:end]
+		i = end + 1
+		hrefIdx := strings.Index(strings.ToLower(tag), "href=")
+		if hrefIdx < 0 {
+			continue
+		}
+		rest := tag[hrefIdx+5:]
+		var href string
+		if len(rest) > 0 && (rest[0] == '"' || rest[0] == '\'') {
+			q := rest[0]
+			if j := strings.IndexByte(rest[1:], q); j >= 0 {
+				href = rest[1 : 1+j]
+			}
+		} else if j := strings.IndexAny(rest, " >"); j >= 0 {
+			href = rest[:j]
+		} else {
+			href = rest
+		}
+		if href != "" {
+			out = append(out, feed.ResolveRef(pageURL, href))
+		}
+	}
+	return out
+}

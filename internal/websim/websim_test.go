@@ -1,0 +1,273 @@
+package websim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"reef/internal/feed"
+	"reef/internal/topics"
+)
+
+var simStart = time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func smallConfig(seed int64) Config {
+	cfg := DefaultConfig(seed, simStart)
+	cfg.NumContentServers = 30
+	cfg.NumAdServers = 20
+	cfg.NumSpamServers = 3
+	cfg.NumMultimediaServers = 2
+	return cfg
+}
+
+func smallWeb(t *testing.T, seed int64) *Web {
+	t.Helper()
+	model := topics.NewModel(seed, 8, 30, 40)
+	return Generate(smallConfig(seed), model)
+}
+
+func TestGenerateShape(t *testing.T) {
+	w := smallWeb(t, 1)
+	if got := len(w.Servers(KindContent)); got != 30 {
+		t.Errorf("content servers = %d", got)
+	}
+	if got := len(w.Servers(KindAd)); got != 20 {
+		t.Errorf("ad servers = %d", got)
+	}
+	if got := len(w.Servers(KindSpam)); got != 3 {
+		t.Errorf("spam servers = %d", got)
+	}
+	if got := len(w.Servers()); got != 55 {
+		t.Errorf("all servers = %d", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w1, w2 := smallWeb(t, 7), smallWeb(t, 7)
+	s1 := w1.Servers(KindContent)
+	for _, s := range s1 {
+		peer, ok := w2.Server(s.Host)
+		if !ok {
+			t.Fatalf("host %s missing in twin web", s.Host)
+		}
+		if len(peer.Pages) != len(s.Pages) {
+			t.Fatalf("page count differs on %s", s.Host)
+		}
+		for path, p := range s.Pages {
+			q, ok := peer.Pages[path]
+			if !ok || q.Text != p.Text {
+				t.Fatalf("page %s%s differs across same-seed webs", s.Host, path)
+			}
+		}
+	}
+}
+
+func TestFetchContentPage(t *testing.T) {
+	w := smallWeb(t, 2)
+	var target *Server
+	for _, s := range w.Servers(KindContent) {
+		if len(s.Pages) > 0 {
+			target = s
+			break
+		}
+	}
+	var page *Page
+	for _, p := range target.Pages {
+		page = p
+		break
+	}
+	res, err := w.Fetch(target.URL(page.Path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContentType != "text/html" {
+		t.Errorf("ContentType = %q", res.ContentType)
+	}
+	if !strings.Contains(string(res.Body), page.Title) {
+		t.Error("rendered page missing title")
+	}
+	fetches, bytes := w.Stats()
+	if fetches != 1 || bytes <= 0 {
+		t.Errorf("stats = (%d, %d)", fetches, bytes)
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	w := smallWeb(t, 3)
+	if _, err := w.Fetch("gopher://x"); err == nil {
+		t.Error("bad scheme accepted")
+	}
+	if _, err := w.Fetch("http://nosuch.host.test/"); err == nil {
+		t.Error("unknown host accepted")
+	}
+	s := w.Servers(KindContent)[0]
+	if _, err := w.Fetch(s.URL("/nosuch.html")); err == nil {
+		t.Error("unknown path accepted")
+	}
+	w.SetDown(s.Host, true)
+	if _, err := w.Fetch(s.URL("/p/0.html")); err == nil {
+		t.Error("down host served")
+	}
+	w.SetDown(s.Host, false)
+}
+
+func TestAdServerAnswersAnyPath(t *testing.T) {
+	w := smallWeb(t, 4)
+	ad := w.Servers(KindAd)[0]
+	res, err := w.Fetch(ad.URL("/banner/12345"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(res.Body), "refresh") {
+		t.Error("ad page missing redirect signature")
+	}
+}
+
+func TestFeedAutodiscoveryRoundTrip(t *testing.T) {
+	w := smallWeb(t, 5)
+	var hostWithFeed *Server
+	for _, s := range w.Servers(KindContent) {
+		if len(s.Feeds) > 0 {
+			hostWithFeed = s
+			break
+		}
+	}
+	if hostWithFeed == nil {
+		t.Skip("seed produced no feed hosts at this scale")
+	}
+	var page *Page
+	for _, p := range hostWithFeed.Pages {
+		page = p
+		break
+	}
+	res, err := w.Fetch(hostWithFeed.URL(page.Path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := feed.Discover(res.URL, res.Body)
+	if len(found) == 0 {
+		t.Fatal("autodiscovery found nothing on a feed-hosting page")
+	}
+	// The discovered feed must itself fetch and parse.
+	fres, err := w.Fetch(found[0].Href)
+	if err != nil {
+		t.Fatalf("fetching discovered feed: %v", err)
+	}
+	if _, err := feed.Parse(fres.URL, fres.Body); err != nil {
+		t.Fatalf("parsing discovered feed: %v", err)
+	}
+}
+
+func TestFeedsUpdateWithTime(t *testing.T) {
+	w := smallWeb(t, 6)
+	var fs *FeedSpec
+	var host *Server
+	for _, s := range w.Servers(KindContent) {
+		for _, f := range s.Feeds {
+			fs, host = f, s
+			break
+		}
+		if fs != nil {
+			break
+		}
+	}
+	if fs == nil {
+		t.Skip("no feeds at this scale")
+	}
+	if len(fs.Feed.Items) != 0 {
+		t.Fatalf("feed has %d items before time advances", len(fs.Feed.Items))
+	}
+	w.AdvanceTo(simStart.Add(14 * 24 * time.Hour))
+	if len(fs.Feed.Items) == 0 {
+		t.Fatal("feed has no items after two weeks")
+	}
+	// Items must be newest-first with valid GUIDs.
+	items := fs.Feed.Items
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Published.Before(items[i].Published) {
+			t.Fatal("items not newest-first")
+		}
+	}
+	for _, it := range items {
+		if it.GUID == "" || it.Link == "" {
+			t.Fatalf("bad item: %+v", it)
+		}
+	}
+	// Backwards advance is a no-op.
+	before := len(items)
+	w.AdvanceTo(simStart)
+	if len(fs.Feed.Items) != before {
+		t.Error("backwards AdvanceTo mutated feed")
+	}
+	_ = host
+}
+
+func TestMultimediaContentType(t *testing.T) {
+	w := smallWeb(t, 8)
+	mm := w.Servers(KindMultimedia)[0]
+	res, err := w.Fetch(mm.URL("/v/0.mp4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContentType != "video/mp4" {
+		t.Errorf("ContentType = %q", res.ContentType)
+	}
+}
+
+func TestSpamPagesAreStuffed(t *testing.T) {
+	w := smallWeb(t, 9)
+	sp := w.Servers(KindSpam)[0]
+	res, err := w.Fetch(sp.URL("/offer/0.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(res.Body)
+	// The body text repeats at least 20 times.
+	text := sp.Pages["/offer/0.html"].Text
+	first := strings.Fields(text)[0]
+	if strings.Count(body, first) < 10 {
+		t.Error("spam page not keyword-stuffed")
+	}
+}
+
+func TestExtractText(t *testing.T) {
+	got := ExtractText([]byte("<html><body><p>hello world</p></body></html>"))
+	if !strings.Contains(got, "hello world") {
+		t.Errorf("ExtractText = %q", got)
+	}
+	if strings.Contains(got, "<") {
+		t.Error("tags leaked into text")
+	}
+}
+
+func TestExtractLinks(t *testing.T) {
+	html := []byte(`<a href="/x.html">x</a> <A HREF='http://other.test/y'>y</A> <a name="anchor">z</a>`)
+	got := ExtractLinks("http://h.test/dir/page.html", html)
+	if len(got) != 2 {
+		t.Fatalf("links = %v", got)
+	}
+	if got[0] != "http://h.test/x.html" || got[1] != "http://other.test/y" {
+		t.Errorf("links = %v", got)
+	}
+}
+
+func TestSplitURL(t *testing.T) {
+	host, path, err := SplitURL("http://a.test/b/c")
+	if err != nil || host != "a.test" || path != "/b/c" {
+		t.Errorf("SplitURL = (%q, %q, %v)", host, path, err)
+	}
+	host, path, err = SplitURL("https://a.test")
+	if err != nil || host != "a.test" || path != "/" {
+		t.Errorf("SplitURL no-path = (%q, %q, %v)", host, path, err)
+	}
+	if _, _, err := SplitURL("ftp://a.test/x"); err == nil {
+		t.Error("ftp accepted")
+	}
+}
+
+func TestServerKindString(t *testing.T) {
+	if KindContent.String() != "content" || KindAd.String() != "ad" ||
+		KindSpam.String() != "spam" || KindMultimedia.String() != "multimedia" {
+		t.Error("kind names wrong")
+	}
+}

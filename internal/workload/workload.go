@@ -1,0 +1,262 @@
+// Package workload generates the synthetic browsing histories that replace
+// the paper's ten weeks of real user traffic (§3.2: five users, 77,000+
+// requests). Users carry interest profiles over the topic model; each
+// simulated day they run browsing sessions against the synthetic web,
+// preferring servers matching their interests, occasionally exploring at
+// random, and implicitly fetching every ad resource embedded in the pages
+// they visit — reproducing the ~70% advertisement share of real traffic.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"reef/internal/attention"
+	"reef/internal/topics"
+	"reef/internal/websim"
+)
+
+// User is a simulated browser user.
+type User struct {
+	// ID is the user cookie.
+	ID string
+	// Profile is the user's interest mixture.
+	Profile topics.InterestProfile
+}
+
+// Config tunes workload generation. Defaults (DefaultConfig) are calibrated
+// to the paper's aggregate statistics.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// NumUsers defaults to the paper's 5.
+	NumUsers int
+	// Days defaults to the paper's 70 (ten weeks).
+	Days int
+	// Start is the first day of the observation window.
+	Start time.Time
+
+	// SessionsPerDayMin/Max bound browsing sessions per user-day.
+	SessionsPerDayMin, SessionsPerDayMax int
+	// PagesPerSessionMin/Max bound page views per session.
+	PagesPerSessionMin, PagesPerSessionMax int
+	// ExploreProb is the chance a session starts on a random server
+	// rather than an interest-matched one (drives singleton visits).
+	ExploreProb float64
+	// UniqueTrackerProb is the per-page-view chance of one extra request
+	// to a never-seen-again per-impression tracker host (the main source
+	// of the paper's "807 servers visited only once").
+	UniqueTrackerProb float64
+	// CoreTopics/MinorTopics size each user's interest profile.
+	CoreTopics, MinorTopics int
+}
+
+// DefaultConfig returns the E1 calibration.
+func DefaultConfig(seed int64, start time.Time) Config {
+	return Config{
+		Seed:               seed,
+		NumUsers:           5,
+		Days:               70,
+		Start:              start,
+		SessionsPerDayMin:  2,
+		SessionsPerDayMax:  5,
+		PagesPerSessionMin: 12,
+		PagesPerSessionMax: 32,
+		ExploreProb:        0.22,
+		UniqueTrackerProb:  0.033,
+		CoreTopics:         2,
+		MinorTopics:        3,
+	}
+}
+
+// DefaultConfigAdjusted returns the E1 calibration with the user and day
+// counts overridden (non-positive values keep the defaults).
+func DefaultConfigAdjusted(seed int64, start time.Time, users, days int) Config {
+	cfg := DefaultConfig(seed, start)
+	if users > 0 {
+		cfg.NumUsers = users
+	}
+	if days > 0 {
+		cfg.Days = days
+	}
+	return cfg
+}
+
+// Generator produces browsing clicks against a synthetic web.
+type Generator struct {
+	cfg   Config
+	web   *websim.Web
+	model *topics.Model
+	rng   *rand.Rand
+	users []User
+
+	// serverAffinity caches, per user, the content servers weighted by
+	// profile affinity.
+	contentServers []*websim.Server
+	// trackerSeq mints unique per-impression tracker hosts.
+	trackerSeq int
+}
+
+// NewGenerator builds a generator and its user population.
+func NewGenerator(cfg Config, web *websim.Web) *Generator {
+	if cfg.NumUsers <= 0 {
+		cfg.NumUsers = 5
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = 70
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generator{cfg: cfg, web: web, model: web.Model(), rng: rng}
+
+	servers := web.Servers(websim.KindContent)
+	sort.Slice(servers, func(i, j int) bool { return servers[i].Host < servers[j].Host })
+	g.contentServers = servers
+
+	for i := 0; i < cfg.NumUsers; i++ {
+		id := fmt.Sprintf("user%02d", i)
+		g.users = append(g.users, User{
+			ID:      id,
+			Profile: topics.NewInterestProfile(rng, id, g.model.NumTopics(), cfg.CoreTopics, cfg.MinorTopics),
+		})
+	}
+	return g
+}
+
+// Users returns the generated population.
+func (g *Generator) Users() []User { return g.users }
+
+// pickServer selects a session's starting server: interest-weighted
+// normally, uniform-random when exploring.
+func (g *Generator) pickServer(u User, explore bool) *websim.Server {
+	if len(g.contentServers) == 0 {
+		return nil
+	}
+	if explore {
+		return g.contentServers[g.rng.Intn(len(g.contentServers))]
+	}
+	// Rejection-sample by affinity: try a handful of candidates and keep
+	// the best; popular (low-index) servers get a Zipf prior.
+	var best *websim.Server
+	var bestScore float64
+	for try := 0; try < 6; try++ {
+		x := g.rng.Float64()
+		idx := int(float64(len(g.contentServers)) * x * x)
+		if idx >= len(g.contentServers) {
+			idx = len(g.contentServers) - 1
+		}
+		s := g.contentServers[idx]
+		score := u.Profile.Affinity(s.Mixture) + g.rng.Float64()*0.05
+		if best == nil || score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}
+
+// Day is one generated user-day of clicks.
+type Day struct {
+	User   string
+	Date   time.Time
+	Clicks []attention.Click
+}
+
+// GenerateAll produces the whole observation window, invoking emit once
+// per user-day in chronological order. Page views come first in a session,
+// each followed by its ad fetches, mirroring browser subresource loading.
+func (g *Generator) GenerateAll(emit func(Day)) {
+	for day := 0; day < g.cfg.Days; day++ {
+		date := g.cfg.Start.Add(time.Duration(day) * 24 * time.Hour)
+		for _, u := range g.users {
+			d := g.generateDay(u, date)
+			emit(d)
+		}
+	}
+}
+
+// generateDay produces one user's clicks for one day.
+func (g *Generator) generateDay(u User, date time.Time) Day {
+	d := Day{User: u.ID, Date: date}
+	nSessions := g.cfg.SessionsPerDayMin
+	if g.cfg.SessionsPerDayMax > g.cfg.SessionsPerDayMin {
+		nSessions += g.rng.Intn(g.cfg.SessionsPerDayMax - g.cfg.SessionsPerDayMin + 1)
+	}
+	at := date.Add(time.Duration(7+g.rng.Intn(3)) * time.Hour) // day starts ~7-9am
+	for s := 0; s < nSessions; s++ {
+		explore := g.rng.Float64() < g.cfg.ExploreProb
+		server := g.pickServer(u, explore)
+		if server == nil {
+			continue
+		}
+		nPages := g.cfg.PagesPerSessionMin
+		if g.cfg.PagesPerSessionMax > g.cfg.PagesPerSessionMin {
+			nPages += g.rng.Intn(g.cfg.PagesPerSessionMax - g.cfg.PagesPerSessionMin + 1)
+		}
+		if explore {
+			// Exploration sessions are brief: often a single page view,
+			// producing the long tail of servers visited only once.
+			nPages = 1 + g.rng.Intn(2)
+		}
+		var prevURL string
+		for pv := 0; pv < nPages; pv++ {
+			page := g.pickPage(server)
+			if page == nil {
+				break
+			}
+			url := server.URL(page.Path)
+			click := attention.Click{User: u.ID, URL: url, At: at, Referrer: prevURL}
+			d.Clicks = append(d.Clicks, click)
+			// Browser fetches embedded ad resources.
+			for _, ad := range page.AdRefs {
+				at = at.Add(time.Duration(200+g.rng.Intn(400)) * time.Millisecond)
+				d.Clicks = append(d.Clicks, attention.Click{
+					User: u.ID, URL: ad, At: at, Referrer: url,
+				})
+			}
+			// Per-impression tracker hosts: rotated subdomains that
+			// appear once and never again.
+			if g.rng.Float64() < g.cfg.UniqueTrackerProb {
+				g.trackerSeq++
+				d.Clicks = append(d.Clicks, attention.Click{
+					User: u.ID,
+					URL:  fmt.Sprintf("http://u%06d.tracker.test/pixel.gif", g.trackerSeq),
+					At:   at, Referrer: url,
+				})
+			}
+			prevURL = url
+			at = at.Add(time.Duration(20+g.rng.Intn(160)) * time.Second)
+
+			// Follow an on-page link to another server sometimes.
+			if len(page.Links) > 0 && g.rng.Float64() < 0.3 {
+				target := page.Links[g.rng.Intn(len(page.Links))]
+				if host, _, err := websim.SplitURL(target); err == nil {
+					if next, ok := g.web.Server(host); ok {
+						server = next
+					}
+				}
+			}
+		}
+		at = at.Add(time.Duration(30+g.rng.Intn(120)) * time.Minute)
+	}
+	return d
+}
+
+// pickPage selects a page on the server, favoring low-numbered (popular)
+// pages.
+func (g *Generator) pickPage(s *websim.Server) *websim.Page {
+	if len(s.Pages) == 0 {
+		return nil
+	}
+	paths := make([]string, 0, len(s.Pages))
+	for p := range s.Pages {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	x := g.rng.Float64()
+	idx := int(float64(len(paths)) * x * x)
+	if idx >= len(paths) {
+		idx = len(paths) - 1
+	}
+	return s.Pages[paths[idx]]
+}

@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"reef/internal/topics"
+	"reef/internal/websim"
+)
+
+var simStart = time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func testWebAndGen(seed int64, users, days int) (*websim.Web, *Generator) {
+	model := topics.NewModel(seed, 10, 30, 40)
+	wcfg := websim.DefaultConfig(seed, simStart)
+	wcfg.NumContentServers = 120
+	wcfg.NumAdServers = 80
+	wcfg.NumSpamServers = 5
+	wcfg.NumMultimediaServers = 3
+	web := websim.Generate(wcfg, model)
+	cfg := DefaultConfig(seed, simStart)
+	cfg.NumUsers = users
+	cfg.Days = days
+	return web, NewGenerator(cfg, web)
+}
+
+func TestGeneratorUsers(t *testing.T) {
+	_, g := testWebAndGen(1, 5, 1)
+	users := g.Users()
+	if len(users) != 5 {
+		t.Fatalf("users = %d", len(users))
+	}
+	seen := map[string]bool{}
+	for _, u := range users {
+		if seen[u.ID] {
+			t.Fatal("duplicate user ID")
+		}
+		seen[u.ID] = true
+		if len(u.Profile.Mixture) == 0 {
+			t.Fatal("user without interests")
+		}
+	}
+}
+
+func TestGenerateAllShape(t *testing.T) {
+	_, g := testWebAndGen(2, 3, 7)
+	days := 0
+	users := map[string]int{}
+	var clicks int
+	g.GenerateAll(func(d Day) {
+		days++
+		users[d.User]++
+		clicks += len(d.Clicks)
+		for _, c := range d.Clicks {
+			if c.User != d.User {
+				t.Fatal("click user mismatch")
+			}
+			if c.At.Before(d.Date) {
+				t.Fatal("click before day start")
+			}
+		}
+	})
+	if days != 3*7 {
+		t.Fatalf("user-days = %d, want 21", days)
+	}
+	for u, n := range users {
+		if n != 7 {
+			t.Fatalf("user %s has %d days", u, n)
+		}
+	}
+	if clicks == 0 {
+		t.Fatal("no clicks generated")
+	}
+}
+
+func TestAdShare(t *testing.T) {
+	_, g := testWebAndGen(3, 5, 10)
+	var total, ads int
+	g.GenerateAll(func(d Day) {
+		for _, c := range d.Clicks {
+			total++
+			if strings.Contains(c.URL, ".adnet.") {
+				ads++
+			}
+		}
+	})
+	share := float64(ads) / float64(total)
+	if share < 0.5 || share > 0.85 {
+		t.Errorf("ad share = %.2f, want around 0.7", share)
+	}
+}
+
+func TestChronologicalWithinDay(t *testing.T) {
+	_, g := testWebAndGen(4, 1, 3)
+	g.GenerateAll(func(d Day) {
+		for i := 1; i < len(d.Clicks); i++ {
+			if d.Clicks[i].At.Before(d.Clicks[i-1].At) {
+				t.Fatal("clicks not chronological")
+			}
+		}
+	})
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	collect := func() []Day {
+		_, g := testWebAndGen(5, 2, 3)
+		var out []Day
+		g.GenerateAll(func(d Day) { out = append(out, d) })
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatal("different day counts")
+	}
+	for i := range a {
+		if len(a[i].Clicks) != len(b[i].Clicks) {
+			t.Fatalf("day %d click counts differ", i)
+		}
+		for j := range a[i].Clicks {
+			if a[i].Clicks[j].URL != b[i].Clicks[j].URL {
+				t.Fatalf("day %d click %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestInterestBiasInVisits(t *testing.T) {
+	web, g := testWebAndGen(6, 1, 20)
+	u := g.Users()[0]
+	visits := map[int]float64{} // topic -> visit weight
+	g.GenerateAll(func(d Day) {
+		for _, c := range d.Clicks {
+			host := c.Host()
+			s, ok := web.Server(host)
+			if !ok || s.Kind != websim.KindContent {
+				continue
+			}
+			for topic, w := range s.Mixture {
+				visits[topic] += w
+			}
+		}
+	})
+	// The user's core topics should attract more visit mass than a
+	// uniform spread would give them.
+	var coreMass, totalMass float64
+	for topic, w := range visits {
+		totalMass += w
+		if u.Profile.Mixture[topic] > 0.2 {
+			coreMass += w
+		}
+	}
+	if totalMass == 0 {
+		t.Fatal("no content visits")
+	}
+	if coreMass/totalMass < 0.3 {
+		t.Errorf("core-topic visit share = %.2f, want interest bias", coreMass/totalMass)
+	}
+}
+
+func TestExploreProducessSingletons(t *testing.T) {
+	_, g := testWebAndGen(7, 5, 20)
+	hostHits := map[string]int{}
+	g.GenerateAll(func(d Day) {
+		for _, c := range d.Clicks {
+			if h := c.Host(); strings.HasPrefix(h, "c") {
+				hostHits[h]++
+			}
+		}
+	})
+	singles := 0
+	for _, n := range hostHits {
+		if n == 1 {
+			singles++
+		}
+	}
+	if singles == 0 {
+		t.Error("no singleton servers; exploration not working")
+	}
+}
