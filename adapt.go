@@ -1,0 +1,241 @@
+package reef
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"reef/internal/attention"
+	"reef/internal/eventalg"
+	"reef/internal/frontend"
+	"reef/internal/pubsub"
+	"reef/internal/recommend"
+	"reef/internal/store"
+)
+
+// toAttentionClicks converts public clicks to the internal attention type.
+func toAttentionClicks(clicks []Click) []attention.Click {
+	out := make([]attention.Click, len(clicks))
+	for i, c := range clicks {
+		out[i] = attention.Click{
+			User:      c.User,
+			URL:       c.URL,
+			At:        c.At,
+			Referrer:  c.Referrer,
+			FromEvent: c.FromEvent,
+		}
+	}
+	return out
+}
+
+// toPubsubEvent converts a public event to the internal representation.
+func toPubsubEvent(ev Event) (pubsub.Event, error) {
+	if len(ev.Attrs) == 0 {
+		return pubsub.Event{}, fmt.Errorf("%w: event has no attributes", ErrInvalidArgument)
+	}
+	attrs := make(eventalg.Tuple, len(ev.Attrs))
+	for k, v := range ev.Attrs {
+		if k == "" {
+			return pubsub.Event{}, fmt.Errorf("%w: empty attribute name", ErrInvalidArgument)
+		}
+		attrs[k] = eventalg.String(v)
+	}
+	return pubsub.Event{
+		Attrs:     attrs,
+		Payload:   ev.Payload,
+		Source:    ev.Source,
+		Published: ev.Published,
+	}, nil
+}
+
+// toPublicRecommendation converts an internal recommendation, attaching
+// the pending ID.
+func toPublicRecommendation(id string, rec recommend.Recommendation) Recommendation {
+	out := Recommendation{
+		ID:      id,
+		Kind:    rec.Kind.String(),
+		User:    rec.User,
+		FeedURL: rec.FeedURL,
+		Reason:  rec.Reason,
+		At:      rec.At,
+	}
+	if !rec.Filter.IsEmpty() {
+		out.Filter = rec.Filter.String()
+	}
+	for _, t := range rec.Terms {
+		out.Terms = append(out.Terms, Term{Term: t.Term, Score: t.Score})
+	}
+	return out
+}
+
+// toPublicSubscription converts the recommendation behind a live
+// subscription into the public listing form.
+func toPublicSubscription(user string, rec recommend.Recommendation) Subscription {
+	sub := Subscription{
+		User:    user,
+		Kind:    rec.Kind.String(),
+		FeedURL: rec.FeedURL,
+		Since:   rec.At,
+	}
+	if !rec.Filter.IsEmpty() {
+		sub.Filter = rec.Filter.String()
+	}
+	if rec.FeedURL != "" {
+		sub.ID = rec.FeedURL
+	} else {
+		sub.ID = rec.Filter.Canonical()
+	}
+	return sub
+}
+
+// toSidebarItems converts frontend sidebar items.
+func toSidebarItems(items []*frontend.SidebarItem) []SidebarItem {
+	out := make([]SidebarItem, len(items))
+	for i, it := range items {
+		out[i] = SidebarItem{
+			ID:      it.ID,
+			Title:   it.Title,
+			Link:    it.Link,
+			FeedURL: it.FeedURL,
+			Shown:   it.Shown,
+		}
+	}
+	return out
+}
+
+// tunedSubscriber injects the deployment's queue tuning into every
+// subscription the hosted frontends place.
+type tunedSubscriber struct {
+	broker *pubsub.Broker
+	opts   []pubsub.SubOption
+}
+
+func (t tunedSubscriber) Subscribe(f eventalg.Filter, opts ...pubsub.SubOption) (*pubsub.Subscription, error) {
+	merged := make([]pubsub.SubOption, 0, len(t.opts)+len(opts))
+	merged = append(merged, t.opts...)
+	merged = append(merged, opts...)
+	return t.broker.Subscribe(f, merged...)
+}
+
+// brokerPublisher adapts the deployment's broker to waif.Publisher.
+type brokerPublisher struct{ broker *pubsub.Broker }
+
+func (p brokerPublisher) Publish(ctx context.Context, ev pubsub.Event) error {
+	_, err := p.broker.Publish(ctx, ev)
+	return err
+}
+
+// pendingRec is one queued recommendation awaiting accept/reject.
+type pendingRec struct {
+	seq int64
+	rec recommend.Recommendation
+}
+
+// pendingSet is the per-user ledger of pending recommendations. Safe for
+// concurrent use.
+type pendingSet struct {
+	mu     sync.Mutex
+	next   int64
+	byUser map[string]map[string]pendingRec
+}
+
+func newPendingSet() *pendingSet {
+	return &pendingSet{byUser: make(map[string]map[string]pendingRec)}
+}
+
+// add queues one recommendation and returns its assigned ID.
+func (p *pendingSet) add(user string, rec recommend.Recommendation) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.next++
+	id := "r" + strconv.FormatInt(p.next, 10)
+	m := p.byUser[user]
+	if m == nil {
+		m = make(map[string]pendingRec)
+		p.byUser[user] = m
+	}
+	m[id] = pendingRec{seq: p.next, rec: rec}
+	return id
+}
+
+// list snapshots a user's pending recommendations in issue order.
+func (p *pendingSet) list(user string) []Recommendation {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.byUser[user]
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return m[ids[i]].seq < m[ids[j]].seq })
+	out := make([]Recommendation, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, toPublicRecommendation(id, m[id].rec))
+	}
+	return out
+}
+
+// take removes and returns one pending recommendation.
+func (p *pendingSet) take(user, id string) (recommend.Recommendation, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.byUser[user]
+	pr, ok := m[id]
+	if !ok {
+		return recommend.Recommendation{}, false
+	}
+	delete(m, id)
+	if len(m) == 0 {
+		delete(p.byUser, user)
+	}
+	return pr.rec, true
+}
+
+// size reports the total number of pending recommendations.
+func (p *pendingSet) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, m := range p.byUser {
+		n += len(m)
+	}
+	return n
+}
+
+// storeFlag maps a public flag name to the click store's bitmask.
+func storeFlag(name string) store.Flag {
+	switch name {
+	case "ad":
+		return store.FlagAd
+	case "spam":
+		return store.FlagSpam
+	case "multimedia":
+		return store.FlagMultimedia
+	case "crawled":
+		return store.FlagCrawled
+	default:
+		return 0
+	}
+}
+
+// validateUser rejects empty user identities.
+func validateUser(user string) error {
+	if strings.TrimSpace(user) == "" {
+		return fmt.Errorf("%w: empty user", ErrInvalidArgument)
+	}
+	return nil
+}
+
+// validateFeedURL rejects URLs the feed machinery cannot parse.
+func validateFeedURL(feedURL string) error {
+	if feedURL == "" {
+		return fmt.Errorf("%w: empty feed URL", ErrInvalidArgument)
+	}
+	if !strings.HasPrefix(feedURL, "http://") && !strings.HasPrefix(feedURL, "https://") {
+		return fmt.Errorf("%w: feed URL %q lacks an http(s) scheme", ErrInvalidArgument, feedURL)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package reef_test
 
 import (
+	"context"
 	"testing"
 
 	"reef/internal/eventalg"
@@ -118,7 +119,7 @@ func BenchmarkBrokerPublish(b *testing.B) {
 	ev := pubsub.NewEvent("src", eventalg.Tuple{"topic": eventalg.String("t")}, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := broker.Publish(ev); err != nil {
+		if _, err := broker.Publish(context.Background(), ev); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,431 @@
+package reef
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"reef/internal/core"
+	"reef/internal/frontend"
+	"reef/internal/pubsub"
+	"reef/internal/recommend"
+	"reef/internal/simclock"
+	"reef/internal/waif"
+)
+
+// Centralized is the public face of the paper's Figure 1 deployment: a
+// Reef server holding the click database, crawler and recommenders, plus
+// server-hosted per-user frontends and sidebars so the whole
+// recommendation lifecycle — ingest, recommend, accept, deliver — is
+// drivable through the Deployment interface (and therefore over REST).
+type Centralized struct {
+	cfg     config
+	server  *core.Server
+	broker  *pubsub.Broker
+	proxy   *waif.Proxy
+	clock   simclock.Clock
+	pending *pendingSet
+
+	mu     sync.Mutex
+	closed bool
+	fronts map[string]*frontend.Frontend
+	bars   map[string]*frontend.Sidebar
+}
+
+var _ Deployment = (*Centralized)(nil)
+
+// NewCentralized builds the centralized deployment. WithFetcher is
+// required: it is the crawler's access to the web and the WAIF proxy's
+// feed poller.
+func NewCentralized(opts ...Option) (*Centralized, error) {
+	cfg := buildConfig(opts)
+	if cfg.fetcher == nil {
+		return nil, fmt.Errorf("%w: NewCentralized requires WithFetcher", ErrInvalidArgument)
+	}
+	c := &Centralized{
+		cfg:   cfg,
+		clock: cfg.clock,
+		server: core.NewServer(core.ServerConfig{
+			Fetcher:      cfg.fetcher,
+			Store:        cfg.clickStore,
+			CrawlWorkers: cfg.crawlWorkers,
+			Topic: recommend.TopicConfig{
+				MinHostVisits: cfg.topic.MinHostVisits,
+				InactiveAfter: cfg.topic.InactiveAfter,
+				MinScore:      cfg.topic.MinScore,
+			},
+			Content: recommend.ContentConfig{NumTerms: cfg.content.NumTerms},
+		}),
+		broker:  pubsub.NewBroker("reef-edge", cfg.clock),
+		pending: newPendingSet(),
+		fronts:  make(map[string]*frontend.Frontend),
+		bars:    make(map[string]*frontend.Sidebar),
+	}
+	publisher := cfg.feedPublisher
+	if publisher == nil {
+		publisher = brokerPublisher{c.broker}
+	}
+	c.proxy = waif.New(waif.Config{
+		Fetcher:   cfg.fetcher,
+		Publish:   publisher,
+		PollEvery: cfg.pollEvery,
+	})
+	return c, nil
+}
+
+// front returns (creating on first use) the hosted frontend for a user.
+// Caller must hold c.mu.
+func (c *Centralized) frontLocked(user string) *frontend.Frontend {
+	if fe, ok := c.fronts[user]; ok {
+		return fe
+	}
+	bar := frontend.NewSidebar(frontend.Config{
+		Capacity: c.cfg.sidebarCapacity,
+		TTL:      c.cfg.sidebarTTL,
+		Feedback: func(feedURL string, d frontend.Disposition, at time.Time) {
+			if feedURL == "" {
+				return
+			}
+			c.server.ObserveEventFeedback(user, feedURL, d == frontend.DispositionClicked, at)
+		},
+	})
+	var sub frontend.Subscriber
+	if c.cfg.subscriberFor != nil {
+		sub = c.cfg.subscriberFor(user)
+	} else {
+		sub = tunedSubscriber{broker: c.broker, opts: c.cfg.subOptions()}
+	}
+	fe := frontend.NewFrontend(user, sub, c.proxy, bar, c.clock.Now)
+	c.fronts[user] = fe
+	c.bars[user] = bar
+	return fe
+}
+
+func (c *Centralized) front(user string) (*frontend.Frontend, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	return c.frontLocked(user), nil
+}
+
+func (c *Centralized) checkOpen(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// IngestClicks implements Deployment: the batch lands in the click store
+// and queues page URLs for the next pipeline round.
+func (c *Centralized) IngestClicks(ctx context.Context, clicks []Click) (int, error) {
+	if err := c.checkOpen(ctx); err != nil {
+		return 0, err
+	}
+	for _, cl := range clicks {
+		if err := validateUser(cl.User); err != nil {
+			return 0, err
+		}
+		if cl.URL == "" {
+			return 0, fmt.Errorf("%w: click with empty URL", ErrInvalidArgument)
+		}
+	}
+	if err := c.server.ReceiveClicks(toAttentionClicks(clicks)); err != nil {
+		return 0, err
+	}
+	return len(clicks), nil
+}
+
+// PublishEvent implements Deployment. With WithFeedPublisher the event
+// goes to the caller-owned publisher, whose delivery count is not
+// observable from here: a successful publish then reports 0 deliveries.
+func (c *Centralized) PublishEvent(ctx context.Context, ev Event) (int, error) {
+	if err := c.checkOpen(ctx); err != nil {
+		return 0, err
+	}
+	pev, err := toPubsubEvent(ev)
+	if err != nil {
+		return 0, err
+	}
+	if c.cfg.feedPublisher != nil {
+		if err := c.cfg.feedPublisher.Publish(ctx, pev); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	return c.broker.Publish(ctx, pev)
+}
+
+// Subscriptions implements Deployment.
+func (c *Centralized) Subscriptions(ctx context.Context, user string) ([]Subscription, error) {
+	if err := c.checkOpen(ctx); err != nil {
+		return nil, err
+	}
+	if err := validateUser(user); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	fe, ok := c.fronts[user]
+	c.mu.Unlock()
+	if !ok {
+		return []Subscription{}, nil
+	}
+	active := fe.Active()
+	out := make([]Subscription, 0, len(active))
+	for _, rec := range active {
+		out = append(out, toPublicSubscription(user, rec))
+	}
+	return out, nil
+}
+
+// Subscribe implements Deployment: it places a feed subscription
+// immediately, bypassing the recommendation queue.
+func (c *Centralized) Subscribe(ctx context.Context, user, feedURL string) (Subscription, error) {
+	if err := c.checkOpen(ctx); err != nil {
+		return Subscription{}, err
+	}
+	if err := validateUser(user); err != nil {
+		return Subscription{}, err
+	}
+	if err := validateFeedURL(feedURL); err != nil {
+		return Subscription{}, err
+	}
+	rec := recommend.Recommendation{
+		Kind:    recommend.KindSubscribeFeed,
+		User:    user,
+		FeedURL: feedURL,
+		Filter:  waif.ItemFilter(feedURL),
+		Reason:  "direct API subscription",
+		At:      c.clock.Now(),
+	}
+	fe, err := c.front(user)
+	if err != nil {
+		return Subscription{}, err
+	}
+	if err := fe.Apply(rec); err != nil {
+		return Subscription{}, err
+	}
+	return toPublicSubscription(user, rec), nil
+}
+
+// Unsubscribe implements Deployment.
+func (c *Centralized) Unsubscribe(ctx context.Context, user, feedURL string) error {
+	if err := c.checkOpen(ctx); err != nil {
+		return err
+	}
+	if err := validateUser(user); err != nil {
+		return err
+	}
+	if err := validateFeedURL(feedURL); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	fe, ok := c.fronts[user]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: user %q has no subscriptions", ErrNotFound, user)
+	}
+	found := false
+	for _, rec := range fe.Active() {
+		if rec.FeedURL == feedURL {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: no subscription for feed %q", ErrNotFound, feedURL)
+	}
+	return fe.Apply(recommend.Recommendation{
+		Kind:    recommend.KindUnsubscribeFeed,
+		User:    user,
+		FeedURL: feedURL,
+		Reason:  "direct API unsubscription",
+		At:      c.clock.Now(),
+	})
+}
+
+// Recommendations implements Deployment: freshly generated
+// recommendations move from the server's outbox into the pending ledger,
+// where they keep their ID until accepted or rejected.
+func (c *Centralized) Recommendations(ctx context.Context, user string) ([]Recommendation, error) {
+	if err := c.checkOpen(ctx); err != nil {
+		return nil, err
+	}
+	if err := validateUser(user); err != nil {
+		return nil, err
+	}
+	for _, rec := range c.server.Recommendations(user) {
+		c.pending.add(user, rec)
+	}
+	return c.pending.list(user), nil
+}
+
+// AcceptRecommendation implements Deployment.
+func (c *Centralized) AcceptRecommendation(ctx context.Context, user, id string) error {
+	if err := c.checkOpen(ctx); err != nil {
+		return err
+	}
+	if err := validateUser(user); err != nil {
+		return err
+	}
+	rec, ok := c.pending.take(user, id)
+	if !ok {
+		return fmt.Errorf("%w: no pending recommendation %q for user %q", ErrNotFound, id, user)
+	}
+	fe, err := c.front(user)
+	if err != nil {
+		return err
+	}
+	return fe.Apply(rec)
+}
+
+// RejectRecommendation implements Deployment: the recommendation is
+// dropped and, for feed recommendations, negative feedback reaches the
+// topic recommender.
+func (c *Centralized) RejectRecommendation(ctx context.Context, user, id string) error {
+	if err := c.checkOpen(ctx); err != nil {
+		return err
+	}
+	if err := validateUser(user); err != nil {
+		return err
+	}
+	rec, ok := c.pending.take(user, id)
+	if !ok {
+		return fmt.Errorf("%w: no pending recommendation %q for user %q", ErrNotFound, id, user)
+	}
+	if rec.FeedURL != "" {
+		c.server.ObserveEventFeedback(user, rec.FeedURL, false, c.clock.Now())
+	}
+	return nil
+}
+
+// Stats implements Deployment.
+func (c *Centralized) Stats(ctx context.Context) (Stats, error) {
+	if err := c.checkOpen(ctx); err != nil {
+		return nil, err
+	}
+	out := Stats(c.server.Metrics().Snapshot())
+	out["clicks_stored"] = float64(c.server.Store().Len())
+	out["distinct_servers"] = float64(c.server.Store().DistinctServers())
+	out["feeds_discovered"] = float64(c.server.DistinctFeedsFound())
+	out["upload_bytes"] = float64(c.server.UploadBytes())
+	out["proxy_feeds"] = float64(c.proxy.NumFeeds())
+	for name, v := range c.proxy.Metrics().Snapshot() {
+		out["proxy_"+name] = v
+	}
+	out["pending_recommendations"] = float64(c.pending.size())
+	c.mu.Lock()
+	out["users_with_frontends"] = float64(len(c.fronts))
+	c.mu.Unlock()
+	for name, v := range c.broker.Metrics().Snapshot() {
+		out["broker_"+name] = v
+	}
+	return out, nil
+}
+
+// Close implements Deployment. Idempotent.
+func (c *Centralized) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	fronts := make([]*frontend.Frontend, 0, len(c.fronts))
+	for _, fe := range c.fronts {
+		fronts = append(fronts, fe)
+	}
+	c.mu.Unlock()
+	for _, fe := range fronts {
+		fe.Close()
+	}
+	c.proxy.Close()
+	c.broker.Close()
+	return nil
+}
+
+// RunPipeline performs one periodic crawl/analysis round (the paper's
+// nightly batch): crawl queued URLs, flag ad/spam/multimedia servers,
+// grow the corpus, and queue new recommendations.
+func (c *Centralized) RunPipeline(now time.Time) PipelineStats {
+	s := c.server.RunPipeline(now)
+	return PipelineStats{
+		Crawled:         s.Crawled,
+		CrawlErrors:     s.CrawlErrors,
+		FeedsDiscovered: s.FeedsDiscovered,
+		Recommendations: s.Recommendations,
+		FlaggedServers:  s.FlaggedServers,
+	}
+}
+
+// PollFeeds polls every due feed through the WAIF proxy, pushing new
+// items to subscribers. It returns feeds polled and items published.
+func (c *Centralized) PollFeeds(ctx context.Context, now time.Time) (polled, published int) {
+	return c.proxy.PollDue(ctx, now)
+}
+
+// Sidebar returns the user's displayed events, oldest first.
+func (c *Centralized) Sidebar(user string) []SidebarItem {
+	c.mu.Lock()
+	bar, ok := c.bars[user]
+	c.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return toSidebarItems(bar.Items())
+}
+
+// ClickItem simulates the user opening a sidebar item: positive feedback
+// fires and the click re-enters the attention stream (closed loop).
+func (c *Centralized) ClickItem(ctx context.Context, user string, itemID int64, now time.Time) (string, bool) {
+	c.mu.Lock()
+	bar, ok := c.bars[user]
+	c.mu.Unlock()
+	if !ok {
+		return "", false
+	}
+	link, ok := bar.Click(itemID, now)
+	if !ok {
+		return "", false
+	}
+	if link != "" {
+		_, _ = c.IngestClicks(ctx, []Click{{User: user, URL: link, At: now, FromEvent: true}})
+	}
+	return link, true
+}
+
+// ExpireSidebar expires items older than the sidebar TTL, firing negative
+// feedback for each.
+func (c *Centralized) ExpireSidebar(user string, now time.Time) int {
+	c.mu.Lock()
+	bar, ok := c.bars[user]
+	c.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return bar.Expire(now)
+}
+
+// SidebarStats reports a user's lifetime sidebar counters.
+func (c *Centralized) SidebarStats(user string) (shown, clicked, deleted, expired int64) {
+	c.mu.Lock()
+	bar, ok := c.bars[user]
+	c.mu.Unlock()
+	if !ok {
+		return 0, 0, 0, 0
+	}
+	return bar.Stats()
+}
+
+// FlaggedServers reports how many servers carry the named flag
+// ("ad", "spam", "multimedia", "crawled").
+func (c *Centralized) FlaggedServers(flag string) int {
+	return c.server.Store().CountFlagged(storeFlag(flag))
+}

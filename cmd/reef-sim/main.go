@@ -1,12 +1,15 @@
-// Command reef-sim runs the full closed-loop Reef simulation: synthetic
-// web, browsing workload, centralized server, extensions with sidebars,
-// WAIF proxy, and simulated users who click or ignore the events they
-// receive. It prints a day-by-day digest and a final summary.
+// Command reef-sim runs the full closed-loop Reef simulation through the
+// public Deployment API: synthetic web, browsing workload, the
+// centralized deployment with hosted per-user frontends, WAIF feed
+// polling, and simulated users who accept recommendations and click or
+// ignore the events they receive. It prints a day-by-day digest and a
+// final summary.
 //
 //	reef-sim -users 5 -days 21 -seed 2006
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -14,11 +17,8 @@ import (
 	"os"
 	"time"
 
-	"reef/internal/core"
-	"reef/internal/pubsub"
-	"reef/internal/store"
+	"reef"
 	"reef/internal/topics"
-	"reef/internal/waif"
 	"reef/internal/websim"
 	"reef/internal/workload"
 )
@@ -36,14 +36,8 @@ func main() {
 	}
 }
 
-type brokerPublisher struct{ b *pubsub.Broker }
-
-func (p brokerPublisher) Publish(ev pubsub.Event) error {
-	_, err := p.b.Publish(ev)
-	return err
-}
-
 func run(users, days int, seed int64, scale, clickProb float64) error {
+	ctx := context.Background()
 	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
 	model := topics.NewModel(seed, 16, 50, 80)
 	wcfg := websim.DefaultConfig(seed, start)
@@ -52,51 +46,60 @@ func run(users, days int, seed int64, scale, clickProb float64) error {
 	wcfg.NumSpamServers = int(float64(wcfg.NumSpamServers) * scale)
 	web := websim.Generate(wcfg, model)
 
-	server := core.NewServer(core.ServerConfig{Fetcher: web})
-	broker := pubsub.NewBroker("edge", nil)
-	defer broker.Close()
-	proxy := waif.New(waif.Config{Fetcher: web, Publish: brokerPublisher{broker}, PollEvery: 2 * time.Hour})
+	dep, err := reef.NewCentralized(
+		reef.WithFetcher(web),
+		reef.WithPollInterval(2*time.Hour),
+		reef.WithSidebar(0, 48*time.Hour),
+	)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dep.Close() }()
 
 	gen := workload.NewGenerator(workload.DefaultConfigAdjusted(seed, start, users, days), web)
 	rng := rand.New(rand.NewSource(seed + 99))
-	exts := make(map[string]*core.Extension)
+	var userIDs []string
 	for _, u := range gen.Users() {
-		ext := core.NewExtension(core.ExtensionConfig{
-			User: u.ID, Sink: server, Subscriber: broker, Proxy: proxy,
-			SidebarTTL: 48 * time.Hour,
-		})
-		exts[u.ID] = ext
-		defer func() { _ = ext.Close() }()
+		userIDs = append(userIDs, u.ID)
 	}
 
 	gen.GenerateAll(func(d workload.Day) {
-		ext := exts[d.User]
+		batch := make([]reef.Click, 0, len(d.Clicks))
 		for _, c := range d.Clicks {
-			_ = ext.Recorder.Record(c.URL, c.At)
+			batch = append(batch, reef.Click{User: d.User, URL: c.URL, At: c.At})
 		}
-		_ = ext.Recorder.Flush()
+		if len(batch) > 0 {
+			if _, err := dep.IngestClicks(ctx, batch); err != nil {
+				log.Printf("ingest: %v", err)
+			}
+		}
 		now := d.Date.Add(24 * time.Hour)
-		stats := server.RunPipeline(now)
-		for _, e := range exts {
-			_, _ = e.PullRecommendations(server)
-		}
-		web.AdvanceTo(now)
-		_, published := proxy.PollDue(now)
-
-		// Users react to their sidebars: click some events, let the rest
-		// age out; both signals feed the recommender (closed loop).
-		for user, e := range exts {
-			for _, item := range e.Sidebar().Items() {
-				if rng.Float64() < clickProb {
-					if _, ok := e.ClickEvent(item.ID, now); ok {
-						server.ObserveEventFeedback(user, item.FeedURL, true, now)
-					}
+		stats := dep.RunPipeline(now)
+		for _, user := range userIDs {
+			recs, err := dep.Recommendations(ctx, user)
+			if err != nil {
+				log.Printf("recommendations: %v", err)
+				continue
+			}
+			for _, rec := range recs {
+				if err := dep.AcceptRecommendation(ctx, user, rec.ID); err != nil {
+					log.Printf("accept: %v", err)
 				}
 			}
-			for _, item := range e.Sidebar().Items() {
-				_ = item // remaining items age toward TTL expiry
+		}
+		web.AdvanceTo(now)
+		_, published := dep.PollFeeds(ctx, now)
+
+		// Users react to their sidebars: click some events, let the rest
+		// age toward TTL expiry; both signals feed the recommender
+		// (closed loop).
+		for _, user := range userIDs {
+			for _, item := range dep.Sidebar(user) {
+				if rng.Float64() < clickProb {
+					dep.ClickItem(ctx, user, item.ID, now)
+				}
 			}
-			e.Sidebar().Expire(now)
+			dep.ExpireSidebar(user, now)
 		}
 		if stats.Recommendations > 0 || published > 0 {
 			fmt.Printf("%s %s: recs=%d pushed=%d\n",
@@ -104,15 +107,23 @@ func run(users, days int, seed int64, scale, clickProb float64) error {
 		}
 	})
 
-	st := server.Store()
+	snap, err := dep.Stats(ctx)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("\n=== summary after %d users x %d days ===\n", users, days)
-	fmt.Printf("clicks: %d over %d servers (%d flagged ad)\n",
-		st.Len(), st.DistinctServers(), st.CountFlagged(store.FlagAd))
-	fmt.Printf("feeds found: %d, proxy manages %d\n", server.DistinctFeedsFound(), proxy.NumFeeds())
-	for user, e := range exts {
-		shown, clicked, deleted, expired := e.Sidebar().Stats()
+	fmt.Printf("clicks: %.0f over %.0f servers (%d flagged ad)\n",
+		snap["clicks_stored"], snap["distinct_servers"], dep.FlaggedServers("ad"))
+	fmt.Printf("feeds found: %.0f, proxy manages %.0f\n",
+		snap["feeds_discovered"], snap["proxy_feeds"])
+	for _, user := range userIDs {
+		subs, err := dep.Subscriptions(ctx, user)
+		if err != nil {
+			return err
+		}
+		shown, clicked, deleted, expired := dep.SidebarStats(user)
 		fmt.Printf("%s: subs=%d sidebar shown=%d clicked=%d deleted=%d expired=%d\n",
-			user, len(e.Frontend.ActiveSubscriptions()), shown, clicked, deleted, expired)
+			user, len(subs), shown, clicked, deleted, expired)
 	}
 	return nil
 }

@@ -1,19 +1,27 @@
-// Command reefd runs the centralized Reef server (Figure 1) over HTTP: the
-// LAMP-stack analogue of the paper's prototype. It serves the click-upload
-// and recommendation API, hosts the synthetic web on the same listener
-// (under /web/), and runs the crawl/analysis pipeline periodically.
+// Command reefd runs the centralized Reef deployment behind the versioned
+// REST surface: the production successor of the paper's "LAMP" prototype
+// (§3). It mounts the /v1 API, hosts the synthetic web on the same
+// listener (under /web/), and runs the crawl/analysis pipeline and WAIF
+// feed poller periodically.
 //
 //	reefd -addr :7070 -pipeline 30s -seed 2006
 //
-// Endpoints:
+// Endpoints (see package reefhttp for the full wire contract):
 //
-//	POST /v1/clicks                   JSON array of clicks
-//	GET  /v1/recommendations?user=U   drain U's pending recommendations
-//	GET  /v1/stats                    server counters
-//	GET  /web/<host>/<path>           the synthetic web
+//	POST   /v1/clicks                          ingest a click batch
+//	POST   /v1/events                          publish one event
+//	GET    /v1/users/{user}/subscriptions      list subscriptions
+//	PUT    /v1/users/{user}/subscriptions      subscribe to a feed
+//	DELETE /v1/users/{user}/subscriptions      unsubscribe (?feed=URL)
+//	GET    /v1/recommendations?user=U          pending recommendations
+//	POST   /v1/recommendations/{id}/accept     accept one
+//	POST   /v1/recommendations/{id}/reject     reject one
+//	GET    /v1/stats                           counters
+//	GET    /web/<host>/<path>                  the synthetic web
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,9 +29,10 @@ import (
 	"os"
 	"time"
 
-	"reef/internal/core"
+	"reef"
 	"reef/internal/topics"
 	"reef/internal/websim"
+	"reef/reefhttp"
 )
 
 func main() {
@@ -31,24 +40,33 @@ func main() {
 	seed := flag.Int64("seed", 2006, "synthetic web seed")
 	scale := flag.Float64("scale", 0.25, "synthetic web scale (1.0 = paper scale)")
 	pipelineEvery := flag.Duration("pipeline", 30*time.Second, "pipeline interval")
+	pollEvery := flag.Duration("poll", 10*time.Minute, "WAIF feed poll interval")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *scale, *pipelineEvery); err != nil {
+	if err := run(*addr, *seed, *scale, *pipelineEvery, *pollEvery); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed int64, scale float64, pipelineEvery time.Duration) error {
+func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.Duration) error {
 	model := topics.NewModel(seed, 16, 50, 80)
 	wcfg := websim.DefaultConfig(seed, time.Now().UTC())
 	wcfg.NumContentServers = int(float64(wcfg.NumContentServers) * scale)
 	wcfg.NumAdServers = int(float64(wcfg.NumAdServers) * scale)
 	web := websim.Generate(wcfg, model)
-	server := core.NewServer(core.ServerConfig{Fetcher: web})
+
+	dep, err := reef.NewCentralized(
+		reef.WithFetcher(web),
+		reef.WithPollInterval(pollEvery),
+	)
+	if err != nil {
+		return fmt.Errorf("reefd: %w", err)
+	}
+	defer func() { _ = dep.Close() }()
 
 	mux := http.NewServeMux()
-	mux.Handle("/v1/", core.NewAPI(server))
+	mux.Handle("/v1/", reefhttp.NewHandler(dep, log.Default()))
 	mux.Handle("/web/", http.StripPrefix("/web", &websim.Handler{Web: web}))
 
 	stop := make(chan struct{})
@@ -64,10 +82,12 @@ func run(addr string, seed int64, scale float64, pipelineEvery time.Duration) er
 			case <-ticker.C:
 				now := time.Now().UTC()
 				web.AdvanceTo(now)
-				stats := server.RunPipeline(now)
-				if stats.Crawled > 0 || stats.Recommendations > 0 {
-					log.Printf("pipeline: crawled=%d feeds=%d recs=%d errors=%d",
-						stats.Crawled, stats.FeedsDiscovered, stats.Recommendations, stats.CrawlErrors)
+				stats := dep.RunPipeline(now)
+				polled, published := dep.PollFeeds(context.Background(), now)
+				if stats.Crawled > 0 || stats.Recommendations > 0 || published > 0 {
+					log.Printf("pipeline: crawled=%d feeds=%d recs=%d errors=%d polled=%d pushed=%d",
+						stats.Crawled, stats.FeedsDiscovered, stats.Recommendations,
+						stats.CrawlErrors, polled, published)
 				}
 			}
 		}

@@ -1,0 +1,162 @@
+package reef_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"reef"
+	"reef/internal/topics"
+	"reef/internal/websim"
+)
+
+var dt0 = time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func testWeb(seed int64) *websim.Web {
+	model := topics.NewModel(seed, 6, 25, 30)
+	wcfg := websim.DefaultConfig(seed, dt0)
+	wcfg.NumContentServers = 30
+	wcfg.NumAdServers = 10
+	wcfg.NumSpamServers = 2
+	wcfg.NumMultimediaServers = 1
+	wcfg.FeedProb = 0.6
+	return websim.Generate(wcfg, model)
+}
+
+func feedPage(t *testing.T, web *websim.Web) string {
+	t.Helper()
+	for _, s := range web.Servers(websim.KindContent) {
+		if len(s.Feeds) == 0 {
+			continue
+		}
+		for _, p := range s.Pages {
+			return s.URL(p.Path)
+		}
+	}
+	t.Fatal("no feed-hosting content server")
+	return ""
+}
+
+// TestDistributedManualFlow drives the distributed deployment through the
+// interface: local analysis queues recommendations, accept places the
+// subscription, reject drops it.
+func TestDistributedManualFlow(t *testing.T) {
+	ctx := context.Background()
+	web := testWeb(7)
+	dep, err := reef.NewDistributed(reef.WithFetcher(web))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dep.Close() }()
+
+	// Browse feed-hosting pages until a recommendation appears.
+	var recs []reef.Recommendation
+	for _, s := range web.Servers(websim.KindContent) {
+		if len(s.Feeds) == 0 {
+			continue
+		}
+		for path := range s.Pages {
+			if _, err := dep.IngestClicks(ctx, []reef.Click{{User: "p1", URL: s.URL(path), At: dt0}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recs, err = dep.Recommendations(ctx, "p1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) > 0 {
+			break
+		}
+	}
+	if len(recs) == 0 {
+		t.Fatal("no recommendations from local analysis")
+	}
+	if dep.AppliedCount("p1") != 0 {
+		t.Fatalf("manual mode auto-applied %d recommendations", dep.AppliedCount("p1"))
+	}
+
+	if err := dep.AcceptRecommendation(ctx, "p1", recs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	subs, err := dep.Subscriptions(ctx, "p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 || subs[0].FeedURL != recs[0].FeedURL {
+		t.Fatalf("subscriptions = %+v", subs)
+	}
+	if len(recs) > 1 {
+		if err := dep.RejectRecommendation(ctx, "p1", recs[1].ID); err != nil {
+			t.Fatal(err)
+		}
+		if err := dep.AcceptRecommendation(ctx, "p1", recs[1].ID); !errors.Is(err, reef.ErrNotFound) {
+			t.Fatalf("accept after reject = %v, want ErrNotFound", err)
+		}
+	}
+}
+
+// TestCentralizedValidation exercises the invalid-argument paths shared
+// by both deployments.
+func TestCentralizedValidation(t *testing.T) {
+	ctx := context.Background()
+	dep, err := reef.NewCentralized(reef.WithFetcher(testWeb(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dep.Close() }()
+
+	if _, err := dep.IngestClicks(ctx, []reef.Click{{User: "", URL: "http://a.test/"}}); !errors.Is(err, reef.ErrInvalidArgument) {
+		t.Errorf("empty user = %v", err)
+	}
+	if _, err := dep.IngestClicks(ctx, []reef.Click{{User: "u", URL: ""}}); !errors.Is(err, reef.ErrInvalidArgument) {
+		t.Errorf("empty URL = %v", err)
+	}
+	if _, err := dep.Subscribe(ctx, "u", "ftp://bad"); !errors.Is(err, reef.ErrInvalidArgument) {
+		t.Errorf("bad scheme = %v", err)
+	}
+	if _, err := dep.PublishEvent(ctx, reef.Event{}); !errors.Is(err, reef.ErrInvalidArgument) {
+		t.Errorf("empty event = %v", err)
+	}
+	if _, err := dep.Recommendations(ctx, " "); !errors.Is(err, reef.ErrInvalidArgument) {
+		t.Errorf("blank user = %v", err)
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := dep.Stats(canceled); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled ctx = %v", err)
+	}
+}
+
+// TestCentralizedClosed checks ErrClosed after Close, and that Close is
+// idempotent.
+func TestCentralizedClosed(t *testing.T) {
+	ctx := context.Background()
+	dep, err := reef.NewCentralized(reef.WithFetcher(testWeb(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.IngestClicks(ctx, []reef.Click{{User: "u", URL: "http://a.test/"}}); !errors.Is(err, reef.ErrClosed) {
+		t.Errorf("ingest after close = %v", err)
+	}
+	if _, err := dep.Stats(ctx); !errors.Is(err, reef.ErrClosed) {
+		t.Errorf("stats after close = %v", err)
+	}
+}
+
+// TestConstructorsRequireFetcher pins the option contract.
+func TestConstructorsRequireFetcher(t *testing.T) {
+	if _, err := reef.NewCentralized(); !errors.Is(err, reef.ErrInvalidArgument) {
+		t.Errorf("NewCentralized() = %v", err)
+	}
+	if _, err := reef.NewDistributed(); !errors.Is(err, reef.ErrInvalidArgument) {
+		t.Errorf("NewDistributed() = %v", err)
+	}
+}

@@ -1,0 +1,470 @@
+package reef
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"reef/internal/attention"
+	"reef/internal/core"
+	"reef/internal/frontend"
+	"reef/internal/pubsub"
+	"reef/internal/recommend"
+	"reef/internal/simclock"
+	"reef/internal/waif"
+)
+
+// Distributed is the public face of the paper's Figure 2 deployment: one
+// Reef peer per user runs the whole pipeline over the local browser cache
+// — attention data never leaves the host — and peers with similar
+// interest profiles form communities that exchange feed recommendations.
+// The adapter hosts a set of peers sharing one edge broker and drives
+// them through the same Deployment interface as the centralized server.
+type Distributed struct {
+	cfg     config
+	clock   simclock.Clock
+	broker  *pubsub.Broker
+	proxy   *waif.Proxy
+	pending *pendingSet
+
+	mu     sync.Mutex
+	closed bool
+	peers  map[string]*core.Peer
+}
+
+var _ Deployment = (*Distributed)(nil)
+
+// NewDistributed builds the distributed deployment. WithFetcher is
+// required: it stands in for each peer's browser cache. By default
+// locally generated recommendations queue for AcceptRecommendation;
+// WithAutoApply(true) restores the paper's zero-click behavior.
+func NewDistributed(opts ...Option) (*Distributed, error) {
+	cfg := buildConfig(opts)
+	if cfg.fetcher == nil {
+		return nil, fmt.Errorf("%w: NewDistributed requires WithFetcher", ErrInvalidArgument)
+	}
+	d := &Distributed{
+		cfg:     cfg,
+		clock:   cfg.clock,
+		broker:  pubsub.NewBroker("reef-peer-edge", cfg.clock),
+		pending: newPendingSet(),
+		peers:   make(map[string]*core.Peer),
+	}
+	publisher := cfg.feedPublisher
+	if publisher == nil {
+		publisher = brokerPublisher{d.broker}
+	}
+	d.proxy = waif.New(waif.Config{
+		Fetcher:   cfg.fetcher,
+		Publish:   publisher,
+		PollEvery: cfg.pollEvery,
+	})
+	return d, nil
+}
+
+// peerLocked returns (creating on first use) the peer for a user. Caller
+// must hold d.mu.
+func (d *Distributed) peerLocked(user string) *core.Peer {
+	if p, ok := d.peers[user]; ok {
+		return p
+	}
+	var sub frontend.Subscriber
+	if d.cfg.subscriberFor != nil {
+		sub = d.cfg.subscriberFor(user)
+	} else {
+		sub = tunedSubscriber{broker: d.broker, opts: d.cfg.subOptions()}
+	}
+	p := core.NewPeer(core.PeerConfig{
+		User:       user,
+		Subscriber: sub,
+		Proxy:      d.proxy,
+		Clock:      d.clock,
+		Topic: recommend.TopicConfig{
+			MinHostVisits: d.cfg.topic.MinHostVisits,
+			InactiveAfter: d.cfg.topic.InactiveAfter,
+			MinScore:      d.cfg.topic.MinScore,
+		},
+		Content:         recommend.ContentConfig{NumTerms: d.cfg.content.NumTerms},
+		SidebarCapacity: d.cfg.sidebarCapacity,
+		SidebarTTL:      d.cfg.sidebarTTL,
+		ManualApply:     !d.cfg.autoApply,
+	})
+	d.peers[user] = p
+	return p
+}
+
+func (d *Distributed) peer(user string) (*core.Peer, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	return d.peerLocked(user), nil
+}
+
+func (d *Distributed) checkOpen(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// IngestClicks implements Deployment: each click is analyzed entirely on
+// the user's peer against the locally cached page — no click upload, no
+// crawl traffic. Clicks whose page is not in the cache are skipped; the
+// returned count is the number analyzed.
+func (d *Distributed) IngestClicks(ctx context.Context, clicks []Click) (int, error) {
+	if err := d.checkOpen(ctx); err != nil {
+		return 0, err
+	}
+	// Validate the whole batch before analyzing anything, so an invalid
+	// click cannot leave the batch half-ingested (Centralized does the
+	// same; a client retrying a corrected batch must not double-count).
+	for _, cl := range clicks {
+		if err := validateUser(cl.User); err != nil {
+			return 0, err
+		}
+		if cl.URL == "" {
+			return 0, fmt.Errorf("%w: click with empty URL", ErrInvalidArgument)
+		}
+	}
+	ingested := 0
+	for _, cl := range clicks {
+		if err := ctx.Err(); err != nil {
+			return ingested, err
+		}
+		res, err := d.cfg.fetcher.Fetch(cl.URL)
+		if err != nil {
+			continue // not in the browser cache: nothing to analyze
+		}
+		p, err := d.peer(cl.User)
+		if err != nil {
+			return ingested, err
+		}
+		recs := p.ObservePageView(attention.Click{
+			User:      cl.User,
+			URL:       cl.URL,
+			At:        cl.At,
+			Referrer:  cl.Referrer,
+			FromEvent: cl.FromEvent,
+		}, res)
+		ingested++
+		if !d.cfg.autoApply {
+			for _, rec := range recs {
+				d.pending.add(cl.User, rec)
+			}
+		}
+	}
+	return ingested, nil
+}
+
+// PublishEvent implements Deployment. With WithFeedPublisher the event
+// goes to the caller-owned publisher, whose delivery count is not
+// observable from here: a successful publish then reports 0 deliveries.
+func (d *Distributed) PublishEvent(ctx context.Context, ev Event) (int, error) {
+	if err := d.checkOpen(ctx); err != nil {
+		return 0, err
+	}
+	pev, err := toPubsubEvent(ev)
+	if err != nil {
+		return 0, err
+	}
+	if d.cfg.feedPublisher != nil {
+		if err := d.cfg.feedPublisher.Publish(ctx, pev); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	return d.broker.Publish(ctx, pev)
+}
+
+// Subscriptions implements Deployment.
+func (d *Distributed) Subscriptions(ctx context.Context, user string) ([]Subscription, error) {
+	if err := d.checkOpen(ctx); err != nil {
+		return nil, err
+	}
+	if err := validateUser(user); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	p, ok := d.peers[user]
+	d.mu.Unlock()
+	if !ok {
+		return []Subscription{}, nil
+	}
+	active := p.Frontend().Active()
+	out := make([]Subscription, 0, len(active))
+	for _, rec := range active {
+		out = append(out, toPublicSubscription(user, rec))
+	}
+	return out, nil
+}
+
+// Subscribe implements Deployment.
+func (d *Distributed) Subscribe(ctx context.Context, user, feedURL string) (Subscription, error) {
+	if err := d.checkOpen(ctx); err != nil {
+		return Subscription{}, err
+	}
+	if err := validateUser(user); err != nil {
+		return Subscription{}, err
+	}
+	if err := validateFeedURL(feedURL); err != nil {
+		return Subscription{}, err
+	}
+	rec := recommend.Recommendation{
+		Kind:    recommend.KindSubscribeFeed,
+		User:    user,
+		FeedURL: feedURL,
+		Filter:  waif.ItemFilter(feedURL),
+		Reason:  "direct API subscription",
+		At:      d.clock.Now(),
+	}
+	p, err := d.peer(user)
+	if err != nil {
+		return Subscription{}, err
+	}
+	if err := p.Apply(rec); err != nil {
+		return Subscription{}, err
+	}
+	return toPublicSubscription(user, rec), nil
+}
+
+// Unsubscribe implements Deployment.
+func (d *Distributed) Unsubscribe(ctx context.Context, user, feedURL string) error {
+	if err := d.checkOpen(ctx); err != nil {
+		return err
+	}
+	if err := validateUser(user); err != nil {
+		return err
+	}
+	if err := validateFeedURL(feedURL); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	p, ok := d.peers[user]
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: user %q has no subscriptions", ErrNotFound, user)
+	}
+	found := false
+	for _, rec := range p.Frontend().Active() {
+		if rec.FeedURL == feedURL {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: no subscription for feed %q", ErrNotFound, feedURL)
+	}
+	return p.Apply(recommend.Recommendation{
+		Kind:    recommend.KindUnsubscribeFeed,
+		User:    user,
+		FeedURL: feedURL,
+		Reason:  "direct API unsubscription",
+		At:      d.clock.Now(),
+	})
+}
+
+// Recommendations implements Deployment. With WithAutoApply(true) the
+// ledger stays empty: recommendations apply the moment they are born.
+func (d *Distributed) Recommendations(ctx context.Context, user string) ([]Recommendation, error) {
+	if err := d.checkOpen(ctx); err != nil {
+		return nil, err
+	}
+	if err := validateUser(user); err != nil {
+		return nil, err
+	}
+	return d.pending.list(user), nil
+}
+
+// AcceptRecommendation implements Deployment.
+func (d *Distributed) AcceptRecommendation(ctx context.Context, user, id string) error {
+	if err := d.checkOpen(ctx); err != nil {
+		return err
+	}
+	if err := validateUser(user); err != nil {
+		return err
+	}
+	rec, ok := d.pending.take(user, id)
+	if !ok {
+		return fmt.Errorf("%w: no pending recommendation %q for user %q", ErrNotFound, id, user)
+	}
+	p, err := d.peer(user)
+	if err != nil {
+		return err
+	}
+	return p.Apply(rec)
+}
+
+// RejectRecommendation implements Deployment.
+func (d *Distributed) RejectRecommendation(ctx context.Context, user, id string) error {
+	if err := d.checkOpen(ctx); err != nil {
+		return err
+	}
+	if err := validateUser(user); err != nil {
+		return err
+	}
+	rec, ok := d.pending.take(user, id)
+	if !ok {
+		return fmt.Errorf("%w: no pending recommendation %q for user %q", ErrNotFound, id, user)
+	}
+	if rec.FeedURL != "" {
+		d.mu.Lock()
+		p, ok := d.peers[user]
+		d.mu.Unlock()
+		if ok {
+			p.ObserveEventFeedback(rec.FeedURL, false, d.clock.Now())
+		}
+	}
+	return nil
+}
+
+// Stats implements Deployment.
+func (d *Distributed) Stats(ctx context.Context) (Stats, error) {
+	if err := d.checkOpen(ctx); err != nil {
+		return nil, err
+	}
+	out := Stats{}
+	d.mu.Lock()
+	out["peers"] = float64(len(d.peers))
+	var subs, feeds, applied int
+	for _, p := range d.peers {
+		subs += len(p.Frontend().ActiveSubscriptions())
+		feeds += len(p.KnownFeeds())
+		applied += p.AppliedRecommendations()
+	}
+	d.mu.Unlock()
+	out["subscriptions"] = float64(subs)
+	out["known_feeds"] = float64(feeds)
+	out["applied_recommendations"] = float64(applied)
+	out["pending_recommendations"] = float64(d.pending.size())
+	out["proxy_feeds"] = float64(d.proxy.NumFeeds())
+	for name, v := range d.broker.Metrics().Snapshot() {
+		out["broker_"+name] = v
+	}
+	return out, nil
+}
+
+// Close implements Deployment. Idempotent.
+func (d *Distributed) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	peers := make([]*core.Peer, 0, len(d.peers))
+	for _, p := range d.peers {
+		peers = append(peers, p)
+	}
+	d.mu.Unlock()
+	for _, p := range peers {
+		p.Close()
+	}
+	d.proxy.Close()
+	d.broker.Close()
+	return nil
+}
+
+// Users lists the users with live peers, sorted.
+func (d *Distributed) Users() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.peers))
+	for u := range d.peers {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KnownFeedCount reports how many distinct feeds a peer has discovered.
+func (d *Distributed) KnownFeedCount(user string) int {
+	d.mu.Lock()
+	p, ok := d.peers[user]
+	d.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return len(p.KnownFeeds())
+}
+
+// AppliedCount reports how many recommendations a peer has applied.
+func (d *Distributed) AppliedCount(user string) int {
+	d.mu.Lock()
+	p, ok := d.peers[user]
+	d.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return p.AppliedRecommendations()
+}
+
+// Sidebar returns a peer's displayed events, oldest first.
+func (d *Distributed) Sidebar(user string) []SidebarItem {
+	d.mu.Lock()
+	p, ok := d.peers[user]
+	d.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return toSidebarItems(p.Sidebar().Items())
+}
+
+// SweepInactive runs each peer's unsubscribe policy. In manual mode the
+// resulting unsubscribe recommendations queue as pending; with
+// WithAutoApply(true) they apply immediately.
+func (d *Distributed) SweepInactive(now time.Time) int {
+	d.mu.Lock()
+	peers := make([]*core.Peer, 0, len(d.peers))
+	for _, p := range d.peers {
+		peers = append(peers, p)
+	}
+	d.mu.Unlock()
+	total := 0
+	for _, p := range peers {
+		recs := p.SweepInactive(now)
+		total += len(recs)
+		if !d.cfg.autoApply {
+			for _, rec := range recs {
+				d.pending.add(rec.User, rec)
+			}
+		}
+	}
+	return total
+}
+
+// PollFeeds polls due feeds through the deployment's WAIF proxy.
+func (d *Distributed) PollFeeds(ctx context.Context, now time.Time) (polled, published int) {
+	return d.proxy.PollDue(ctx, now)
+}
+
+// ExchangeCommunities clusters peers by profile similarity and delivers
+// collaborative feed recommendations within each community. It returns
+// the number of communities and recommendations exchanged.
+func (d *Distributed) ExchangeCommunities(threshold float64, now time.Time) (communities, exchanged int) {
+	d.mu.Lock()
+	peers := make([]*core.Peer, 0, len(d.peers))
+	for _, u := range d.usersLocked() {
+		peers = append(peers, d.peers[u])
+	}
+	d.mu.Unlock()
+	return core.ExchangeCommunities(peers, threshold, now)
+}
+
+// usersLocked returns sorted users; caller holds d.mu.
+func (d *Distributed) usersLocked() []string {
+	out := make([]string, 0, len(d.peers))
+	for u := range d.peers {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}

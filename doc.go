@@ -1,18 +1,25 @@
 // Package reef is a reproduction of "Automatic Subscriptions In
 // Publish-Subscribe Systems" (Brenna, Gurrin, Johansen, Zagorodnov,
-// ICDCS Workshops 2006).
+// ICDCS Workshops 2006), grown toward a production-scale system.
 //
 // Reef automates subscription management in publish-subscribe systems by
 // watching user attention (browsing clicks), parsing it into tokens that
 // form valid name-value pairs for a pub-sub schema, and letting a
 // recommendation service place and remove subscriptions on the user's
-// behalf. See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// the paper-versus-measured record of every reproduced result.
+// behalf.
 //
-// The implementation lives under internal/: the pub-sub substrate
-// (eventalg, pubsub), the IR toolkit (ir), the Web and workload simulation
-// (websim, workload, topics, video), the Reef components (attention,
-// crawler, store, recommend, frontend, waif, cluster), and the two
-// deployments (core). Binaries live under cmd/ and runnable examples under
+// This package is the public API: the Deployment interface with its two
+// implementations — NewCentralized (the paper's Figure 1 server) and
+// NewDistributed (the Figure 2 WAIF-peer pipeline) — plus functional
+// options and the sentinel error set. The reefhttp subpackage serves any
+// Deployment over a versioned REST surface, and reefclient is the Go SDK
+// for it (itself a Deployment). See DESIGN.md for the interface, route
+// and error-model reference.
+//
+// The components live under internal/: the pub-sub substrate (eventalg,
+// pubsub), the IR toolkit (ir), the Web and workload simulation (websim,
+// workload, topics, video), the Reef components (attention, crawler,
+// store, recommend, frontend, waif, cluster), and the two deployments
+// (core). Binaries live under cmd/ and runnable examples under
 // examples/.
 package reef

@@ -1,22 +1,25 @@
-// Feedwatch reproduces the paper's §3.2 topic-based case study end to end,
-// at example scale: several users browse the synthetic web for two weeks;
-// the centralized Reef server crawls their history nightly, flags ad and
-// spam servers, discovers RSS/Atom feeds, and recommends subscriptions;
-// items flow back through the WAIF proxy over a broker overlay.
+// Feedwatch reproduces the paper's §3.2 topic-based case study end to
+// end, at example scale, through the public Deployment API: several users
+// browse the synthetic web for two weeks; the centralized deployment
+// crawls their history nightly, flags ad and spam servers, discovers
+// RSS/Atom feeds, and recommends subscriptions; items flow back through
+// the WAIF proxy over a broker overlay — the deployment's subscriptions
+// land on per-user leaf nodes via WithSubscriberFactory, and feed events
+// enter at the root via WithFeedPublisher.
 //
 //	go run ./examples/feedwatch
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"reef/internal/core"
+	"reef"
+	"reef/internal/frontend"
 	"reef/internal/pubsub"
-	"reef/internal/store"
 	"reef/internal/topics"
-	"reef/internal/waif"
 	"reef/internal/websim"
 	"reef/internal/workload"
 )
@@ -30,6 +33,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
 	model := topics.NewModel(42, 12, 40, 60)
 	wcfg := websim.DefaultConfig(42, start)
@@ -39,19 +43,18 @@ func run() error {
 	wcfg.NumMultimediaServers = 4
 	web := websim.Generate(wcfg, model)
 
-	// A three-broker overlay: the WAIF proxy publishes at the root, user
-	// extensions subscribe at the leaves.
+	// A broker overlay: the WAIF proxy publishes at the root, each user's
+	// subscriptions live on a leaf node.
 	ov := pubsub.NewOverlay()
 	defer ov.Close()
 	root, err := ov.AddNode("root")
 	if err != nil {
 		return err
 	}
-	server := core.NewServer(core.ServerConfig{Fetcher: web})
-	proxy := waif.New(waif.Config{Fetcher: web, Publish: root, PollEvery: 2 * time.Hour})
 
 	gen := workload.NewGenerator(workload.DefaultConfigAdjusted(42, start, 3, days), web)
-	exts := make(map[string]*core.Extension)
+	leaves := make(map[string]*pubsub.Node)
+	var userIDs []string
 	for i, u := range gen.Users() {
 		leaf, err := ov.AddNode(fmt.Sprintf("leaf%d", i))
 		if err != nil {
@@ -60,52 +63,76 @@ func run() error {
 		if err := ov.Connect("root", leaf.Name()); err != nil {
 			return err
 		}
-		ext := core.NewExtension(core.ExtensionConfig{
-			User: u.ID, Sink: server, Subscriber: leaf, Proxy: proxy,
-		})
-		defer func() { _ = ext.Close() }()
-		exts[u.ID] = ext
+		leaves[u.ID] = leaf
+		userIDs = append(userIDs, u.ID)
 	}
+
+	dep, err := reef.NewCentralized(
+		reef.WithFetcher(web),
+		reef.WithPollInterval(2*time.Hour),
+		reef.WithFeedPublisher(root),
+		reef.WithSubscriberFactory(func(user string) frontend.Subscriber {
+			return leaves[user]
+		}),
+	)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dep.Close() }()
 
 	// Simulate the observation window day by day.
 	gen.GenerateAll(func(d workload.Day) {
+		batch := make([]reef.Click, 0, len(d.Clicks))
 		for _, c := range d.Clicks {
-			ext := exts[d.User]
-			_ = ext.Recorder.Record(c.URL, c.At)
+			batch = append(batch, reef.Click{User: d.User, URL: c.URL, At: c.At})
 		}
-		ext := exts[d.User]
-		if err := ext.Recorder.Flush(); err != nil {
-			log.Printf("flush: %v", err)
+		if len(batch) > 0 {
+			if _, err := dep.IngestClicks(ctx, batch); err != nil {
+				log.Printf("ingest: %v", err)
+			}
 		}
 		now := d.Date.Add(24 * time.Hour)
-		server.RunPipeline(now)
-		for _, e := range exts {
-			if _, err := e.PullRecommendations(server); err != nil {
-				log.Printf("apply: %v", err)
+		dep.RunPipeline(now)
+		for _, user := range userIDs {
+			recs, err := dep.Recommendations(ctx, user)
+			if err != nil {
+				log.Printf("recommendations: %v", err)
+				continue
+			}
+			for _, rec := range recs {
+				if err := dep.AcceptRecommendation(ctx, user, rec.ID); err != nil {
+					log.Printf("accept: %v", err)
+				}
 			}
 		}
 		web.AdvanceTo(now)
-		proxy.PollDue(now)
+		dep.PollFeeds(ctx, now)
 	})
 	if err := ov.Quiesce(30 * time.Second); err != nil {
 		return err
 	}
 
 	// Report.
-	st := server.Store()
-	fmt.Printf("observation window: %d users x %d days\n", len(exts), days)
-	fmt.Printf("clicks stored:      %d\n", st.Len())
-	fmt.Printf("distinct servers:   %d (ad-flagged %d, spam-flagged %d)\n",
-		st.DistinctServers(), st.CountFlagged(store.FlagAd), st.CountFlagged(store.FlagSpam))
-	fmt.Printf("feeds discovered:   %d; WAIF proxy manages %d\n",
-		server.DistinctFeedsFound(), proxy.NumFeeds())
-	snap := proxy.Metrics().Snapshot()
+	snap, err := dep.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("observation window: %d users x %d days\n", len(userIDs), days)
+	fmt.Printf("clicks stored:      %.0f\n", snap["clicks_stored"])
+	fmt.Printf("distinct servers:   %.0f (ad-flagged %d, spam-flagged %d)\n",
+		snap["distinct_servers"], dep.FlaggedServers("ad"), dep.FlaggedServers("spam"))
+	fmt.Printf("feeds discovered:   %.0f; WAIF proxy manages %.0f\n",
+		snap["feeds_discovered"], snap["proxy_feeds"])
 	fmt.Printf("proxy polls:        %.0f (saved %.0f by shared polling), items pushed %.0f\n",
-		snap["polls"], snap["polls_saved"], snap["items_published"])
-	for user, ext := range exts {
-		shown, clicked, _, expired := ext.Sidebar().Stats()
+		snap["proxy_polls"], snap["proxy_polls_saved"], snap["proxy_items_published"])
+	for _, user := range userIDs {
+		subs, err := dep.Subscriptions(ctx, user)
+		if err != nil {
+			return err
+		}
+		shown, clicked, _, expired := dep.SidebarStats(user)
 		fmt.Printf("%s: %d active subs, sidebar shown=%d clicked=%d expired=%d\n",
-			user, len(ext.Frontend.ActiveSubscriptions()), shown, clicked, expired)
+			user, len(subs), shown, clicked, expired)
 	}
 	return nil
 }

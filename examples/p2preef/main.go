@@ -1,19 +1,21 @@
-// P2preef demonstrates Distributed Reef (paper §4 / Figure 2): every peer
-// runs the whole pipeline locally over its browser cache — attention data
-// never leaves the host — and peers with similar interest profiles form
-// communities that exchange feed recommendations collaboratively (§5.2).
+// P2preef demonstrates Distributed Reef (paper §4 / Figure 2) through the
+// public Deployment API: every peer runs the whole pipeline locally over
+// its browser cache — attention data never leaves the host — and peers
+// with similar interest profiles form communities that exchange feed
+// recommendations collaboratively (§5.2). WithAutoApply(true) restores
+// the paper's zero-click behavior; without it recommendations queue for
+// AcceptRecommendation like any other deployment.
 //
 //	go run ./examples/p2preef
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"reef/internal/attention"
-	"reef/internal/core"
-	"reef/internal/pubsub"
+	"reef"
 	"reef/internal/topics"
 	"reef/internal/websim"
 	"reef/internal/workload"
@@ -26,6 +28,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
 	model := topics.NewModel(11, 10, 40, 60)
 	wcfg := websim.DefaultConfig(11, start)
@@ -36,47 +39,47 @@ func run() error {
 	wcfg.FeedProb = 0.6
 	web := websim.Generate(wcfg, model)
 
-	broker := pubsub.NewBroker("edge", nil)
-	defer broker.Close()
+	dep, err := reef.NewDistributed(
+		reef.WithFetcher(web), // stands in for each peer's browser cache
+		reef.WithAutoApply(true),
+	)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dep.Close() }()
 
 	// Six peers browse for ten days. Their interest profiles come from
 	// the workload generator, so some pairs are naturally similar.
 	gen := workload.NewGenerator(workload.DefaultConfigAdjusted(11, start, 6, 10), web)
-	peers := make(map[string]*core.Peer)
-	var peerList []*core.Peer
-	for _, u := range gen.Users() {
-		p := core.NewPeer(core.PeerConfig{User: u.ID, Subscriber: broker})
-		defer p.Close()
-		peers[u.ID] = p
-		peerList = append(peerList, p)
-	}
-
 	gen.GenerateAll(func(d workload.Day) {
-		peer := peers[d.User]
+		batch := make([]reef.Click, 0, len(d.Clicks))
 		for _, c := range d.Clicks {
 			// The peer analyzes the browser's own cached copy: no
 			// separate crawl traffic, no click upload.
-			res, err := web.Fetch(c.URL)
-			if err != nil {
-				continue
-			}
-			peer.ObservePageView(attention.Click{User: c.User, URL: c.URL, At: c.At}, res)
+			batch = append(batch, reef.Click{User: d.User, URL: c.URL, At: c.At})
+		}
+		if _, err := dep.IngestClicks(ctx, batch); err != nil {
+			log.Printf("ingest: %v", err)
 		}
 	})
 
 	fmt.Println("after local-only analysis (attention data never left each host):")
-	for _, p := range peerList {
+	for _, user := range dep.Users() {
 		fmt.Printf("  %s: %d feeds discovered, %d subscriptions auto-applied\n",
-			p.User(), len(p.KnownFeeds()), p.AppliedRecommendations())
+			user, dep.KnownFeedCount(user), dep.AppliedCount(user))
 	}
 
 	// Community formation and collaborative exchange.
-	comms, exchanged := core.ExchangeCommunities(peerList, 0.25, start.Add(11*24*time.Hour))
+	comms, exchanged := dep.ExchangeCommunities(0.25, start.Add(11*24*time.Hour))
 	fmt.Printf("\ncommunities formed: %d; collaborative recommendations applied: %d\n",
 		comms, exchanged)
-	for _, p := range peerList {
+	for _, user := range dep.Users() {
+		subs, err := dep.Subscriptions(ctx, user)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("  %s now knows %d feeds (%d subscriptions)\n",
-			p.User(), len(p.KnownFeeds()), len(p.Frontend().ActiveSubscriptions()))
+			user, dep.KnownFeedCount(user), len(subs))
 	}
 	return nil
 }

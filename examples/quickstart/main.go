@@ -1,20 +1,21 @@
-// Quickstart: the smallest end-to-end Reef loop. A user browses a page on
-// the synthetic web; the centralized Reef server crawls it, discovers the
-// site's RSS feed, and recommends a zero-click subscription; the WAIF proxy
-// then polls the feed and pushes new items into the user's sidebar.
+// Quickstart: the smallest end-to-end Reef loop, driven entirely through
+// the public Deployment API. A user browses a page on the synthetic web;
+// the centralized deployment crawls it, discovers the site's RSS feed,
+// and recommends a subscription; accepting it places the subscription and
+// the WAIF proxy then polls the feed and pushes new items into the user's
+// sidebar.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"reef/internal/core"
-	"reef/internal/pubsub"
+	"reef"
 	"reef/internal/topics"
-	"reef/internal/waif"
 	"reef/internal/websim"
 )
 
@@ -24,15 +25,8 @@ func main() {
 	}
 }
 
-// brokerPublisher adapts a broker to the WAIF proxy's publish interface.
-type brokerPublisher struct{ b *pubsub.Broker }
-
-func (p brokerPublisher) Publish(ev pubsub.Event) error {
-	_, err := p.b.Publish(ev)
-	return err
-}
-
 func run() error {
+	ctx := context.Background()
 	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
 
 	// A small synthetic web where every content server hosts a feed.
@@ -45,17 +39,15 @@ func run() error {
 	wcfg.FeedProb = 1.0
 	web := websim.Generate(wcfg, model)
 
-	// The centralized Reef server (Figure 1) and the user's machinery.
-	server := core.NewServer(core.ServerConfig{Fetcher: web})
-	broker := pubsub.NewBroker("edge", nil)
-	defer broker.Close()
-	proxy := waif.New(waif.Config{
-		Fetcher: web, Publish: brokerPublisher{broker}, PollEvery: time.Hour,
-	})
-	ext := core.NewExtension(core.ExtensionConfig{
-		User: "alice", Sink: server, Subscriber: broker, Proxy: proxy,
-	})
-	defer ext.Close()
+	// The centralized Reef deployment (Figure 1) behind the public API.
+	dep, err := reef.NewCentralized(
+		reef.WithFetcher(web),
+		reef.WithPollInterval(time.Hour),
+	)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dep.Close() }()
 
 	// 1. Alice browses a page. Her attention is recorded and uploaded.
 	site := web.Servers(websim.KindContent)[0]
@@ -65,42 +57,48 @@ func run() error {
 		break
 	}
 	fmt.Printf("alice browses %s\n", pageURL)
-	if err := ext.Browse(pageURL, start); err != nil {
-		return err
-	}
-	if err := ext.Recorder.Flush(); err != nil {
+	if _, err := dep.IngestClicks(ctx, []reef.Click{{User: "alice", URL: pageURL, At: start}}); err != nil {
 		return err
 	}
 
-	// 2. The server's nightly pipeline crawls the page and finds the feed.
-	stats := server.RunPipeline(start.Add(24 * time.Hour))
-	fmt.Printf("server pipeline: crawled=%d feeds discovered=%d recommendations=%d\n",
+	// 2. The deployment's nightly pipeline crawls the page, finds the feed.
+	stats := dep.RunPipeline(start.Add(24 * time.Hour))
+	fmt.Printf("pipeline: crawled=%d feeds discovered=%d recommendations=%d\n",
 		stats.Crawled, stats.FeedsDiscovered, stats.Recommendations)
 
-	// 3. The extension pulls and applies the recommendation: zero clicks.
-	applied, err := ext.PullRecommendations(server)
+	// 3. Alice lists her pending recommendations and accepts them.
+	recs, err := dep.Recommendations(ctx, "alice")
 	if err != nil {
 		return err
 	}
-	fmt.Printf("alice's extension auto-applied %d subscription(s): %v\n",
-		applied, ext.Frontend.ActiveSubscriptions())
+	for _, rec := range recs {
+		fmt.Printf("recommendation %s: %s %s (%s)\n", rec.ID, rec.Kind, rec.FeedURL, rec.Reason)
+		if err := dep.AcceptRecommendation(ctx, "alice", rec.ID); err != nil {
+			return err
+		}
+	}
+	subs, err := dep.Subscriptions(ctx, "alice")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice now has %d subscription(s)\n", len(subs))
 
 	// 4. The WAIF proxy polls the feed; a week of items arrive push-style.
-	proxy.PollDue(start.Add(24 * time.Hour)) // priming poll
+	dep.PollFeeds(ctx, start.Add(24*time.Hour)) // priming poll
 	web.AdvanceTo(start.Add(8 * 24 * time.Hour))
-	_, published := proxy.PollDue(start.Add(8 * 24 * time.Hour))
+	_, published := dep.PollFeeds(ctx, start.Add(8*24*time.Hour))
 	fmt.Printf("WAIF proxy pushed %d new items\n", published)
 
 	// 5. The items appear in Alice's sidebar; clicking one feeds the loop.
 	deadline := time.Now().Add(5 * time.Second)
-	for len(ext.Sidebar().Items()) == 0 && time.Now().Before(deadline) {
+	for len(dep.Sidebar("alice")) == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	for _, item := range ext.Sidebar().Items() {
+	for _, item := range dep.Sidebar("alice") {
 		fmt.Printf("sidebar: %s -> %s\n", item.Title, item.Link)
 	}
-	if items := ext.Sidebar().Items(); len(items) > 0 {
-		link, _ := ext.ClickEvent(items[0].ID, start.Add(9*24*time.Hour))
+	if items := dep.Sidebar("alice"); len(items) > 0 {
+		link, _ := dep.ClickItem(ctx, "alice", items[0].ID, start.Add(9*24*time.Hour))
 		fmt.Printf("alice clicks the first item (%s); the click re-enters her attention stream\n", link)
 	}
 	return nil

@@ -1,0 +1,3 @@
+module reef
+
+go 1.24

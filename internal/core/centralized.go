@@ -25,6 +25,8 @@ import (
 type ServerConfig struct {
 	// Fetcher is the crawler's access to the web.
 	Fetcher websim.Fetcher
+	// Store is the click database; nil means a fresh in-memory store.
+	Store *store.ClickStore
 	// CrawlWorkers bounds crawl parallelism (default 8).
 	CrawlWorkers int
 	// Topic tunes the topic-based recommender.
@@ -84,7 +86,10 @@ var _ attention.Sink = (*Server)(nil)
 
 // NewServer builds a centralized Reef server.
 func NewServer(cfg ServerConfig) *Server {
-	st := store.NewClickStore()
+	st := cfg.Store
+	if st == nil {
+		st = store.NewClickStore()
+	}
 	s := &Server{
 		cfg:   cfg,
 		store: st,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -50,8 +51,8 @@ func newRig(t *testing.T, seed int64) *testRig {
 // brokerPublisher adapts *pubsub.Broker to waif.Publisher.
 type brokerPublisher struct{ b *pubsub.Broker }
 
-func (p brokerPublisher) Publish(ev pubsub.Event) error {
-	_, err := p.b.Publish(ev)
+func (p brokerPublisher) Publish(ctx context.Context, ev pubsub.Event) error {
+	_, err := p.b.Publish(ctx, ev)
 	return err
 }
 
@@ -119,9 +120,9 @@ func TestServerPipelineEndToEnd(t *testing.T) {
 	}
 
 	// Prime, advance the feed, poll: the item must land in the sidebar.
-	rig.proxy.PollDue(ct0.Add(time.Hour))
+	rig.proxy.PollDue(context.Background(), ct0.Add(time.Hour))
 	rig.web.AdvanceTo(ct0.Add(8 * 24 * time.Hour))
-	_, published := rig.proxy.PollDue(ct0.Add(8 * 24 * time.Hour))
+	_, published := rig.proxy.PollDue(context.Background(), ct0.Add(8*24*time.Hour))
 	if published == 0 {
 		t.Fatalf("no items published from %s", feedSrv.Host)
 	}

@@ -31,6 +31,12 @@ type PeerConfig struct {
 	// SidebarCapacity and SidebarTTL tune the display.
 	SidebarCapacity int
 	SidebarTTL      time.Duration
+	// ManualApply defers locally generated recommendations instead of
+	// auto-applying them: ObservePageView and SweepInactive return the
+	// recommendations without executing them, leaving the decision to an
+	// external controller (the public Deployment API's accept/reject
+	// flow). Community exchange (ReceivePeerFeeds) still auto-applies.
+	ManualApply bool
 }
 
 // Peer runs the entire Reef pipeline on the user's host: the attention
@@ -123,14 +129,28 @@ func (p *Peer) ObservePageView(click attention.Click, res *websim.Resource) []re
 	}
 	p.mu.Unlock()
 
-	for _, rec := range recs {
-		if err := p.frontend.Apply(rec); err == nil {
-			p.mu.Lock()
-			p.applied++
-			p.mu.Unlock()
+	if !p.cfg.ManualApply {
+		for _, rec := range recs {
+			if err := p.frontend.Apply(rec); err == nil {
+				p.mu.Lock()
+				p.applied++
+				p.mu.Unlock()
+			}
 		}
 	}
 	return recs
+}
+
+// Apply executes one recommendation against the peer's frontend (the
+// accept path when ManualApply is set).
+func (p *Peer) Apply(rec recommend.Recommendation) error {
+	err := p.frontend.Apply(rec)
+	if err == nil && rec.Kind != recommend.KindUnsubscribeFeed {
+		p.mu.Lock()
+		p.applied++
+		p.mu.Unlock()
+	}
+	return err
 }
 
 // discoverFeeds returns autodiscovered feed URLs of a cached page.
@@ -143,13 +163,16 @@ func discoverFeeds(res *websim.Resource) []string {
 	return out
 }
 
-// SweepInactive runs the local unsubscribe policy and applies the results.
+// SweepInactive runs the local unsubscribe policy and (unless ManualApply
+// is set) applies the results.
 func (p *Peer) SweepInactive(now time.Time) []recommend.Recommendation {
 	p.mu.Lock()
 	recs := p.topicRec.SweepInactive(now)
 	p.mu.Unlock()
-	for _, rec := range recs {
-		_ = p.frontend.Apply(rec)
+	if !p.cfg.ManualApply {
+		for _, rec := range recs {
+			_ = p.frontend.Apply(rec)
+		}
 	}
 	return recs
 }

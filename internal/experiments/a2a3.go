@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -77,7 +78,7 @@ func runCovering(opt A2Options, covering bool) (tableSize int, subsForwarded, ev
 			"feed":  eventalg.String(feedURL),
 			"title": eventalg.String(fmt.Sprintf("item %d", i)),
 		}, nil)
-		if err := hub.Publish(ev); err != nil {
+		if err := hub.Publish(context.Background(), ev); err != nil {
 			return 0, 0, 0, err
 		}
 	}

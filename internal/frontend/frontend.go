@@ -333,6 +333,24 @@ func (f *Frontend) pump(as *activeSub) {
 	}
 }
 
+// Active returns the recommendation behind each live subscription, sorted
+// by the same key as ActiveSubscriptions. It is the structured counterpart
+// used by the public API's subscription listing.
+func (f *Frontend) Active() []recommend.Recommendation {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys := make([]string, 0, len(f.active))
+	for k := range f.active {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]recommend.Recommendation, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, f.active[k].rec)
+	}
+	return out
+}
+
 // ActiveSubscriptions lists the keys of live subscriptions, sorted.
 func (f *Frontend) ActiveSubscriptions() []string {
 	f.mu.Lock()

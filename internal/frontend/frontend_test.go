@@ -1,6 +1,7 @@
 package frontend
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -168,7 +169,7 @@ func TestFrontendApplySubscribe(t *testing.T) {
 		t.Fatalf("active = %v", got)
 	}
 	// Publish a matching event; it must reach the sidebar via the pump.
-	broker.Publish(feedEvent(url, "story"))
+	broker.Publish(context.Background(), feedEvent(url, "story"))
 	deadline := time.Now().Add(5 * time.Second)
 	for len(fe.Sidebar().Items()) == 0 {
 		if time.Now().After(deadline) {
@@ -231,7 +232,7 @@ func TestFrontendContentQuery(t *testing.T) {
 	if err := fe.Apply(rec); err != nil {
 		t.Fatal(err)
 	}
-	broker.Publish(pubsub.Event{Attrs: eventalg.Tuple{
+	broker.Publish(context.Background(), pubsub.Event{Attrs: eventalg.Tuple{
 		"keywords": eventalg.String("quasar redshift"),
 		"title":    eventalg.String("science story"),
 	}})

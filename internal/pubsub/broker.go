@@ -1,6 +1,7 @@
 package pubsub
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -25,8 +26,9 @@ const (
 	DropNewest DeliveryPolicy = iota + 1
 	// DropOldest evicts the oldest queued event to admit the new one.
 	DropOldest
-	// Block makes Publish wait until the subscriber drains. Use only when
-	// the subscriber is guaranteed to consume promptly.
+	// Block makes Publish wait until the subscriber drains or the publish
+	// context is canceled. Use only when the subscriber is guaranteed to
+	// consume promptly.
 	Block
 )
 
@@ -69,6 +71,11 @@ type Subscription struct {
 	// broker. The overlay uses it to withdraw propagated subscriptions.
 	onCancel func()
 
+	// sendMu (capacity 1) serializes Block-policy sends against each
+	// other and against close, without holding mu across a blocking send
+	// — so each waiting publisher stays interruptible by its own context.
+	sendMu chan struct{}
+
 	mu       sync.Mutex
 	canceled bool
 	dropped  int64
@@ -99,20 +106,16 @@ func (s *Subscription) Cancel() {
 
 // deliver enqueues one event under the subscription's overflow policy.
 // Returns false if the event was dropped.
-func (s *Subscription) deliver(ev Event) bool {
+func (s *Subscription) deliver(ctx context.Context, ev Event) bool {
+	if s.policy == Block {
+		return s.deliverBlocking(ctx, ev)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.canceled {
 		return false
 	}
 	switch s.policy {
-	case Block:
-		// Blocking delivery must not hold the lock (Cancel would deadlock),
-		// but a concurrent Cancel closing s.ch would panic a blocked send.
-		// Keep the lock: Block is documented for prompt consumers only, and
-		// Cancel waits for the same lock, preserving safety.
-		s.ch <- ev
-		return true
 	case DropOldest:
 		for {
 			select {
@@ -137,13 +140,53 @@ func (s *Subscription) deliver(ev Event) bool {
 	}
 }
 
+// deliverBlocking sends under the Block policy. A blocked send never
+// holds mu, so each waiting publisher is bounded by its own context;
+// sendMu keeps close from racing a blocked send (closing s.ch mid-send
+// would panic). As before, Cancel waits for an in-flight blocked send to
+// finish or be canceled.
+func (s *Subscription) deliverBlocking(ctx context.Context, ev Event) bool {
+	drop := func() bool {
+		s.mu.Lock()
+		s.dropped++
+		s.mu.Unlock()
+		return false
+	}
+	select {
+	case s.sendMu <- struct{}{}:
+	case <-ctx.Done():
+		return drop()
+	}
+	defer func() { <-s.sendMu }()
+	s.mu.Lock()
+	canceled := s.canceled
+	s.mu.Unlock()
+	if canceled {
+		return false
+	}
+	select {
+	case s.ch <- ev:
+		return true
+	case <-ctx.Done():
+		return drop()
+	}
+}
+
 func (s *Subscription) close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.canceled {
-		s.canceled = true
-		close(s.ch)
+	if s.canceled {
+		s.mu.Unlock()
+		return
 	}
+	s.canceled = true
+	policy := s.policy
+	s.mu.Unlock()
+	if policy == Block {
+		// Wait out any in-flight blocked send before closing the channel.
+		s.sendMu <- struct{}{}
+		defer func() { <-s.sendMu }()
+	}
+	close(s.ch)
 }
 
 // SequenceSubscription is a stateful multi-event subscription (paper §5.3,
@@ -237,6 +280,7 @@ func (b *Broker) Subscribe(f eventalg.Filter, opts ...SubOption) (*Subscription,
 		ch:     make(chan Event, cfg.queueSize),
 		policy: cfg.policy,
 		broker: b,
+		sendMu: make(chan struct{}, 1),
 	}
 	b.subs[id] = sub
 	b.reg.Counter("subscribes").Inc()
@@ -319,8 +363,13 @@ func (b *Broker) unsubscribeSequence(s *SequenceSubscription) {
 
 // Publish assigns the event an ID and timestamp (if unset) and delivers it
 // to every matching local subscriber. It returns the number of successful
-// local deliveries.
-func (b *Broker) Publish(ev Event) (int, error) {
+// local deliveries. The context bounds blocking deliveries (Block policy):
+// when it is canceled mid-publish, remaining deliveries are abandoned and
+// ctx.Err() is returned alongside the count so far.
+func (b *Broker) Publish(ctx context.Context, ev Event) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if ev.ID == 0 {
 		ev.ID = nextEventID()
 	}
@@ -349,11 +398,14 @@ func (b *Broker) Publish(ev Event) (int, error) {
 
 	delivered := 0
 	for _, s := range targets {
-		if s.deliver(ev) {
+		if s.deliver(ctx, ev) {
 			delivered++
 			b.reg.Counter("delivered").Inc()
 		} else {
 			b.reg.Counter("dropped").Inc()
+		}
+		if err := ctx.Err(); err != nil {
+			return delivered, err
 		}
 	}
 	for _, s := range seqTargets {

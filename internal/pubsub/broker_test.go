@@ -1,6 +1,7 @@
 package pubsub
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -20,7 +21,7 @@ func TestBrokerDelivery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := b.Publish(testEvent("sports"))
+	n, err := b.Publish(context.Background(), testEvent("sports"))
 	if err != nil || n != 1 {
 		t.Fatalf("Publish = (%d, %v), want (1, nil)", n, err)
 	}
@@ -44,7 +45,7 @@ func TestBrokerNoMatchNoDelivery(t *testing.T) {
 	b := NewBroker("b1", nil)
 	defer b.Close()
 	sub, _ := b.Subscribe(TopicFilter("sports"))
-	n, _ := b.Publish(testEvent("news"))
+	n, _ := b.Publish(context.Background(), testEvent("news"))
 	if n != 0 {
 		t.Fatalf("Publish matched %d, want 0", n)
 	}
@@ -67,7 +68,7 @@ func TestBrokerCancel(t *testing.T) {
 	if _, ok := <-sub.Events(); ok {
 		t.Error("channel not closed after Cancel")
 	}
-	n, _ := b.Publish(testEvent("sports"))
+	n, _ := b.Publish(context.Background(), testEvent("sports"))
 	if n != 0 {
 		t.Error("delivery to canceled subscription")
 	}
@@ -91,7 +92,7 @@ func TestBrokerDropNewest(t *testing.T) {
 	defer b.Close()
 	sub, _ := b.Subscribe(TopicFilter("t"), WithQueueSize(2), WithPolicy(DropNewest))
 	for i := 0; i < 5; i++ {
-		b.Publish(testEvent("t"))
+		b.Publish(context.Background(), testEvent("t"))
 	}
 	if got := sub.Dropped(); got != 3 {
 		t.Errorf("Dropped = %d, want 3", got)
@@ -110,7 +111,7 @@ func TestBrokerDropOldest(t *testing.T) {
 	var lastID uint64
 	for i := 0; i < 5; i++ {
 		ev := testEvent("t")
-		b.Publish(ev)
+		b.Publish(context.Background(), ev)
 	}
 	if got := sub.Dropped(); got != 3 {
 		t.Errorf("Dropped = %d, want 3", got)
@@ -134,11 +135,11 @@ func TestBrokerBlockPolicy(t *testing.T) {
 	b := NewBroker("b1", nil)
 	defer b.Close()
 	sub, _ := b.Subscribe(TopicFilter("t"), WithQueueSize(1), WithPolicy(Block))
-	b.Publish(testEvent("t")) // fills the queue
+	b.Publish(context.Background(), testEvent("t")) // fills the queue
 
 	done := make(chan struct{})
 	go func() {
-		b.Publish(testEvent("t")) // must block until drained
+		b.Publish(context.Background(), testEvent("t")) // must block until drained
 		close(done)
 	}()
 	select {
@@ -154,6 +155,85 @@ func TestBrokerBlockPolicy(t *testing.T) {
 	}
 }
 
+func TestBrokerBlockPolicyCancellation(t *testing.T) {
+	b := NewBroker("b1", nil)
+	defer b.Close()
+	sub, _ := b.Subscribe(TopicFilter("t"), WithQueueSize(1), WithPolicy(Block))
+	b.Publish(context.Background(), testEvent("t")) // fills the queue
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Publish(ctx, testEvent("t")) // blocks: subscriber is stuck
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("blocking publish returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("canceled publish err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled publish still blocked")
+	}
+	if sub.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", sub.Dropped())
+	}
+
+	// A pre-canceled context refuses the publish outright.
+	if _, err := b.Publish(ctx, testEvent("t")); err != context.Canceled {
+		t.Errorf("pre-canceled publish err = %v", err)
+	}
+}
+
+// TestBrokerBlockConcurrentPublisherCancellation pins that a second
+// publisher waiting behind a stuck blocking send is freed by its own
+// context, even though the first publisher (Background context) stays
+// blocked.
+func TestBrokerBlockConcurrentPublisherCancellation(t *testing.T) {
+	b := NewBroker("b1", nil)
+	defer b.Close()
+	sub, _ := b.Subscribe(TopicFilter("t"), WithQueueSize(1), WithPolicy(Block))
+	b.Publish(context.Background(), testEvent("t")) // fills the queue
+
+	first := make(chan struct{})
+	go func() {
+		b.Publish(context.Background(), testEvent("t")) // sticks until drain
+		close(first)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the first publisher block
+
+	ctx, cancel := context.WithCancel(context.Background())
+	second := make(chan error, 1)
+	go func() {
+		_, err := b.Publish(ctx, testEvent("t"))
+		second <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-second:
+		if err != context.Canceled {
+			t.Errorf("second publisher err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second publisher not freed by its own context")
+	}
+
+	// Draining frees the first publisher; nothing deadlocked.
+	<-sub.Events()
+	select {
+	case <-first:
+	case <-time.After(2 * time.Second):
+		t.Fatal("first publisher did not resume after drain")
+	}
+}
+
 func TestBrokerClose(t *testing.T) {
 	b := NewBroker("b1", nil)
 	sub, _ := b.Subscribe(TopicFilter("t"))
@@ -162,7 +242,7 @@ func TestBrokerClose(t *testing.T) {
 	if _, ok := <-sub.Events(); ok {
 		t.Error("channel not closed after broker Close")
 	}
-	if _, err := b.Publish(testEvent("t")); err != ErrClosed {
+	if _, err := b.Publish(context.Background(), testEvent("t")); err != ErrClosed {
 		t.Errorf("Publish after Close error = %v, want ErrClosed", err)
 	}
 	if _, err := b.Subscribe(TopicFilter("t")); err != ErrClosed {
@@ -177,7 +257,7 @@ func TestBrokerVirtualClockTimestamps(t *testing.T) {
 	defer b.Close()
 	sub, _ := b.Subscribe(TopicFilter("t"))
 	clock.Advance(time.Hour)
-	b.Publish(testEvent("t"))
+	b.Publish(context.Background(), testEvent("t"))
 	ev := <-sub.Events()
 	if want := start.Add(time.Hour); !ev.Published.Equal(want) {
 		t.Errorf("Published = %v, want %v", ev.Published, want)
@@ -196,9 +276,9 @@ func TestBrokerSequenceSubscription(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b.Publish(testEvent("login"))
+	b.Publish(context.Background(), testEvent("login"))
 	clock.Advance(10 * time.Second)
-	b.Publish(testEvent("buy"))
+	b.Publish(context.Background(), testEvent("buy"))
 	select {
 	case m := <-ss.Matches():
 		if len(m.Tuples) != 2 {
@@ -223,9 +303,9 @@ func TestBrokerSequenceWindowExpiresAcrossPublishes(t *testing.T) {
 		eventalg.MustParse(`topic = buy`),
 	)
 	ss, _ := b.SubscribeSequence(seq)
-	b.Publish(testEvent("login"))
+	b.Publish(context.Background(), testEvent("login"))
 	clock.Advance(2 * time.Minute)
-	b.Publish(testEvent("buy"))
+	b.Publish(context.Background(), testEvent("buy"))
 	select {
 	case <-ss.Matches():
 		t.Fatal("expired chain completed")
@@ -237,8 +317,8 @@ func TestBrokerMetrics(t *testing.T) {
 	b := NewBroker("b1", nil)
 	defer b.Close()
 	sub, _ := b.Subscribe(TopicFilter("t"))
-	b.Publish(testEvent("t"))
-	b.Publish(testEvent("other"))
+	b.Publish(context.Background(), testEvent("t"))
+	b.Publish(context.Background(), testEvent("other"))
 	snap := b.Metrics().Snapshot()
 	if snap["published"] != 2 {
 		t.Errorf("published = %v", snap["published"])
@@ -277,7 +357,7 @@ func TestBrokerConcurrentPublishSubscribe(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 200; j++ {
-				b.Publish(testEvent("t"))
+				b.Publish(context.Background(), testEvent("t"))
 			}
 		}()
 	}

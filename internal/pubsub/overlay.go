@@ -1,6 +1,7 @@
 package pubsub
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -341,7 +342,12 @@ func (n *Node) Subscribe(f eventalg.Filter, opts ...SubOption) (*Subscription, e
 }
 
 // Publish injects an event at this node and routes it through the overlay.
-func (n *Node) Publish(ev Event) error {
+// Routing is asynchronous: the context gates admission (a canceled context
+// refuses the publish) but does not travel with the event.
+func (n *Node) Publish(ctx context.Context, ev Event) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if ev.ID == 0 {
 		ev.ID = nextEventID()
 	}
@@ -395,7 +401,7 @@ func (n *Node) run() {
 // handlePublish delivers locally and forwards along matching links.
 func (n *Node) handlePublish(msg nodeMsg) {
 	ev := msg.event
-	delivered, _ := n.broker.Publish(ev)
+	delivered, _ := n.broker.Publish(context.Background(), ev)
 	if delivered > 0 {
 		n.ov.reg.Histogram("delivery_hops").Observe(float64(msg.hops))
 	}

@@ -1,6 +1,7 @@
 package pubsub
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -42,7 +43,7 @@ func TestOverlayCrossNodeDelivery(t *testing.T) {
 	}
 	mustQuiesce(t, o)
 
-	if err := a.Publish(testEvent("sports")); err != nil {
+	if err := a.Publish(context.Background(), testEvent("sports")); err != nil {
 		t.Fatal(err)
 	}
 	mustQuiesce(t, o)
@@ -65,7 +66,7 @@ func TestOverlayNoInterestNoForward(t *testing.T) {
 	}
 	mustQuiesce(t, o)
 
-	a.Publish(testEvent("weather"))
+	a.Publish(context.Background(), testEvent("weather"))
 	mustQuiesce(t, o)
 
 	if got := o.Metrics().Snapshot()["events_forwarded"]; got != 0 {
@@ -77,7 +78,7 @@ func TestOverlayLocalDeliveryAtPublisher(t *testing.T) {
 	o, a, _ := twoNodeOverlay(t)
 	sub, _ := a.Subscribe(TopicFilter("x"))
 	mustQuiesce(t, o)
-	a.Publish(testEvent("x"))
+	a.Publish(context.Background(), testEvent("x"))
 	mustQuiesce(t, o)
 	select {
 	case <-sub.Events():
@@ -96,7 +97,7 @@ func TestOverlayMultiHopLine(t *testing.T) {
 	sub, _ := nodes[4].Subscribe(TopicFilter("deep"))
 	mustQuiesce(t, o)
 
-	nodes[0].Publish(testEvent("deep"))
+	nodes[0].Publish(context.Background(), testEvent("deep"))
 	mustQuiesce(t, o)
 
 	select {
@@ -120,8 +121,8 @@ func TestOverlayNoDuplicateDelivery(t *testing.T) {
 	sub, _ := leaves[0].Subscribe(TopicFilter("t"))
 	mustQuiesce(t, o)
 
-	hub.Publish(testEvent("t"))
-	leaves[1].Publish(testEvent("t"))
+	hub.Publish(context.Background(), testEvent("t"))
+	leaves[1].Publish(context.Background(), testEvent("t"))
 	mustQuiesce(t, o)
 
 	count := 0
@@ -141,7 +142,7 @@ func TestOverlayUnsubscribeStopsForwarding(t *testing.T) {
 	sub.Cancel()
 	mustQuiesce(t, o)
 
-	a.Publish(testEvent("t"))
+	a.Publish(context.Background(), testEvent("t"))
 	mustQuiesce(t, o)
 	if got := o.Metrics().Snapshot()["events_forwarded"]; got != 0 {
 		t.Errorf("events_forwarded after unsubscribe = %v, want 0", got)
@@ -178,7 +179,7 @@ func TestOverlayCoveringSuppressesPropagation(t *testing.T) {
 		"topic": eventalg.String("sports"),
 		"hits":  eventalg.Int(20),
 	}, nil)
-	a.Publish(ev)
+	a.Publish(context.Background(), ev)
 	mustQuiesce(t, o)
 	select {
 	case <-sub2.Events():
@@ -215,7 +216,7 @@ func TestOverlayCoveringUnsubRestoresNarrow(t *testing.T) {
 	}
 	sub, _ := b.Subscribe(eventalg.MustParse(`topic = sports and hits > 10`))
 	mustQuiesce(t, o)
-	a.Publish(NewEvent("s", eventalg.Tuple{
+	a.Publish(context.Background(), NewEvent("s", eventalg.Tuple{
 		"topic": eventalg.String("sports"), "hits": eventalg.Int(50),
 	}, nil))
 	mustQuiesce(t, o)
@@ -276,7 +277,7 @@ func TestOverlayTreeBroadcast(t *testing.T) {
 		subs[i] = s
 	}
 	mustQuiesce(t, o)
-	nodes[len(nodes)-1].Publish(testEvent("all"))
+	nodes[len(nodes)-1].Publish(context.Background(), testEvent("all"))
 	mustQuiesce(t, o)
 	for i, s := range subs {
 		select {
@@ -298,7 +299,7 @@ func TestOverlayHopsHistogram(t *testing.T) {
 	sub, _ := nodes[2].Subscribe(TopicFilter("h"))
 	_ = sub
 	mustQuiesce(t, o)
-	nodes[0].Publish(testEvent("h"))
+	nodes[0].Publish(context.Background(), testEvent("h"))
 	mustQuiesce(t, o)
 	snap := o.Metrics().Snapshot()
 	if snap["delivery_hops.count"] != 1 {
@@ -313,7 +314,7 @@ func TestOverlayPublishAfterClose(t *testing.T) {
 	o := NewOverlay()
 	a, _ := o.AddNode("a")
 	o.Close()
-	if err := a.Publish(testEvent("t")); err != ErrClosed {
+	if err := a.Publish(context.Background(), testEvent("t")); err != ErrClosed {
 		t.Errorf("Publish after Close = %v, want ErrClosed", err)
 	}
 	if _, err := o.AddNode("b"); err != ErrClosed {
@@ -325,7 +326,7 @@ func TestOverlayLinkCounters(t *testing.T) {
 	o, a, b := twoNodeOverlay(t)
 	b.Subscribe(TopicFilter("t"))
 	mustQuiesce(t, o)
-	a.Publish(testEvent("t"))
+	a.Publish(context.Background(), testEvent("t"))
 	mustQuiesce(t, o)
 
 	links := a.Links()
@@ -364,7 +365,7 @@ func TestNodeSync(t *testing.T) {
 	defer o.Close()
 	a, _ := o.AddNode("a")
 	sub, _ := a.Subscribe(TopicFilter("t"))
-	a.Publish(testEvent("t"))
+	a.Publish(context.Background(), testEvent("t"))
 	a.Sync()
 	select {
 	case <-sub.Events():

@@ -7,6 +7,7 @@
 package waif
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -26,16 +27,17 @@ const EventAttrType = "feed-item"
 var ErrProxyClosed = errors.New("waif: proxy closed")
 
 // Publisher abstracts the pub-sub injection point; *pubsub.Node satisfies
-// it, and tests use a capture function.
+// it, and tests use a capture function. The context bounds blocking
+// deliveries downstream.
 type Publisher interface {
-	Publish(ev pubsub.Event) error
+	Publish(ctx context.Context, ev pubsub.Event) error
 }
 
 // PublisherFunc adapts a function to Publisher.
-type PublisherFunc func(ev pubsub.Event) error
+type PublisherFunc func(ctx context.Context, ev pubsub.Event) error
 
 // Publish implements Publisher.
-func (f PublisherFunc) Publish(ev pubsub.Event) error { return f(ev) }
+func (f PublisherFunc) Publish(ctx context.Context, ev pubsub.Event) error { return f(ctx, ev) }
 
 // ItemFilter returns the subscription filter matching items of one feed —
 // the topic-based subscription Reef places for a recommended feed.
@@ -172,7 +174,7 @@ func (p *Proxy) Subscribers(feedURL string) int {
 // items published. Fetch or parse failures count in poll_errors and defer
 // the feed to the next interval (transient failures must not kill the
 // poller).
-func (p *Proxy) PollDue(now time.Time) (polled, published int) {
+func (p *Proxy) PollDue(ctx context.Context, now time.Time) (polled, published int) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -194,8 +196,11 @@ func (p *Proxy) PollDue(now time.Time) (polled, published int) {
 	p.mu.Unlock()
 
 	for _, pf := range due {
+		if ctx.Err() != nil {
+			return polled, published
+		}
 		polled++
-		n, err := p.pollOne(pf, now)
+		n, err := p.pollOne(ctx, pf, now)
 		if err != nil {
 			p.reg.Counter("poll_errors").Inc()
 		}
@@ -205,7 +210,7 @@ func (p *Proxy) PollDue(now time.Time) (polled, published int) {
 }
 
 // pollOne fetches one feed and publishes its new items.
-func (p *Proxy) pollOne(pf *proxyFeed, now time.Time) (int, error) {
+func (p *Proxy) pollOne(ctx context.Context, pf *proxyFeed, now time.Time) (int, error) {
 	p.reg.Counter("polls").Inc()
 	res, err := p.cfg.Fetcher.Fetch(pf.url)
 	if err != nil {
@@ -235,7 +240,7 @@ func (p *Proxy) pollOne(pf *proxyFeed, now time.Time) (int, error) {
 	}
 	published := 0
 	for _, it := range fresh {
-		if err := p.cfg.Publish.Publish(ItemEvent(pf.url, it)); err != nil {
+		if err := p.cfg.Publish.Publish(ctx, ItemEvent(pf.url, it)); err != nil {
 			return published, fmt.Errorf("waif: publishing item from %s: %w", pf.url, err)
 		}
 		published++

@@ -1,6 +1,7 @@
 package waif
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -18,7 +19,7 @@ type capturePublisher struct {
 	events []pubsub.Event
 }
 
-func (c *capturePublisher) Publish(ev pubsub.Event) error {
+func (c *capturePublisher) Publish(_ context.Context, ev pubsub.Event) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.events = append(c.events, ev)
@@ -62,7 +63,7 @@ func TestProxyPublishesNewItems(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Priming poll: no events even if the feed has backlog.
-	p.PollDue(simStart)
+	p.PollDue(context.Background(), simStart)
 	if sink.len() != 0 {
 		t.Fatalf("priming poll published %d events", sink.len())
 	}
@@ -70,7 +71,7 @@ func TestProxyPublishesNewItems(t *testing.T) {
 	// Let the feed publish some items, then poll after the interval.
 	later := simStart.Add(12 * time.Hour)
 	w.AdvanceTo(later)
-	polled, published := p.PollDue(later)
+	polled, published := p.PollDue(context.Background(), later)
 	if polled != 1 {
 		t.Fatalf("polled = %d, want 1", polled)
 	}
@@ -94,15 +95,15 @@ func TestProxyDedupsAcrossPolls(t *testing.T) {
 	sink := &capturePublisher{}
 	p := New(Config{Fetcher: w, Publish: sink, PollEvery: time.Hour})
 	p.Subscribe(feedURL, simStart)
-	p.PollDue(simStart)
+	p.PollDue(context.Background(), simStart)
 
 	t1 := simStart.Add(6 * time.Hour)
 	w.AdvanceTo(t1)
-	_, pub1 := p.PollDue(t1)
+	_, pub1 := p.PollDue(context.Background(), t1)
 
 	// Poll again without feed progress: nothing new.
 	t2 := t1.Add(time.Hour)
-	_, pub2 := p.PollDue(t2)
+	_, pub2 := p.PollDue(context.Background(), t2)
 	if pub2 != 0 {
 		t.Errorf("re-poll published %d duplicate items", pub2)
 	}
@@ -115,12 +116,12 @@ func TestProxyRespectsPollInterval(t *testing.T) {
 	w, feedURL := feedWeb(t, 3)
 	p := New(Config{Fetcher: w, Publish: &capturePublisher{}, PollEvery: time.Hour})
 	p.Subscribe(feedURL, simStart)
-	p.PollDue(simStart)
+	p.PollDue(context.Background(), simStart)
 	// 10 minutes later: not due.
-	if polled, _ := p.PollDue(simStart.Add(10 * time.Minute)); polled != 0 {
+	if polled, _ := p.PollDue(context.Background(), simStart.Add(10*time.Minute)); polled != 0 {
 		t.Errorf("polled %d before interval", polled)
 	}
-	if polled, _ := p.PollDue(simStart.Add(61 * time.Minute)); polled != 1 {
+	if polled, _ := p.PollDue(context.Background(), simStart.Add(61*time.Minute)); polled != 1 {
 		t.Errorf("polled %d after interval, want 1", polled)
 	}
 }
@@ -137,7 +138,7 @@ func TestProxySharedPolling(t *testing.T) {
 	if p.Subscribers(feedURL) != 5 {
 		t.Fatalf("Subscribers = %d", p.Subscribers(feedURL))
 	}
-	p.PollDue(simStart)
+	p.PollDue(context.Background(), simStart)
 	snap := p.Metrics().Snapshot()
 	if snap["polls"] != 1 {
 		t.Errorf("polls = %v, want 1 (shared)", snap["polls"])
@@ -161,7 +162,7 @@ func TestProxyUnsubscribeRefcount(t *testing.T) {
 		t.Error("feed retained after last unsubscribe")
 	}
 	p.Unsubscribe(feedURL) // no-op
-	if polled, _ := p.PollDue(simStart.Add(24 * time.Hour)); polled != 0 {
+	if polled, _ := p.PollDue(context.Background(), simStart.Add(24*time.Hour)); polled != 0 {
 		t.Error("unsubscribed feed polled")
 	}
 }
@@ -174,7 +175,7 @@ func TestProxyFetchFailureDefers(t *testing.T) {
 	p.Subscribe(feedURL, simStart)
 
 	w.SetDown(host, true)
-	polled, published := p.PollDue(simStart)
+	polled, published := p.PollDue(context.Background(), simStart)
 	if polled != 1 || published != 0 {
 		t.Fatalf("PollDue = (%d, %d)", polled, published)
 	}
@@ -184,7 +185,7 @@ func TestProxyFetchFailureDefers(t *testing.T) {
 	// Host recovers; the feed polls again after the interval.
 	w.SetDown(host, false)
 	w.AdvanceTo(simStart.Add(10 * time.Hour))
-	if polled, _ := p.PollDue(simStart.Add(time.Hour)); polled != 1 {
+	if polled, _ := p.PollDue(context.Background(), simStart.Add(time.Hour)); polled != 1 {
 		t.Errorf("recovered feed not re-polled: %d", polled)
 	}
 }
@@ -197,7 +198,7 @@ func TestProxyClose(t *testing.T) {
 	if err := p.Subscribe("http://x.test/f.xml", simStart); err != ErrProxyClosed {
 		t.Errorf("Subscribe after Close = %v", err)
 	}
-	if polled, _ := p.PollDue(simStart.Add(24 * time.Hour)); polled != 0 {
+	if polled, _ := p.PollDue(context.Background(), simStart.Add(24*time.Hour)); polled != 0 {
 		t.Error("closed proxy polled")
 	}
 }
@@ -216,9 +217,9 @@ func TestProxyIntoRealOverlay(t *testing.T) {
 	}
 	p := New(Config{Fetcher: w, Publish: node, PollEvery: time.Hour})
 	p.Subscribe(feedURL, simStart)
-	p.PollDue(simStart) // prime
+	p.PollDue(context.Background(), simStart) // prime
 	w.AdvanceTo(simStart.Add(12 * time.Hour))
-	_, published := p.PollDue(simStart.Add(2 * time.Hour))
+	_, published := p.PollDue(context.Background(), simStart.Add(2*time.Hour))
 	if published == 0 {
 		t.Fatal("nothing published")
 	}

@@ -1,0 +1,159 @@
+package reef
+
+import (
+	"time"
+
+	"reef/internal/frontend"
+	"reef/internal/pubsub"
+	"reef/internal/simclock"
+	"reef/internal/store"
+	"reef/internal/waif"
+	"reef/internal/websim"
+)
+
+// TopicTuning tunes the topic-based (feed) recommender.
+type TopicTuning struct {
+	// MinHostVisits is how many times the user must have visited a feed's
+	// host before the feed is recommended (default 1).
+	MinHostVisits int
+	// InactiveAfter triggers unsubscribe recommendations for feeds whose
+	// host the user stopped visiting (default 21 days).
+	InactiveAfter time.Duration
+	// MinScore is the feedback score below which an inactive feed is
+	// dropped (default 0).
+	MinScore float64
+}
+
+// ContentTuning tunes the content-based recommender.
+type ContentTuning struct {
+	// NumTerms is the N of "top N terms" (paper: optimal 30).
+	NumTerms int
+}
+
+type config struct {
+	fetcher         websim.Fetcher
+	clickStore      *store.ClickStore
+	clock           simclock.Clock
+	crawlWorkers    int
+	topic           TopicTuning
+	content         ContentTuning
+	queueSize       int
+	policy          DeliveryPolicy
+	sidebarCapacity int
+	sidebarTTL      time.Duration
+	pollEvery       time.Duration
+	autoApply       bool
+	subscriberFor   func(user string) frontend.Subscriber
+	feedPublisher   waif.Publisher
+}
+
+func buildConfig(opts []Option) config {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.clock == nil {
+		cfg.clock = simclock.Real{}
+	}
+	return cfg
+}
+
+// Option configures a deployment constructor.
+type Option func(*config)
+
+// WithFetcher supplies the deployment's access to the web: the crawler's
+// fetch path for the centralized deployment, the browser cache for the
+// distributed one, and the WAIF proxy's feed poller for both. Required.
+func WithFetcher(f websim.Fetcher) Option {
+	return func(c *config) { c.fetcher = f }
+}
+
+// WithStore injects the click database the centralized deployment records
+// attention into; nil (the default) means a fresh in-memory store.
+func WithStore(s *store.ClickStore) Option {
+	return func(c *config) { c.clickStore = s }
+}
+
+// WithClock drives all deployment timestamps (virtual time in
+// simulations); the default is the real clock.
+func WithClock(clk simclock.Clock) Option {
+	return func(c *config) { c.clock = clk }
+}
+
+// WithCrawlWorkers bounds the centralized crawler's parallelism.
+func WithCrawlWorkers(n int) Option {
+	return func(c *config) { c.crawlWorkers = n }
+}
+
+// WithTopicTuning tunes the topic-based recommender.
+func WithTopicTuning(t TopicTuning) Option {
+	return func(c *config) { c.topic = t }
+}
+
+// WithContentTuning tunes the content-based recommender.
+func WithContentTuning(t ContentTuning) Option {
+	return func(c *config) { c.content = t }
+}
+
+// WithQueueSize sets the per-subscription event delivery queue length.
+func WithQueueSize(n int) Option {
+	return func(c *config) { c.queueSize = n }
+}
+
+// WithDeliveryPolicy sets the queue-overflow policy for subscriptions the
+// deployment places.
+func WithDeliveryPolicy(p DeliveryPolicy) Option {
+	return func(c *config) { c.policy = p }
+}
+
+// WithSidebar tunes each user's sidebar: capacity bounds displayed items,
+// ttl expires ignored ones. Zero values keep the defaults (20 items, 24h).
+func WithSidebar(capacity int, ttl time.Duration) Option {
+	return func(c *config) {
+		c.sidebarCapacity = capacity
+		c.sidebarTTL = ttl
+	}
+}
+
+// WithPollInterval sets the WAIF proxy's per-feed poll interval.
+func WithPollInterval(d time.Duration) Option {
+	return func(c *config) { c.pollEvery = d }
+}
+
+// WithAutoApply makes the distributed deployment apply its locally
+// generated recommendations immediately (the paper's zero-click behavior)
+// instead of queuing them for AcceptRecommendation.
+func WithAutoApply(on bool) Option {
+	return func(c *config) { c.autoApply = on }
+}
+
+// WithSubscriberFactory routes each user's subscriptions to a caller-owned
+// subscription point (e.g. a per-user leaf node of a broker overlay)
+// instead of the deployment's internal broker.
+func WithSubscriberFactory(fn func(user string) frontend.Subscriber) Option {
+	return func(c *config) { c.subscriberFor = fn }
+}
+
+// WithFeedPublisher routes WAIF feed-item events to a caller-owned
+// publisher (e.g. the root node of a broker overlay) instead of the
+// deployment's internal broker.
+func WithFeedPublisher(p waif.Publisher) Option {
+	return func(c *config) { c.feedPublisher = p }
+}
+
+// subOptions translates the public queue tuning into broker options.
+func (c config) subOptions() []pubsub.SubOption {
+	var opts []pubsub.SubOption
+	if c.queueSize > 0 {
+		opts = append(opts, pubsub.WithQueueSize(c.queueSize))
+	}
+	switch c.policy {
+	case DropNewest:
+		opts = append(opts, pubsub.WithPolicy(pubsub.DropNewest))
+	case DropOldest:
+		opts = append(opts, pubsub.WithPolicy(pubsub.DropOldest))
+	case Block:
+		opts = append(opts, pubsub.WithPolicy(pubsub.Block))
+	}
+	return opts
+}

@@ -1,0 +1,174 @@
+package reef
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Sentinel errors returned by Deployment implementations. The REST surface
+// (reefhttp) maps them to status codes and the client SDK (reefclient)
+// maps them back, so errors.Is works identically against a local
+// deployment and a remote one.
+var (
+	// ErrClosed is returned by operations on a closed deployment.
+	ErrClosed = errors.New("reef: deployment closed")
+	// ErrNotFound is returned when a named user, subscription or
+	// recommendation does not exist.
+	ErrNotFound = errors.New("reef: not found")
+	// ErrInvalidArgument is returned for malformed input (empty user,
+	// bad feed URL, empty event).
+	ErrInvalidArgument = errors.New("reef: invalid argument")
+	// ErrUnsupported is reserved for deployments that cannot perform an
+	// operation at all. None of the built-in deployments return it; the
+	// REST surface maps it to 501 so future backends can use it without
+	// a wire change.
+	ErrUnsupported = errors.New("reef: operation not supported by this deployment")
+)
+
+// Recommendation kinds, as stable wire strings.
+const (
+	KindSubscribeFeed   = "subscribe-feed"
+	KindUnsubscribeFeed = "unsubscribe-feed"
+	KindContentQuery    = "content-query"
+)
+
+// Click is one unit of attention data: an outgoing HTTP request with the
+// attributes the paper's prototype logs — URI, timestamp, user cookie —
+// plus a flag marking closed-loop clicks on delivered events.
+type Click struct {
+	User string    `json:"user"`
+	URL  string    `json:"url"`
+	At   time.Time `json:"at"`
+	// Referrer is the page the click came from, when known.
+	Referrer string `json:"referrer,omitempty"`
+	// FromEvent marks clicks on links inside delivered events; the
+	// recommendation service reads these as positive feedback.
+	FromEvent bool `json:"from_event,omitempty"`
+}
+
+// Event is one pub-sub event injected through the public API. Attributes
+// are name-value string pairs matched against subscription filters.
+type Event struct {
+	Source    string            `json:"source,omitempty"`
+	Attrs     map[string]string `json:"attrs"`
+	Payload   []byte            `json:"payload,omitempty"`
+	Published time.Time         `json:"published,omitempty"`
+}
+
+// Term is one weighted profile term of a content-based recommendation.
+type Term struct {
+	Term  string  `json:"term"`
+	Score float64 `json:"score"`
+}
+
+// Recommendation is one pending subscribe/unsubscribe action awaiting the
+// user's (or the API caller's) accept/reject decision.
+type Recommendation struct {
+	// ID identifies the pending recommendation for accept/reject calls.
+	ID string `json:"id"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	User string `json:"user"`
+	// FeedURL is set for feed recommendations.
+	FeedURL string `json:"feed_url,omitempty"`
+	// Filter is the textual form of the pub-sub filter to place.
+	Filter string `json:"filter,omitempty"`
+	// Reason is a human-readable explanation.
+	Reason string    `json:"reason,omitempty"`
+	At     time.Time `json:"at"`
+	// Terms carries the selected profile terms for content queries.
+	Terms []Term `json:"terms,omitempty"`
+}
+
+// Subscription is one live subscription of a user.
+type Subscription struct {
+	// ID is the subscription's stable identifier: the feed URL for feed
+	// subscriptions, the canonical filter text otherwise.
+	ID      string    `json:"id"`
+	User    string    `json:"user"`
+	Kind    string    `json:"kind"`
+	FeedURL string    `json:"feed_url,omitempty"`
+	Filter  string    `json:"filter,omitempty"`
+	Since   time.Time `json:"since"`
+}
+
+// Stats is a flat snapshot of deployment counters.
+type Stats map[string]float64
+
+// SidebarItem is one event displayed in a user's sidebar.
+type SidebarItem struct {
+	ID      int64     `json:"id"`
+	Title   string    `json:"title"`
+	Link    string    `json:"link"`
+	FeedURL string    `json:"feed_url,omitempty"`
+	Shown   time.Time `json:"shown"`
+}
+
+// PipelineStats summarizes one crawl/analysis pipeline round.
+type PipelineStats struct {
+	Crawled         int `json:"crawled"`
+	CrawlErrors     int `json:"crawl_errors"`
+	FeedsDiscovered int `json:"feeds_discovered"`
+	Recommendations int `json:"recommendations"`
+	FlaggedServers  int `json:"flagged_servers"`
+}
+
+// DeliveryPolicy selects what the deployment's broker does when a
+// subscriber's delivery queue is full.
+type DeliveryPolicy int
+
+// Delivery policies. The zero value is invalid so defaults stay explicit.
+const (
+	// DropNewest discards the incoming event (default).
+	DropNewest DeliveryPolicy = iota + 1
+	// DropOldest evicts the oldest queued event to admit the new one.
+	DropOldest
+	// Block makes publishes wait until the subscriber drains or the
+	// publish context is canceled.
+	Block
+)
+
+// Deployment is the single surface both Reef deployments — the
+// centralized "LAMP-style" server (Figure 1) and the distributed
+// WAIF-peer pipeline (Figure 2) — expose to callers: binaries, examples,
+// the REST layer and future backends all program against it. Every call
+// takes a context; implementations honor cancellation on any path that
+// can block. Implementations may offer additional concrete methods
+// (pipeline driving, sidebar access), but anything a remote client can do
+// goes through this interface.
+type Deployment interface {
+	// IngestClicks records a batch of attention data. It returns how many
+	// clicks were ingested (the distributed deployment skips clicks whose
+	// page is not in the local browser cache).
+	IngestClicks(ctx context.Context, clicks []Click) (int, error)
+
+	// PublishEvent injects one event into the pub-sub substrate and
+	// returns the number of local deliveries.
+	PublishEvent(ctx context.Context, ev Event) (int, error)
+
+	// Subscriptions lists the user's live subscriptions.
+	Subscriptions(ctx context.Context, user string) ([]Subscription, error)
+	// Subscribe places a feed subscription directly (bypassing the
+	// recommendation flow).
+	Subscribe(ctx context.Context, user, feedURL string) (Subscription, error)
+	// Unsubscribe removes a feed subscription. It returns ErrNotFound if
+	// the user has no subscription for the feed.
+	Unsubscribe(ctx context.Context, user, feedURL string) error
+
+	// Recommendations lists the user's pending recommendations without
+	// consuming them; each carries an ID for the accept/reject calls.
+	Recommendations(ctx context.Context, user string) ([]Recommendation, error)
+	// AcceptRecommendation executes a pending recommendation.
+	AcceptRecommendation(ctx context.Context, user, id string) error
+	// RejectRecommendation discards a pending recommendation, feeding
+	// negative signal back to the recommender.
+	RejectRecommendation(ctx context.Context, user, id string) error
+
+	// Stats snapshots the deployment's counters.
+	Stats(ctx context.Context) (Stats, error)
+
+	// Close releases the deployment's resources. Further calls return
+	// ErrClosed.
+	Close() error
+}

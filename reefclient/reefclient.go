@@ -1,0 +1,207 @@
+// Package reefclient is the Go SDK for the reef REST surface
+// (reefhttp). The Client itself satisfies reef.Deployment, so code
+// written against the interface runs unchanged whether the deployment is
+// in-process or behind a reefd server; error-envelope codes map back to
+// the reef sentinel errors, keeping errors.Is checks working across the
+// wire.
+package reefclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"reef"
+	"reef/reefhttp"
+)
+
+// APIError is a decoded error envelope from the server. It unwraps to
+// the matching reef sentinel error.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Code is the machine-readable envelope code.
+	Code string
+	// Message is the human-readable explanation.
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("reefclient: %s (%s, HTTP %d)", e.Message, e.Code, e.StatusCode)
+}
+
+// Unwrap maps the envelope code to the reef sentinel, so
+// errors.Is(err, reef.ErrNotFound) works against remote deployments.
+func (e *APIError) Unwrap() error {
+	switch e.Code {
+	case reefhttp.CodeInvalidArgument:
+		return reef.ErrInvalidArgument
+	case reefhttp.CodeNotFound:
+		return reef.ErrNotFound
+	case reefhttp.CodeUnavailable:
+		return reef.ErrClosed
+	case reefhttp.CodeUnsupported:
+		return reef.ErrUnsupported
+	default:
+		return nil
+	}
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// Client speaks the /v1 REST surface. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+var _ reef.Deployment = (*Client)(nil)
+
+// New builds a client for a server root, e.g. "http://127.0.0.1:7070".
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   http.DefaultClient,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do sends one request with a JSON body (nil for none) and decodes the
+// response into out (nil to discard). Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("reefclient: encoding request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("reefclient: building request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("reefclient: %s %s: %w", method, path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("reefclient: reading response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var envelope reefhttp.ErrorBody
+		if err := json.Unmarshal(data, &envelope); err != nil || envelope.Error.Code == "" {
+			return &APIError{StatusCode: resp.StatusCode, Code: reefhttp.CodeInternal,
+				Message: strings.TrimSpace(string(data))}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Code: envelope.Error.Code,
+			Message: envelope.Error.Message}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("reefclient: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// IngestClicks implements reef.Deployment over POST /v1/clicks.
+func (c *Client) IngestClicks(ctx context.Context, clicks []reef.Click) (int, error) {
+	var out reefhttp.ClicksResponse
+	err := c.do(ctx, http.MethodPost, "/v1/clicks", reefhttp.ClicksRequest{Clicks: clicks}, &out)
+	if err != nil {
+		return 0, err
+	}
+	return out.Accepted, nil
+}
+
+// PublishEvent implements reef.Deployment over POST /v1/events.
+func (c *Client) PublishEvent(ctx context.Context, ev reef.Event) (int, error) {
+	var out reefhttp.EventResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/events", ev, &out); err != nil {
+		return 0, err
+	}
+	return out.Delivered, nil
+}
+
+// Subscriptions implements reef.Deployment over GET /v1/users/{u}/subscriptions.
+func (c *Client) Subscriptions(ctx context.Context, user string) ([]reef.Subscription, error) {
+	var out reefhttp.SubscriptionsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/users/"+url.PathEscape(user)+"/subscriptions", nil, &out)
+	if err != nil {
+		return nil, err
+	}
+	return out.Subscriptions, nil
+}
+
+// Subscribe implements reef.Deployment over PUT /v1/users/{u}/subscriptions.
+func (c *Client) Subscribe(ctx context.Context, user, feedURL string) (reef.Subscription, error) {
+	var out reef.Subscription
+	err := c.do(ctx, http.MethodPut, "/v1/users/"+url.PathEscape(user)+"/subscriptions",
+		reefhttp.SubscribeRequest{FeedURL: feedURL}, &out)
+	return out, err
+}
+
+// Unsubscribe implements reef.Deployment over DELETE /v1/users/{u}/subscriptions.
+func (c *Client) Unsubscribe(ctx context.Context, user, feedURL string) error {
+	return c.do(ctx, http.MethodDelete,
+		"/v1/users/"+url.PathEscape(user)+"/subscriptions?feed="+url.QueryEscape(feedURL), nil, nil)
+}
+
+// Recommendations implements reef.Deployment over GET /v1/recommendations.
+func (c *Client) Recommendations(ctx context.Context, user string) ([]reef.Recommendation, error) {
+	var out reefhttp.RecommendationsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/recommendations?user="+url.QueryEscape(user), nil, &out)
+	if err != nil {
+		return nil, err
+	}
+	return out.Recommendations, nil
+}
+
+// AcceptRecommendation implements reef.Deployment over POST
+// /v1/recommendations/{id}/accept.
+func (c *Client) AcceptRecommendation(ctx context.Context, user, id string) error {
+	return c.do(ctx, http.MethodPost, "/v1/recommendations/"+url.PathEscape(id)+"/accept",
+		reefhttp.DecisionRequest{User: user}, nil)
+}
+
+// RejectRecommendation implements reef.Deployment over POST
+// /v1/recommendations/{id}/reject.
+func (c *Client) RejectRecommendation(ctx context.Context, user, id string) error {
+	return c.do(ctx, http.MethodPost, "/v1/recommendations/"+url.PathEscape(id)+"/reject",
+		reefhttp.DecisionRequest{User: user}, nil)
+}
+
+// Stats implements reef.Deployment over GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (reef.Stats, error) {
+	var out reefhttp.StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Stats, nil
+}
+
+// Close implements reef.Deployment; the client holds no server-side
+// resources.
+func (c *Client) Close() error { return nil }

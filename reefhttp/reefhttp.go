@@ -1,0 +1,328 @@
+// Package reefhttp exposes a reef.Deployment over a versioned REST
+// surface — the successor of the prototype's 3-endpoint "LAMP" interface
+// (paper §3). Every route lives under /v1/, every response carries
+// Content-Type: application/json, wrong methods get 405 with an Allow
+// header, and every error is a consistent JSON envelope:
+//
+//	{"error": {"code": "not_found", "message": "..."}}
+//
+// Routes:
+//
+//	POST   /v1/clicks                          ingest a click batch
+//	POST   /v1/events                          publish one event
+//	GET    /v1/users/{user}/subscriptions      list live subscriptions
+//	PUT    /v1/users/{user}/subscriptions      place a feed subscription
+//	DELETE /v1/users/{user}/subscriptions      remove one (?feed=URL)
+//	GET    /v1/recommendations?user=U          list pending recommendations
+//	POST   /v1/recommendations/{id}/accept     execute one   (body: {"user":U})
+//	POST   /v1/recommendations/{id}/reject     discard one   (body: {"user":U})
+//	GET    /v1/stats                           counters snapshot
+package reefhttp
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"reef"
+)
+
+// maxBodyBytes bounds request bodies (the click batch is the largest).
+const maxBodyBytes = 16 << 20
+
+// Error codes carried in the envelope; the client SDK maps them back to
+// the reef sentinel errors.
+const (
+	CodeInvalidArgument  = "invalid_argument"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeUnavailable      = "unavailable"
+	CodeUnsupported      = "unsupported"
+	CodeInternal         = "internal"
+)
+
+// ErrorBody is the JSON error envelope.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries the machine-readable code and human message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Wire request/response shapes.
+type (
+	// ClicksRequest is the POST /v1/clicks body.
+	ClicksRequest struct {
+		Clicks []reef.Click `json:"clicks"`
+	}
+	// ClicksResponse acknowledges an ingested batch.
+	ClicksResponse struct {
+		Accepted int `json:"accepted"`
+	}
+	// EventResponse reports local deliveries of a published event.
+	EventResponse struct {
+		Delivered int `json:"delivered"`
+	}
+	// SubscriptionsResponse lists a user's live subscriptions.
+	SubscriptionsResponse struct {
+		Subscriptions []reef.Subscription `json:"subscriptions"`
+	}
+	// SubscribeRequest is the PUT subscriptions body.
+	SubscribeRequest struct {
+		FeedURL string `json:"feed_url"`
+	}
+	// RecommendationsResponse lists pending recommendations.
+	RecommendationsResponse struct {
+		Recommendations []reef.Recommendation `json:"recommendations"`
+	}
+	// DecisionRequest is the accept/reject body.
+	DecisionRequest struct {
+		User string `json:"user"`
+	}
+	// StatsResponse snapshots deployment counters.
+	StatsResponse struct {
+		Stats reef.Stats `json:"stats"`
+	}
+)
+
+// Handler serves the REST surface over any reef.Deployment.
+type Handler struct {
+	dep reef.Deployment
+	log *log.Logger
+}
+
+var _ http.Handler = (*Handler)(nil)
+
+// NewHandler mounts the /v1 surface over the deployment. A nil logger
+// discards encode-failure diagnostics.
+func NewHandler(dep reef.Deployment, logger *log.Logger) *Handler {
+	return &Handler{dep: dep, log: logger}
+}
+
+// ServeHTTP implements http.Handler with explicit routing so unknown
+// paths and wrong methods get the same JSON envelope as handler errors.
+// Routing splits the escaped path, so identifiers containing %2F (e.g.
+// user IDs with slashes, sent path-escaped by reefclient) stay one
+// segment; wildcard segments are unescaped before use.
+func (h *Handler) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	rest, ok := strings.CutPrefix(req.URL.EscapedPath(), "/v1/")
+	if !ok {
+		h.writeError(rw, http.StatusNotFound, CodeNotFound, "unknown path "+req.URL.Path)
+		return
+	}
+	seg := strings.Split(strings.Trim(rest, "/"), "/")
+	switch {
+	case len(seg) == 1 && seg[0] == "clicks":
+		h.route(rw, req, "POST", h.handleClicks)
+	case len(seg) == 1 && seg[0] == "events":
+		h.route(rw, req, "POST", h.handleEvents)
+	case len(seg) == 1 && seg[0] == "stats":
+		h.route(rw, req, "GET", h.handleStats)
+	case len(seg) == 1 && seg[0] == "recommendations":
+		h.route(rw, req, "GET", h.handleRecommendations)
+	case len(seg) == 3 && seg[0] == "recommendations" && (seg[2] == "accept" || seg[2] == "reject"):
+		id, ok := h.pathSegment(rw, seg[1])
+		if !ok {
+			return
+		}
+		h.route(rw, req, "POST", func(rw http.ResponseWriter, req *http.Request) {
+			h.handleDecision(rw, req, id, seg[2])
+		})
+	case len(seg) == 3 && seg[0] == "users" && seg[2] == "subscriptions":
+		user, ok := h.pathSegment(rw, seg[1])
+		if !ok {
+			return
+		}
+		h.route(rw, req, "GET PUT DELETE", func(rw http.ResponseWriter, req *http.Request) {
+			h.handleSubscriptions(rw, req, user)
+		})
+	default:
+		h.writeError(rw, http.StatusNotFound, CodeNotFound, "unknown path "+req.URL.Path)
+	}
+}
+
+// pathSegment unescapes one wildcard path segment, writing the error
+// envelope and returning false on malformed escapes.
+func (h *Handler) pathSegment(rw http.ResponseWriter, escaped string) (string, bool) {
+	v, err := url.PathUnescape(escaped)
+	if err != nil {
+		h.writeError(rw, http.StatusBadRequest, CodeInvalidArgument, "bad path segment: "+err.Error())
+		return "", false
+	}
+	return v, true
+}
+
+// route enforces the allowed methods before dispatching.
+func (h *Handler) route(rw http.ResponseWriter, req *http.Request, allowed string, fn http.HandlerFunc) {
+	for _, m := range strings.Fields(allowed) {
+		if req.Method == m {
+			fn(rw, req)
+			return
+		}
+	}
+	rw.Header().Set("Allow", strings.Join(strings.Fields(allowed), ", "))
+	h.writeError(rw, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+		req.Method+" not allowed; use "+allowed)
+}
+
+func (h *Handler) handleClicks(rw http.ResponseWriter, req *http.Request) {
+	var body ClicksRequest
+	if !h.readJSON(rw, req, &body) {
+		return
+	}
+	// An empty batch is a no-op, not an error — in-process deployments
+	// return (0, nil) for it, and remote callers get the same behavior.
+	n, err := h.dep.IngestClicks(req.Context(), body.Clicks)
+	if err != nil {
+		h.writeDeploymentError(rw, err)
+		return
+	}
+	h.writeJSON(rw, http.StatusAccepted, ClicksResponse{Accepted: n})
+}
+
+func (h *Handler) handleEvents(rw http.ResponseWriter, req *http.Request) {
+	var ev reef.Event
+	if !h.readJSON(rw, req, &ev) {
+		return
+	}
+	n, err := h.dep.PublishEvent(req.Context(), ev)
+	if err != nil {
+		h.writeDeploymentError(rw, err)
+		return
+	}
+	h.writeJSON(rw, http.StatusOK, EventResponse{Delivered: n})
+}
+
+func (h *Handler) handleSubscriptions(rw http.ResponseWriter, req *http.Request, user string) {
+	ctx := req.Context()
+	switch req.Method {
+	case http.MethodGet:
+		subs, err := h.dep.Subscriptions(ctx, user)
+		if err != nil {
+			h.writeDeploymentError(rw, err)
+			return
+		}
+		h.writeJSON(rw, http.StatusOK, SubscriptionsResponse{Subscriptions: subs})
+	case http.MethodPut:
+		var body SubscribeRequest
+		if !h.readJSON(rw, req, &body) {
+			return
+		}
+		sub, err := h.dep.Subscribe(ctx, user, body.FeedURL)
+		if err != nil {
+			h.writeDeploymentError(rw, err)
+			return
+		}
+		h.writeJSON(rw, http.StatusCreated, sub)
+	case http.MethodDelete:
+		feed := req.URL.Query().Get("feed")
+		if feed == "" {
+			h.writeError(rw, http.StatusBadRequest, CodeInvalidArgument, "missing feed parameter")
+			return
+		}
+		if err := h.dep.Unsubscribe(ctx, user, feed); err != nil {
+			h.writeDeploymentError(rw, err)
+			return
+		}
+		h.writeJSON(rw, http.StatusOK, struct {
+			Deleted string `json:"deleted"`
+		}{Deleted: feed})
+	}
+}
+
+func (h *Handler) handleRecommendations(rw http.ResponseWriter, req *http.Request) {
+	user := req.URL.Query().Get("user")
+	if user == "" {
+		h.writeError(rw, http.StatusBadRequest, CodeInvalidArgument, "missing user parameter")
+		return
+	}
+	recs, err := h.dep.Recommendations(req.Context(), user)
+	if err != nil {
+		h.writeDeploymentError(rw, err)
+		return
+	}
+	h.writeJSON(rw, http.StatusOK, RecommendationsResponse{Recommendations: recs})
+}
+
+func (h *Handler) handleDecision(rw http.ResponseWriter, req *http.Request, id, verb string) {
+	var body DecisionRequest
+	if !h.readJSON(rw, req, &body) {
+		return
+	}
+	var err error
+	if verb == "accept" {
+		err = h.dep.AcceptRecommendation(req.Context(), body.User, id)
+	} else {
+		err = h.dep.RejectRecommendation(req.Context(), body.User, id)
+	}
+	if err != nil {
+		h.writeDeploymentError(rw, err)
+		return
+	}
+	h.writeJSON(rw, http.StatusOK, struct {
+		ID     string `json:"id"`
+		Action string `json:"action"`
+	}{ID: id, Action: verb})
+}
+
+func (h *Handler) handleStats(rw http.ResponseWriter, req *http.Request) {
+	stats, err := h.dep.Stats(req.Context())
+	if err != nil {
+		h.writeDeploymentError(rw, err)
+		return
+	}
+	h.writeJSON(rw, http.StatusOK, StatsResponse{Stats: stats})
+}
+
+// readJSON decodes a bounded request body, writing the error envelope and
+// returning false on failure.
+func (h *Handler) readJSON(rw http.ResponseWriter, req *http.Request, into any) bool {
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxBodyBytes))
+	if err != nil {
+		h.writeError(rw, http.StatusBadRequest, CodeInvalidArgument, "reading body: "+err.Error())
+		return false
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		h.writeError(rw, http.StatusBadRequest, CodeInvalidArgument, "bad JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeJSON writes a JSON response, checking the encode error.
+func (h *Handler) writeJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	if err := json.NewEncoder(rw).Encode(v); err != nil && h.log != nil {
+		// The status line is gone; all we can do is record the failure.
+		h.log.Printf("reefhttp: encoding %T response: %v", v, err)
+	}
+}
+
+// writeError writes the JSON error envelope.
+func (h *Handler) writeError(rw http.ResponseWriter, status int, code, msg string) {
+	h.writeJSON(rw, status, ErrorBody{Error: ErrorDetail{Code: code, Message: msg}})
+}
+
+// writeDeploymentError maps reef sentinel errors to status codes.
+func (h *Handler) writeDeploymentError(rw http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, reef.ErrInvalidArgument):
+		h.writeError(rw, http.StatusBadRequest, CodeInvalidArgument, err.Error())
+	case errors.Is(err, reef.ErrNotFound):
+		h.writeError(rw, http.StatusNotFound, CodeNotFound, err.Error())
+	case errors.Is(err, reef.ErrClosed):
+		h.writeError(rw, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
+	case errors.Is(err, reef.ErrUnsupported):
+		h.writeError(rw, http.StatusNotImplemented, CodeUnsupported, err.Error())
+	default:
+		h.writeError(rw, http.StatusInternalServerError, CodeInternal, err.Error())
+	}
+}
