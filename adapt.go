@@ -51,6 +51,20 @@ func toPubsubEvent(ev Event) (pubsub.Event, error) {
 	}, nil
 }
 
+// toPubsubEvents converts a batch, rejecting the whole batch on the first
+// invalid event so none of it is published partially.
+func toPubsubEvents(evs []Event) ([]pubsub.Event, error) {
+	out := make([]pubsub.Event, len(evs))
+	for i, ev := range evs {
+		pev, err := toPubsubEvent(ev)
+		if err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+		out[i] = pev
+	}
+	return out, nil
+}
+
 // toPublicRecommendation converts an internal recommendation, attaching
 // the pending ID.
 func toPublicRecommendation(id string, rec recommend.Recommendation) Recommendation {

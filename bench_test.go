@@ -125,6 +125,103 @@ func BenchmarkBrokerPublish(b *testing.B) {
 	}
 }
 
+// BenchmarkBrokerPublishParallel measures the publish fast path with the
+// read-mostly lock shared among GOMAXPROCS publishers; compare against
+// BenchmarkBrokerPublish (the single-publisher baseline).
+func BenchmarkBrokerPublishParallel(b *testing.B) {
+	broker := pubsub.NewBroker("bench", nil)
+	defer broker.Close()
+	for i := 0; i < 100; i++ {
+		if _, err := broker.Subscribe(pubsub.TopicFilter("t"), pubsub.WithQueueSize(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ev := pubsub.NewEvent("src", eventalg.Tuple{"topic": eventalg.String("t")}, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := broker.Publish(context.Background(), ev); err != nil {
+				b.Error(err) // Fatal must not run on a RunParallel worker
+				return
+			}
+		}
+	})
+}
+
+// benchIndex builds a matcher with hash-path and scan-path constraints.
+func benchIndex(b *testing.B) (*pubsub.Index, eventalg.Tuple) {
+	b.Helper()
+	ix := pubsub.NewIndex()
+	for i := 0; i < 100; i++ {
+		f, err := eventalg.Parse(`topic = "sports" and hits > 3`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix.Add(f)
+	}
+	for i := 0; i < 100; i++ {
+		ix.Add(pubsub.TopicFilter("other"))
+	}
+	return ix, eventalg.Tuple{"topic": eventalg.String("sports"), "hits": eventalg.Int(10)}
+}
+
+func BenchmarkIndexMatch(b *testing.B) {
+	ix, tu := benchIndex(b)
+	var buf []int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ix.MatchAppend(tu, buf[:0])
+	}
+	if len(buf) != 100 {
+		b.Fatalf("matched %d, want 100", len(buf))
+	}
+}
+
+// TestIndexMatchSteadyStateAllocs pins the allocation discipline of the
+// broker's match path: with a reused result buffer and a warm scratch
+// pool, matching an event allocates at most once.
+func TestIndexMatchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race defeats sync.Pool caching; allocation counts are meaningless")
+	}
+	ix := pubsub.NewIndex()
+	for i := 0; i < 50; i++ {
+		f, err := eventalg.Parse(`topic = "sports" and hits > 3`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.Add(f)
+	}
+	tu := eventalg.Tuple{"topic": eventalg.String("sports"), "hits": eventalg.Int(10)}
+	buf := make([]int64, 0, 64)
+	for i := 0; i < 100; i++ { // warm the scratch pool and buffer
+		buf = ix.MatchAppend(tu, buf[:0])
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = ix.MatchAppend(tu, buf[:0])
+	})
+	if allocs > 1 {
+		t.Errorf("Index match path allocates %.2f/op, want <= 1", allocs)
+	}
+}
+
+func BenchmarkBM25RankTop(b *testing.B) {
+	c := ir.NewCorpus()
+	for i := 0; i < 500; i++ {
+		c.AddText(string(rune('a'+i%26))+string(rune('a'+(i/26)%26))+string(rune('a'+i/676)),
+			"alpha beta gamma delta epsilon zeta eta theta")
+	}
+	s := ir.NewBM25(c, ir.DefaultBM25)
+	q := map[string]float64{"alpha": 1, "gamma": 0.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RankTop(q, 10)
+	}
+}
+
 func BenchmarkFilterParse(b *testing.B) {
 	src := `topic = "sports" and hits > 3 and url prefix "http://news"`
 	for i := 0; i < b.N; i++ {

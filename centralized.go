@@ -163,6 +163,29 @@ func (c *Centralized) PublishEvent(ctx context.Context, ev Event) (int, error) {
 	return c.broker.Publish(ctx, pev)
 }
 
+// PublishBatch implements Deployment: the whole batch is validated up
+// front, then published through the broker's batched fast path (one lock
+// acquisition and match pass for all events). With WithFeedPublisher the
+// events go one by one to the caller-owned publisher.
+func (c *Centralized) PublishBatch(ctx context.Context, evs []Event) (int, error) {
+	if err := c.checkOpen(ctx); err != nil {
+		return 0, err
+	}
+	pevs, err := toPubsubEvents(evs)
+	if err != nil {
+		return 0, err
+	}
+	if c.cfg.feedPublisher != nil {
+		for _, pev := range pevs {
+			if err := c.cfg.feedPublisher.Publish(ctx, pev); err != nil {
+				return 0, err
+			}
+		}
+		return 0, nil
+	}
+	return c.broker.PublishBatch(ctx, pevs)
+}
+
 // Subscriptions implements Deployment.
 func (c *Centralized) Subscriptions(ctx context.Context, user string) ([]Subscription, error) {
 	if err := c.checkOpen(ctx); err != nil {

@@ -1,0 +1,263 @@
+// Substrate micro-benchmarks: the broker publish fast path and BM25
+// ranking. Each run emits a BENCH_*.json trajectory file (ops/sec,
+// allocs/op, p50/p99 latency) so later performance work has a baseline to
+// beat; the same numbers print as a table alongside the paper experiments.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"reef/internal/eventalg"
+	"reef/internal/experiments"
+	"reef/internal/ir"
+	"reef/internal/metrics"
+	"reef/internal/pubsub"
+)
+
+// BenchResult is one benchmark configuration's measurements.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	P50Micros   float64 `json:"p50_us"`
+	P99Micros   float64 `json:"p99_us"`
+}
+
+// BenchFile is the shape of one BENCH_*.json trajectory file.
+type BenchFile struct {
+	Benchmark  string        `json:"benchmark"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Generated  string        `json:"generated"`
+	Results    []BenchResult `json:"results"`
+}
+
+// measure runs fn ops times across the given number of workers (1 =
+// serial) and reports throughput, allocations per op, and per-op latency
+// quantiles. Each worker records latencies into its own preallocated
+// buffer so the timed region carries no shared lock; the buffers feed one
+// metrics.Histogram — the same instrument the experiment harnesses use —
+// after the clock stops.
+func measure(name string, ops, workers int, fn func(i int)) BenchResult {
+	if workers < 1 {
+		workers = 1
+	}
+	per := ops / workers
+	lats := make([][]float64, workers)
+	for w := range lats {
+		lats[w] = make([]float64, 0, per)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := w * per
+			for i := base; i < base+per; i++ {
+				t0 := time.Now()
+				fn(i)
+				lats[w] = append(lats[w], float64(time.Since(t0).Nanoseconds())/1e3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	hist := &metrics.Histogram{}
+	for _, ls := range lats {
+		for _, v := range ls {
+			hist.Observe(v)
+		}
+	}
+	done := per * workers
+	return BenchResult{
+		Name:        name,
+		Ops:         done,
+		OpsPerSec:   float64(done) / elapsed.Seconds(),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(done),
+		P50Micros:   hist.Quantile(0.5),
+		P99Micros:   hist.Quantile(0.99),
+	}
+}
+
+// writeBenchFile writes one BENCH_*.json trajectory file.
+func writeBenchFile(dir, name string, results []BenchResult) error {
+	bf := BenchFile{
+		Benchmark:  name,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), append(data, '\n'), 0o644)
+}
+
+// benchTable renders bench results in the experiment-report style.
+func benchTable(title string, results []BenchResult) experiments.Result {
+	tb := metrics.NewTable(title, "config", "ops", "ops/sec", "allocs/op", "p50 µs", "p99 µs")
+	values := map[string]float64{}
+	for _, r := range results {
+		tb.AddRowf(r.Name, float64(r.Ops), float64(int64(r.OpsPerSec)),
+			fmt.Sprintf("%.2f", r.AllocsPerOp),
+			fmt.Sprintf("%.2f", r.P50Micros), fmt.Sprintf("%.2f", r.P99Micros))
+		values[r.Name+"_ops_per_sec"] = r.OpsPerSec
+		values[r.Name+"_allocs_per_op"] = r.AllocsPerOp
+	}
+	return experiments.Result{Table: tb, Values: values}
+}
+
+// BenchPublishOptions tunes the publish benchmark.
+type BenchPublishOptions struct {
+	Ops        int // events per configuration
+	Matching   int // subscriptions matching the published topic
+	Background int // subscriptions on other topics (index selectivity)
+	BatchSize  int
+	OutDir     string
+}
+
+// benchPublish measures the broker publish path three ways: serialized
+// (one publisher), parallel (GOMAXPROCS publishers sharing the broker's
+// read lock), and batched (PublishBatch amortizing lock acquisition).
+func benchPublish(opt BenchPublishOptions) experiments.Result {
+	if opt.Ops <= 0 {
+		opt.Ops = 200_000
+	}
+	if opt.Matching <= 0 {
+		opt.Matching = 50
+	}
+	if opt.Background <= 0 {
+		opt.Background = 200
+	}
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 64
+	}
+	broker := pubsub.NewBroker("bench", nil)
+	defer broker.Close()
+	for i := 0; i < opt.Matching; i++ {
+		if _, err := broker.Subscribe(pubsub.TopicFilter("hot"), pubsub.WithQueueSize(1)); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < opt.Background; i++ {
+		if _, err := broker.Subscribe(pubsub.TopicFilter(fmt.Sprintf("cold%d", i))); err != nil {
+			panic(err)
+		}
+	}
+	// One prototype event reused for every publish: Publish takes the
+	// event by value and the attribute tuple is only read, so the measured
+	// loop exercises the broker path, not map construction.
+	proto := pubsub.NewEvent("bench", eventalg.Tuple{"topic": eventalg.String("hot")}, nil)
+	ctx := context.Background()
+	workers := runtime.GOMAXPROCS(0)
+
+	results := []BenchResult{
+		measure("publish_serial", opt.Ops, 1, func(int) {
+			if _, err := broker.Publish(ctx, proto); err != nil {
+				panic(err)
+			}
+		}),
+		measure(fmt.Sprintf("publish_parallel_%dw", workers), opt.Ops, workers, func(int) {
+			if _, err := broker.Publish(ctx, proto); err != nil {
+				panic(err)
+			}
+		}),
+	}
+	batch := make([]pubsub.Event, opt.BatchSize)
+	batches := opt.Ops / opt.BatchSize
+	br := measure(fmt.Sprintf("publish_batch_%d", opt.BatchSize), batches, 1, func(int) {
+		for i := range batch {
+			batch[i] = proto
+		}
+		if _, err := broker.PublishBatch(ctx, batch); err != nil {
+			panic(err)
+		}
+	})
+	// Report the batch row per event, not per batch, so rows compare.
+	n := float64(opt.BatchSize)
+	br.Ops *= opt.BatchSize
+	br.OpsPerSec *= n
+	br.AllocsPerOp /= n
+	br.P50Micros /= n
+	br.P99Micros /= n
+	results = append(results, br)
+
+	if err := writeBenchFile(opt.OutDir, "publish", results); err != nil {
+		fmt.Fprintf(os.Stderr, "reef-bench: writing BENCH_publish.json: %v\n", err)
+	}
+	res := benchTable("BENCH — Broker publish fast path (sharded read-mostly matching)", results)
+	res.Table.AddNote("%d matching + %d background subscriptions, queue size 1; parallel = %d publishers; batch latency amortized per event",
+		opt.Matching, opt.Background, workers)
+	speedup := results[1].OpsPerSec / results[0].OpsPerSec
+	res.Values["parallel_speedup"] = speedup
+	res.Table.AddNote("parallel speedup over serialized baseline: %.2fx", speedup)
+	return res
+}
+
+// BenchRankOptions tunes the ranking benchmark.
+type BenchRankOptions struct {
+	Seed       int64
+	Docs       int
+	QueryTerms int
+	Ops        int
+	OutDir     string
+}
+
+// benchRank measures BM25 over the inverted-postings corpus: the full
+// ranking and the partial-sort RankTop at two cutoffs.
+func benchRank(opt BenchRankOptions) experiments.Result {
+	if opt.Docs <= 0 {
+		opt.Docs = 5_000
+	}
+	if opt.QueryTerms <= 0 {
+		opt.QueryTerms = 8
+	}
+	if opt.Ops <= 0 {
+		opt.Ops = 500
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	vocab := make([]string, 800)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("term%03d", i)
+	}
+	corpus := ir.NewCorpus()
+	for i := 0; i < opt.Docs; i++ {
+		words := make([]byte, 0, 1024)
+		for j := 0; j < 80+rng.Intn(80); j++ {
+			words = append(words, vocab[rng.Intn(len(vocab))]...)
+			words = append(words, ' ')
+		}
+		corpus.AddText(fmt.Sprintf("doc%05d", i), string(words))
+	}
+	scorer := ir.NewBM25(corpus, ir.DefaultBM25)
+	query := make(map[string]float64, opt.QueryTerms)
+	for len(query) < opt.QueryTerms {
+		query[ir.Stem(vocab[rng.Intn(len(vocab))])] = 1
+	}
+
+	results := []BenchResult{
+		measure("rank_full", opt.Ops, 1, func(int) { scorer.Rank(query) }),
+		measure("rank_top10", opt.Ops, 1, func(int) { scorer.RankTop(query, 10) }),
+		measure("rank_top100", opt.Ops, 1, func(int) { scorer.RankTop(query, 100) }),
+	}
+	if err := writeBenchFile(opt.OutDir, "rank", results); err != nil {
+		fmt.Fprintf(os.Stderr, "reef-bench: writing BENCH_rank.json: %v\n", err)
+	}
+	res := benchTable("BENCH — BM25 over inverted postings (full sort vs partial top-K)", results)
+	res.Table.AddNote("%d documents, %d-term query, seed %d", opt.Docs, opt.QueryTerms, opt.Seed)
+	return res
+}

@@ -1,11 +1,15 @@
 // Command reef-bench regenerates every table and figure of the paper's
-// evaluation (DESIGN.md §4). With no arguments it runs the full suite at
-// paper scale; pass experiment IDs (e1 e2 e3 f1 f2 a1 a2 a3) to run a
-// subset, and -quick for a reduced-scale smoke run.
+// evaluation (DESIGN.md §4), plus the substrate micro-benchmarks. With no
+// arguments it runs the full suite at paper scale; pass experiment IDs
+// (e1 e2 e3 f1 f2 a1 a2 a3 publish rank) to run a subset, and -quick for
+// a reduced-scale smoke run. The publish and rank benchmarks write
+// BENCH_publish.json and BENCH_rank.json (ops/sec, allocs/op, p50/p99)
+// into -benchdir so later PRs have a performance trajectory to beat.
 //
-//	reef-bench            # full suite
-//	reef-bench e1 e3      # just E1 and E3
-//	reef-bench -quick e1  # fast scaled-down E1
+//	reef-bench                 # full suite
+//	reef-bench e1 e3           # just E1 and E3
+//	reef-bench -quick e1       # fast scaled-down E1
+//	reef-bench publish rank    # substrate benchmarks only
 package main
 
 import (
@@ -25,6 +29,7 @@ func main() {
 func run() int {
 	quick := flag.Bool("quick", false, "run at reduced scale for a fast smoke test")
 	seed := flag.Int64("seed", 2006, "random seed for all experiments")
+	benchdir := flag.String("benchdir", ".", "directory for BENCH_*.json trajectory files")
 	flag.Parse()
 
 	wanted := map[string]bool{}
@@ -42,6 +47,8 @@ func run() int {
 	fopt := experiments.FOptions{Seed: *seed}
 	a2opt := experiments.A2Options{Seed: *seed}
 	a3opt := experiments.A3Options{Seed: *seed}
+	bpopt := BenchPublishOptions{OutDir: *benchdir}
+	bropt := BenchRankOptions{Seed: *seed, OutDir: *benchdir}
 	if *quick {
 		e1opt.Users, e1opt.Days, e1opt.Scale = 3, 10, 0.15
 		e3opt.Stories, e3opt.AttendedPages, e3opt.Trials = 200, 1500, 2
@@ -49,6 +56,8 @@ func run() int {
 		fopt.UserCounts, fopt.Days, fopt.Scale = []int{3, 6}, 5, 0.1
 		a2opt.Leaves, a2opt.Events = 8, 100
 		a3opt.Users, a3opt.Days, a3opt.Scale = 2, 4, 0.1
+		bpopt.Ops = 20_000
+		bropt.Docs, bropt.Ops = 1_000, 100
 	}
 
 	suite := []exp{
@@ -60,6 +69,8 @@ func run() int {
 		{"a1", func() experiments.Result { return experiments.A1TermSelection(e3opt) }},
 		{"a2", func() experiments.Result { return experiments.A2Covering(a2opt) }},
 		{"a3", func() experiments.Result { return experiments.A3AdFilter(a3opt) }},
+		{"publish", func() experiments.Result { return benchPublish(bpopt) }},
+		{"rank", func() experiments.Result { return benchRank(bropt) }},
 	}
 
 	ranF := false // f1 and f2 share one table; print once

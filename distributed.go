@@ -185,6 +185,26 @@ func (d *Distributed) PublishEvent(ctx context.Context, ev Event) (int, error) {
 	return d.broker.Publish(ctx, pev)
 }
 
+// PublishBatch implements Deployment; see Centralized.PublishBatch.
+func (d *Distributed) PublishBatch(ctx context.Context, evs []Event) (int, error) {
+	if err := d.checkOpen(ctx); err != nil {
+		return 0, err
+	}
+	pevs, err := toPubsubEvents(evs)
+	if err != nil {
+		return 0, err
+	}
+	if d.cfg.feedPublisher != nil {
+		for _, pev := range pevs {
+			if err := d.cfg.feedPublisher.Publish(ctx, pev); err != nil {
+				return 0, err
+			}
+		}
+		return 0, nil
+	}
+	return d.broker.PublishBatch(ctx, pevs)
+}
+
 // Subscriptions implements Deployment.
 func (d *Distributed) Subscriptions(ctx context.Context, user string) ([]Subscription, error) {
 	if err := d.checkOpen(ctx); err != nil {

@@ -61,7 +61,7 @@ func main() {
 		for _, t := range terms {
 			query[t.Term] = 1
 		}
-		ranking := arch.Rank(query, ir.DefaultBM25)
+		ranking := arch.RankTop(query, ir.DefaultBM25, 60)
 		p := ir.PrecisionAtK(ranking, gt.Relevant, 60)
 		fmt.Printf("N=%3d  precision@60=%.3f  improvement=%+.1f%%\n",
 			n, p, 100*ir.Improvement(base, p))
@@ -78,7 +78,7 @@ func main() {
 		query[t.Term] = 1
 	}
 	fmt.Println("\ntop recommended stories (N=30 query):")
-	for i, id := range arch.Rank(query, ir.DefaultBM25)[:5] {
+	for i, id := range arch.RankTop(query, ir.DefaultBM25, 5) {
 		st, _ := arch.Story(id)
 		marker := " "
 		if gt.Relevant[id] {

@@ -144,7 +144,9 @@ func E3PrecisionSweep(opt E3Options) Result {
 			// The paper builds "simple queries" from the selected terms:
 			// every term enters the BM25 query unweighted.
 			query := uniformQuery(tr.cr.SelectTerms(tr.user, n))
-			ranking := tr.archive.Rank(query, ir.DefaultBM25)
+			// Precision@EvalDepth only reads the ranking's head; the
+			// partial sort skips ordering the archive's tail.
+			ranking := tr.archive.RankTop(query, ir.DefaultBM25, opt.EvalDepth)
 			p := ir.PrecisionAtK(ranking, tr.gt.Relevant, opt.EvalDepth)
 			improvements[n] += ir.Improvement(tr.base, p) / float64(opt.Trials)
 		}

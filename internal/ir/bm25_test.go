@@ -1,7 +1,9 @@
 package ir
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -96,6 +98,76 @@ func TestBM25DeterministicTieBreak(t *testing.T) {
 	}
 	if r1[0].ID != "a" || r1[1].ID != "b" {
 		t.Errorf("tie not broken by ID: %v", r1)
+	}
+}
+
+// TestRankTopMatchesRank checks the partial sort against the full ranking
+// over a randomized corpus, across k values that exercise the heap path,
+// the zero-fill fallback, and the k >= N shortcut.
+func TestRankTopMatchesRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa"}
+	c := NewCorpus()
+	for i := 0; i < 120; i++ {
+		text := ""
+		for j := 0; j < 3+rng.Intn(12); j++ {
+			text += vocab[rng.Intn(len(vocab))] + " "
+		}
+		c.AddText(fmt.Sprintf("doc%03d", i), text)
+	}
+	s := NewBM25(c, DefaultBM25)
+	queries := []map[string]float64{
+		{Stem("alpha"): 1, Stem("gamma"): 0.5},
+		{Stem("zeta"): 2},
+		{"unseen-term": 1}, // nothing matches: zero-fill fallback
+	}
+	for qi, q := range queries {
+		full := s.Rank(q)
+		for _, k := range []int{1, 3, 10, 60, 119, 120, 500} {
+			top := s.RankTop(q, k)
+			want := k
+			if want > len(full) {
+				want = len(full)
+			}
+			if len(top) != want {
+				t.Fatalf("query %d k=%d: got %d results, want %d", qi, k, len(top), want)
+			}
+			for i := range top {
+				if top[i] != full[i] {
+					t.Fatalf("query %d k=%d: RankTop[%d] = %+v, Rank[%d] = %+v", qi, k, i, top[i], i, full[i])
+				}
+			}
+		}
+	}
+	if got := s.RankTop(queries[0], 0); got != nil {
+		t.Errorf("RankTop(k=0) = %v, want nil", got)
+	}
+}
+
+// TestCorpusReplaceUpdatesPostings checks that replacing a document
+// rewrites its postings so stale term entries cannot resurface in rankings.
+func TestCorpusReplaceUpdatesPostings(t *testing.T) {
+	c := NewCorpus()
+	c.AddText("d1", "alpha alpha beta")
+	c.AddText("d2", "beta gamma")
+	c.AddText("d1", "gamma gamma") // replace: alpha/beta postings must go
+	if ps := c.Postings(Stem("alpha")); len(ps) != 0 {
+		t.Errorf("stale alpha postings after replace: %v", ps)
+	}
+	ps := c.Postings(Stem("gamma"))
+	if len(ps) != 2 {
+		t.Fatalf("gamma postings = %v, want 2 entries", ps)
+	}
+	for _, p := range ps {
+		d := c.Docs()[p.Slot]
+		if d.TF(Stem("gamma")) != p.TF {
+			t.Errorf("posting tf %d disagrees with doc %q tf %d", p.TF, d.ID, d.TF(Stem("gamma")))
+		}
+	}
+	s := NewBM25(c, DefaultBM25)
+	full := s.Rank(map[string]float64{Stem("gamma"): 1})
+	if len(full) != 2 {
+		t.Fatalf("corpus size after replace = %d, want 2", len(full))
 	}
 }
 

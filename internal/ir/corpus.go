@@ -25,39 +25,52 @@ func NewDocument(id, text string) *Document {
 // TF returns the term's frequency in the document.
 func (d *Document) TF(term string) int { return d.Terms[term] }
 
+// Posting is one entry of a term's inverted postings list: the slot of a
+// document containing the term (an index into Docs()) plus the
+// precomputed term frequency.
+type Posting struct {
+	Slot int
+	TF   int
+}
+
 // Corpus is an indexed document collection with the global statistics BM25
-// and Offer Weight need: document frequencies and average length.
+// and Offer Weight need — document frequencies and average length — plus
+// an inverted index (term -> postings) so scoring visits only the
+// documents that contain a query's terms.
 type Corpus struct {
-	docs   []*Document
-	byID   map[string]*Document
-	df     map[string]int
-	sumLen int
+	docs     []*Document
+	byID     map[string]*Document
+	slot     map[string]int // document ID -> index into docs
+	df       map[string]int
+	postings map[string][]Posting
+	sumLen   int
 }
 
 // NewCorpus returns an empty corpus.
 func NewCorpus() *Corpus {
 	return &Corpus{
-		byID: make(map[string]*Document),
-		df:   make(map[string]int),
+		byID:     make(map[string]*Document),
+		slot:     make(map[string]int),
+		df:       make(map[string]int),
+		postings: make(map[string][]Posting),
 	}
 }
 
-// Add indexes a document. Adding a duplicate ID replaces the old version.
+// Add indexes a document. Adding a duplicate ID replaces the old version;
+// the document keeps its slot, so postings of other documents stay valid.
 func (c *Corpus) Add(d *Document) {
 	if old, ok := c.byID[d.ID]; ok {
 		c.removeStats(old)
-		for i, x := range c.docs {
-			if x.ID == d.ID {
-				c.docs[i] = d
-				break
-			}
-		}
+		c.docs[c.slot[d.ID]] = d
 	} else {
+		c.slot[d.ID] = len(c.docs)
 		c.docs = append(c.docs, d)
 	}
 	c.byID[d.ID] = d
-	for t := range d.Terms {
+	slot := c.slot[d.ID]
+	for t, tf := range d.Terms {
 		c.df[t]++
+		c.postings[t] = append(c.postings[t], Posting{Slot: slot, TF: tf})
 	}
 	c.sumLen += d.Len
 }
@@ -70,11 +83,25 @@ func (c *Corpus) AddText(id, text string) *Document {
 }
 
 func (c *Corpus) removeStats(d *Document) {
+	slot := c.slot[d.ID]
 	for t := range d.Terms {
 		if c.df[t] <= 1 {
 			delete(c.df, t)
 		} else {
 			c.df[t]--
+		}
+		ps := c.postings[t]
+		for i := range ps {
+			if ps[i].Slot == slot {
+				ps[i] = ps[len(ps)-1]
+				ps = ps[:len(ps)-1]
+				break
+			}
+		}
+		if len(ps) == 0 {
+			delete(c.postings, t)
+		} else {
+			c.postings[t] = ps
 		}
 	}
 	c.sumLen -= d.Len
@@ -99,6 +126,10 @@ func (c *Corpus) Doc(id string) (*Document, bool) {
 	d, ok := c.byID[id]
 	return d, ok
 }
+
+// Postings returns the term's inverted postings list (shared slice; do not
+// mutate). Slots index into Docs().
+func (c *Corpus) Postings(term string) []Posting { return c.postings[term] }
 
 // Docs returns the documents in insertion order. The slice is shared; do
 // not mutate.

@@ -120,41 +120,50 @@ func (h *Histogram) Max() float64 {
 }
 
 // Quantile returns an upper bound for the q-quantile (0 <= q <= 1) using
-// the bucket boundaries; exact for min/max.
+// the bucket boundaries; exact for min/max. The critical section only
+// copies the bucket counts; sorting and scanning run unlocked so
+// concurrent Observe calls are not stalled behind a sort.
 func (h *Histogram) Quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	if q <= 0 {
-		return h.min
-	}
-	if q >= 1 {
-		return h.max
-	}
 	type be struct {
 		exp int
 		n   int64
 	}
+	h.mu.Lock()
+	if h.count == 0 {
+		h.mu.Unlock()
+		return 0
+	}
+	if q <= 0 {
+		v := h.min
+		h.mu.Unlock()
+		return v
+	}
+	if q >= 1 {
+		v := h.max
+		h.mu.Unlock()
+		return v
+	}
+	count, max := h.count, h.max
 	bs := make([]be, 0, len(h.buckets))
 	for e, n := range h.buckets {
 		bs = append(bs, be{e, n})
 	}
+	h.mu.Unlock()
+
 	sort.Slice(bs, func(i, j int) bool { return bs[i].exp < bs[j].exp })
-	target := int64(math.Ceil(q * float64(h.count)))
+	target := int64(math.Ceil(q * float64(count)))
 	var cum int64
 	for _, b := range bs {
 		cum += b.n
 		if cum >= target {
 			ub := math.Pow(2, float64(b.exp))
-			if ub > h.max {
-				ub = h.max
+			if ub > max {
+				ub = max
 			}
 			return ub
 		}
 	}
-	return h.max
+	return max
 }
 
 // Registry is a named collection of metrics, used by experiment harnesses
@@ -213,30 +222,59 @@ func (r *Registry) Histogram(name string) *Histogram {
 }
 
 // Snapshot returns all scalar metric values keyed by name. Histograms
-// contribute name.count, name.mean, name.max entries.
+// contribute name.count, name.mean, name.max entries. The registry lock
+// covers only the metric-pointer copy: reading values (which takes each
+// histogram's own lock) and building the pre-sized result map happen
+// outside the critical section, so a slow snapshot cannot stall hot-path
+// Counter/Histogram lookups.
 func (r *Registry) Snapshot() map[string]float64 {
+	type namedC struct {
+		name string
+		c    *Counter
+	}
+	type namedG struct {
+		name string
+		g    *Gauge
+	}
+	type namedH struct {
+		name string
+		h    *Histogram
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[string]float64)
+	counters := make([]namedC, 0, len(r.counters))
 	for n, c := range r.counters {
-		out[n] = float64(c.Value())
+		counters = append(counters, namedC{n, c})
 	}
+	gauges := make([]namedG, 0, len(r.gauges))
 	for n, g := range r.gauges {
-		out[n] = float64(g.Value())
+		gauges = append(gauges, namedG{n, g})
 	}
+	histograms := make([]namedH, 0, len(r.histograms))
 	for n, h := range r.histograms {
-		out[n+".count"] = float64(h.Count())
-		out[n+".mean"] = h.Mean()
-		out[n+".max"] = h.Max()
+		histograms = append(histograms, namedH{n, h})
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]float64, len(counters)+len(gauges)+3*len(histograms))
+	for _, c := range counters {
+		out[c.name] = float64(c.c.Value())
+	}
+	for _, g := range gauges {
+		out[g.name] = float64(g.g.Value())
+	}
+	for _, h := range histograms {
+		out[h.name+".count"] = float64(h.h.Count())
+		out[h.name+".mean"] = h.h.Mean()
+		out[h.name+".max"] = h.h.Max()
 	}
 	return out
 }
 
-// Names returns the sorted names of all registered metrics.
+// Names returns the sorted names of all registered metrics. The sort runs
+// after the lock is released.
 func (r *Registry) Names() []string {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	var out []string
+	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
 	for n := range r.counters {
 		out = append(out, n)
 	}
@@ -246,6 +284,7 @@ func (r *Registry) Names() []string {
 	for n := range r.histograms {
 		out = append(out, n)
 	}
+	r.mu.Unlock()
 	sort.Strings(out)
 	return out
 }

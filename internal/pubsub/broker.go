@@ -3,7 +3,7 @@ package pubsub
 import (
 	"context"
 	"errors"
-	"fmt"
+	"strconv"
 	"sync"
 
 	"reef/internal/eventalg"
@@ -228,17 +228,28 @@ func (s *SequenceSubscription) close() {
 }
 
 // Broker is a single content-based matching engine with local subscribers.
-// It is safe for concurrent use.
+// It is safe for concurrent use. The subscription table is guarded by a
+// read-write lock: Publish/PublishBatch only take the read side, so
+// concurrent publishers match in parallel; Subscribe/Cancel/Close take the
+// write side, which also gives the Index the writer exclusivity it needs.
 type Broker struct {
 	name  string
 	clock simclock.Clock
 
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	closed bool
 	index  *Index
 	subs   map[int64]*Subscription
 	seqs   map[int64]*SequenceSubscription
 	reg    *metrics.Registry
+
+	// Hot-path counters, resolved once at construction so each delivery
+	// skips the registry's locked map lookup.
+	published    *metrics.Counter
+	delivered    *metrics.Counter
+	dropped      *metrics.Counter
+	seqDelivered *metrics.Counter
+	seqDropped   *metrics.Counter
 }
 
 // NewBroker creates a broker. A nil clock defaults to the real clock.
@@ -246,7 +257,7 @@ func NewBroker(name string, clock simclock.Clock) *Broker {
 	if clock == nil {
 		clock = simclock.Real{}
 	}
-	return &Broker{
+	b := &Broker{
 		name:  name,
 		clock: clock,
 		index: NewIndex(),
@@ -254,6 +265,36 @@ func NewBroker(name string, clock simclock.Clock) *Broker {
 		seqs:  make(map[int64]*SequenceSubscription),
 		reg:   metrics.NewRegistry(),
 	}
+	b.published = b.reg.Counter("published")
+	b.delivered = b.reg.Counter("delivered")
+	b.dropped = b.reg.Counter("dropped")
+	b.seqDelivered = b.reg.Counter("seq_delivered")
+	b.seqDropped = b.reg.Counter("seq_dropped")
+	return b
+}
+
+// publishScratch holds the per-publish match state so the steady-state
+// publish path does not allocate. The ids buffer feeds MatchAppend; the
+// targets/seqs slices are cleared before pooling so they do not pin
+// canceled subscriptions. off carries per-event target offsets for
+// PublishBatch (off[i]..off[i+1] index into targets).
+type publishScratch struct {
+	ids     []int64
+	targets []*Subscription
+	seqs    []*SequenceSubscription
+	off     []int
+}
+
+var pubScratchPool = sync.Pool{New: func() any { return new(publishScratch) }}
+
+func (ps *publishScratch) release() {
+	ps.ids = ps.ids[:0]
+	clear(ps.targets)
+	ps.targets = ps.targets[:0]
+	clear(ps.seqs)
+	ps.seqs = ps.seqs[:0]
+	ps.off = ps.off[:0]
+	pubScratchPool.Put(ps)
 }
 
 // Name returns the broker's name.
@@ -299,13 +340,9 @@ func (b *Broker) SubscribeSequence(seq eventalg.Sequence, opts ...SubOption) (*S
 	if b.closed {
 		return nil, ErrClosed
 	}
-	id := int64(len(b.seqs) + 1)
-	for {
-		if _, exists := b.seqs[id]; !exists {
-			break
-		}
-		id++
-	}
+	// Sequence IDs come from the same monotonic counter as filter IDs, so
+	// allocation is O(1) and the two kinds share one namespace.
+	id := b.index.ReserveID()
 	sub := &SequenceSubscription{
 		id:      id,
 		seq:     seq,
@@ -336,8 +373,8 @@ func (b *Broker) unsubscribe(s *Subscription) {
 
 // Filters returns the distinct filters of all live local subscriptions.
 func (b *Broker) Filters() []eventalg.Filter {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	seen := make(map[string]struct{}, len(b.subs))
 	out := make([]eventalg.Filter, 0, len(b.subs))
 	for _, s := range b.subs {
@@ -366,6 +403,10 @@ func (b *Broker) unsubscribeSequence(s *SequenceSubscription) {
 // local deliveries. The context bounds blocking deliveries (Block policy):
 // when it is canceled mid-publish, remaining deliveries are abandoned and
 // ctx.Err() is returned alongside the count so far.
+//
+// Publish only read-locks the broker, so any number of publishers match
+// concurrently; per-subscription delivery serializes on each
+// subscription's own mutex.
 func (b *Broker) Publish(ctx context.Context, ev Event) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
@@ -377,40 +418,110 @@ func (b *Broker) Publish(ctx context.Context, ev Event) (int, error) {
 		ev.Published = b.clock.Now()
 	}
 
-	b.mu.Lock()
+	ps := pubScratchPool.Get().(*publishScratch)
+	b.mu.RLock()
 	if b.closed {
-		b.mu.Unlock()
+		b.mu.RUnlock()
+		ps.release()
 		return 0, ErrClosed
 	}
-	b.reg.Counter("published").Inc()
-	ids := b.index.Match(ev.Attrs)
-	targets := make([]*Subscription, 0, len(ids))
-	for _, id := range ids {
+	ps.ids = b.index.MatchAppend(ev.Attrs, ps.ids[:0])
+	for _, id := range ps.ids {
 		if s, ok := b.subs[id]; ok {
-			targets = append(targets, s)
+			ps.targets = append(ps.targets, s)
 		}
 	}
-	seqTargets := make([]*SequenceSubscription, 0, len(b.seqs))
 	for _, s := range b.seqs {
-		seqTargets = append(seqTargets, s)
+		ps.seqs = append(ps.seqs, s)
 	}
-	b.mu.Unlock()
+	b.mu.RUnlock()
+	b.published.Inc()
 
 	delivered := 0
-	for _, s := range targets {
+	for _, s := range ps.targets {
 		if s.deliver(ctx, ev) {
 			delivered++
-			b.reg.Counter("delivered").Inc()
+			b.delivered.Inc()
 		} else {
-			b.reg.Counter("dropped").Inc()
+			b.dropped.Inc()
 		}
 		if err := ctx.Err(); err != nil {
+			ps.release()
 			return delivered, err
 		}
 	}
-	for _, s := range seqTargets {
+	for _, s := range ps.seqs {
 		b.feedSequence(s, ev)
 	}
+	ps.release()
+	return delivered, nil
+}
+
+// PublishBatch publishes a batch of events, amortizing lock acquisition
+// and index probes across the batch: all events are matched under a single
+// read lock, then delivered outside it. Missing IDs and timestamps are
+// assigned in place, so the caller's slice carries them afterward. It
+// returns the total number of successful local deliveries; a canceled
+// context abandons the remaining deliveries and returns the count so far
+// with ctx.Err(), exactly like Publish.
+func (b *Broker) PublishBatch(ctx context.Context, evs []Event) (int, error) {
+	if len(evs) == 0 {
+		return 0, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	for i := range evs {
+		if evs[i].ID == 0 {
+			evs[i].ID = nextEventID()
+		}
+		if evs[i].Published.IsZero() {
+			evs[i].Published = b.clock.Now()
+		}
+	}
+
+	ps := pubScratchPool.Get().(*publishScratch)
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		ps.release()
+		return 0, ErrClosed
+	}
+	ps.off = append(ps.off, 0)
+	for i := range evs {
+		ps.ids = b.index.MatchAppend(evs[i].Attrs, ps.ids[:0])
+		for _, id := range ps.ids {
+			if s, ok := b.subs[id]; ok {
+				ps.targets = append(ps.targets, s)
+			}
+		}
+		ps.off = append(ps.off, len(ps.targets))
+	}
+	for _, s := range b.seqs {
+		ps.seqs = append(ps.seqs, s)
+	}
+	b.mu.RUnlock()
+	b.published.Add(int64(len(evs)))
+
+	delivered := 0
+	for i := range evs {
+		for _, s := range ps.targets[ps.off[i]:ps.off[i+1]] {
+			if s.deliver(ctx, evs[i]) {
+				delivered++
+				b.delivered.Inc()
+			} else {
+				b.dropped.Inc()
+			}
+			if err := ctx.Err(); err != nil {
+				ps.release()
+				return delivered, err
+			}
+		}
+		for _, s := range ps.seqs {
+			b.feedSequence(s, evs[i])
+		}
+	}
+	ps.release()
 	return delivered, nil
 }
 
@@ -435,25 +546,25 @@ func (b *Broker) feedSequence(s *SequenceSubscription, ev Event) {
 	}
 	s.mu.Unlock()
 	if droppedNow > 0 {
-		b.reg.Counter("seq_dropped").Add(int64(droppedNow))
+		b.seqDropped.Add(int64(droppedNow))
 	}
 	if n := len(matches) - droppedNow; n > 0 {
-		b.reg.Counter("seq_delivered").Add(int64(n))
+		b.seqDelivered.Add(int64(n))
 	}
 }
 
 // MatchCount returns how many local subscriptions the tuple would match,
 // without delivering anything. Used by experiments to probe routing tables.
 func (b *Broker) MatchCount(t eventalg.Tuple) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return len(b.index.Match(t))
 }
 
 // NumSubscriptions returns the number of live local subscriptions.
 func (b *Broker) NumSubscriptions() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return len(b.subs)
 }
 
@@ -491,6 +602,14 @@ func NewEvent(source string, attrs eventalg.Tuple, payload []byte) Event {
 }
 
 // FormatEventKey renders a stable dedup key for an event (source + id).
+// It sits on the dedup path of every propagated event, so it builds the
+// key with strconv appends in one allocation instead of fmt.Sprintf.
 func FormatEventKey(ev Event) string {
-	return fmt.Sprintf("%s#%d@%d", ev.Source, ev.ID, ev.Published.UnixNano())
+	buf := make([]byte, 0, len(ev.Source)+2+2*20)
+	buf = append(buf, ev.Source...)
+	buf = append(buf, '#')
+	buf = strconv.AppendUint(buf, ev.ID, 10)
+	buf = append(buf, '@')
+	buf = strconv.AppendInt(buf, ev.Published.UnixNano(), 10)
+	return string(buf)
 }

@@ -381,6 +381,128 @@ func TestBrokerConcurrentPublishSubscribe(t *testing.T) {
 	}
 }
 
+// TestBrokerConcurrentChurn hammers every broker entry point at once —
+// Publish, PublishBatch, Subscribe/Cancel, SubscribeSequence/Cancel and
+// the read-side probes — so the race detector exercises the RWMutex fast
+// path and the pooled match state under real contention.
+func TestBrokerConcurrentChurn(t *testing.T) {
+	b := NewBroker("churn", nil)
+	defer b.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch := make([]Event, 4)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := b.Publish(context.Background(), testEvent("t")); err != nil {
+					return
+				}
+				for i := range batch {
+					batch[i] = testEvent("t")
+				}
+				if _, err := b.PublishBatch(context.Background(), batch); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b.MatchCount(eventalg.Tuple{"topic": eventalg.String("t")})
+			b.NumSubscriptions()
+			b.Filters()
+		}
+	}()
+
+	var churn sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			for i := 0; i < 150; i++ {
+				sub, err := b.Subscribe(TopicFilter("t"), WithQueueSize(2))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				select {
+				case <-sub.Events():
+				default:
+				}
+				sub.Cancel()
+				if i%10 == 0 {
+					seq, err := b.SubscribeSequence(eventalg.NewSequence(time.Minute,
+						eventalg.MustParse(`topic = t`),
+						eventalg.MustParse(`topic = u`)))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					seq.Cancel()
+				}
+			}
+		}()
+	}
+	churn.Wait()
+	close(stop)
+	wg.Wait()
+	if b.NumSubscriptions() != 0 {
+		t.Errorf("NumSubscriptions = %d at end", b.NumSubscriptions())
+	}
+}
+
+// TestBrokerPublishBatch checks the batched path delivers like N singles
+// and assigns IDs/timestamps in place.
+func TestBrokerPublishBatch(t *testing.T) {
+	b := NewBroker("b1", nil)
+	defer b.Close()
+	sub, err := b.Subscribe(TopicFilter("t"), WithQueueSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []Event{testEvent("t"), testEvent("other"), testEvent("t")}
+	n, err := b.PublishBatch(context.Background(), evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("delivered = %d, want 2", n)
+	}
+	for i, ev := range evs {
+		if ev.ID == 0 || ev.Published.IsZero() {
+			t.Errorf("event %d not stamped in place: %+v", i, ev)
+		}
+	}
+	first := <-sub.Events()
+	second := <-sub.Events()
+	if first.ID != evs[0].ID || second.ID != evs[2].ID {
+		t.Errorf("delivery order/IDs wrong: got %d,%d want %d,%d",
+			first.ID, second.ID, evs[0].ID, evs[2].ID)
+	}
+	if n, err := b.PublishBatch(context.Background(), nil); err != nil || n != 0 {
+		t.Errorf("empty batch = (%d, %v), want (0, nil)", n, err)
+	}
+	b.Close()
+	if _, err := b.PublishBatch(context.Background(), []Event{testEvent("t")}); err != ErrClosed {
+		t.Errorf("batch after close = %v, want ErrClosed", err)
+	}
+}
+
 func TestBrokerMatchCount(t *testing.T) {
 	b := NewBroker("b1", nil)
 	defer b.Close()

@@ -1,6 +1,8 @@
 package pubsub
 
 import (
+	"sync"
+
 	"reef/internal/eventalg"
 )
 
@@ -11,7 +13,10 @@ import (
 // for string/bool equality constraints (the common case for topic and feed
 // subscriptions).
 //
-// Index is not safe for concurrent use; Broker serializes access.
+// Concurrency: Match and MatchAppend are safe to call from any number of
+// goroutines at once. Add, Remove and ReserveID mutate the index and must
+// be writer-exclusive — callers (Broker) hold a write lock around them and
+// a read lock around matching.
 type Index struct {
 	nextID int64
 	// entries maps entry ID to its filter metadata.
@@ -23,7 +28,13 @@ type Index struct {
 	scan map[string][]constraintRef
 	// matchAll holds entries whose filter has no constraints.
 	matchAll map[int64]struct{}
-	// counts is reused across Match calls to avoid per-event allocation.
+	// scratch pools per-call counting state so concurrent Match calls
+	// neither race on shared maps nor allocate in steady state.
+	scratch sync.Pool
+}
+
+// matchScratch is the per-call counting state of one Match.
+type matchScratch struct {
 	counts map[int64]int
 }
 
@@ -40,13 +51,16 @@ type constraintRef struct {
 
 // NewIndex returns an empty matcher index.
 func NewIndex() *Index {
-	return &Index{
+	ix := &Index{
 		entries:  make(map[int64]*indexEntry),
 		eq:       make(map[string]map[eventalg.Value][]constraintRef),
 		scan:     make(map[string][]constraintRef),
 		matchAll: make(map[int64]struct{}),
-		counts:   make(map[int64]int),
 	}
+	ix.scratch.New = func() any {
+		return &matchScratch{counts: make(map[int64]int)}
+	}
+	return ix
 }
 
 // Len returns the number of registered filters.
@@ -63,10 +77,18 @@ func hashable(c eventalg.Constraint) bool {
 	return k == eventalg.KindString || k == eventalg.KindBool
 }
 
-// Add registers a filter and returns its entry ID for later removal.
-func (ix *Index) Add(f eventalg.Filter) int64 {
+// ReserveID allocates an ID from the index's monotonic counter without
+// registering a filter. The Broker uses it for sequence subscriptions so
+// filter and sequence IDs come from one namespace. Writer-exclusive.
+func (ix *Index) ReserveID() int64 {
 	ix.nextID++
-	id := ix.nextID
+	return ix.nextID
+}
+
+// Add registers a filter and returns its entry ID for later removal.
+// Writer-exclusive.
+func (ix *Index) Add(f eventalg.Filter) int64 {
+	id := ix.ReserveID()
 	cs := f.Constraints()
 	e := &indexEntry{id: id, filter: f, need: len(cs)}
 	ix.entries[id] = e
@@ -91,6 +113,7 @@ func (ix *Index) Add(f eventalg.Filter) int64 {
 }
 
 // Remove unregisters the entry. Removing an unknown ID is a no-op.
+// Writer-exclusive.
 func (ix *Index) Remove(id int64) {
 	e, ok := ix.entries[id]
 	if !ok {
@@ -128,10 +151,21 @@ func dropRefs(refs []constraintRef, id int64) []constraintRef {
 }
 
 // Match returns the IDs of all filters the tuple satisfies. The returned
-// slice is freshly allocated and may be retained by the caller.
+// slice is freshly allocated and may be retained by the caller. Safe for
+// concurrent use with other Match/MatchAppend calls.
 func (ix *Index) Match(t eventalg.Tuple) []int64 {
-	clear(ix.counts)
-	counts := ix.counts
+	return ix.MatchAppend(t, nil)
+}
+
+// MatchAppend appends the IDs of all filters the tuple satisfies to dst
+// and returns the extended slice. Passing a reused buffer (dst[:0]) makes
+// the steady-state match path allocation-free: the counting state comes
+// from a pool whose maps keep their buckets across calls. Safe for
+// concurrent use with other Match/MatchAppend calls.
+func (ix *Index) MatchAppend(t eventalg.Tuple, dst []int64) []int64 {
+	ms := ix.scratch.Get().(*matchScratch)
+	counts := ms.counts
+	clear(counts)
 	for attr, v := range t {
 		if m, ok := ix.eq[attr]; ok {
 			for _, ref := range m[v] {
@@ -144,16 +178,16 @@ func (ix *Index) Match(t eventalg.Tuple) []int64 {
 			}
 		}
 	}
-	out := make([]int64, 0, len(ix.matchAll)+4)
 	for id := range ix.matchAll {
-		out = append(out, id)
+		dst = append(dst, id)
 	}
 	for id, n := range counts {
 		if n == ix.entries[id].need {
-			out = append(out, id)
+			dst = append(dst, id)
 		}
 	}
-	return out
+	ix.scratch.Put(ms)
+	return dst
 }
 
 // Filter returns the filter registered under id.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"reef/internal/ir"
@@ -37,6 +38,12 @@ type Archive struct {
 	stories []*Story
 	corpus  *ir.Corpus
 	model   *topics.Model
+
+	// scorers caches one BM25 per parameter set so repeated rankings
+	// reuse the scorer's pooled score buffers (the corpus is immutable
+	// after Generate).
+	scorerMu sync.Mutex
+	scorers  map[ir.BM25Params]*ir.BM25
 }
 
 // Config tunes archive generation.
@@ -147,10 +154,31 @@ func (a *Archive) AiringOrder() []string {
 	return out
 }
 
+// scorer returns the cached BM25 for the parameter set.
+func (a *Archive) scorer(params ir.BM25Params) *ir.BM25 {
+	a.scorerMu.Lock()
+	defer a.scorerMu.Unlock()
+	if a.scorers == nil {
+		a.scorers = make(map[ir.BM25Params]*ir.BM25)
+	}
+	s, ok := a.scorers[params]
+	if !ok {
+		s = ir.NewBM25(a.corpus, params)
+		a.scorers[params] = s
+	}
+	return s
+}
+
 // Rank orders story IDs by BM25 score for the weighted-term query.
 func (a *Archive) Rank(query map[string]float64, params ir.BM25Params) []string {
-	scorer := ir.NewBM25(a.corpus, params)
-	return ir.IDs(scorer.Rank(query))
+	return ir.IDs(a.scorer(params).Rank(query))
+}
+
+// RankTop returns the k best story IDs in Rank's order without sorting the
+// whole archive; callers that only read a ranking prefix (precision@K,
+// top-of-sidebar displays) should use it.
+func (a *Archive) RankTop(query map[string]float64, params ir.BM25Params, k int) []string {
+	return ir.IDs(a.scorer(params).RankTop(query, k))
 }
 
 // GroundTruth derives the synthetic user's interest ranking: stories are

@@ -1,0 +1,5 @@
+//go:build !race
+
+package reef_test
+
+const raceEnabled = false

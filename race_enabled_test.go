@@ -1,0 +1,8 @@
+//go:build race
+
+package reef_test
+
+// raceEnabled reports that this binary was built with -race, which
+// deliberately defeats sync.Pool caching and makes allocation counts
+// meaningless.
+const raceEnabled = true

@@ -147,6 +147,13 @@ type Deployment interface {
 	// returns the number of local deliveries.
 	PublishEvent(ctx context.Context, ev Event) (int, error)
 
+	// PublishBatch injects a batch of events, amortizing per-publish
+	// overhead (lock acquisition, index probes, one HTTP round trip for
+	// remote deployments) across the batch. It returns the total number
+	// of local deliveries. The batch is validated as a whole before any
+	// event is published.
+	PublishBatch(ctx context.Context, evs []Event) (int, error)
+
 	// Subscriptions lists the user's live subscriptions.
 	Subscriptions(ctx context.Context, user string) ([]Subscription, error)
 	// Subscribe places a feed subscription directly (bypassing the

@@ -145,6 +145,17 @@ func (c *Client) PublishEvent(ctx context.Context, ev reef.Event) (int, error) {
 	return out.Delivered, nil
 }
 
+// PublishBatch implements reef.Deployment over POST /v1/events:batch,
+// amortizing one HTTP round trip over the whole batch.
+func (c *Client) PublishBatch(ctx context.Context, evs []reef.Event) (int, error) {
+	var out reefhttp.EventResponse
+	err := c.do(ctx, http.MethodPost, "/v1/events:batch", reefhttp.EventsBatchRequest{Events: evs}, &out)
+	if err != nil {
+		return 0, err
+	}
+	return out.Delivered, nil
+}
+
 // Subscriptions implements reef.Deployment over GET /v1/users/{u}/subscriptions.
 func (c *Client) Subscriptions(ctx context.Context, user string) ([]reef.Subscription, error) {
 	var out reefhttp.SubscriptionsResponse

@@ -195,6 +195,45 @@ func TestClientPublishEventDelivery(t *testing.T) {
 	}
 }
 
+func TestClientPublishBatch(t *testing.T) {
+	ctx := context.Background()
+	client, _, web := newServer(t, 9)
+	_, srv := feedHostPage(t, web)
+	feedURL := serverFeedURL(srv)
+
+	if _, err := client.Subscribe(ctx, "u9", feedURL); err != nil {
+		t.Fatal(err)
+	}
+	item := func() reef.Event {
+		return reef.Event{
+			Source: "test",
+			Attrs: map[string]string{
+				"type": "feed-item",
+				"feed": feedURL,
+				"link": srv.URL("/story/batch.html"),
+			},
+		}
+	}
+	delivered, err := client.PublishBatch(ctx, []reef.Event{item(), item(), item()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 3 {
+		t.Fatalf("batch delivered = %d, want 3", delivered)
+	}
+
+	// An empty batch is a no-op over the wire, like in-process.
+	if n, err := client.PublishBatch(ctx, nil); err != nil || n != 0 {
+		t.Fatalf("empty batch = (%d, %v), want (0, nil)", n, err)
+	}
+
+	// One bad event rejects the whole batch before anything publishes.
+	_, err = client.PublishBatch(ctx, []reef.Event{item(), {Source: "test"}})
+	if !errors.Is(err, reef.ErrInvalidArgument) {
+		t.Fatalf("bad batch = %v, want ErrInvalidArgument", err)
+	}
+}
+
 func TestClientRejectRecommendation(t *testing.T) {
 	ctx := context.Background()
 	client, dep, web := newServer(t, 4)

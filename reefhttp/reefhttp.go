@@ -10,6 +10,7 @@
 //
 //	POST   /v1/clicks                          ingest a click batch
 //	POST   /v1/events                          publish one event
+//	POST   /v1/events:batch                    publish an event batch
 //	GET    /v1/users/{user}/subscriptions      list live subscriptions
 //	PUT    /v1/users/{user}/subscriptions      place a feed subscription
 //	DELETE /v1/users/{user}/subscriptions      remove one (?feed=URL)
@@ -70,6 +71,10 @@ type (
 	EventResponse struct {
 		Delivered int `json:"delivered"`
 	}
+	// EventsBatchRequest is the POST /v1/events:batch body.
+	EventsBatchRequest struct {
+		Events []reef.Event `json:"events"`
+	}
 	// SubscriptionsResponse lists a user's live subscriptions.
 	SubscriptionsResponse struct {
 		Subscriptions []reef.Subscription `json:"subscriptions"`
@@ -123,6 +128,8 @@ func (h *Handler) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 		h.route(rw, req, "POST", h.handleClicks)
 	case len(seg) == 1 && seg[0] == "events":
 		h.route(rw, req, "POST", h.handleEvents)
+	case len(seg) == 1 && seg[0] == "events:batch":
+		h.route(rw, req, "POST", h.handleEventsBatch)
 	case len(seg) == 1 && seg[0] == "stats":
 		h.route(rw, req, "GET", h.handleStats)
 	case len(seg) == 1 && seg[0] == "recommendations":
@@ -193,6 +200,20 @@ func (h *Handler) handleEvents(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	n, err := h.dep.PublishEvent(req.Context(), ev)
+	if err != nil {
+		h.writeDeploymentError(rw, err)
+		return
+	}
+	h.writeJSON(rw, http.StatusOK, EventResponse{Delivered: n})
+}
+
+func (h *Handler) handleEventsBatch(rw http.ResponseWriter, req *http.Request) {
+	var body EventsBatchRequest
+	if !h.readJSON(rw, req, &body) {
+		return
+	}
+	// An empty batch is a no-op, mirroring the in-process deployments.
+	n, err := h.dep.PublishBatch(req.Context(), body.Events)
 	if err != nil {
 		h.writeDeploymentError(rw, err)
 		return
