@@ -2,15 +2,19 @@ package reef
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"reef/internal/attention"
+	"reef/internal/durable"
 	"reef/internal/eventalg"
 	"reef/internal/frontend"
+	"reef/internal/ir"
 	"reef/internal/pubsub"
 	"reef/internal/recommend"
 	"reef/internal/store"
@@ -160,8 +164,9 @@ func newPendingSet() *pendingSet {
 	return &pendingSet{byUser: make(map[string]map[string]pendingRec)}
 }
 
-// add queues one recommendation and returns its assigned ID.
-func (p *pendingSet) add(user string, rec recommend.Recommendation) string {
+// add queues one recommendation and returns its assigned ID and sequence
+// number (the durable layer logs both so recovery reproduces them).
+func (p *pendingSet) add(user string, rec recommend.Recommendation) (string, int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.next++
@@ -172,7 +177,49 @@ func (p *pendingSet) add(user string, rec recommend.Recommendation) string {
 		p.byUser[user] = m
 	}
 	m[id] = pendingRec{seq: p.next, rec: rec}
-	return id
+	return id, p.next
+}
+
+// restore re-queues a recovered recommendation under its original ID,
+// advancing the counter past its sequence so fresh IDs never collide.
+func (p *pendingSet) restore(user, id string, seq int64, rec recommend.Recommendation) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if seq > p.next {
+		p.next = seq
+	}
+	m := p.byUser[user]
+	if m == nil {
+		m = make(map[string]pendingRec)
+		p.byUser[user] = m
+	}
+	m[id] = pendingRec{seq: seq, rec: rec}
+}
+
+// setSeq advances the ID counter to at least seq (snapshot restore).
+func (p *pendingSet) setSeq(seq int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if seq > p.next {
+		p.next = seq
+	}
+}
+
+// dump exports every pending recommendation in sequence order plus the
+// current ID counter, for snapshot capture.
+func (p *pendingSet) dump() ([]durable.PendingAddPayload, int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []durable.PendingAddPayload
+	for user, m := range p.byUser {
+		for id, pr := range m {
+			out = append(out, durable.PendingAddPayload{
+				User: user, ID: id, Seq: pr.seq, Rec: toDurableRec(pr.rec),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, p.next
 }
 
 // list snapshots a user's pending recommendations in issue order.
@@ -217,6 +264,290 @@ func (p *pendingSet) size() int {
 		n += len(m)
 	}
 	return n
+}
+
+// toDurableRec serializes a recommendation for the WAL / snapshot. The
+// filter travels in parser syntax with declaration order preserved
+// (String, not Canonical), so a recovered subscription renders exactly
+// the filter text the original did.
+func toDurableRec(rec recommend.Recommendation) durable.RecommendationState {
+	out := durable.RecommendationState{
+		Kind:    rec.Kind.String(),
+		User:    rec.User,
+		FeedURL: rec.FeedURL,
+		Reason:  rec.Reason,
+		At:      rec.At,
+	}
+	if !rec.Filter.IsEmpty() {
+		out.Filter = rec.Filter.String()
+	}
+	for _, t := range rec.Terms {
+		out.Terms = append(out.Terms, durable.TermState{Term: t.Term, Score: t.Score})
+	}
+	return out
+}
+
+// kindFromString inverts recommend.Kind.String.
+func kindFromString(s string) (recommend.Kind, error) {
+	switch s {
+	case KindSubscribeFeed:
+		return recommend.KindSubscribeFeed, nil
+	case KindUnsubscribeFeed:
+		return recommend.KindUnsubscribeFeed, nil
+	case KindContentQuery:
+		return recommend.KindContentQuery, nil
+	default:
+		return 0, fmt.Errorf("unknown recommendation kind %q", s)
+	}
+}
+
+// fromDurableRec rebuilds a recommendation from its durable form.
+func fromDurableRec(st durable.RecommendationState) (recommend.Recommendation, error) {
+	kind, err := kindFromString(st.Kind)
+	if err != nil {
+		return recommend.Recommendation{}, err
+	}
+	rec := recommend.Recommendation{
+		Kind:    kind,
+		User:    st.User,
+		FeedURL: st.FeedURL,
+		Reason:  st.Reason,
+		At:      st.At,
+	}
+	if st.Filter != "" {
+		f, err := eventalg.Parse(st.Filter)
+		if err != nil {
+			return recommend.Recommendation{}, fmt.Errorf("parsing filter %q: %w", st.Filter, err)
+		}
+		rec.Filter = f
+	}
+	for _, t := range st.Terms {
+		rec.Terms = append(rec.Terms, ir.TermScore{Term: t.Term, Score: t.Score})
+	}
+	return rec, nil
+}
+
+// toDurableSub serializes one live subscription for the snapshot /
+// subscribe-op payload.
+func toDurableSub(user string, rec recommend.Recommendation) durable.SubscriptionState {
+	st := durable.SubscriptionState{
+		User:    user,
+		Kind:    rec.Kind.String(),
+		FeedURL: rec.FeedURL,
+		Reason:  rec.Reason,
+		At:      rec.At,
+	}
+	if !rec.Filter.IsEmpty() {
+		st.Filter = rec.Filter.String()
+	}
+	return st
+}
+
+// fromDurableSub rebuilds the recommendation behind a recovered
+// subscription so it can be re-applied through the frontend.
+func fromDurableSub(st durable.SubscriptionState) (recommend.Recommendation, error) {
+	return fromDurableRec(durable.RecommendationState{
+		Kind:    st.Kind,
+		User:    st.User,
+		FeedURL: st.FeedURL,
+		Filter:  st.Filter,
+		Reason:  st.Reason,
+		At:      st.At,
+	})
+}
+
+// durableReplay replays a recovery source — snapshot baseline, then the
+// intact WAL tail in append order — through deployment-specific hooks.
+// Hooks left nil reject their op (the distributed deployment journals no
+// clicks or flags, so meeting one in its WAL is corruption, not data).
+type durableReplay struct {
+	// applyClicks re-drives a recovered click batch (rebuilding derived
+	// state exactly as live ingestion does).
+	applyClicks func([]attention.Click) error
+	// setFlag restores one server classification flag.
+	setFlag func(host string, flag int)
+	// applySub re-applies a recovered subscribe or unsubscribe
+	// recommendation (rec.Kind distinguishes them).
+	applySub func(rec recommend.Recommendation) error
+	// pending is the ledger recovered pending ops land in.
+	pending *pendingSet
+	// acceptRec re-executes an accepted recommendation.
+	acceptRec func(user string, rec recommend.Recommendation) error
+	// rejectFeedback re-drives a reject's negative feedback.
+	rejectFeedback func(user, feedURL string, at time.Time)
+}
+
+// run replays the snapshot state and WAL tail.
+func (dr durableReplay) run(st *durable.State, tail []durable.Record) error {
+	if st != nil {
+		if err := dr.applyState(st); err != nil {
+			return fmt.Errorf("applying snapshot: %w", err)
+		}
+	}
+	for i, rec := range tail {
+		if err := dr.applyRecord(rec); err != nil {
+			return fmt.Errorf("replaying WAL record %d (%v): %w", i, rec.Op, err)
+		}
+	}
+	return nil
+}
+
+// applyState restores a snapshot baseline.
+func (dr durableReplay) applyState(st *durable.State) error {
+	if len(st.Clicks) > 0 {
+		if dr.applyClicks == nil {
+			return fmt.Errorf("snapshot carries clicks this deployment does not persist")
+		}
+		if err := dr.applyClicks(st.Clicks); err != nil {
+			return err
+		}
+	}
+	if len(st.Flags) > 0 && dr.setFlag == nil {
+		return fmt.Errorf("snapshot carries flags this deployment does not persist")
+	}
+	for host, f := range st.Flags {
+		dr.setFlag(host, f)
+	}
+	for _, sub := range st.Subscriptions {
+		rec, err := fromDurableSub(sub)
+		if err != nil {
+			return err
+		}
+		if err := dr.applySub(rec); err != nil {
+			return err
+		}
+	}
+	for _, p := range st.Pending {
+		rec, err := fromDurableRec(p.Rec)
+		if err != nil {
+			return err
+		}
+		dr.pending.restore(p.User, p.ID, p.Seq, rec)
+	}
+	dr.pending.setSeq(st.PendingSeq)
+	return nil
+}
+
+// applyRecord replays one WAL record.
+func (dr durableReplay) applyRecord(rec durable.Record) error {
+	switch rec.Op {
+	case durable.OpClicks:
+		if dr.applyClicks == nil {
+			return fmt.Errorf("unexpected op %v", rec.Op)
+		}
+		var p durable.ClicksPayload
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return err
+		}
+		return dr.applyClicks(p.Clicks)
+	case durable.OpFlag:
+		if dr.setFlag == nil {
+			return fmt.Errorf("unexpected op %v", rec.Op)
+		}
+		var p durable.FlagPayload
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return err
+		}
+		dr.setFlag(p.Host, p.Flag)
+		return nil
+	case durable.OpSubscribe, durable.OpUnsubscribe:
+		var p durable.SubscriptionState
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return err
+		}
+		r, err := fromDurableSub(p)
+		if err != nil {
+			return err
+		}
+		if rec.Op == durable.OpUnsubscribe {
+			r.Kind = recommend.KindUnsubscribeFeed
+		}
+		return dr.applySub(r)
+	case durable.OpPendingAdd:
+		var p durable.PendingAddPayload
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return err
+		}
+		r, err := fromDurableRec(p.Rec)
+		if err != nil {
+			return err
+		}
+		dr.pending.restore(p.User, p.ID, p.Seq, r)
+		return nil
+	case durable.OpPendingTake:
+		var p durable.PendingTakePayload
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return err
+		}
+		r, ok := dr.pending.take(p.User, p.ID)
+		if !ok {
+			return nil
+		}
+		if p.Accepted {
+			return dr.acceptRec(p.User, r)
+		}
+		// A replayed reject re-drives the negative feedback the live path
+		// gave the recommender, at the recorded decision time.
+		if r.FeedURL != "" && dr.rejectFeedback != nil {
+			dr.rejectFeedback(p.User, r.FeedURL, p.At)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unexpected op %v", rec.Op)
+	}
+}
+
+// openJournal builds the persistence journal for a deployment: a file
+// backend when WithDataDir was given, a disabled journal otherwise.
+func openJournal(cfg config) (*durable.Journal, error) {
+	if cfg.dataDir == "" {
+		return durable.NewJournal(nil), nil
+	}
+	var sp durable.SyncPolicy
+	switch cfg.syncPolicy {
+	case SyncAlways:
+		sp = durable.SyncAlways
+	case SyncNever:
+		sp = durable.SyncNever
+	case SyncAsync, 0:
+		sp = durable.SyncAsync
+	default:
+		return nil, fmt.Errorf("%w: unknown sync policy %d", ErrInvalidArgument, cfg.syncPolicy)
+	}
+	b, err := durable.OpenFile(cfg.dataDir, durable.FileOptions{Sync: sp})
+	if err != nil {
+		return nil, err
+	}
+	return durable.NewJournal(b), nil
+}
+
+// journalSnapshotEvery resolves the WithSnapshotEvery setting: 0 means
+// the 4096-record default, negative disables automatic compaction.
+func journalSnapshotEvery(cfg config) int {
+	switch {
+	case cfg.snapshotEvery < 0:
+		return 0
+	case cfg.snapshotEvery == 0:
+		return 4096
+	default:
+		return cfg.snapshotEvery
+	}
+}
+
+// toStorageInfo converts backend info to the public form.
+func toStorageInfo(info durable.Info) StorageInfo {
+	return StorageInfo{
+		Backend:          info.Kind,
+		Dir:              info.Dir,
+		Sync:             info.Sync,
+		Generation:       info.Generation,
+		WALRecords:       info.WALRecords,
+		WALBytes:         info.WALBytes,
+		Snapshots:        info.Snapshots,
+		LastSnapshot:     info.LastSnapshot,
+		RecoveredRecords: info.RecoveredRecords,
+		TornTail:         info.TornTail,
+	}
 }
 
 // storeFlag maps a public flag name to the click store's bitmask.

@@ -3,14 +3,17 @@ package reef
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"reef/internal/core"
+	"reef/internal/durable"
 	"reef/internal/frontend"
 	"reef/internal/pubsub"
 	"reef/internal/recommend"
 	"reef/internal/simclock"
+	"reef/internal/store"
 	"reef/internal/waif"
 )
 
@@ -26,6 +29,7 @@ type Centralized struct {
 	proxy   *waif.Proxy
 	clock   simclock.Clock
 	pending *pendingSet
+	journal *durable.Journal
 
 	mu     sync.Mutex
 	closed bool
@@ -33,19 +37,30 @@ type Centralized struct {
 	bars   map[string]*frontend.Sidebar
 }
 
-var _ Deployment = (*Centralized)(nil)
+var (
+	_ Deployment = (*Centralized)(nil)
+	_ Persister  = (*Centralized)(nil)
+)
 
 // NewCentralized builds the centralized deployment. WithFetcher is
 // required: it is the crawler's access to the web and the WAIF proxy's
-// feed poller.
+// feed poller. With WithDataDir the constructor first recovers the
+// directory's persisted state — snapshot, then intact WAL tail, in order
+// — before arming live journaling, so an unclean predecessor's state is
+// back before the first call lands.
 func NewCentralized(opts ...Option) (*Centralized, error) {
 	cfg := buildConfig(opts)
 	if cfg.fetcher == nil {
 		return nil, fmt.Errorf("%w: NewCentralized requires WithFetcher", ErrInvalidArgument)
 	}
+	journal, err := openJournal(cfg)
+	if err != nil {
+		return nil, err
+	}
 	c := &Centralized{
-		cfg:   cfg,
-		clock: cfg.clock,
+		cfg:     cfg,
+		clock:   cfg.clock,
+		journal: journal,
 		server: core.NewServer(core.ServerConfig{
 			Fetcher:      cfg.fetcher,
 			Store:        cfg.clickStore,
@@ -56,6 +71,7 @@ func NewCentralized(opts ...Option) (*Centralized, error) {
 				MinScore:      cfg.topic.MinScore,
 			},
 			Content: recommend.ContentConfig{NumTerms: cfg.content.NumTerms},
+			Journal: journal,
 		}),
 		broker:  pubsub.NewBroker("reef-edge", cfg.clock),
 		pending: newPendingSet(),
@@ -71,7 +87,74 @@ func NewCentralized(opts ...Option) (*Centralized, error) {
 		Publish:   publisher,
 		PollEvery: cfg.pollEvery,
 	})
+	if err := c.recoverPersisted(); err != nil {
+		c.proxy.Close()
+		c.broker.Close()
+		_ = journal.Close()
+		return nil, fmt.Errorf("reef: recovering %s: %w", cfg.dataDir, err)
+	}
+	journal.Arm(c.captureState, journalSnapshotEvery(cfg))
 	return c, nil
+}
+
+// recoverPersisted replays the journal's recovery state: the snapshot
+// baseline first, then every intact WAL record in append order. The
+// journal is still disarmed, so replayed mutations are not re-logged.
+// Clicks re-drive core ingestion so derived state (topic/content
+// profiles, crawl queue) rebuilds exactly as live ingestion built it.
+func (c *Centralized) recoverPersisted() error {
+	st, tail, err := c.journal.Load()
+	if err != nil {
+		return err
+	}
+	apply := func(rec recommend.Recommendation) error {
+		c.mu.Lock()
+		fe := c.frontLocked(rec.User)
+		c.mu.Unlock()
+		return fe.Apply(rec)
+	}
+	return durableReplay{
+		applyClicks: c.server.ReceiveClicks,
+		setFlag:     func(host string, f int) { c.server.Store().SetFlag(host, store.Flag(f)) },
+		applySub:    apply,
+		pending:     c.pending,
+		acceptRec:   func(user string, rec recommend.Recommendation) error { return apply(rec) },
+		rejectFeedback: func(user, feedURL string, at time.Time) {
+			c.server.ObserveEventFeedback(user, feedURL, false, at)
+		},
+	}.run(st, tail)
+}
+
+// captureState assembles the full durable state for a snapshot. The
+// journal holds its exclusive lock while calling it, so no mutation is in
+// flight: the capture is a consistent cut of the operation stream.
+func (c *Centralized) captureState() (*durable.State, error) {
+	clicks, flags := c.server.Store().Dump()
+	st := &durable.State{Version: 1, Clicks: clicks}
+	if len(flags) > 0 {
+		st.Flags = make(map[string]int, len(flags))
+		for h, f := range flags {
+			st.Flags[h] = int(f)
+		}
+	}
+	c.mu.Lock()
+	users := make([]string, 0, len(c.fronts))
+	for u := range c.fronts {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	fronts := make([]*frontend.Frontend, len(users))
+	for i, u := range users {
+		fronts[i] = c.fronts[u]
+	}
+	c.mu.Unlock()
+	for i, fe := range fronts {
+		for _, rec := range fe.Active() {
+			st.Subscriptions = append(st.Subscriptions, toDurableSub(users[i], rec))
+		}
+	}
+	st.Pending, st.PendingSeq = c.pending.dump()
+	return st, nil
 }
 
 // front returns (creating on first use) the hosted frontend for a user.
@@ -232,7 +315,10 @@ func (c *Centralized) Subscribe(ctx context.Context, user, feedURL string) (Subs
 	if err != nil {
 		return Subscription{}, err
 	}
-	if err := fe.Apply(rec); err != nil {
+	if err := c.journal.Record(
+		func() error { return fe.Apply(rec) },
+		func() durable.Record { return durable.SubscribeRecord(toDurableSub(user, rec)) },
+	); err != nil {
 		return Subscription{}, err
 	}
 	return toPublicSubscription(user, rec), nil
@@ -265,13 +351,17 @@ func (c *Centralized) Unsubscribe(ctx context.Context, user, feedURL string) err
 	if !found {
 		return fmt.Errorf("%w: no subscription for feed %q", ErrNotFound, feedURL)
 	}
-	return fe.Apply(recommend.Recommendation{
+	rec := recommend.Recommendation{
 		Kind:    recommend.KindUnsubscribeFeed,
 		User:    user,
 		FeedURL: feedURL,
 		Reason:  "direct API unsubscription",
 		At:      c.clock.Now(),
-	})
+	}
+	return c.journal.Record(
+		func() error { return fe.Apply(rec) },
+		func() durable.Record { return durable.UnsubscribeRecord(toDurableSub(user, rec)) },
+	)
 }
 
 // Recommendations implements Deployment: freshly generated
@@ -284,8 +374,28 @@ func (c *Centralized) Recommendations(ctx context.Context, user string) ([]Recom
 	if err := validateUser(user); err != nil {
 		return nil, err
 	}
+	// The outbox drain is destructive, so a journaling failure must not
+	// abort the loop: every drained recommendation still reaches the
+	// in-memory ledger (only its durability is lost), and the first error
+	// is reported after.
+	var firstErr error
 	for _, rec := range c.server.Recommendations(user) {
-		c.pending.add(user, rec)
+		rec := rec
+		var id string
+		var seq int64
+		if err := c.journal.Record(
+			func() error { id, seq = c.pending.add(user, rec); return nil },
+			func() durable.Record {
+				return durable.PendingAddRecord(durable.PendingAddPayload{
+					User: user, ID: id, Seq: seq, Rec: toDurableRec(rec),
+				})
+			},
+		); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return c.pending.list(user), nil
 }
@@ -298,15 +408,24 @@ func (c *Centralized) AcceptRecommendation(ctx context.Context, user, id string)
 	if err := validateUser(user); err != nil {
 		return err
 	}
-	rec, ok := c.pending.take(user, id)
-	if !ok {
-		return fmt.Errorf("%w: no pending recommendation %q for user %q", ErrNotFound, id, user)
-	}
-	fe, err := c.front(user)
-	if err != nil {
-		return err
-	}
-	return fe.Apply(rec)
+	return c.journal.Record(
+		func() error {
+			rec, ok := c.pending.take(user, id)
+			if !ok {
+				return fmt.Errorf("%w: no pending recommendation %q for user %q", ErrNotFound, id, user)
+			}
+			fe, err := c.front(user)
+			if err != nil {
+				return err
+			}
+			return fe.Apply(rec)
+		},
+		func() durable.Record {
+			return durable.PendingTakeRecord(durable.PendingTakePayload{
+				User: user, ID: id, Accepted: true, At: c.clock.Now(),
+			})
+		},
+	)
 }
 
 // RejectRecommendation implements Deployment: the recommendation is
@@ -319,14 +438,24 @@ func (c *Centralized) RejectRecommendation(ctx context.Context, user, id string)
 	if err := validateUser(user); err != nil {
 		return err
 	}
-	rec, ok := c.pending.take(user, id)
-	if !ok {
-		return fmt.Errorf("%w: no pending recommendation %q for user %q", ErrNotFound, id, user)
-	}
-	if rec.FeedURL != "" {
-		c.server.ObserveEventFeedback(user, rec.FeedURL, false, c.clock.Now())
-	}
-	return nil
+	at := c.clock.Now()
+	return c.journal.Record(
+		func() error {
+			rec, ok := c.pending.take(user, id)
+			if !ok {
+				return fmt.Errorf("%w: no pending recommendation %q for user %q", ErrNotFound, id, user)
+			}
+			if rec.FeedURL != "" {
+				c.server.ObserveEventFeedback(user, rec.FeedURL, false, at)
+			}
+			return nil
+		},
+		func() durable.Record {
+			return durable.PendingTakeRecord(durable.PendingTakePayload{
+				User: user, ID: id, Accepted: false, At: at,
+			})
+		},
+	)
 }
 
 // Stats implements Deployment.
@@ -353,12 +482,37 @@ func (c *Centralized) Stats(ctx context.Context) (Stats, error) {
 	return out, nil
 }
 
-// Close implements Deployment. Idempotent.
+// Close implements Deployment. Idempotent. Buffered WAL appends are
+// flushed; no final snapshot is taken (reopening replays the WAL, which
+// exercises the same recovery path a crash would).
 func (c *Centralized) Close() error {
+	if !c.markClosed() {
+		return nil
+	}
+	c.proxy.Close()
+	c.broker.Close()
+	return c.journal.Close()
+}
+
+// Crash closes the deployment WITHOUT flushing buffered WAL appends — the
+// fault-injection hook behind the crash-recovery tests: everything since
+// the last sync is lost, exactly as if the process had died.
+func (c *Centralized) Crash() error {
+	if !c.markClosed() {
+		return nil
+	}
+	c.proxy.Close()
+	c.broker.Close()
+	return c.journal.Crash()
+}
+
+// markClosed flips the closed flag and tears down frontends; it reports
+// false if the deployment was already closed.
+func (c *Centralized) markClosed() bool {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil
+		return false
 	}
 	c.closed = true
 	fronts := make([]*frontend.Frontend, 0, len(c.fronts))
@@ -369,9 +523,29 @@ func (c *Centralized) Close() error {
 	for _, fe := range fronts {
 		fe.Close()
 	}
-	c.proxy.Close()
-	c.broker.Close()
-	return nil
+	return true
+}
+
+// StorageInfo implements Persister.
+func (c *Centralized) StorageInfo(ctx context.Context) (StorageInfo, error) {
+	if err := c.checkOpen(ctx); err != nil {
+		return StorageInfo{}, err
+	}
+	return toStorageInfo(c.journal.Info()), nil
+}
+
+// Snapshot implements Persister: it captures the full deployment state as
+// the new recovery baseline and restarts the WAL. Concurrent mutations
+// are excluded for the duration of the capture, so the snapshot is a
+// consistent cut — no record is lost or duplicated across the handoff.
+func (c *Centralized) Snapshot(ctx context.Context) (StorageInfo, error) {
+	if err := c.checkOpen(ctx); err != nil {
+		return StorageInfo{}, err
+	}
+	if err := c.journal.Snapshot(); err != nil {
+		return StorageInfo{}, err
+	}
+	return toStorageInfo(c.journal.Info()), nil
 }
 
 // RunPipeline performs one periodic crawl/analysis round (the paper's

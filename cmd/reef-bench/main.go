@@ -1,15 +1,18 @@
 // Command reef-bench regenerates every table and figure of the paper's
 // evaluation (DESIGN.md §4), plus the substrate micro-benchmarks. With no
 // arguments it runs the full suite at paper scale; pass experiment IDs
-// (e1 e2 e3 f1 f2 a1 a2 a3 publish rank) to run a subset, and -quick for
-// a reduced-scale smoke run. The publish and rank benchmarks write
-// BENCH_publish.json and BENCH_rank.json (ops/sec, allocs/op, p50/p99)
-// into -benchdir so later PRs have a performance trajectory to beat.
+// (e1 e2 e3 f1 f2 a1 a2 a3 publish rank recovery) to run a subset, and
+// -quick for
+// a reduced-scale smoke run. The publish, rank and recovery benchmarks
+// write BENCH_publish.json, BENCH_rank.json and BENCH_recovery.json
+// (ops/sec, allocs/op, p50/p99) into -benchdir so later PRs have a
+// performance trajectory to beat.
 //
 //	reef-bench                 # full suite
 //	reef-bench e1 e3           # just E1 and E3
 //	reef-bench -quick e1       # fast scaled-down E1
 //	reef-bench publish rank    # substrate benchmarks only
+//	reef-bench -quick recovery # durability: WAL, snapshot, cold start
 package main
 
 import (
@@ -49,6 +52,7 @@ func run() int {
 	a3opt := experiments.A3Options{Seed: *seed}
 	bpopt := BenchPublishOptions{OutDir: *benchdir}
 	bropt := BenchRankOptions{Seed: *seed, OutDir: *benchdir}
+	brecopt := BenchRecoveryOptions{Seed: *seed, OutDir: *benchdir}
 	if *quick {
 		e1opt.Users, e1opt.Days, e1opt.Scale = 3, 10, 0.15
 		e3opt.Stories, e3opt.AttendedPages, e3opt.Trials = 200, 1500, 2
@@ -58,6 +62,7 @@ func run() int {
 		a3opt.Users, a3opt.Days, a3opt.Scale = 2, 4, 0.1
 		bpopt.Ops = 20_000
 		bropt.Docs, bropt.Ops = 1_000, 100
+		brecopt.Clicks, brecopt.Events = 2_000, 5_000
 	}
 
 	suite := []exp{
@@ -71,6 +76,7 @@ func run() int {
 		{"a3", func() experiments.Result { return experiments.A3AdFilter(a3opt) }},
 		{"publish", func() experiments.Result { return benchPublish(bpopt) }},
 		{"rank", func() experiments.Result { return benchRank(bropt) }},
+		{"recovery", func() experiments.Result { return benchRecovery(brecopt) }},
 	}
 
 	ranF := false // f1 and f2 share one table; print once

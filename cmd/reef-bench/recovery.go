@@ -1,0 +1,191 @@
+// Recovery micro-benchmark: WAL append cost on the ingest path, publish
+// throughput with and without persistence (the steady-state regression
+// guard), snapshot compaction latency, and cold-start replay speed. Emits
+// BENCH_recovery.json alongside the publish/rank trajectory files.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"reef"
+	"reef/internal/experiments"
+	"reef/internal/topics"
+	"reef/internal/websim"
+)
+
+// BenchRecoveryOptions tunes the recovery benchmark.
+type BenchRecoveryOptions struct {
+	Seed   int64
+	Clicks int // clicks ingested per configuration
+	Batch  int // clicks per IngestClicks call
+	Events int // PublishEvent ops per configuration
+	OutDir string
+}
+
+// benchFetcher builds a small synthetic web (the deployments need a
+// fetcher; the benchmark never crawls).
+func benchFetcher(seed int64) *websim.Web {
+	model := topics.NewModel(seed, 4, 10, 12)
+	wcfg := websim.DefaultConfig(seed, time.Now().UTC())
+	wcfg.NumContentServers = 4
+	wcfg.NumAdServers = 1
+	wcfg.NumSpamServers = 1
+	wcfg.NumMultimediaServers = 1
+	return websim.Generate(wcfg, model)
+}
+
+// benchRecovery measures the durability subsystem end to end through the
+// public API.
+func benchRecovery(opt BenchRecoveryOptions) experiments.Result {
+	if opt.Clicks <= 0 {
+		opt.Clicks = 20_000
+	}
+	if opt.Batch <= 0 {
+		opt.Batch = 16
+	}
+	if opt.Events <= 0 {
+		opt.Events = 50_000
+	}
+	ctx := context.Background()
+	web := benchFetcher(opt.Seed)
+
+	openDep := func(dir string, sync reef.SyncPolicy) *reef.Centralized {
+		opts := []reef.Option{reef.WithFetcher(web)}
+		if dir != "" {
+			opts = append(opts,
+				reef.WithDataDir(dir),
+				reef.WithSyncPolicy(sync),
+				reef.WithSnapshotEvery(-1), // measure appends, not compaction interleave
+			)
+		}
+		dep, err := reef.NewCentralized(opts...)
+		if err != nil {
+			panic(err)
+		}
+		return dep
+	}
+	var tempDirs []string
+	defer func() {
+		for _, dir := range tempDirs {
+			_ = os.RemoveAll(dir)
+		}
+	}()
+	tempDir := func() string {
+		dir, err := os.MkdirTemp("", "reef-bench-recovery-*")
+		if err != nil {
+			panic(err)
+		}
+		tempDirs = append(tempDirs, dir)
+		return dir
+	}
+	clickBatch := func(i int) []reef.Click {
+		batch := make([]reef.Click, opt.Batch)
+		at := time.Unix(1136073600, 0).UTC()
+		for j := range batch {
+			batch[j] = reef.Click{
+				User: fmt.Sprintf("u%d", j%8),
+				URL:  fmt.Sprintf("http://s%02d.bench.test/p%d-%d", i%32, i, j),
+				At:   at.Add(time.Duration(i) * time.Second),
+			}
+		}
+		return batch
+	}
+	ingestRow := func(name, dir string, sync reef.SyncPolicy, batches int) BenchResult {
+		dep := openDep(dir, sync)
+		r := measure(name, batches, 1, func(i int) {
+			if _, err := dep.IngestClicks(ctx, clickBatch(i)); err != nil {
+				panic(err)
+			}
+		})
+		if err := dep.Close(); err != nil {
+			panic(err)
+		}
+		// Report per click, not per batch call.
+		n := float64(opt.Batch)
+		r.Ops *= opt.Batch
+		r.OpsPerSec *= n
+		r.AllocsPerOp /= n
+		r.P50Micros /= n
+		r.P99Micros /= n
+		return r
+	}
+
+	batches := opt.Clicks / opt.Batch
+	results := []BenchResult{
+		ingestRow("ingest_mem", "", 0, batches),
+		ingestRow("ingest_wal_async", tempDir(), reef.SyncAsync, batches),
+		// fsync-per-batch is orders of magnitude slower; scale it down.
+		ingestRow("ingest_wal_always", tempDir(), reef.SyncAlways, max(batches/20, 10)),
+	}
+
+	// Publish throughput with and without persistence: the publish path is
+	// not journaled, so the async WAL must cost (almost) nothing here.
+	ev := reef.Event{Attrs: map[string]string{"topic": "bench"}}
+	publishRow := func(name, dir string) BenchResult {
+		dep := openDep(dir, reef.SyncAsync)
+		defer func() { _ = dep.Close() }()
+		return measure(name, opt.Events, 1, func(int) {
+			if _, err := dep.PublishEvent(ctx, ev); err != nil {
+				panic(err)
+			}
+		})
+	}
+	pubMem := publishRow("publish_mem", "")
+	pubWAL := publishRow("publish_wal_async", tempDir())
+	results = append(results, pubMem, pubWAL)
+
+	// Snapshot latency and cold-start recovery over a populated directory.
+	recDir := tempDir()
+	dep := openDep(recDir, reef.SyncAsync)
+	for i := 0; i < batches; i++ {
+		if _, err := dep.IngestClicks(ctx, clickBatch(i)); err != nil {
+			panic(err)
+		}
+	}
+	results = append(results, measure("snapshot", 3, 1, func(int) {
+		if _, err := dep.Snapshot(ctx); err != nil {
+			panic(err)
+		}
+	}))
+	// Put the history back into WAL form so recovery replays records, not
+	// just the snapshot baseline.
+	for i := 0; i < batches; i++ {
+		if _, err := dep.IngestClicks(ctx, clickBatch(i)); err != nil {
+			panic(err)
+		}
+	}
+	if err := dep.Close(); err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	dep2 := openDep(recDir, reef.SyncAsync)
+	elapsed := time.Since(start)
+	info, err := dep2.StorageInfo(ctx)
+	if err != nil {
+		panic(err)
+	}
+	_ = dep2.Close()
+	results = append(results, BenchResult{
+		Name:      "recovery",
+		Ops:       int(info.RecoveredRecords),
+		OpsPerSec: float64(info.RecoveredRecords) / elapsed.Seconds(),
+		P50Micros: float64(elapsed.Microseconds()),
+		P99Micros: float64(elapsed.Microseconds()),
+	})
+
+	if err := writeBenchFile(opt.OutDir, "recovery", results); err != nil {
+		fmt.Fprintf(os.Stderr, "reef-bench: writing BENCH_recovery.json: %v\n", err)
+	}
+	res := benchTable("BENCH — Durability: WAL ingest, publish overhead, snapshot, recovery", results)
+	res.Table.AddNote("ingest rows amortized per click (batch %d); recovery row: ops = WAL records replayed, p50/p99 = total cold-start µs", opt.Batch)
+	overhead := 0.0
+	if pubMem.OpsPerSec > 0 {
+		overhead = 1 - pubWAL.OpsPerSec/pubMem.OpsPerSec
+	}
+	res.Values["publish_persist_overhead"] = overhead
+	res.Table.AddNote("publish overhead with async persistence enabled: %.2f%% (acceptance gate: < 5%%)", overhead*100)
+	return res
+}

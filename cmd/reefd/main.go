@@ -5,6 +5,12 @@
 // feed poller periodically.
 //
 //	reefd -addr :7070 -pipeline 30s -seed 2006
+//	reefd -data-dir /var/lib/reef -sync always    # durable deployment
+//
+// With -data-dir the deployment journals every state change to a
+// write-ahead log and recovers it on startup; -sync picks the WAL
+// durability policy (async, always, never) and -snapshot-every the
+// compaction cadence in records.
 //
 // Endpoints (see package reefhttp for the full wire contract):
 //
@@ -17,6 +23,8 @@
 //	POST   /v1/recommendations/{id}/accept     accept one
 //	POST   /v1/recommendations/{id}/reject     reject one
 //	GET    /v1/stats                           counters
+//	GET    /v1/admin/storage                   persistence backend state
+//	POST   /v1/admin/snapshot                  force a compacting snapshot
 //	GET    /web/<host>/<path>                  the synthetic web
 package main
 
@@ -41,29 +49,66 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "synthetic web scale (1.0 = paper scale)")
 	pipelineEvery := flag.Duration("pipeline", 30*time.Second, "pipeline interval")
 	pollEvery := flag.Duration("poll", 10*time.Minute, "WAIF feed poll interval")
+	dataDir := flag.String("data-dir", "", "data directory for WAL + snapshot persistence (empty = in-memory)")
+	syncMode := flag.String("sync", "async", "WAL sync policy: async, always, never")
+	snapshotEvery := flag.Int("snapshot-every", 0, "snapshot compaction after N WAL records (0 = default 4096, <0 disables)")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *scale, *pipelineEvery, *pollEvery); err != nil {
+	if err := run(*addr, *seed, *scale, *pipelineEvery, *pollEvery, *dataDir, *syncMode, *snapshotEvery); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.Duration) error {
+// syncPolicy parses the -sync flag.
+func syncPolicy(mode string) (reef.SyncPolicy, error) {
+	switch mode {
+	case "async":
+		return reef.SyncAsync, nil
+	case "always":
+		return reef.SyncAlways, nil
+	case "never":
+		return reef.SyncNever, nil
+	default:
+		return 0, fmt.Errorf("reefd: unknown -sync mode %q (want async, always or never)", mode)
+	}
+}
+
+func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.Duration, dataDir, syncMode string, snapshotEvery int) error {
 	model := topics.NewModel(seed, 16, 50, 80)
 	wcfg := websim.DefaultConfig(seed, time.Now().UTC())
 	wcfg.NumContentServers = int(float64(wcfg.NumContentServers) * scale)
 	wcfg.NumAdServers = int(float64(wcfg.NumAdServers) * scale)
 	web := websim.Generate(wcfg, model)
 
-	dep, err := reef.NewCentralized(
+	opts := []reef.Option{
 		reef.WithFetcher(web),
 		reef.WithPollInterval(pollEvery),
-	)
+	}
+	if dataDir != "" {
+		sp, err := syncPolicy(syncMode)
+		if err != nil {
+			return err
+		}
+		opts = append(opts,
+			reef.WithDataDir(dataDir),
+			reef.WithSyncPolicy(sp),
+			reef.WithSnapshotEvery(snapshotEvery),
+		)
+	}
+	dep, err := reef.NewCentralized(opts...)
 	if err != nil {
 		return fmt.Errorf("reefd: %w", err)
 	}
 	defer func() { _ = dep.Close() }()
+	if dataDir != "" {
+		info, err := dep.StorageInfo(context.Background())
+		if err != nil {
+			return fmt.Errorf("reefd: %w", err)
+		}
+		log.Printf("durable: dir=%s sync=%s generation=%d recovered=%d records torn_tail=%v",
+			info.Dir, info.Sync, info.Generation, info.RecoveredRecords, info.TornTail)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", reefhttp.NewHandler(dep, log.Default()))

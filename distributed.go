@@ -9,6 +9,7 @@ import (
 
 	"reef/internal/attention"
 	"reef/internal/core"
+	"reef/internal/durable"
 	"reef/internal/frontend"
 	"reef/internal/pubsub"
 	"reef/internal/recommend"
@@ -28,26 +29,41 @@ type Distributed struct {
 	broker  *pubsub.Broker
 	proxy   *waif.Proxy
 	pending *pendingSet
+	journal *durable.Journal
 
 	mu     sync.Mutex
 	closed bool
 	peers  map[string]*core.Peer
 }
 
-var _ Deployment = (*Distributed)(nil)
+var (
+	_ Deployment = (*Distributed)(nil)
+	_ Persister  = (*Distributed)(nil)
+)
 
 // NewDistributed builds the distributed deployment. WithFetcher is
 // required: it stands in for each peer's browser cache. By default
 // locally generated recommendations queue for AcceptRecommendation;
 // WithAutoApply(true) restores the paper's zero-click behavior.
+//
+// With WithDataDir the subscription table and pending-recommendation
+// ledger persist and recover; raw attention data deliberately does not —
+// in the distributed deployment clicks never leave the user's host
+// (paper §4), so the durable footprint holds only what the user chose to
+// act on, and profile state rebuilds from future browsing.
 func NewDistributed(opts ...Option) (*Distributed, error) {
 	cfg := buildConfig(opts)
 	if cfg.fetcher == nil {
 		return nil, fmt.Errorf("%w: NewDistributed requires WithFetcher", ErrInvalidArgument)
 	}
+	journal, err := openJournal(cfg)
+	if err != nil {
+		return nil, err
+	}
 	d := &Distributed{
 		cfg:     cfg,
 		clock:   cfg.clock,
+		journal: journal,
 		broker:  pubsub.NewBroker("reef-peer-edge", cfg.clock),
 		pending: newPendingSet(),
 		peers:   make(map[string]*core.Peer),
@@ -61,7 +77,78 @@ func NewDistributed(opts ...Option) (*Distributed, error) {
 		Publish:   publisher,
 		PollEvery: cfg.pollEvery,
 	})
+	if err := d.recoverPersisted(); err != nil {
+		d.proxy.Close()
+		d.broker.Close()
+		_ = journal.Close()
+		return nil, fmt.Errorf("reef: recovering %s: %w", cfg.dataDir, err)
+	}
+	journal.Arm(d.captureState, journalSnapshotEvery(cfg))
 	return d, nil
+}
+
+// recoverPersisted replays the snapshot baseline and intact WAL tail.
+// The distributed journal emits only subscription and pending-ledger
+// ops, so the clicks/flags replay hooks stay nil.
+func (d *Distributed) recoverPersisted() error {
+	st, tail, err := d.journal.Load()
+	if err != nil {
+		return err
+	}
+	apply := func(rec recommend.Recommendation) error {
+		d.mu.Lock()
+		p := d.peerLocked(rec.User)
+		d.mu.Unlock()
+		return p.Apply(rec)
+	}
+	return durableReplay{
+		applySub:  apply,
+		pending:   d.pending,
+		acceptRec: func(user string, rec recommend.Recommendation) error { return apply(rec) },
+		rejectFeedback: func(user, feedURL string, at time.Time) {
+			// Like the live path: no peer is created just for feedback.
+			d.mu.Lock()
+			p, ok := d.peers[user]
+			d.mu.Unlock()
+			if ok {
+				p.ObserveEventFeedback(feedURL, false, at)
+			}
+		},
+	}.run(st, tail)
+}
+
+// captureState assembles the durable state: every peer's live
+// subscriptions plus the pending ledger.
+func (d *Distributed) captureState() (*durable.State, error) {
+	st := &durable.State{Version: 1}
+	d.mu.Lock()
+	users := d.usersLocked()
+	peers := make([]*core.Peer, len(users))
+	for i, u := range users {
+		peers[i] = d.peers[u]
+	}
+	d.mu.Unlock()
+	for i, p := range peers {
+		for _, rec := range p.Frontend().Active() {
+			st.Subscriptions = append(st.Subscriptions, toDurableSub(users[i], rec))
+		}
+	}
+	st.Pending, st.PendingSeq = d.pending.dump()
+	return st, nil
+}
+
+// addPending journals one recommendation into the pending ledger.
+func (d *Distributed) addPending(user string, rec recommend.Recommendation) error {
+	var id string
+	var seq int64
+	return d.journal.Record(
+		func() error { id, seq = d.pending.add(user, rec); return nil },
+		func() durable.Record {
+			return durable.PendingAddRecord(durable.PendingAddPayload{
+				User: user, ID: id, Seq: seq, Rec: toDurableRec(rec),
+			})
+		},
+	)
 }
 
 // peerLocked returns (creating on first use) the peer for a user. Caller
@@ -158,7 +245,9 @@ func (d *Distributed) IngestClicks(ctx context.Context, clicks []Click) (int, er
 		ingested++
 		if !d.cfg.autoApply {
 			for _, rec := range recs {
-				d.pending.add(cl.User, rec)
+				if err := d.addPending(cl.User, rec); err != nil {
+					return ingested, err
+				}
 			}
 		}
 	}
@@ -250,7 +339,10 @@ func (d *Distributed) Subscribe(ctx context.Context, user, feedURL string) (Subs
 	if err != nil {
 		return Subscription{}, err
 	}
-	if err := p.Apply(rec); err != nil {
+	if err := d.journal.Record(
+		func() error { return p.Apply(rec) },
+		func() durable.Record { return durable.SubscribeRecord(toDurableSub(user, rec)) },
+	); err != nil {
 		return Subscription{}, err
 	}
 	return toPublicSubscription(user, rec), nil
@@ -283,13 +375,17 @@ func (d *Distributed) Unsubscribe(ctx context.Context, user, feedURL string) err
 	if !found {
 		return fmt.Errorf("%w: no subscription for feed %q", ErrNotFound, feedURL)
 	}
-	return p.Apply(recommend.Recommendation{
+	rec := recommend.Recommendation{
 		Kind:    recommend.KindUnsubscribeFeed,
 		User:    user,
 		FeedURL: feedURL,
 		Reason:  "direct API unsubscription",
 		At:      d.clock.Now(),
-	})
+	}
+	return d.journal.Record(
+		func() error { return p.Apply(rec) },
+		func() durable.Record { return durable.UnsubscribeRecord(toDurableSub(user, rec)) },
+	)
 }
 
 // Recommendations implements Deployment. With WithAutoApply(true) the
@@ -312,15 +408,24 @@ func (d *Distributed) AcceptRecommendation(ctx context.Context, user, id string)
 	if err := validateUser(user); err != nil {
 		return err
 	}
-	rec, ok := d.pending.take(user, id)
-	if !ok {
-		return fmt.Errorf("%w: no pending recommendation %q for user %q", ErrNotFound, id, user)
-	}
-	p, err := d.peer(user)
-	if err != nil {
-		return err
-	}
-	return p.Apply(rec)
+	return d.journal.Record(
+		func() error {
+			rec, ok := d.pending.take(user, id)
+			if !ok {
+				return fmt.Errorf("%w: no pending recommendation %q for user %q", ErrNotFound, id, user)
+			}
+			p, err := d.peer(user)
+			if err != nil {
+				return err
+			}
+			return p.Apply(rec)
+		},
+		func() durable.Record {
+			return durable.PendingTakeRecord(durable.PendingTakePayload{
+				User: user, ID: id, Accepted: true, At: d.clock.Now(),
+			})
+		},
+	)
 }
 
 // RejectRecommendation implements Deployment.
@@ -331,19 +436,29 @@ func (d *Distributed) RejectRecommendation(ctx context.Context, user, id string)
 	if err := validateUser(user); err != nil {
 		return err
 	}
-	rec, ok := d.pending.take(user, id)
-	if !ok {
-		return fmt.Errorf("%w: no pending recommendation %q for user %q", ErrNotFound, id, user)
-	}
-	if rec.FeedURL != "" {
-		d.mu.Lock()
-		p, ok := d.peers[user]
-		d.mu.Unlock()
-		if ok {
-			p.ObserveEventFeedback(rec.FeedURL, false, d.clock.Now())
-		}
-	}
-	return nil
+	at := d.clock.Now()
+	return d.journal.Record(
+		func() error {
+			rec, ok := d.pending.take(user, id)
+			if !ok {
+				return fmt.Errorf("%w: no pending recommendation %q for user %q", ErrNotFound, id, user)
+			}
+			if rec.FeedURL != "" {
+				d.mu.Lock()
+				p, ok := d.peers[user]
+				d.mu.Unlock()
+				if ok {
+					p.ObserveEventFeedback(rec.FeedURL, false, at)
+				}
+			}
+			return nil
+		},
+		func() durable.Record {
+			return durable.PendingTakeRecord(durable.PendingTakePayload{
+				User: user, ID: id, Accepted: false, At: at,
+			})
+		},
+	)
 }
 
 // Stats implements Deployment.
@@ -372,12 +487,34 @@ func (d *Distributed) Stats(ctx context.Context) (Stats, error) {
 	return out, nil
 }
 
-// Close implements Deployment. Idempotent.
+// Close implements Deployment. Idempotent. Buffered WAL appends flush.
 func (d *Distributed) Close() error {
+	if !d.markClosed() {
+		return nil
+	}
+	d.proxy.Close()
+	d.broker.Close()
+	return d.journal.Close()
+}
+
+// Crash closes the deployment without flushing buffered WAL appends (the
+// fault-injection hook behind crash-recovery tests).
+func (d *Distributed) Crash() error {
+	if !d.markClosed() {
+		return nil
+	}
+	d.proxy.Close()
+	d.broker.Close()
+	return d.journal.Crash()
+}
+
+// markClosed flips the closed flag and tears down peers; it reports false
+// if the deployment was already closed.
+func (d *Distributed) markClosed() bool {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
-		return nil
+		return false
 	}
 	d.closed = true
 	peers := make([]*core.Peer, 0, len(d.peers))
@@ -388,9 +525,26 @@ func (d *Distributed) Close() error {
 	for _, p := range peers {
 		p.Close()
 	}
-	d.proxy.Close()
-	d.broker.Close()
-	return nil
+	return true
+}
+
+// StorageInfo implements Persister.
+func (d *Distributed) StorageInfo(ctx context.Context) (StorageInfo, error) {
+	if err := d.checkOpen(ctx); err != nil {
+		return StorageInfo{}, err
+	}
+	return toStorageInfo(d.journal.Info()), nil
+}
+
+// Snapshot implements Persister; see Centralized.Snapshot.
+func (d *Distributed) Snapshot(ctx context.Context) (StorageInfo, error) {
+	if err := d.checkOpen(ctx); err != nil {
+		return StorageInfo{}, err
+	}
+	if err := d.journal.Snapshot(); err != nil {
+		return StorageInfo{}, err
+	}
+	return toStorageInfo(d.journal.Info()), nil
 }
 
 // Users lists the users with live peers, sorted.
@@ -440,8 +594,9 @@ func (d *Distributed) Sidebar(user string) []SidebarItem {
 
 // SweepInactive runs each peer's unsubscribe policy. In manual mode the
 // resulting unsubscribe recommendations queue as pending; with
-// WithAutoApply(true) they apply immediately.
-func (d *Distributed) SweepInactive(now time.Time) int {
+// WithAutoApply(true) they apply immediately. The sweep continues past a
+// journaling failure and reports the first error alongside the count.
+func (d *Distributed) SweepInactive(now time.Time) (int, error) {
 	d.mu.Lock()
 	peers := make([]*core.Peer, 0, len(d.peers))
 	for _, p := range d.peers {
@@ -449,16 +604,19 @@ func (d *Distributed) SweepInactive(now time.Time) int {
 	}
 	d.mu.Unlock()
 	total := 0
+	var firstErr error
 	for _, p := range peers {
 		recs := p.SweepInactive(now)
 		total += len(recs)
 		if !d.cfg.autoApply {
 			for _, rec := range recs {
-				d.pending.add(rec.User, rec)
+				if err := d.addPending(rec.User, rec); err != nil && firstErr == nil {
+					firstErr = err
+				}
 			}
 		}
 	}
-	return total
+	return total, firstErr
 }
 
 // PollFeeds polls due feeds through the deployment's WAIF proxy.

@@ -11,10 +11,13 @@
 // This package is the public API: the Deployment interface with its two
 // implementations — NewCentralized (the paper's Figure 1 server) and
 // NewDistributed (the Figure 2 WAIF-peer pipeline) — plus functional
-// options and the sentinel error set. The reefhttp subpackage serves any
-// Deployment over a versioned REST surface, and reefclient is the Go SDK
-// for it (itself a Deployment). See DESIGN.md for the interface, route
-// and error-model reference.
+// options and the sentinel error set. Deployments opened with
+// WithDataDir persist their state through a write-ahead log and
+// compacting snapshots (internal/durable) and recover it on reopen; the
+// Persister interface exposes the storage surface. The reefhttp
+// subpackage serves any Deployment over a versioned REST surface, and
+// reefclient is the Go SDK for it (itself a Deployment). See DESIGN.md
+// for the interface, route, error-model and durability reference.
 //
 // The components live under internal/: the pub-sub substrate (eventalg,
 // pubsub), the IR toolkit (ir), the Web and workload simulation (websim,

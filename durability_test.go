@@ -1,0 +1,373 @@
+package reef_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"reef"
+	"reef/internal/durable/durabletest"
+	"reef/internal/websim"
+)
+
+// feedURLs returns sorted absolute URLs of every feed in the synthetic
+// web, so tests can subscribe directly without the recommendation flow.
+func feedURLs(web *websim.Web) []string {
+	var out []string
+	for _, s := range web.Servers(websim.KindContent) {
+		for path := range s.Feeds {
+			out = append(out, s.URL(path))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// driveCentralized pushes a deployment through the full recommendation
+// lifecycle: browse feed-hosting pages, run the pipeline, poll pending
+// recommendations, accept one and reject one, and place plus remove
+// direct subscriptions. It returns the users it touched.
+func driveCentralized(t *testing.T, ctx context.Context, dep *reef.Centralized, web *websim.Web) []string {
+	t.Helper()
+	users := []string{"u1", "u2"}
+	at := dt0
+	for _, s := range web.Servers(websim.KindContent) {
+		if len(s.Feeds) == 0 {
+			continue
+		}
+		for path := range s.Pages {
+			for _, u := range users {
+				at = at.Add(time.Second)
+				if _, err := dep.IngestClicks(ctx, []reef.Click{{User: u, URL: s.URL(path), At: at}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	dep.RunPipeline(at)
+
+	recs, err := dep.Recommendations(ctx, "u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("pipeline produced no recommendations for u1")
+	}
+	if err := dep.AcceptRecommendation(ctx, "u1", recs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) > 1 {
+		if err := dep.RejectRecommendation(ctx, "u1", recs[1].ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	feeds := feedURLs(web)
+	if len(feeds) < 2 {
+		t.Fatal("synthetic web has too few feeds")
+	}
+	if _, err := dep.Subscribe(ctx, "u2", feeds[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Subscribe(ctx, "u2", feeds[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Unsubscribe(ctx, "u2", feeds[1]); err != nil {
+		t.Fatal(err)
+	}
+	return users
+}
+
+// TestCentralizedCrashRecovery is the end-to-end acceptance test: drive a
+// file-backed deployment through ingest, pipeline, accept/reject and
+// direct subscriptions — with a compaction in the middle so recovery
+// crosses a snapshot/WAL boundary — kill it without a clean close, reopen
+// the same data directory, and require the recovered subscription,
+// pending-recommendation and stats state to be byte-identical.
+func TestCentralizedCrashRecovery(t *testing.T) {
+	ctx := context.Background()
+	web := testWeb(11)
+	dir := t.TempDir()
+	open := func() *reef.Centralized {
+		dep, err := reef.NewCentralized(
+			reef.WithFetcher(web),
+			reef.WithDataDir(dir),
+			reef.WithSyncPolicy(reef.SyncAlways),
+			reef.WithSnapshotEvery(-1), // only the explicit mid-test compaction
+		)
+		if err != nil {
+			t.Fatalf("NewCentralized: %v", err)
+		}
+		return dep
+	}
+
+	dep := open()
+	users := driveCentralized(t, ctx, dep, web)
+
+	// Compact mid-history: later mutations land in the post-snapshot WAL,
+	// so recovery exercises baseline + tail, not just one of them.
+	if _, err := dep.Snapshot(ctx); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	feeds := feedURLs(web)
+	if _, err := dep.Subscribe(ctx, "u1", feeds[len(feeds)-1]); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := durabletest.Capture(ctx, dep, users, durabletest.DurableStatKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := durabletest.Crash(dep); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+
+	dep2 := open()
+	defer func() { _ = dep2.Close() }()
+	info, err := dep2.StorageInfo(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Backend != "file" || info.Generation == 0 {
+		t.Errorf("StorageInfo after recovery = %+v, want file backend past generation 0", info)
+	}
+	after, err := durabletest.Capture(ctx, dep2, users, durabletest.DurableStatKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := durabletest.Diff(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff != "" {
+		t.Fatalf("recovered state differs:\n%s", diff)
+	}
+
+	// The recovered ledger must honor pre-crash IDs: accept one through
+	// the reopened deployment.
+	for _, u := range users {
+		for _, rec := range after.Pending[u] {
+			if err := dep2.AcceptRecommendation(ctx, u, rec.ID); err != nil {
+				t.Fatalf("accepting recovered recommendation %s/%s: %v", u, rec.ID, err)
+			}
+			return
+		}
+	}
+}
+
+// TestCentralizedCrashLosesUnsyncedTail pins the loss semantics of
+// SyncNever: state past the last durable point (here, a snapshot)
+// vanishes on crash, and recovery stops cleanly at the baseline instead
+// of failing.
+func TestCentralizedCrashLosesUnsyncedTail(t *testing.T) {
+	ctx := context.Background()
+	web := testWeb(12)
+	dir := t.TempDir()
+	open := func() *reef.Centralized {
+		dep, err := reef.NewCentralized(
+			reef.WithFetcher(web),
+			reef.WithDataDir(dir),
+			reef.WithSyncPolicy(reef.SyncNever),
+			reef.WithSnapshotEvery(-1),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dep
+	}
+	dep := open()
+	if _, err := dep.IngestClicks(ctx, []reef.Click{{User: "u", URL: "http://a.test/1", At: dt0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Snapshot(ctx); err != nil { // durable point: 1 click
+		t.Fatal(err)
+	}
+	if _, err := dep.IngestClicks(ctx, []reef.Click{{User: "u", URL: "http://a.test/2", At: dt0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := durabletest.Crash(dep); err != nil {
+		t.Fatal(err)
+	}
+
+	dep2 := open()
+	defer func() { _ = dep2.Close() }()
+	stats, err := dep2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats["clicks_stored"]; got != 1 {
+		t.Fatalf("clicks_stored after crash = %v, want the snapshotted 1", got)
+	}
+}
+
+// TestDistributedCrashRecovery checks the distributed deployment's
+// durable slice — subscriptions and the pending ledger — survives an
+// unclean close. Attention data intentionally does not persist there.
+func TestDistributedCrashRecovery(t *testing.T) {
+	ctx := context.Background()
+	web := testWeb(13)
+	dir := t.TempDir()
+	open := func() *reef.Distributed {
+		dep, err := reef.NewDistributed(
+			reef.WithFetcher(web),
+			reef.WithDataDir(dir),
+			reef.WithSyncPolicy(reef.SyncAlways),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dep
+	}
+	dep := open()
+	// Local analysis queues recommendations in manual mode.
+	for _, s := range web.Servers(websim.KindContent) {
+		if len(s.Feeds) == 0 {
+			continue
+		}
+		for path := range s.Pages {
+			if _, err := dep.IngestClicks(ctx, []reef.Click{{User: "p1", URL: s.URL(path), At: dt0}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	recs, err := dep.Recommendations(ctx, "p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no locally generated recommendations")
+	}
+	if err := dep.AcceptRecommendation(ctx, "p1", recs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+
+	statKeys := []string{"subscriptions", "pending_recommendations"}
+	before, err := durabletest.Capture(ctx, dep, []string{"p1"}, statKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := durabletest.Crash(dep); err != nil {
+		t.Fatal(err)
+	}
+
+	dep2 := open()
+	defer func() { _ = dep2.Close() }()
+	after, err := durabletest.Capture(ctx, dep2, []string{"p1"}, statKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := durabletest.Diff(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff != "" {
+		t.Fatalf("recovered distributed state differs:\n%s", diff)
+	}
+}
+
+// TestSnapshotCompactionRace hammers IngestClicks and PublishEvent while
+// snapshot compactions run, then recovers and counts: every ingested
+// click must be on exactly one side of every snapshot/WAL handoff. Run
+// under -race this also proves the capture path holds no stale views.
+func TestSnapshotCompactionRace(t *testing.T) {
+	ctx := context.Background()
+	web := testWeb(14)
+	dir := t.TempDir()
+	dep, err := reef.NewCentralized(
+		reef.WithFetcher(web),
+		reef.WithDataDir(dir),
+		reef.WithSyncPolicy(reef.SyncNever), // graceful close flushes; the race is in the handoff
+		reef.WithSnapshotEvery(-1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, perWorker = 4, 50
+	var ingested atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			user := fmt.Sprintf("u%d", w)
+			for i := 0; i < perWorker; i++ {
+				clicks := []reef.Click{{
+					User: user,
+					URL:  fmt.Sprintf("http://w%d.test/p%d", w, i),
+					At:   dt0.Add(time.Duration(i) * time.Second),
+				}}
+				if _, err := dep.IngestClicks(ctx, clicks); err != nil {
+					t.Errorf("IngestClicks: %v", err)
+					return
+				}
+				ingested.Add(1)
+				if _, err := dep.PublishEvent(ctx, reef.Event{Attrs: map[string]string{"topic": "race"}}); err != nil {
+					t.Errorf("PublishEvent: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	snapErrs := make(chan error, 1)
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for i := 0; i < 15; i++ {
+			if _, err := dep.Snapshot(ctx); err != nil {
+				snapErrs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-snapDone
+	select {
+	case err := <-snapErrs:
+		t.Fatalf("Snapshot during load: %v", err)
+	default:
+	}
+	if err := dep.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dep2, err := reef.NewCentralized(reef.WithFetcher(web), reef.WithDataDir(dir))
+	if err != nil {
+		t.Fatalf("recovery after compaction race: %v", err)
+	}
+	defer func() { _ = dep2.Close() }()
+	stats, err := dep2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(stats["clicks_stored"]); got != ingested.Load() {
+		t.Fatalf("clicks_stored after recovery = %d, want %d: a record fell through the snapshot/WAL handoff",
+			got, ingested.Load())
+	}
+}
+
+// TestPersisterOnMemoryDeployment pins the no-data-dir behavior: the
+// Persister surface answers (backend "memory"), snapshots are no-ops,
+// and nothing touches disk.
+func TestPersisterOnMemoryDeployment(t *testing.T) {
+	ctx := context.Background()
+	dep, err := reef.NewCentralized(reef.WithFetcher(testWeb(15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dep.Close() }()
+	info, err := dep.StorageInfo(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Backend != "memory" {
+		t.Errorf("Backend = %q, want memory", info.Backend)
+	}
+	if _, err := dep.Snapshot(ctx); err != nil {
+		t.Errorf("Snapshot on memory deployment: %v", err)
+	}
+}

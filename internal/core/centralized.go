@@ -14,6 +14,7 @@ import (
 
 	"reef/internal/attention"
 	"reef/internal/crawler"
+	"reef/internal/durable"
 	"reef/internal/ir"
 	"reef/internal/metrics"
 	"reef/internal/recommend"
@@ -33,6 +34,9 @@ type ServerConfig struct {
 	Topic recommend.TopicConfig
 	// Content tunes the content-based recommender.
 	Content recommend.ContentConfig
+	// Journal receives a WAL record for every durable mutation the server
+	// performs (click batches, server flags). Nil disables journaling.
+	Journal *durable.Journal
 }
 
 // PipelineStats summarizes one RunPipeline invocation.
@@ -56,10 +60,11 @@ type PipelineStats struct {
 // attention.Sink so recorders can post batches directly (step 1 of
 // Figure 1); Recommendations drains a user's outbox (step 2).
 type Server struct {
-	cfg   ServerConfig
-	store *store.ClickStore
-	crawl *crawler.Crawler
-	reg   *metrics.Registry
+	cfg     ServerConfig
+	store   *store.ClickStore
+	crawl   *crawler.Crawler
+	reg     *metrics.Registry
+	journal *durable.Journal
 
 	mu sync.Mutex
 	// pendingCrawl batches URLs for the next pipeline run ("the URIs in
@@ -91,9 +96,10 @@ func NewServer(cfg ServerConfig) *Server {
 		st = store.NewClickStore()
 	}
 	s := &Server{
-		cfg:   cfg,
-		store: st,
-		reg:   metrics.NewRegistry(),
+		cfg:     cfg,
+		store:   st,
+		reg:     metrics.NewRegistry(),
+		journal: cfg.Journal,
 
 		pendingSeen: make(map[string]struct{}),
 		urlUsers:    make(map[string]map[string]struct{}),
@@ -150,8 +156,17 @@ func (s *Server) UploadBytes() int64 {
 
 // ReceiveClicks implements attention.Sink: it stores the batch, notes
 // host visits for the topic recommender, and queues page URLs for the next
-// crawl round.
+// crawl round. With a journal configured the batch is logged as one WAL
+// record; the append happens outside the store's and broker's locks.
 func (s *Server) ReceiveClicks(batch []attention.Click) error {
+	return s.journal.Record(
+		func() error { s.applyClicks(batch); return nil },
+		func() durable.Record { return durable.ClicksRecord(batch) },
+	)
+}
+
+// applyClicks is the journaled mutation behind ReceiveClicks.
+func (s *Server) applyClicks(batch []attention.Click) {
 	s.store.AddBatch(batch)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -174,7 +189,19 @@ func (s *Server) ReceiveClicks(batch []attention.Click) error {
 		users[c.User] = struct{}{}
 	}
 	s.reg.Counter("clicks_received").Add(int64(len(batch)))
-	return nil
+}
+
+// setFlag ors a classification flag onto a host, journaled. RunPipeline
+// has no error path, so a failed append surfaces as the journal_errors
+// counter: the flag stays set in memory and the operator sees the
+// durability gap in /v1/stats.
+func (s *Server) setFlag(host string, f store.Flag) {
+	if err := s.journal.Record(
+		func() error { s.store.SetFlag(host, f); return nil },
+		func() durable.Record { return durable.FlagRecord(host, int(f)) },
+	); err != nil {
+		s.reg.Counter("journal_errors").Inc()
+	}
 }
 
 // PendingCrawl reports the queued URL count.
@@ -197,7 +224,24 @@ func (s *Server) RunPipeline(now time.Time) PipelineStats {
 
 	results := s.crawl.Crawl(batch)
 
+	// Flag pass, outside s.mu: the journal serializes apply+append under
+	// its own exclusive lock, and no Record call may happen while holding
+	// a lock another Record's apply needs (see durable.Journal.Record).
 	var stats PipelineStats
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		if r.Flags != 0 {
+			if s.store.Flags(r.Host)&r.Flags != r.Flags {
+				stats.FlaggedServers++
+			}
+			s.setFlag(r.Host, r.Flags)
+		} else {
+			s.setFlag(r.Host, store.FlagCrawled)
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, r := range results {
@@ -207,13 +251,8 @@ func (s *Server) RunPipeline(now time.Time) PipelineStats {
 		}
 		stats.Crawled++
 		if r.Flags != 0 {
-			if s.store.Flags(r.Host)&r.Flags != r.Flags {
-				stats.FlaggedServers++
-			}
-			s.store.SetFlag(r.Host, r.Flags)
 			continue
 		}
-		s.store.SetFlag(r.Host, store.FlagCrawled)
 
 		users := s.urlUsers[r.URL]
 		// Feed discoveries become topic-based recommendations.

@@ -1,0 +1,119 @@
+// Package durabletest provides the golden-state machinery of the
+// crash-recovery test suite: capture a deployment's externally visible
+// state through the public Deployment interface, serialize it to
+// canonical bytes, and diff two captures. "Byte-exact recovery" in the
+// acceptance tests means two captures — one before the crash, one after
+// reopening the data directory — marshal to identical JSON.
+package durabletest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"reef"
+)
+
+// GoldenState is the recoverable slice of a deployment's state, keyed so
+// its JSON form is deterministic (maps marshal with sorted keys).
+type GoldenState struct {
+	// Subscriptions maps user -> live subscriptions, in listing order.
+	Subscriptions map[string][]reef.Subscription `json:"subscriptions"`
+	// Pending maps user -> pending recommendations with their ledger IDs,
+	// in issue order. Recovery must reproduce the IDs, not just the
+	// contents: a client holding an ID from before the crash must be able
+	// to accept it after.
+	Pending map[string][]reef.Recommendation `json:"pending"`
+	// Stats holds the selected durable counters.
+	Stats map[string]float64 `json:"stats"`
+}
+
+// DurableStatKeys are the deployment counters the durability layer
+// guarantees across a restart. Derived counters (pipeline runs, broker
+// deliveries) deliberately are not here: they describe the process, not
+// the state.
+var DurableStatKeys = []string{
+	"clicks_stored",
+	"distinct_servers",
+	"pending_recommendations",
+}
+
+// Capture reads the golden state for the given users through the public
+// API. Listing recommendations is intentionally part of the capture: it
+// moves freshly generated recommendations into the durable pending
+// ledger, exactly as a real client polling the API would.
+func Capture(ctx context.Context, dep reef.Deployment, users []string, statKeys []string) (*GoldenState, error) {
+	g := &GoldenState{
+		Subscriptions: make(map[string][]reef.Subscription, len(users)),
+		Pending:       make(map[string][]reef.Recommendation, len(users)),
+		Stats:         make(map[string]float64, len(statKeys)),
+	}
+	for _, u := range users {
+		subs, err := dep.Subscriptions(ctx, u)
+		if err != nil {
+			return nil, fmt.Errorf("durabletest: subscriptions for %s: %w", u, err)
+		}
+		g.Subscriptions[u] = subs
+		recs, err := dep.Recommendations(ctx, u)
+		if err != nil {
+			return nil, fmt.Errorf("durabletest: recommendations for %s: %w", u, err)
+		}
+		g.Pending[u] = recs
+	}
+	stats, err := dep.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("durabletest: stats: %w", err)
+	}
+	for _, k := range statKeys {
+		g.Stats[k] = stats[k]
+	}
+	return g, nil
+}
+
+// JSON renders the canonical byte form the equality checks compare.
+func (g *GoldenState) JSON() ([]byte, error) {
+	return json.MarshalIndent(g, "", "  ")
+}
+
+// Diff compares two golden states byte-exactly. It returns "" when they
+// are identical, otherwise a readable description pointing at the first
+// difference.
+func Diff(want, got *GoldenState) (string, error) {
+	wb, err := want.JSON()
+	if err != nil {
+		return "", err
+	}
+	gb, err := got.JSON()
+	if err != nil {
+		return "", err
+	}
+	if bytes.Equal(wb, gb) {
+		return "", nil
+	}
+	// Locate the first differing line for a useful failure message.
+	wl := bytes.Split(wb, []byte("\n"))
+	gl := bytes.Split(gb, []byte("\n"))
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("state diverges at line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i]), nil
+		}
+	}
+	return fmt.Sprintf("state length differs: want %d lines, got %d", len(wl), len(gl)), nil
+}
+
+// Crasher is the unclean-close hook both built-in deployments implement.
+type Crasher interface {
+	Crash() error
+}
+
+// Crash closes the deployment without flushing buffered WAL appends,
+// simulating a process kill. It fails if the deployment has no crash
+// hook.
+func Crash(dep reef.Deployment) error {
+	c, ok := dep.(Crasher)
+	if !ok {
+		return fmt.Errorf("durabletest: %T has no Crash hook", dep)
+	}
+	return c.Crash()
+}

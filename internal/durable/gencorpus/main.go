@@ -1,0 +1,65 @@
+// Command gencorpus regenerates the checked-in seed corpus under
+// testdata/fuzz/FuzzWALDecode after a record-format change. Run from the
+// repository root:
+//
+//	go run ./internal/durable/gencorpus
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"reef/internal/attention"
+	"reef/internal/durable"
+)
+
+func write(name string, data []byte) {
+	content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+	if err := os.WriteFile("internal/durable/testdata/fuzz/FuzzWALDecode/"+name, []byte(content), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Println("wrote", name, len(data), "bytes")
+}
+
+func main() {
+	var clean []byte
+	clean = durable.ClicksRecord([]attention.Click{{User: "u", URL: "http://h.test/p", At: time.Unix(0, 0).UTC()}}).AppendEncoded(clean)
+	clean = durable.FlagRecord("h.test", 3).AppendEncoded(clean)
+	write("seed-clean-log", clean)
+	write("seed-torn-tail", clean[:len(clean)-4])
+
+	flipped := append([]byte(nil), clean...)
+	flipped[4] ^= 0x10
+	write("seed-flipped-crc", flipped)
+
+	dirty := append([]byte(nil), clean...)
+	dirty[len(dirty)-2] ^= 0x40
+	write("seed-flipped-payload", dirty)
+
+	write("seed-garbage", []byte("not a log at all"))
+	write("seed-empty", nil)
+
+	huge := make([]byte, 12)
+	binary.LittleEndian.PutUint32(huge[0:4], durable.MaxRecordLen+1)
+	write("seed-huge-length", huge)
+
+	tiny := make([]byte, 12)
+	binary.LittleEndian.PutUint32(tiny[0:4], 1)
+	write("seed-tiny-length", tiny)
+
+	sub := durable.SubscribeRecord(durable.SubscriptionState{
+		User: "alice", Kind: "subscribe-feed", FeedURL: "http://news.test/feed.xml",
+		Filter: `feed = "http://news.test/feed.xml" and type = "feed-item"`,
+		At:     time.Unix(1136073600, 0).UTC(),
+	}).AppendEncoded(nil)
+	pend := durable.PendingAddRecord(durable.PendingAddPayload{
+		User: "alice", ID: "r3", Seq: 3,
+		Rec: durable.RecommendationState{Kind: "content-query", User: "alice",
+			Terms: []durable.TermState{{Term: "reef", Score: 4.2}}},
+	}).AppendEncoded(sub)
+	pend = durable.PendingTakeRecord(durable.PendingTakePayload{User: "alice", ID: "r3", Accepted: true}).AppendEncoded(pend)
+	write("seed-subscription-ops", pend)
+}

@@ -1,0 +1,285 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"reef/internal/attention"
+)
+
+// Frame layout (little-endian):
+//
+//	[4B body length][4B CRC32-C of body][body]
+//	body = [1B format version][1B op][payload]
+//
+// The length covers the body only, so the minimum frame is 10 bytes
+// (8-byte header + version + op). The CRC covers the body, so a flipped
+// bit anywhere in version, op or payload fails the checksum.
+const (
+	// frameHeaderLen is the fixed prefix: length + CRC.
+	frameHeaderLen = 8
+	// minBodyLen is version byte + op byte.
+	minBodyLen = 2
+	// MaxRecordLen bounds one record's body, guarding against reading a
+	// corrupt length as a multi-gigabyte allocation.
+	MaxRecordLen = 16 << 20
+	// recordVersion is the current record format version.
+	recordVersion = 1
+)
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed decode errors. Recovery treats ErrTruncated at the tail as a
+// clean unclean-shutdown marker; everything else means corruption.
+var (
+	// ErrTruncated marks a frame cut short: the header or body extends
+	// past the end of the log (a torn write at crash time).
+	ErrTruncated = errors.New("durable: truncated record")
+	// ErrChecksum marks a body whose CRC32-C does not match its header.
+	ErrChecksum = errors.New("durable: record checksum mismatch")
+	// ErrTooLarge marks a length field exceeding MaxRecordLen.
+	ErrTooLarge = errors.New("durable: record length exceeds maximum")
+	// ErrBadLength marks a length field too small to hold version + op.
+	ErrBadLength = errors.New("durable: record length below minimum")
+	// ErrVersion marks an unknown record format version.
+	ErrVersion = errors.New("durable: unknown record version")
+	// ErrUnknownOp marks an op byte outside the defined range.
+	ErrUnknownOp = errors.New("durable: unknown record op")
+)
+
+// Op is the operation type of a WAL record.
+type Op byte
+
+// Operations. Values are part of the on-disk format; never renumber.
+const (
+	// OpClicks appends a batch of attention clicks to the click store.
+	OpClicks Op = 1
+	// OpFlag ors a classification flag onto a server host.
+	OpFlag Op = 2
+	// OpSubscribe places a live subscription for a user.
+	OpSubscribe Op = 3
+	// OpUnsubscribe removes a user's subscription.
+	OpUnsubscribe Op = 4
+	// OpPendingAdd queues a recommendation in the pending ledger.
+	OpPendingAdd Op = 5
+	// OpPendingTake resolves a pending recommendation (accept or reject).
+	OpPendingTake Op = 6
+
+	// opMax is one past the last defined op.
+	opMax = 7
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpClicks:
+		return "clicks"
+	case OpFlag:
+		return "flag"
+	case OpSubscribe:
+		return "subscribe"
+	case OpUnsubscribe:
+		return "unsubscribe"
+	case OpPendingAdd:
+		return "pending-add"
+	case OpPendingTake:
+		return "pending-take"
+	default:
+		return fmt.Sprintf("op(%d)", byte(o))
+	}
+}
+
+// Record is one decoded WAL record: an operation and its JSON payload.
+type Record struct {
+	Op      Op
+	Payload []byte
+}
+
+// EncodedLen returns the full frame size of the record.
+func (r Record) EncodedLen() int { return frameHeaderLen + minBodyLen + len(r.Payload) }
+
+// AppendEncoded appends the record's frame to dst and returns the
+// extended slice.
+func (r Record) AppendEncoded(dst []byte) []byte {
+	bodyLen := minBodyLen + len(r.Payload)
+	var hdr [frameHeaderLen + minBodyLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(bodyLen))
+	hdr[8] = recordVersion
+	hdr[9] = byte(r.Op)
+	crc := crc32.Update(0, castagnoli, hdr[8:10])
+	crc = crc32.Update(crc, castagnoli, r.Payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	dst = append(dst, hdr[:]...)
+	return append(dst, r.Payload...)
+}
+
+// DecodeRecord decodes one frame from the front of buf. It returns the
+// record, the number of bytes consumed, and a typed error. On error the
+// consumed count is 0; callers must not read past the failure point.
+func DecodeRecord(buf []byte) (Record, int, error) {
+	if len(buf) < frameHeaderLen {
+		return Record{}, 0, ErrTruncated
+	}
+	bodyLen := binary.LittleEndian.Uint32(buf[0:4])
+	if bodyLen > MaxRecordLen {
+		return Record{}, 0, ErrTooLarge
+	}
+	if bodyLen < minBodyLen {
+		return Record{}, 0, ErrBadLength
+	}
+	if len(buf) < frameHeaderLen+int(bodyLen) {
+		return Record{}, 0, ErrTruncated
+	}
+	body := buf[frameHeaderLen : frameHeaderLen+int(bodyLen)]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return Record{}, 0, ErrChecksum
+	}
+	if body[0] != recordVersion {
+		return Record{}, 0, fmt.Errorf("%w: %d", ErrVersion, body[0])
+	}
+	op := Op(body[1])
+	if op == 0 || op >= opMax {
+		return Record{}, 0, fmt.Errorf("%w: %d", ErrUnknownOp, body[1])
+	}
+	payload := make([]byte, bodyLen-minBodyLen)
+	copy(payload, body[minBodyLen:])
+	return Record{Op: op, Payload: payload}, frameHeaderLen + int(bodyLen), nil
+}
+
+// Replay decodes records from the front of data until it is exhausted or
+// a record fails to decode. It returns the intact prefix and the typed
+// error that stopped the scan (nil when the log ends cleanly). A torn or
+// corrupt record never discards the records before it — this is the
+// "stop cleanly at the first torn record" recovery rule.
+func Replay(data []byte) ([]Record, error) {
+	var out []Record
+	for len(data) > 0 {
+		rec, n, err := DecodeRecord(data)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+		data = data[n:]
+	}
+	return out, nil
+}
+
+// ---- Operation payloads ----
+//
+// Payloads are JSON so the format stays debuggable (strings <
+// reflection-free binary codecs matter less than being able to read a WAL
+// with jq) and versioned by the frame's version byte.
+
+// ClicksPayload is the OpClicks payload.
+type ClicksPayload struct {
+	Clicks []attention.Click `json:"clicks"`
+}
+
+// FlagPayload is the OpFlag payload. Flag is the store.Flag bitmask,
+// carried as an int to keep this package below the store layer.
+type FlagPayload struct {
+	Host string `json:"host"`
+	Flag int    `json:"flag"`
+}
+
+// SubscriptionState describes one live subscription (OpSubscribe /
+// OpUnsubscribe payloads and the snapshot's subscription table). Filter
+// is parser syntax (eventalg.Parse) with declaration order preserved, so
+// recovered subscriptions render exactly the filter text the originals
+// did.
+type SubscriptionState struct {
+	User    string    `json:"user"`
+	Kind    string    `json:"kind"`
+	FeedURL string    `json:"feed_url,omitempty"`
+	Filter  string    `json:"filter,omitempty"`
+	Reason  string    `json:"reason,omitempty"`
+	At      time.Time `json:"at"`
+}
+
+// TermState is one weighted profile term of a content recommendation.
+type TermState struct {
+	Term  string  `json:"term"`
+	Score float64 `json:"score"`
+}
+
+// RecommendationState is the durable form of a recommendation.
+type RecommendationState struct {
+	Kind    string      `json:"kind"`
+	User    string      `json:"user"`
+	FeedURL string      `json:"feed_url,omitempty"`
+	Filter  string      `json:"filter,omitempty"`
+	Reason  string      `json:"reason,omitempty"`
+	At      time.Time   `json:"at"`
+	Terms   []TermState `json:"terms,omitempty"`
+}
+
+// PendingAddPayload is the OpPendingAdd payload. ID is the ledger ID the
+// live system assigned, so recovery reproduces identical IDs.
+type PendingAddPayload struct {
+	User string              `json:"user"`
+	ID   string              `json:"id"`
+	Seq  int64               `json:"seq"`
+	Rec  RecommendationState `json:"rec"`
+}
+
+// PendingTakePayload is the OpPendingTake payload. Accepted records
+// whether the recommendation was executed (accept) or dropped (reject);
+// At is the decision time, so replaying a reject re-drives the negative
+// feedback with its original timestamp.
+type PendingTakePayload struct {
+	User     string    `json:"user"`
+	ID       string    `json:"id"`
+	Accepted bool      `json:"accepted"`
+	At       time.Time `json:"at,omitzero"`
+}
+
+// State is the snapshot schema: the full durable deployment state at one
+// point in the operation stream. Applying it is equivalent to replaying
+// every operation up to the snapshot point.
+type State struct {
+	Version       int                 `json:"version"`
+	Clicks        []attention.Click   `json:"clicks,omitempty"`
+	Flags         map[string]int      `json:"flags,omitempty"`
+	Subscriptions []SubscriptionState `json:"subscriptions,omitempty"`
+	Pending       []PendingAddPayload `json:"pending,omitempty"`
+	// PendingSeq is the ledger's ID counter, restored so IDs assigned
+	// after recovery never collide with live pending IDs.
+	PendingSeq int64 `json:"pending_seq,omitempty"`
+}
+
+// mustRecord marshals a payload into a Record. Payload structs contain
+// only JSON-encodable fields, so a marshal failure is a programming error.
+func mustRecord(op Op, payload any) Record {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		panic(fmt.Sprintf("durable: encoding %v payload: %v", op, err))
+	}
+	return Record{Op: op, Payload: data}
+}
+
+// ClicksRecord builds an OpClicks record.
+func ClicksRecord(batch []attention.Click) Record {
+	return mustRecord(OpClicks, ClicksPayload{Clicks: batch})
+}
+
+// FlagRecord builds an OpFlag record.
+func FlagRecord(host string, flag int) Record {
+	return mustRecord(OpFlag, FlagPayload{Host: host, Flag: flag})
+}
+
+// SubscribeRecord builds an OpSubscribe record.
+func SubscribeRecord(s SubscriptionState) Record { return mustRecord(OpSubscribe, s) }
+
+// UnsubscribeRecord builds an OpUnsubscribe record.
+func UnsubscribeRecord(s SubscriptionState) Record { return mustRecord(OpUnsubscribe, s) }
+
+// PendingAddRecord builds an OpPendingAdd record.
+func PendingAddRecord(p PendingAddPayload) Record { return mustRecord(OpPendingAdd, p) }
+
+// PendingTakeRecord builds an OpPendingTake record.
+func PendingTakeRecord(p PendingTakePayload) Record { return mustRecord(OpPendingTake, p) }

@@ -231,6 +231,21 @@ func (s *ClickStore) CountFlagged(f Flag) int {
 	return n
 }
 
+// Dump copies out the store's primary state — clicks in arrival order and
+// the flag table — for the durability layer's snapshot capture. The
+// indexes are derived and rebuilt by replaying the clicks.
+func (s *ClickStore) Dump() ([]attention.Click, map[string]Flag) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	clicks := make([]attention.Click, len(s.clicks))
+	copy(clicks, s.clicks)
+	flags := make(map[string]Flag, len(s.flags))
+	for h, f := range s.flags {
+		flags[h] = f
+	}
+	return clicks, flags
+}
+
 // snapshot is the JSON persistence format.
 type snapshot struct {
 	Clicks []attention.Click `json:"clicks"`

@@ -45,6 +45,9 @@ type config struct {
 	autoApply       bool
 	subscriberFor   func(user string) frontend.Subscriber
 	feedPublisher   waif.Publisher
+	dataDir         string
+	syncPolicy      SyncPolicy
+	snapshotEvery   int
 }
 
 func buildConfig(opts []Option) config {
@@ -139,6 +142,28 @@ func WithSubscriberFactory(fn func(user string) frontend.Subscriber) Option {
 // deployment's internal broker.
 func WithFeedPublisher(p waif.Publisher) Option {
 	return func(c *config) { c.feedPublisher = p }
+}
+
+// WithDataDir makes the deployment durable: every state mutation appends
+// to a write-ahead log under dir, periodic snapshots compact it, and
+// construction replays the directory's contents so the deployment resumes
+// where it (or a crashed predecessor) left off. The default, no data dir,
+// keeps all state in memory.
+func WithDataDir(dir string) Option {
+	return func(c *config) { c.dataDir = dir }
+}
+
+// WithSyncPolicy selects when WAL appends reach stable storage (default
+// SyncAsync). Only meaningful together with WithDataDir.
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(c *config) { c.syncPolicy = p }
+}
+
+// WithSnapshotEvery compacts the WAL with a snapshot after every n
+// appended records (default 4096; 0 keeps the default, negative disables
+// automatic compaction). Only meaningful together with WithDataDir.
+func WithSnapshotEvery(n int) Option {
+	return func(c *config) { c.snapshotEvery = n }
 }
 
 // subOptions translates the public queue tuning into broker options.

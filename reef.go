@@ -114,6 +114,61 @@ type PipelineStats struct {
 	FlaggedServers  int `json:"flagged_servers"`
 }
 
+// SyncPolicy selects when write-ahead-log appends reach stable storage on
+// deployments opened with WithDataDir.
+type SyncPolicy int
+
+// Sync policies. The zero value is invalid so defaults stay explicit.
+const (
+	// SyncAsync (default) buffers appends and flushes on a short
+	// background interval: a bounded loss window at near-zero append cost.
+	SyncAsync SyncPolicy = iota + 1
+	// SyncAlways fsyncs every append before acknowledging it.
+	SyncAlways
+	// SyncNever flushes only on snapshot and close; a crash loses the
+	// buffered tail.
+	SyncNever
+)
+
+// StorageInfo describes a deployment's persistence state, served by
+// GET /v1/admin/storage.
+type StorageInfo struct {
+	// Backend is "file" for WithDataDir deployments, "memory" otherwise.
+	Backend string `json:"backend"`
+	// Dir is the data directory (file backend only).
+	Dir string `json:"dir,omitempty"`
+	// Sync is the active sync policy name (file backend only).
+	Sync string `json:"sync,omitempty"`
+	// Generation counts snapshot compactions over the directory lifetime.
+	Generation uint64 `json:"generation"`
+	// WALRecords and WALBytes size the current WAL segment.
+	WALRecords int64 `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+	// Snapshots counts snapshots taken since the deployment opened.
+	Snapshots int64 `json:"snapshots"`
+	// LastSnapshot is when the latest snapshot was written (zero if none).
+	LastSnapshot time.Time `json:"last_snapshot,omitempty"`
+	// RecoveredRecords is how many WAL records replayed at open.
+	RecoveredRecords int64 `json:"recovered_records"`
+	// TornTail reports the WAL ended in a torn record at open; recovery
+	// stopped cleanly at the last intact record.
+	TornTail bool `json:"torn_tail,omitempty"`
+}
+
+// Persister is the optional durability surface of a Deployment. Both
+// built-in deployments and the client SDK implement it; the REST layer
+// maps it to the /v1/admin endpoints and answers 501 for deployments
+// that do not implement it.
+type Persister interface {
+	// StorageInfo reports the persistence backend's state.
+	StorageInfo(ctx context.Context) (StorageInfo, error)
+	// Snapshot forces a compacting snapshot: the full deployment state
+	// becomes the new recovery baseline and the WAL restarts empty. On a
+	// memory-backed deployment it is a no-op. It returns the storage
+	// state after the compaction.
+	Snapshot(ctx context.Context) (StorageInfo, error)
+}
+
 // DeliveryPolicy selects what the deployment's broker does when a
 // subscriber's delivery queue is full.
 type DeliveryPolicy int

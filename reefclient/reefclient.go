@@ -67,7 +67,10 @@ type Client struct {
 	hc   *http.Client
 }
 
-var _ reef.Deployment = (*Client)(nil)
+var (
+	_ reef.Deployment = (*Client)(nil)
+	_ reef.Persister  = (*Client)(nil)
+)
 
 // New builds a client for a server root, e.g. "http://127.0.0.1:7070".
 func New(baseURL string, opts ...Option) *Client {
@@ -211,6 +214,27 @@ func (c *Client) Stats(ctx context.Context) (reef.Stats, error) {
 		return nil, err
 	}
 	return out.Stats, nil
+}
+
+// StorageInfo implements reef.Persister over GET /v1/admin/storage. A
+// server whose deployment has no persistence surface answers with the
+// "unsupported" envelope, surfaced as reef.ErrUnsupported.
+func (c *Client) StorageInfo(ctx context.Context) (reef.StorageInfo, error) {
+	var out reefhttp.StorageResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/admin/storage", nil, &out); err != nil {
+		return reef.StorageInfo{}, err
+	}
+	return out.Storage, nil
+}
+
+// Snapshot implements reef.Persister over POST /v1/admin/snapshot,
+// forcing a compacting snapshot on the server's deployment.
+func (c *Client) Snapshot(ctx context.Context) (reef.StorageInfo, error) {
+	var out reefhttp.StorageResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/admin/snapshot", nil, &out); err != nil {
+		return reef.StorageInfo{}, err
+	}
+	return out.Storage, nil
 }
 
 // Close implements reef.Deployment; the client holds no server-side

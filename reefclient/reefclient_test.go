@@ -40,6 +40,61 @@ func newServer(t *testing.T, seed int64) (*Client, *reef.Centralized, *websim.We
 	return New(ts.URL, WithHTTPClient(ts.Client())), dep, web
 }
 
+// TestClientStorageRoundTrip exercises the Persister surface through the
+// SDK against a file-backed deployment: storage info reports the backend,
+// a forced snapshot advances the generation, and a memory-backed server
+// answers the same calls without error.
+func TestClientStorageRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	model := topics.NewModel(31, 4, 10, 12)
+	wcfg := websim.DefaultConfig(31, t0)
+	wcfg.NumContentServers = 6
+	web := websim.Generate(wcfg, model)
+	dep, err := reef.NewCentralized(
+		reef.WithFetcher(web),
+		reef.WithDataDir(t.TempDir()),
+		reef.WithSyncPolicy(reef.SyncAlways),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = dep.Close() })
+	ts := httptest.NewServer(reefhttp.NewHandler(dep, nil))
+	t.Cleanup(ts.Close)
+	cli := New(ts.URL, WithHTTPClient(ts.Client()))
+
+	info, err := cli.StorageInfo(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Backend != "file" || info.Sync != "always" {
+		t.Fatalf("StorageInfo = %+v, want file backend with always sync", info)
+	}
+	if _, err := cli.IngestClicks(ctx, []reef.Click{{User: "u", URL: "http://a.test/p", At: t0}}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := cli.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Generation != info.Generation+1 || after.Snapshots == 0 {
+		t.Fatalf("Snapshot = %+v, want generation %d", after, info.Generation+1)
+	}
+	if after.WALRecords != 0 {
+		t.Errorf("WAL records after snapshot = %d, want 0", after.WALRecords)
+	}
+
+	// The same calls against a memory-backed deployment stay usable.
+	memCli, _, _ := newServer(t, 32)
+	memInfo, err := memCli.StorageInfo(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memInfo.Backend != "memory" {
+		t.Errorf("memory deployment backend = %q", memInfo.Backend)
+	}
+}
+
 // feedHostPage returns a page URL on a content server that hosts feeds.
 func feedHostPage(t *testing.T, web *websim.Web) (string, *websim.Server) {
 	t.Helper()

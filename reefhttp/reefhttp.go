@@ -18,11 +18,17 @@
 //	POST   /v1/recommendations/{id}/accept     execute one   (body: {"user":U})
 //	POST   /v1/recommendations/{id}/reject     discard one   (body: {"user":U})
 //	GET    /v1/stats                           counters snapshot
+//	GET    /v1/admin/storage                   persistence backend state
+//	POST   /v1/admin/snapshot                  force a compacting snapshot
+//
+// The admin endpoints require the deployment to implement reef.Persister;
+// against one that does not they answer 501 with code "unsupported".
 package reefhttp
 
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net/http"
@@ -95,6 +101,11 @@ type (
 	StatsResponse struct {
 		Stats reef.Stats `json:"stats"`
 	}
+	// StorageResponse reports the persistence backend's state (admin
+	// storage and snapshot endpoints).
+	StorageResponse struct {
+		Storage reef.StorageInfo `json:"storage"`
+	}
 )
 
 // Handler serves the REST surface over any reef.Deployment.
@@ -134,6 +145,10 @@ func (h *Handler) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 		h.route(rw, req, "GET", h.handleStats)
 	case len(seg) == 1 && seg[0] == "recommendations":
 		h.route(rw, req, "GET", h.handleRecommendations)
+	case len(seg) == 2 && seg[0] == "admin" && seg[1] == "storage":
+		h.route(rw, req, "GET", h.handleStorage)
+	case len(seg) == 2 && seg[0] == "admin" && seg[1] == "snapshot":
+		h.route(rw, req, "POST", h.handleSnapshot)
 	case len(seg) == 3 && seg[0] == "recommendations" && (seg[2] == "accept" || seg[2] == "reject"):
 		id, ok := h.pathSegment(rw, seg[1])
 		if !ok {
@@ -300,6 +315,43 @@ func (h *Handler) handleStats(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	h.writeJSON(rw, http.StatusOK, StatsResponse{Stats: stats})
+}
+
+// persister unwraps the deployment's durability surface, answering the
+// 501 envelope when it has none.
+func (h *Handler) persister(rw http.ResponseWriter) (reef.Persister, bool) {
+	p, ok := h.dep.(reef.Persister)
+	if !ok {
+		h.writeDeploymentError(rw, fmt.Errorf("%w: deployment has no persistence surface", reef.ErrUnsupported))
+		return nil, false
+	}
+	return p, true
+}
+
+func (h *Handler) handleStorage(rw http.ResponseWriter, req *http.Request) {
+	p, ok := h.persister(rw)
+	if !ok {
+		return
+	}
+	info, err := p.StorageInfo(req.Context())
+	if err != nil {
+		h.writeDeploymentError(rw, err)
+		return
+	}
+	h.writeJSON(rw, http.StatusOK, StorageResponse{Storage: info})
+}
+
+func (h *Handler) handleSnapshot(rw http.ResponseWriter, req *http.Request) {
+	p, ok := h.persister(rw)
+	if !ok {
+		return
+	}
+	info, err := p.Snapshot(req.Context())
+	if err != nil {
+		h.writeDeploymentError(rw, err)
+		return
+	}
+	h.writeJSON(rw, http.StatusOK, StorageResponse{Storage: info})
 }
 
 // readJSON decodes a bounded request body, writing the error envelope and

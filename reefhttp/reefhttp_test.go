@@ -1,0 +1,199 @@
+package reefhttp_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"reef"
+	"reef/internal/topics"
+	"reef/internal/websim"
+	"reef/reefhttp"
+)
+
+// newTestServer mounts the handler over a durable centralized deployment
+// (data dir backed, so the admin endpoints have a real backend).
+func newTestServer(t *testing.T) (*httptest.Server, *reef.Centralized) {
+	t.Helper()
+	model := topics.NewModel(21, 4, 10, 12)
+	wcfg := websim.DefaultConfig(21, time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC))
+	wcfg.NumContentServers = 8
+	wcfg.NumAdServers = 2
+	wcfg.NumSpamServers = 1
+	wcfg.NumMultimediaServers = 1
+	web := websim.Generate(wcfg, model)
+	dep, err := reef.NewCentralized(
+		reef.WithFetcher(web),
+		reef.WithDataDir(t.TempDir()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = dep.Close() })
+	srv := httptest.NewServer(reefhttp.NewHandler(dep, nil))
+	t.Cleanup(srv.Close)
+	return srv, dep
+}
+
+// do issues one request and decodes the error envelope (if any).
+func do(t *testing.T, method, url, body string) (*http.Response, reefhttp.ErrorBody, string) {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envelope reefhttp.ErrorBody
+	_ = json.Unmarshal(data, &envelope)
+	return resp, envelope, string(data)
+}
+
+// TestHandlerErrorPaths is the table-driven sweep over every handler's
+// failure envelopes: wrong method, bad JSON, invalid arguments, unknown
+// users and IDs, and the admin endpoints — paths the happy-path client
+// round-trip tests never touch.
+func TestHandlerErrorPaths(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	tests := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+		wantAllow  string
+	}{
+		{"unknown path", "GET", "/v1/nope", "", http.StatusNotFound, reefhttp.CodeNotFound, ""},
+		{"path outside v1", "GET", "/v2/stats", "", http.StatusNotFound, reefhttp.CodeNotFound, ""},
+		{"deep unknown path", "GET", "/v1/users/u/sidebars", "", http.StatusNotFound, reefhttp.CodeNotFound, ""},
+
+		{"clicks wrong method", "GET", "/v1/clicks", "", http.StatusMethodNotAllowed, reefhttp.CodeMethodNotAllowed, "POST"},
+		{"events wrong method", "DELETE", "/v1/events", "", http.StatusMethodNotAllowed, reefhttp.CodeMethodNotAllowed, "POST"},
+		{"batch wrong method", "GET", "/v1/events:batch", "", http.StatusMethodNotAllowed, reefhttp.CodeMethodNotAllowed, "POST"},
+		{"stats wrong method", "POST", "/v1/stats", "{}", http.StatusMethodNotAllowed, reefhttp.CodeMethodNotAllowed, "GET"},
+		{"recommendations wrong method", "POST", "/v1/recommendations", "{}", http.StatusMethodNotAllowed, reefhttp.CodeMethodNotAllowed, "GET"},
+		{"subscriptions wrong method", "POST", "/v1/users/u/subscriptions", "{}", http.StatusMethodNotAllowed, reefhttp.CodeMethodNotAllowed, "GET, PUT, DELETE"},
+		{"storage wrong method", "POST", "/v1/admin/storage", "{}", http.StatusMethodNotAllowed, reefhttp.CodeMethodNotAllowed, "GET"},
+		{"snapshot wrong method", "GET", "/v1/admin/snapshot", "", http.StatusMethodNotAllowed, reefhttp.CodeMethodNotAllowed, "POST"},
+		{"decision wrong method", "GET", "/v1/recommendations/r1/accept", "", http.StatusMethodNotAllowed, reefhttp.CodeMethodNotAllowed, "POST"},
+
+		{"clicks bad JSON", "POST", "/v1/clicks", "{not json", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"events bad JSON", "POST", "/v1/events", "[", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"batch bad JSON", "POST", "/v1/events:batch", "nope", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"subscribe bad JSON", "PUT", "/v1/users/u/subscriptions", "{", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"decision bad JSON", "POST", "/v1/recommendations/r1/accept", "{", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+
+		{"click with empty user", "POST", "/v1/clicks", `{"clicks":[{"user":"","url":"http://a.test/"}]}`, http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"click with empty URL", "POST", "/v1/clicks", `{"clicks":[{"user":"u","url":""}]}`, http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"event without attributes", "POST", "/v1/events", `{"attrs":{}}`, http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"subscribe bad scheme", "PUT", "/v1/users/u/subscriptions", `{"feed_url":"ftp://bad"}`, http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"unsubscribe missing feed param", "DELETE", "/v1/users/u/subscriptions", "", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"recommendations missing user", "GET", "/v1/recommendations", "", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"blank user path segment", "GET", "/v1/users/%20/subscriptions", "", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+
+		{"unsubscribe unknown user", "DELETE", "/v1/users/ghost/subscriptions?feed=http%3A%2F%2Ff.test%2Fa.xml", "", http.StatusNotFound, reefhttp.CodeNotFound, ""},
+		{"accept unknown recommendation", "POST", "/v1/recommendations/r999/accept", `{"user":"u"}`, http.StatusNotFound, reefhttp.CodeNotFound, ""},
+		{"reject unknown recommendation", "POST", "/v1/recommendations/r999/reject", `{"user":"u"}`, http.StatusNotFound, reefhttp.CodeNotFound, ""},
+	}
+
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, envelope, raw := do(t, tc.method, srv.URL+tc.path, tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, raw)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type = %q, want application/json", ct)
+			}
+			if envelope.Error.Code != tc.wantCode {
+				t.Errorf("envelope code = %q, want %q (body %s)", envelope.Error.Code, tc.wantCode, raw)
+			}
+			if envelope.Error.Message == "" {
+				t.Error("envelope has no message")
+			}
+			if tc.wantAllow != "" {
+				if allow := resp.Header.Get("Allow"); allow != tc.wantAllow {
+					t.Errorf("Allow = %q, want %q", allow, tc.wantAllow)
+				}
+			}
+		})
+	}
+}
+
+// TestAdminEndpoints drives the happy path of the durability admin
+// surface: storage reporting and forced snapshots over a file-backed
+// deployment.
+func TestAdminEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp, _, raw := do(t, "GET", srv.URL+"/v1/admin/storage", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET storage = %d (%s)", resp.StatusCode, raw)
+	}
+	var storage reefhttp.StorageResponse
+	if err := json.Unmarshal([]byte(raw), &storage); err != nil {
+		t.Fatal(err)
+	}
+	if storage.Storage.Backend != "file" || storage.Storage.Sync == "" {
+		t.Fatalf("storage = %+v, want a file backend with a sync policy", storage.Storage)
+	}
+	gen := storage.Storage.Generation
+
+	resp, _, raw = do(t, "POST", srv.URL+"/v1/admin/snapshot", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST snapshot = %d (%s)", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal([]byte(raw), &storage); err != nil {
+		t.Fatal(err)
+	}
+	if storage.Storage.Generation != gen+1 || storage.Storage.Snapshots == 0 {
+		t.Fatalf("post-snapshot storage = %+v, want generation %d", storage.Storage, gen+1)
+	}
+	if storage.Storage.WALRecords != 0 {
+		t.Errorf("WAL not reset by snapshot: %d records", storage.Storage.WALRecords)
+	}
+}
+
+// bareDeployment implements reef.Deployment but not reef.Persister; the
+// admin endpoints must answer 501 for it. Only the admin routes are hit,
+// so the embedded nil interface is never called.
+type bareDeployment struct{ reef.Deployment }
+
+// TestAdminUnsupported pins the 501 envelope for deployments without a
+// persistence surface.
+func TestAdminUnsupported(t *testing.T) {
+	srv := httptest.NewServer(reefhttp.NewHandler(bareDeployment{}, nil))
+	defer srv.Close()
+	for _, tc := range []struct{ method, path string }{
+		{"GET", "/v1/admin/storage"},
+		{"POST", "/v1/admin/snapshot"},
+	} {
+		resp, envelope, raw := do(t, tc.method, srv.URL+tc.path, "")
+		if resp.StatusCode != http.StatusNotImplemented {
+			t.Errorf("%s %s = %d, want 501 (%s)", tc.method, tc.path, resp.StatusCode, raw)
+		}
+		if envelope.Error.Code != reefhttp.CodeUnsupported {
+			t.Errorf("%s %s code = %q, want unsupported", tc.method, tc.path, envelope.Error.Code)
+		}
+	}
+}
