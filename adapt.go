@@ -369,8 +369,14 @@ type durableReplay struct {
 	// applySub re-applies a recovered subscribe or unsubscribe
 	// recommendation (rec.Kind distinguishes them).
 	applySub func(rec recommend.Recommendation) error
-	// pending is the ledger recovered pending ops land in.
-	pending *pendingSet
+	// restorePending re-queues a recovered pending recommendation under
+	// its original ID; setPendingSeq advances the ledger's ID counter;
+	// takePending removes one for a replayed accept/reject. They are
+	// hooks rather than a ledger pointer so the shard-migration replay
+	// can route each op to the ledger its user now hashes to.
+	restorePending func(user, id string, seq int64, rec recommend.Recommendation)
+	setPendingSeq  func(seq int64)
+	takePending    func(user, id string) (recommend.Recommendation, bool)
 	// acceptRec re-executes an accepted recommendation.
 	acceptRec func(user string, rec recommend.Recommendation) error
 	// rejectFeedback re-drives a reject's negative feedback.
@@ -422,9 +428,9 @@ func (dr durableReplay) applyState(st *durable.State) error {
 		if err != nil {
 			return err
 		}
-		dr.pending.restore(p.User, p.ID, p.Seq, rec)
+		dr.restorePending(p.User, p.ID, p.Seq, rec)
 	}
-	dr.pending.setSeq(st.PendingSeq)
+	dr.setPendingSeq(st.PendingSeq)
 	return nil
 }
 
@@ -472,14 +478,14 @@ func (dr durableReplay) applyRecord(rec durable.Record) error {
 		if err != nil {
 			return err
 		}
-		dr.pending.restore(p.User, p.ID, p.Seq, r)
+		dr.restorePending(p.User, p.ID, p.Seq, r)
 		return nil
 	case durable.OpPendingTake:
 		var p durable.PendingTakePayload
 		if err := json.Unmarshal(rec.Payload, &p); err != nil {
 			return err
 		}
-		r, ok := dr.pending.take(p.User, p.ID)
+		r, ok := dr.takePending(p.User, p.ID)
 		if !ok {
 			return nil
 		}
@@ -497,10 +503,11 @@ func (dr durableReplay) applyRecord(rec durable.Record) error {
 	}
 }
 
-// openJournal builds the persistence journal for a deployment: a file
-// backend when WithDataDir was given, a disabled journal otherwise.
-func openJournal(cfg config) (*durable.Journal, error) {
-	if cfg.dataDir == "" {
+// openShardJournal builds one shard's persistence journal: a file
+// backend over the shard's directory when WithDataDir was given, a
+// disabled journal otherwise.
+func openShardJournal(cfg config, dir string) (*durable.Journal, error) {
+	if dir == "" {
 		return durable.NewJournal(nil), nil
 	}
 	var sp durable.SyncPolicy
@@ -514,7 +521,7 @@ func openJournal(cfg config) (*durable.Journal, error) {
 	default:
 		return nil, fmt.Errorf("%w: unknown sync policy %d", ErrInvalidArgument, cfg.syncPolicy)
 	}
-	b, err := durable.OpenFile(cfg.dataDir, durable.FileOptions{Sync: sp})
+	b, err := durable.OpenFile(dir, durable.FileOptions{Sync: sp})
 	if err != nil {
 		return nil, err
 	}

@@ -3,18 +3,13 @@ package reef
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
-	"reef/internal/core"
+	"reef/internal/attention"
 	"reef/internal/durable"
-	"reef/internal/frontend"
 	"reef/internal/pubsub"
-	"reef/internal/recommend"
 	"reef/internal/simclock"
-	"reef/internal/store"
-	"reef/internal/waif"
 )
 
 // Centralized is the public face of the paper's Figure 1 deployment: a
@@ -22,177 +17,201 @@ import (
 // server-hosted per-user frontends and sidebars so the whole
 // recommendation lifecycle — ingest, recommend, accept, deliver — is
 // drivable through the Deployment interface (and therefore over REST).
+//
+// Internally it is a router over WithShards(n) independent engine
+// shards. Users partition across shards by a stable hash, so every
+// user-addressed call (clicks, subscriptions, recommendations, sidebar)
+// touches exactly one shard's lock domains, while publishes fan out to
+// all shards concurrently. Each shard journals to its own directory and
+// recovers in parallel with its siblings; the default single shard
+// behaves — in memory and on disk — exactly like the pre-sharding
+// deployment.
 type Centralized struct {
-	cfg     config
-	server  *core.Server
-	broker  *pubsub.Broker
-	proxy   *waif.Proxy
-	clock   simclock.Clock
-	pending *pendingSet
-	journal *durable.Journal
+	cfg    config
+	clock  simclock.Clock
+	shards []*engine
 
 	mu     sync.Mutex
 	closed bool
-	fronts map[string]*frontend.Frontend
-	bars   map[string]*frontend.Sidebar
 }
 
 var (
 	_ Deployment = (*Centralized)(nil)
 	_ Persister  = (*Centralized)(nil)
+	_ Sharder    = (*Centralized)(nil)
 )
 
 // NewCentralized builds the centralized deployment. WithFetcher is
 // required: it is the crawler's access to the web and the WAIF proxy's
 // feed poller. With WithDataDir the constructor first recovers the
-// directory's persisted state — snapshot, then intact WAL tail, in order
-// — before arming live journaling, so an unclean predecessor's state is
-// back before the first call lands.
+// directory's persisted state — per shard: snapshot, then intact WAL
+// tail, in order, all shards in parallel — before arming live
+// journaling, so an unclean predecessor's state is back before the
+// first call lands. A data directory written with a different shard
+// count is migrated when either side of the change is 1 (the legacy
+// single-journal layout upgrades in place; see WithShards).
 func NewCentralized(opts ...Option) (*Centralized, error) {
 	cfg := buildConfig(opts)
 	if cfg.fetcher == nil {
 		return nil, fmt.Errorf("%w: NewCentralized requires WithFetcher", ErrInvalidArgument)
 	}
-	journal, err := openJournal(cfg)
+	n, err := resolveShards(cfg)
 	if err != nil {
 		return nil, err
 	}
-	c := &Centralized{
-		cfg:     cfg,
-		clock:   cfg.clock,
-		journal: journal,
-		server: core.NewServer(core.ServerConfig{
-			Fetcher:      cfg.fetcher,
-			Store:        cfg.clickStore,
-			CrawlWorkers: cfg.crawlWorkers,
-			Topic: recommend.TopicConfig{
-				MinHostVisits: cfg.topic.MinHostVisits,
-				InactiveAfter: cfg.topic.InactiveAfter,
-				MinScore:      cfg.topic.MinScore,
-			},
-			Content: recommend.ContentConfig{NumTerms: cfg.content.NumTerms},
-			Journal: journal,
-		}),
-		broker:  pubsub.NewBroker("reef-edge", cfg.clock),
-		pending: newPendingSet(),
-		fronts:  make(map[string]*frontend.Frontend),
-		bars:    make(map[string]*frontend.Sidebar),
+	// Option-compatibility checks run on the explicit count BEFORE
+	// planShards may touch the data directory (fresh-dir meta write,
+	// migration cleanup), and again on an adopted count — the adopt path
+	// makes no writes, so a rejected constructor leaves no trace.
+	checkCombos := func(n int) error {
+		if n <= 1 {
+			return nil
+		}
+		if cfg.clickStore != nil {
+			return fmt.Errorf("%w: WithStore cannot back more than one shard; drop it or use WithShards(1)", ErrInvalidArgument)
+		}
+		if cfg.feedPublisher != nil {
+			// Every shard's WAIF proxy would poll the feeds its users track
+			// and publish each new item to the one caller-owned publisher —
+			// duplicate deliveries for any feed followed from two shards.
+			return fmt.Errorf("%w: WithFeedPublisher cannot fan in from more than one shard; use WithShards(1)", ErrInvalidArgument)
+		}
+		return nil
 	}
-	publisher := cfg.feedPublisher
-	if publisher == nil {
-		publisher = brokerPublisher{c.broker}
+	if err := checkCombos(n); err != nil {
+		return nil, err
 	}
-	c.proxy = waif.New(waif.Config{
-		Fetcher:   cfg.fetcher,
-		Publish:   publisher,
-		PollEvery: cfg.pollEvery,
-	})
-	if err := c.recoverPersisted(); err != nil {
-		c.proxy.Close()
-		c.broker.Close()
-		_ = journal.Close()
+	plan, err := planShards(cfg.dataDir, n)
+	if err != nil {
+		return nil, err
+	}
+	n = plan.n
+	if err := checkCombos(n); err != nil {
+		return nil, err
+	}
+	c := &Centralized{cfg: cfg, clock: cfg.clock, shards: make([]*engine, n)}
+	for i := range c.shards {
+		dir := ""
+		if plan.dirs != nil {
+			dir = plan.dirs[i]
+		}
+		journal, err := openShardJournal(cfg, dir)
+		if err != nil {
+			c.teardownPartial(i)
+			return nil, err
+		}
+		c.shards[i] = newEngine(cfg, i, journal)
+	}
+	fail := func(err error) (*Centralized, error) {
+		c.teardownPartial(n)
 		return nil, fmt.Errorf("reef: recovering %s: %w", cfg.dataDir, err)
 	}
-	journal.Arm(c.captureState, journalSnapshotEvery(cfg))
+	if plan.migrate {
+		if err := c.migrateFrom(plan); err != nil {
+			return fail(err)
+		}
+	} else {
+		// Parallel recovery: every shard replays its own journal
+		// concurrently, so cold-start time scales with the largest shard,
+		// not the sum.
+		if _, err := fanOut(n, func(i int) (struct{}, error) {
+			return struct{}{}, c.shards[i].recover()
+		}); err != nil {
+			return fail(err)
+		}
+		for _, e := range c.shards {
+			e.arm()
+		}
+		if err := ensureShardLayout(cfg.dataDir, n); err != nil {
+			return fail(err)
+		}
+	}
 	return c, nil
 }
 
-// recoverPersisted replays the journal's recovery state: the snapshot
-// baseline first, then every intact WAL record in append order. The
-// journal is still disarmed, so replayed mutations are not re-logged.
-// Clicks re-drive core ingestion so derived state (topic/content
-// profiles, crawl queue) rebuilds exactly as live ingestion built it.
-func (c *Centralized) recoverPersisted() error {
-	st, tail, err := c.journal.Load()
-	if err != nil {
-		return err
-	}
-	apply := func(rec recommend.Recommendation) error {
-		c.mu.Lock()
-		fe := c.frontLocked(rec.User)
-		c.mu.Unlock()
-		return fe.Apply(rec)
-	}
-	return durableReplay{
-		applyClicks: c.server.ReceiveClicks,
-		setFlag:     func(host string, f int) { c.server.Store().SetFlag(host, store.Flag(f)) },
-		applySub:    apply,
-		pending:     c.pending,
-		acceptRec:   func(user string, rec recommend.Recommendation) error { return apply(rec) },
-		rejectFeedback: func(user, feedURL string, at time.Time) {
-			c.server.ObserveEventFeedback(user, feedURL, false, at)
-		},
-	}.run(st, tail)
-}
-
-// captureState assembles the full durable state for a snapshot. The
-// journal holds its exclusive lock while calling it, so no mutation is in
-// flight: the capture is a consistent cut of the operation stream.
-func (c *Centralized) captureState() (*durable.State, error) {
-	clicks, flags := c.server.Store().Dump()
-	st := &durable.State{Version: 1, Clicks: clicks}
-	if len(flags) > 0 {
-		st.Flags = make(map[string]int, len(flags))
-		for h, f := range flags {
-			st.Flags[h] = int(f)
+// teardownPartial closes the first k constructed shards (constructor
+// error paths).
+func (c *Centralized) teardownPartial(k int) {
+	for i := 0; i < k; i++ {
+		if c.shards[i] != nil {
+			c.shards[i].teardown()
+			_ = c.shards[i].journal.Close()
 		}
 	}
-	c.mu.Lock()
-	users := make([]string, 0, len(c.fronts))
-	for u := range c.fronts {
-		users = append(users, u)
-	}
-	sort.Strings(users)
-	fronts := make([]*frontend.Frontend, len(users))
-	for i, u := range users {
-		fronts[i] = c.fronts[u]
-	}
-	c.mu.Unlock()
-	for i, fe := range fronts {
-		for _, rec := range fe.Active() {
-			st.Subscriptions = append(st.Subscriptions, toDurableSub(users[i], rec))
-		}
-	}
-	st.Pending, st.PendingSeq = c.pending.dump()
-	return st, nil
 }
 
-// front returns (creating on first use) the hosted frontend for a user.
-// Caller must hold c.mu.
-func (c *Centralized) frontLocked(user string) *frontend.Frontend {
-	if fe, ok := c.fronts[user]; ok {
-		return fe
+// migrateFrom replays an old shard layout's journals through the new
+// engines — every operation routed to the shard its user now hashes to,
+// server flags broadcast to all shards — then snapshots each shard so
+// the new layout is durable before the old one is retired.
+func (c *Centralized) migrateFrom(plan shardPlan) error {
+	rep := c.routedReplay()
+	for _, dir := range plan.oldDirs {
+		st, tail, err := loadShardSource(dir)
+		if err != nil {
+			return fmt.Errorf("migrating %s: %w", dir, err)
+		}
+		if err := rep.run(st, tail); err != nil {
+			return fmt.Errorf("migrating %s: %w", dir, err)
+		}
 	}
-	bar := frontend.NewSidebar(frontend.Config{
-		Capacity: c.cfg.sidebarCapacity,
-		TTL:      c.cfg.sidebarTTL,
-		Feedback: func(feedURL string, d frontend.Disposition, at time.Time) {
-			if feedURL == "" {
-				return
+	for _, e := range c.shards {
+		e.arm()
+	}
+	if _, err := fanOut(len(c.shards), func(i int) (struct{}, error) {
+		return struct{}{}, c.shards[i].journal.Snapshot()
+	}); err != nil {
+		return fmt.Errorf("snapshotting migrated shards: %w", err)
+	}
+	return finishMigration(c.cfg.dataDir, plan)
+}
+
+// routedReplay builds replay hooks that dispatch each recovered
+// operation to the engine its user hashes to (the user-addressed hooks
+// come from the shared router). Classification flags are global
+// knowledge (an ad server is an ad server for every user), so they
+// broadcast to every shard's store; click batches split per user.
+func (c *Centralized) routedReplay() durableReplay {
+	n := len(c.shards)
+	reps := make([]durableReplay, n)
+	for i, e := range c.shards {
+		reps[i] = e.replay()
+	}
+	dr := routedReplay(reps)
+	dr.applyClicks = func(batch []attention.Click) error {
+		if n == 1 {
+			return reps[0].applyClicks(batch)
+		}
+		groups := make([][]attention.Click, n)
+		for _, cl := range batch {
+			i := shardFor(cl.User, n)
+			groups[i] = append(groups[i], cl)
+		}
+		for i, g := range groups {
+			if len(g) == 0 {
+				continue
 			}
-			c.server.ObserveEventFeedback(user, feedURL, d == frontend.DispositionClicked, at)
-		},
-	})
-	var sub frontend.Subscriber
-	if c.cfg.subscriberFor != nil {
-		sub = c.cfg.subscriberFor(user)
-	} else {
-		sub = tunedSubscriber{broker: c.broker, opts: c.cfg.subOptions()}
+			if err := reps[i].applyClicks(g); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	fe := frontend.NewFrontend(user, sub, c.proxy, bar, c.clock.Now)
-	c.fronts[user] = fe
-	c.bars[user] = bar
-	return fe
+	dr.setFlag = func(host string, f int) {
+		for i := range reps {
+			reps[i].setFlag(host, f)
+		}
+	}
+	return dr
 }
 
-func (c *Centralized) front(user string) (*frontend.Frontend, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil, ErrClosed
-	}
-	return c.frontLocked(user), nil
+// shard returns the engine serving a user.
+func (c *Centralized) shard(user string) *engine {
+	return c.shards[shardFor(user, len(c.shards))]
 }
+
+// ShardCount implements Sharder.
+func (c *Centralized) ShardCount() int { return len(c.shards) }
 
 func (c *Centralized) checkOpen(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
@@ -206,8 +225,10 @@ func (c *Centralized) checkOpen(ctx context.Context) error {
 	return nil
 }
 
-// IngestClicks implements Deployment: the batch lands in the click store
-// and queues page URLs for the next pipeline round.
+// IngestClicks implements Deployment: the whole batch is validated up
+// front, then each click lands in its user's shard — the click store
+// and the crawl queue for the next pipeline round. Multi-shard batches
+// ingest their per-shard groups concurrently.
 func (c *Centralized) IngestClicks(ctx context.Context, clicks []Click) (int, error) {
 	if err := c.checkOpen(ctx); err != nil {
 		return 0, err
@@ -220,15 +241,34 @@ func (c *Centralized) IngestClicks(ctx context.Context, clicks []Click) (int, er
 			return 0, fmt.Errorf("%w: click with empty URL", ErrInvalidArgument)
 		}
 	}
-	if err := c.server.ReceiveClicks(toAttentionClicks(clicks)); err != nil {
+	n := len(c.shards)
+	if n == 1 {
+		if err := c.shards[0].ingestClicks(clicks); err != nil {
+			return 0, err
+		}
+		return len(clicks), nil
+	}
+	groups := make([][]Click, n)
+	for _, cl := range clicks {
+		i := shardFor(cl.User, n)
+		groups[i] = append(groups[i], cl)
+	}
+	if _, err := fanOut(n, func(i int) (struct{}, error) {
+		if len(groups[i]) == 0 {
+			return struct{}{}, nil
+		}
+		return struct{}{}, c.shards[i].ingestClicks(groups[i])
+	}); err != nil {
 		return 0, err
 	}
 	return len(clicks), nil
 }
 
-// PublishEvent implements Deployment. With WithFeedPublisher the event
-// goes to the caller-owned publisher, whose delivery count is not
-// observable from here: a successful publish then reports 0 deliveries.
+// PublishEvent implements Deployment: the event is stamped once and
+// fanned out to every shard's broker concurrently; the result is the
+// total of local deliveries. With WithFeedPublisher the event goes to
+// the caller-owned publisher, whose delivery count is not observable
+// from here: a successful publish then reports 0 deliveries.
 func (c *Centralized) PublishEvent(ctx context.Context, ev Event) (int, error) {
 	if err := c.checkOpen(ctx); err != nil {
 		return 0, err
@@ -243,13 +283,22 @@ func (c *Centralized) PublishEvent(ctx context.Context, ev Event) (int, error) {
 		}
 		return 0, nil
 	}
-	return c.broker.Publish(ctx, pev)
+	n := len(c.shards)
+	if n == 1 {
+		return c.shards[0].broker.Publish(ctx, pev)
+	}
+	one := [1]pubsub.Event{pev}
+	stampEvents(one[:], c.clock.Now)
+	return sumFanOut(n, func(i int) (int, error) {
+		return c.shards[i].broker.Publish(ctx, one[0])
+	})
 }
 
 // PublishBatch implements Deployment: the whole batch is validated up
-// front, then published through the broker's batched fast path (one lock
-// acquisition and match pass for all events). With WithFeedPublisher the
-// events go one by one to the caller-owned publisher.
+// front, stamped once, then fanned out to every shard's batched fast
+// path (one lock acquisition and match pass per shard for all events).
+// With WithFeedPublisher the events go one by one to the caller-owned
+// publisher.
 func (c *Centralized) PublishBatch(ctx context.Context, evs []Event) (int, error) {
 	if err := c.checkOpen(ctx); err != nil {
 		return 0, err
@@ -266,7 +315,14 @@ func (c *Centralized) PublishBatch(ctx context.Context, evs []Event) (int, error
 		}
 		return 0, nil
 	}
-	return c.broker.PublishBatch(ctx, pevs)
+	n := len(c.shards)
+	if n == 1 {
+		return c.shards[0].broker.PublishBatch(ctx, pevs)
+	}
+	stampEvents(pevs, c.clock.Now)
+	return sumFanOut(n, func(i int) (int, error) {
+		return c.shards[i].broker.PublishBatch(ctx, pevs)
+	})
 }
 
 // Subscriptions implements Deployment.
@@ -277,22 +333,11 @@ func (c *Centralized) Subscriptions(ctx context.Context, user string) ([]Subscri
 	if err := validateUser(user); err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	fe, ok := c.fronts[user]
-	c.mu.Unlock()
-	if !ok {
-		return []Subscription{}, nil
-	}
-	active := fe.Active()
-	out := make([]Subscription, 0, len(active))
-	for _, rec := range active {
-		out = append(out, toPublicSubscription(user, rec))
-	}
-	return out, nil
+	return c.shard(user).subscriptions(user), nil
 }
 
 // Subscribe implements Deployment: it places a feed subscription
-// immediately, bypassing the recommendation queue.
+// immediately on the user's shard, bypassing the recommendation queue.
 func (c *Centralized) Subscribe(ctx context.Context, user, feedURL string) (Subscription, error) {
 	if err := c.checkOpen(ctx); err != nil {
 		return Subscription{}, err
@@ -303,25 +348,7 @@ func (c *Centralized) Subscribe(ctx context.Context, user, feedURL string) (Subs
 	if err := validateFeedURL(feedURL); err != nil {
 		return Subscription{}, err
 	}
-	rec := recommend.Recommendation{
-		Kind:    recommend.KindSubscribeFeed,
-		User:    user,
-		FeedURL: feedURL,
-		Filter:  waif.ItemFilter(feedURL),
-		Reason:  "direct API subscription",
-		At:      c.clock.Now(),
-	}
-	fe, err := c.front(user)
-	if err != nil {
-		return Subscription{}, err
-	}
-	if err := c.journal.Record(
-		func() error { return fe.Apply(rec) },
-		func() durable.Record { return durable.SubscribeRecord(toDurableSub(user, rec)) },
-	); err != nil {
-		return Subscription{}, err
-	}
-	return toPublicSubscription(user, rec), nil
+	return c.shard(user).subscribe(user, feedURL)
 }
 
 // Unsubscribe implements Deployment.
@@ -335,38 +362,12 @@ func (c *Centralized) Unsubscribe(ctx context.Context, user, feedURL string) err
 	if err := validateFeedURL(feedURL); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	fe, ok := c.fronts[user]
-	c.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("%w: user %q has no subscriptions", ErrNotFound, user)
-	}
-	found := false
-	for _, rec := range fe.Active() {
-		if rec.FeedURL == feedURL {
-			found = true
-			break
-		}
-	}
-	if !found {
-		return fmt.Errorf("%w: no subscription for feed %q", ErrNotFound, feedURL)
-	}
-	rec := recommend.Recommendation{
-		Kind:    recommend.KindUnsubscribeFeed,
-		User:    user,
-		FeedURL: feedURL,
-		Reason:  "direct API unsubscription",
-		At:      c.clock.Now(),
-	}
-	return c.journal.Record(
-		func() error { return fe.Apply(rec) },
-		func() durable.Record { return durable.UnsubscribeRecord(toDurableSub(user, rec)) },
-	)
+	return c.shard(user).unsubscribe(user, feedURL)
 }
 
 // Recommendations implements Deployment: freshly generated
-// recommendations move from the server's outbox into the pending ledger,
-// where they keep their ID until accepted or rejected.
+// recommendations move from the user's shard's outbox into that shard's
+// pending ledger, where they keep their ID until accepted or rejected.
 func (c *Centralized) Recommendations(ctx context.Context, user string) ([]Recommendation, error) {
 	if err := c.checkOpen(ctx); err != nil {
 		return nil, err
@@ -374,30 +375,7 @@ func (c *Centralized) Recommendations(ctx context.Context, user string) ([]Recom
 	if err := validateUser(user); err != nil {
 		return nil, err
 	}
-	// The outbox drain is destructive, so a journaling failure must not
-	// abort the loop: every drained recommendation still reaches the
-	// in-memory ledger (only its durability is lost), and the first error
-	// is reported after.
-	var firstErr error
-	for _, rec := range c.server.Recommendations(user) {
-		rec := rec
-		var id string
-		var seq int64
-		if err := c.journal.Record(
-			func() error { id, seq = c.pending.add(user, rec); return nil },
-			func() durable.Record {
-				return durable.PendingAddRecord(durable.PendingAddPayload{
-					User: user, ID: id, Seq: seq, Rec: toDurableRec(rec),
-				})
-			},
-		); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return c.pending.list(user), nil
+	return c.shard(user).recommendations(user)
 }
 
 // AcceptRecommendation implements Deployment.
@@ -408,29 +386,12 @@ func (c *Centralized) AcceptRecommendation(ctx context.Context, user, id string)
 	if err := validateUser(user); err != nil {
 		return err
 	}
-	return c.journal.Record(
-		func() error {
-			rec, ok := c.pending.take(user, id)
-			if !ok {
-				return fmt.Errorf("%w: no pending recommendation %q for user %q", ErrNotFound, id, user)
-			}
-			fe, err := c.front(user)
-			if err != nil {
-				return err
-			}
-			return fe.Apply(rec)
-		},
-		func() durable.Record {
-			return durable.PendingTakeRecord(durable.PendingTakePayload{
-				User: user, ID: id, Accepted: true, At: c.clock.Now(),
-			})
-		},
-	)
+	return c.shard(user).acceptRecommendation(user, id)
 }
 
 // RejectRecommendation implements Deployment: the recommendation is
 // dropped and, for feed recommendations, negative feedback reaches the
-// topic recommender.
+// shard's topic recommender.
 func (c *Centralized) RejectRecommendation(ctx context.Context, user, id string) error {
 	if err := c.checkOpen(ctx); err != nil {
 		return err
@@ -438,141 +399,166 @@ func (c *Centralized) RejectRecommendation(ctx context.Context, user, id string)
 	if err := validateUser(user); err != nil {
 		return err
 	}
-	at := c.clock.Now()
-	return c.journal.Record(
-		func() error {
-			rec, ok := c.pending.take(user, id)
-			if !ok {
-				return fmt.Errorf("%w: no pending recommendation %q for user %q", ErrNotFound, id, user)
-			}
-			if rec.FeedURL != "" {
-				c.server.ObserveEventFeedback(user, rec.FeedURL, false, at)
-			}
-			return nil
-		},
-		func() durable.Record {
-			return durable.PendingTakeRecord(durable.PendingTakePayload{
-				User: user, ID: id, Accepted: false, At: at,
-			})
-		},
-	)
+	return c.shard(user).rejectRecommendation(user, id)
 }
 
-// Stats implements Deployment.
+// Stats implements Deployment: counters and gauges sum across shards
+// (one shard reports its counters unchanged), histogram means and
+// maxima keep their meaning (see mergeStats), distinct_servers counts
+// each host once however many shard stores know it, and sharded
+// deployments add a shard<i>_-prefixed load breakdown plus the shard
+// count.
 func (c *Centralized) Stats(ctx context.Context) (Stats, error) {
 	if err := c.checkOpen(ctx); err != nil {
 		return nil, err
 	}
-	out := Stats(c.server.Metrics().Snapshot())
-	out["clicks_stored"] = float64(c.server.Store().Len())
-	out["distinct_servers"] = float64(c.server.Store().DistinctServers())
-	out["feeds_discovered"] = float64(c.server.DistinctFeedsFound())
-	out["upload_bytes"] = float64(c.server.UploadBytes())
-	out["proxy_feeds"] = float64(c.proxy.NumFeeds())
-	for name, v := range c.proxy.Metrics().Snapshot() {
-		out["proxy_"+name] = v
+	n := len(c.shards)
+	if n == 1 {
+		out := c.shards[0].stats()
+		out["shards"] = 1
+		return out, nil
 	}
-	out["pending_recommendations"] = float64(c.pending.size())
-	c.mu.Lock()
-	out["users_with_frontends"] = float64(len(c.fronts))
-	c.mu.Unlock()
-	for name, v := range c.broker.Metrics().Snapshot() {
-		out["broker_"+name] = v
+	perShard := make([]Stats, n)
+	for i, e := range c.shards {
+		perShard[i] = e.stats()
 	}
+	out := mergeStats(perShard)
+	hosts := make(map[string]struct{})
+	for i, e := range c.shards {
+		for _, h := range e.server.Store().Hosts() {
+			hosts[h] = struct{}{}
+		}
+		out[fmt.Sprintf("shard%d_clicks_stored", i)] = perShard[i]["clicks_stored"]
+		out[fmt.Sprintf("shard%d_users_with_frontends", i)] = perShard[i]["users_with_frontends"]
+		out[fmt.Sprintf("shard%d_pending_recommendations", i)] = perShard[i]["pending_recommendations"]
+	}
+	out["distinct_servers"] = float64(len(hosts))
+	out["shards"] = float64(n)
 	return out, nil
 }
 
 // Close implements Deployment. Idempotent. Buffered WAL appends are
-// flushed; no final snapshot is taken (reopening replays the WAL, which
-// exercises the same recovery path a crash would).
+// flushed on every shard; no final snapshot is taken (reopening replays
+// the WALs, which exercises the same recovery path a crash would).
 func (c *Centralized) Close() error {
 	if !c.markClosed() {
 		return nil
 	}
-	c.proxy.Close()
-	c.broker.Close()
-	return c.journal.Close()
+	var firstErr error
+	for _, e := range c.shards {
+		e.teardown()
+		if err := e.journal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Crash closes the deployment WITHOUT flushing buffered WAL appends — the
 // fault-injection hook behind the crash-recovery tests: everything since
-// the last sync is lost, exactly as if the process had died.
+// the last sync is lost on every shard, exactly as if the process had
+// died.
 func (c *Centralized) Crash() error {
 	if !c.markClosed() {
 		return nil
 	}
-	c.proxy.Close()
-	c.broker.Close()
-	return c.journal.Crash()
+	var firstErr error
+	for _, e := range c.shards {
+		e.teardown()
+		if err := e.journal.Crash(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
-// markClosed flips the closed flag and tears down frontends; it reports
-// false if the deployment was already closed.
+// markClosed flips the closed flag; it reports false if the deployment
+// was already closed.
 func (c *Centralized) markClosed() bool {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
-		c.mu.Unlock()
 		return false
 	}
 	c.closed = true
-	fronts := make([]*frontend.Frontend, 0, len(c.fronts))
-	for _, fe := range c.fronts {
-		fronts = append(fronts, fe)
-	}
-	c.mu.Unlock()
-	for _, fe := range fronts {
-		fe.Close()
-	}
 	return true
 }
 
-// StorageInfo implements Persister.
+// StorageInfo implements Persister: per-shard backend states merge into
+// one summary with a per-shard breakdown (see StorageInfo.Shards).
 func (c *Centralized) StorageInfo(ctx context.Context) (StorageInfo, error) {
 	if err := c.checkOpen(ctx); err != nil {
 		return StorageInfo{}, err
 	}
-	return toStorageInfo(c.journal.Info()), nil
+	infos := make([]durable.Info, len(c.shards))
+	for i, e := range c.shards {
+		infos[i] = e.journal.Info()
+	}
+	return mergeStorageInfo(c.cfg.dataDir, infos), nil
 }
 
-// Snapshot implements Persister: it captures the full deployment state as
-// the new recovery baseline and restarts the WAL. Concurrent mutations
-// are excluded for the duration of the capture, so the snapshot is a
-// consistent cut — no record is lost or duplicated across the handoff.
+// Snapshot implements Persister: every shard captures its full state as
+// its new recovery baseline and restarts its WAL, all shards in
+// parallel. Each shard's snapshot is a consistent cut of that shard's
+// operation stream — users never span shards, so no cross-shard
+// operation can straddle the handoff.
 func (c *Centralized) Snapshot(ctx context.Context) (StorageInfo, error) {
 	if err := c.checkOpen(ctx); err != nil {
 		return StorageInfo{}, err
 	}
-	if err := c.journal.Snapshot(); err != nil {
+	if _, err := fanOut(len(c.shards), func(i int) (struct{}, error) {
+		return struct{}{}, c.shards[i].journal.Snapshot()
+	}); err != nil {
 		return StorageInfo{}, err
 	}
-	return toStorageInfo(c.journal.Info()), nil
+	return c.StorageInfo(ctx)
 }
 
 // RunPipeline performs one periodic crawl/analysis round (the paper's
-// nightly batch): crawl queued URLs, flag ad/spam/multimedia servers,
-// grow the corpus, and queue new recommendations.
+// nightly batch) on every shard concurrently: crawl queued URLs, flag
+// ad/spam/multimedia servers, grow the corpus, and queue new
+// recommendations. The returned stats sum across shards.
 func (c *Centralized) RunPipeline(now time.Time) PipelineStats {
-	s := c.server.RunPipeline(now)
-	return PipelineStats{
-		Crawled:         s.Crawled,
-		CrawlErrors:     s.CrawlErrors,
-		FeedsDiscovered: s.FeedsDiscovered,
-		Recommendations: s.Recommendations,
-		FlaggedServers:  s.FlaggedServers,
+	results, _ := fanOut(len(c.shards), func(i int) (PipelineStats, error) {
+		s := c.shards[i].runPipeline(now)
+		return PipelineStats{
+			Crawled:         s.Crawled,
+			CrawlErrors:     s.CrawlErrors,
+			FeedsDiscovered: s.FeedsDiscovered,
+			Recommendations: s.Recommendations,
+			FlaggedServers:  s.FlaggedServers,
+		}, nil
+	})
+	var total PipelineStats
+	for _, s := range results {
+		total.Crawled += s.Crawled
+		total.CrawlErrors += s.CrawlErrors
+		total.FeedsDiscovered += s.FeedsDiscovered
+		total.Recommendations += s.Recommendations
+		total.FlaggedServers += s.FlaggedServers
 	}
+	return total
 }
 
-// PollFeeds polls every due feed through the WAIF proxy, pushing new
-// items to subscribers. It returns feeds polled and items published.
+// PollFeeds polls every due feed through each shard's WAIF proxy,
+// pushing new items to that shard's subscribers. It returns feeds
+// polled and items published, summed across shards.
 func (c *Centralized) PollFeeds(ctx context.Context, now time.Time) (polled, published int) {
-	return c.proxy.PollDue(ctx, now)
+	type counts struct{ polled, published int }
+	results, _ := fanOut(len(c.shards), func(i int) (counts, error) {
+		p, pub := c.shards[i].proxy.PollDue(ctx, now)
+		return counts{p, pub}, nil
+	})
+	for _, r := range results {
+		polled += r.polled
+		published += r.published
+	}
+	return polled, published
 }
 
 // Sidebar returns the user's displayed events, oldest first.
 func (c *Centralized) Sidebar(user string) []SidebarItem {
-	c.mu.Lock()
-	bar, ok := c.bars[user]
-	c.mu.Unlock()
+	bar, ok := c.shard(user).sidebar(user)
 	if !ok {
 		return nil
 	}
@@ -582,9 +568,7 @@ func (c *Centralized) Sidebar(user string) []SidebarItem {
 // ClickItem simulates the user opening a sidebar item: positive feedback
 // fires and the click re-enters the attention stream (closed loop).
 func (c *Centralized) ClickItem(ctx context.Context, user string, itemID int64, now time.Time) (string, bool) {
-	c.mu.Lock()
-	bar, ok := c.bars[user]
-	c.mu.Unlock()
+	bar, ok := c.shard(user).sidebar(user)
 	if !ok {
 		return "", false
 	}
@@ -601,9 +585,7 @@ func (c *Centralized) ClickItem(ctx context.Context, user string, itemID int64, 
 // ExpireSidebar expires items older than the sidebar TTL, firing negative
 // feedback for each.
 func (c *Centralized) ExpireSidebar(user string, now time.Time) int {
-	c.mu.Lock()
-	bar, ok := c.bars[user]
-	c.mu.Unlock()
+	bar, ok := c.shard(user).sidebar(user)
 	if !ok {
 		return 0
 	}
@@ -612,17 +594,26 @@ func (c *Centralized) ExpireSidebar(user string, now time.Time) int {
 
 // SidebarStats reports a user's lifetime sidebar counters.
 func (c *Centralized) SidebarStats(user string) (shown, clicked, deleted, expired int64) {
-	c.mu.Lock()
-	bar, ok := c.bars[user]
-	c.mu.Unlock()
+	bar, ok := c.shard(user).sidebar(user)
 	if !ok {
 		return 0, 0, 0, 0
 	}
 	return bar.Stats()
 }
 
-// FlaggedServers reports how many servers carry the named flag
-// ("ad", "spam", "multimedia", "crawled").
+// FlaggedServers reports how many distinct servers carry the named flag
+// ("ad", "spam", "multimedia", "crawled") across all shards. A host two
+// shards both classified counts once.
 func (c *Centralized) FlaggedServers(flag string) int {
-	return c.server.Store().CountFlagged(storeFlag(flag))
+	f := storeFlag(flag)
+	if len(c.shards) == 1 {
+		return c.shards[0].server.Store().CountFlagged(f)
+	}
+	hosts := make(map[string]struct{})
+	for _, e := range c.shards {
+		for _, h := range e.server.Store().FlaggedHosts(f) {
+			hosts[h] = struct{}{}
+		}
+	}
+	return len(hosts)
 }

@@ -12,7 +12,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sync"
 	"time"
 
 	"reef/internal/eventalg"
@@ -42,54 +41,10 @@ type BenchFile struct {
 
 // measure runs fn ops times across the given number of workers (1 =
 // serial) and reports throughput, allocations per op, and per-op latency
-// quantiles. Each worker records latencies into its own preallocated
-// buffer so the timed region carries no shared lock; the buffers feed one
-// metrics.Histogram — the same instrument the experiment harnesses use —
-// after the clock stops.
+// quantiles. It is measureEach (shard.go) with one shared op closure;
+// workers there each get their own scratch.
 func measure(name string, ops, workers int, fn func(i int)) BenchResult {
-	if workers < 1 {
-		workers = 1
-	}
-	per := ops / workers
-	lats := make([][]float64, workers)
-	for w := range lats {
-		lats[w] = make([]float64, 0, per)
-	}
-	var before, after runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			base := w * per
-			for i := base; i < base+per; i++ {
-				t0 := time.Now()
-				fn(i)
-				lats[w] = append(lats[w], float64(time.Since(t0).Nanoseconds())/1e3)
-			}
-		}(w)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
-	hist := &metrics.Histogram{}
-	for _, ls := range lats {
-		for _, v := range ls {
-			hist.Observe(v)
-		}
-	}
-	done := per * workers
-	return BenchResult{
-		Name:        name,
-		Ops:         done,
-		OpsPerSec:   float64(done) / elapsed.Seconds(),
-		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(done),
-		P50Micros:   hist.Quantile(0.5),
-		P99Micros:   hist.Quantile(0.99),
-	}
+	return measureEach(name, ops, workers, func() func(int) { return fn })
 }
 
 // writeBenchFile writes one BENCH_*.json trajectory file.

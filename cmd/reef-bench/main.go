@@ -1,24 +1,30 @@
 // Command reef-bench regenerates every table and figure of the paper's
 // evaluation (DESIGN.md §4), plus the substrate micro-benchmarks. With no
 // arguments it runs the full suite at paper scale; pass experiment IDs
-// (e1 e2 e3 f1 f2 a1 a2 a3 publish rank recovery) to run a subset, and
-// -quick for
-// a reduced-scale smoke run. The publish, rank and recovery benchmarks
-// write BENCH_publish.json, BENCH_rank.json and BENCH_recovery.json
-// (ops/sec, allocs/op, p50/p99) into -benchdir so later PRs have a
-// performance trajectory to beat.
+// (e1 e2 e3 f1 f2 a1 a2 a3 publish rank recovery shard) to run a
+// subset, and -quick for a reduced-scale smoke run. The publish, rank,
+// recovery and shard benchmarks write BENCH_publish.json,
+// BENCH_rank.json, BENCH_recovery.json and BENCH_shard.json (ops/sec,
+// allocs/op, p50/p99) into -benchdir so later PRs have a performance
+// trajectory to beat.
 //
-//	reef-bench                 # full suite
-//	reef-bench e1 e3           # just E1 and E3
-//	reef-bench -quick e1       # fast scaled-down E1
-//	reef-bench publish rank    # substrate benchmarks only
-//	reef-bench -quick recovery # durability: WAL, snapshot, cold start
+//	reef-bench                      # full suite
+//	reef-bench e1 e3                # just E1 and E3
+//	reef-bench -quick e1            # fast scaled-down E1
+//	reef-bench publish rank         # substrate benchmarks only
+//	reef-bench -quick recovery      # durability: WAL, snapshot, cold start
+//	reef-bench publish -shards 1,2,4,8   # publish sweep across shard counts
+//
+// -shards (accepted before or after the experiment IDs) selects the
+// shard counts the sweep runs; giving it alongside "publish" also runs
+// the shard sweep, matching the CI invocation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,11 +39,42 @@ func run() int {
 	quick := flag.Bool("quick", false, "run at reduced scale for a fast smoke test")
 	seed := flag.Int64("seed", 2006, "random seed for all experiments")
 	benchdir := flag.String("benchdir", ".", "directory for BENCH_*.json trajectory files")
+	shardsFlag := flag.String("shards", "", "comma-separated shard counts for the shard sweep, e.g. 1,2,4,8")
 	flag.Parse()
 
+	// flag.Parse stops at the first experiment ID, so "reef-bench publish
+	// -shards 1,2,4,8" leaves -shards in the positional args; pick it up.
 	wanted := map[string]bool{}
-	for _, a := range flag.Args() {
-		wanted[strings.ToLower(a)] = true
+	args := flag.Args()
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		if !strings.HasPrefix(arg, "-") {
+			wanted[strings.ToLower(arg)] = true
+			continue
+		}
+		name := strings.TrimLeft(arg, "-")
+		if v, ok := strings.CutPrefix(name, "shards="); ok {
+			*shardsFlag = v
+			continue
+		}
+		if name == "shards" && i+1 < len(args) {
+			*shardsFlag = args[i+1]
+			i++
+			continue
+		}
+		// Anything else dash-prefixed here would otherwise be swallowed as
+		// an unknown experiment ID and silently skipped.
+		fmt.Fprintf(os.Stderr, "reef-bench: flag %q must come before the experiment IDs (only -shards may follow them)\n", arg)
+		return 2
+	}
+	shardCounts, err := parseShardCounts(*shardsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reef-bench: %v\n", err)
+		return 2
+	}
+	// -shards alongside the publish benchmark also runs the sweep.
+	if len(shardCounts) > 0 && wanted["publish"] {
+		wanted["shard"] = true
 	}
 	all := len(wanted) == 0
 
@@ -53,6 +90,7 @@ func run() int {
 	bpopt := BenchPublishOptions{OutDir: *benchdir}
 	bropt := BenchRankOptions{Seed: *seed, OutDir: *benchdir}
 	brecopt := BenchRecoveryOptions{Seed: *seed, OutDir: *benchdir}
+	bshopt := BenchShardOptions{Shards: shardCounts, OutDir: *benchdir}
 	if *quick {
 		e1opt.Users, e1opt.Days, e1opt.Scale = 3, 10, 0.15
 		e3opt.Stories, e3opt.AttendedPages, e3opt.Trials = 200, 1500, 2
@@ -63,6 +101,7 @@ func run() int {
 		bpopt.Ops = 20_000
 		bropt.Docs, bropt.Ops = 1_000, 100
 		brecopt.Clicks, brecopt.Events = 2_000, 5_000
+		bshopt.Ops, bshopt.ChurnUsers = 400, 800
 	}
 
 	suite := []exp{
@@ -77,6 +116,7 @@ func run() int {
 		{"publish", func() experiments.Result { return benchPublish(bpopt) }},
 		{"rank", func() experiments.Result { return benchRank(bropt) }},
 		{"recovery", func() experiments.Result { return benchRecovery(brecopt) }},
+		{"shard", func() experiments.Result { return benchShard(bshopt) }},
 	}
 
 	ranF := false // f1 and f2 share one table; print once
@@ -96,4 +136,20 @@ func run() int {
 		fmt.Printf("[%s finished in %.1fs]\n\n", strings.ToUpper(e.id), time.Since(start).Seconds())
 	}
 	return 0
+}
+
+// parseShardCounts parses the -shards list ("1,2,4,8").
+func parseShardCounts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shards entry %q (want positive integers, e.g. 1,2,4,8)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

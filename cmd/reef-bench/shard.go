@@ -1,0 +1,281 @@
+// Shard sweep: the deployment-level publish path at 1..N engine shards,
+// alone and under a fixed subscription-churn load. The churn load
+// models what a production deployment actually serves concurrently with
+// publishes: users joining and leaving feeds. Subscription management
+// routes to exactly one shard and its broker write-lock work scales
+// with that shard's population, so sharding shrinks the churn bill and
+// returns the reclaimed capacity to publishers — that reclaimed
+// headroom (plus, on multi-core runners, the split lock domains) is the
+// speedup the sweep measures. Emits BENCH_shard.json.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reef"
+	"reef/internal/experiments"
+	"reef/internal/metrics"
+	"reef/internal/websim"
+)
+
+// nopFetcher satisfies websim.Fetcher without a synthetic web: the
+// sweep never crawls or polls, so every fetch is a cache miss.
+type nopFetcher struct{}
+
+func (nopFetcher) Fetch(url string) (*websim.Resource, error) {
+	return nil, fmt.Errorf("bench: %s not cached", url)
+}
+
+// BenchShardOptions tunes the shard sweep.
+type BenchShardOptions struct {
+	Shards       []int // shard counts to sweep (default 1,2,4,8)
+	HotUsers     int   // subscribers of the published feed (delivery fan-out)
+	ChurnUsers   int   // subscribers the churn load cycles through
+	Ops          int   // measured publish batches per configuration
+	BatchSize    int
+	ChurnHz      float64 // target subscription churn rate (unsub+resub pairs/sec)
+	ChurnWorkers int
+	OutDir       string
+}
+
+// benchShard sweeps WithShards over the publish path. Each shard count
+// gets two measured rows — publish alone, and publish while churn
+// workers hold the deployment to a fixed subscription-churn rate — plus
+// a churn row reporting the achieved rate and per-op latency.
+func benchShard(opt BenchShardOptions) experiments.Result {
+	if len(opt.Shards) == 0 {
+		opt.Shards = []int{1, 2, 4, 8}
+	}
+	if opt.HotUsers <= 0 {
+		opt.HotUsers = 50
+	}
+	if opt.ChurnUsers <= 0 {
+		opt.ChurnUsers = 2000
+	}
+	if opt.Ops <= 0 {
+		opt.Ops = 2000
+	}
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 8
+	}
+	if opt.ChurnHz <= 0 {
+		opt.ChurnHz = 20_000
+	}
+	if opt.ChurnWorkers <= 0 {
+		opt.ChurnWorkers = 8
+	}
+	ctx := context.Background()
+	workers := runtime.GOMAXPROCS(0)
+
+	var results []BenchResult
+	values := map[string]float64{}
+	for _, shards := range opt.Shards {
+		dep, err := reef.NewCentralized(
+			reef.WithFetcher(nopFetcher{}),
+			reef.WithShards(shards),
+			reef.WithQueueSize(1),
+		)
+		if err != nil {
+			panic(err)
+		}
+		hotFeed := "http://bench.test/hot"
+		churnFeed := "http://bench.test/churny"
+		for i := 0; i < opt.HotUsers; i++ {
+			if _, err := dep.Subscribe(ctx, fmt.Sprintf("hot-%04d", i), hotFeed); err != nil {
+				panic(err)
+			}
+		}
+		churnUsers := make([]string, opt.ChurnUsers)
+		for i := range churnUsers {
+			churnUsers[i] = fmt.Sprintf("churn-%05d", i)
+			if _, err := dep.Subscribe(ctx, churnUsers[i], churnFeed); err != nil {
+				panic(err)
+			}
+		}
+		proto := reef.Event{Attrs: map[string]string{
+			"type": "feed-item", "feed": hotFeed, "title": "t", "link": "http://bench.test/item",
+		}}
+		// Each publisher worker fills its own batch slice: the deployment
+		// stamps events in place before fanning out, so the slice must not
+		// be shared across concurrent publishers.
+		publishOpFor := func() func(int) {
+			local := make([]reef.Event, opt.BatchSize)
+			return func(int) {
+				for i := range local {
+					local[i] = proto
+				}
+				if _, err := dep.PublishBatch(ctx, local); err != nil {
+					panic(err)
+				}
+			}
+		}
+
+		pure := measureEach(fmt.Sprintf("publish_shards%d", shards), opt.Ops, workers, publishOpFor)
+		results = append(results, perEvent(pure, opt.BatchSize))
+
+		// Fixed-rate churn load: every pair unsubscribes and resubscribes
+		// one user of the churn population, routed to that user's shard.
+		churnWorkers := opt.ChurnWorkers
+		var stop atomic.Bool
+		var churned atomic.Int64
+		churnLats := make([][]float64, churnWorkers)
+		var cwg sync.WaitGroup
+		churnStart := time.Now()
+		for w := 0; w < churnWorkers; w++ {
+			cwg.Add(1)
+			go func(w int) {
+				defer cwg.Done()
+				perWorker := opt.ChurnHz / float64(churnWorkers)
+				var mine []string
+				for i := w; i < len(churnUsers); i += churnWorkers {
+					mine = append(mine, churnUsers[i])
+				}
+				start := time.Now()
+				done, idx := 0, 0
+				for !stop.Load() {
+					target := int(time.Since(start).Seconds() * perWorker)
+					if done >= target {
+						time.Sleep(200 * time.Microsecond)
+						continue
+					}
+					u := mine[idx%len(mine)]
+					idx++
+					t0 := time.Now()
+					if err := dep.Unsubscribe(ctx, u, churnFeed); err != nil {
+						panic(err)
+					}
+					if _, err := dep.Subscribe(ctx, u, churnFeed); err != nil {
+						panic(err)
+					}
+					churnLats[w] = append(churnLats[w], float64(time.Since(t0).Nanoseconds())/1e3)
+					done++
+					churned.Add(1)
+				}
+			}(w)
+		}
+		loaded := measureEach(fmt.Sprintf("publish_churn_shards%d", shards), opt.Ops, workers, publishOpFor)
+		stop.Store(true)
+		cwg.Wait()
+		churnElapsed := time.Since(churnStart).Seconds()
+		// The global Mallocs delta includes the concurrent churn workers'
+		// allocations, so per-publish allocs would be churn noise here.
+		loaded.AllocsPerOp = 0
+		results = append(results, perEvent(loaded, opt.BatchSize))
+
+		churnHist := &metrics.Histogram{}
+		for _, ls := range churnLats {
+			for _, v := range ls {
+				churnHist.Observe(v)
+			}
+		}
+		achieved := float64(churned.Load()) / churnElapsed
+		results = append(results, BenchResult{
+			Name:      fmt.Sprintf("churn_shards%d", shards),
+			Ops:       int(churned.Load()),
+			OpsPerSec: achieved,
+			P50Micros: churnHist.Quantile(0.5),
+			P99Micros: churnHist.Quantile(0.99),
+		})
+		values[fmt.Sprintf("publish_shards%d_ops_per_sec", shards)] = perEvent(pure, opt.BatchSize).OpsPerSec
+		values[fmt.Sprintf("publish_churn_shards%d_ops_per_sec", shards)] = perEvent(loaded, opt.BatchSize).OpsPerSec
+		values[fmt.Sprintf("churn_shards%d_achieved_hz", shards)] = achieved
+
+		if err := dep.Close(); err != nil {
+			panic(err)
+		}
+	}
+
+	if err := writeBenchFile(opt.OutDir, "shard", results); err != nil {
+		fmt.Fprintf(os.Stderr, "reef-bench: writing BENCH_shard.json: %v\n", err)
+	}
+	res := benchTable("BENCH — Sharded engine publish sweep (users partitioned across N engine shards)", results)
+	res.Values = values
+	res.Table.AddNote("%d hot subscribers, %d churn subscribers, batch %d, %d publisher worker(s), churn target %.0f pairs/sec (%d workers)",
+		opt.HotUsers, opt.ChurnUsers, opt.BatchSize, workers, opt.ChurnHz, opt.ChurnWorkers)
+	first, last := opt.Shards[0], opt.Shards[len(opt.Shards)-1]
+	if base := values[fmt.Sprintf("publish_churn_shards%d_ops_per_sec", first)]; base > 0 {
+		top := values[fmt.Sprintf("publish_churn_shards%d_ops_per_sec", last)]
+		res.Values["churn_publish_speedup"] = top / base
+		res.Table.AddNote("publish under churn, %d vs %d shards: %.2fx (parallel fan-out needs cores: on GOMAXPROCS=1 runners publish work is conserved and this ratio stays ~1)",
+			last, first, top/base)
+	}
+	if base := values[fmt.Sprintf("churn_shards%d_achieved_hz", first)]; base > 0 {
+		top := values[fmt.Sprintf("churn_shards%d_achieved_hz", last)]
+		res.Values["churn_speedup"] = top / base
+		res.Table.AddNote("subscription churn sustained, %d vs %d shards: %.2fx — the broker write-lock domain is the 1-shard ceiling; churn routes to one shard and its index-removal cost scales with per-shard population",
+			last, first, top/base)
+	}
+	return res
+}
+
+// measureEach is measure with a per-worker op closure, for ops that
+// need worker-local scratch.
+func measureEach(name string, ops, workers int, mk func() func(int)) BenchResult {
+	if workers < 1 {
+		workers = 1
+	}
+	per := ops / workers
+	if per < 1 {
+		per = 1
+	}
+	lats := make([][]float64, workers)
+	fns := make([]func(int), workers)
+	for w := range fns {
+		fns[w] = mk()
+		lats[w] = make([]float64, 0, per)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn := fns[w]
+			base := w * per
+			for i := base; i < base+per; i++ {
+				t0 := time.Now()
+				fn(i)
+				lats[w] = append(lats[w], float64(time.Since(t0).Nanoseconds())/1e3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	hist := &metrics.Histogram{}
+	for _, ls := range lats {
+		for _, v := range ls {
+			hist.Observe(v)
+		}
+	}
+	done := per * workers
+	return BenchResult{
+		Name:        name,
+		Ops:         done,
+		OpsPerSec:   float64(done) / elapsed.Seconds(),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(done),
+		P50Micros:   hist.Quantile(0.5),
+		P99Micros:   hist.Quantile(0.99),
+	}
+}
+
+// perEvent renormalizes a batched row to per-event figures so rows
+// compare across batch sizes.
+func perEvent(r BenchResult, batch int) BenchResult {
+	n := float64(batch)
+	r.Ops *= batch
+	r.OpsPerSec *= n
+	r.AllocsPerOp /= n
+	r.P50Micros /= n
+	r.P99Micros /= n
+	return r
+}

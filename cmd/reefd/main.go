@@ -6,11 +6,18 @@
 //
 //	reefd -addr :7070 -pipeline 30s -seed 2006
 //	reefd -data-dir /var/lib/reef -sync always    # durable deployment
+//	reefd -data-dir /var/lib/reef -shards 8       # 8 engine shards
 //
 // With -data-dir the deployment journals every state change to a
 // write-ahead log and recovers it on startup; -sync picks the WAL
 // durability policy (async, always, never) and -snapshot-every the
-// compaction cadence in records.
+// compaction cadence in records. -shards partitions users across N
+// independent engine shards (per-shard journals under shard-<i>/; a
+// legacy single-journal directory migrates in place on first open).
+//
+// reefd shuts down gracefully on SIGINT/SIGTERM: the HTTP listener
+// drains in-flight requests, the pipeline ticker stops, and the
+// deployment closes so the final WAL segment is synced instead of torn.
 //
 // Endpoints (see package reefhttp for the full wire contract):
 //
@@ -30,11 +37,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"reef"
@@ -52,9 +63,10 @@ func main() {
 	dataDir := flag.String("data-dir", "", "data directory for WAL + snapshot persistence (empty = in-memory)")
 	syncMode := flag.String("sync", "async", "WAL sync policy: async, always, never")
 	snapshotEvery := flag.Int("snapshot-every", 0, "snapshot compaction after N WAL records (0 = default 4096, <0 disables)")
+	shards := flag.Int("shards", 0, "number of independent engine shards users partition across (0 = adopt the data directory's existing count, default 1)")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *scale, *pipelineEvery, *pollEvery, *dataDir, *syncMode, *snapshotEvery); err != nil {
+	if err := run(*addr, *seed, *scale, *pipelineEvery, *pollEvery, *dataDir, *syncMode, *snapshotEvery, *shards); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
@@ -74,7 +86,7 @@ func syncPolicy(mode string) (reef.SyncPolicy, error) {
 	}
 }
 
-func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.Duration, dataDir, syncMode string, snapshotEvery int) error {
+func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.Duration, dataDir, syncMode string, snapshotEvery, shards int) error {
 	model := topics.NewModel(seed, 16, 50, 80)
 	wcfg := websim.DefaultConfig(seed, time.Now().UTC())
 	wcfg.NumContentServers = int(float64(wcfg.NumContentServers) * scale)
@@ -84,6 +96,16 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 	opts := []reef.Option{
 		reef.WithFetcher(web),
 		reef.WithPollInterval(pollEvery),
+	}
+	// 0 leaves WithShards off: an existing data directory keeps its
+	// shard count, everything else gets the single-engine default.
+	// Anything negative is a typo, not a request to adopt — fail loudly
+	// like the library does.
+	if shards < 0 {
+		return fmt.Errorf("reefd: -shards %d is invalid (want 0 to adopt, or a positive count)", shards)
+	}
+	if shards > 0 {
+		opts = append(opts, reef.WithShards(shards))
 	}
 	if dataDir != "" {
 		sp, err := syncPolicy(syncMode)
@@ -100,14 +122,21 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 	if err != nil {
 		return fmt.Errorf("reefd: %w", err)
 	}
-	defer func() { _ = dep.Close() }()
+	// Closed explicitly on the shutdown path below; this catches the
+	// error returns before the server starts.
+	depClosed := false
+	defer func() {
+		if !depClosed {
+			_ = dep.Close()
+		}
+	}()
 	if dataDir != "" {
 		info, err := dep.StorageInfo(context.Background())
 		if err != nil {
 			return fmt.Errorf("reefd: %w", err)
 		}
-		log.Printf("durable: dir=%s sync=%s generation=%d recovered=%d records torn_tail=%v",
-			info.Dir, info.Sync, info.Generation, info.RecoveredRecords, info.TornTail)
+		log.Printf("durable: dir=%s sync=%s shards=%d generation=%d recovered=%d records torn_tail=%v",
+			info.Dir, info.Sync, dep.ShardCount(), info.Generation, info.RecoveredRecords, info.TornTail)
 	}
 
 	mux := http.NewServeMux()
@@ -137,11 +166,39 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 			}
 		}
 	}()
-	defer func() { close(stop); <-done }()
+	var stopOnce sync.Once
+	stopPipeline := func() { stopOnce.Do(func() { close(stop); <-done }) }
+	defer stopPipeline()
 
-	log.Printf("reefd listening on %s (web scale %.2f, pipeline every %s)", addr, scale, pipelineEvery)
-	if err := http.ListenAndServe(addr, mux); err != nil {
+	// Serve until SIGINT/SIGTERM, then drain: in-flight requests finish
+	// (bounded by the shutdown timeout), the pipeline ticker stops, and
+	// the deployment closes so the final WAL segment lands synced.
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	srv := &http.Server{Addr: addr, Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	log.Printf("reefd listening on %s (web scale %.2f, %d shard(s), pipeline every %s)", addr, scale, dep.ShardCount(), pipelineEvery)
+
+	select {
+	case err := <-serveErr:
 		return fmt.Errorf("reefd: %w", err)
+	case <-ctx.Done():
 	}
+	log.Print("reefd: signal received, draining")
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shutCancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("reefd: shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("reefd: serve: %v", err)
+	}
+	stopPipeline()
+	depClosed = true
+	if err := dep.Close(); err != nil {
+		return fmt.Errorf("reefd: closing deployment: %w", err)
+	}
+	log.Print("reefd: shut down cleanly")
 	return nil
 }

@@ -11,13 +11,19 @@
 // This package is the public API: the Deployment interface with its two
 // implementations — NewCentralized (the paper's Figure 1 server) and
 // NewDistributed (the Figure 2 WAIF-peer pipeline) — plus functional
-// options and the sentinel error set. Deployments opened with
-// WithDataDir persist their state through a write-ahead log and
-// compacting snapshots (internal/durable) and recover it on reopen; the
-// Persister interface exposes the storage surface. The reefhttp
-// subpackage serves any Deployment over a versioned REST surface, and
-// reefclient is the Go SDK for it (itself a Deployment). See DESIGN.md
-// for the interface, route, error-model and durability reference.
+// options and the sentinel error set. WithShards(n) partitions a
+// deployment's users across n independent engine shards behind a
+// stable hash router: user-addressed calls touch one shard, publishes
+// fan out to all shards concurrently, and each shard journals and
+// recovers independently (the Sharder interface reports the count).
+// Deployments opened with WithDataDir persist their state through a
+// write-ahead log and compacting snapshots (internal/durable) — one
+// journal per shard — and recover it on reopen, all shards in
+// parallel; the Persister interface exposes the storage surface. The
+// reefhttp subpackage serves any Deployment over a versioned REST
+// surface, and reefclient is the Go SDK for it (itself a Deployment).
+// See DESIGN.md for the interface, route, error-model, sharding and
+// durability reference.
 //
 // The components live under internal/: the pub-sub substrate (eventalg,
 // pubsub), the IR toolkit (ir), the Web and workload simulation (websim,

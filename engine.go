@@ -1,0 +1,404 @@
+package reef
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"reef/internal/core"
+	"reef/internal/durable"
+	"reef/internal/frontend"
+	"reef/internal/pubsub"
+	"reef/internal/recommend"
+	"reef/internal/simclock"
+	"reef/internal/store"
+	"reef/internal/waif"
+)
+
+// engine is one shard of the centralized deployment: a complete
+// per-user-partition state machine — core server (click store, crawler,
+// recommenders), edge broker, WAIF proxy, hosted frontends/sidebars,
+// pending-recommendation ledger and journal. The Centralized router owns
+// N of these and addresses each user's state to exactly one of them; the
+// engine itself knows nothing about its siblings, so its lock domains
+// (broker RWMutex, journal mutex, frontend map) never contend across
+// shards.
+type engine struct {
+	idx     int
+	cfg     config
+	server  *core.Server
+	broker  *pubsub.Broker
+	proxy   *waif.Proxy
+	clock   simclock.Clock
+	pending *pendingSet
+	journal *durable.Journal
+
+	mu     sync.Mutex
+	closed bool
+	fronts map[string]*frontend.Frontend
+	bars   map[string]*frontend.Sidebar
+}
+
+// newEngine builds one shard over an already-open journal. The journal
+// is still disarmed; the caller recovers (directly or through the
+// migration replay) and then arms it.
+func newEngine(cfg config, idx int, journal *durable.Journal) *engine {
+	e := &engine{
+		idx:     idx,
+		cfg:     cfg,
+		clock:   cfg.clock,
+		journal: journal,
+		server: core.NewServer(core.ServerConfig{
+			Fetcher:      cfg.fetcher,
+			Store:        cfg.clickStore,
+			CrawlWorkers: cfg.crawlWorkers,
+			Topic: recommend.TopicConfig{
+				MinHostVisits: cfg.topic.MinHostVisits,
+				InactiveAfter: cfg.topic.InactiveAfter,
+				MinScore:      cfg.topic.MinScore,
+			},
+			Content: recommend.ContentConfig{NumTerms: cfg.content.NumTerms},
+			Journal: journal,
+		}),
+		broker:  pubsub.NewBroker(fmt.Sprintf("reef-edge-%d", idx), cfg.clock),
+		pending: newPendingSet(),
+		fronts:  make(map[string]*frontend.Frontend),
+		bars:    make(map[string]*frontend.Sidebar),
+	}
+	publisher := cfg.feedPublisher
+	if publisher == nil {
+		publisher = brokerPublisher{e.broker}
+	}
+	e.proxy = waif.New(waif.Config{
+		Fetcher:   cfg.fetcher,
+		Publish:   publisher,
+		PollEvery: cfg.pollEvery,
+	})
+	return e
+}
+
+// replay returns the hooks that re-drive this shard's recovery stream:
+// clicks re-enter core ingestion so derived state rebuilds exactly as
+// live ingestion built it, and pending ops land in the shard's ledger.
+func (e *engine) replay() durableReplay {
+	apply := func(rec recommend.Recommendation) error {
+		fe, err := e.front(rec.User)
+		if err != nil {
+			return err
+		}
+		return fe.Apply(rec)
+	}
+	return durableReplay{
+		applyClicks: e.server.ReceiveClicks,
+		setFlag:     func(host string, f int) { e.server.Store().SetFlag(host, store.Flag(f)) },
+		applySub:    apply,
+		restorePending: func(user, id string, seq int64, rec recommend.Recommendation) {
+			e.pending.restore(user, id, seq, rec)
+		},
+		setPendingSeq: e.pending.setSeq,
+		takePending:   e.pending.take,
+		acceptRec:     func(user string, rec recommend.Recommendation) error { return apply(rec) },
+		rejectFeedback: func(user, feedURL string, at time.Time) {
+			e.server.ObserveEventFeedback(user, feedURL, false, at)
+		},
+	}
+}
+
+// recover replays the shard journal's recovery state: the snapshot
+// baseline first, then every intact WAL record in append order. The
+// journal is still disarmed, so replayed mutations are not re-logged.
+func (e *engine) recover() error {
+	st, tail, err := e.journal.Load()
+	if err != nil {
+		return err
+	}
+	return e.replay().run(st, tail)
+}
+
+// arm turns on live journaling; recovery (or migration) must be done.
+func (e *engine) arm() {
+	e.journal.Arm(e.captureState, journalSnapshotEvery(e.cfg))
+}
+
+// captureState assembles the shard's full durable state for a snapshot.
+// The journal holds its exclusive lock while calling it, so no mutation
+// is in flight: the capture is a consistent cut of this shard's
+// operation stream (shards snapshot independently — each snapshot is a
+// per-shard consistent cut, not a global one).
+func (e *engine) captureState() (*durable.State, error) {
+	clicks, flags := e.server.Store().Dump()
+	st := &durable.State{Version: 1, Clicks: clicks}
+	if len(flags) > 0 {
+		st.Flags = make(map[string]int, len(flags))
+		for h, f := range flags {
+			st.Flags[h] = int(f)
+		}
+	}
+	e.mu.Lock()
+	users := make([]string, 0, len(e.fronts))
+	for u := range e.fronts {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	fronts := make([]*frontend.Frontend, len(users))
+	for i, u := range users {
+		fronts[i] = e.fronts[u]
+	}
+	e.mu.Unlock()
+	for i, fe := range fronts {
+		for _, rec := range fe.Active() {
+			st.Subscriptions = append(st.Subscriptions, toDurableSub(users[i], rec))
+		}
+	}
+	st.Pending, st.PendingSeq = e.pending.dump()
+	return st, nil
+}
+
+// frontLocked returns (creating on first use) the hosted frontend for a
+// user, or nil once the shard is torn down — a creation racing Close
+// would wire a frontend to the already-closed broker and leak it past
+// the teardown snapshot. Caller must hold e.mu.
+func (e *engine) frontLocked(user string) *frontend.Frontend {
+	if e.closed {
+		return nil
+	}
+	if fe, ok := e.fronts[user]; ok {
+		return fe
+	}
+	bar := frontend.NewSidebar(frontend.Config{
+		Capacity: e.cfg.sidebarCapacity,
+		TTL:      e.cfg.sidebarTTL,
+		Feedback: func(feedURL string, d frontend.Disposition, at time.Time) {
+			if feedURL == "" {
+				return
+			}
+			e.server.ObserveEventFeedback(user, feedURL, d == frontend.DispositionClicked, at)
+		},
+	})
+	var sub frontend.Subscriber
+	if e.cfg.subscriberFor != nil {
+		sub = e.cfg.subscriberFor(user)
+	} else {
+		sub = tunedSubscriber{broker: e.broker, opts: e.cfg.subOptions()}
+	}
+	fe := frontend.NewFrontend(user, sub, e.proxy, bar, e.clock.Now)
+	e.fronts[user] = fe
+	e.bars[user] = bar
+	return fe
+}
+
+func (e *engine) front(user string) (*frontend.Frontend, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fe := e.frontLocked(user)
+	if fe == nil {
+		return nil, ErrClosed
+	}
+	return fe, nil
+}
+
+// ingestClicks lands a validated batch in this shard's click store and
+// queues page URLs for the next pipeline round.
+func (e *engine) ingestClicks(clicks []Click) error {
+	return e.server.ReceiveClicks(toAttentionClicks(clicks))
+}
+
+// subscriptions lists a user's live subscriptions.
+func (e *engine) subscriptions(user string) []Subscription {
+	e.mu.Lock()
+	fe, ok := e.fronts[user]
+	e.mu.Unlock()
+	if !ok {
+		return []Subscription{}
+	}
+	active := fe.Active()
+	out := make([]Subscription, 0, len(active))
+	for _, rec := range active {
+		out = append(out, toPublicSubscription(user, rec))
+	}
+	return out
+}
+
+// subscribe places a feed subscription immediately, bypassing the
+// recommendation queue.
+func (e *engine) subscribe(user, feedURL string) (Subscription, error) {
+	rec := recommend.Recommendation{
+		Kind:    recommend.KindSubscribeFeed,
+		User:    user,
+		FeedURL: feedURL,
+		Filter:  waif.ItemFilter(feedURL),
+		Reason:  "direct API subscription",
+		At:      e.clock.Now(),
+	}
+	fe, err := e.front(user)
+	if err != nil {
+		return Subscription{}, err
+	}
+	if err := e.journal.Record(
+		func() error { return fe.Apply(rec) },
+		func() durable.Record { return durable.SubscribeRecord(toDurableSub(user, rec)) },
+	); err != nil {
+		return Subscription{}, err
+	}
+	return toPublicSubscription(user, rec), nil
+}
+
+// unsubscribe removes a feed subscription.
+func (e *engine) unsubscribe(user, feedURL string) error {
+	e.mu.Lock()
+	fe, ok := e.fronts[user]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: user %q has no subscriptions", ErrNotFound, user)
+	}
+	found := false
+	for _, rec := range fe.Active() {
+		if rec.FeedURL == feedURL {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: no subscription for feed %q", ErrNotFound, feedURL)
+	}
+	rec := recommend.Recommendation{
+		Kind:    recommend.KindUnsubscribeFeed,
+		User:    user,
+		FeedURL: feedURL,
+		Reason:  "direct API unsubscription",
+		At:      e.clock.Now(),
+	}
+	return e.journal.Record(
+		func() error { return fe.Apply(rec) },
+		func() durable.Record { return durable.UnsubscribeRecord(toDurableSub(user, rec)) },
+	)
+}
+
+// recommendations drains freshly generated recommendations into the
+// shard's pending ledger and lists the user's queue.
+func (e *engine) recommendations(user string) ([]Recommendation, error) {
+	// The outbox drain is destructive, so a journaling failure must not
+	// abort the loop: every drained recommendation still reaches the
+	// in-memory ledger (only its durability is lost), and the first error
+	// is reported after.
+	var firstErr error
+	for _, rec := range e.server.Recommendations(user) {
+		rec := rec
+		var id string
+		var seq int64
+		if err := e.journal.Record(
+			func() error { id, seq = e.pending.add(user, rec); return nil },
+			func() durable.Record {
+				return durable.PendingAddRecord(durable.PendingAddPayload{
+					User: user, ID: id, Seq: seq, Rec: toDurableRec(rec),
+				})
+			},
+		); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return e.pending.list(user), nil
+}
+
+// acceptRecommendation executes one pending recommendation.
+func (e *engine) acceptRecommendation(user, id string) error {
+	return e.journal.Record(
+		func() error {
+			rec, ok := e.pending.take(user, id)
+			if !ok {
+				return fmt.Errorf("%w: no pending recommendation %q for user %q", ErrNotFound, id, user)
+			}
+			fe, err := e.front(user)
+			if err != nil {
+				return err
+			}
+			return fe.Apply(rec)
+		},
+		func() durable.Record {
+			return durable.PendingTakeRecord(durable.PendingTakePayload{
+				User: user, ID: id, Accepted: true, At: e.clock.Now(),
+			})
+		},
+	)
+}
+
+// rejectRecommendation discards one pending recommendation, feeding
+// negative signal back to the recommender.
+func (e *engine) rejectRecommendation(user, id string) error {
+	at := e.clock.Now()
+	return e.journal.Record(
+		func() error {
+			rec, ok := e.pending.take(user, id)
+			if !ok {
+				return fmt.Errorf("%w: no pending recommendation %q for user %q", ErrNotFound, id, user)
+			}
+			if rec.FeedURL != "" {
+				e.server.ObserveEventFeedback(user, rec.FeedURL, false, at)
+			}
+			return nil
+		},
+		func() durable.Record {
+			return durable.PendingTakeRecord(durable.PendingTakePayload{
+				User: user, ID: id, Accepted: false, At: at,
+			})
+		},
+	)
+}
+
+// stats snapshots this shard's counters, in the exact key set the
+// unsharded deployment has always reported.
+func (e *engine) stats() Stats {
+	out := Stats(e.server.Metrics().Snapshot())
+	out["clicks_stored"] = float64(e.server.Store().Len())
+	out["distinct_servers"] = float64(e.server.Store().DistinctServers())
+	out["feeds_discovered"] = float64(e.server.DistinctFeedsFound())
+	out["upload_bytes"] = float64(e.server.UploadBytes())
+	out["proxy_feeds"] = float64(e.proxy.NumFeeds())
+	for name, v := range e.proxy.Metrics().Snapshot() {
+		out["proxy_"+name] = v
+	}
+	out["pending_recommendations"] = float64(e.pending.size())
+	e.mu.Lock()
+	out["users_with_frontends"] = float64(len(e.fronts))
+	e.mu.Unlock()
+	for name, v := range e.broker.Metrics().Snapshot() {
+		out["broker_"+name] = v
+	}
+	return out
+}
+
+// runPipeline performs one crawl/analysis round over this shard's users.
+func (e *engine) runPipeline(now time.Time) core.PipelineStats {
+	return e.server.RunPipeline(now)
+}
+
+// teardown closes frontends, proxy and broker (but not the journal — the
+// caller picks Close vs Crash for that). The closed flag is flipped
+// under the same lock frontLocked creates under, so no frontend can be
+// born after the snapshot below and escape its Close.
+func (e *engine) teardown() {
+	e.mu.Lock()
+	e.closed = true
+	fronts := make([]*frontend.Frontend, 0, len(e.fronts))
+	for _, fe := range e.fronts {
+		fronts = append(fronts, fe)
+	}
+	e.mu.Unlock()
+	for _, fe := range fronts {
+		fe.Close()
+	}
+	e.proxy.Close()
+	e.broker.Close()
+}
+
+// sidebar returns the user's sidebar if this shard hosts one.
+func (e *engine) sidebar(user string) (*frontend.Sidebar, bool) {
+	e.mu.Lock()
+	bar, ok := e.bars[user]
+	e.mu.Unlock()
+	return bar, ok
+}

@@ -64,3 +64,9 @@ var eventIDs atomic.Uint64
 
 // nextEventID returns a fresh event ID.
 func nextEventID() uint64 { return eventIDs.Add(1) }
+
+// NextEventID allocates a substrate-unique event ID. Publish assigns
+// IDs automatically; callers that fan one event out to several brokers
+// stamp it first so every broker sees the same identity (and no broker
+// writes to a concurrently shared batch slice).
+func NextEventID() uint64 { return nextEventID() }

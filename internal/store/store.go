@@ -218,6 +218,34 @@ func (s *ClickStore) Flags(host string) Flag {
 	return s.flags[host]
 }
 
+// Hosts returns every host with recorded clicks, unordered — the cheap
+// accessor behind cross-store host dedup (Servers builds, fills and
+// sorts full aggregate rows, which distinct-count callers discard).
+func (s *ClickStore) Hosts() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.serverHits))
+	for h := range s.serverHits {
+		out = append(out, h)
+	}
+	return out
+}
+
+// FlaggedHosts returns the hosts carrying the flag, unordered. Unlike
+// Dump it copies no click data, so cross-store dedup (the sharded
+// deployment's FlaggedServers) stays cheap.
+func (s *ClickStore) FlaggedHosts(f Flag) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.flags))
+	for h, fl := range s.flags {
+		if fl&f != 0 {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
 // CountFlagged returns how many hosts carry the flag.
 func (s *ClickStore) CountFlagged(f Flag) int {
 	s.mu.RLock()

@@ -48,6 +48,8 @@ type config struct {
 	dataDir         string
 	syncPolicy      SyncPolicy
 	snapshotEvery   int
+	shards          int
+	shardsSet       bool
 }
 
 func buildConfig(opts []Option) config {
@@ -164,6 +166,23 @@ func WithSyncPolicy(p SyncPolicy) Option {
 // automatic compaction). Only meaningful together with WithDataDir.
 func WithSnapshotEvery(n int) Option {
 	return func(c *config) { c.snapshotEvery = n }
+}
+
+// WithShards partitions the deployment's users across n independent
+// engine shards, each with its own broker lock domain, pending ledger
+// and — under WithDataDir — its own journal in a shard-<i>/
+// subdirectory. User-addressed calls (clicks, subscriptions,
+// recommendations) route to exactly one shard by a stable hash of the
+// user identity; publishes fan out to every shard concurrently; stats
+// and storage info aggregate across shards. One shard preserves the
+// single-engine behavior and on-disk layout exactly. Leaving the
+// option off adopts an existing data directory's shard count (fresh
+// directories and memory deployments default to 1), so a restart
+// without the option never re-shards; an explicit count that differs
+// from the directory's migrates when either side is 1 and is refused
+// otherwise. n < 1 makes the constructor fail with ErrInvalidArgument.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards, c.shardsSet = n, true }
 }
 
 // subOptions translates the public queue tuning into broker options.

@@ -153,6 +153,16 @@ type StorageInfo struct {
 	// TornTail reports the WAL ended in a torn record at open; recovery
 	// stopped cleanly at the last intact record.
 	TornTail bool `json:"torn_tail,omitempty"`
+	// ShardCount is the number of engine shards behind the deployment
+	// (1 unless WithShards raised it). On a sharded deployment the
+	// top-level counters are sums across shards, Generation is the
+	// highest shard generation, and TornTail is true if any shard's WAL
+	// was torn.
+	ShardCount int `json:"shard_count,omitempty"`
+	// Shards breaks the storage state down per shard, in shard order.
+	// Empty on single-shard deployments, where the top-level fields
+	// already are the whole story.
+	Shards []StorageInfo `json:"shards,omitempty"`
 }
 
 // Persister is the optional durability surface of a Deployment. Both
@@ -167,6 +177,15 @@ type Persister interface {
 	// memory-backed deployment it is a no-op. It returns the storage
 	// state after the compaction.
 	Snapshot(ctx context.Context) (StorageInfo, error)
+}
+
+// Sharder is the optional sharding surface of a Deployment. Both
+// built-in deployments implement it; the REST layer reports the count
+// on GET /v1/healthz.
+type Sharder interface {
+	// ShardCount reports how many independent engine shards serve the
+	// deployment (1 for an unsharded engine).
+	ShardCount() int
 }
 
 // DeliveryPolicy selects what the deployment's broker does when a

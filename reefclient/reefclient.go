@@ -216,6 +216,18 @@ func (c *Client) Stats(ctx context.Context) (reef.Stats, error) {
 	return out.Stats, nil
 }
 
+// Health probes GET /v1/healthz: liveness plus the server deployment's
+// shard count and storage backend. A non-2xx answer (including the 503
+// a closed deployment produces) comes back as *APIError, so errors.Is
+// against the reef sentinels works on probe failures too.
+func (c *Client) Health(ctx context.Context) (reefhttp.HealthResponse, error) {
+	var out reefhttp.HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out); err != nil {
+		return reefhttp.HealthResponse{}, err
+	}
+	return out, nil
+}
+
 // StorageInfo implements reef.Persister over GET /v1/admin/storage. A
 // server whose deployment has no persistence surface answers with the
 // "unsupported" envelope, surfaced as reef.ErrUnsupported.

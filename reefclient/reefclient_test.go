@@ -474,3 +474,20 @@ func TestClientUnreachable(t *testing.T) {
 		t.Errorf("transport failure produced APIError: %v", err)
 	}
 }
+
+// TestClientHealth round-trips the healthz probe through the SDK.
+func TestClientHealth(t *testing.T) {
+	ctx := context.Background()
+	client, dep, _ := newServer(t, 37)
+	h, err := client.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Shards != 1 || h.Backend != "memory" {
+		t.Errorf("Health = %+v, want ok/1/memory", h)
+	}
+	_ = dep.Close()
+	if _, err := client.Health(ctx); !errors.Is(err, reef.ErrClosed) {
+		t.Errorf("Health after close: error = %v, want ErrClosed", err)
+	}
+}

@@ -18,6 +18,7 @@
 //	POST   /v1/recommendations/{id}/accept     execute one   (body: {"user":U})
 //	POST   /v1/recommendations/{id}/reject     discard one   (body: {"user":U})
 //	GET    /v1/stats                           counters snapshot
+//	GET    /v1/healthz                         liveness + shard count + backend
 //	GET    /v1/admin/storage                   persistence backend state
 //	POST   /v1/admin/snapshot                  force a compacting snapshot
 //
@@ -106,6 +107,14 @@ type (
 	StorageResponse struct {
 		Storage reef.StorageInfo `json:"storage"`
 	}
+	// HealthResponse is the GET /v1/healthz body: liveness plus the
+	// deployment's shape — how many engine shards serve it and which
+	// storage backend persists it ("memory" when nothing does).
+	HealthResponse struct {
+		Status  string `json:"status"`
+		Shards  int    `json:"shards"`
+		Backend string `json:"backend"`
+	}
 )
 
 // Handler serves the REST surface over any reef.Deployment.
@@ -143,6 +152,8 @@ func (h *Handler) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 		h.route(rw, req, "POST", h.handleEventsBatch)
 	case len(seg) == 1 && seg[0] == "stats":
 		h.route(rw, req, "GET", h.handleStats)
+	case len(seg) == 1 && seg[0] == "healthz":
+		h.route(rw, req, "GET", h.handleHealthz)
 	case len(seg) == 1 && seg[0] == "recommendations":
 		h.route(rw, req, "GET", h.handleRecommendations)
 	case len(seg) == 2 && seg[0] == "admin" && seg[1] == "storage":
@@ -315,6 +326,31 @@ func (h *Handler) handleStats(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	h.writeJSON(rw, http.StatusOK, StatsResponse{Stats: stats})
+}
+
+// handleHealthz answers the liveness probe. A closed (or otherwise
+// failing) deployment turns the probe into the matching error envelope,
+// so an orchestrator sees 503 once the deployment stops serving.
+func (h *Handler) handleHealthz(rw http.ResponseWriter, req *http.Request) {
+	out := HealthResponse{Status: "ok", Shards: 1, Backend: "memory"}
+	if s, ok := h.dep.(reef.Sharder); ok {
+		out.Shards = s.ShardCount()
+	}
+	if p, ok := h.dep.(reef.Persister); ok {
+		info, err := p.StorageInfo(req.Context())
+		if err != nil {
+			h.writeDeploymentError(rw, err)
+			return
+		}
+		out.Backend = info.Backend
+	} else {
+		// Liveness still needs a real call against the deployment.
+		if _, err := h.dep.Stats(req.Context()); err != nil {
+			h.writeDeploymentError(rw, err)
+			return
+		}
+	}
+	h.writeJSON(rw, http.StatusOK, out)
 }
 
 // persister unwraps the deployment's durability surface, answering the

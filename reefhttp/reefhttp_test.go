@@ -197,3 +197,91 @@ func TestAdminUnsupported(t *testing.T) {
 		}
 	}
 }
+
+// TestHealthz pins the liveness endpoint across deployment shapes:
+// sharded file-backed, memory-backed, wrong method, and closed.
+func TestHealthz(t *testing.T) {
+	model := topics.NewModel(31, 4, 10, 12)
+	wcfg := websim.DefaultConfig(31, time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC))
+	wcfg.NumContentServers = 6
+	wcfg.NumAdServers = 2
+	web := websim.Generate(wcfg, model)
+	open := func(t *testing.T, opts ...reef.Option) *reef.Centralized {
+		t.Helper()
+		dep, err := reef.NewCentralized(append([]reef.Option{reef.WithFetcher(web)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dep
+	}
+	for _, tc := range []struct {
+		name        string
+		dep         func(t *testing.T) *reef.Centralized
+		method      string
+		wantStatus  int
+		wantShards  int
+		wantBackend string
+		wantCode    string
+	}{
+		{
+			name: "sharded file-backed",
+			dep: func(t *testing.T) *reef.Centralized {
+				return open(t, reef.WithShards(3), reef.WithDataDir(t.TempDir()))
+			},
+			method:      "GET",
+			wantStatus:  http.StatusOK,
+			wantShards:  3,
+			wantBackend: "file",
+		},
+		{
+			name:        "memory single shard",
+			dep:         func(t *testing.T) *reef.Centralized { return open(t) },
+			method:      "GET",
+			wantStatus:  http.StatusOK,
+			wantShards:  1,
+			wantBackend: "memory",
+		},
+		{
+			name:       "wrong method",
+			dep:        func(t *testing.T) *reef.Centralized { return open(t) },
+			method:     "POST",
+			wantStatus: http.StatusMethodNotAllowed,
+			wantCode:   reefhttp.CodeMethodNotAllowed,
+		},
+		{
+			name: "closed deployment",
+			dep: func(t *testing.T) *reef.Centralized {
+				dep := open(t)
+				_ = dep.Close()
+				return dep
+			},
+			method:     "GET",
+			wantStatus: http.StatusServiceUnavailable,
+			wantCode:   reefhttp.CodeUnavailable,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dep := tc.dep(t)
+			t.Cleanup(func() { _ = dep.Close() })
+			srv := httptest.NewServer(reefhttp.NewHandler(dep, nil))
+			t.Cleanup(srv.Close)
+			resp, envelope, raw := do(t, tc.method, srv.URL+"/v1/healthz", "")
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("healthz = %d, want %d (%s)", resp.StatusCode, tc.wantStatus, raw)
+			}
+			if tc.wantCode != "" {
+				if envelope.Error.Code != tc.wantCode {
+					t.Errorf("error code = %q, want %q", envelope.Error.Code, tc.wantCode)
+				}
+				return
+			}
+			var h reefhttp.HealthResponse
+			if err := json.Unmarshal([]byte(raw), &h); err != nil {
+				t.Fatalf("decoding healthz body %q: %v", raw, err)
+			}
+			if h.Status != "ok" || h.Shards != tc.wantShards || h.Backend != tc.wantBackend {
+				t.Errorf("healthz = %+v, want status ok, %d shards, backend %q", h, tc.wantShards, tc.wantBackend)
+			}
+		})
+	}
+}

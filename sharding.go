@@ -1,0 +1,481 @@
+package reef
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"reef/internal/durable"
+	"reef/internal/pubsub"
+	"reef/internal/recommend"
+)
+
+// shardFor maps a user identity to a shard index with FNV-1a. The hash
+// is part of the on-disk contract: a user's journal records live in
+// shard-<shardFor(user)>/, so the function must stay stable across
+// releases (changing it requires the same migration path as changing
+// the shard count).
+func shardFor(user string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(user); i++ {
+		h ^= uint32(user[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// resolveShards validates an explicit WithShards setting; unset returns
+// 0, meaning "adopt the data directory's count, default 1" (resolved in
+// planShards). Leaving the option off must never re-shard an existing
+// directory.
+func resolveShards(cfg config) (int, error) {
+	if !cfg.shardsSet {
+		return 0, nil
+	}
+	if cfg.shards < 1 {
+		return 0, fmt.Errorf("%w: WithShards(%d): shard count must be at least 1", ErrInvalidArgument, cfg.shards)
+	}
+	return cfg.shards, nil
+}
+
+// fanOut runs fn for every shard concurrently — shard 0 on the calling
+// goroutine, the rest on their own — and returns the per-shard results.
+// With one shard it is a direct call, so the single-shard fast path pays
+// no goroutine or slice cost.
+func fanOut[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	if n == 1 {
+		v, err := fn(0)
+		return []T{v}, err
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = fn(i)
+		}(i)
+	}
+	out[0], errs[0] = fn(0)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// routedReplay builds migration-replay hooks that dispatch each
+// recovered user-addressed operation to the shard its user now hashes
+// to, given every shard's own replay hooks. Deployment-specific ops
+// (clicks, flags) stay unset for the caller to layer on.
+func routedReplay(reps []durableReplay) durableReplay {
+	n := len(reps)
+	at := func(user string) durableReplay { return reps[shardFor(user, n)] }
+	return durableReplay{
+		applySub: func(rec recommend.Recommendation) error { return at(rec.User).applySub(rec) },
+		restorePending: func(user, id string, seq int64, rec recommend.Recommendation) {
+			at(user).restorePending(user, id, seq, rec)
+		},
+		setPendingSeq: func(seq int64) {
+			for i := range reps {
+				reps[i].setPendingSeq(seq)
+			}
+		},
+		takePending: func(user, id string) (recommend.Recommendation, bool) {
+			return at(user).takePending(user, id)
+		},
+		acceptRec: func(user string, rec recommend.Recommendation) error {
+			return at(user).acceptRec(user, rec)
+		},
+		rejectFeedback: func(user, feedURL string, at2 time.Time) {
+			at(user).rejectFeedback(user, feedURL, at2)
+		},
+	}
+}
+
+// sumFanOut fans a counting operation out to every shard and totals
+// the per-shard results (publish delivery counts).
+func sumFanOut(n int, fn func(i int) (int, error)) (int, error) {
+	counts, err := fanOut(n, fn)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total, err
+}
+
+// mergeStats merges per-shard stat snapshots. Counters and gauges sum;
+// histogram-derived keys keep their meaning across the merge — ".max"
+// takes the maximum and ".mean" becomes the ".count"-weighted mean —
+// so a 50µs mean on every shard still reads as 50µs, not shards×50µs.
+func mergeStats(shards []Stats) Stats {
+	out := Stats{}
+	for _, s := range shards {
+		for k, v := range s {
+			switch {
+			case strings.HasSuffix(k, ".max"):
+				if v > out[k] {
+					out[k] = v
+				}
+			case strings.HasSuffix(k, ".mean"):
+				out[k] += v * s[strings.TrimSuffix(k, ".mean")+".count"]
+			default:
+				out[k] += v
+			}
+		}
+	}
+	for k, v := range out {
+		if strings.HasSuffix(k, ".mean") {
+			if c := out[strings.TrimSuffix(k, ".mean")+".count"]; c > 0 {
+				out[k] = v / c
+			} else {
+				out[k] = 0
+			}
+		}
+	}
+	return out
+}
+
+// stampEvents assigns IDs and timestamps before a fan-out, so every
+// shard sees the same event identity and no shard mutates the shared
+// batch slice concurrently.
+func stampEvents(evs []pubsub.Event, now func() time.Time) {
+	for i := range evs {
+		if evs[i].ID == 0 {
+			evs[i].ID = pubsub.NextEventID()
+		}
+		if evs[i].Published.IsZero() {
+			evs[i].Published = now()
+		}
+	}
+}
+
+// mergeStorageInfo aggregates per-shard backend info into the public
+// form: counters sum, Generation is the highest shard generation,
+// TornTail ORs, and the per-shard breakdown rides along in Shards when
+// there is more than one.
+func mergeStorageInfo(dataDir string, infos []durable.Info) StorageInfo {
+	if len(infos) == 1 {
+		out := toStorageInfo(infos[0])
+		out.ShardCount = 1
+		return out
+	}
+	agg := StorageInfo{
+		Backend:    infos[0].Kind,
+		Dir:        dataDir,
+		Sync:       infos[0].Sync,
+		ShardCount: len(infos),
+		Shards:     make([]StorageInfo, 0, len(infos)),
+	}
+	for _, in := range infos {
+		si := toStorageInfo(in)
+		agg.Shards = append(agg.Shards, si)
+		agg.WALRecords += si.WALRecords
+		agg.WALBytes += si.WALBytes
+		agg.Snapshots += si.Snapshots
+		agg.RecoveredRecords += si.RecoveredRecords
+		if si.Generation > agg.Generation {
+			agg.Generation = si.Generation
+		}
+		if si.TornTail {
+			agg.TornTail = true
+		}
+		if si.LastSnapshot.After(agg.LastSnapshot) {
+			agg.LastSnapshot = si.LastSnapshot
+		}
+	}
+	return agg
+}
+
+// --- on-disk layout -----------------------------------------------------
+//
+// A single-shard data directory keeps the layout every release so far
+// has written: wal-<gen>.log and snap-<gen>.json at the root. A sharded
+// directory nests one such journal per shard:
+//
+//	<dataDir>/shards.json        {"version":1,"shards":N}
+//	<dataDir>/shard-0/wal-....log
+//	<dataDir>/shard-0/snap-....json
+//	<dataDir>/shard-1/...
+//
+// shards.json exists only on sharded directories, so a legacy (or
+// shards=1) directory is recognized by its root journal files alone and
+// an old binary can still open a shards=1 directory byte-for-byte.
+
+// shardMetaFile pins a sharded directory's shard count.
+const shardMetaFile = "shards.json"
+
+type shardMeta struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+// shardDirs names the per-shard journal directories for count n: the
+// root itself for 1, shard-<i> subdirectories otherwise.
+func shardDirs(dataDir string, n int) []string {
+	if n == 1 {
+		return []string{dataDir}
+	}
+	dirs := make([]string, n)
+	for i := range dirs {
+		dirs[i] = filepath.Join(dataDir, "shard-"+strconv.Itoa(i))
+	}
+	return dirs
+}
+
+// hasJournalFiles reports whether dir holds root-level WAL or snapshot
+// files (the single-shard layout).
+func hasJournalFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() &&
+			(strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log") ||
+				strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".json")) {
+			return true
+		}
+	}
+	return false
+}
+
+// listShardDirs returns the shard-<i> subdirectories present under
+// dataDir and the highest index + 1 (0 when there are none).
+func listShardDirs(dataDir string) (dirs []string, count int) {
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		return nil, 0
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rest, ok := strings.CutPrefix(e.Name(), "shard-")
+		if !ok {
+			continue
+		}
+		i, err := strconv.Atoi(rest)
+		if err != nil || i < 0 {
+			continue
+		}
+		dirs = append(dirs, filepath.Join(dataDir, e.Name()))
+		if i+1 > count {
+			count = i + 1
+		}
+	}
+	return dirs, count
+}
+
+// detectShardCount reads the directory's current layout: the meta
+// file's count when present, 1 when root journal files exist (legacy
+// single-shard layout — authoritative even when stale shard dirs from
+// an interrupted migration linger), the shard-dir count otherwise, and
+// 0 for a fresh or empty directory.
+func detectShardCount(dataDir string) (int, error) {
+	data, err := os.ReadFile(filepath.Join(dataDir, shardMetaFile))
+	if err == nil {
+		var m shardMeta
+		if jerr := json.Unmarshal(data, &m); jerr != nil || m.Shards < 1 {
+			return 0, fmt.Errorf("reef: corrupt %s in %s", shardMetaFile, dataDir)
+		}
+		return m.Shards, nil
+	}
+	if !os.IsNotExist(err) {
+		return 0, fmt.Errorf("reef: reading %s: %w", shardMetaFile, err)
+	}
+	if hasJournalFiles(dataDir) {
+		return 1, nil
+	}
+	_, count := listShardDirs(dataDir)
+	return count, nil
+}
+
+// shardPlan is the resolved layout decision for one open.
+type shardPlan struct {
+	n    int
+	dirs []string // new-layout journal dirs (nil without a data dir)
+	// migrate is set when the directory holds oldN shards' worth of
+	// data that must be replayed into the n-shard layout.
+	migrate bool
+	oldN    int
+	oldDirs []string
+}
+
+// planShards decides how to open dataDir with n shards (0 = WithShards
+// unset: adopt the directory's existing count, default 1 — a restart
+// without the option never migrates). Re-sharding is supported across
+// the single-shard boundary in both directions (the legacy upgrade 1→n
+// and the downgrade n→1); between two sharded counts it is refused
+// with a clear error, because both layouts would claim the same
+// shard-<i> directories.
+func planShards(dataDir string, n int) (shardPlan, error) {
+	if dataDir == "" {
+		if n == 0 {
+			n = 1
+		}
+		return shardPlan{n: n}, nil
+	}
+	plan := shardPlan{}
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return plan, fmt.Errorf("reef: creating data dir: %w", err)
+	}
+	cur, err := detectShardCount(dataDir)
+	if err != nil {
+		return plan, err
+	}
+	if n == 0 {
+		n = cur
+		if n == 0 {
+			n = 1
+		}
+	}
+	plan.n = n
+	plan.dirs = shardDirs(dataDir, n)
+	if cur == 0 {
+		// Publish the meta file BEFORE any shard journal is created: if
+		// the first open dies mid-way, the partially created shard-<i>/
+		// dirs must not masquerade as the directory's real count (a retry
+		// would otherwise adopt or refuse the wrong number).
+		if n > 1 {
+			if err := writeShardMeta(dataDir, n); err != nil {
+				return plan, err
+			}
+		}
+		return plan, nil
+	}
+	if cur == n {
+		return plan, nil
+	}
+	if cur != 1 && n != 1 {
+		return plan, fmt.Errorf("%w: data dir %s is laid out for %d shards; reopen it with WithShards(%d) or re-shard through a single-shard step",
+			ErrInvalidArgument, dataDir, cur, cur)
+	}
+	plan.migrate = true
+	plan.oldN = cur
+	plan.oldDirs = shardDirs(dataDir, cur)
+	// Wipe any partial new-layout output of an interrupted earlier
+	// migration: until the meta flip below, the old layout stays the
+	// single source of truth, so this is cleanup, not data loss.
+	if err := wipeLayout(dataDir, n); err != nil {
+		return plan, err
+	}
+	return plan, nil
+}
+
+// wipeLayout removes layout-n's files under dataDir: every shard-<i>
+// directory for a sharded layout, the root journal files for the
+// single-shard one.
+func wipeLayout(dataDir string, n int) error {
+	if n == 1 {
+		entries, err := os.ReadDir(dataDir)
+		if err != nil {
+			return fmt.Errorf("reef: reading data dir: %w", err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			// Prefix AND suffix, matching hasJournalFiles: a stray
+			// wal-0.log.bak is not layout evidence, so it is not ours to
+			// delete either.
+			if e.Type().IsRegular() &&
+				(strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log") ||
+					strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".json")) {
+				if err := os.Remove(filepath.Join(dataDir, name)); err != nil {
+					return fmt.Errorf("reef: clearing stale %s: %w", name, err)
+				}
+			}
+		}
+		return nil
+	}
+	dirs, _ := listShardDirs(dataDir)
+	for _, d := range dirs {
+		if err := os.RemoveAll(d); err != nil {
+			return fmt.Errorf("reef: clearing stale %s: %w", d, err)
+		}
+	}
+	return nil
+}
+
+// writeShardMeta atomically publishes the directory's shard count.
+func writeShardMeta(dataDir string, n int) error {
+	data, err := json.Marshal(shardMeta{Version: 1, Shards: n})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dataDir, shardMetaFile+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("reef: writing %s: %w", shardMetaFile, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dataDir, shardMetaFile)); err != nil {
+		return fmt.Errorf("reef: publishing %s: %w", shardMetaFile, err)
+	}
+	return nil
+}
+
+// ensureShardLayout finalizes a non-migrating open: a sharded directory
+// gets its meta file (fresh dirs), and stale files of the other layout
+// left by a crash between a migration's meta flip and its cleanup are
+// swept. Single-shard directories stay byte-compatible with the legacy
+// layout: no meta file, nothing extra.
+func ensureShardLayout(dataDir string, n int) error {
+	if dataDir == "" {
+		return nil
+	}
+	if n == 1 {
+		_ = os.Remove(filepath.Join(dataDir, shardMetaFile))
+		return wipeLayout(dataDir, 2) // sweep stale shard-* dirs, if any
+	}
+	if err := writeShardMeta(dataDir, n); err != nil {
+		return err
+	}
+	return wipeLayout(dataDir, 1) // sweep stale root journal files, if any
+}
+
+// loadShardSource opens one old-layout journal directory just long
+// enough to read its recovery state (snapshot baseline plus intact WAL
+// tail, torn tail truncated exactly as normal recovery would).
+func loadShardSource(dir string) (*durable.State, []durable.Record, error) {
+	b, err := durable.OpenFile(dir, durable.FileOptions{Sync: durable.SyncNever})
+	if err != nil {
+		return nil, nil, err
+	}
+	st, tail, err := b.Load()
+	if cerr := b.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, tail, nil
+}
+
+// finishMigration publishes the migrated layout: flip the meta file to
+// the new shard count (or drop it for the single-shard layout), then
+// retire the old layout's files. Every new shard journal must already
+// hold a durable snapshot of its slice of the state; a crash before the
+// meta flip re-runs the migration from the untouched old layout, a
+// crash after it leaves only stale old files, swept at the next open.
+func finishMigration(dataDir string, plan shardPlan) error {
+	if plan.n == 1 {
+		if err := os.Remove(filepath.Join(dataDir, shardMetaFile)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("reef: retiring %s: %w", shardMetaFile, err)
+		}
+	} else {
+		if err := writeShardMeta(dataDir, plan.n); err != nil {
+			return err
+		}
+	}
+	return wipeLayout(dataDir, plan.oldN)
+}
