@@ -1,0 +1,210 @@
+// Cluster sweep: the reefcluster router over 1..N in-process reefd
+// nodes (each a memory-backed deployment behind the real REST surface
+// on a loopback listener, so every forwarded call pays genuine HTTP
+// serialization). Three measured rows per node count:
+//
+//	publish_nodesN  PublishBatch through the router — stamps once, fans
+//	                out to every node, one HTTP round trip per node per
+//	                batch; reported per event
+//	forward_nodesN  user-addressed reads (Subscriptions) — one routed
+//	                HTTP round trip to the owning node; the p50/p99 here
+//	                is the cluster's forwarding overhead
+//	churn_nodesN    unsubscribe+resubscribe pairs, routed by user hash —
+//	                the write path whose lock domains scale with nodes
+//
+// Emits BENCH_cluster.json.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"reef"
+	"reef/internal/experiments"
+	"reef/reefcluster"
+	"reef/reefhttp"
+)
+
+// BenchClusterOptions tunes the cluster sweep.
+type BenchClusterOptions struct {
+	Nodes      []int // node counts to sweep (default 1,2,4)
+	HotUsers   int   // subscribers of the published feed (fan-out targets)
+	ChurnUsers int   // users the churn load cycles through
+	Ops        int   // measured publish batches per configuration
+	BatchSize  int
+	ForwardOps int // measured forwarded reads per configuration
+	ChurnPairs int // measured unsub+resub pairs per configuration
+	OutDir     string
+}
+
+// benchNode is one in-process cluster member.
+type benchNode struct {
+	dep *reef.Centralized
+	srv *http.Server
+	ln  net.Listener
+}
+
+func startBenchNode(id string) (*benchNode, reefcluster.Node) {
+	dep, err := reef.NewCentralized(
+		reef.WithFetcher(nopFetcher{}),
+		reef.WithQueueSize(1),
+	)
+	if err != nil {
+		panic(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	ready := reefhttp.NewReadiness()
+	ready.SetReady()
+	srv := &http.Server{Handler: reefhttp.NewHandler(dep, nil,
+		reefhttp.WithReadiness(ready), reefhttp.WithNodeID(id))}
+	go func() { _ = srv.Serve(ln) }()
+	return &benchNode{dep: dep, srv: srv, ln: ln},
+		reefcluster.Node{ID: id, BaseURL: "http://" + ln.Addr().String()}
+}
+
+func (n *benchNode) stop() {
+	_ = n.srv.Close()
+	_ = n.dep.Close()
+}
+
+// benchCluster sweeps the cluster router over node counts.
+func benchCluster(opt BenchClusterOptions) experiments.Result {
+	if len(opt.Nodes) == 0 {
+		opt.Nodes = []int{1, 2, 4}
+	}
+	if opt.HotUsers <= 0 {
+		opt.HotUsers = 30
+	}
+	if opt.ChurnUsers <= 0 {
+		opt.ChurnUsers = 500
+	}
+	if opt.Ops <= 0 {
+		opt.Ops = 600
+	}
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 16
+	}
+	if opt.ForwardOps <= 0 {
+		opt.ForwardOps = 2000
+	}
+	if opt.ChurnPairs <= 0 {
+		opt.ChurnPairs = 1000
+	}
+	ctx := context.Background()
+	workers := runtime.GOMAXPROCS(0)
+
+	var results []BenchResult
+	values := map[string]float64{}
+	for _, count := range opt.Nodes {
+		nodes := make([]*benchNode, count)
+		cfgNodes := make([]reefcluster.Node, count)
+		for i := range nodes {
+			nodes[i], cfgNodes[i] = startBenchNode(fmt.Sprintf("n%d", i))
+		}
+		cl, err := reefcluster.New(reefcluster.Config{
+			Nodes:         cfgNodes,
+			ProbeInterval: 500 * time.Millisecond,
+			CallTimeout:   30 * time.Second,
+		})
+		if err != nil {
+			panic(err)
+		}
+
+		hotFeed := "http://bench.test/hot"
+		churnFeed := "http://bench.test/churny"
+		hotUsers := make([]string, opt.HotUsers)
+		for i := range hotUsers {
+			hotUsers[i] = fmt.Sprintf("hot-%04d", i)
+			if _, err := cl.Subscribe(ctx, hotUsers[i], hotFeed); err != nil {
+				panic(err)
+			}
+		}
+		churnUsers := make([]string, opt.ChurnUsers)
+		for i := range churnUsers {
+			churnUsers[i] = fmt.Sprintf("churn-%05d", i)
+			if _, err := cl.Subscribe(ctx, churnUsers[i], churnFeed); err != nil {
+				panic(err)
+			}
+		}
+		proto := reef.Event{Attrs: map[string]string{
+			"type": "feed-item", "feed": hotFeed, "title": "t", "link": "http://bench.test/item",
+		}}
+
+		// Publish fan-out: each worker its own batch slice (the router
+		// copies before stamping, but per-worker scratch keeps the measured
+		// op allocation-honest).
+		publish := measureEach(fmt.Sprintf("publish_nodes%d", count), opt.Ops, workers, func() func(int) {
+			local := make([]reef.Event, opt.BatchSize)
+			return func(int) {
+				for i := range local {
+					local[i] = proto
+				}
+				if _, err := cl.PublishBatch(ctx, local); err != nil {
+					panic(err)
+				}
+			}
+		})
+		results = append(results, perEvent(publish, opt.BatchSize))
+		values[fmt.Sprintf("publish_nodes%d_ops_per_sec", count)] = perEvent(publish, opt.BatchSize).OpsPerSec
+
+		// Forwarded reads: the cluster's routed-call overhead.
+		forward := measure(fmt.Sprintf("forward_nodes%d", count), opt.ForwardOps, workers, func(i int) {
+			if _, err := cl.Subscriptions(ctx, hotUsers[i%len(hotUsers)]); err != nil {
+				panic(err)
+			}
+		})
+		results = append(results, forward)
+		values[fmt.Sprintf("forward_nodes%d_p99_us", count)] = forward.P99Micros
+		values[fmt.Sprintf("forward_nodes%d_ops_per_sec", count)] = forward.OpsPerSec
+
+		// Churn: unsub+resub pairs, each routed to the owning node.
+		churn := measureEach(fmt.Sprintf("churn_nodes%d", count), opt.ChurnPairs, workers, func() func(int) {
+			return func(i int) {
+				u := churnUsers[i%len(churnUsers)]
+				if err := cl.Unsubscribe(ctx, u, churnFeed); err != nil {
+					panic(err)
+				}
+				if _, err := cl.Subscribe(ctx, u, churnFeed); err != nil {
+					panic(err)
+				}
+			}
+		})
+		results = append(results, churn)
+		values[fmt.Sprintf("churn_nodes%d_pairs_per_sec", count)] = churn.OpsPerSec
+
+		if err := cl.Close(); err != nil {
+			panic(err)
+		}
+		for _, n := range nodes {
+			n.stop()
+		}
+	}
+
+	if err := writeBenchFile(opt.OutDir, "cluster", results); err != nil {
+		fmt.Fprintf(os.Stderr, "reef-bench: writing BENCH_cluster.json: %v\n", err)
+	}
+	res := benchTable("BENCH — Cluster router over in-process reefd nodes (real HTTP forwarding)", results)
+	res.Values = values
+	res.Table.AddNote("%d hot + %d churn subscribers, batch %d, %d worker(s); publish = fan-out to every node per batch, forward/churn = one routed round trip",
+		opt.HotUsers, opt.ChurnUsers, opt.BatchSize, workers)
+	first, last := opt.Nodes[0], opt.Nodes[len(opt.Nodes)-1]
+	if base := values[fmt.Sprintf("churn_nodes%d_pairs_per_sec", first)]; base > 0 {
+		top := values[fmt.Sprintf("churn_nodes%d_pairs_per_sec", last)]
+		res.Values["churn_node_speedup"] = top / base
+		res.Table.AddNote("churn sustained, %d vs %d nodes: %.2fx — user-addressed writes split across node lock domains and listeners", last, first, top/base)
+	}
+	if base := values[fmt.Sprintf("publish_nodes%d_ops_per_sec", first)]; base > 0 {
+		top := values[fmt.Sprintf("publish_nodes%d_ops_per_sec", last)]
+		res.Values["publish_node_cost"] = top / base
+		res.Table.AddNote("publish per-event throughput, %d vs %d nodes: %.2fx — fan-out pays one HTTP round trip per node, the price of cluster-wide delivery", last, first, top/base)
+	}
+	return res
+}

@@ -1,12 +1,13 @@
 // Command reef-bench regenerates every table and figure of the paper's
 // evaluation (DESIGN.md §4), plus the substrate micro-benchmarks. With no
 // arguments it runs the full suite at paper scale; pass experiment IDs
-// (e1 e2 e3 f1 f2 a1 a2 a3 publish rank recovery shard) to run a
-// subset, and -quick for a reduced-scale smoke run. The publish, rank,
-// recovery and shard benchmarks write BENCH_publish.json,
-// BENCH_rank.json, BENCH_recovery.json and BENCH_shard.json (ops/sec,
-// allocs/op, p50/p99) into -benchdir so later PRs have a performance
-// trajectory to beat.
+// (e1 e2 e3 f1 f2 a1 a2 a3 publish rank recovery shard cluster) to run
+// a subset, and -quick for a reduced-scale smoke run. The publish,
+// rank, recovery, shard and cluster benchmarks write
+// BENCH_publish.json, BENCH_rank.json, BENCH_recovery.json,
+// BENCH_shard.json and BENCH_cluster.json (ops/sec, allocs/op,
+// p50/p99) into -benchdir so later PRs have a performance trajectory
+// to beat.
 //
 //	reef-bench                      # full suite
 //	reef-bench e1 e3                # just E1 and E3
@@ -14,10 +15,12 @@
 //	reef-bench publish rank         # substrate benchmarks only
 //	reef-bench -quick recovery      # durability: WAL, snapshot, cold start
 //	reef-bench publish -shards 1,2,4,8   # publish sweep across shard counts
+//	reef-bench cluster -nodes 1,2,4      # cluster router sweep across node counts
 //
-// -shards (accepted before or after the experiment IDs) selects the
-// shard counts the sweep runs; giving it alongside "publish" also runs
-// the shard sweep, matching the CI invocation.
+// -shards and -nodes (accepted before or after the experiment IDs)
+// select the counts the shard and cluster sweeps run; giving -shards
+// alongside "publish" also runs the shard sweep, matching the CI
+// invocation.
 package main
 
 import (
@@ -40,6 +43,7 @@ func run() int {
 	seed := flag.Int64("seed", 2006, "random seed for all experiments")
 	benchdir := flag.String("benchdir", ".", "directory for BENCH_*.json trajectory files")
 	shardsFlag := flag.String("shards", "", "comma-separated shard counts for the shard sweep, e.g. 1,2,4,8")
+	nodesFlag := flag.String("nodes", "", "comma-separated node counts for the cluster sweep, e.g. 1,2,4")
 	flag.Parse()
 
 	// flag.Parse stops at the first experiment ID, so "reef-bench publish
@@ -62,12 +66,26 @@ func run() int {
 			i++
 			continue
 		}
+		if v, ok := strings.CutPrefix(name, "nodes="); ok {
+			*nodesFlag = v
+			continue
+		}
+		if name == "nodes" && i+1 < len(args) {
+			*nodesFlag = args[i+1]
+			i++
+			continue
+		}
 		// Anything else dash-prefixed here would otherwise be swallowed as
 		// an unknown experiment ID and silently skipped.
-		fmt.Fprintf(os.Stderr, "reef-bench: flag %q must come before the experiment IDs (only -shards may follow them)\n", arg)
+		fmt.Fprintf(os.Stderr, "reef-bench: flag %q must come before the experiment IDs (only -shards and -nodes may follow them)\n", arg)
 		return 2
 	}
 	shardCounts, err := parseShardCounts(*shardsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reef-bench: %v\n", err)
+		return 2
+	}
+	nodeCounts, err := parseShardCounts(*nodesFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reef-bench: %v\n", err)
 		return 2
@@ -91,6 +109,7 @@ func run() int {
 	bropt := BenchRankOptions{Seed: *seed, OutDir: *benchdir}
 	brecopt := BenchRecoveryOptions{Seed: *seed, OutDir: *benchdir}
 	bshopt := BenchShardOptions{Shards: shardCounts, OutDir: *benchdir}
+	bclopt := BenchClusterOptions{Nodes: nodeCounts, OutDir: *benchdir}
 	if *quick {
 		e1opt.Users, e1opt.Days, e1opt.Scale = 3, 10, 0.15
 		e3opt.Stories, e3opt.AttendedPages, e3opt.Trials = 200, 1500, 2
@@ -102,6 +121,7 @@ func run() int {
 		bropt.Docs, bropt.Ops = 1_000, 100
 		brecopt.Clicks, brecopt.Events = 2_000, 5_000
 		bshopt.Ops, bshopt.ChurnUsers = 400, 800
+		bclopt.Ops, bclopt.ForwardOps, bclopt.ChurnPairs, bclopt.ChurnUsers = 60, 300, 150, 120
 	}
 
 	suite := []exp{
@@ -117,6 +137,7 @@ func run() int {
 		{"rank", func() experiments.Result { return benchRank(bropt) }},
 		{"recovery", func() experiments.Result { return benchRecovery(brecopt) }},
 		{"shard", func() experiments.Result { return benchShard(bshopt) }},
+		{"cluster", func() experiments.Result { return benchCluster(bclopt) }},
 	}
 
 	ranF := false // f1 and f2 share one table; print once

@@ -15,9 +15,26 @@
 // independent engine shards (per-shard journals under shard-<i>/; a
 // legacy single-journal directory migrates in place on first open).
 //
-// reefd shuts down gracefully on SIGINT/SIGTERM: the HTTP listener
-// drains in-flight requests, the pipeline ticker stops, and the
-// deployment closes so the final WAL segment is synced instead of torn.
+// # Cluster membership
+//
+// A reefd is cluster-ready out of the box. -node-id names the node; the
+// ID is stamped into /v1/healthz and /v1/readyz so a cluster prober can
+// verify it reached the process it expects. The listener comes up
+// BEFORE recovery replay: /v1/readyz answers 503 "starting" while the
+// WAL replays (and every other /v1 route answers 503), flipping to 200
+// only when the deployment is live — a restarting node is visible, just
+// not routable. On SIGINT/SIGTERM the order is the reverse: readyz
+// flips to 503 "draining" first, -drain-grace passes so probers notice,
+// then the HTTP listener drains in-flight requests, the pipeline ticker
+// stops, and the deployment closes so the final WAL segment is synced
+// instead of torn.
+//
+// With -cluster-nodes, reefd instead runs as a cluster ROUTER: no local
+// deployment, no pipeline — the /v1 surface is served by a
+// reefcluster.Cluster that forwards user-addressed calls to the owning
+// node and fans publishes out to every live node:
+//
+//	reefd -addr :7000 -cluster-nodes n1=http://10.0.0.1:7070,n2=http://10.0.0.2:7070
 //
 // Endpoints (see package reefhttp for the full wire contract):
 //
@@ -30,9 +47,11 @@
 //	POST   /v1/recommendations/{id}/accept     accept one
 //	POST   /v1/recommendations/{id}/reject     reject one
 //	GET    /v1/stats                           counters
+//	GET    /v1/healthz                         liveness + shape + node ID
+//	GET    /v1/readyz                          readiness (starting/ready/draining)
 //	GET    /v1/admin/storage                   persistence backend state
 //	POST   /v1/admin/snapshot                  force a compacting snapshot
-//	GET    /web/<host>/<path>                  the synthetic web
+//	GET    /web/<host>/<path>                  the synthetic web (node mode)
 package main
 
 import (
@@ -41,16 +60,20 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"reef"
 	"reef/internal/topics"
 	"reef/internal/websim"
+	"reef/reefcluster"
 	"reef/reefhttp"
 )
 
@@ -64,9 +87,18 @@ func main() {
 	syncMode := flag.String("sync", "async", "WAL sync policy: async, always, never")
 	snapshotEvery := flag.Int("snapshot-every", 0, "snapshot compaction after N WAL records (0 = default 4096, <0 disables)")
 	shards := flag.Int("shards", 0, "number of independent engine shards users partition across (0 = adopt the data directory's existing count, default 1)")
+	nodeID := flag.String("node-id", "", "this node's cluster identity, stamped into /v1/healthz and /v1/readyz")
+	clusterNodes := flag.String("cluster-nodes", "", "run as a cluster router over these nodes (comma-separated id=url pairs) instead of a local deployment")
+	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "how long /v1/readyz advertises draining before the listener closes")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *scale, *pipelineEvery, *pollEvery, *dataDir, *syncMode, *snapshotEvery, *shards); err != nil {
+	var err error
+	if *clusterNodes != "" {
+		err = runRouter(*addr, *clusterNodes, *nodeID, *drainGrace, *dataDir, *shards)
+	} else {
+		err = run(*addr, *seed, *scale, *pipelineEvery, *pollEvery, *dataDir, *syncMode, *snapshotEvery, *shards, *nodeID, *drainGrace)
+	}
+	if err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
@@ -86,7 +118,83 @@ func syncPolicy(mode string) (reef.SyncPolicy, error) {
 	}
 }
 
-func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.Duration, dataDir, syncMode string, snapshotEvery, shards int) error {
+// parseClusterNodes parses the -cluster-nodes list: "id=url,id=url".
+func parseClusterNodes(spec string) ([]reefcluster.Node, error) {
+	var nodes []reefcluster.Node
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, u, ok := strings.Cut(part, "=")
+		if !ok || id == "" || u == "" {
+			return nil, fmt.Errorf("reefd: bad -cluster-nodes entry %q (want id=url)", part)
+		}
+		nodes = append(nodes, reefcluster.Node{ID: id, BaseURL: u})
+	}
+	if len(nodes) == 0 {
+		return nil, errors.New("reefd: -cluster-nodes has no entries")
+	}
+	return nodes, nil
+}
+
+// swapHandler atomically replaces its delegate: the listener comes up
+// serving "starting" 503s, then the real handler swaps in once recovery
+// replay finishes.
+type swapHandler struct {
+	h atomic.Pointer[http.Handler]
+}
+
+func (s *swapHandler) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	(*s.h.Load()).ServeHTTP(rw, req)
+}
+
+func (s *swapHandler) set(h http.Handler) { s.h.Store(&h) }
+
+// startingHandler answers every /v1 route with the unavailable envelope
+// while recovery replay runs (readyz has its own dedicated route).
+func startingHandler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		rw.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = rw.Write([]byte(`{"error":{"code":"unavailable","message":"starting: recovery replay in progress"}}` + "\n"))
+	})
+}
+
+// serveUntilSignal waits on an already-serving server until
+// SIGINT/SIGTERM, then drains in cluster-polite order: readyz
+// advertises draining, the grace passes so probers stop routing here,
+// the listener drains in-flight requests, and finally shutdown()
+// releases whatever the mode holds. The caller starts srv.Serve itself
+// (feeding serveErr) so the accept loop can predate recovery replay.
+func serveUntilSignal(srv *http.Server, serveErr <-chan error, ready *reefhttp.Readiness, drainGrace time.Duration, shutdown func() error) error {
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	select {
+	case err := <-serveErr:
+		_ = shutdown()
+		return fmt.Errorf("reefd: %w", err)
+	case <-ctx.Done():
+	}
+	log.Print("reefd: signal received, draining (readyz -> 503)")
+	ready.SetDraining()
+	time.Sleep(drainGrace)
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shutCancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("reefd: shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("reefd: serve: %v", err)
+	}
+	if err := shutdown(); err != nil {
+		return err
+	}
+	log.Print("reefd: shut down cleanly")
+	return nil
+}
+
+func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.Duration, dataDir, syncMode string, snapshotEvery, shards int, nodeID string, drainGrace time.Duration) error {
 	model := topics.NewModel(seed, 16, 50, 80)
 	wcfg := websim.DefaultConfig(seed, time.Now().UTC())
 	wcfg.NumContentServers = int(float64(wcfg.NumContentServers) * scale)
@@ -118,30 +226,47 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 			reef.WithSnapshotEvery(snapshotEvery),
 		)
 	}
-	dep, err := reef.NewCentralized(opts...)
+
+	// The server comes up BEFORE recovery so a restarting node answers
+	// probes — readyz "starting", everything else a 503 envelope —
+	// instead of refusing connections or parking them in the accept
+	// backlog while the WAL replays.
+	ready := reefhttp.NewReadiness()
+	api := &swapHandler{}
+	api.set(startingHandler())
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", api)
+	mux.Handle("/v1/readyz", reefhttp.ReadyzHandler(ready, nodeID))
+	mux.Handle("/web/", http.StripPrefix("/web", &websim.Handler{Web: web}))
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("reefd: %w", err)
 	}
-	// Closed explicitly on the shutdown path below; this catches the
-	// error returns before the server starts.
-	depClosed := false
-	defer func() {
-		if !depClosed {
-			_ = dep.Close()
-		}
-	}()
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	if dataDir != "" {
+		log.Printf("reefd listening on %s (starting: recovering %s)", addr, dataDir)
+	}
+
+	dep, err := reef.NewCentralized(opts...)
+	if err != nil {
+		_ = srv.Close()
+		return fmt.Errorf("reefd: %w", err)
+	}
 	if dataDir != "" {
 		info, err := dep.StorageInfo(context.Background())
 		if err != nil {
+			_ = srv.Close()
+			_ = dep.Close()
 			return fmt.Errorf("reefd: %w", err)
 		}
 		log.Printf("durable: dir=%s sync=%s shards=%d generation=%d recovered=%d records torn_tail=%v",
 			info.Dir, info.Sync, dep.ShardCount(), info.Generation, info.RecoveredRecords, info.TornTail)
 	}
-
-	mux := http.NewServeMux()
-	mux.Handle("/v1/", reefhttp.NewHandler(dep, log.Default()))
-	mux.Handle("/web/", http.StripPrefix("/web", &websim.Handler{Web: web}))
+	api.set(reefhttp.NewHandler(dep, log.Default(),
+		reefhttp.WithReadiness(ready), reefhttp.WithNodeID(nodeID)))
+	ready.SetReady()
 
 	stop := make(chan struct{})
 	done := make(chan struct{})
@@ -168,37 +293,68 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 	}()
 	var stopOnce sync.Once
 	stopPipeline := func() { stopOnce.Do(func() { close(stop); <-done }) }
-	defer stopPipeline()
 
-	// Serve until SIGINT/SIGTERM, then drain: in-flight requests finish
-	// (bounded by the shutdown timeout), the pipeline ticker stops, and
-	// the deployment closes so the final WAL segment lands synced.
-	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer cancel()
-	srv := &http.Server{Addr: addr, Handler: mux}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.ListenAndServe() }()
-	log.Printf("reefd listening on %s (web scale %.2f, %d shard(s), pipeline every %s)", addr, scale, dep.ShardCount(), pipelineEvery)
+	idLabel := ""
+	if nodeID != "" {
+		idLabel = "node " + nodeID + ", "
+	}
+	log.Printf("reefd ready on %s (%sweb scale %.2f, %d shard(s), pipeline every %s)", addr, idLabel, scale, dep.ShardCount(), pipelineEvery)
+	var closeOnce sync.Once
+	shutdown := func() error {
+		var err error
+		closeOnce.Do(func() {
+			stopPipeline()
+			if cerr := dep.Close(); cerr != nil {
+				err = fmt.Errorf("reefd: closing deployment: %w", cerr)
+			}
+		})
+		return err
+	}
+	return serveUntilSignal(srv, serveErr, ready, drainGrace, shutdown)
+}
 
-	select {
-	case err := <-serveErr:
+// runRouter serves the /v1 surface over a cluster of reefd nodes: user
+// calls forward to their owning node, publishes fan out to every live
+// node. The router holds no state of its own, so there is nothing to
+// recover — it is ready as soon as the first probe round finishes.
+func runRouter(addr, spec, nodeID string, drainGrace time.Duration, dataDir string, shards int) error {
+	if dataDir != "" {
+		return errors.New("reefd: -data-dir is a node flag; a cluster router holds no state (drop it or drop -cluster-nodes)")
+	}
+	if shards != 0 {
+		return errors.New("reefd: -shards is a node flag; shard the nodes, not the router")
+	}
+	nodes, err := parseClusterNodes(spec)
+	if err != nil {
+		return err
+	}
+	cl, err := reefcluster.New(reefcluster.Config{Nodes: nodes})
+	if err != nil {
 		return fmt.Errorf("reefd: %w", err)
-	case <-ctx.Done():
 	}
-	log.Print("reefd: signal received, draining")
-	shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer shutCancel()
-	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("reefd: shutdown: %v", err)
+	for _, s := range cl.Status() {
+		log.Printf("cluster node %s (%s): %s", s.Node.ID, s.Node.BaseURL, s.State)
 	}
-	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("reefd: serve: %v", err)
+
+	ready := reefhttp.NewReadiness()
+	ready.SetReady()
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", reefhttp.NewHandler(cl, log.Default(),
+		reefhttp.WithReadiness(ready), reefhttp.WithNodeID(nodeID)))
+	mux.Handle("/v1/readyz", reefhttp.ReadyzHandler(ready, nodeID))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		_ = cl.Close()
+		return fmt.Errorf("reefd: %w", err)
 	}
-	stopPipeline()
-	depClosed = true
-	if err := dep.Close(); err != nil {
-		return fmt.Errorf("reefd: closing deployment: %w", err)
+	log.Printf("reefd routing %d nodes on %s", len(nodes), addr)
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	var closeOnce sync.Once
+	shutdown := func() error {
+		closeOnce.Do(func() { _ = cl.Close() })
+		return nil
 	}
-	log.Print("reefd: shut down cleanly")
-	return nil
+	return serveUntilSignal(srv, serveErr, ready, drainGrace, shutdown)
 }

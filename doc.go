@@ -22,8 +22,13 @@
 // parallel; the Persister interface exposes the storage surface. The
 // reefhttp subpackage serves any Deployment over a versioned REST
 // surface, and reefclient is the Go SDK for it (itself a Deployment).
-// See DESIGN.md for the interface, route, error-model, sharding and
-// durability reference.
+// The reefcluster subpackage scales out: a Cluster is a Deployment
+// routing over N reefd nodes — users placed by a stable hash,
+// publishes fanned out to every live node, membership tracked by a
+// health prober (internal/membership), and node failures surfaced as
+// typed ErrNodeDown while other users stay served. See DESIGN.md for
+// the interface, route, error-model, sharding, cluster and durability
+// reference.
 //
 // The components live under internal/: the pub-sub substrate (eventalg,
 // pubsub), the IR toolkit (ir), the Web and workload simulation (websim,

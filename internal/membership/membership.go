@@ -1,0 +1,230 @@
+// Package membership tracks which nodes of a static reef cluster are
+// routable. There is no gossip and no elected coordinator — the paper's
+// WAIF vision assumes administratively placed servers, so the seed list
+// IS the membership; what changes at runtime is only each node's health.
+// A Tracker probes every node on a jittered interval and keeps a
+// three-state answer per node:
+//
+//	Up       the node answers its readiness probe; route to it.
+//	Draining the node is alive but refusing new work (it answered the
+//	         probe with a "draining" readiness state, as reefd does
+//	         between receiving a shutdown signal and closing its
+//	         listener). Stop routing to it; it will disappear shortly.
+//	Down     the node is unreachable, still starting (recovery replay),
+//	         or failing its probe. Calls owned by it must fail fast.
+//
+// The probe itself is injected (the reefcluster package probes
+// /v1/healthz + /v1/readyz through the reef client SDK), so this
+// package stays transport-free and trivially testable.
+package membership
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// State is one node's routability.
+type State int32
+
+// Node states. The zero value is Down: a node is unroutable until its
+// first successful probe says otherwise.
+const (
+	Down State = iota
+	Draining
+	Up
+)
+
+// String returns the state's wire/stat name.
+func (s State) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Draining:
+		return "draining"
+	default:
+		return "down"
+	}
+}
+
+// Node is one statically configured cluster member.
+type Node struct {
+	// ID is the node's stable identity (reefd -node-id). Placement
+	// follows the node's position in the seed list, not the ID, but the
+	// ID guards against a probe reaching the wrong process on a reused
+	// address.
+	ID string
+	// BaseURL is the node's API root, e.g. "http://10.0.0.7:7070".
+	BaseURL string
+}
+
+// ProbeFunc reports one node's current state. It must honor the context
+// deadline; any error in reaching a verdict should come back as Down.
+type ProbeFunc func(ctx context.Context, n Node) State
+
+// Options tunes the Tracker's probe loop. Zero values pick defaults.
+type Options struct {
+	// Interval is the base probe period per node (default 1s).
+	Interval time.Duration
+	// Jitter is the uniform random extra added to each sleep (default
+	// Interval/4), so a fleet of trackers does not probe in lockstep.
+	Jitter time.Duration
+	// Timeout bounds one probe call (default Interval, capped at 5s).
+	Timeout time.Duration
+	// Seed seeds the jitter source; 0 uses the current time.
+	Seed int64
+}
+
+// NodeStatus is one node's tracked state, for stats and breakdowns.
+type NodeStatus struct {
+	Node  Node
+	State State
+	// LastProbe is when the state was last confirmed by a probe (zero
+	// until the first probe completes; Report updates it too).
+	LastProbe time.Time
+}
+
+// Tracker watches a static node set with a jittered probe loop.
+type Tracker struct {
+	nodes []Node
+	probe ProbeFunc
+	opt   Options
+
+	mu     sync.RWMutex
+	status map[string]*NodeStatus
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New builds a Tracker over the seed list. Every node starts Down;
+// call ProbeAll for a synchronous first round, then Start for the
+// background loop.
+func New(nodes []Node, probe ProbeFunc, opt Options) *Tracker {
+	if opt.Interval <= 0 {
+		opt.Interval = time.Second
+	}
+	if opt.Jitter <= 0 {
+		opt.Jitter = opt.Interval / 4
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = opt.Interval
+		if opt.Timeout > 5*time.Second {
+			opt.Timeout = 5 * time.Second
+		}
+	}
+	t := &Tracker{
+		nodes:  nodes,
+		probe:  probe,
+		opt:    opt,
+		status: make(map[string]*NodeStatus, len(nodes)),
+		stop:   make(chan struct{}),
+	}
+	for _, n := range nodes {
+		t.status[n.ID] = &NodeStatus{Node: n, State: Down}
+	}
+	return t
+}
+
+// ProbeAll probes every node once, concurrently, and waits for the
+// verdicts. Callers use it for an accurate initial state before the
+// first routing decision.
+func (t *Tracker) ProbeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, n := range t.nodes {
+		wg.Add(1)
+		go func(n Node) {
+			defer wg.Done()
+			t.probeOne(ctx, n)
+		}(n)
+	}
+	wg.Wait()
+}
+
+// Start launches one jittered probe goroutine per node. Safe to call
+// once; Close stops the loop.
+func (t *Tracker) Start() {
+	seed := t.opt.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	for i, n := range t.nodes {
+		t.wg.Add(1)
+		go t.loop(n, rand.New(rand.NewSource(seed+int64(i))))
+	}
+}
+
+// loop probes one node until Close.
+func (t *Tracker) loop(n Node, rng *rand.Rand) {
+	defer t.wg.Done()
+	for {
+		sleep := t.opt.Interval + time.Duration(rng.Int63n(int64(t.opt.Jitter)+1))
+		timer := time.NewTimer(sleep)
+		select {
+		case <-t.stop:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), t.opt.Timeout)
+		t.probeOne(ctx, n)
+		cancel()
+	}
+}
+
+// probeOne runs one probe and records the verdict.
+func (t *Tracker) probeOne(ctx context.Context, n Node) {
+	s := t.probe(ctx, n)
+	t.record(n.ID, s, time.Now())
+}
+
+// record stores a state observation.
+func (t *Tracker) record(id string, s State, at time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st, ok := t.status[id]; ok {
+		st.State = s
+		st.LastProbe = at
+	}
+}
+
+// State answers one node's current routability. Unknown IDs are Down.
+func (t *Tracker) State(id string) State {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if st, ok := t.status[id]; ok {
+		return st.State
+	}
+	return Down
+}
+
+// Report overrides a node's state from out-of-band evidence — the
+// router marking a node Down the moment a forwarded call fails at the
+// transport, rather than waiting out a probe interval. The next probe
+// re-confirms or reverses it, which is exactly how a restarted node is
+// re-admitted.
+func (t *Tracker) Report(id string, s State) {
+	t.record(id, s, time.Now())
+}
+
+// Snapshot lists every node's status in seed-list order.
+func (t *Tracker) Snapshot() []NodeStatus {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]NodeStatus, 0, len(t.nodes))
+	for _, n := range t.nodes {
+		out = append(out, *t.status[n.ID])
+	}
+	return out
+}
+
+// Nodes returns the static seed list, in placement order.
+func (t *Tracker) Nodes() []Node { return t.nodes }
+
+// Close stops the probe loop and waits for it. Idempotent.
+func (t *Tracker) Close() {
+	t.stopOnce.Do(func() { close(t.stop) })
+	t.wg.Wait()
+}

@@ -1,0 +1,156 @@
+package membership
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeProbe is a scriptable ProbeFunc with per-node answers.
+type fakeProbe struct {
+	mu     sync.Mutex
+	states map[string]State
+	calls  map[string]int
+}
+
+func newFakeProbe() *fakeProbe {
+	return &fakeProbe{states: map[string]State{}, calls: map[string]int{}}
+}
+
+func (f *fakeProbe) set(id string, s State) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.states[id] = s
+}
+
+func (f *fakeProbe) probe(_ context.Context, n Node) State {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls[n.ID]++
+	return f.states[n.ID]
+}
+
+func (f *fakeProbe) callCount(id string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[id]
+}
+
+func testNodes() []Node {
+	return []Node{
+		{ID: "a", BaseURL: "http://a.test"},
+		{ID: "b", BaseURL: "http://b.test"},
+		{ID: "c", BaseURL: "http://c.test"},
+	}
+}
+
+// TestInitialStateIsDown pins the safety default: before any probe, no
+// node is routable.
+func TestInitialStateIsDown(t *testing.T) {
+	tr := New(testNodes(), newFakeProbe().probe, Options{})
+	defer tr.Close()
+	for _, n := range testNodes() {
+		if got := tr.State(n.ID); got != Down {
+			t.Errorf("State(%s) before first probe = %v, want Down", n.ID, got)
+		}
+	}
+	if got := tr.State("nonexistent"); got != Down {
+		t.Errorf("State(unknown) = %v, want Down", got)
+	}
+}
+
+// TestProbeAllTransitions drives the full state alphabet through a
+// synchronous probe round.
+func TestProbeAllTransitions(t *testing.T) {
+	fp := newFakeProbe()
+	fp.set("a", Up)
+	fp.set("b", Draining)
+	fp.set("c", Down)
+	tr := New(testNodes(), fp.probe, Options{})
+	defer tr.Close()
+	tr.ProbeAll(context.Background())
+
+	for id, want := range map[string]State{"a": Up, "b": Draining, "c": Down} {
+		if got := tr.State(id); got != want {
+			t.Errorf("State(%s) = %v, want %v", id, got, want)
+		}
+	}
+
+	snap := tr.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Snapshot len = %d, want 3", len(snap))
+	}
+	// Snapshot preserves seed-list (placement) order.
+	for i, id := range []string{"a", "b", "c"} {
+		if snap[i].Node.ID != id {
+			t.Errorf("Snapshot[%d] = %s, want %s", i, snap[i].Node.ID, id)
+		}
+		if snap[i].LastProbe.IsZero() {
+			t.Errorf("Snapshot[%d].LastProbe still zero after ProbeAll", i)
+		}
+	}
+}
+
+// TestReportOverrideAndReadmission is the failover cycle in miniature:
+// the router reports a node Down out-of-band, then the probe loop
+// re-admits it once the probe answers Up again.
+func TestReportOverrideAndReadmission(t *testing.T) {
+	fp := newFakeProbe()
+	fp.set("a", Up)
+	fp.set("b", Up)
+	fp.set("c", Up)
+	tr := New(testNodes(), fp.probe, Options{Interval: 5 * time.Millisecond, Jitter: time.Millisecond, Seed: 1})
+	defer tr.Close()
+	tr.ProbeAll(context.Background())
+
+	tr.Report("b", Down)
+	if got := tr.State("b"); got != Down {
+		t.Fatalf("State(b) after Report(Down) = %v, want Down", got)
+	}
+
+	// The probe still answers Up, so the background loop re-admits it.
+	tr.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for tr.State("b") != Up {
+		if time.Now().After(deadline) {
+			t.Fatal("node b never re-admitted by the probe loop")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestProbeLoopCoversEveryNode checks the jittered loop actually visits
+// all nodes, repeatedly, and stops when closed.
+func TestProbeLoopCoversEveryNode(t *testing.T) {
+	fp := newFakeProbe()
+	tr := New(testNodes(), fp.probe, Options{Interval: 2 * time.Millisecond, Jitter: time.Millisecond, Seed: 7})
+	tr.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if fp.callCount("a") >= 3 && fp.callCount("b") >= 3 && fp.callCount("c") >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("probe loop too slow: calls a=%d b=%d c=%d",
+				fp.callCount("a"), fp.callCount("b"), fp.callCount("c"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tr.Close()
+	after := fp.callCount("a")
+	time.Sleep(20 * time.Millisecond)
+	if got := fp.callCount("a"); got != after {
+		t.Errorf("probes continued after Close: %d -> %d", after, got)
+	}
+	tr.Close() // idempotent
+}
+
+// TestStateString pins the stat/wire names.
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Up: "up", Draining: "draining", Down: "down", State(99): "down"} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

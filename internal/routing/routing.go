@@ -1,0 +1,57 @@
+// Package routing holds the two contracts the in-process shard router
+// (package reef) and the multi-node cluster router (reefcluster) must
+// agree on forever: the user-placement hash and the stat-merge rules.
+// Both routers call these one canonical implementations so the schemes
+// cannot drift apart.
+package routing
+
+import "strings"
+
+// UserSlot maps a user identity to one of n slots with FNV-1a. The
+// hash is part of durable contracts on both layers — a user's journal
+// records live in shard-<UserSlot(user, shards)>/ on disk, and a
+// cluster routes the user to node UserSlot(user, nodes) — so it must
+// stay stable across releases (changing it is a data migration).
+func UserSlot(user string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(user); i++ {
+		h ^= uint32(user[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// Merge merges per-slot stat snapshots. Counters and gauges sum;
+// histogram-derived keys keep their meaning across the merge — ".max"
+// takes the maximum and ".mean" becomes the ".count"-weighted mean —
+// so a 50µs mean on every slot still reads as 50µs, not slots×50µs.
+func Merge[S ~map[string]float64](slots []S) S {
+	out := S{}
+	for _, s := range slots {
+		for k, v := range s {
+			switch {
+			case strings.HasSuffix(k, ".max"):
+				if v > out[k] {
+					out[k] = v
+				}
+			case strings.HasSuffix(k, ".mean"):
+				out[k] += v * s[strings.TrimSuffix(k, ".mean")+".count"]
+			default:
+				out[k] += v
+			}
+		}
+	}
+	for k, v := range out {
+		if strings.HasSuffix(k, ".mean") {
+			if c := out[strings.TrimSuffix(k, ".mean")+".count"]; c > 0 {
+				out[k] = v / c
+			} else {
+				out[k] = 0
+			}
+		}
+	}
+	return out
+}

@@ -161,8 +161,13 @@ type StorageInfo struct {
 	ShardCount int `json:"shard_count,omitempty"`
 	// Shards breaks the storage state down per shard, in shard order.
 	// Empty on single-shard deployments, where the top-level fields
-	// already are the whole story.
+	// already are the whole story. A cluster deployment (reefcluster)
+	// reuses the field for its per-node breakdown, with Node set on each
+	// entry.
 	Shards []StorageInfo `json:"shards,omitempty"`
+	// Node labels a per-node entry of a cluster deployment's breakdown
+	// with that node's ID. Empty everywhere else.
+	Node string `json:"node,omitempty"`
 }
 
 // Persister is the optional durability surface of a Deployment. Both

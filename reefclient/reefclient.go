@@ -10,11 +10,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"reef"
 	"reef/reefhttp"
@@ -61,10 +64,45 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithTimeout bounds each request attempt with its own deadline (on top
+// of whatever deadline the caller's context carries). Each retry
+// attempt gets a fresh budget, so a request's worst case is
+// attempts × timeout plus backoff. Zero (the default) adds no deadline.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetry enables bounded retry with jittered exponential backoff for
+// failures that are safe or idempotent-enough to repeat: connection
+// errors (the request likely never reached a handler) and 502/503
+// responses (a proxy without a backend, or a deployment that is
+// starting, draining or closed — exactly the transients a cluster
+// forwarding path sees around a node restart). retries is how many
+// extra attempts follow the first (so retries=2 means at most 3 calls);
+// backoff is the first delay, doubled each attempt, with a uniform
+// jitter of up to one backoff unit added (zero backoff defaults to
+// 50ms). The default — no WithRetry — keeps the old single-attempt
+// behavior. 4xx responses and context cancellation never retry.
+func WithRetry(retries int, backoff time.Duration) Option {
+	return func(c *Client) {
+		if retries < 0 {
+			retries = 0
+		}
+		if backoff <= 0 {
+			backoff = 50 * time.Millisecond
+		}
+		c.retries = retries
+		c.backoff = backoff
+	}
+}
+
 // Client speaks the /v1 REST surface. Safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+	retries int
+	backoff time.Duration
 }
 
 var (
@@ -86,20 +124,91 @@ func New(baseURL string, opts ...Option) *Client {
 
 // do sends one request with a JSON body (nil for none) and decodes the
 // response into out (nil to discard). Non-2xx responses become *APIError.
+// With WithRetry, connection errors and 502/503 answers repeat up to the
+// retry budget with jittered exponential backoff; the body is marshaled
+// once and replayed per attempt.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
 			return fmt.Errorf("reefclient: encoding request: %w", err)
 		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, data, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if attempt >= c.retries || ctx.Err() != nil || !c.retryable(err) {
+			return lastErr
+		}
+		// Exponential backoff with up to one backoff unit of jitter, so
+		// concurrent callers hammering a recovering node spread out.
+		delay := c.backoff<<attempt + time.Duration(rand.Int63n(int64(c.backoff)+1))
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return lastErr
+		case <-timer.C:
+		}
+	}
+}
+
+// terminalError marks a failure that happened AFTER the server may
+// already have processed the request — a 2xx arrived but its body
+// could not be read or decoded. Retrying would re-send a mutation the
+// server likely applied, so these are never retried.
+type terminalError struct{ err error }
+
+func (e *terminalError) Error() string { return e.err.Error() }
+func (e *terminalError) Unwrap() error { return e.err }
+
+// retryable reports whether an attempt's failure is worth repeating:
+// transport-level errors (connection refused, reset — the request
+// likely never reached a handler) and 502/503 envelopes. Cancellation,
+// post-2xx body failures (see terminalError) and every other HTTP
+// status are final; a DeadlineExceeded can only be the per-attempt
+// timeout here (the caller already checked the parent context), so
+// with WithTimeout armed it retries with a fresh budget.
+func (c *Client) retryable(err error) bool {
+	var term *terminalError
+	if errors.As(err, &term) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode == http.StatusBadGateway ||
+			apiErr.StatusCode == http.StatusServiceUnavailable
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return c.timeout > 0
+	}
+	return true
+}
+
+// doOnce performs a single attempt, applying the per-attempt timeout.
+func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, hasBody bool, out any) error {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return fmt.Errorf("reefclient: building request: %w", err)
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
@@ -107,26 +216,31 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return fmt.Errorf("reefclient: %s %s: %w", method, path, err)
 	}
 	defer func() { _ = resp.Body.Close() }()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	respData, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if resp.StatusCode >= 200 && resp.StatusCode <= 299 {
+		// Past this point the server processed the request; failures are
+		// terminal (never retried) so a mutation is not re-sent.
+		if err != nil {
+			return &terminalError{fmt.Errorf("reefclient: reading response: %w", err)}
+		}
+		if out == nil {
+			return nil
+		}
+		if err := json.Unmarshal(respData, out); err != nil {
+			return &terminalError{fmt.Errorf("reefclient: decoding %s %s response: %w", method, path, err)}
+		}
+		return nil
+	}
 	if err != nil {
 		return fmt.Errorf("reefclient: reading response: %w", err)
 	}
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var envelope reefhttp.ErrorBody
-		if err := json.Unmarshal(data, &envelope); err != nil || envelope.Error.Code == "" {
-			return &APIError{StatusCode: resp.StatusCode, Code: reefhttp.CodeInternal,
-				Message: strings.TrimSpace(string(data))}
-		}
-		return &APIError{StatusCode: resp.StatusCode, Code: envelope.Error.Code,
-			Message: envelope.Error.Message}
+	var envelope reefhttp.ErrorBody
+	if err := json.Unmarshal(respData, &envelope); err != nil || envelope.Error.Code == "" {
+		return &APIError{StatusCode: resp.StatusCode, Code: reefhttp.CodeInternal,
+			Message: strings.TrimSpace(string(respData))}
 	}
-	if out == nil {
-		return nil
-	}
-	if err := json.Unmarshal(data, out); err != nil {
-		return fmt.Errorf("reefclient: decoding %s %s response: %w", method, path, err)
-	}
-	return nil
+	return &APIError{StatusCode: resp.StatusCode, Code: envelope.Error.Code,
+		Message: envelope.Error.Message}
 }
 
 // IngestClicks implements reef.Deployment over POST /v1/clicks.
@@ -226,6 +340,52 @@ func (c *Client) Health(ctx context.Context) (reefhttp.HealthResponse, error) {
 		return reefhttp.HealthResponse{}, err
 	}
 	return out, nil
+}
+
+// Ready probes GET /v1/readyz. Readiness is deliberately not routed
+// through do: the 503 a starting or draining node answers carries a
+// ReadyResponse body, not the error envelope, and the prober needs that
+// status string. On a non-200 the decoded body (when present) comes
+// back alongside the *APIError, so callers can distinguish a draining
+// node (resp.Status "draining", err non-nil) from an unreachable one
+// (resp zero, err non-nil). Ready never retries, whatever WithRetry
+// says — a probe wants the answer now.
+func (c *Client) Ready(ctx context.Context) (reefhttp.ReadyResponse, error) {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/readyz", nil)
+	if err != nil {
+		return reefhttp.ReadyResponse{}, fmt.Errorf("reefclient: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return reefhttp.ReadyResponse{}, fmt.Errorf("reefclient: GET /v1/readyz: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return reefhttp.ReadyResponse{}, fmt.Errorf("reefclient: reading response: %w", err)
+	}
+	var out reefhttp.ReadyResponse
+	_ = json.Unmarshal(data, &out)
+	if resp.StatusCode == http.StatusOK {
+		if out.Status == "" {
+			return out, fmt.Errorf("reefclient: decoding /v1/readyz response %q", data)
+		}
+		return out, nil
+	}
+	// A gated 503 carries the ReadyResponse shape; anything else (an old
+	// server 404ing the route, a proxy error page) may carry the envelope.
+	apiErr := &APIError{StatusCode: resp.StatusCode, Code: reefhttp.CodeUnavailable,
+		Message: "node not ready: " + strings.TrimSpace(string(data))}
+	var envelope reefhttp.ErrorBody
+	if json.Unmarshal(data, &envelope) == nil && envelope.Error.Code != "" {
+		apiErr.Code, apiErr.Message = envelope.Error.Code, envelope.Error.Message
+	}
+	return out, apiErr
 }
 
 // StorageInfo implements reef.Persister over GET /v1/admin/storage. A

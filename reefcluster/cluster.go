@@ -1,0 +1,736 @@
+// Package reefcluster scales reef out: a Cluster implements
+// reef.Deployment by routing over N reefd nodes, so capacity is no
+// longer capped by one machine. It is the multi-node analog of the
+// in-process shard router (reef.WithShards):
+//
+//   - Each node owns a static slice of the user hash space — the same
+//     FNV-1a scheme the shard router uses, applied at node granularity
+//     over the configured node list. User-addressed calls (clicks,
+//     subscriptions, recommendations) forward to the owning node
+//     through the reef client SDK.
+//   - PublishEvent/PublishBatch stamp the events once and fan out to
+//     every routable node concurrently, mirroring the in-process
+//     fan-out; the result sums the nodes' local delivery counts.
+//   - Stats and StorageInfo aggregate across nodes with per-node
+//     breakdowns.
+//
+// Membership is a static seed list plus liveness: a background prober
+// (internal/membership) walks every node's /v1/healthz and /v1/readyz
+// on a jittered interval and keeps a per-node up/draining/down state.
+// The headline behavior is failover: when a node dies mid-workload,
+// calls for its users fail fast with ErrNodeDown while every other
+// user keeps being served; when the node restarts it recovers from its
+// own WAL and the prober re-admits it — no operator action, no
+// rebalancing. Placement is intentionally static (node list order is
+// the contract, like the shard count is on disk): moving users between
+// nodes is a data migration, not a failover.
+package reefcluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reef"
+	"reef/internal/membership"
+	"reef/internal/routing"
+	"reef/reefclient"
+	"reef/reefhttp"
+)
+
+// ErrNodeDown is the typed failover error: the node owning the
+// addressed user is not routable (dead, still recovering its WAL, or
+// draining for shutdown). Calls for users on other nodes are
+// unaffected. NodeDownError instances match it with errors.Is; they
+// also match reef.ErrClosed, so the REST surface maps a routed-through
+// node failure to the same 503 envelope a closed deployment gets.
+var ErrNodeDown = errors.New("reefcluster: node down")
+
+// NodeDownError reports which node was unroutable and why.
+type NodeDownError struct {
+	// Node is the owning node's ID ("any" for cluster-wide failures
+	// such as a publish finding no routable node at all).
+	Node string
+	// State is the membership verdict: "down" or "draining".
+	State string
+	// Err is the underlying transport error when one triggered the
+	// verdict mid-call, nil when the prober had already marked the node.
+	Err error
+}
+
+// Error implements error.
+func (e *NodeDownError) Error() string {
+	msg := fmt.Sprintf("reefcluster: node %s is %s", e.Node, e.State)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Is makes errors.Is(err, ErrNodeDown) and errors.Is(err,
+// reef.ErrClosed) both true, keeping sentinel checks working through
+// the REST surface while the specific check stays available.
+func (e *NodeDownError) Is(target error) bool {
+	return target == ErrNodeDown || target == reef.ErrClosed
+}
+
+// Unwrap exposes the transport error, when there is one.
+func (e *NodeDownError) Unwrap() error { return e.Err }
+
+// Node is one cluster member. ID must match the node's reefd -node-id
+// (the prober cross-checks it, catching a probe answered by a stranger
+// on a reused address); BaseURL is the node's API root.
+type Node struct {
+	ID      string
+	BaseURL string
+}
+
+// Config describes the cluster. Nodes is the placement contract: a
+// user's owner is Nodes[fnv1a(user) % len(Nodes)], so the list's order
+// and length must be identical on every router and across restarts —
+// changing either re-homes users whose data stays on the old owner.
+type Config struct {
+	Nodes []Node
+
+	// ProbeInterval is the base membership probe period per node
+	// (default 1s); ProbeTimeout bounds one probe (default interval).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+
+	// CallTimeout bounds each forwarded request attempt (default 10s).
+	CallTimeout time.Duration
+	// Retries is how many extra attempts a forwarded call gets on
+	// connection errors and 502/503 answers (jittered backoff between
+	// them, see reefclient.WithRetry). Default 1; negative disables.
+	Retries int
+	// RetryBackoff is the first backoff delay (default 25ms).
+	RetryBackoff time.Duration
+
+	// HTTPClient overrides the transport for every node client (tests).
+	HTTPClient *http.Client
+}
+
+// Cluster routes a reef.Deployment over N reefd nodes.
+type Cluster struct {
+	nodes   []Node
+	clients []*reefclient.Client // forwarding clients, with retry
+	tracker *membership.Tracker
+
+	mu     sync.Mutex
+	closed bool
+
+	forwardErrors atomic.Int64 // transport failures on forwarded calls
+	publishSkips  atomic.Int64 // node publishes skipped or lost to node failures
+}
+
+var (
+	_ reef.Deployment = (*Cluster)(nil)
+	_ reef.Persister  = (*Cluster)(nil)
+)
+
+// New builds the cluster router and runs one synchronous probe round so
+// the first routing decision sees real node states, then starts the
+// background prober. Nodes that are down merely start as Down — their
+// users fail fast until the prober re-admits them; New itself succeeds
+// as long as the configuration is valid.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("%w: cluster needs at least one node", reef.ErrInvalidArgument)
+	}
+	seen := make(map[string]struct{}, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		if n.ID == "" || n.BaseURL == "" {
+			return nil, fmt.Errorf("%w: node needs both an ID and a base URL (got %+v)", reef.ErrInvalidArgument, n)
+		}
+		if _, dup := seen[n.ID]; dup {
+			return nil, fmt.Errorf("%w: duplicate node ID %q", reef.ErrInvalidArgument, n.ID)
+		}
+		seen[n.ID] = struct{}{}
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeInterval
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 1
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 25 * time.Millisecond
+	}
+
+	c := &Cluster{nodes: cfg.Nodes}
+	clientOpts := func(extra ...reefclient.Option) []reefclient.Option {
+		opts := []reefclient.Option{reefclient.WithTimeout(cfg.CallTimeout)}
+		if cfg.HTTPClient != nil {
+			opts = append(opts, reefclient.WithHTTPClient(cfg.HTTPClient))
+		}
+		return append(opts, extra...)
+	}
+	c.clients = make([]*reefclient.Client, len(cfg.Nodes))
+	probeClients := make([]*reefclient.Client, len(cfg.Nodes))
+	mnodes := make([]membership.Node, len(cfg.Nodes))
+	for i, n := range cfg.Nodes {
+		if cfg.Retries > 0 {
+			c.clients[i] = reefclient.New(n.BaseURL, clientOpts(reefclient.WithRetry(cfg.Retries, cfg.RetryBackoff))...)
+		} else {
+			c.clients[i] = reefclient.New(n.BaseURL, clientOpts()...)
+		}
+		// Probes never retry: a probe wants this instant's answer, and a
+		// retried 503 would stretch every round by the backoff.
+		probeClients[i] = reefclient.New(n.BaseURL, clientOpts()...)
+		mnodes[i] = membership.Node{ID: n.ID, BaseURL: n.BaseURL}
+	}
+	byID := make(map[string]*reefclient.Client, len(cfg.Nodes))
+	for i, n := range cfg.Nodes {
+		byID[n.ID] = probeClients[i]
+	}
+	probe := func(ctx context.Context, n membership.Node) membership.State {
+		return probeNode(ctx, byID[n.ID], n.ID)
+	}
+	c.tracker = membership.New(mnodes, probe, membership.Options{
+		Interval: cfg.ProbeInterval,
+		Timeout:  cfg.ProbeTimeout,
+	})
+	initCtx, cancel := context.WithTimeout(context.Background(), cfg.ProbeTimeout)
+	c.tracker.ProbeAll(initCtx)
+	cancel()
+	c.tracker.Start()
+	return c, nil
+}
+
+// probeNode is the cluster's membership probe: healthz answers "is a
+// live reef node at this address" (including identity, when stamped),
+// readyz answers "should it receive new work".
+func probeNode(ctx context.Context, cli *reefclient.Client, wantID string) membership.State {
+	h, err := cli.Health(ctx)
+	if err != nil {
+		return membership.Down
+	}
+	if h.Node != "" && h.Node != wantID {
+		// A healthy answer from the wrong process: the address was reused.
+		// Routing user data there would corrupt two deployments at once.
+		return membership.Down
+	}
+	ready, err := cli.Ready(ctx)
+	switch {
+	case err == nil:
+		return membership.Up
+	case ready.Status == reefhttp.ReadyDraining:
+		return membership.Draining
+	default:
+		// Starting (recovery replay), or an unreadable answer.
+		return membership.Down
+	}
+}
+
+// NodeFor reports which node owns a user: the shard router's FNV-1a
+// placement hash (internal/routing) at node granularity. Exposed so
+// tests, benches and operators can check placement against the hash.
+func (c *Cluster) NodeFor(user string) Node {
+	return c.nodes[routing.UserSlot(user, len(c.nodes))]
+}
+
+// Nodes returns the static node list in placement order.
+func (c *Cluster) Nodes() []Node { return c.nodes }
+
+// NodeStatus is one node's tracked membership state.
+type NodeStatus struct {
+	Node Node
+	// State is "up", "draining" or "down".
+	State string
+	// LastProbe is when the state was last confirmed.
+	LastProbe time.Time
+}
+
+// Status reports every node's membership state, in placement order.
+func (c *Cluster) Status() []NodeStatus {
+	snap := c.tracker.Snapshot()
+	out := make([]NodeStatus, len(snap))
+	for i, s := range snap {
+		out[i] = NodeStatus{
+			Node:      Node{ID: s.Node.ID, BaseURL: s.Node.BaseURL},
+			State:     s.State.String(),
+			LastProbe: s.LastProbe,
+		}
+	}
+	return out
+}
+
+// ProbeNow runs one synchronous probe round over every node — tests
+// and operators use it to refresh membership without waiting out the
+// probe interval.
+func (c *Cluster) ProbeNow(ctx context.Context) { c.tracker.ProbeAll(ctx) }
+
+// checkOpen rejects calls on a closed cluster or a dead context.
+func (c *Cluster) checkOpen(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return reef.ErrClosed
+	}
+	return nil
+}
+
+// owner resolves a user's owning node index, failing fast when the
+// membership layer says it is not routable.
+func (c *Cluster) owner(user string) (int, error) {
+	i := routing.UserSlot(user, len(c.nodes))
+	id := c.nodes[i].ID
+	if s := c.tracker.State(id); s != membership.Up {
+		return 0, &NodeDownError{Node: id, State: s.String()}
+	}
+	return i, nil
+}
+
+// nodeFault reports whether a forwarded call's failure indicts the
+// node rather than the request: transport errors (the node, or the
+// path to it, is gone) and 5xx answers — a 503 deployment that closed
+// or started draining between probe rounds, a 502/504 from a proxy
+// whose backend died, a 500. 501 is the one 5xx that is deterministic
+// (reef.ErrUnsupported: every retry and every node answers the same),
+// and every 4xx is the request's own fault.
+func nodeFault(err error) bool {
+	var apiErr *reefclient.APIError
+	if !errors.As(err, &apiErr) {
+		return true
+	}
+	return apiErr.StatusCode >= 500 && apiErr.StatusCode != http.StatusNotImplemented
+}
+
+// forwardErr post-processes a forwarded call's error. Node faults (see
+// nodeFault) demote the node to Down immediately — the prober
+// re-admits it when it comes back — and wrap in the typed failover
+// error. Every other API error passes through untouched, so sentinel
+// mapping keeps working end to end.
+func (c *Cluster) forwardErr(i int, err error) error {
+	if err == nil {
+		return nil
+	}
+	if !nodeFault(err) {
+		return err
+	}
+	c.forwardErrors.Add(1)
+	c.tracker.Report(c.nodes[i].ID, membership.Down)
+	return &NodeDownError{Node: c.nodes[i].ID, State: membership.Down.String(), Err: err}
+}
+
+// --- user-addressed calls: forward to the owning node ------------------
+
+// IngestClicks implements reef.Deployment: the batch is validated as a
+// whole, split by owning node, and the per-node groups forward
+// concurrently. A batch that includes users of an already-down node
+// fails fast with ErrNodeDown before anything is sent; a node that
+// dies MID-call, however, can leave the batch partially landed — the
+// other groups' clicks are already on their nodes (there is no
+// cross-node transaction to roll them back with). The returned count
+// is what actually landed, also alongside an error, so a caller
+// retrying a failed batch knows it may duplicate clicks on the
+// surviving groups; callers that need exactly-once should batch
+// per user.
+func (c *Cluster) IngestClicks(ctx context.Context, clicks []reef.Click) (int, error) {
+	if err := c.checkOpen(ctx); err != nil {
+		return 0, err
+	}
+	for _, cl := range clicks {
+		if strings.TrimSpace(cl.User) == "" {
+			return 0, fmt.Errorf("%w: click with empty user", reef.ErrInvalidArgument)
+		}
+		if cl.URL == "" {
+			return 0, fmt.Errorf("%w: click with empty URL", reef.ErrInvalidArgument)
+		}
+	}
+	if len(clicks) == 0 {
+		return 0, nil
+	}
+	groups := make(map[int][]reef.Click)
+	for _, cl := range clicks {
+		i, err := c.owner(cl.User)
+		if err != nil {
+			return 0, err
+		}
+		groups[i] = append(groups[i], cl)
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total int
+		first error
+	)
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i int, g []reef.Click) {
+			defer wg.Done()
+			n, err := c.clients[i].IngestClicks(ctx, g)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if first == nil {
+					first = c.forwardErr(i, err)
+				}
+				return
+			}
+			total += n
+		}(i, g)
+	}
+	wg.Wait()
+	return total, first
+}
+
+// Subscriptions implements reef.Deployment by forwarding to the owner.
+func (c *Cluster) Subscriptions(ctx context.Context, user string) ([]reef.Subscription, error) {
+	i, err := c.userCall(ctx, user)
+	if err != nil {
+		return nil, err
+	}
+	subs, err := c.clients[i].Subscriptions(ctx, user)
+	return subs, c.forwardErr(i, err)
+}
+
+// Subscribe implements reef.Deployment by forwarding to the owner.
+func (c *Cluster) Subscribe(ctx context.Context, user, feedURL string) (reef.Subscription, error) {
+	i, err := c.userCall(ctx, user)
+	if err != nil {
+		return reef.Subscription{}, err
+	}
+	sub, err := c.clients[i].Subscribe(ctx, user, feedURL)
+	return sub, c.forwardErr(i, err)
+}
+
+// Unsubscribe implements reef.Deployment by forwarding to the owner.
+func (c *Cluster) Unsubscribe(ctx context.Context, user, feedURL string) error {
+	i, err := c.userCall(ctx, user)
+	if err != nil {
+		return err
+	}
+	return c.forwardErr(i, c.clients[i].Unsubscribe(ctx, user, feedURL))
+}
+
+// Recommendations implements reef.Deployment by forwarding to the owner.
+func (c *Cluster) Recommendations(ctx context.Context, user string) ([]reef.Recommendation, error) {
+	i, err := c.userCall(ctx, user)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := c.clients[i].Recommendations(ctx, user)
+	return recs, c.forwardErr(i, err)
+}
+
+// AcceptRecommendation implements reef.Deployment by forwarding to the
+// owner.
+func (c *Cluster) AcceptRecommendation(ctx context.Context, user, id string) error {
+	i, err := c.userCall(ctx, user)
+	if err != nil {
+		return err
+	}
+	return c.forwardErr(i, c.clients[i].AcceptRecommendation(ctx, user, id))
+}
+
+// RejectRecommendation implements reef.Deployment by forwarding to the
+// owner.
+func (c *Cluster) RejectRecommendation(ctx context.Context, user, id string) error {
+	i, err := c.userCall(ctx, user)
+	if err != nil {
+		return err
+	}
+	return c.forwardErr(i, c.clients[i].RejectRecommendation(ctx, user, id))
+}
+
+// userCall is the shared preamble of every forwarded user call.
+func (c *Cluster) userCall(ctx context.Context, user string) (int, error) {
+	if err := c.checkOpen(ctx); err != nil {
+		return 0, err
+	}
+	if strings.TrimSpace(user) == "" {
+		return 0, fmt.Errorf("%w: empty user", reef.ErrInvalidArgument)
+	}
+	return c.owner(user)
+}
+
+// --- publishes: stamp once, fan out to every routable node -------------
+
+// PublishEvent implements reef.Deployment: the event is stamped once
+// (all nodes record the same publish time) and fanned out to every Up
+// node concurrently; the result sums their local delivery counts.
+// Nodes that fail at the transport mid-fan-out are demoted and their
+// deliveries skipped — publish keeps the cluster's remaining users
+// served, which is the failover contract. Only when no node accepts
+// the event does the call fail.
+func (c *Cluster) PublishEvent(ctx context.Context, ev reef.Event) (int, error) {
+	if err := c.checkOpen(ctx); err != nil {
+		return 0, err
+	}
+	if ev.Published.IsZero() {
+		ev.Published = time.Now().UTC()
+	}
+	return c.fanOut(ctx, func(i int) (int, error) {
+		return c.clients[i].PublishEvent(ctx, ev)
+	})
+}
+
+// PublishBatch implements reef.Deployment: the batch is stamped once
+// and fanned out whole to every Up node (one HTTP round trip per node
+// for the entire batch).
+func (c *Cluster) PublishBatch(ctx context.Context, evs []reef.Event) (int, error) {
+	if err := c.checkOpen(ctx); err != nil {
+		return 0, err
+	}
+	if len(evs) == 0 {
+		return 0, nil
+	}
+	now := time.Now().UTC()
+	stamped := make([]reef.Event, len(evs))
+	copy(stamped, evs)
+	for i := range stamped {
+		if stamped[i].Published.IsZero() {
+			stamped[i].Published = now
+		}
+	}
+	return c.fanOut(ctx, func(i int) (int, error) {
+		return c.clients[i].PublishBatch(ctx, stamped)
+	})
+}
+
+// fanOut runs a publish against every Up node concurrently and sums
+// the delivery counts. API errors (validation) propagate — they are
+// deterministic and identical on every node; transport errors demote
+// the node and are skipped. With zero routable nodes, or when every
+// routable node failed mid-call, the publish fails with ErrNodeDown.
+func (c *Cluster) fanOut(ctx context.Context, fn func(i int) (int, error)) (int, error) {
+	var targets []int
+	for i, n := range c.nodes {
+		if c.tracker.State(n.ID) == membership.Up {
+			targets = append(targets, i)
+		} else {
+			c.publishSkips.Add(1)
+		}
+	}
+	if len(targets) == 0 {
+		return 0, &NodeDownError{Node: "any", State: membership.Down.String()}
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		total    int
+		landed   int
+		firstAPI error
+	)
+	for _, i := range targets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n, err := fn(i)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if !nodeFault(err) {
+					// Deterministic (validation) failure: identical on every
+					// node, so it is the publish's answer, not a node's.
+					if firstAPI == nil {
+						firstAPI = err
+					}
+					return
+				}
+				c.publishSkips.Add(1)
+				_ = c.forwardErr(i, err) // demote; publish itself continues
+				return
+			}
+			landed++
+			total += n
+		}(i)
+	}
+	wg.Wait()
+	if firstAPI != nil {
+		return 0, firstAPI
+	}
+	if landed == 0 {
+		return 0, &NodeDownError{Node: "any", State: membership.Down.String()}
+	}
+	return total, nil
+}
+
+// --- aggregation -------------------------------------------------------
+
+// Stats implements reef.Deployment: counters merge across Up nodes
+// with the same rules the shard router uses (internal/routing.Merge:
+// sums; ".max" keys take the max, ".mean" keys become count-weighted
+// means), each node contributes a node_<id>_-prefixed load breakdown,
+// and the cluster adds its own gauges: nodes, nodes_up/draining/down,
+// cluster_forward_errors and cluster_publish_skips. Down nodes are
+// skipped — their counters are unreachable by definition.
+func (c *Cluster) Stats(ctx context.Context) (reef.Stats, error) {
+	if err := c.checkOpen(ctx); err != nil {
+		return nil, err
+	}
+	type nodeStats struct {
+		i  int
+		st reef.Stats
+	}
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		per []nodeStats
+	)
+	states := map[string]float64{"up": 0, "draining": 0, "down": 0}
+	for _, s := range c.Status() {
+		states[s.State]++
+	}
+	for i, n := range c.nodes {
+		if c.tracker.State(n.ID) != membership.Up {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := c.clients[i].Stats(ctx)
+			if err != nil {
+				_ = c.forwardErr(i, err)
+				return
+			}
+			mu.Lock()
+			per = append(per, nodeStats{i, st})
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	merged := make([]reef.Stats, 0, len(per))
+	for _, ns := range per {
+		merged = append(merged, ns.st)
+	}
+	out := routing.Merge(merged)
+	for _, ns := range per {
+		id := c.nodes[ns.i].ID
+		for _, k := range []string{"clicks_stored", "users_with_frontends", "pending_recommendations", "shards"} {
+			if v, ok := ns.st[k]; ok {
+				out["node_"+id+"_"+k] = v
+			}
+		}
+	}
+	out["nodes"] = float64(len(c.nodes))
+	out["nodes_up"] = states["up"]
+	out["nodes_draining"] = states["draining"]
+	out["nodes_down"] = states["down"]
+	out["cluster_forward_errors"] = float64(c.forwardErrors.Load())
+	out["cluster_publish_skips"] = float64(c.publishSkips.Load())
+	return out, nil
+}
+
+// StorageInfo implements reef.Persister: the per-node backend states
+// merge under Backend "cluster", with each node's own StorageInfo in
+// the Shards breakdown labeled by Node. Unreachable nodes contribute a
+// stub entry with Backend "unreachable" instead of failing the whole
+// report — an operator asking "how is the cluster's storage" mid-outage
+// deserves an answer, not an error.
+func (c *Cluster) StorageInfo(ctx context.Context) (reef.StorageInfo, error) {
+	if err := c.checkOpen(ctx); err != nil {
+		return reef.StorageInfo{}, err
+	}
+	infos := make([]reef.StorageInfo, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		if c.tracker.State(n.ID) == membership.Down {
+			infos[i] = reef.StorageInfo{Node: n.ID, Backend: "unreachable"}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			info, err := c.clients[i].StorageInfo(ctx)
+			if err != nil {
+				if errors.Is(err, reef.ErrUnsupported) {
+					infos[i] = reef.StorageInfo{Node: id, Backend: "memory"}
+				} else {
+					_ = c.forwardErr(i, err)
+					infos[i] = reef.StorageInfo{Node: id, Backend: "unreachable"}
+				}
+				return
+			}
+			info.Node = id
+			infos[i] = info
+		}(i, n.ID)
+	}
+	wg.Wait()
+	agg := reef.StorageInfo{Backend: "cluster", Shards: infos}
+	for _, in := range infos {
+		agg.WALRecords += in.WALRecords
+		agg.WALBytes += in.WALBytes
+		agg.Snapshots += in.Snapshots
+		agg.RecoveredRecords += in.RecoveredRecords
+		agg.ShardCount += in.ShardCount
+		if in.Generation > agg.Generation {
+			agg.Generation = in.Generation
+		}
+		if in.TornTail {
+			agg.TornTail = true
+		}
+		if in.LastSnapshot.After(agg.LastSnapshot) {
+			agg.LastSnapshot = in.LastSnapshot
+		}
+	}
+	return agg, nil
+}
+
+// Snapshot implements reef.Persister: every Up node takes a compacting
+// snapshot concurrently; the first failure aborts with that node's
+// error. It returns the post-compaction aggregate.
+func (c *Cluster) Snapshot(ctx context.Context) (reef.StorageInfo, error) {
+	if err := c.checkOpen(ctx); err != nil {
+		return reef.StorageInfo{}, err
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for i, n := range c.nodes {
+		if c.tracker.State(n.ID) != membership.Up {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.clients[i].Snapshot(ctx); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = c.forwardErr(i, err)
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if first != nil {
+		return reef.StorageInfo{}, first
+	}
+	return c.StorageInfo(ctx)
+}
+
+// Close implements reef.Deployment: it stops the prober and marks the
+// router closed. The nodes themselves keep running — the cluster
+// router is a view over them, not their owner. Idempotent.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.tracker.Close()
+	return nil
+}

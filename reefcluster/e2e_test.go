@@ -1,0 +1,249 @@
+package reefcluster_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"reef"
+	"reef/internal/durable/durabletest"
+	"reef/internal/websim"
+	"reef/reefcluster"
+)
+
+// TestClusterKillRestartE2E is the acceptance test of the cluster
+// subsystem: a 3-node cluster under a real workload loses a node and
+// keeps serving every other user, then the node restarts, recovers its
+// own WAL, is re-admitted by the prober, and answers with byte-identical
+// state (golden-state diff via durabletest).
+//
+// Timeline:
+//
+//  1. drive clicks, subscriptions, pipeline recommendations and an
+//     accept through the cluster, across users of all three nodes
+//  2. capture the cluster-wide golden state
+//  3. kill node b (unclean: no WAL flush beyond what SyncAlways wrote,
+//     listener drops every connection)
+//  4. before any probe: a forwarded call discovers the death at the
+//     transport, fails with ErrNodeDown, and demotes the node
+//  5. node b's users fail fast; nodes a/c users are fully served;
+//     publishes deliver on a/c only
+//  6. restart node b on the same address; it replays its WAL and the
+//     jittered prober re-admits it without ProbeNow
+//  7. capture again: the cluster-wide golden state must be
+//     byte-identical, including node b's recovered slice
+func TestClusterKillRestartE2E(t *testing.T) {
+	ctx := context.Background()
+	web := testWeb(61)
+	cl, nodes := startCluster(t, 3, web)
+	byNode := usersPerNode(cl, nodes, 2)
+	victim := nodes[1]
+
+	var allUsers []string
+	for _, n := range nodes {
+		allUsers = append(allUsers, byNode[n.id]...)
+	}
+
+	// --- 1. drive a workload through the cluster ----------------------
+	at := t0
+	for _, s := range web.Servers(websim.KindContent) {
+		if len(s.Feeds) == 0 {
+			continue
+		}
+		for path := range s.Pages {
+			for _, u := range allUsers {
+				at = at.Add(time.Second)
+				if _, err := cl.IngestClicks(ctx, []reef.Click{{User: u, URL: s.URL(path), At: at}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// The pipeline is node-local compute (reefd runs it on a timer); in
+	// the test we drive each node's round directly.
+	for _, n := range nodes {
+		n.dep.RunPipeline(at)
+	}
+	// Consume recommendations into the durable pending ledgers through
+	// the cluster, and exercise accept on one.
+	accepted := false
+	for _, u := range allUsers {
+		recs, err := cl.Recommendations(ctx, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !accepted && len(recs) > 0 {
+			if err := cl.AcceptRecommendation(ctx, u, recs[0].ID); err != nil {
+				t.Fatal(err)
+			}
+			accepted = true
+		}
+	}
+	if !accepted {
+		t.Fatal("pipeline produced no recommendations to accept")
+	}
+	feeds := feedURLs(web)
+	for i, u := range allUsers {
+		if _, err := cl.Subscribe(ctx, u, feeds[i%len(feeds)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Unsubscribe(ctx, allUsers[0], feeds[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fan-out sanity while everything is up: a hot feed with one
+	// subscriber per node delivers 3.
+	hot := feeds[len(feeds)-1]
+	for _, n := range nodes {
+		if _, err := cl.Subscribe(ctx, byNode[n.id][1], hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hotEvent := reef.Event{Attrs: map[string]string{
+		"type": "feed-item", "feed": hot, "title": "t", "link": "http://x.test/hot",
+	}}
+	if delivered, err := cl.PublishEvent(ctx, hotEvent); err != nil || delivered != 3 {
+		t.Fatalf("publish with 3 nodes = (%d, %v), want 3 deliveries", delivered, err)
+	}
+
+	// --- 2. golden state before the failure ---------------------------
+	before, err := durabletest.Capture(ctx, cl, allUsers, durabletest.DurableStatKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- 3. kill node b ------------------------------------------------
+	victim.kill(t)
+
+	// --- 4. the transport discovers the death before any probe does ---
+	vUser := byNode[victim.id][0]
+	var down *reefcluster.NodeDownError
+	if _, err := cl.Subscriptions(ctx, vUser); !errors.As(err, &down) {
+		t.Fatalf("first call after kill = %v, want NodeDownError from the transport", err)
+	}
+	if down.Node != victim.id {
+		t.Fatalf("NodeDownError.Node = %s, want %s", down.Node, victim.id)
+	}
+	// From here the node is demoted: the same call now fails fast
+	// without touching the network, still as ErrNodeDown.
+	if _, err := cl.Subscriptions(ctx, vUser); !errors.Is(err, reefcluster.ErrNodeDown) {
+		t.Fatalf("fail-fast call = %v, want ErrNodeDown", err)
+	}
+
+	// --- 5. every other user is fully served --------------------------
+	for _, n := range nodes {
+		if n.id == victim.id {
+			continue
+		}
+		for _, u := range byNode[n.id] {
+			if _, err := cl.Subscriptions(ctx, u); err != nil {
+				t.Fatalf("user %s (node %s) after kill: %v", u, n.id, err)
+			}
+			if _, err := cl.Recommendations(ctx, u); err != nil {
+				t.Fatalf("recommendations for %s after kill: %v", u, err)
+			}
+		}
+		if _, err := cl.IngestClicks(ctx, []reef.Click{
+			{User: byNode[n.id][0], URL: "http://alive.test/p", At: at.Add(time.Minute)},
+		}); err != nil {
+			t.Fatalf("ingest for node %s after kill: %v", n.id, err)
+		}
+	}
+	if delivered, err := cl.PublishEvent(ctx, hotEvent); err != nil || delivered != 2 {
+		t.Fatalf("publish with a dead node = (%d, %v), want 2 deliveries from the survivors", delivered, err)
+	}
+	// The cluster still answers aggregates, reporting the hole.
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["nodes_down"] != 1 || stats["nodes_up"] != 2 {
+		t.Fatalf("node gauges after kill = up %v down %v, want 2 up 1 down", stats["nodes_up"], stats["nodes_down"])
+	}
+	info, err := cl.StorageInfo(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Shards[1].Backend; got != "unreachable" {
+		t.Fatalf("dead node's storage entry = %q, want unreachable", got)
+	}
+
+	// Un-do the post-kill ingest so the final capture compares against
+	// the pre-kill golden state: the extra click lives on nodes a/c.
+	// (Clicks are append-only; instead of undoing, fold them into the
+	// expectation below.)
+	surviveClicks := float64(len(nodes) - 1)
+
+	// --- 6. restart: WAL recovery, then prober re-admission -----------
+	victim.restart(t)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s := cl.Status()[1]; s.State == "up" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted node never re-admitted by the background prober")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// --- 7. byte-identical recovered state ----------------------------
+	after, err := durabletest.Capture(ctx, cl, allUsers, durabletest.DurableStatKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The survivors each ingested 1 click to a brand-new host mid-outage
+	// by design; adjust the expectation, then require byte equality.
+	before.Stats["clicks_stored"] += surviveClicks
+	before.Stats["distinct_servers"] += surviveClicks
+	diff, err := durabletest.Diff(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff != "" {
+		t.Fatalf("cluster state after kill+restart differs:\n%s", diff)
+	}
+
+	// The rejoined node serves its users again — including honoring a
+	// pending-recommendation ID minted before the crash.
+	if _, err := cl.Subscriptions(ctx, vUser); err != nil {
+		t.Fatalf("victim's user after rejoin: %v", err)
+	}
+	for _, u := range byNode[victim.id] {
+		for _, rec := range after.Pending[u] {
+			if err := cl.AcceptRecommendation(ctx, u, rec.ID); err != nil {
+				t.Fatalf("accepting pre-crash recommendation %s/%s after rejoin: %v", u, rec.ID, err)
+			}
+			return
+		}
+	}
+	// No pending recommendation landed on the victim's users; the
+	// byte-identical diff above already proves recovery, so just check
+	// a write round-trips.
+	if _, err := cl.Subscribe(ctx, vUser, feeds[0]); err != nil {
+		t.Fatalf("write to rejoined node: %v", err)
+	}
+}
+
+// TestClusterPublishAllNodesDown pins the cluster-wide failure shape:
+// with no routable node, a publish fails with ErrNodeDown instead of
+// silently delivering to nobody.
+func TestClusterPublishAllNodesDown(t *testing.T) {
+	ctx := context.Background()
+	web := testWeb(62)
+	cl, nodes := startCluster(t, 2, web)
+	for _, n := range nodes {
+		n.kill(t)
+	}
+	cl.ProbeNow(ctx)
+	_, err := cl.PublishEvent(ctx, reef.Event{Attrs: map[string]string{"topic": "x"}})
+	if !errors.Is(err, reefcluster.ErrNodeDown) {
+		t.Fatalf("publish with all nodes down = %v, want ErrNodeDown", err)
+	}
+	var down *reefcluster.NodeDownError
+	if !errors.As(err, &down) || down.Node != "any" {
+		t.Fatalf("err = %v, want NodeDownError{any}", err)
+	}
+}

@@ -19,11 +19,22 @@
 //	POST   /v1/recommendations/{id}/reject     discard one   (body: {"user":U})
 //	GET    /v1/stats                           counters snapshot
 //	GET    /v1/healthz                         liveness + shard count + backend
+//	GET    /v1/readyz                          readiness (see Readiness)
 //	GET    /v1/admin/storage                   persistence backend state
 //	POST   /v1/admin/snapshot                  force a compacting snapshot
 //
 // The admin endpoints require the deployment to implement reef.Persister;
 // against one that does not they answer 501 with code "unsupported".
+//
+// Liveness and readiness are distinct probes: /v1/healthz answers 200
+// whenever the process serves at all, while /v1/readyz answers 200 only
+// when the deployment should receive new work — 503 with status
+// "starting" until WAL recovery replay completes, and 503 with status
+// "draining" once a shutdown began. A cluster router routes on readyz,
+// so a node stops receiving traffic before its listener disappears.
+// Unlike every other route, readyz keeps the ReadyResponse body shape
+// on 503 too (not the error envelope): the prober needs the status
+// string to tell a draining node from a broken one.
 package reefhttp
 
 import (
@@ -35,6 +46,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 
 	"reef"
 )
@@ -109,26 +121,108 @@ type (
 	}
 	// HealthResponse is the GET /v1/healthz body: liveness plus the
 	// deployment's shape — how many engine shards serve it and which
-	// storage backend persists it ("memory" when nothing does).
+	// storage backend persists it ("memory" when nothing does). Node is
+	// the server's cluster identity (reefd -node-id), empty standalone.
 	HealthResponse struct {
 		Status  string `json:"status"`
 		Shards  int    `json:"shards"`
 		Backend string `json:"backend"`
+		Node    string `json:"node,omitempty"`
+	}
+	// ReadyResponse is the GET /v1/readyz body, served with this shape
+	// at every status code. Status is "ready" (200), "starting" or
+	// "draining" (both 503).
+	ReadyResponse struct {
+		Status string `json:"status"`
+		Node   string `json:"node,omitempty"`
 	}
 )
 
+// Readiness state names carried in ReadyResponse.Status.
+const (
+	ReadyStarting = "starting"
+	ReadyOK       = "ready"
+	ReadyDraining = "draining"
+)
+
+// Readiness is the three-state gate behind /v1/readyz. It starts in
+// "starting" (503): a recovering node answers probes — instead of
+// refusing connections — without being routed to. SetReady flips it to
+// 200 once recovery replay completes; SetDraining flips it back to 503
+// when a shutdown begins, so a cluster prober stops routing to the node
+// before the listener closes. Safe for concurrent use.
+type Readiness struct {
+	state atomic.Int32 // 0 starting, 1 ready, 2 draining
+}
+
+// NewReadiness returns a gate in the "starting" state.
+func NewReadiness() *Readiness { return &Readiness{} }
+
+// SetReady marks recovery complete: readyz answers 200.
+func (r *Readiness) SetReady() { r.state.Store(1) }
+
+// SetDraining marks a shutdown in progress: readyz answers 503 again.
+func (r *Readiness) SetDraining() { r.state.Store(2) }
+
+// State reports the current status string.
+func (r *Readiness) State() string {
+	switch r.state.Load() {
+	case 1:
+		return ReadyOK
+	case 2:
+		return ReadyDraining
+	default:
+		return ReadyStarting
+	}
+}
+
+// ReadyzHandler serves GET /v1/readyz from a gate alone, for servers
+// that must answer readiness probes before their deployment exists:
+// reefd starts listening before WAL recovery replay completes, so a
+// restarting node answers "starting" (503) instead of refusing
+// connections. Mounted on a mux at the exact path, it takes precedence
+// over the full Handler's /v1/ prefix route.
+func ReadyzHandler(r *Readiness, nodeID string) http.Handler {
+	h := &Handler{ready: r, nodeID: nodeID}
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		h.route(rw, req, "GET", h.handleReadyz)
+	})
+}
+
 // Handler serves the REST surface over any reef.Deployment.
 type Handler struct {
-	dep reef.Deployment
-	log *log.Logger
+	dep    reef.Deployment
+	log    *log.Logger
+	ready  *Readiness
+	nodeID string
 }
 
 var _ http.Handler = (*Handler)(nil)
 
+// HandlerOption configures optional handler behavior.
+type HandlerOption func(*Handler)
+
+// WithReadiness wires a readiness gate behind /v1/readyz. Without one,
+// readyz mirrors liveness: 200 whenever the deployment serves.
+func WithReadiness(r *Readiness) HandlerOption {
+	return func(h *Handler) { h.ready = r }
+}
+
+// WithNodeID stamps the server's cluster identity into the healthz and
+// readyz bodies, so a prober can detect a probe answered by the wrong
+// process on a reused address.
+func WithNodeID(id string) HandlerOption {
+	return func(h *Handler) { h.nodeID = id }
+}
+
 // NewHandler mounts the /v1 surface over the deployment. A nil logger
 // discards encode-failure diagnostics.
-func NewHandler(dep reef.Deployment, logger *log.Logger) *Handler {
-	return &Handler{dep: dep, log: logger}
+func NewHandler(dep reef.Deployment, logger *log.Logger, opts ...HandlerOption) *Handler {
+	h := &Handler{dep: dep, log: logger}
+	for _, o := range opts {
+		o(h)
+	}
+	return h
 }
 
 // ServeHTTP implements http.Handler with explicit routing so unknown
@@ -154,6 +248,8 @@ func (h *Handler) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 		h.route(rw, req, "GET", h.handleStats)
 	case len(seg) == 1 && seg[0] == "healthz":
 		h.route(rw, req, "GET", h.handleHealthz)
+	case len(seg) == 1 && seg[0] == "readyz":
+		h.route(rw, req, "GET", h.handleReadyz)
 	case len(seg) == 1 && seg[0] == "recommendations":
 		h.route(rw, req, "GET", h.handleRecommendations)
 	case len(seg) == 2 && seg[0] == "admin" && seg[1] == "storage":
@@ -332,7 +428,7 @@ func (h *Handler) handleStats(rw http.ResponseWriter, req *http.Request) {
 // failing) deployment turns the probe into the matching error envelope,
 // so an orchestrator sees 503 once the deployment stops serving.
 func (h *Handler) handleHealthz(rw http.ResponseWriter, req *http.Request) {
-	out := HealthResponse{Status: "ok", Shards: 1, Backend: "memory"}
+	out := HealthResponse{Status: "ok", Shards: 1, Backend: "memory", Node: h.nodeID}
 	if s, ok := h.dep.(reef.Sharder); ok {
 		out.Shards = s.ShardCount()
 	}
@@ -351,6 +447,24 @@ func (h *Handler) handleHealthz(rw http.ResponseWriter, req *http.Request) {
 		}
 	}
 	h.writeJSON(rw, http.StatusOK, out)
+}
+
+// handleReadyz answers the readiness probe. With a Readiness gate the
+// gate alone decides; without one, readiness mirrors liveness. Both the
+// 200 and 503 answers carry the ReadyResponse shape (not the error
+// envelope) so probers can read the status string.
+func (h *Handler) handleReadyz(rw http.ResponseWriter, req *http.Request) {
+	out := ReadyResponse{Status: ReadyOK, Node: h.nodeID}
+	if h.ready != nil {
+		out.Status = h.ready.State()
+	} else if _, err := h.dep.Stats(req.Context()); err != nil {
+		out.Status = ReadyDraining
+	}
+	status := http.StatusOK
+	if out.Status != ReadyOK {
+		status = http.StatusServiceUnavailable
+	}
+	h.writeJSON(rw, status, out)
 }
 
 // persister unwraps the deployment's durability surface, answering the

@@ -198,6 +198,135 @@ func TestAdminUnsupported(t *testing.T) {
 	}
 }
 
+// TestReadyz pins the readiness endpoint, table-driven over the gate's
+// lifecycle: starting (503) -> ready (200) -> draining (503), the
+// no-gate fallback (mirrors liveness), node identity stamping, and the
+// wrong-method envelope. Unlike every other route, readyz keeps the
+// ReadyResponse body shape at 503 so probers can read the status.
+func TestReadyz(t *testing.T) {
+	model := topics.NewModel(41, 4, 10, 12)
+	wcfg := websim.DefaultConfig(41, time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC))
+	wcfg.NumContentServers = 4
+	web := websim.Generate(wcfg, model)
+	open := func(t *testing.T) *reef.Centralized {
+		t.Helper()
+		dep, err := reef.NewCentralized(reef.WithFetcher(web))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = dep.Close() })
+		return dep
+	}
+
+	for _, tc := range []struct {
+		name       string
+		opts       func(r *reefhttp.Readiness) []reefhttp.HandlerOption
+		arm        func(r *reefhttp.Readiness)
+		closeDep   bool
+		method     string
+		wantStatus int
+		wantBody   string // ReadyResponse.Status; "" = expect error envelope
+		wantNode   string
+	}{
+		{
+			name: "gate starting",
+			opts: func(r *reefhttp.Readiness) []reefhttp.HandlerOption {
+				return []reefhttp.HandlerOption{reefhttp.WithReadiness(r)}
+			},
+			arm:        func(r *reefhttp.Readiness) {},
+			method:     "GET",
+			wantStatus: http.StatusServiceUnavailable,
+			wantBody:   reefhttp.ReadyStarting,
+		},
+		{
+			name: "gate ready",
+			opts: func(r *reefhttp.Readiness) []reefhttp.HandlerOption {
+				return []reefhttp.HandlerOption{reefhttp.WithReadiness(r)}
+			},
+			arm:        func(r *reefhttp.Readiness) { r.SetReady() },
+			method:     "GET",
+			wantStatus: http.StatusOK,
+			wantBody:   reefhttp.ReadyOK,
+		},
+		{
+			name: "gate draining",
+			opts: func(r *reefhttp.Readiness) []reefhttp.HandlerOption {
+				return []reefhttp.HandlerOption{reefhttp.WithReadiness(r)}
+			},
+			arm:        func(r *reefhttp.Readiness) { r.SetReady(); r.SetDraining() },
+			method:     "GET",
+			wantStatus: http.StatusServiceUnavailable,
+			wantBody:   reefhttp.ReadyDraining,
+		},
+		{
+			name: "gate ready with node id",
+			opts: func(r *reefhttp.Readiness) []reefhttp.HandlerOption {
+				return []reefhttp.HandlerOption{reefhttp.WithReadiness(r), reefhttp.WithNodeID("n1")}
+			},
+			arm:        func(r *reefhttp.Readiness) { r.SetReady() },
+			method:     "GET",
+			wantStatus: http.StatusOK,
+			wantBody:   reefhttp.ReadyOK,
+			wantNode:   "n1",
+		},
+		{
+			name:       "no gate mirrors liveness",
+			opts:       func(r *reefhttp.Readiness) []reefhttp.HandlerOption { return nil },
+			arm:        func(r *reefhttp.Readiness) {},
+			method:     "GET",
+			wantStatus: http.StatusOK,
+			wantBody:   reefhttp.ReadyOK,
+		},
+		{
+			name:       "no gate closed deployment",
+			opts:       func(r *reefhttp.Readiness) []reefhttp.HandlerOption { return nil },
+			arm:        func(r *reefhttp.Readiness) {},
+			closeDep:   true,
+			method:     "GET",
+			wantStatus: http.StatusServiceUnavailable,
+			wantBody:   reefhttp.ReadyDraining,
+		},
+		{
+			name:       "wrong method",
+			opts:       func(r *reefhttp.Readiness) []reefhttp.HandlerOption { return nil },
+			arm:        func(r *reefhttp.Readiness) {},
+			method:     "POST",
+			wantStatus: http.StatusMethodNotAllowed,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dep := open(t)
+			if tc.closeDep {
+				_ = dep.Close()
+			}
+			r := reefhttp.NewReadiness()
+			tc.arm(r)
+			srv := httptest.NewServer(reefhttp.NewHandler(dep, nil, tc.opts(r)...))
+			t.Cleanup(srv.Close)
+			resp, envelope, raw := do(t, tc.method, srv.URL+"/v1/readyz", "")
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("readyz = %d, want %d (%s)", resp.StatusCode, tc.wantStatus, raw)
+			}
+			if tc.wantBody == "" {
+				if envelope.Error.Code != reefhttp.CodeMethodNotAllowed {
+					t.Errorf("error code = %q, want method_not_allowed", envelope.Error.Code)
+				}
+				return
+			}
+			var body reefhttp.ReadyResponse
+			if err := json.Unmarshal([]byte(raw), &body); err != nil {
+				t.Fatalf("decoding readyz body %q: %v", raw, err)
+			}
+			if body.Status != tc.wantBody {
+				t.Errorf("readyz status = %q, want %q", body.Status, tc.wantBody)
+			}
+			if body.Node != tc.wantNode {
+				t.Errorf("readyz node = %q, want %q", body.Node, tc.wantNode)
+			}
+		})
+	}
+}
+
 // TestHealthz pins the liveness endpoint across deployment shapes:
 // sharded file-backed, memory-backed, wrong method, and closed.
 func TestHealthz(t *testing.T) {

@@ -13,23 +13,17 @@ import (
 	"reef/internal/durable"
 	"reef/internal/pubsub"
 	"reef/internal/recommend"
+	"reef/internal/routing"
 )
 
-// shardFor maps a user identity to a shard index with FNV-1a. The hash
-// is part of the on-disk contract: a user's journal records live in
-// shard-<shardFor(user)>/, so the function must stay stable across
-// releases (changing it requires the same migration path as changing
-// the shard count).
+// shardFor maps a user identity to a shard index with the shared
+// FNV-1a placement hash (internal/routing, also the cluster router's
+// user→node scheme). The hash is part of the on-disk contract: a
+// user's journal records live in shard-<shardFor(user)>/, so it must
+// stay stable across releases (changing it requires the same migration
+// path as changing the shard count).
 func shardFor(user string, n int) int {
-	if n <= 1 {
-		return 0
-	}
-	h := uint32(2166136261)
-	for i := 0; i < len(user); i++ {
-		h ^= uint32(user[i])
-		h *= 16777619
-	}
-	return int(h % uint32(n))
+	return routing.UserSlot(user, n)
 }
 
 // resolveShards validates an explicit WithShards setting; unset returns
@@ -115,36 +109,11 @@ func sumFanOut(n int, fn func(i int) (int, error)) (int, error) {
 	return total, err
 }
 
-// mergeStats merges per-shard stat snapshots. Counters and gauges sum;
-// histogram-derived keys keep their meaning across the merge — ".max"
-// takes the maximum and ".mean" becomes the ".count"-weighted mean —
-// so a 50µs mean on every shard still reads as 50µs, not shards×50µs.
+// mergeStats merges per-shard stat snapshots with the shared rules
+// (internal/routing.Merge): counters sum, ".max" takes the maximum,
+// ".mean" becomes the ".count"-weighted mean.
 func mergeStats(shards []Stats) Stats {
-	out := Stats{}
-	for _, s := range shards {
-		for k, v := range s {
-			switch {
-			case strings.HasSuffix(k, ".max"):
-				if v > out[k] {
-					out[k] = v
-				}
-			case strings.HasSuffix(k, ".mean"):
-				out[k] += v * s[strings.TrimSuffix(k, ".mean")+".count"]
-			default:
-				out[k] += v
-			}
-		}
-	}
-	for k, v := range out {
-		if strings.HasSuffix(k, ".mean") {
-			if c := out[strings.TrimSuffix(k, ".mean")+".count"]; c > 0 {
-				out[k] = v / c
-			} else {
-				out[k] = 0
-			}
-		}
-	}
-	return out
+	return routing.Merge(shards)
 }
 
 // stampEvents assigns IDs and timestamps before a fan-out, so every
