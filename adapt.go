@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"reef/internal/attention"
+	"reef/internal/delivery"
 	"reef/internal/durable"
 	"reef/internal/eventalg"
 	"reef/internal/frontend"
@@ -107,6 +108,102 @@ func toPublicSubscription(user string, rec recommend.Recommendation) Subscriptio
 		sub.ID = rec.Filter.Canonical()
 	}
 	return sub
+}
+
+// fromPubsubEvent converts an internal event back to the public form,
+// for handing retained events to reliable consumers. String attributes
+// come back verbatim; other kinds render in filter syntax.
+func fromPubsubEvent(ev pubsub.Event) Event {
+	out := Event{
+		Source:    ev.Source,
+		Payload:   ev.Payload,
+		Published: ev.Published,
+	}
+	if len(ev.Attrs) > 0 {
+		out.Attrs = make(map[string]string, len(ev.Attrs))
+		for k, v := range ev.Attrs {
+			if v.Kind() == eventalg.KindString {
+				out.Attrs[k] = v.Str()
+			} else {
+				out.Attrs[k] = v.String()
+			}
+		}
+	}
+	return out
+}
+
+// subscriptionID derives the stable subscription identifier the public
+// API exposes: the feed URL for feed subscriptions, the canonical filter
+// text otherwise.
+func subscriptionID(rec recommend.Recommendation) string {
+	if rec.FeedURL != "" {
+		return rec.FeedURL
+	}
+	return rec.Filter.Canonical()
+}
+
+// toDeliveryConfig resolves a validated at-least-once SubscribeConfig
+// against the deployment defaults.
+func toDeliveryConfig(sc SubscribeConfig, cfg config) delivery.Config {
+	out := delivery.Config{
+		OrderingKey: sc.OrderingKey,
+		AckTimeout:  sc.AckTimeout,
+		MaxAttempts: sc.MaxAttempts,
+	}
+	if out.AckTimeout <= 0 {
+		out.AckTimeout = cfg.ackTimeout
+	}
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = cfg.maxAttempts
+	}
+	return out
+}
+
+// toDurableDelivery serializes an at-least-once subscription's delivery
+// configuration for the WAL / snapshot; best-effort subscriptions return
+// nil so their records stay byte-identical to the pre-delivery format.
+func toDurableDelivery(sc SubscribeConfig) *durable.DeliveryState {
+	if sc.Guarantee != AtLeastOnce {
+		return nil
+	}
+	return &durable.DeliveryState{
+		Guarantee:    AtLeastOnce.String(),
+		OrderingKey:  sc.OrderingKey,
+		AckTimeoutMS: sc.AckTimeout.Milliseconds(),
+		MaxAttempts:  sc.MaxAttempts,
+	}
+}
+
+// fromDurableDelivery rebuilds the SubscribeConfig behind a recovered
+// reliable subscription.
+func fromDurableDelivery(ds durable.DeliveryState) SubscribeConfig {
+	return SubscribeConfig{
+		Guarantee:   AtLeastOnce,
+		OrderingKey: ds.OrderingKey,
+		AckTimeout:  time.Duration(ds.AckTimeoutMS) * time.Millisecond,
+		MaxAttempts: ds.MaxAttempts,
+	}
+}
+
+// toPublicDelivered converts leased events to the public form.
+func toPublicDelivered(ds []delivery.Delivered) []DeliveredEvent {
+	out := make([]DeliveredEvent, len(ds))
+	for i, d := range ds {
+		out[i] = DeliveredEvent{Seq: d.Seq, Attempts: d.Attempts, Event: fromPubsubEvent(d.Event)}
+	}
+	return out
+}
+
+// toPublicDeadLetters converts dead-letter entries to the public form.
+func toPublicDeadLetters(ds []delivery.DeadLetter) []DeadLetter {
+	out := make([]DeadLetter, len(ds))
+	for i, d := range ds {
+		out[i] = DeadLetter{
+			Seq: d.Seq, Attempts: d.Attempts, Event: fromPubsubEvent(d.Event),
+			At: d.At, Reason: d.Reason,
+		}
+	}
+	return out
 }
 
 // toSidebarItems converts frontend sidebar items.
@@ -381,6 +478,16 @@ type durableReplay struct {
 	acceptRec func(user string, rec recommend.Recommendation) error
 	// rejectFeedback re-drives a reject's negative feedback.
 	rejectFeedback func(user, feedURL string, at time.Time)
+	// registerDelivery restores one reliable subscription's delivery
+	// queue. Called before applySub so no event pumped during replay can
+	// slip past the queue. Nil rejects recovered delivery configs (the
+	// distributed deployment never writes them).
+	registerDelivery func(user, id string, ds durable.DeliveryState)
+	// removeDelivery drops a reliable queue on a replayed unsubscribe.
+	removeDelivery func(user, id string)
+	// ackCursor restores one subscription's cumulative cursor (the
+	// OpCursorAck record family and the snapshot's cursor table).
+	ackCursor func(user, id string, seq int64)
 }
 
 // run replays the snapshot state and WAL tail.
@@ -419,9 +526,21 @@ func (dr durableReplay) applyState(st *durable.State) error {
 		if err != nil {
 			return err
 		}
+		if sub.Delivery != nil {
+			if dr.registerDelivery == nil {
+				return fmt.Errorf("snapshot carries a delivery config this deployment does not persist")
+			}
+			dr.registerDelivery(sub.User, subscriptionID(rec), *sub.Delivery)
+		}
 		if err := dr.applySub(rec); err != nil {
 			return err
 		}
+	}
+	if len(st.Cursors) > 0 && dr.ackCursor == nil {
+		return fmt.Errorf("snapshot carries delivery cursors this deployment does not persist")
+	}
+	for _, cu := range st.Cursors {
+		dr.ackCursor(cu.User, cu.ID, cu.Acked)
 	}
 	for _, p := range st.Pending {
 		rec, err := fromDurableRec(p.Rec)
@@ -467,8 +586,31 @@ func (dr durableReplay) applyRecord(rec durable.Record) error {
 		}
 		if rec.Op == durable.OpUnsubscribe {
 			r.Kind = recommend.KindUnsubscribeFeed
+			if err := dr.applySub(r); err != nil {
+				return err
+			}
+			if dr.removeDelivery != nil {
+				dr.removeDelivery(p.User, subscriptionID(r))
+			}
+			return nil
+		}
+		if p.Delivery != nil {
+			if dr.registerDelivery == nil {
+				return fmt.Errorf("record carries a delivery config this deployment does not persist")
+			}
+			dr.registerDelivery(p.User, subscriptionID(r), *p.Delivery)
 		}
 		return dr.applySub(r)
+	case durable.OpCursorAck:
+		if dr.ackCursor == nil {
+			return fmt.Errorf("unexpected op %v", rec.Op)
+		}
+		var p durable.CursorAckPayload
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return err
+		}
+		dr.ackCursor(p.User, p.ID, p.Seq)
+		return nil
 	case durable.OpPendingAdd:
 		var p durable.PendingAddPayload
 		if err := json.Unmarshal(rec.Payload, &p); err != nil {
@@ -577,6 +719,15 @@ func storeFlag(name string) store.Flag {
 func validateUser(user string) error {
 	if strings.TrimSpace(user) == "" {
 		return fmt.Errorf("%w: empty user", ErrInvalidArgument)
+	}
+	return nil
+}
+
+// validateSubID rejects empty subscription identifiers on calls that
+// address exactly one subscription.
+func validateSubID(subID string) error {
+	if strings.TrimSpace(subID) == "" {
+		return fmt.Errorf("%w: empty subscription ID", ErrInvalidArgument)
 	}
 	return nil
 }

@@ -338,7 +338,7 @@ func (c *Centralized) Subscriptions(ctx context.Context, user string) ([]Subscri
 
 // Subscribe implements Deployment: it places a feed subscription
 // immediately on the user's shard, bypassing the recommendation queue.
-func (c *Centralized) Subscribe(ctx context.Context, user, feedURL string) (Subscription, error) {
+func (c *Centralized) Subscribe(ctx context.Context, user, feedURL string, opts ...SubscribeOption) (Subscription, error) {
 	if err := c.checkOpen(ctx); err != nil {
 		return Subscription{}, err
 	}
@@ -348,7 +348,66 @@ func (c *Centralized) Subscribe(ctx context.Context, user, feedURL string) (Subs
 	if err := validateFeedURL(feedURL); err != nil {
 		return Subscription{}, err
 	}
-	return c.shard(user).subscribe(user, feedURL)
+	sc, err := NewSubscribeConfig(opts...)
+	if err != nil {
+		return Subscription{}, err
+	}
+	return c.shard(user).subscribe(user, feedURL, sc)
+}
+
+// FetchEvents implements ReliableDeliverer: it leases up to max retained
+// events of one at-least-once subscription, in sequence order, from the
+// user's shard.
+func (c *Centralized) FetchEvents(ctx context.Context, user, subID string, max int) ([]DeliveredEvent, error) {
+	if err := c.reliableArgs(ctx, user); err != nil {
+		return nil, err
+	}
+	if err := validateSubID(subID); err != nil {
+		return nil, err
+	}
+	return c.shard(user).fetchEvents(user, subID, max)
+}
+
+var _ ReliableDeliverer = (*Centralized)(nil)
+
+// Ack implements ReliableDeliverer: it advances the subscription's
+// durable cumulative cursor (or, with nack set, requests immediate
+// redelivery of the leased events at or below seq).
+func (c *Centralized) Ack(ctx context.Context, user, subID string, seq int64, nack bool) error {
+	if err := c.reliableArgs(ctx, user); err != nil {
+		return err
+	}
+	if err := validateSubID(subID); err != nil {
+		return err
+	}
+	return c.shard(user).ack(user, subID, seq, nack)
+}
+
+// DeadLetters implements ReliableDeliverer. An empty subID aggregates
+// every reliable subscription of the user.
+func (c *Centralized) DeadLetters(ctx context.Context, user, subID string) ([]DeadLetter, error) {
+	if err := c.reliableArgs(ctx, user); err != nil {
+		return nil, err
+	}
+	return c.shard(user).deadLetters(user, subID, false)
+}
+
+// DrainDeadLetters implements ReliableDeliverer.
+func (c *Centralized) DrainDeadLetters(ctx context.Context, user, subID string) ([]DeadLetter, error) {
+	if err := c.reliableArgs(ctx, user); err != nil {
+		return nil, err
+	}
+	return c.shard(user).deadLetters(user, subID, true)
+}
+
+// reliableArgs validates the arguments every reliable-delivery call
+// shares; the subscription ID is checked separately because the
+// dead-letter calls accept an empty (aggregate) one.
+func (c *Centralized) reliableArgs(ctx context.Context, user string) error {
+	if err := c.checkOpen(ctx); err != nil {
+		return err
+	}
+	return validateUser(user)
 }
 
 // Unsubscribe implements Deployment.

@@ -10,8 +10,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
 	"time"
 
 	"reef/internal/eventalg"
@@ -31,12 +35,43 @@ type BenchResult struct {
 	P99Micros   float64 `json:"p99_us"`
 }
 
-// BenchFile is the shape of one BENCH_*.json trajectory file.
+// BenchFile is the shape of one BENCH_*.json trajectory file. Revision
+// and GoMaxProcs pin the build and the parallelism a trajectory point
+// was measured at, so cross-commit comparisons know what they compare.
 type BenchFile struct {
 	Benchmark  string        `json:"benchmark"`
+	Revision   string        `json:"revision,omitempty"`
 	GoMaxProcs int           `json:"gomaxprocs"`
 	Generated  string        `json:"generated"`
 	Results    []BenchResult `json:"results"`
+}
+
+var (
+	revisionOnce   sync.Once
+	revisionCached string
+)
+
+// gitRevision resolves the source revision the binary measures: the
+// working tree's short commit hash when run inside a checkout (the
+// normal CI and dev case), falling back to the VCS stamp the Go
+// toolchain embeds at build time, or "" when neither is available.
+func gitRevision() string {
+	revisionOnce.Do(func() {
+		out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+		if err == nil {
+			revisionCached = strings.TrimSpace(string(out))
+			return
+		}
+		if info, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range info.Settings {
+				if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+					revisionCached = s.Value[:12]
+					return
+				}
+			}
+		}
+	})
+	return revisionCached
 }
 
 // measure runs fn ops times across the given number of workers (1 =
@@ -51,6 +86,7 @@ func measure(name string, ops, workers int, fn func(i int)) BenchResult {
 func writeBenchFile(dir, name string, results []BenchResult) error {
 	bf := BenchFile{
 		Benchmark:  name,
+		Revision:   gitRevision(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		Results:    results,

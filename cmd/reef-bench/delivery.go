@@ -1,0 +1,115 @@
+// Reliable-delivery benchmarks: the acked consume cycle, lease-expiry
+// redelivery, and dead-letter drain on the internal/delivery queue —
+// the per-subscription layer every at-least-once subscription funnels
+// through. Emits BENCH_delivery.json.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"reef/internal/delivery"
+	"reef/internal/eventalg"
+	"reef/internal/experiments"
+	"reef/internal/pubsub"
+)
+
+// BenchDeliveryOptions tunes the reliable-delivery benchmark.
+type BenchDeliveryOptions struct {
+	Ops    int // operations per configuration
+	Batch  int // events per fetch/ack cycle
+	OutDir string
+}
+
+// benchDelivery measures the reliable tier three ways, time injected so
+// no wall-clock wait shapes the numbers:
+//
+//   - acked_cycle: the steady-state consumer loop — append a batch,
+//     fetch it, ack cumulatively. Ops/sec here is acked throughput.
+//   - redelivery: every fetch happens after the previous lease expired,
+//     so each op is one redelivered batch (attempts climbing toward the
+//     cap); p99 is the redelivery tail the SLA cares about.
+//   - dlq_drain: appends against a full retained window dead-letter the
+//     oldest event each time; the drain empties the DLQ every batch.
+//     Ops/sec is the sustained drain rate.
+func benchDelivery(opt BenchDeliveryOptions) experiments.Result {
+	if opt.Ops <= 0 {
+		opt.Ops = 200_000
+	}
+	if opt.Batch <= 0 {
+		opt.Batch = 64
+	}
+	ev := pubsub.NewEvent("bench", eventalg.Tuple{"topic": eventalg.String("hot")}, nil)
+	noJitter := func(d time.Duration) time.Duration { return d }
+	t0 := time.Unix(1136073600, 0) // injected epoch; advanced, never read from the clock
+
+	var results []BenchResult
+
+	// Steady-state consumer: each op is one event through the full
+	// append -> fetch -> cumulative-ack cycle, batched like a real
+	// consumer (one fetch and one ack per Batch events).
+	{
+		q := delivery.NewQueue(delivery.Config{Capacity: 2 * opt.Batch, Jitter: noJitter})
+		now := t0
+		results = append(results, measure("acked_cycle", opt.Ops, 1, func(i int) {
+			q.Append(ev, now)
+			if (i+1)%opt.Batch == 0 {
+				evs := q.Fetch(opt.Batch, now)
+				if len(evs) > 0 {
+					if err := q.Ack(evs[len(evs)-1].Seq, now); err != nil {
+						panic(err)
+					}
+				}
+				now = now.Add(time.Millisecond)
+			}
+		}))
+	}
+
+	// Redelivery: a never-acking consumer whose lease always expired.
+	// Generous MaxAttempts keeps every op a redelivery, not a DLQ move.
+	{
+		cfg := delivery.Config{
+			Capacity:    2 * opt.Batch,
+			MaxAttempts: opt.Ops + 2,
+			AckTimeout:  time.Second,
+			Jitter:      noJitter,
+		}
+		q := delivery.NewQueue(cfg)
+		now := t0
+		for i := 0; i < opt.Batch; i++ {
+			q.Append(ev, now)
+		}
+		q.Fetch(opt.Batch, now) // first (non-re) delivery outside the loop
+		results = append(results, measure("redelivery", opt.Ops/opt.Batch, 1, func(int) {
+			// Past lease + max backoff, the whole window redelivers.
+			now = now.Add(cfg.AckTimeout + delivery.DefaultBackoffMax + time.Second)
+			if got := q.Fetch(opt.Batch, now); len(got) != opt.Batch {
+				panic(fmt.Sprintf("redelivery fetch returned %d of %d", len(got), opt.Batch))
+			}
+		}))
+	}
+
+	// Dead-letter drain: the window is kept full, so every append
+	// dead-letters the oldest event (reason "overflow"); each op drains
+	// one accumulated batch.
+	{
+		q := delivery.NewQueue(delivery.Config{Capacity: opt.Batch, Jitter: noJitter})
+		now := t0
+		for i := 0; i < opt.Batch; i++ {
+			q.Append(ev, now)
+		}
+		results = append(results, measure("dlq_drain", opt.Ops/opt.Batch, 1, func(int) {
+			for i := 0; i < opt.Batch; i++ {
+				q.Append(ev, now)
+			}
+			if got := len(q.Drain()); got != opt.Batch {
+				panic(fmt.Sprintf("drained %d dead letters, want %d", got, opt.Batch))
+			}
+		}))
+	}
+
+	if err := writeBenchFile(opt.OutDir, "delivery", results); err != nil {
+		panic(err)
+	}
+	return benchTable("Reliable delivery: acked throughput, redelivery, DLQ drain", results)
+}

@@ -1,12 +1,13 @@
 // Command reef-bench regenerates every table and figure of the paper's
 // evaluation (DESIGN.md §4), plus the substrate micro-benchmarks. With no
 // arguments it runs the full suite at paper scale; pass experiment IDs
-// (e1 e2 e3 f1 f2 a1 a2 a3 publish rank recovery shard cluster) to run
-// a subset, and -quick for a reduced-scale smoke run. The publish,
-// rank, recovery, shard and cluster benchmarks write
-// BENCH_publish.json, BENCH_rank.json, BENCH_recovery.json,
-// BENCH_shard.json and BENCH_cluster.json (ops/sec, allocs/op,
-// p50/p99) into -benchdir so later PRs have a performance trajectory
+// (e1 e2 e3 f1 f2 a1 a2 a3 publish rank recovery shard cluster
+// delivery) to run a subset, and -quick for a reduced-scale smoke run.
+// The publish, rank, recovery, shard, cluster and delivery benchmarks
+// write BENCH_publish.json, BENCH_rank.json, BENCH_recovery.json,
+// BENCH_shard.json, BENCH_cluster.json and BENCH_delivery.json
+// (ops/sec, allocs/op, p50/p99, stamped with the source revision and
+// GOMAXPROCS) into -benchdir so later PRs have a performance trajectory
 // to beat.
 //
 //	reef-bench                      # full suite
@@ -110,6 +111,7 @@ func run() int {
 	brecopt := BenchRecoveryOptions{Seed: *seed, OutDir: *benchdir}
 	bshopt := BenchShardOptions{Shards: shardCounts, OutDir: *benchdir}
 	bclopt := BenchClusterOptions{Nodes: nodeCounts, OutDir: *benchdir}
+	bdelopt := BenchDeliveryOptions{OutDir: *benchdir}
 	if *quick {
 		e1opt.Users, e1opt.Days, e1opt.Scale = 3, 10, 0.15
 		e3opt.Stories, e3opt.AttendedPages, e3opt.Trials = 200, 1500, 2
@@ -122,6 +124,7 @@ func run() int {
 		brecopt.Clicks, brecopt.Events = 2_000, 5_000
 		bshopt.Ops, bshopt.ChurnUsers = 400, 800
 		bclopt.Ops, bclopt.ForwardOps, bclopt.ChurnPairs, bclopt.ChurnUsers = 60, 300, 150, 120
+		bdelopt.Ops = 20_000
 	}
 
 	suite := []exp{
@@ -138,6 +141,7 @@ func run() int {
 		{"recovery", func() experiments.Result { return benchRecovery(brecopt) }},
 		{"shard", func() experiments.Result { return benchShard(bshopt) }},
 		{"cluster", func() experiments.Result { return benchCluster(bclopt) }},
+		{"delivery", func() experiments.Result { return benchDelivery(bdelopt) }},
 	}
 
 	ranF := false // f1 and f2 share one table; print once

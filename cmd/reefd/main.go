@@ -43,6 +43,8 @@
 //	GET    /v1/users/{user}/subscriptions      list subscriptions
 //	PUT    /v1/users/{user}/subscriptions      subscribe to a feed
 //	DELETE /v1/users/{user}/subscriptions      unsubscribe (?feed=URL)
+//	GET    /v1/subscriptions/{id}/events       lease retained events (?user=U&max=N)
+//	POST   /v1/subscriptions/{id}/ack          ack/nack a delivery cursor
 //	GET    /v1/recommendations?user=U          pending recommendations
 //	POST   /v1/recommendations/{id}/accept     accept one
 //	POST   /v1/recommendations/{id}/reject     reject one
@@ -51,6 +53,8 @@
 //	GET    /v1/readyz                          readiness (starting/ready/draining)
 //	GET    /v1/admin/storage                   persistence backend state
 //	POST   /v1/admin/snapshot                  force a compacting snapshot
+//	GET    /v1/admin/deadletter                inspect dead-letter queues (?user=U)
+//	POST   /v1/admin/deadletter                drain dead-letter queues
 //	GET    /web/<host>/<path>                  the synthetic web (node mode)
 package main
 
@@ -87,6 +91,8 @@ func main() {
 	syncMode := flag.String("sync", "async", "WAL sync policy: async, always, never")
 	snapshotEvery := flag.Int("snapshot-every", 0, "snapshot compaction after N WAL records (0 = default 4096, <0 disables)")
 	shards := flag.Int("shards", 0, "number of independent engine shards users partition across (0 = adopt the data directory's existing count, default 1)")
+	ackTimeout := flag.Duration("delivery-ack-timeout", 0, "default lease before an unacked reliable delivery is retried (0 = library default 30s)")
+	maxAttempts := flag.Int("delivery-max-attempts", 0, "default delivery attempts before an event dead-letters (0 = library default 5)")
 	nodeID := flag.String("node-id", "", "this node's cluster identity, stamped into /v1/healthz and /v1/readyz")
 	clusterNodes := flag.String("cluster-nodes", "", "run as a cluster router over these nodes (comma-separated id=url pairs) instead of a local deployment")
 	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "how long /v1/readyz advertises draining before the listener closes")
@@ -96,7 +102,7 @@ func main() {
 	if *clusterNodes != "" {
 		err = runRouter(*addr, *clusterNodes, *nodeID, *drainGrace, *dataDir, *shards)
 	} else {
-		err = run(*addr, *seed, *scale, *pipelineEvery, *pollEvery, *dataDir, *syncMode, *snapshotEvery, *shards, *nodeID, *drainGrace)
+		err = run(*addr, *seed, *scale, *pipelineEvery, *pollEvery, *dataDir, *syncMode, *snapshotEvery, *shards, *nodeID, *drainGrace, *ackTimeout, *maxAttempts)
 	}
 	if err != nil {
 		log.Print(err)
@@ -194,7 +200,7 @@ func serveUntilSignal(srv *http.Server, serveErr <-chan error, ready *reefhttp.R
 	return nil
 }
 
-func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.Duration, dataDir, syncMode string, snapshotEvery, shards int, nodeID string, drainGrace time.Duration) error {
+func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.Duration, dataDir, syncMode string, snapshotEvery, shards int, nodeID string, drainGrace time.Duration, ackTimeout time.Duration, maxAttempts int) error {
 	model := topics.NewModel(seed, 16, 50, 80)
 	wcfg := websim.DefaultConfig(seed, time.Now().UTC())
 	wcfg.NumContentServers = int(float64(wcfg.NumContentServers) * scale)
@@ -204,6 +210,12 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 	opts := []reef.Option{
 		reef.WithFetcher(web),
 		reef.WithPollInterval(pollEvery),
+	}
+	if ackTimeout < 0 || maxAttempts < 0 {
+		return fmt.Errorf("reefd: -delivery-ack-timeout and -delivery-max-attempts must not be negative")
+	}
+	if ackTimeout > 0 || maxAttempts > 0 {
+		opts = append(opts, reef.WithDeliveryDefaults(ackTimeout, maxAttempts))
 	}
 	// 0 leaves WithShards off: an existing data directory keeps its
 	// shard count, everything else gets the single-engine default.

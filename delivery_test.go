@@ -1,0 +1,372 @@
+package reef_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"reef"
+	"reef/internal/durable/durabletest"
+	"reef/internal/simclock"
+	"reef/reefclient"
+	"reef/reefhttp"
+)
+
+// feedItemAttrs builds event attributes that match the subscription
+// filter a direct feed subscription installs (waif.ItemFilter).
+func feedItemAttrs(feedURL string, n int) map[string]string {
+	return map[string]string{
+		"type": "feed-item",
+		"feed": feedURL,
+		"n":    strconv.Itoa(n),
+	}
+}
+
+// waitRetained polls the deployment's stats until the reliable queues
+// retain want events — the frontend pump is asynchronous, so published
+// events land in the delivery queue a moment after PublishEvent returns.
+func waitRetained(t *testing.T, ctx context.Context, stats func(context.Context) (reef.Stats, error), want float64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := stats(ctx)
+		if err != nil {
+			t.Fatalf("Stats: %v", err)
+		}
+		if st["delivery_retained"] >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("delivery_retained never reached %v", want)
+}
+
+// TestSubscribeConfigValidation pins the typed config errors on the
+// option surface itself.
+func TestSubscribeConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	dep, err := reef.NewCentralized(reef.WithFetcher(testWeb(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dep.Close() }()
+	feeds := feedURLs(testWeb(20))
+
+	var cfgErr *reef.ConfigError
+	_, err = dep.Subscribe(ctx, "u", feeds[0], reef.WithOrderingKey("topic"))
+	if !errors.As(err, &cfgErr) || cfgErr.Field != "ordering_key" {
+		t.Fatalf("ordering key without AtLeastOnce: err = %v, want ConfigError{Field: ordering_key}", err)
+	}
+	if !errors.Is(err, reef.ErrInvalidArgument) {
+		t.Fatalf("ConfigError does not unwrap to ErrInvalidArgument: %v", err)
+	}
+	if _, err := dep.Subscribe(ctx, "u", feeds[0], reef.WithGuarantee(reef.AtLeastOnce), reef.WithMaxAttempts(-1)); !errors.As(err, &cfgErr) {
+		t.Fatalf("negative max attempts: err = %v, want ConfigError", err)
+	}
+	if _, err := reef.ParseDeliveryGuarantee("exactly_once"); !errors.As(err, &cfgErr) {
+		t.Fatalf("unknown guarantee: err = %v, want ConfigError", err)
+	}
+
+	// Reliable calls against a best-effort subscription answer with the
+	// typed config error, and against an unknown one with ErrNotFound.
+	if _, err := dep.Subscribe(ctx, "u", feeds[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.FetchEvents(ctx, "u", feeds[0], 10); !errors.As(err, &cfgErr) {
+		t.Fatalf("FetchEvents on best-effort sub: err = %v, want ConfigError", err)
+	}
+	if err := dep.Ack(ctx, "u", "http://nowhere.test/feed.xml", 1, false); !errors.Is(err, reef.ErrNotFound) {
+		t.Fatalf("Ack on unknown sub: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestReliableConsumerE2E is the reliable-delivery acceptance test over
+// the full stack: reefclient -> reefhttp -> centralized deployment. An
+// at-least-once subscriber consumes a few events, is killed mid-stream
+// (its leases die with it), reconnects, and must observe every event
+// exactly once in order. Events that exhaust their delivery attempts
+// surface in /v1/admin/deadletter and drain through it.
+func TestReliableConsumerE2E(t *testing.T) {
+	ctx := context.Background()
+	web := testWeb(21)
+	vt := simclock.NewVirtual(dt0)
+	dep, err := reef.NewCentralized(reef.WithFetcher(web), reef.WithClock(vt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dep.Close() }()
+	srv := httptest.NewServer(reefhttp.NewHandler(dep, nil))
+	defer srv.Close()
+
+	feed := feedURLs(web)[0]
+	const user = "alice"
+	cli := reefclient.New(srv.URL, reefclient.WithHTTPClient(srv.Client()))
+	sub, err := cli.Subscribe(ctx, user, feed,
+		reef.WithGuarantee(reef.AtLeastOnce),
+		reef.WithOrderingKey("n"),
+		reef.WithAckTimeout(time.Second),
+		reef.WithMaxAttempts(3))
+	if err != nil {
+		t.Fatalf("Subscribe over the wire: %v", err)
+	}
+	if sub.Guarantee != "at_least_once" || sub.OrderingKey != "n" {
+		t.Fatalf("Subscription = %+v, want at_least_once with ordering key n", sub)
+	}
+
+	const total = 10
+	for i := 1; i <= total; i++ {
+		if _, err := cli.PublishEvent(ctx, reef.Event{Attrs: feedItemAttrs(feed, i)}); err != nil {
+			t.Fatalf("PublishEvent %d: %v", i, err)
+		}
+	}
+	waitRetained(t, ctx, cli.Stats, total)
+
+	// Consumer one: lease four, ack through seq 3, then die. The lease on
+	// seq 4 dies with it — only the cursor survives a consumer.
+	first, err := cli.FetchEvents(ctx, user, feed, 4)
+	if err != nil {
+		t.Fatalf("FetchEvents: %v", err)
+	}
+	if len(first) != 4 || first[0].Seq != 1 || first[3].Seq != 4 {
+		t.Fatalf("first lease = %+v, want seqs 1..4", first)
+	}
+	if err := cli.Ack(ctx, user, feed, 3, false); err != nil {
+		t.Fatalf("Ack(3): %v", err)
+	}
+
+	// Reconnected consumer: after the dead consumer's lease expires, it
+	// must see seq 4 again (redelivered, attempt 2) and then every later
+	// event exactly once, in order.
+	cli2 := reefclient.New(srv.URL, reefclient.WithHTTPClient(srv.Client()))
+	var seen []int64
+	seenN := map[string]bool{}
+	for len(seen) < total-3 {
+		vt.Advance(35 * time.Second) // past ack timeout + max backoff
+		evs, err := cli2.FetchEvents(ctx, user, feed, 0)
+		if err != nil {
+			t.Fatalf("FetchEvents after reconnect: %v", err)
+		}
+		for _, ev := range evs {
+			if seenN[ev.Event.Attrs["n"]] {
+				t.Fatalf("event n=%s observed twice", ev.Event.Attrs["n"])
+			}
+			seenN[ev.Event.Attrs["n"]] = true
+			seen = append(seen, ev.Seq)
+		}
+		if len(evs) > 0 {
+			if err := cli2.Ack(ctx, user, feed, evs[len(evs)-1].Seq, false); err != nil {
+				t.Fatalf("Ack: %v", err)
+			}
+		}
+	}
+	for i, seq := range seen {
+		if want := int64(4 + i); seq != want {
+			t.Fatalf("reconnect observed seqs %v, want contiguous from 4", seen)
+		}
+		if want := strconv.Itoa(4 + i); !seenN[want] {
+			t.Fatalf("event n=%s never observed", want)
+		}
+	}
+
+	// Dead-letter path: two more events, never acked. Each fetch is one
+	// attempt; past MaxAttempts=3 they land in the DLQ instead of being
+	// delivered again.
+	for i := total + 1; i <= total+2; i++ {
+		if _, err := cli.PublishEvent(ctx, reef.Event{Attrs: feedItemAttrs(feed, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitRetained(t, ctx, cli.Stats, 2)
+	for round := 0; round < 4; round++ {
+		vt.Advance(35 * time.Second)
+		if _, err := cli2.FetchEvents(ctx, user, feed, 0); err != nil {
+			t.Fatalf("FetchEvents round %d: %v", round, err)
+		}
+	}
+	dls, err := cli2.DeadLetters(ctx, user, feed)
+	if err != nil {
+		t.Fatalf("DeadLetters: %v", err)
+	}
+	if len(dls) != 2 {
+		t.Fatalf("dead letters = %+v, want the 2 unacked events", dls)
+	}
+	for _, dl := range dls {
+		if dl.Reason != "max-attempts" || dl.Attempts != 3 {
+			t.Fatalf("dead letter = %+v, want reason max-attempts after 3 attempts", dl)
+		}
+	}
+	// Aggregate view (no subscription filter) sees them too.
+	if agg, err := cli2.DeadLetters(ctx, user, ""); err != nil || len(agg) != 2 {
+		t.Fatalf("aggregate DeadLetters = (%+v, %v), want 2", agg, err)
+	}
+	drained, err := cli2.DrainDeadLetters(ctx, user, feed)
+	if err != nil || len(drained) != 2 {
+		t.Fatalf("DrainDeadLetters = (%+v, %v), want 2", drained, err)
+	}
+	if left, err := cli2.DeadLetters(ctx, user, feed); err != nil || len(left) != 0 {
+		t.Fatalf("DeadLetters after drain = (%+v, %v), want empty", left, err)
+	}
+}
+
+// TestReliableDeliveryCrashRecovery is the durability acceptance test
+// for the cursor record family: a reliable subscription's cumulative
+// cursor must survive an unclean crash byte-exactly (golden-state diff),
+// at one shard and at three, with a mid-history snapshot so recovery
+// crosses the snapshot/WAL boundary for both the subscription's delivery
+// config and a post-snapshot cursor advance.
+func TestReliableDeliveryCrashRecovery(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			ctx := context.Background()
+			web := testWeb(22)
+			dir := t.TempDir()
+			vt := simclock.NewVirtual(dt0)
+			open := func() *reef.Centralized {
+				dep, err := reef.NewCentralized(
+					reef.WithFetcher(web),
+					reef.WithClock(vt),
+					reef.WithDataDir(dir),
+					reef.WithShards(shards),
+					reef.WithSyncPolicy(reef.SyncAlways),
+					reef.WithSnapshotEvery(-1),
+				)
+				if err != nil {
+					t.Fatalf("NewCentralized: %v", err)
+				}
+				return dep
+			}
+			dep := open()
+			feeds := feedURLs(web)
+			users := []string{"alice", "bob"}
+			for i, u := range users {
+				if _, err := dep.Subscribe(ctx, u, feeds[i],
+					reef.WithGuarantee(reef.AtLeastOnce),
+					reef.WithAckTimeout(2*time.Second),
+					reef.WithMaxAttempts(4)); err != nil {
+					t.Fatalf("Subscribe(%s): %v", u, err)
+				}
+			}
+			for i := 1; i <= 6; i++ {
+				if _, err := dep.PublishEvent(ctx, reef.Event{Attrs: feedItemAttrs(feeds[0], i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			waitRetained(t, ctx, dep.Stats, 6)
+			if evs, err := dep.FetchEvents(ctx, "alice", feeds[0], 4); err != nil || len(evs) != 4 {
+				t.Fatalf("FetchEvents = (%+v, %v), want 4 events", evs, err)
+			}
+			if err := dep.Ack(ctx, "alice", feeds[0], 3, false); err != nil {
+				t.Fatalf("Ack(3): %v", err)
+			}
+			// Snapshot holds cursor 3; the advance to 4 lands in the
+			// post-snapshot WAL tail, so recovery replays baseline + tail.
+			if _, err := dep.Snapshot(ctx); err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			if err := dep.Ack(ctx, "alice", feeds[0], 4, false); err != nil {
+				t.Fatalf("Ack(4): %v", err)
+			}
+
+			before, err := durabletest.Capture(ctx, dep, users, durabletest.DurableStatKeys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := durabletest.Crash(dep); err != nil {
+				t.Fatalf("Crash: %v", err)
+			}
+
+			dep2 := open()
+			defer func() { _ = dep2.Close() }()
+			after, err := durabletest.Capture(ctx, dep2, users, durabletest.DurableStatKeys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diff, err := durabletest.Diff(before, after)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff != "" {
+				t.Fatalf("recovered delivery state differs:\n%s", diff)
+			}
+			subs, err := dep2.Subscriptions(ctx, "alice")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(subs) != 1 || subs[0].Acked != 4 || subs[0].Guarantee != "at_least_once" {
+				t.Fatalf("recovered subscription = %+v, want at_least_once with acked_seq 4", subs)
+			}
+
+			// The cursor is live, not just visible: sequencing continues
+			// past it for newly published events (the unacked retained
+			// window is in-memory by design and died with the crash).
+			if _, err := dep2.PublishEvent(ctx, reef.Event{Attrs: feedItemAttrs(feeds[0], 7)}); err != nil {
+				t.Fatal(err)
+			}
+			waitRetained(t, ctx, dep2.Stats, 1)
+			evs, err := dep2.FetchEvents(ctx, "alice", feeds[0], 0)
+			if err != nil || len(evs) != 1 || evs[0].Seq != 5 {
+				t.Fatalf("post-recovery FetchEvents = (%+v, %v), want one event at seq 5", evs, err)
+			}
+		})
+	}
+}
+
+// TestReliableCursorSurvivesShardMigration pins that the cursor record
+// family rides the shard migration: a reliable subscription acked at one
+// shard keeps its cursor when the directory is reopened at two.
+func TestReliableCursorSurvivesShardMigration(t *testing.T) {
+	ctx := context.Background()
+	web := testWeb(23)
+	dir := t.TempDir()
+	vt := simclock.NewVirtual(dt0)
+	open := func(shards int) (*reef.Centralized, error) {
+		return reef.NewCentralized(
+			reef.WithFetcher(web),
+			reef.WithClock(vt),
+			reef.WithDataDir(dir),
+			reef.WithShards(shards),
+			reef.WithSyncPolicy(reef.SyncAlways),
+			reef.WithSnapshotEvery(-1),
+		)
+	}
+	dep, err := open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := feedURLs(web)[0]
+	if _, err := dep.Subscribe(ctx, "carol", feed, reef.WithGuarantee(reef.AtLeastOnce)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := dep.PublishEvent(ctx, reef.Event{Attrs: feedItemAttrs(feed, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitRetained(t, ctx, dep.Stats, 3)
+	if _, err := dep.FetchEvents(ctx, "carol", feed, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Ack(ctx, "carol", feed, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dep2, err := open(2)
+	if err != nil {
+		t.Fatalf("migrating to 2 shards: %v", err)
+	}
+	defer func() { _ = dep2.Close() }()
+	subs, err := dep2.Subscriptions(ctx, "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 || subs[0].Acked != 2 || subs[0].Guarantee != "at_least_once" {
+		t.Fatalf("migrated subscription = %+v, want at_least_once with acked_seq 2", subs)
+	}
+}

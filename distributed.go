@@ -522,8 +522,10 @@ func (d *Distributed) Subscriptions(ctx context.Context, user string) ([]Subscri
 	return out, nil
 }
 
-// Subscribe implements Deployment.
-func (d *Distributed) Subscribe(ctx context.Context, user, feedURL string) (Subscription, error) {
+// Subscribe implements Deployment. The WAIF-peer pipeline delivers
+// best-effort only (the paper's peers have no server-side retention), so
+// requesting AtLeastOnce is rejected with ErrUnsupported.
+func (d *Distributed) Subscribe(ctx context.Context, user, feedURL string, opts ...SubscribeOption) (Subscription, error) {
 	if err := d.checkOpen(ctx); err != nil {
 		return Subscription{}, err
 	}
@@ -532,6 +534,13 @@ func (d *Distributed) Subscribe(ctx context.Context, user, feedURL string) (Subs
 	}
 	if err := validateFeedURL(feedURL); err != nil {
 		return Subscription{}, err
+	}
+	sc, err := NewSubscribeConfig(opts...)
+	if err != nil {
+		return Subscription{}, err
+	}
+	if sc.Guarantee == AtLeastOnce {
+		return Subscription{}, fmt.Errorf("%w: the distributed deployment delivers best-effort only", ErrUnsupported)
 	}
 	rec := recommend.Recommendation{
 		Kind:    recommend.KindSubscribeFeed,

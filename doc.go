@@ -26,9 +26,22 @@
 // routing over N reefd nodes — users placed by a stable hash,
 // publishes fanned out to every live node, membership tracked by a
 // health prober (internal/membership), and node failures surfaced as
-// typed ErrNodeDown while other users stay served. See DESIGN.md for
-// the interface, route, error-model, sharding, cluster and durability
-// reference.
+// typed ErrNodeDown while other users stay served.
+//
+// Subscriptions choose a delivery guarantee at Subscribe time:
+// BestEffort (the default — bounded broker queues, drops under
+// pressure) or AtLeastOnce via WithGuarantee, which retains every
+// matched event until the consumer acks past it. The reliable tier is
+// the optional ReliableDeliverer interface — FetchEvents leases a
+// contiguous, sequence-ordered batch, Ack advances a durable
+// cumulative cursor (journaled alongside the rest of the WAL, so it
+// survives crashes), unacked events redeliver with jittered backoff
+// after the ack timeout, and events exhausting WithMaxAttempts land in
+// a dead-letter queue (DeadLetters / DrainDeadLetters). The
+// centralized deployment, client SDK and cluster router implement it;
+// the distributed pipeline stays best-effort, as in the paper. See
+// DESIGN.md for the interface, route, error-model, sharding, cluster,
+// durability and delivery-semantics reference.
 //
 // The components live under internal/: the pub-sub substrate (eventalg,
 // pubsub), the IR toolkit (ir), the Web and workload simulation (websim,

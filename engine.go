@@ -1,12 +1,14 @@
 package reef
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"reef/internal/core"
+	"reef/internal/delivery"
 	"reef/internal/durable"
 	"reef/internal/frontend"
 	"reef/internal/pubsub"
@@ -25,14 +27,15 @@ import (
 // (broker RWMutex, journal mutex, frontend map) never contend across
 // shards.
 type engine struct {
-	idx     int
-	cfg     config
-	server  *core.Server
-	broker  *pubsub.Broker
-	proxy   *waif.Proxy
-	clock   simclock.Clock
-	pending *pendingSet
-	journal *durable.Journal
+	idx        int
+	cfg        config
+	server     *core.Server
+	broker     *pubsub.Broker
+	proxy      *waif.Proxy
+	clock      simclock.Clock
+	pending    *pendingSet
+	journal    *durable.Journal
+	deliveries *delivery.Set
 
 	mu     sync.Mutex
 	closed bool
@@ -61,10 +64,11 @@ func newEngine(cfg config, idx int, journal *durable.Journal) *engine {
 			Content: recommend.ContentConfig{NumTerms: cfg.content.NumTerms},
 			Journal: journal,
 		}),
-		broker:  pubsub.NewBroker(fmt.Sprintf("reef-edge-%d", idx), cfg.clock),
-		pending: newPendingSet(),
-		fronts:  make(map[string]*frontend.Frontend),
-		bars:    make(map[string]*frontend.Sidebar),
+		broker:     pubsub.NewBroker(fmt.Sprintf("reef-edge-%d", idx), cfg.clock),
+		pending:    newPendingSet(),
+		deliveries: delivery.NewSet(),
+		fronts:     make(map[string]*frontend.Frontend),
+		bars:       make(map[string]*frontend.Sidebar),
 	}
 	publisher := cfg.feedPublisher
 	if publisher == nil {
@@ -101,6 +105,18 @@ func (e *engine) replay() durableReplay {
 		acceptRec:     func(user string, rec recommend.Recommendation) error { return apply(rec) },
 		rejectFeedback: func(user, feedURL string, at time.Time) {
 			e.server.ObserveEventFeedback(user, feedURL, false, at)
+		},
+		registerDelivery: func(user, id string, ds durable.DeliveryState) {
+			e.deliveries.Register(user, id, toDeliveryConfig(fromDurableDelivery(ds), e.cfg))
+		},
+		removeDelivery: e.deliveries.Remove,
+		ackCursor: func(user, id string, seq int64) {
+			// The retained window is not durable, so a recovered cursor for
+			// a queue the WAL never re-registered (possible only in a
+			// corrupt log) is ignored rather than fatal.
+			if q, ok := e.deliveries.Get(user, id); ok {
+				q.RestoreAcked(seq)
+			}
 		},
 	}
 }
@@ -148,10 +164,26 @@ func (e *engine) captureState() (*durable.State, error) {
 	e.mu.Unlock()
 	for i, fe := range fronts {
 		for _, rec := range fe.Active() {
-			st.Subscriptions = append(st.Subscriptions, toDurableSub(users[i], rec))
+			ds := toDurableSub(users[i], rec)
+			if q, ok := e.deliveries.Get(users[i], subscriptionID(rec)); ok {
+				// The snapshot stores the effective (default-resolved)
+				// delivery config, so replaying it re-registers an
+				// identical queue and re-snapshots byte-identically.
+				qc := q.Config()
+				ds.Delivery = &durable.DeliveryState{
+					Guarantee:    AtLeastOnce.String(),
+					OrderingKey:  qc.OrderingKey,
+					AckTimeoutMS: qc.AckTimeout.Milliseconds(),
+					MaxAttempts:  qc.MaxAttempts,
+				}
+			}
+			st.Subscriptions = append(st.Subscriptions, ds)
 		}
 	}
 	st.Pending, st.PendingSeq = e.pending.dump()
+	for _, cu := range e.deliveries.Cursors() {
+		st.Cursors = append(st.Cursors, durable.CursorState{User: cu.User, ID: cu.ID, Acked: cu.Acked})
+	}
 	return st, nil
 }
 
@@ -183,6 +215,14 @@ func (e *engine) frontLocked(user string) *frontend.Frontend {
 		sub = tunedSubscriber{broker: e.broker, opts: e.cfg.subOptions()}
 	}
 	fe := frontend.NewFrontend(user, sub, e.proxy, bar, e.clock.Now)
+	// Tee every pumped event into the user's reliable queues (a no-op
+	// lookup for best-effort subscriptions). Set before the frontend
+	// escapes this critical section, so pumps never race the hook write.
+	fe.SetEventHook(func(rec recommend.Recommendation, ev pubsub.Event, now time.Time) {
+		if q, ok := e.deliveries.Get(user, subscriptionID(rec)); ok {
+			q.Append(ev, now)
+		}
+	})
 	e.fronts[user] = fe
 	e.bars[user] = bar
 	return fe
@@ -215,14 +255,23 @@ func (e *engine) subscriptions(user string) []Subscription {
 	active := fe.Active()
 	out := make([]Subscription, 0, len(active))
 	for _, rec := range active {
-		out = append(out, toPublicSubscription(user, rec))
+		sub := toPublicSubscription(user, rec)
+		if q, ok := e.deliveries.Get(user, sub.ID); ok {
+			sub.Guarantee = AtLeastOnce.String()
+			sub.OrderingKey = q.Config().OrderingKey
+			sub.Acked = q.Acked()
+		}
+		out = append(out, sub)
 	}
 	return out
 }
 
 // subscribe places a feed subscription immediately, bypassing the
-// recommendation queue.
-func (e *engine) subscribe(user, feedURL string) (Subscription, error) {
+// recommendation queue. An AtLeastOnce config additionally registers the
+// subscription's reliable queue — before the frontend applies the
+// subscription, so no event pumped by the new subscription can slip past
+// the queue.
+func (e *engine) subscribe(user, feedURL string, sc SubscribeConfig) (Subscription, error) {
 	rec := recommend.Recommendation{
 		Kind:    recommend.KindSubscribeFeed,
 		User:    user,
@@ -236,12 +285,37 @@ func (e *engine) subscribe(user, feedURL string) (Subscription, error) {
 		return Subscription{}, err
 	}
 	if err := e.journal.Record(
-		func() error { return fe.Apply(rec) },
-		func() durable.Record { return durable.SubscribeRecord(toDurableSub(user, rec)) },
+		func() error {
+			reliable := sc.Guarantee == AtLeastOnce
+			var created bool
+			if reliable {
+				_, existed := e.deliveries.Get(user, feedURL)
+				e.deliveries.Register(user, feedURL, toDeliveryConfig(sc, e.cfg))
+				created = !existed
+			}
+			if err := fe.Apply(rec); err != nil {
+				if created {
+					e.deliveries.Remove(user, feedURL)
+				}
+				return err
+			}
+			return nil
+		},
+		func() durable.Record {
+			ds := toDurableSub(user, rec)
+			ds.Delivery = toDurableDelivery(sc)
+			return durable.SubscribeRecord(ds)
+		},
 	); err != nil {
 		return Subscription{}, err
 	}
-	return toPublicSubscription(user, rec), nil
+	sub := toPublicSubscription(user, rec)
+	if q, ok := e.deliveries.Get(user, sub.ID); ok {
+		sub.Guarantee = AtLeastOnce.String()
+		sub.OrderingKey = q.Config().OrderingKey
+		sub.Acked = q.Acked()
+	}
+	return sub, nil
 }
 
 // unsubscribe removes a feed subscription.
@@ -270,9 +344,117 @@ func (e *engine) unsubscribe(user, feedURL string) error {
 		At:      e.clock.Now(),
 	}
 	return e.journal.Record(
-		func() error { return fe.Apply(rec) },
+		func() error {
+			if err := fe.Apply(rec); err != nil {
+				return err
+			}
+			e.deliveries.Remove(user, feedURL)
+			return nil
+		},
 		func() durable.Record { return durable.UnsubscribeRecord(toDurableSub(user, rec)) },
 	)
+}
+
+// deliveryQueue resolves a reliable subscription's queue, with the
+// errors the public surface promises: ErrNotFound for an unknown
+// subscription, a *ConfigError for one that exists but is best-effort.
+func (e *engine) deliveryQueue(user, id string) (*delivery.Queue, error) {
+	if q, ok := e.deliveries.Get(user, id); ok {
+		return q, nil
+	}
+	for _, rec := range e.activeRecs(user) {
+		if subscriptionID(rec) == id {
+			return nil, &ConfigError{
+				Field:  "guarantee",
+				Value:  BestEffort.String(),
+				Reason: fmt.Sprintf("subscription %q is best-effort; acks and reliable fetches apply only to the at-least-once tier", id),
+				Help:   "re-subscribe with WithGuarantee(AtLeastOnce)",
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: no subscription %q for user %q", ErrNotFound, id, user)
+}
+
+// activeRecs lists the recommendations behind a user's live
+// subscriptions (empty when the shard hosts no frontend for the user).
+func (e *engine) activeRecs(user string) []recommend.Recommendation {
+	e.mu.Lock()
+	fe, ok := e.fronts[user]
+	e.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return fe.Active()
+}
+
+// wrapSeqErr maps the delivery layer's out-of-range sequence error onto
+// the public invalid-argument sentinel.
+func wrapSeqErr(err error) error {
+	if errors.Is(err, delivery.ErrSeqBeyondDelivered) {
+		return fmt.Errorf("%w: %v", ErrInvalidArgument, err)
+	}
+	return err
+}
+
+// fetchEvents leases retained events of one reliable subscription.
+func (e *engine) fetchEvents(user, id string, max int) ([]DeliveredEvent, error) {
+	q, err := e.deliveryQueue(user, id)
+	if err != nil {
+		return nil, err
+	}
+	return toPublicDelivered(q.Fetch(max, e.clock.Now())), nil
+}
+
+// ack advances (or nacks against) a reliable subscription's cursor. Acks
+// are durable: the cursor advance and its WAL record commit under the
+// journal lock like every other mutation. Nacks only reshape in-memory
+// redelivery timing and are not journaled.
+func (e *engine) ack(user, id string, seq int64, nack bool) error {
+	q, err := e.deliveryQueue(user, id)
+	if err != nil {
+		return err
+	}
+	now := e.clock.Now()
+	if nack {
+		return wrapSeqErr(q.Nack(seq, now))
+	}
+	return e.journal.Record(
+		func() error { return wrapSeqErr(q.Ack(seq, now)) },
+		func() durable.Record {
+			return durable.CursorAckRecord(durable.CursorAckPayload{User: user, ID: id, Seq: seq, At: now})
+		},
+	)
+}
+
+// deadLetters lists (or drains) dead-lettered events. An empty id
+// aggregates every reliable subscription of the user, in sorted
+// subscription order.
+func (e *engine) deadLetters(user, id string, drain bool) ([]DeadLetter, error) {
+	if id != "" {
+		q, err := e.deliveryQueue(user, id)
+		if err != nil {
+			return nil, err
+		}
+		if drain {
+			return toPublicDeadLetters(q.Drain()), nil
+		}
+		return toPublicDeadLetters(q.DeadLetters()), nil
+	}
+	queues := e.deliveries.User(user)
+	ids := make([]string, 0, len(queues))
+	for qid := range queues {
+		ids = append(ids, qid)
+	}
+	sort.Strings(ids)
+	out := []DeadLetter{}
+	for _, qid := range ids {
+		if drain {
+			out = append(out, toPublicDeadLetters(queues[qid].Drain())...)
+		} else {
+			out = append(out, toPublicDeadLetters(queues[qid].DeadLetters())...)
+		}
+	}
+	return out, nil
 }
 
 // recommendations drains freshly generated recommendations into the
@@ -362,6 +544,12 @@ func (e *engine) stats() Stats {
 		out["proxy_"+name] = v
 	}
 	out["pending_recommendations"] = float64(e.pending.size())
+	dt := e.deliveries.Totals()
+	out["delivery_reliable_subs"] = float64(dt.Queues)
+	out["delivery_retained"] = float64(dt.Retained)
+	out["delivery_acked"] = float64(dt.Acked)
+	out["delivery_redeliveries"] = float64(dt.Redeliveries)
+	out["delivery_deadletters"] = float64(dt.DeadLetters)
 	e.mu.Lock()
 	out["users_with_frontends"] = float64(len(e.fronts))
 	e.mu.Unlock()

@@ -1,0 +1,230 @@
+package delivery
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"reef/internal/pubsub"
+)
+
+// noJitter makes backoff deterministic for tests.
+func noJitter(d time.Duration) time.Duration { return d }
+
+func testQueue(cfg Config) *Queue {
+	if cfg.Jitter == nil {
+		cfg.Jitter = noJitter
+	}
+	return NewQueue(cfg)
+}
+
+func ev(n int) pubsub.Event {
+	return pubsub.Event{ID: uint64(n)}
+}
+
+func seqs(ds []Delivered) []int64 {
+	out := make([]int64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seq
+	}
+	return out
+}
+
+func TestFetchAckOrder(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := testQueue(Config{AckTimeout: time.Second, MaxAttempts: 3})
+	for i := 1; i <= 5; i++ {
+		q.Append(ev(i), now)
+	}
+	got := q.Fetch(3, now)
+	if want := []int64{1, 2, 3}; len(got) != 3 || got[0].Seq != want[0] || got[2].Seq != want[2] {
+		t.Fatalf("first fetch = %v, want %v", seqs(got), want)
+	}
+	for _, d := range got {
+		if d.Attempts != 1 {
+			t.Fatalf("seq %d attempts = %d, want 1", d.Seq, d.Attempts)
+		}
+	}
+	// 1-3 are leased: the head of line blocks 4-5 until the lease expires.
+	if more := q.Fetch(10, now); len(more) != 0 {
+		t.Fatalf("fetch under lease delivered %v, want none", seqs(more))
+	}
+	if err := q.Ack(3, now); err != nil {
+		t.Fatalf("ack: %v", err)
+	}
+	got = q.Fetch(10, now)
+	if want := []int64{4, 5}; len(got) != 2 || got[0].Seq != want[0] || got[1].Seq != want[1] {
+		t.Fatalf("post-ack fetch = %v, want %v", seqs(got), want)
+	}
+	if q.Acked() != 3 {
+		t.Fatalf("cursor = %d, want 3", q.Acked())
+	}
+}
+
+func TestAckIdempotentAndBounds(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := testQueue(Config{})
+	q.Append(ev(1), now)
+	q.Fetch(1, now)
+	if err := q.Ack(1, now); err != nil {
+		t.Fatalf("ack: %v", err)
+	}
+	if err := q.Ack(1, now); err != nil {
+		t.Fatalf("duplicate ack: %v", err)
+	}
+	if err := q.Ack(0, now); err != nil {
+		t.Fatalf("stale ack: %v", err)
+	}
+	if err := q.Ack(99, now); !errors.Is(err, ErrSeqBeyondDelivered) {
+		t.Fatalf("ack beyond delivered = %v, want ErrSeqBeyondDelivered", err)
+	}
+	if err := q.Nack(99, now); !errors.Is(err, ErrSeqBeyondDelivered) {
+		t.Fatalf("nack beyond delivered = %v, want ErrSeqBeyondDelivered", err)
+	}
+}
+
+func TestRedeliveryAfterLeaseExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := testQueue(Config{AckTimeout: time.Second, BackoffBase: time.Second, MaxAttempts: 5})
+	q.Append(ev(1), now)
+	first := q.Fetch(1, now)
+	if len(first) != 1 {
+		t.Fatal("no first delivery")
+	}
+	// Lease = 1s timeout + 1s backoff(base). Not yet expired:
+	if got := q.Fetch(1, now.Add(1500*time.Millisecond)); len(got) != 0 {
+		t.Fatalf("fetch before lease expiry delivered %v", seqs(got))
+	}
+	got := q.Fetch(1, now.Add(2100*time.Millisecond))
+	if len(got) != 1 || got[0].Attempts != 2 {
+		t.Fatalf("redelivery = %+v, want one event with attempts=2", got)
+	}
+}
+
+func TestNackSkipsLease(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := testQueue(Config{AckTimeout: time.Hour, BackoffBase: time.Second, MaxAttempts: 5})
+	q.Append(ev(1), now)
+	q.Fetch(1, now)
+	if err := q.Nack(1, now); err != nil {
+		t.Fatalf("nack: %v", err)
+	}
+	// After nack the event waits only its backoff (1s), not the 1h lease.
+	got := q.Fetch(1, now.Add(1100*time.Millisecond))
+	if len(got) != 1 || got[0].Attempts != 2 {
+		t.Fatalf("post-nack fetch = %+v, want redelivery with attempts=2", got)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	q := testQueue(Config{BackoffBase: time.Second, BackoffMax: 4 * time.Second})
+	cases := []struct {
+		attempts int
+		want     time.Duration
+	}{
+		{1, time.Second}, {2, 2 * time.Second}, {3, 4 * time.Second}, {4, 4 * time.Second}, {10, 4 * time.Second},
+	}
+	for _, c := range cases {
+		if got := q.backoffLocked(c.attempts); got != c.want {
+			t.Fatalf("backoff(%d) = %v, want %v", c.attempts, got, c.want)
+		}
+	}
+}
+
+func TestMaxAttemptsDeadLetters(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := testQueue(Config{AckTimeout: time.Millisecond, BackoffBase: time.Millisecond, BackoffMax: time.Millisecond, MaxAttempts: 2})
+	q.Append(ev(1), now)
+	q.Append(ev(2), now)
+	for i := 0; i < 2; i++ {
+		got := q.Fetch(10, now)
+		if len(got) != 2 {
+			t.Fatalf("attempt %d delivered %v", i+1, seqs(got))
+		}
+		now = now.Add(time.Second) // expire lease + backoff
+	}
+	// Third fetch: both entries exhausted their 2 attempts -> DLQ.
+	if got := q.Fetch(10, now); len(got) != 0 {
+		t.Fatalf("exhausted fetch delivered %v", seqs(got))
+	}
+	dl := q.DeadLetters()
+	if len(dl) != 2 || dl[0].Reason != ReasonMaxAttempts || dl[0].Attempts != 2 {
+		t.Fatalf("dead letters = %+v, want 2 max-attempts entries", dl)
+	}
+	if q.Retained() != 0 {
+		t.Fatalf("retained = %d after dead-lettering", q.Retained())
+	}
+	drained := q.Drain()
+	if len(drained) != 2 || len(q.DeadLetters()) != 0 {
+		t.Fatalf("drain returned %d, left %d", len(drained), len(q.DeadLetters()))
+	}
+}
+
+func TestCapacityOverflowDeadLetters(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := testQueue(Config{Capacity: 3})
+	for i := 1; i <= 5; i++ {
+		q.Append(ev(i), now)
+	}
+	if q.Retained() != 3 {
+		t.Fatalf("retained = %d, want 3", q.Retained())
+	}
+	dl := q.DeadLetters()
+	if len(dl) != 2 || dl[0].Seq != 1 || dl[1].Seq != 2 || dl[0].Reason != ReasonOverflow {
+		t.Fatalf("overflow DLQ = %+v, want seqs 1,2 with reason overflow", dl)
+	}
+	// The retained window starts at 3 now.
+	if got := q.Fetch(1, now); len(got) != 1 || got[0].Seq != 3 {
+		t.Fatalf("fetch after overflow = %v, want [3]", seqs(got))
+	}
+}
+
+func TestRestoreAcked(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := testQueue(Config{})
+	q.RestoreAcked(7)
+	if q.Acked() != 7 {
+		t.Fatalf("cursor = %d, want 7", q.Acked())
+	}
+	// Sequence numbering resumes after the cursor.
+	if seq := q.Append(ev(1), now); seq != 8 {
+		t.Fatalf("post-restore append seq = %d, want 8", seq)
+	}
+	q.RestoreAcked(3) // regressions ignored
+	if q.Acked() != 7 {
+		t.Fatalf("cursor regressed to %d", q.Acked())
+	}
+}
+
+func TestSetRegisterCursorsTotals(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := NewSet()
+	qa := s.Register("bob", "http://a", Config{MaxAttempts: 9})
+	if again := s.Register("bob", "http://a", Config{MaxAttempts: 1}); again != qa {
+		t.Fatal("re-register replaced the queue")
+	}
+	if qa.Config().MaxAttempts != 9 {
+		t.Fatalf("re-register changed config: %+v", qa.Config())
+	}
+	s.Register("alice", "http://b", Config{})
+	qa.Append(ev(1), now)
+	qa.Fetch(1, now)
+	if err := qa.Ack(1, now); err != nil {
+		t.Fatal(err)
+	}
+	cur := s.Cursors()
+	if len(cur) != 2 || cur[0].User != "alice" || cur[1].User != "bob" || cur[1].Acked != 1 {
+		t.Fatalf("cursors = %+v", cur)
+	}
+	tot := s.Totals()
+	if tot.Queues != 2 || tot.Appended != 1 || tot.Acked != 1 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	s.Remove("bob", "http://a")
+	if _, ok := s.Get("bob", "http://a"); ok {
+		t.Fatal("queue survived Remove")
+	}
+	if len(s.User("alice")) != 1 {
+		t.Fatal("User(alice) lost its queue")
+	}
+}

@@ -45,6 +45,20 @@ func FuzzWALDecode(f *testing.F) {
 	tiny := make([]byte, 12)
 	binary.LittleEndian.PutUint32(tiny[0:4], 1)
 	f.Add(tiny)
+	// The cursor record family: a reliable subscribe followed by two
+	// cumulative cursor advances, clean and with a flipped payload byte.
+	var cursors []byte
+	cursors = SubscribeRecord(SubscriptionState{
+		User: "b", Kind: "subscribe-feed", FeedURL: "http://h.test/f",
+		At:       time.Unix(0, 0).UTC(),
+		Delivery: &DeliveryState{Guarantee: "at_least_once", MaxAttempts: 3},
+	}).AppendEncoded(cursors)
+	cursors = CursorAckRecord(CursorAckPayload{User: "b", ID: "http://h.test/f", Seq: 4}).AppendEncoded(cursors)
+	cursors = CursorAckRecord(CursorAckPayload{User: "b", ID: "http://h.test/f", Seq: 9}).AppendEncoded(cursors)
+	f.Add(cursors)
+	cursorsDirty := append([]byte(nil), cursors...)
+	cursorsDirty[len(cursorsDirty)-3] ^= 0x20
+	f.Add(cursorsDirty)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, err := Replay(data)

@@ -62,4 +62,31 @@ func main() {
 	}).AppendEncoded(sub)
 	pend = durable.PendingTakeRecord(durable.PendingTakePayload{User: "alice", ID: "r3", Accepted: true}).AppendEncoded(pend)
 	write("seed-subscription-ops", pend)
+
+	// Cursor record family: a reliable subscribe (delivery config riding
+	// on the subscription payload) followed by two cumulative cursor
+	// advances.
+	cur := durable.SubscribeRecord(durable.SubscriptionState{
+		User: "bob", Kind: "subscribe-feed", FeedURL: "http://news.test/feed.xml",
+		Filter: `feed = "http://news.test/feed.xml" and type = "feed-item"`,
+		At:     time.Unix(1136073600, 0).UTC(),
+		Delivery: &durable.DeliveryState{
+			Guarantee: "at_least_once", OrderingKey: "feed",
+			AckTimeoutMS: 5000, MaxAttempts: 3,
+		},
+	}).AppendEncoded(nil)
+	cur = durable.CursorAckRecord(durable.CursorAckPayload{
+		User: "bob", ID: "http://news.test/feed.xml", Seq: 4,
+		At: time.Unix(1136073661, 0).UTC(),
+	}).AppendEncoded(cur)
+	cur = durable.CursorAckRecord(durable.CursorAckPayload{
+		User: "bob", ID: "http://news.test/feed.xml", Seq: 9,
+	}).AppendEncoded(cur)
+	write("seed-cursor-ops", cur)
+
+	// The same cursor log with a payload byte flipped: the checksum must
+	// reject it with a typed error.
+	curDirty := append([]byte(nil), cur...)
+	curDirty[len(curDirty)-3] ^= 0x20
+	write("seed-cursor-corrupt", curDirty)
 }

@@ -69,9 +69,13 @@ const (
 	OpPendingAdd Op = 5
 	// OpPendingTake resolves a pending recommendation (accept or reject).
 	OpPendingTake Op = 6
+	// OpCursorAck advances a reliable subscription's cumulative delivery
+	// cursor — the second record family, introduced by the reliable-
+	// delivery tier.
+	OpCursorAck Op = 7
 
 	// opMax is one past the last defined op.
-	opMax = 7
+	opMax = 8
 )
 
 // String names the op.
@@ -89,6 +93,8 @@ func (o Op) String() string {
 		return "pending-add"
 	case OpPendingTake:
 		return "pending-take"
+	case OpCursorAck:
+		return "cursor-ack"
 	default:
 		return fmt.Sprintf("op(%d)", byte(o))
 	}
@@ -199,6 +205,39 @@ type SubscriptionState struct {
 	Filter  string    `json:"filter,omitempty"`
 	Reason  string    `json:"reason,omitempty"`
 	At      time.Time `json:"at"`
+	// Delivery carries the reliable-delivery configuration for
+	// at-least-once subscriptions. Nil for best-effort subscriptions and
+	// in every record written before the reliable-delivery tier existed,
+	// so old WALs decode unchanged.
+	Delivery *DeliveryState `json:"delivery,omitempty"`
+}
+
+// DeliveryState is the durable form of a subscription's reliable-
+// delivery configuration.
+type DeliveryState struct {
+	Guarantee   string `json:"guarantee"`
+	OrderingKey string `json:"ordering_key,omitempty"`
+	// AckTimeoutMS and MaxAttempts are zero when the subscription uses
+	// the deployment defaults.
+	AckTimeoutMS int64 `json:"ack_timeout_ms,omitempty"`
+	MaxAttempts  int   `json:"max_attempts,omitempty"`
+}
+
+// CursorAckPayload is the OpCursorAck payload: one cumulative-cursor
+// advance for a reliable subscription. ID is the subscription's stable
+// identifier (feed URL or canonical filter).
+type CursorAckPayload struct {
+	User string    `json:"user"`
+	ID   string    `json:"id"`
+	Seq  int64     `json:"seq"`
+	At   time.Time `json:"at,omitzero"`
+}
+
+// CursorState is one subscription's cursor in the snapshot schema.
+type CursorState struct {
+	User  string `json:"user"`
+	ID    string `json:"id"`
+	Acked int64  `json:"acked"`
 }
 
 // TermState is one weighted profile term of a content recommendation.
@@ -250,6 +289,10 @@ type State struct {
 	// PendingSeq is the ledger's ID counter, restored so IDs assigned
 	// after recovery never collide with live pending IDs.
 	PendingSeq int64 `json:"pending_seq,omitempty"`
+	// Cursors lists every reliable subscription's cumulative delivery
+	// cursor, sorted by (user, id) for deterministic snapshots. Absent in
+	// snapshots written before the reliable-delivery tier existed.
+	Cursors []CursorState `json:"cursors,omitempty"`
 }
 
 // mustRecord marshals a payload into a Record. Payload structs contain
@@ -283,3 +326,6 @@ func PendingAddRecord(p PendingAddPayload) Record { return mustRecord(OpPendingA
 
 // PendingTakeRecord builds an OpPendingTake record.
 func PendingTakeRecord(p PendingTakePayload) Record { return mustRecord(OpPendingTake, p) }
+
+// CursorAckRecord builds an OpCursorAck record.
+func CursorAckRecord(p CursorAckPayload) Record { return mustRecord(OpCursorAck, p) }

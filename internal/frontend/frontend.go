@@ -237,6 +237,10 @@ type Frontend struct {
 	proxy   FeedProxy
 	sidebar *Sidebar
 	nowFn   func() time.Time
+	// onEvent, when set, observes every pumped event alongside the
+	// sidebar (the reliable-delivery tier tees retained copies here). Set
+	// once via SetEventHook before the first Apply.
+	onEvent func(rec recommend.Recommendation, ev pubsub.Event, now time.Time)
 
 	mu     sync.Mutex
 	closed bool
@@ -263,6 +267,16 @@ func NewFrontend(user string, sub Subscriber, proxy FeedProxy, sidebar *Sidebar,
 
 // Sidebar returns the frontend's sidebar.
 func (f *Frontend) Sidebar() *Sidebar { return f.sidebar }
+
+// SetEventHook registers the per-event observer. It must be called
+// before the first Apply: the pump goroutines read the hook without
+// locking, relying on the happens-before edge the caller's construction
+// path provides.
+func (f *Frontend) SetEventHook(fn func(rec recommend.Recommendation, ev pubsub.Event, now time.Time)) {
+	f.mu.Lock()
+	f.onEvent = fn
+	f.mu.Unlock()
+}
 
 // key derives the active-table key for a recommendation.
 func key(rec recommend.Recommendation) string {
@@ -329,7 +343,11 @@ func (f *Frontend) pump(as *activeSub) {
 	defer f.wg.Done()
 	defer close(as.done)
 	for ev := range as.sub.Events() {
-		f.sidebar.Add(ev, f.nowFn())
+		now := f.nowFn()
+		if f.onEvent != nil {
+			f.onEvent(as.rec, ev, now)
+		}
+		f.sidebar.Add(ev, now)
 	}
 }
 

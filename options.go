@@ -50,6 +50,8 @@ type config struct {
 	snapshotEvery   int
 	shards          int
 	shardsSet       bool
+	ackTimeout      time.Duration
+	maxAttempts     int
 }
 
 func buildConfig(opts []Option) config {
@@ -183,6 +185,17 @@ func WithSnapshotEvery(n int) Option {
 // otherwise. n < 1 makes the constructor fail with ErrInvalidArgument.
 func WithShards(n int) Option {
 	return func(c *config) { c.shards, c.shardsSet = n, true }
+}
+
+// WithDeliveryDefaults sets the deployment-wide defaults for
+// at-least-once subscriptions that do not tune their own ack timeout or
+// max-attempts cap at Subscribe time (defaults: 30s, 5 attempts). Zero
+// values keep the package defaults.
+func WithDeliveryDefaults(ackTimeout time.Duration, maxAttempts int) Option {
+	return func(c *config) {
+		c.ackTimeout = ackTimeout
+		c.maxAttempts = maxAttempts
+	}
 }
 
 // subOptions translates the public queue tuning into broker options.

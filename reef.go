@@ -91,6 +91,15 @@ type Subscription struct {
 	FeedURL string    `json:"feed_url,omitempty"`
 	Filter  string    `json:"filter,omitempty"`
 	Since   time.Time `json:"since"`
+	// Guarantee is the delivery tier's wire name ("at_least_once" for
+	// reliable subscriptions; empty for best-effort).
+	Guarantee string `json:"delivery_guarantee,omitempty"`
+	// OrderingKey is the advisory ordering attribute of a reliable
+	// subscription.
+	OrderingKey string `json:"ordering_key,omitempty"`
+	// Acked is a reliable subscription's durable cumulative cursor: the
+	// highest sequence number the consumer has acknowledged.
+	Acked int64 `json:"acked_seq,omitempty"`
 }
 
 // Stats is a flat snapshot of deployment counters.
@@ -236,8 +245,11 @@ type Deployment interface {
 	// Subscriptions lists the user's live subscriptions.
 	Subscriptions(ctx context.Context, user string) ([]Subscription, error)
 	// Subscribe places a feed subscription directly (bypassing the
-	// recommendation flow).
-	Subscribe(ctx context.Context, user, feedURL string) (Subscription, error)
+	// recommendation flow). Options select the delivery tier and its
+	// tuning; with none the subscription is best-effort. Impossible
+	// option combinations are rejected with a *ConfigError before any
+	// state changes.
+	Subscribe(ctx context.Context, user, feedURL string, opts ...SubscribeOption) (Subscription, error)
 	// Unsubscribe removes a feed subscription. It returns ErrNotFound if
 	// the user has no subscription for the feed.
 	Unsubscribe(ctx context.Context, user, feedURL string) error

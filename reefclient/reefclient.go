@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -106,8 +107,9 @@ type Client struct {
 }
 
 var (
-	_ reef.Deployment = (*Client)(nil)
-	_ reef.Persister  = (*Client)(nil)
+	_ reef.Deployment        = (*Client)(nil)
+	_ reef.Persister         = (*Client)(nil)
+	_ reef.ReliableDeliverer = (*Client)(nil)
 )
 
 // New builds a client for a server root, e.g. "http://127.0.0.1:7070".
@@ -284,11 +286,75 @@ func (c *Client) Subscriptions(ctx context.Context, user string) ([]reef.Subscri
 }
 
 // Subscribe implements reef.Deployment over PUT /v1/users/{u}/subscriptions.
-func (c *Client) Subscribe(ctx context.Context, user, feedURL string) (reef.Subscription, error) {
+// Delivery options are validated locally first (so a bad combination
+// fails with the same rich *ConfigError an in-process deployment
+// produces, without a round trip), then serialized onto the wire.
+func (c *Client) Subscribe(ctx context.Context, user, feedURL string, opts ...reef.SubscribeOption) (reef.Subscription, error) {
+	sc, err := reef.NewSubscribeConfig(opts...)
+	if err != nil {
+		return reef.Subscription{}, err
+	}
+	body := reefhttp.SubscribeRequest{FeedURL: feedURL}
+	if sc.Guarantee == reef.AtLeastOnce {
+		body.Delivery = &reefhttp.DeliveryConfig{
+			Guarantee:    sc.Guarantee.String(),
+			OrderingKey:  sc.OrderingKey,
+			AckTimeoutMS: sc.AckTimeout.Milliseconds(),
+			MaxAttempts:  sc.MaxAttempts,
+		}
+	}
 	var out reef.Subscription
-	err := c.do(ctx, http.MethodPut, "/v1/users/"+url.PathEscape(user)+"/subscriptions",
-		reefhttp.SubscribeRequest{FeedURL: feedURL}, &out)
+	err = c.do(ctx, http.MethodPut, "/v1/users/"+url.PathEscape(user)+"/subscriptions", body, &out)
 	return out, err
+}
+
+// FetchEvents implements reef.ReliableDeliverer over GET
+// /v1/subscriptions/{id}/events.
+func (c *Client) FetchEvents(ctx context.Context, user, subID string, max int) ([]reef.DeliveredEvent, error) {
+	path := "/v1/subscriptions/" + url.PathEscape(subID) + "/events?user=" + url.QueryEscape(user)
+	if max > 0 {
+		path += "&max=" + strconv.Itoa(max)
+	}
+	var out reefhttp.DeliveredResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Events, nil
+}
+
+// Ack implements reef.ReliableDeliverer over POST
+// /v1/subscriptions/{id}/ack. Acks are cumulative and idempotent on the
+// server, so WithRetry may safely repeat one.
+func (c *Client) Ack(ctx context.Context, user, subID string, seq int64, nack bool) error {
+	return c.do(ctx, http.MethodPost, "/v1/subscriptions/"+url.PathEscape(subID)+"/ack",
+		reefhttp.AckRequest{User: user, Seq: seq, Nack: nack}, nil)
+}
+
+// DeadLetters implements reef.ReliableDeliverer over GET
+// /v1/admin/deadletter. An empty subID aggregates every subscription of
+// the user.
+func (c *Client) DeadLetters(ctx context.Context, user, subID string) ([]reef.DeadLetter, error) {
+	path := "/v1/admin/deadletter?user=" + url.QueryEscape(user)
+	if subID != "" {
+		path += "&subscription=" + url.QueryEscape(subID)
+	}
+	var out reefhttp.DeadLetterResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.DeadLetters, nil
+}
+
+// DrainDeadLetters implements reef.ReliableDeliverer over POST
+// /v1/admin/deadletter, removing what it returns.
+func (c *Client) DrainDeadLetters(ctx context.Context, user, subID string) ([]reef.DeadLetter, error) {
+	var out reefhttp.DeadLetterResponse
+	err := c.do(ctx, http.MethodPost, "/v1/admin/deadletter",
+		reefhttp.DeadLetterDrainRequest{User: user, Subscription: subID}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return out.DeadLetters, nil
 }
 
 // Unsubscribe implements reef.Deployment over DELETE /v1/users/{u}/subscriptions.

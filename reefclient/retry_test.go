@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -187,6 +188,66 @@ func TestRetryHonorsContextCancel(t *testing.T) {
 	}
 }
 
+// TestRetryCancelDuringBackoffNoLeak is the regression test for the
+// backoff sleep itself: with a backoff far longer than the test, a
+// cancellation that lands while do is parked between attempts must
+// return promptly (the sleep selects on ctx.Done) and must not strand a
+// goroutine behind the timer. The goroutine count is sampled before and
+// after; a leaked sleeper would hold the count up for the full 10-minute
+// backoff, far beyond the settle loop.
+func TestRetryCancelDuringBackoffNoLeak(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		rw.Header().Set("Content-Type", "application/json")
+		rw.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = rw.Write([]byte(`{"error":{"code":"unavailable","message":"down"}}`))
+	}))
+	defer srv.Close()
+
+	before := runtime.NumGoroutine()
+	cli := New(srv.URL, WithHTTPClient(srv.Client()), WithRetry(3, 10*time.Minute))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cli.Stats(ctx)
+		done <- err
+	}()
+	// Wait until the first attempt landed, so the cancel hits the backoff
+	// sleep rather than the request.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Stats succeeded against a failing server")
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("err = %v, want the last attempt's 503 APIError", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled call still sleeping after 5s; backoff ignored the context")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (cancel landed in the first backoff)", got)
+	}
+	// Allow the HTTP machinery to wind down (keep-alive connection
+	// goroutines linger until the pool drops them), then check nothing is
+	// stuck.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		srv.Client().CloseIdleConnections()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after cancel; backoff sleeper leaked", before, runtime.NumGoroutine())
+}
+
 // TestPerRequestTimeout pins WithTimeout: a hanging server fails the
 // attempt at the configured deadline, and with retry each attempt gets
 // a fresh budget.
@@ -270,7 +331,7 @@ func (nopDeployment) PublishBatch(context.Context, []reef.Event) (int, error) { 
 func (nopDeployment) Subscriptions(context.Context, string) ([]reef.Subscription, error) {
 	return nil, nil
 }
-func (nopDeployment) Subscribe(context.Context, string, string) (reef.Subscription, error) {
+func (nopDeployment) Subscribe(context.Context, string, string, ...reef.SubscribeOption) (reef.Subscription, error) {
 	return reef.Subscription{}, nil
 }
 func (nopDeployment) Unsubscribe(context.Context, string, string) error { return nil }

@@ -129,8 +129,9 @@ type Cluster struct {
 }
 
 var (
-	_ reef.Deployment = (*Cluster)(nil)
-	_ reef.Persister  = (*Cluster)(nil)
+	_ reef.Deployment        = (*Cluster)(nil)
+	_ reef.Persister         = (*Cluster)(nil)
+	_ reef.ReliableDeliverer = (*Cluster)(nil)
 )
 
 // New builds the cluster router and runs one synchronous probe round so
@@ -402,14 +403,60 @@ func (c *Cluster) Subscriptions(ctx context.Context, user string) ([]reef.Subscr
 	return subs, c.forwardErr(i, err)
 }
 
-// Subscribe implements reef.Deployment by forwarding to the owner.
-func (c *Cluster) Subscribe(ctx context.Context, user, feedURL string) (reef.Subscription, error) {
+// Subscribe implements reef.Deployment by forwarding to the owner;
+// delivery options ride along so a reliable subscription's cursor lives
+// on the node that owns the user.
+func (c *Cluster) Subscribe(ctx context.Context, user, feedURL string, opts ...reef.SubscribeOption) (reef.Subscription, error) {
 	i, err := c.userCall(ctx, user)
 	if err != nil {
 		return reef.Subscription{}, err
 	}
-	sub, err := c.clients[i].Subscribe(ctx, user, feedURL)
+	sub, err := c.clients[i].Subscribe(ctx, user, feedURL, opts...)
 	return sub, c.forwardErr(i, err)
+}
+
+// FetchEvents implements reef.ReliableDeliverer by forwarding to the
+// node owning the user — the cursor and retained window live there.
+func (c *Cluster) FetchEvents(ctx context.Context, user, subID string, max int) ([]reef.DeliveredEvent, error) {
+	i, err := c.userCall(ctx, user)
+	if err != nil {
+		return nil, err
+	}
+	evs, err := c.clients[i].FetchEvents(ctx, user, subID, max)
+	return evs, c.forwardErr(i, err)
+}
+
+// Ack implements reef.ReliableDeliverer by forwarding to the owner.
+// Acks are cumulative and idempotent, so the forwarding retry policy is
+// safe here too.
+func (c *Cluster) Ack(ctx context.Context, user, subID string, seq int64, nack bool) error {
+	i, err := c.userCall(ctx, user)
+	if err != nil {
+		return err
+	}
+	return c.forwardErr(i, c.clients[i].Ack(ctx, user, subID, seq, nack))
+}
+
+// DeadLetters implements reef.ReliableDeliverer by forwarding to the
+// owner.
+func (c *Cluster) DeadLetters(ctx context.Context, user, subID string) ([]reef.DeadLetter, error) {
+	i, err := c.userCall(ctx, user)
+	if err != nil {
+		return nil, err
+	}
+	dls, err := c.clients[i].DeadLetters(ctx, user, subID)
+	return dls, c.forwardErr(i, err)
+}
+
+// DrainDeadLetters implements reef.ReliableDeliverer by forwarding to
+// the owner.
+func (c *Cluster) DrainDeadLetters(ctx context.Context, user, subID string) ([]reef.DeadLetter, error) {
+	i, err := c.userCall(ctx, user)
+	if err != nil {
+		return nil, err
+	}
+	dls, err := c.clients[i].DrainDeadLetters(ctx, user, subID)
+	return dls, c.forwardErr(i, err)
 }
 
 // Unsubscribe implements reef.Deployment by forwarding to the owner.

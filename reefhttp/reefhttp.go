@@ -14,6 +14,10 @@
 //	GET    /v1/users/{user}/subscriptions      list live subscriptions
 //	PUT    /v1/users/{user}/subscriptions      place a feed subscription
 //	DELETE /v1/users/{user}/subscriptions      remove one (?feed=URL)
+//	GET    /v1/subscriptions/{id}/events       lease retained events (?user=U&max=N)
+//	POST   /v1/subscriptions/{id}/ack          ack/nack a delivery cursor
+//	GET    /v1/admin/deadletter                inspect dead letters (?user=U&subscription=S)
+//	POST   /v1/admin/deadletter                drain dead letters (body: {"user","subscription"})
 //	GET    /v1/recommendations?user=U          list pending recommendations
 //	POST   /v1/recommendations/{id}/accept     execute one   (body: {"user":U})
 //	POST   /v1/recommendations/{id}/reject     discard one   (body: {"user":U})
@@ -23,8 +27,10 @@
 //	GET    /v1/admin/storage                   persistence backend state
 //	POST   /v1/admin/snapshot                  force a compacting snapshot
 //
-// The admin endpoints require the deployment to implement reef.Persister;
-// against one that does not they answer 501 with code "unsupported".
+// The admin storage/snapshot endpoints require the deployment to
+// implement reef.Persister; the events/ack/deadletter endpoints require
+// reef.ReliableDeliverer. Against a deployment lacking the surface they
+// answer 501 with code "unsupported".
 //
 // Liveness and readiness are distinct probes: /v1/healthz answers 200
 // whenever the process serves at all, while /v1/readyz answers 200 only
@@ -45,8 +51,10 @@ import (
 	"log"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"reef"
 )
@@ -98,9 +106,50 @@ type (
 	SubscriptionsResponse struct {
 		Subscriptions []reef.Subscription `json:"subscriptions"`
 	}
-	// SubscribeRequest is the PUT subscriptions body.
+	// SubscribeRequest is the PUT subscriptions body. Delivery is
+	// optional; omitting it places a best-effort subscription.
 	SubscribeRequest struct {
-		FeedURL string `json:"feed_url"`
+		FeedURL  string          `json:"feed_url"`
+		Delivery *DeliveryConfig `json:"delivery,omitempty"`
+	}
+	// DeliveryConfig selects a subscription's delivery tier on the wire.
+	DeliveryConfig struct {
+		// Guarantee is "best_effort" or "at_least_once".
+		Guarantee   string `json:"guarantee"`
+		OrderingKey string `json:"ordering_key,omitempty"`
+		// AckTimeoutMS and MaxAttempts are at-least-once tuning; zero
+		// keeps the deployment defaults.
+		AckTimeoutMS int64 `json:"ack_timeout_ms,omitempty"`
+		MaxAttempts  int   `json:"max_attempts,omitempty"`
+	}
+	// AckRequest is the POST /v1/subscriptions/{id}/ack body. Seq is the
+	// cumulative cursor position; Nack asks for immediate redelivery
+	// instead of advancing the cursor.
+	AckRequest struct {
+		User string `json:"user"`
+		Seq  int64  `json:"seq"`
+		Nack bool   `json:"nack,omitempty"`
+	}
+	// AckResponse acknowledges a cursor call.
+	AckResponse struct {
+		ID     string `json:"id"`
+		Seq    int64  `json:"seq"`
+		Action string `json:"action"` // "ack" or "nack"
+	}
+	// DeliveredResponse carries leased events from the fetch endpoint.
+	DeliveredResponse struct {
+		Events []reef.DeliveredEvent `json:"events"`
+	}
+	// DeadLetterResponse lists dead-lettered events (GET) or the drained
+	// batch (POST).
+	DeadLetterResponse struct {
+		DeadLetters []reef.DeadLetter `json:"dead_letters"`
+	}
+	// DeadLetterDrainRequest is the POST /v1/admin/deadletter body. An
+	// empty Subscription drains every reliable subscription of the user.
+	DeadLetterDrainRequest struct {
+		User         string `json:"user"`
+		Subscription string `json:"subscription,omitempty"`
 	}
 	// RecommendationsResponse lists pending recommendations.
 	RecommendationsResponse struct {
@@ -252,6 +301,22 @@ func (h *Handler) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 		h.route(rw, req, "GET", h.handleReadyz)
 	case len(seg) == 1 && seg[0] == "recommendations":
 		h.route(rw, req, "GET", h.handleRecommendations)
+	case len(seg) == 2 && seg[0] == "admin" && seg[1] == "deadletter":
+		h.route(rw, req, "GET POST", h.handleDeadLetter)
+	case len(seg) == 3 && seg[0] == "subscriptions" && (seg[2] == "ack" || seg[2] == "events"):
+		id, ok := h.pathSegment(rw, seg[1])
+		if !ok {
+			return
+		}
+		if seg[2] == "ack" {
+			h.route(rw, req, "POST", func(rw http.ResponseWriter, req *http.Request) {
+				h.handleAck(rw, req, id)
+			})
+		} else {
+			h.route(rw, req, "GET", func(rw http.ResponseWriter, req *http.Request) {
+				h.handleFetchEvents(rw, req, id)
+			})
+		}
 	case len(seg) == 2 && seg[0] == "admin" && seg[1] == "storage":
 		h.route(rw, req, "GET", h.handleStorage)
 	case len(seg) == 2 && seg[0] == "admin" && seg[1] == "snapshot":
@@ -358,7 +423,12 @@ func (h *Handler) handleSubscriptions(rw http.ResponseWriter, req *http.Request,
 		if !h.readJSON(rw, req, &body) {
 			return
 		}
-		sub, err := h.dep.Subscribe(ctx, user, body.FeedURL)
+		opts, err := subscribeOptions(body.Delivery)
+		if err != nil {
+			h.writeDeploymentError(rw, err)
+			return
+		}
+		sub, err := h.dep.Subscribe(ctx, user, body.FeedURL, opts...)
 		if err != nil {
 			h.writeDeploymentError(rw, err)
 			return
@@ -465,6 +535,133 @@ func (h *Handler) handleReadyz(rw http.ResponseWriter, req *http.Request) {
 		status = http.StatusServiceUnavailable
 	}
 	h.writeJSON(rw, status, out)
+}
+
+// subscribeOptions translates the wire delivery config into subscribe
+// options. Unknown guarantee names fail with the rich *ConfigError the
+// reef package builds.
+func subscribeOptions(d *DeliveryConfig) ([]reef.SubscribeOption, error) {
+	if d == nil {
+		return nil, nil
+	}
+	var opts []reef.SubscribeOption
+	if d.Guarantee != "" {
+		g, err := reef.ParseDeliveryGuarantee(d.Guarantee)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, reef.WithGuarantee(g))
+	}
+	if d.OrderingKey != "" {
+		opts = append(opts, reef.WithOrderingKey(d.OrderingKey))
+	}
+	if d.AckTimeoutMS != 0 {
+		opts = append(opts, reef.WithAckTimeout(time.Duration(d.AckTimeoutMS)*time.Millisecond))
+	}
+	if d.MaxAttempts != 0 {
+		opts = append(opts, reef.WithMaxAttempts(d.MaxAttempts))
+	}
+	return opts, nil
+}
+
+// reliable unwraps the deployment's reliable-delivery surface, answering
+// the 501 envelope when it has none.
+func (h *Handler) reliable(rw http.ResponseWriter) (reef.ReliableDeliverer, bool) {
+	r, ok := h.dep.(reef.ReliableDeliverer)
+	if !ok {
+		h.writeDeploymentError(rw, fmt.Errorf("%w: deployment has no reliable-delivery surface", reef.ErrUnsupported))
+		return nil, false
+	}
+	return r, true
+}
+
+// handleAck advances (or nacks against) one subscription's delivery
+// cursor.
+func (h *Handler) handleAck(rw http.ResponseWriter, req *http.Request, id string) {
+	r, ok := h.reliable(rw)
+	if !ok {
+		return
+	}
+	var body AckRequest
+	if !h.readJSON(rw, req, &body) {
+		return
+	}
+	if err := r.Ack(req.Context(), body.User, id, body.Seq, body.Nack); err != nil {
+		h.writeDeploymentError(rw, err)
+		return
+	}
+	action := "ack"
+	if body.Nack {
+		action = "nack"
+	}
+	h.writeJSON(rw, http.StatusOK, AckResponse{ID: id, Seq: body.Seq, Action: action})
+}
+
+// handleFetchEvents leases retained events of one reliable subscription.
+func (h *Handler) handleFetchEvents(rw http.ResponseWriter, req *http.Request, id string) {
+	r, ok := h.reliable(rw)
+	if !ok {
+		return
+	}
+	q := req.URL.Query()
+	user := q.Get("user")
+	if user == "" {
+		h.writeError(rw, http.StatusBadRequest, CodeInvalidArgument, "missing user parameter")
+		return
+	}
+	max := 0
+	if v := q.Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			h.writeError(rw, http.StatusBadRequest, CodeInvalidArgument, "bad max parameter: "+err.Error())
+			return
+		}
+		max = n
+	}
+	evs, err := r.FetchEvents(req.Context(), user, id, max)
+	if err != nil {
+		h.writeDeploymentError(rw, err)
+		return
+	}
+	h.writeJSON(rw, http.StatusOK, DeliveredResponse{Events: evs})
+}
+
+// handleDeadLetter inspects (GET) or drains (POST) dead-letter queues.
+func (h *Handler) handleDeadLetter(rw http.ResponseWriter, req *http.Request) {
+	r, ok := h.reliable(rw)
+	if !ok {
+		return
+	}
+	var user, subID string
+	drain := req.Method == http.MethodPost
+	if drain {
+		var body DeadLetterDrainRequest
+		if !h.readJSON(rw, req, &body) {
+			return
+		}
+		user, subID = body.User, body.Subscription
+	} else {
+		q := req.URL.Query()
+		user, subID = q.Get("user"), q.Get("subscription")
+	}
+	if user == "" {
+		h.writeError(rw, http.StatusBadRequest, CodeInvalidArgument, "missing user parameter")
+		return
+	}
+	var (
+		out []reef.DeadLetter
+		err error
+	)
+	if drain {
+		out, err = r.DrainDeadLetters(req.Context(), user, subID)
+	} else {
+		out, err = r.DeadLetters(req.Context(), user, subID)
+	}
+	if err != nil {
+		h.writeDeploymentError(rw, err)
+		return
+	}
+	h.writeJSON(rw, http.StatusOK, DeadLetterResponse{DeadLetters: out})
 }
 
 // persister unwraps the deployment's durability surface, answering the

@@ -1,10 +1,12 @@
 package reefhttp_test
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 	"time"
@@ -189,6 +191,106 @@ func TestAdminUnsupported(t *testing.T) {
 		{"POST", "/v1/admin/snapshot"},
 	} {
 		resp, envelope, raw := do(t, tc.method, srv.URL+tc.path, "")
+		if resp.StatusCode != http.StatusNotImplemented {
+			t.Errorf("%s %s = %d, want 501 (%s)", tc.method, tc.path, resp.StatusCode, raw)
+		}
+		if envelope.Error.Code != reefhttp.CodeUnsupported {
+			t.Errorf("%s %s code = %q, want unsupported", tc.method, tc.path, envelope.Error.Code)
+		}
+	}
+}
+
+// TestDeliveryEndpointErrorPaths is the table-driven sweep over the
+// reliable-delivery routes' failure envelopes: wrong methods, bad JSON,
+// missing parameters, unknown subscriptions, and — the typed config
+// error — an ack against a best-effort subscription.
+func TestDeliveryEndpointErrorPaths(t *testing.T) {
+	srv, dep := newTestServer(t)
+	ctx := context.Background()
+	const bestEffort = "http://f.test/plain.xml"
+	const reliableFeed = "http://f.test/reliable.xml"
+	if _, err := dep.Subscribe(ctx, "u", bestEffort); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Subscribe(ctx, "u", reliableFeed, reef.WithGuarantee(reef.AtLeastOnce)); err != nil {
+		t.Fatal(err)
+	}
+	enc := url.PathEscape(bestEffort)
+	encReliable := url.PathEscape(reliableFeed)
+
+	tests := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+		wantAllow  string
+	}{
+		{"ack wrong method", "GET", "/v1/subscriptions/" + encReliable + "/ack", "", http.StatusMethodNotAllowed, reefhttp.CodeMethodNotAllowed, "POST"},
+		{"events wrong method", "POST", "/v1/subscriptions/" + encReliable + "/events", "{}", http.StatusMethodNotAllowed, reefhttp.CodeMethodNotAllowed, "GET"},
+		{"deadletter wrong method", "DELETE", "/v1/admin/deadletter", "", http.StatusMethodNotAllowed, reefhttp.CodeMethodNotAllowed, "GET, POST"},
+
+		{"ack bad JSON", "POST", "/v1/subscriptions/" + encReliable + "/ack", "{nope", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"deadletter drain bad JSON", "POST", "/v1/admin/deadletter", "[", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"events missing user", "GET", "/v1/subscriptions/" + encReliable + "/events", "", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"events bad max", "GET", "/v1/subscriptions/" + encReliable + "/events?user=u&max=lots", "", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"deadletter missing user", "GET", "/v1/admin/deadletter", "", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"deadletter drain missing user", "POST", "/v1/admin/deadletter", "{}", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"blank subscription segment", "POST", "/v1/subscriptions/%20/ack", `{"user":"u","seq":1}`, http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+
+		{"ack unknown subscription", "POST", "/v1/subscriptions/ghost/ack", `{"user":"u","seq":1}`, http.StatusNotFound, reefhttp.CodeNotFound, ""},
+		{"events unknown subscription", "GET", "/v1/subscriptions/ghost/events?user=u", "", http.StatusNotFound, reefhttp.CodeNotFound, ""},
+		{"deadletter unknown subscription", "GET", "/v1/admin/deadletter?user=u&subscription=ghost", "", http.StatusNotFound, reefhttp.CodeNotFound, ""},
+
+		{"ack on best-effort subscription", "POST", "/v1/subscriptions/" + enc + "/ack", `{"user":"u","seq":1}`, http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"events on best-effort subscription", "GET", "/v1/subscriptions/" + enc + "/events?user=u", "", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"ack beyond delivered", "POST", "/v1/subscriptions/" + encReliable + "/ack", `{"user":"u","seq":99}`, http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+
+		{"subscribe with unknown guarantee", "PUT", "/v1/users/u/subscriptions", `{"feed_url":"http://f.test/x.xml","delivery":{"guarantee":"exactly_once"}}`, http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"subscribe ordering key without tier", "PUT", "/v1/users/u/subscriptions", `{"feed_url":"http://f.test/x.xml","delivery":{"ordering_key":"topic"}}`, http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+	}
+
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, envelope, raw := do(t, tc.method, srv.URL+tc.path, tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, raw)
+			}
+			if envelope.Error.Code != tc.wantCode {
+				t.Errorf("envelope code = %q, want %q (body %s)", envelope.Error.Code, tc.wantCode, raw)
+			}
+			if envelope.Error.Message == "" {
+				t.Error("envelope has no message")
+			}
+			if tc.wantAllow != "" {
+				if allow := resp.Header.Get("Allow"); allow != tc.wantAllow {
+					t.Errorf("Allow = %q, want %q", allow, tc.wantAllow)
+				}
+			}
+		})
+	}
+
+	// The best-effort rejection carries the rich config-error text, so an
+	// operator reading the envelope knows the fix.
+	_, envelope, _ := do(t, "POST", srv.URL+"/v1/subscriptions/"+enc+"/ack", `{"user":"u","seq":1}`)
+	if !strings.Contains(envelope.Error.Message, "best-effort") || !strings.Contains(envelope.Error.Message, "AtLeastOnce") {
+		t.Errorf("best-effort ack message = %q, want tier explanation with the WithGuarantee fix", envelope.Error.Message)
+	}
+}
+
+// TestDeliveryUnsupported pins the 501 envelope for deployments without
+// a reliable-delivery surface.
+func TestDeliveryUnsupported(t *testing.T) {
+	srv := httptest.NewServer(reefhttp.NewHandler(bareDeployment{}, nil))
+	defer srv.Close()
+	for _, tc := range []struct{ method, path, body string }{
+		{"GET", "/v1/subscriptions/s/events?user=u", ""},
+		{"POST", "/v1/subscriptions/s/ack", `{"user":"u","seq":1}`},
+		{"GET", "/v1/admin/deadletter?user=u", ""},
+		{"POST", "/v1/admin/deadletter", `{"user":"u"}`},
+	} {
+		resp, envelope, raw := do(t, tc.method, srv.URL+tc.path, tc.body)
 		if resp.StatusCode != http.StatusNotImplemented {
 			t.Errorf("%s %s = %d, want 501 (%s)", tc.method, tc.path, resp.StatusCode, raw)
 		}

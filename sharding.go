@@ -95,6 +95,11 @@ func routedReplay(reps []durableReplay) durableReplay {
 		rejectFeedback: func(user, feedURL string, at2 time.Time) {
 			at(user).rejectFeedback(user, feedURL, at2)
 		},
+		registerDelivery: func(user, id string, ds durable.DeliveryState) {
+			at(user).registerDelivery(user, id, ds)
+		},
+		removeDelivery: func(user, id string) { at(user).removeDelivery(user, id) },
+		ackCursor:      func(user, id string, seq int64) { at(user).ackCursor(user, id, seq) },
 	}
 }
 
