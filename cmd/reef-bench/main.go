@@ -2,13 +2,13 @@
 // evaluation (DESIGN.md §4), plus the substrate micro-benchmarks. With no
 // arguments it runs the full suite at paper scale; pass experiment IDs
 // (e1 e2 e3 f1 f2 a1 a2 a3 publish rank recovery shard cluster
-// delivery) to run a subset, and -quick for a reduced-scale smoke run.
-// The publish, rank, recovery, shard, cluster and delivery benchmarks
-// write BENCH_publish.json, BENCH_rank.json, BENCH_recovery.json,
-// BENCH_shard.json, BENCH_cluster.json and BENCH_delivery.json
-// (ops/sec, allocs/op, p50/p99, stamped with the source revision and
-// GOMAXPROCS) into -benchdir so later PRs have a performance trajectory
-// to beat.
+// delivery replication) to run a subset, and -quick for a reduced-scale
+// smoke run. The publish, rank, recovery, shard, cluster, delivery and
+// replication benchmarks write BENCH_publish.json, BENCH_rank.json,
+// BENCH_recovery.json, BENCH_shard.json, BENCH_cluster.json,
+// BENCH_delivery.json and BENCH_replication.json (ops/sec, allocs/op,
+// p50/p99, stamped with the source revision and GOMAXPROCS) into
+// -benchdir so later PRs have a performance trajectory to beat.
 //
 //	reef-bench                      # full suite
 //	reef-bench e1 e3                # just E1 and E3
@@ -17,17 +17,19 @@
 //	reef-bench -quick recovery      # durability: WAL, snapshot, cold start
 //	reef-bench publish -shards 1,2,4,8   # publish sweep across shard counts
 //	reef-bench cluster -nodes 1,2,4      # cluster router sweep across node counts
+//	reef-bench replication -replicas 0,1,2   # replicated placement sweep over k
 //
-// -shards and -nodes (accepted before or after the experiment IDs)
-// select the counts the shard and cluster sweeps run; giving -shards
-// alongside "publish" also runs the shard sweep, matching the CI
-// invocation.
+// -shards, -nodes and -replicas (accepted before or after the
+// experiment IDs) select the counts the shard, cluster and replication
+// sweeps run; giving -shards alongside "publish" also runs the shard
+// sweep, matching the CI invocation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -36,6 +38,23 @@ import (
 )
 
 func main() {
+	// REEF_BENCH_CPUPROFILE=<path> profiles the whole run; for
+	// diagnosing where a sweep's overhead actually goes.
+	if path := os.Getenv("REEF_BENCH_CPUPROFILE"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reef-bench: cpu profile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "reef-bench: cpu profile: %v\n", err)
+			os.Exit(2)
+		}
+		code := run()
+		pprof.StopCPUProfile()
+		_ = f.Close()
+		os.Exit(code)
+	}
 	os.Exit(run())
 }
 
@@ -45,6 +64,7 @@ func run() int {
 	benchdir := flag.String("benchdir", ".", "directory for BENCH_*.json trajectory files")
 	shardsFlag := flag.String("shards", "", "comma-separated shard counts for the shard sweep, e.g. 1,2,4,8")
 	nodesFlag := flag.String("nodes", "", "comma-separated node counts for the cluster sweep, e.g. 1,2,4")
+	replicasFlag := flag.String("replicas", "", "comma-separated k values for the replication sweep, e.g. 0,1,2")
 	flag.Parse()
 
 	// flag.Parse stops at the first experiment ID, so "reef-bench publish
@@ -76,9 +96,18 @@ func run() int {
 			i++
 			continue
 		}
+		if v, ok := strings.CutPrefix(name, "replicas="); ok {
+			*replicasFlag = v
+			continue
+		}
+		if name == "replicas" && i+1 < len(args) {
+			*replicasFlag = args[i+1]
+			i++
+			continue
+		}
 		// Anything else dash-prefixed here would otherwise be swallowed as
 		// an unknown experiment ID and silently skipped.
-		fmt.Fprintf(os.Stderr, "reef-bench: flag %q must come before the experiment IDs (only -shards and -nodes may follow them)\n", arg)
+		fmt.Fprintf(os.Stderr, "reef-bench: flag %q must come before the experiment IDs (only -shards, -nodes and -replicas may follow them)\n", arg)
 		return 2
 	}
 	shardCounts, err := parseShardCounts(*shardsFlag)
@@ -87,6 +116,11 @@ func run() int {
 		return 2
 	}
 	nodeCounts, err := parseShardCounts(*nodesFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reef-bench: %v\n", err)
+		return 2
+	}
+	replicaCounts, err := parseReplicaCounts(*replicasFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reef-bench: %v\n", err)
 		return 2
@@ -112,6 +146,7 @@ func run() int {
 	bshopt := BenchShardOptions{Shards: shardCounts, OutDir: *benchdir}
 	bclopt := BenchClusterOptions{Nodes: nodeCounts, OutDir: *benchdir}
 	bdelopt := BenchDeliveryOptions{OutDir: *benchdir}
+	brepopt := BenchReplicationOptions{Replicas: replicaCounts, OutDir: *benchdir}
 	if *quick {
 		e1opt.Users, e1opt.Days, e1opt.Scale = 3, 10, 0.15
 		e3opt.Stories, e3opt.AttendedPages, e3opt.Trials = 200, 1500, 2
@@ -125,6 +160,7 @@ func run() int {
 		bshopt.Ops, bshopt.ChurnUsers = 400, 800
 		bclopt.Ops, bclopt.ForwardOps, bclopt.ChurnPairs, bclopt.ChurnUsers = 60, 300, 150, 120
 		bdelopt.Ops = 20_000
+		brepopt.Ops, brepopt.ClickOps, brepopt.Users = 60, 150, 120
 	}
 
 	suite := []exp{
@@ -142,6 +178,7 @@ func run() int {
 		{"shard", func() experiments.Result { return benchShard(bshopt) }},
 		{"cluster", func() experiments.Result { return benchCluster(bclopt) }},
 		{"delivery", func() experiments.Result { return benchDelivery(bdelopt) }},
+		{"replication", func() experiments.Result { return benchReplication(brepopt) }},
 	}
 
 	ranF := false // f1 and f2 share one table; print once
@@ -173,6 +210,23 @@ func parseShardCounts(s string) ([]int, error) {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 1 {
 			return nil, fmt.Errorf("bad -shards entry %q (want positive integers, e.g. 1,2,4,8)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseReplicaCounts parses the -replicas list ("0,1,2"); unlike shard
+// counts, k=0 is a meaningful baseline (no shipping).
+func parseReplicaCounts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -replicas entry %q (want non-negative integers, e.g. 0,1,2)", part)
 		}
 		out = append(out, n)
 	}

@@ -36,6 +36,22 @@
 //
 //	reefd -addr :7000 -cluster-nodes n1=http://10.0.0.1:7070,n2=http://10.0.0.2:7070
 //
+// # Replication
+//
+// With -replicas k (node mode), every user's WAL records ship
+// asynchronously to the k nodes after the user's primary slot, so a
+// router configured with the same k can fail the user over to a warm
+// replica when the primary dies. The node needs its identity and the
+// shared seed list:
+//
+//	reefd -data-dir /var/lib/reef -node-id n1 -replicas 1 \
+//	      -peers n1=http://10.0.0.1:7070,n2=http://10.0.0.2:7070
+//
+// Give the router the same -replicas so its placement walks the same
+// replica sets. Inbound stream positions persist under
+// <data-dir>/replication/, and GET /v1/admin/replication reports both
+// directions' stream positions, lag and backlog.
+//
 // Endpoints (see package reefhttp for the full wire contract):
 //
 //	POST   /v1/clicks                          ingest a click batch
@@ -52,6 +68,9 @@
 //	GET    /v1/healthz                         liveness + shape + node ID
 //	GET    /v1/readyz                          readiness (starting/ready/draining)
 //	GET    /v1/admin/storage                   persistence backend state
+//	GET    /v1/admin/replication               replication stream positions + lag
+//	POST   /v1/replication/records             peer WAL batch ingest (internal)
+//	POST   /v1/replication/snapshot            peer snapshot-cut ingest (internal)
 //	POST   /v1/admin/snapshot                  force a compacting snapshot
 //	GET    /v1/admin/deadletter                inspect dead-letter queues (?user=U)
 //	POST   /v1/admin/deadletter                drain dead-letter queues
@@ -68,6 +87,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -75,6 +95,7 @@ import (
 	"time"
 
 	"reef"
+	"reef/internal/replication"
 	"reef/internal/topics"
 	"reef/internal/websim"
 	"reef/reefcluster"
@@ -95,14 +116,16 @@ func main() {
 	maxAttempts := flag.Int("delivery-max-attempts", 0, "default delivery attempts before an event dead-letters (0 = library default 5)")
 	nodeID := flag.String("node-id", "", "this node's cluster identity, stamped into /v1/healthz and /v1/readyz")
 	clusterNodes := flag.String("cluster-nodes", "", "run as a cluster router over these nodes (comma-separated id=url pairs) instead of a local deployment")
+	replicas := flag.Int("replicas", 0, "replicas per user: node mode ships the WAL to each user's k replica nodes (needs -data-dir, -node-id and -peers); router mode fails user calls over to the first up replica")
+	peers := flag.String("peers", "", "the cluster seed list this node replicates over (comma-separated id=url pairs, same order on every node; must include -node-id)")
 	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "how long /v1/readyz advertises draining before the listener closes")
 	flag.Parse()
 
 	var err error
 	if *clusterNodes != "" {
-		err = runRouter(*addr, *clusterNodes, *nodeID, *drainGrace, *dataDir, *shards)
+		err = runRouter(*addr, *clusterNodes, *nodeID, *drainGrace, *dataDir, *shards, *replicas, *peers)
 	} else {
-		err = run(*addr, *seed, *scale, *pipelineEvery, *pollEvery, *dataDir, *syncMode, *snapshotEvery, *shards, *nodeID, *drainGrace, *ackTimeout, *maxAttempts)
+		err = run(*addr, *seed, *scale, *pipelineEvery, *pollEvery, *dataDir, *syncMode, *snapshotEvery, *shards, *nodeID, *drainGrace, *ackTimeout, *maxAttempts, *replicas, *peers)
 	}
 	if err != nil {
 		log.Print(err)
@@ -124,9 +147,14 @@ func syncPolicy(mode string) (reef.SyncPolicy, error) {
 	}
 }
 
-// parseClusterNodes parses the -cluster-nodes list: "id=url,id=url".
-func parseClusterNodes(spec string) ([]reefcluster.Node, error) {
+// parseClusterNodes parses a node list ("id=url,id=url"), refusing
+// duplicate IDs and duplicate URLs outright — a copy-pasted entry would
+// otherwise double-route a slot or probe one process twice under two
+// names. flagName labels errors (-cluster-nodes or -peers).
+func parseClusterNodes(flagName, spec string) ([]reefcluster.Node, error) {
 	var nodes []reefcluster.Node
+	seenID := make(map[string]bool)
+	seenURL := make(map[string]bool)
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -134,14 +162,42 @@ func parseClusterNodes(spec string) ([]reefcluster.Node, error) {
 		}
 		id, u, ok := strings.Cut(part, "=")
 		if !ok || id == "" || u == "" {
-			return nil, fmt.Errorf("reefd: bad -cluster-nodes entry %q (want id=url)", part)
+			return nil, fmt.Errorf("reefd: bad %s entry %q (want id=url)", flagName, part)
 		}
+		if seenID[id] {
+			return nil, fmt.Errorf("reefd: duplicate node id %q in %s", id, flagName)
+		}
+		if seenURL[u] {
+			return nil, fmt.Errorf("reefd: duplicate node url %q in %s", u, flagName)
+		}
+		seenID[id], seenURL[u] = true, true
 		nodes = append(nodes, reefcluster.Node{ID: id, BaseURL: u})
 	}
 	if len(nodes) == 0 {
-		return nil, errors.New("reefd: -cluster-nodes has no entries")
+		return nil, fmt.Errorf("reefd: %s has no entries", flagName)
 	}
 	return nodes, nil
+}
+
+// parsePeers parses -peers into the replication manager's node list,
+// checking that self appears in it.
+func parsePeers(spec, self string) ([]replication.Node, error) {
+	nodes, err := parseClusterNodes("-peers", spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]replication.Node, len(nodes))
+	found := false
+	for i, n := range nodes {
+		out[i] = replication.Node{ID: n.ID, BaseURL: n.BaseURL}
+		if n.ID == self {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("reefd: -node-id %q is not in -peers; a replicating node must appear in its own seed list", self)
+	}
+	return out, nil
 }
 
 // swapHandler atomically replaces its delegate: the listener comes up
@@ -200,7 +256,28 @@ func serveUntilSignal(srv *http.Server, serveErr <-chan error, ready *reefhttp.R
 	return nil
 }
 
-func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.Duration, dataDir, syncMode string, snapshotEvery, shards int, nodeID string, drainGrace time.Duration, ackTimeout time.Duration, maxAttempts int) error {
+func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.Duration, dataDir, syncMode string, snapshotEvery, shards int, nodeID string, drainGrace time.Duration, ackTimeout time.Duration, maxAttempts int, replicas int, peersSpec string) error {
+	// Replication flags fail fast, before anything binds: shipping the
+	// WAL needs a WAL, an identity, and a seed list to place users over.
+	var replNodes []replication.Node
+	if replicas > 0 {
+		if dataDir == "" {
+			return errors.New("reefd: -replicas ships the WAL, so it requires -data-dir")
+		}
+		if nodeID == "" {
+			return errors.New("reefd: -replicas requires -node-id (the identity peers ship to and from)")
+		}
+		if peersSpec == "" {
+			return errors.New("reefd: -replicas requires -peers (the cluster seed list, identical on every node)")
+		}
+		var err error
+		if replNodes, err = parsePeers(peersSpec, nodeID); err != nil {
+			return err
+		}
+	} else if peersSpec != "" {
+		return errors.New("reefd: -peers without -replicas does nothing; set -replicas k or drop -peers")
+	}
+
 	model := topics.NewModel(seed, 16, 50, 80)
 	wcfg := websim.DefaultConfig(seed, time.Now().UTC())
 	wcfg.NumContentServers = int(float64(wcfg.NumContentServers) * scale)
@@ -276,8 +353,30 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 		log.Printf("durable: dir=%s sync=%s shards=%d generation=%d recovered=%d records torn_tail=%v",
 			info.Dir, info.Sync, dep.ShardCount(), info.Generation, info.RecoveredRecords, info.TornTail)
 	}
-	api.set(reefhttp.NewHandler(dep, log.Default(),
-		reefhttp.WithReadiness(ready), reefhttp.WithNodeID(nodeID)))
+	handlerOpts := []reefhttp.HandlerOption{reefhttp.WithReadiness(ready), reefhttp.WithNodeID(nodeID)}
+	var mgr *replication.Manager
+	if replicas > 0 {
+		// The tap is set BEFORE the handler swaps in: every record the
+		// API writes from the first request on is offered for shipping.
+		// Positions live under the data dir so a restarted replica
+		// resumes its inbound streams instead of double-applying.
+		mgr, err = replication.New(replication.Options{
+			Self:     nodeID,
+			Nodes:    replNodes,
+			Replicas: replicas,
+			Applier:  dep,
+			Dir:      filepath.Join(dataDir, "replication"),
+		})
+		if err != nil {
+			_ = srv.Close()
+			_ = dep.Close()
+			return fmt.Errorf("reefd: %w", err)
+		}
+		dep.SetReplicationTap(mgr.Offer)
+		handlerOpts = append(handlerOpts, reefhttp.WithReplication(mgr))
+		log.Printf("replication: shipping to %d peer(s), %d replica(s) per user", len(replNodes)-1, replicas)
+	}
+	api.set(reefhttp.NewHandler(dep, log.Default(), handlerOpts...))
 	ready.SetReady()
 
 	stop := make(chan struct{})
@@ -316,6 +415,11 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 		var err error
 		closeOnce.Do(func() {
 			stopPipeline()
+			if mgr != nil {
+				// Stop shipping before the journal closes under the
+				// senders; the unshipped tail stays in the local WAL.
+				mgr.Close()
+			}
 			if cerr := dep.Close(); cerr != nil {
 				err = fmt.Errorf("reefd: closing deployment: %w", cerr)
 			}
@@ -329,18 +433,23 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 // calls forward to their owning node, publishes fan out to every live
 // node. The router holds no state of its own, so there is nothing to
 // recover — it is ready as soon as the first probe round finishes.
-func runRouter(addr, spec, nodeID string, drainGrace time.Duration, dataDir string, shards int) error {
+func runRouter(addr, spec, nodeID string, drainGrace time.Duration, dataDir string, shards, replicas int, peersSpec string) error {
 	if dataDir != "" {
 		return errors.New("reefd: -data-dir is a node flag; a cluster router holds no state (drop it or drop -cluster-nodes)")
 	}
 	if shards != 0 {
 		return errors.New("reefd: -shards is a node flag; shard the nodes, not the router")
 	}
-	nodes, err := parseClusterNodes(spec)
+	if peersSpec != "" {
+		return errors.New("reefd: -peers is a node flag; the router's node list is -cluster-nodes")
+	}
+	nodes, err := parseClusterNodes("-cluster-nodes", spec)
 	if err != nil {
 		return err
 	}
-	cl, err := reefcluster.New(reefcluster.Config{Nodes: nodes})
+	// The router's k must match the nodes' -replicas: it decides which
+	// nodes a user's calls may fail over to.
+	cl, err := reefcluster.New(reefcluster.Config{Nodes: nodes, Replicas: replicas})
 	if err != nil {
 		return fmt.Errorf("reefd: %w", err)
 	}

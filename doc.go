@@ -26,7 +26,12 @@
 // routing over N reefd nodes — users placed by a stable hash,
 // publishes fanned out to every live node, membership tracked by a
 // health prober (internal/membership), and node failures surfaced as
-// typed ErrNodeDown while other users stay served.
+// typed ErrNodeDown while other users stay served. With replication
+// configured (internal/replication; -replicas on reefd) each user's
+// primary ships its journal asynchronously to k warm replicas, and
+// the router promotes the first live replica when the primary dies,
+// so failover is a routing decision instead of an outage; the old
+// primary rejoins as a replica and resyncs from its peers' streams.
 //
 // Subscriptions choose a delivery guarantee at Subscribe time:
 // BestEffort (the default — bounded broker queues, drops under

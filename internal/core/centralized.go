@@ -165,6 +165,13 @@ func (s *Server) ReceiveClicks(batch []attention.Click) error {
 	)
 }
 
+// ApplyReplicatedClicks applies a click batch WITHOUT journaling it.
+// Replication ingest appends the replicated record itself under the
+// journal's exclusion (durable.Journal.Ingest) and needs the bare
+// mutation — going through ReceiveClicks there would deadlock on the
+// journal lock and re-feed the replication tap.
+func (s *Server) ApplyReplicatedClicks(batch []attention.Click) { s.applyClicks(batch) }
+
 // applyClicks is the journaled mutation behind ReceiveClicks.
 func (s *Server) applyClicks(batch []attention.Click) {
 	s.store.AddBatch(batch)

@@ -298,9 +298,13 @@ func (q *Queue) Nack(seq int64, now time.Time) error {
 	return nil
 }
 
-// RestoreAcked seeds the cursor during recovery. The retained window is
-// not durable, so the sequence counter resumes from the cursor: events
-// published after recovery continue the total order from there.
+// RestoreAcked seeds the cursor during recovery and when a replicated
+// cursor ack arrives from a peer. The retained window is not durable,
+// so after recovery the sequence counter resumes from the cursor; on a
+// live replica, however, the queue may still retain events at or below
+// the cursor (buffered by its own publish fan-out) — those are done on
+// the primary and must be dropped here too, or a failover would
+// redeliver them.
 func (q *Queue) RestoreAcked(seq int64) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -310,6 +314,18 @@ func (q *Queue) RestoreAcked(seq int64) {
 	if q.acked > q.nextSeq {
 		q.nextSeq = q.acked
 	}
+	keep := q.pending[:0]
+	for _, e := range q.pending {
+		if e.seq <= q.acked {
+			q.ackedCount++
+			continue
+		}
+		keep = append(keep, e)
+	}
+	for i := len(keep); i < len(q.pending); i++ {
+		q.pending[i] = nil
+	}
+	q.pending = keep
 }
 
 // Acked returns the cumulative cursor.

@@ -196,6 +196,26 @@ func TestRestoreAcked(t *testing.T) {
 	}
 }
 
+// TestRestoreAckedDropsRetained pins the live-replica shape: a
+// replicated cursor ack lands on a queue that still retains the acked
+// events (buffered by the replica's own publish fan-out) and must drop
+// them, or a failover would redeliver work the primary already
+// completed.
+func TestRestoreAckedDropsRetained(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := testQueue(Config{})
+	for i := 1; i <= 3; i++ {
+		q.Append(ev(i), now)
+	}
+	q.RestoreAcked(2)
+	if got := q.Fetch(0, now); len(got) != 1 || got[0].Seq != 3 {
+		t.Fatalf("fetch after replicated ack = %v, want [3]", seqs(got))
+	}
+	if got := q.Retained(); got != 1 {
+		t.Fatalf("retained after replicated ack = %d, want 1", got)
+	}
+}
+
 func TestSetRegisterCursorsTotals(t *testing.T) {
 	now := time.Unix(1000, 0)
 	s := NewSet()

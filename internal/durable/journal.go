@@ -27,6 +27,15 @@ type Journal struct {
 	armed   atomic.Bool
 	capture func() (*State, error)
 
+	// tap, when set, observes every record appended through Record —
+	// under the journal lock, so tap order equals append order. It is
+	// the replication feed: only live, locally-originated mutations
+	// reach it (recovery replay is disarmed and never appends; Ingest
+	// deliberately bypasses it so replicated records are not re-shipped
+	// in a loop). Guarded by mu: SetTap and the firing site both hold
+	// the journal lock.
+	tap func(Record)
+
 	// snapshotEvery triggers an async compaction after that many appends
 	// (0 disables auto-compaction).
 	snapshotEvery int64
@@ -98,11 +107,67 @@ func (j *Journal) Record(apply func() error, rec func() Record) error {
 	if !j.armed.Load() {
 		return nil
 	}
-	if err := j.backend.Append(rec()); err != nil {
+	r := rec()
+	if err := j.backend.Append(r); err != nil {
 		return fmt.Errorf("durable: mutation applied but not logged: %w", err)
+	}
+	if j.tap != nil {
+		j.tap(r)
 	}
 	j.maybeCompact()
 	return nil
+}
+
+// SetTap registers the record observer Record feeds (see the tap field
+// doc). The write is serialized against in-flight Records by the
+// journal lock, so wiring the tap after Arm but before first traffic
+// is safe. A nil or disabled journal ignores it — memory-only
+// deployments have no log and thus nothing to ship.
+func (j *Journal) SetTap(tap func(Record)) {
+	if !j.Enabled() {
+		return
+	}
+	j.mu.Lock()
+	j.tap = tap
+	j.mu.Unlock()
+}
+
+// Ingest applies and logs one replicated record: the same
+// apply-then-append exclusion as Record, but with a concrete record
+// (it was already encoded by the origin node) and WITHOUT feeding the
+// tap — a replica must not re-ship records it received, or two nodes
+// replicating to each other would loop forever. Disarmed journals just
+// apply, mirroring Record.
+func (j *Journal) Ingest(apply func() error, rec Record) error {
+	if j == nil || j.backend == nil || !j.armed.Load() {
+		return apply()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := apply(); err != nil {
+		return err
+	}
+	if !j.armed.Load() {
+		return nil
+	}
+	if err := j.backend.Append(rec); err != nil {
+		return fmt.Errorf("durable: replicated mutation applied but not logged: %w", err)
+	}
+	j.maybeCompact()
+	return nil
+}
+
+// Capture returns the full current state under the journal lock, for a
+// replication snapshot cut: the cut is consistent (no mutation in
+// flight) and totally ordered against the record stream — every record
+// is either inside the cut or shipped after it, never both.
+func (j *Journal) Capture() (*State, error) {
+	if !j.Enabled() || j.capture == nil {
+		return nil, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.capture()
 }
 
 // maybeCompact launches one async snapshot when the append count crosses

@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"encoding/json"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -120,6 +121,106 @@ func TestJournalSnapshotHandoff(t *testing.T) {
 	if got := base + int64(len(tail)); got != applied.Load() {
 		t.Fatalf("snapshot(%d) + wal(%d) = %d ops, want %d: handoff lost or duplicated records",
 			base, len(tail), got, applied.Load())
+	}
+}
+
+// TestJournalTap pins the replication feed: the tap sees exactly the
+// records appended through Record, in append order, and nothing from
+// Ingest (replicated records must not be re-shipped) or from failed or
+// disarmed mutations.
+func TestJournalTap(t *testing.T) {
+	mem := NewMem()
+	j := NewJournal(mem)
+	var tapped []Record
+	j.SetTap(func(r Record) { tapped = append(tapped, r) })
+
+	// Disarmed: applies, no log, no tap.
+	if err := j.Record(func() error { return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(tapped) != 0 {
+		t.Fatalf("tap fired while disarmed: %d records", len(tapped))
+	}
+
+	j.Arm(func() (*State, error) { return &State{Version: 1}, nil }, 0)
+	if err := j.Record(
+		func() error { return nil },
+		func() Record { return FlagRecord("a.test", 1) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("nope")
+	_ = j.Record(func() error { return boom }, nil)
+	if err := j.Ingest(func() error { return nil }, FlagRecord("b.test", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(
+		func() error { return nil },
+		func() Record { return FlagRecord("c.test", 3) },
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(tapped) != 2 || tapped[0].Op != OpFlag || tapped[1].Op != OpFlag {
+		t.Fatalf("tap saw %d records, want the 2 local ones", len(tapped))
+	}
+	var f0, f1 FlagPayload
+	if err := json.Unmarshal(tapped[0].Payload, &f0); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(tapped[1].Payload, &f1); err != nil {
+		t.Fatal(err)
+	}
+	if f0.Host != "a.test" || f1.Host != "c.test" {
+		t.Fatalf("tap order/content = %s, %s; want a.test then c.test", f0.Host, f1.Host)
+	}
+	// The backend holds local AND ingested records: ingest is durable.
+	if n := len(mem.Records()); n != 3 {
+		t.Fatalf("backend holds %d records, want 3 (2 local + 1 ingested)", n)
+	}
+
+	// SetTap on a disabled journal is a no-op, like everything else.
+	var nilJ *Journal
+	nilJ.SetTap(func(Record) { t.Fatal("tap on nil journal") })
+	disabled := NewJournal(nil)
+	disabled.SetTap(func(Record) { t.Fatal("tap on disabled journal") })
+	if err := disabled.Ingest(func() error { return nil }, Record{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalIngestErrors pins Ingest's apply-first contract: a failed
+// apply logs nothing.
+func TestJournalIngestErrors(t *testing.T) {
+	mem := NewMem()
+	j := NewJournal(mem)
+	j.Arm(func() (*State, error) { return &State{Version: 1}, nil }, 0)
+	boom := errors.New("apply failed")
+	if err := j.Ingest(func() error { return boom }, FlagRecord("x.test", 1)); !errors.Is(err, boom) {
+		t.Fatalf("Ingest error = %v, want the apply error", err)
+	}
+	if n := len(mem.Records()); n != 0 {
+		t.Fatalf("failed ingest logged %d records", n)
+	}
+}
+
+// TestJournalCapture pins the snapshot-cut helper: Capture returns the
+// armed capture function's state under the lock, and nil when the
+// journal is disabled or not yet armed.
+func TestJournalCapture(t *testing.T) {
+	var nilJ *Journal
+	if st, err := nilJ.Capture(); st != nil || err != nil {
+		t.Fatalf("nil journal Capture = (%v, %v), want (nil, nil)", st, err)
+	}
+	mem := NewMem()
+	j := NewJournal(mem)
+	if st, err := j.Capture(); st != nil || err != nil {
+		t.Fatalf("unarmed Capture = (%v, %v), want (nil, nil)", st, err)
+	}
+	j.Arm(func() (*State, error) { return &State{Version: 1, PendingSeq: 42}, nil }, 0)
+	st, err := j.Capture()
+	if err != nil || st == nil || st.PendingSeq != 42 {
+		t.Fatalf("Capture = (%+v, %v), want the armed capture state", st, err)
 	}
 }
 

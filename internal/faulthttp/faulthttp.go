@@ -1,0 +1,118 @@
+// Package faulthttp is a failure-injecting http.RoundTripper for
+// tests: error, delay, or drop the first N matching calls, then
+// behave normally. The cluster and replication e2e suites share it to
+// script transport faults (a peer that refuses the first connection, a
+// slow link, a response lost after the server applied the request)
+// without ad-hoc kill helpers.
+package faulthttp
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error returned for error-mode faults.
+var ErrInjected = errors.New("faulthttp: injected transport error")
+
+// ErrDropped is returned when a fault forwards the request but drops
+// the response: the server processed the call, the client cannot know.
+var ErrDropped = errors.New("faulthttp: response dropped")
+
+// Fault scripts one failure behavior. Faults are checked in order;
+// the first live matching fault applies to a request.
+type Fault struct {
+	// Match limits the fault to requests whose URL path contains the
+	// substring ("" matches everything).
+	Match string
+	// First is how many matching calls the fault applies to; 0 means
+	// every matching call, forever.
+	First int
+	// Delay sleeps before forwarding (combinable with Err/Drop).
+	Delay time.Duration
+	// Err, when non-nil, is returned WITHOUT forwarding — the server
+	// never sees the request.
+	Err error
+	// Drop forwards the request, closes the response, and returns
+	// ErrDropped — the server-side effect happened, the reply is lost.
+	Drop bool
+
+	applied int
+}
+
+// Transport wraps a base RoundTripper with scripted faults.
+type Transport struct {
+	// Base handles non-faulted calls (nil = http.DefaultTransport).
+	Base http.RoundTripper
+
+	mu     sync.Mutex
+	faults []*Fault
+	calls  int
+}
+
+// New builds a Transport over base with the given fault script.
+func New(base http.RoundTripper, faults ...*Fault) *Transport {
+	return &Transport{Base: base, faults: faults}
+}
+
+// Add appends a fault at runtime (e.g. mid-test).
+func (t *Transport) Add(f *Fault) {
+	t.mu.Lock()
+	t.faults = append(t.faults, f)
+	t.mu.Unlock()
+}
+
+// Calls reports how many requests the transport has seen.
+func (t *Transport) Calls() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.calls
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	t.calls++
+	var hit *Fault
+	for _, f := range t.faults {
+		if f.Match != "" && !strings.Contains(req.URL.Path, f.Match) {
+			continue
+		}
+		if f.First > 0 && f.applied >= f.First {
+			continue
+		}
+		f.applied++
+		hit = f
+		break
+	}
+	t.mu.Unlock()
+
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if hit == nil {
+		return base.RoundTrip(req)
+	}
+	if hit.Delay > 0 {
+		select {
+		case <-time.After(hit.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if hit.Err != nil {
+		return nil, hit.Err
+	}
+	if hit.Drop {
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body.Close()
+		return nil, ErrDropped
+	}
+	return base.RoundTrip(req)
+}

@@ -1,0 +1,108 @@
+package faulthttp
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &served
+}
+
+// TestErrorFirstN pins error mode: the first N calls fail without
+// reaching the server, then traffic flows.
+func TestErrorFirstN(t *testing.T) {
+	srv, served := testServer(t)
+	tr := New(nil, &Fault{First: 2, Err: ErrInjected})
+	client := &http.Client{Transport: tr}
+	for i := 0; i < 2; i++ {
+		if _, err := client.Get(srv.URL); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d err = %v, want ErrInjected", i, err)
+		}
+	}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("call after faults exhausted: %v", err)
+	}
+	resp.Body.Close()
+	if served.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (errors must not forward)", served.Load())
+	}
+	if tr.Calls() != 3 {
+		t.Fatalf("transport counted %d calls, want 3", tr.Calls())
+	}
+}
+
+// TestDropForwards pins drop mode: the server processes the request
+// but the client sees an error — the partial-land shape cluster tests
+// need.
+func TestDropForwards(t *testing.T) {
+	srv, served := testServer(t)
+	client := &http.Client{Transport: New(nil, &Fault{First: 1, Drop: true})}
+	if _, err := client.Get(srv.URL); !errors.Is(err, ErrDropped) {
+		t.Fatalf("err = %v, want ErrDropped", err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (drop must forward)", served.Load())
+	}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+// TestDelayAndMatch pins path matching and delay mode.
+func TestDelayAndMatch(t *testing.T) {
+	srv, _ := testServer(t)
+	tr := New(nil, &Fault{Match: "/slow", First: 1, Delay: 50 * time.Millisecond})
+	client := &http.Client{Transport: tr}
+
+	start := time.Now()
+	resp, err := client.Get(srv.URL + "/fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("non-matching path delayed %v", d)
+	}
+
+	start = time.Now()
+	resp, err = client.Get(srv.URL + "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("matching path returned in %v, want >= 50ms", d)
+	}
+}
+
+// TestAddMidFlight pins runtime fault injection.
+func TestAddMidFlight(t *testing.T) {
+	srv, _ := testServer(t)
+	tr := New(nil)
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	tr.Add(&Fault{First: 1, Err: ErrInjected})
+	if _, err := client.Get(srv.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err after Add = %v, want ErrInjected", err)
+	}
+}

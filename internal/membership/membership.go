@@ -74,6 +74,17 @@ type Options struct {
 	Timeout time.Duration
 	// Seed seeds the jitter source; 0 uses the current time.
 	Seed int64
+	// ReadmitAfter is the number of consecutive successful probes a
+	// node that has been Up before must pass after going Down to be
+	// re-admitted (default 2). Damping keeps a node mid-resync — whose
+	// listener answers probes long before its replicas caught up — from
+	// ping-ponging between promoted and demoted. It applies only to the
+	// probe path and only to re-admission: a node's first-ever Up
+	// verdict admits immediately (cluster boot stays one ProbeAll), a
+	// Draining node flips back to Up immediately (its state was never
+	// lost), and Report bypasses damping entirely (out-of-band evidence
+	// is deliberate). Negative or zero picks the default.
+	ReadmitAfter int
 }
 
 // NodeStatus is one node's tracked state, for stats and breakdowns.
@@ -83,6 +94,12 @@ type NodeStatus struct {
 	// LastProbe is when the state was last confirmed by a probe (zero
 	// until the first probe completes; Report updates it too).
 	LastProbe time.Time
+
+	// everUp records whether the node has ever been admitted; damping
+	// only applies to RE-admission. upStreak counts consecutive Up
+	// probe verdicts while the node is held Down.
+	everUp   bool
+	upStreak int
 }
 
 // Tracker watches a static node set with a jittered probe loop.
@@ -114,6 +131,9 @@ func New(nodes []Node, probe ProbeFunc, opt Options) *Tracker {
 		if opt.Timeout > 5*time.Second {
 			opt.Timeout = 5 * time.Second
 		}
+	}
+	if opt.ReadmitAfter <= 0 {
+		opt.ReadmitAfter = 2
 	}
 	t := &Tracker{
 		nodes:  nodes,
@@ -174,19 +194,48 @@ func (t *Tracker) loop(n Node, rng *rand.Rand) {
 	}
 }
 
-// probeOne runs one probe and records the verdict.
+// probeOne runs one probe and records the verdict, with flap damping
+// on the Down→Up edge: a previously admitted node must pass
+// ReadmitAfter consecutive Up probes before it is routable again.
 func (t *Tracker) probeOne(ctx context.Context, n Node) {
 	s := t.probe(ctx, n)
-	t.record(n.ID, s, time.Now())
+	at := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.status[n.ID]
+	if !ok {
+		return
+	}
+	st.LastProbe = at
+	if s != Up {
+		// Any non-Up verdict breaks a building streak: the counter
+		// measures CONSECUTIVE successes.
+		st.State = s
+		st.upStreak = 0
+		return
+	}
+	if st.State == Down && st.everUp {
+		st.upStreak++
+		if st.upStreak < t.opt.ReadmitAfter {
+			return // hold Down until the streak completes
+		}
+	}
+	st.State = Up
+	st.everUp = true
+	st.upStreak = 0
 }
 
-// record stores a state observation.
+// record stores a state observation immediately, bypassing damping.
 func (t *Tracker) record(id string, s State, at time.Time) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if st, ok := t.status[id]; ok {
 		st.State = s
 		st.LastProbe = at
+		st.upStreak = 0
+		if s == Up {
+			st.everUp = true
+		}
 	}
 }
 

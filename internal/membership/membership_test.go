@@ -146,6 +146,171 @@ func TestProbeLoopCoversEveryNode(t *testing.T) {
 	tr.Close() // idempotent
 }
 
+// TestFlapDamping is the table-driven pin of re-admission damping:
+// which probe-verdict sequences flip a node back to Up, given its
+// history. Each step is one probe verdict followed by the state the
+// tracker must expose.
+func TestFlapDamping(t *testing.T) {
+	type step struct {
+		verdict State
+		want    State
+	}
+	for _, tc := range []struct {
+		name         string
+		readmitAfter int
+		steps        []step
+	}{
+		{
+			name: "first admission is immediate",
+			steps: []step{
+				{Up, Up},
+			},
+		},
+		{
+			name: "readmission needs two consecutive up probes",
+			steps: []step{
+				{Up, Up},     // admitted
+				{Down, Down}, // dies
+				{Up, Down},   // 1st success: still held Down
+				{Up, Up},     // 2nd consecutive: re-admitted
+			},
+		},
+		{
+			name: "a down probe resets the streak",
+			steps: []step{
+				{Up, Up},
+				{Down, Down},
+				{Up, Down},   // streak 1
+				{Down, Down}, // flap: streak back to 0
+				{Up, Down},   // streak 1 again
+				{Up, Up},
+			},
+		},
+		{
+			name: "draining does not count toward the streak",
+			steps: []step{
+				{Up, Up},
+				{Down, Down},
+				{Up, Down},           // streak 1
+				{Draining, Draining}, // resets streak, state follows verdict
+				{Up, Up},             // Draining→Up is immediate (state never lost)
+			},
+		},
+		{
+			name:         "custom threshold of three",
+			readmitAfter: 3,
+			steps: []step{
+				{Up, Up},
+				{Down, Down},
+				{Up, Down},
+				{Up, Down},
+				{Up, Up},
+			},
+		},
+		{
+			name:         "threshold one disables damping",
+			readmitAfter: 1,
+			steps: []step{
+				{Up, Up},
+				{Down, Down},
+				{Up, Up},
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fp := newFakeProbe()
+			tr := New(testNodes()[:1], fp.probe, Options{ReadmitAfter: tc.readmitAfter})
+			defer tr.Close()
+			for i, s := range tc.steps {
+				fp.set("a", s.verdict)
+				tr.ProbeAll(context.Background())
+				if got := tr.State("a"); got != s.want {
+					t.Fatalf("step %d (verdict %v): State = %v, want %v", i, s.verdict, got, s.want)
+				}
+			}
+		})
+	}
+}
+
+// TestReportBypassesDamping pins that out-of-band evidence is applied
+// immediately in both directions: Report(Up) re-admits without a
+// streak, and Report(Down) demotes mid-streak.
+func TestReportBypassesDamping(t *testing.T) {
+	fp := newFakeProbe()
+	tr := New(testNodes()[:1], fp.probe, Options{})
+	defer tr.Close()
+	fp.set("a", Up)
+	tr.ProbeAll(context.Background()) // first admission
+	fp.set("a", Down)
+	tr.ProbeAll(context.Background())
+	fp.set("a", Up)
+	tr.ProbeAll(context.Background()) // streak 1 of 2: still Down
+	if got := tr.State("a"); got != Down {
+		t.Fatalf("mid-streak State = %v, want Down", got)
+	}
+	tr.Report("a", Up)
+	if got := tr.State("a"); got != Up {
+		t.Fatalf("State after Report(Up) = %v, want Up", got)
+	}
+	// Report resets the streak too: after a Report(Down), probes start
+	// counting from zero.
+	tr.Report("a", Down)
+	tr.ProbeAll(context.Background())
+	if got := tr.State("a"); got != Down {
+		t.Fatalf("one probe after Report(Down): State = %v, want still Down", got)
+	}
+	tr.ProbeAll(context.Background())
+	if got := tr.State("a"); got != Up {
+		t.Fatalf("two probes after Report(Down): State = %v, want Up", got)
+	}
+}
+
+// TestTrackerConcurrentAccess hammers every public method from
+// concurrent goroutines; run under -race it proves the Tracker's
+// locking. Verdicts flip constantly so the damping counters are
+// exercised concurrently too.
+func TestTrackerConcurrentAccess(t *testing.T) {
+	fp := newFakeProbe()
+	for _, n := range testNodes() {
+		fp.set(n.ID, Up)
+	}
+	tr := New(testNodes(), fp.probe, Options{Interval: time.Millisecond, Jitter: time.Millisecond, Seed: 3})
+	tr.Start()
+	defer tr.Close()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	states := []State{Up, Down, Draining}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch j % 4 {
+				case 0:
+					tr.Report("b", states[(i+j)%len(states)])
+				case 1:
+					_ = tr.State("a")
+				case 2:
+					_ = tr.Snapshot()
+				case 3:
+					tr.ProbeAll(ctx)
+					fp.set("c", states[(i+j)%len(states)])
+				}
+			}
+		}(i)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
 // TestStateString pins the stat/wire names.
 func TestStateString(t *testing.T) {
 	for s, want := range map[State]string{Up: "up", Draining: "draining", Down: "down", State(99): "down"} {

@@ -28,20 +28,29 @@ type Index struct {
 	scan map[string][]constraintRef
 	// matchAll holds entries whose filter has no constraints.
 	matchAll map[int64]struct{}
+	// slots holds entries at dense positions (nil = free) so the match
+	// hot path counts in a flat slice instead of hashing entry IDs;
+	// freeSlots recycles positions vacated by Remove.
+	slots     []*indexEntry
+	freeSlots []int
 	// scratch pools per-call counting state so concurrent Match calls
-	// neither race on shared maps nor allocate in steady state.
+	// neither race on shared state nor allocate in steady state.
 	scratch sync.Pool
 }
 
-// matchScratch is the per-call counting state of one Match.
+// matchScratch is the per-call counting state of one Match: a
+// slot-indexed hit counter plus the list of slots touched, so only
+// those reset afterward.
 type matchScratch struct {
-	counts map[int64]int
+	counts  []int32
+	touched []int
 }
 
 type indexEntry struct {
 	id     int64
+	slot   int
 	filter eventalg.Filter
-	need   int
+	need   int32
 }
 
 type constraintRef struct {
@@ -58,7 +67,7 @@ func NewIndex() *Index {
 		matchAll: make(map[int64]struct{}),
 	}
 	ix.scratch.New = func() any {
-		return &matchScratch{counts: make(map[int64]int)}
+		return &matchScratch{}
 	}
 	return ix
 }
@@ -90,7 +99,15 @@ func (ix *Index) ReserveID() int64 {
 func (ix *Index) Add(f eventalg.Filter) int64 {
 	id := ix.ReserveID()
 	cs := f.Constraints()
-	e := &indexEntry{id: id, filter: f, need: len(cs)}
+	e := &indexEntry{id: id, filter: f, need: int32(len(cs))}
+	if n := len(ix.freeSlots); n > 0 {
+		e.slot = ix.freeSlots[n-1]
+		ix.freeSlots = ix.freeSlots[:n-1]
+		ix.slots[e.slot] = e
+	} else {
+		e.slot = len(ix.slots)
+		ix.slots = append(ix.slots, e)
+	}
 	ix.entries[id] = e
 	if len(cs) == 0 {
 		ix.matchAll[id] = struct{}{}
@@ -121,6 +138,8 @@ func (ix *Index) Remove(id int64) {
 	}
 	delete(ix.entries, id)
 	delete(ix.matchAll, id)
+	ix.slots[e.slot] = nil
+	ix.freeSlots = append(ix.freeSlots, e.slot)
 	for _, c := range e.filter.Constraints() {
 		if hashable(c) {
 			m := ix.eq[c.Attr]
@@ -164,28 +183,38 @@ func (ix *Index) Match(t eventalg.Tuple) []int64 {
 // concurrent use with other Match/MatchAppend calls.
 func (ix *Index) MatchAppend(t eventalg.Tuple, dst []int64) []int64 {
 	ms := ix.scratch.Get().(*matchScratch)
-	counts := ms.counts
-	clear(counts)
+	if len(ms.counts) < len(ix.slots) {
+		ms.counts = make([]int32, len(ix.slots))
+	}
+	counts, touched := ms.counts, ms.touched[:0]
 	for attr, v := range t {
 		if m, ok := ix.eq[attr]; ok {
 			for _, ref := range m[v] {
-				counts[ref.entry.id]++
+				if counts[ref.entry.slot] == 0 {
+					touched = append(touched, ref.entry.slot)
+				}
+				counts[ref.entry.slot]++
 			}
 		}
 		for _, ref := range ix.scan[attr] {
 			if ref.c.Match(t) {
-				counts[ref.entry.id]++
+				if counts[ref.entry.slot] == 0 {
+					touched = append(touched, ref.entry.slot)
+				}
+				counts[ref.entry.slot]++
 			}
 		}
 	}
 	for id := range ix.matchAll {
 		dst = append(dst, id)
 	}
-	for id, n := range counts {
-		if n == ix.entries[id].need {
-			dst = append(dst, id)
+	for _, slot := range touched {
+		if e := ix.slots[slot]; counts[slot] == e.need {
+			dst = append(dst, e.id)
 		}
+		counts[slot] = 0
 	}
+	ms.touched = touched
 	ix.scratch.Put(ms)
 	return dst
 }

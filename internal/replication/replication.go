@@ -1,0 +1,581 @@
+// Package replication ships a node's WAL to its replicas and absorbs
+// the streams peers ship here. It is the asynchronous half of the
+// reef's replicated placement: every user has a primary plus k
+// replicas (routing.ReplicaSet — the primary is the unchanged FNV-1a
+// slot, replicas the next k slots), the primary keeps serving at local
+// speed, and each durable record it writes is forwarded — already in
+// its on-disk frame — to the user's replica nodes over HTTP.
+//
+// One Manager runs per node and plays both roles at once:
+//
+//   - Sender: the deployment's replication tap calls Offer for every
+//     locally-originated record. Offer decodes just enough of the
+//     payload to compute the record's destination set, appends it to a
+//     bounded in-memory log, and wakes the per-peer senders. Each
+//     sender streams its peer's subsequence in batches with a
+//     prev/last watermark handshake, retrying forever with the journal
+//     as source of truth: a peer that falls off the retained log tail
+//     is resynced with a full snapshot cut, then streamed again.
+//
+//   - Receiver: IngestRecords applies a peer's batch through the
+//     deployment (which journals it WITHOUT re-feeding the tap, so
+//     mutual replication cannot loop) and advances a per-source
+//     applied watermark, persisted to disk so a restarted replica
+//     resumes where it stopped instead of double-applying its own
+//     journal's contents.
+//
+// Consistency model: asynchronous. An acked client write is durable on
+// the primary only; replicas trail by the shipping lag (exported as a
+// gauge). A primary that dies before shipping its tail loses those
+// records on the failover path even though they sit in its own WAL —
+// they resurface only if the node rejoins with its disk intact, at
+// which point its sender (fresh epoch) no longer replays them. This is
+// the documented trade for zero write-path coordination.
+package replication
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"reef/internal/attention"
+	"reef/internal/durable"
+	"reef/internal/routing"
+)
+
+// Node is one cluster member, mirroring the seed list the cluster
+// router uses — placement follows list position.
+type Node struct {
+	ID      string `json:"id"`
+	BaseURL string `json:"base_url"`
+}
+
+// Applier is the deployment surface the manager replicates through
+// (implemented by reef.Centralized).
+type Applier interface {
+	// ApplyReplicated applies and journals a peer's records in order,
+	// without re-feeding the replication tap.
+	ApplyReplicated([]durable.Record) error
+	// ApplyReplicatedCut absorbs a full snapshot cut and makes it
+	// durable before returning.
+	ApplyReplicatedCut(*durable.State) error
+	// CaptureReplicationState cuts this node's full state for a peer
+	// that can no longer catch up from the record stream.
+	CaptureReplicationState() (*durable.State, error)
+}
+
+// Ack is the receiver's reply to a batch: the last stream position it
+// has applied from that source. On a watermark conflict the sender
+// adopts Acked and re-ships from there.
+type Ack struct {
+	Acked int64 `json:"acked"`
+}
+
+// ConflictError reports a prev/applied watermark mismatch: the sender
+// and receiver disagree about the stream position (receiver restarted,
+// sender restarted with a new epoch, or a missed batch). It carries
+// the receiver's authoritative position.
+type ConflictError struct {
+	Ack Ack
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("replication: stream position conflict, receiver applied through %d", e.Ack.Acked)
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Self is this node's ID; it must appear in Nodes.
+	Self string
+	// Nodes is the cluster seed list in placement order.
+	Nodes []Node
+	// Replicas is k: each user's records ship to the k nodes after the
+	// user's primary slot. 0 disables shipping (the manager still
+	// receives, so mixed configurations degrade safely).
+	Replicas int
+	// Applier is the local deployment.
+	Applier Applier
+	// Dir, when set, persists the receiver's per-source applied
+	// watermarks (tiny JSON, rewritten per batch) so a restart resumes
+	// instead of double-applying. Strongly recommended outside tests.
+	Dir string
+	// Window caps records per shipped batch (default 256).
+	Window int
+	// Retain caps the in-memory log (default 65536 entries); a peer
+	// lagging past the cap is resynced with a snapshot cut.
+	Retain int
+	// RetryInterval paces sender retries and idle re-checks
+	// (default 250ms).
+	RetryInterval time.Duration
+	// HTTPClient ships batches (default: 10s timeout client).
+	HTTPClient *http.Client
+}
+
+// logEntry is one tapped record with its destinations and offer time
+// (the lag clock starts here). The record is kept pre-encoded: frames
+// are cut for each peer by concatenation, and a flat byte slice keeps
+// the retained window nearly free for the garbage collector to scan —
+// decoded records are maps all the way down.
+type logEntry struct {
+	seq   int64
+	enc   []byte // one durable WAL frame
+	dests []string
+	at    time.Time
+}
+
+// sourcePos is the receiver's durable position for one source.
+type sourcePos struct {
+	Epoch   int64 `json:"epoch"`
+	Applied int64 `json:"applied"`
+	// LastIngest is informational (status page), not part of the
+	// handshake.
+	LastIngest time.Time `json:"last_ingest,omitzero"`
+}
+
+// Manager is one node's replication endpoint: sender of the local WAL
+// stream, receiver of the peers'.
+type Manager struct {
+	opt   Options
+	epoch int64
+	self  int // index of Self in Nodes
+	peers []*peer
+
+	// logMu guards the shipping log. Offer runs under the deployment's
+	// journal lock, so nothing here may wait on locks that a journal
+	// holder could need (the senders only ever take logMu briefly).
+	logMu    sync.Mutex
+	log      []logEntry
+	nextSeq  int64 // seq the next Offer gets (starts at 1)
+	logStart int64 // seq of the first retained entry
+	dropped  int64 // entries evicted past a peer's position
+
+	// inMu serializes ingest: per-source ordering plus the positions
+	// file write. Apply runs under it; the lock order in→journal→log
+	// is acyclic with the tap's journal→log.
+	inMu    sync.Mutex
+	sources map[string]*sourcePos
+
+	closeOnce sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds and starts a Manager: one sender goroutine per peer.
+func New(opt Options) (*Manager, error) {
+	if opt.Applier == nil {
+		return nil, errors.New("replication: Options.Applier is required")
+	}
+	self := -1
+	for i, n := range opt.Nodes {
+		if n.ID == opt.Self {
+			self = i
+		}
+	}
+	if self < 0 {
+		return nil, fmt.Errorf("replication: self %q not in the node list", opt.Self)
+	}
+	if opt.Replicas < 0 || opt.Replicas > len(opt.Nodes)-1 {
+		return nil, fmt.Errorf("replication: replicas %d out of range for %d nodes", opt.Replicas, len(opt.Nodes))
+	}
+	if opt.Window <= 0 {
+		opt.Window = 256
+	}
+	if opt.Retain <= 0 {
+		opt.Retain = 65536
+	}
+	if opt.RetryInterval <= 0 {
+		opt.RetryInterval = 250 * time.Millisecond
+	}
+	if opt.HTTPClient == nil {
+		opt.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	m := &Manager{
+		opt:      opt,
+		epoch:    time.Now().UnixNano(),
+		self:     self,
+		nextSeq:  1,
+		logStart: 1,
+		sources:  make(map[string]*sourcePos),
+		stop:     make(chan struct{}),
+	}
+	if err := m.loadPositions(); err != nil {
+		return nil, err
+	}
+	for i, n := range opt.Nodes {
+		if i == self {
+			continue
+		}
+		p := &peer{node: n, notify: make(chan struct{}, 1)}
+		m.peers = append(m.peers, p)
+		m.wg.Add(1)
+		go m.sendLoop(p)
+	}
+	return m, nil
+}
+
+// Close stops the senders. In-flight batches finish or fail; nothing
+// new ships. The unshipped log tail is the async-replication loss
+// window — it survives in the local WAL and is NOT replayed by a
+// future process (fresh epoch), by design.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}
+
+// Offer is the deployment tap: called under the journal lock for every
+// locally-originated record, in WAL order. It must stay quick and must
+// not wait on ingest or HTTP work.
+func (m *Manager) Offer(rec durable.Record) {
+	if m == nil || m.opt.Replicas == 0 || len(m.opt.Nodes) <= 1 {
+		return
+	}
+	switch rec.Op {
+	case durable.OpFlag:
+		// Flags carry no user: they describe the shared web, and every
+		// shard of every replica set member wants them. Ship to this
+		// node's own k successors; the flag store is an idempotent
+		// OR-set, so overlap between nodes is harmless.
+		m.append(rec, m.ringDests())
+	case durable.OpClicks:
+		var p durable.ClicksPayload
+		if err := json.Unmarshal(rec.Payload, &p); err != nil || len(p.Clicks) == 0 {
+			return
+		}
+		groups := make(map[string][]attention.Click)
+		keys := make(map[string][]string)
+		for _, cl := range p.Clicks {
+			dests := m.userDests(cl.User)
+			if len(dests) == 0 {
+				continue
+			}
+			k := destKey(dests)
+			groups[k] = append(groups[k], cl)
+			keys[k] = dests
+		}
+		if len(groups) == 1 {
+			if k := firstKey(groups); len(groups[k]) == len(p.Clicks) {
+				// Whole batch shares one destination set: ship the
+				// original frame, no re-encode.
+				m.append(rec, keys[k])
+				return
+			}
+		}
+		for k, g := range groups {
+			m.append(durable.ClicksRecord(g), keys[k])
+		}
+	default:
+		var p struct {
+			User string `json:"user"`
+		}
+		if err := json.Unmarshal(rec.Payload, &p); err != nil || p.User == "" {
+			return
+		}
+		if dests := m.userDests(p.User); len(dests) > 0 {
+			m.append(rec, dests)
+		}
+	}
+}
+
+// userDests maps a user's replica set to peer IDs, excluding self.
+func (m *Manager) userDests(user string) []string {
+	slots := routing.ReplicaSet(user, len(m.opt.Nodes), m.opt.Replicas)
+	out := make([]string, 0, len(slots))
+	for _, s := range slots {
+		if s != m.self {
+			out = append(out, m.opt.Nodes[s].ID)
+		}
+	}
+	return out
+}
+
+// ringDests is the k successors of this node's own slot.
+func (m *Manager) ringDests() []string {
+	n := len(m.opt.Nodes)
+	out := make([]string, 0, m.opt.Replicas)
+	for i := 1; i <= m.opt.Replicas; i++ {
+		out = append(out, m.opt.Nodes[(m.self+i)%n].ID)
+	}
+	return out
+}
+
+func destKey(dests []string) string {
+	s := append([]string(nil), dests...)
+	sort.Strings(s)
+	out := ""
+	for _, d := range s {
+		out += d + "\x00"
+	}
+	return out
+}
+
+func firstKey(m map[string][]attention.Click) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// append adds one entry to the shipping log, evicting the oldest past
+// the retention cap, and wakes the destinations' senders.
+func (m *Manager) append(rec durable.Record, dests []string) {
+	if len(dests) == 0 {
+		return
+	}
+	enc := rec.AppendEncoded(nil)
+	m.logMu.Lock()
+	e := logEntry{seq: m.nextSeq, enc: enc, dests: dests, at: time.Now()}
+	m.nextSeq++
+	m.log = append(m.log, e)
+	if len(m.log) > m.opt.Retain {
+		drop := len(m.log) - m.opt.Retain
+		m.log = m.log[drop:]
+		m.logStart = m.log[0].seq
+		m.dropped += int64(drop)
+	}
+	m.logMu.Unlock()
+	for _, p := range m.peers {
+		for _, d := range dests {
+			if p.node.ID == d {
+				p.wake()
+			}
+		}
+	}
+}
+
+// IngestRecords is the receiver half of the batch protocol: decode the
+// frames, check the watermark handshake, apply, persist the new
+// position. A *ConflictError return carries this node's authoritative
+// position for the sender to adopt.
+func (m *Manager) IngestRecords(source string, epoch, prev, last int64, count int, frames []byte) (Ack, error) {
+	recs, err := durable.Replay(frames)
+	if err != nil {
+		return Ack{}, fmt.Errorf("replication: decoding batch from %s: %w", source, err)
+	}
+	if len(recs) != count {
+		return Ack{}, fmt.Errorf("replication: batch from %s carries %d records, header says %d", source, len(recs), count)
+	}
+	// count==0 with last>prev is a legitimate watermark advance: every
+	// record in (prev, last] was destined to other peers.
+	if last < prev {
+		return Ack{}, fmt.Errorf("replication: bad batch watermarks prev=%d last=%d count=%d", prev, last, count)
+	}
+	m.inMu.Lock()
+	defer m.inMu.Unlock()
+	ss := m.source(source, epoch)
+	if prev != ss.Applied {
+		return Ack{}, &ConflictError{Ack: Ack{Acked: ss.Applied}}
+	}
+	if err := m.opt.Applier.ApplyReplicated(recs); err != nil {
+		return Ack{}, err
+	}
+	ss.Applied = last
+	ss.LastIngest = time.Now()
+	m.savePositions()
+	return Ack{Acked: last}, nil
+}
+
+// IngestSnapshot absorbs a full cut from a source whose stream this
+// node fell off of: the cut replaces catch-up through seq.
+func (m *Manager) IngestSnapshot(source string, epoch, seq int64, state []byte) (Ack, error) {
+	var st durable.State
+	if err := json.Unmarshal(state, &st); err != nil {
+		return Ack{}, fmt.Errorf("replication: decoding snapshot cut from %s: %w", source, err)
+	}
+	m.inMu.Lock()
+	defer m.inMu.Unlock()
+	ss := m.source(source, epoch)
+	if err := m.opt.Applier.ApplyReplicatedCut(&st); err != nil {
+		return Ack{}, err
+	}
+	if seq > ss.Applied {
+		ss.Applied = seq
+	}
+	ss.LastIngest = time.Now()
+	m.savePositions()
+	return Ack{Acked: ss.Applied}, nil
+}
+
+// source returns the per-source state, resetting the position when the
+// source's epoch changed: a new sender process numbers its log from 1
+// again, and only ships records written after its boot.
+func (m *Manager) source(id string, epoch int64) *sourcePos {
+	ss, ok := m.sources[id]
+	if !ok {
+		ss = &sourcePos{}
+		m.sources[id] = ss
+	}
+	if ss.Epoch != epoch {
+		ss.Epoch = epoch
+		ss.Applied = 0
+	}
+	return ss
+}
+
+// --- receiver position persistence --------------------------------------
+
+func (m *Manager) positionsFile() string {
+	return filepath.Join(m.opt.Dir, "replication-positions.json")
+}
+
+func (m *Manager) loadPositions() error {
+	if m.opt.Dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(m.opt.Dir, 0o755); err != nil {
+		return fmt.Errorf("replication: creating state dir: %w", err)
+	}
+	data, err := os.ReadFile(m.positionsFile())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("replication: reading positions: %w", err)
+	}
+	var file struct {
+		Sources map[string]*sourcePos `json:"sources"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		// A torn positions file is recoverable the expensive way: treat
+		// every source as unknown and let the conflict handshake resync.
+		return nil
+	}
+	if file.Sources != nil {
+		m.sources = file.Sources
+	}
+	return nil
+}
+
+// savePositions rewrites the positions file (caller holds inMu). Best
+// effort: a failed write costs a resync after restart, not data.
+func (m *Manager) savePositions() {
+	if m.opt.Dir == "" {
+		return
+	}
+	data, err := json.Marshal(struct {
+		Sources map[string]*sourcePos `json:"sources"`
+	}{m.sources})
+	if err != nil {
+		return
+	}
+	tmp := m.positionsFile() + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, m.positionsFile())
+}
+
+// --- status --------------------------------------------------------------
+
+// PeerStatus is one outbound stream's position and health.
+type PeerStatus struct {
+	Node    string `json:"node"`
+	Shipped int64  `json:"shipped"`
+	// Pending counts retained log entries destined to this peer and
+	// not yet acked.
+	Pending      int64     `json:"pending"`
+	LagP99Micros float64   `json:"lag_p99_micros"`
+	Resyncs      int64     `json:"resyncs"`
+	LastAck      time.Time `json:"last_ack,omitzero"`
+	LastError    string    `json:"last_error,omitempty"`
+}
+
+// SourceStatus is one inbound stream's position.
+type SourceStatus struct {
+	Source     string    `json:"source"`
+	Epoch      int64     `json:"epoch"`
+	Applied    int64     `json:"applied"`
+	LastIngest time.Time `json:"last_ingest,omitzero"`
+}
+
+// Status is the admin view of both roles.
+type Status struct {
+	Self     string         `json:"self"`
+	Epoch    int64          `json:"epoch"`
+	Replicas int            `json:"replicas"`
+	LogStart int64          `json:"log_start"`
+	LogNext  int64          `json:"log_next"`
+	LogLen   int            `json:"log_len"`
+	Peers    []PeerStatus   `json:"peers,omitempty"`
+	Sources  []SourceStatus `json:"sources,omitempty"`
+}
+
+// Status reports stream positions, lag and health for the admin
+// endpoint.
+func (m *Manager) Status() Status {
+	m.logMu.Lock()
+	st := Status{
+		Self:     m.opt.Self,
+		Epoch:    m.epoch,
+		Replicas: m.opt.Replicas,
+		LogStart: m.logStart,
+		LogNext:  m.nextSeq,
+		LogLen:   len(m.log),
+	}
+	pending := make(map[string]int64, len(m.peers))
+	for _, p := range m.peers {
+		shipped := p.position()
+		for _, e := range m.log {
+			if e.seq <= shipped {
+				continue
+			}
+			for _, d := range e.dests {
+				if d == p.node.ID {
+					pending[p.node.ID]++
+				}
+			}
+		}
+	}
+	m.logMu.Unlock()
+	for _, p := range m.peers {
+		ps := p.status()
+		ps.Pending = pending[p.node.ID]
+		st.Peers = append(st.Peers, ps)
+	}
+	m.inMu.Lock()
+	ids := make([]string, 0, len(m.sources))
+	for id := range m.sources {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ss := m.sources[id]
+		st.Sources = append(st.Sources, SourceStatus{
+			Source: id, Epoch: ss.Epoch, Applied: ss.Applied, LastIngest: ss.LastIngest,
+		})
+	}
+	m.inMu.Unlock()
+	return st
+}
+
+// Stats flattens the status into gauges for the node's /v1/stats.
+func (m *Manager) Stats() map[string]float64 {
+	st := m.Status()
+	out := map[string]float64{
+		"replication_replicas": float64(st.Replicas),
+		"replication_log_len":  float64(st.LogLen),
+		"replication_peers":    float64(len(st.Peers)),
+	}
+	var pending, resyncs, lagMax float64
+	for _, p := range st.Peers {
+		pending += float64(p.Pending)
+		resyncs += float64(p.Resyncs)
+		if p.LagP99Micros > lagMax {
+			lagMax = p.LagP99Micros
+		}
+	}
+	out["replication_pending"] = pending
+	out["replication_resyncs"] = resyncs
+	out["replication_lag_p99_micros.max"] = lagMax
+	var applied float64
+	for _, s := range st.Sources {
+		applied += float64(s.Applied)
+	}
+	out["replication_applied_records"] = applied
+	return out
+}

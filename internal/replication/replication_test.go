@@ -1,0 +1,547 @@
+package replication
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"reef/internal/attention"
+	"reef/internal/durable"
+	"reef/internal/faulthttp"
+	"reef/internal/routing"
+)
+
+// fakeApplier records what the manager applied, in order.
+type fakeApplier struct {
+	mu   sync.Mutex
+	recs []durable.Record
+	cuts []*durable.State
+}
+
+func (f *fakeApplier) ApplyReplicated(recs []durable.Record) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recs = append(f.recs, recs...)
+	return nil
+}
+
+func (f *fakeApplier) ApplyReplicatedCut(st *durable.State) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cuts = append(f.cuts, st)
+	return nil
+}
+
+func (f *fakeApplier) CaptureReplicationState() (*durable.State, error) {
+	return &durable.State{Version: 1, PendingSeq: 7}, nil
+}
+
+func (f *fakeApplier) applied() []durable.Record {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]durable.Record(nil), f.recs...)
+}
+
+func (f *fakeApplier) cutCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.cuts)
+}
+
+// serve exposes a receiving manager over HTTP exactly the way reefhttp
+// does: headers → Ingest*, ConflictError → 409 + Ack. The manager is
+// fetched per request so restart tests can swap it under a stable URL.
+func serve(t *testing.T, mgr func() *Manager) *httptest.Server {
+	t.Helper()
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m := mgr()
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		i64 := func(h string) int64 {
+			v, _ := strconv.ParseInt(r.Header.Get(h), 10, 64)
+			return v
+		}
+		source := r.Header.Get(HdrSource)
+		var ack Ack
+		switch r.URL.Path {
+		case RecordsPath:
+			count, _ := strconv.Atoi(r.Header.Get(HdrCount))
+			ack, err = m.IngestRecords(source, i64(HdrEpoch), i64(HdrPrev), i64(HdrLast), count, body)
+		case SnapshotPath:
+			ack, err = m.IngestSnapshot(source, i64(HdrEpoch), i64(HdrSeq), body)
+		default:
+			http.NotFound(w, r)
+			return
+		}
+		var conflict *ConflictError
+		if errors.As(err, &conflict) {
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(conflict.Ack)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(ack)
+	})
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// gate is a transport that fails every call until opened — an outage
+// the test can heal (faulthttp covers count-scripted faults; healing is
+// time-scripted by the test body).
+type gate struct {
+	open atomic.Bool
+}
+
+func (g *gate) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !g.open.Load() {
+		return nil, errors.New("gate: peer unreachable")
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// cursorRec builds a user-addressed record (cursor acks are compact
+// and carry a Seq to assert ordering with).
+func cursorRec(user string, seq int64) durable.Record {
+	return durable.CursorAckRecord(durable.CursorAckPayload{User: user, ID: "s", Seq: seq})
+}
+
+func cursorSeq(t *testing.T, rec durable.Record) int64 {
+	t.Helper()
+	var p durable.CursorAckPayload
+	if err := json.Unmarshal(rec.Payload, &p); err != nil {
+		t.Fatal(err)
+	}
+	return p.Seq
+}
+
+// waitFor polls until cond or the deadline.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// pair builds a 2-node sender/receiver pair with k=1 (every user's
+// replica set spans both nodes).
+func pair(t *testing.T, senderOpts func(*Options)) (*Manager, *Manager, *fakeApplier) {
+	t.Helper()
+	recvApp := &fakeApplier{}
+	recv, err := New(Options{
+		Self:    "b",
+		Nodes:   []Node{{ID: "a", BaseURL: "http://unused.test"}, {ID: "b", BaseURL: "http://unused.test"}},
+		Applier: recvApp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(recv.Close)
+	srv := serve(t, func() *Manager { return recv })
+	opt := Options{
+		Self:          "a",
+		Nodes:         []Node{{ID: "a", BaseURL: "http://unused.test"}, {ID: "b", BaseURL: srv.URL}},
+		Replicas:      1,
+		Applier:       &fakeApplier{},
+		RetryInterval: 10 * time.Millisecond,
+	}
+	if senderOpts != nil {
+		senderOpts(&opt)
+	}
+	sender, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sender.Close)
+	return sender, recv, recvApp
+}
+
+// TestStreamDelivery pins the happy path: offered records arrive at
+// the replica in order, the watermark advances, and lag drains to 0.
+func TestStreamDelivery(t *testing.T) {
+	sender, _, recvApp := pair(t, nil)
+	const n = 20
+	for i := 1; i <= n; i++ {
+		sender.Offer(cursorRec("u", int64(i)))
+	}
+	waitFor(t, "records applied", func() bool { return len(recvApp.applied()) == n })
+	for i, rec := range recvApp.applied() {
+		if got := cursorSeq(t, rec); got != int64(i+1) {
+			t.Fatalf("record %d out of order: seq %d", i, got)
+		}
+	}
+	waitFor(t, "lag drained", func() bool {
+		st := sender.Status()
+		return len(st.Peers) == 1 && st.Peers[0].Pending == 0 && st.Peers[0].Shipped == int64(n)
+	})
+	st := sender.Status()
+	if st.Peers[0].LagP99Micros <= 0 {
+		t.Fatal("no lag samples recorded")
+	}
+	if st.Peers[0].LastError != "" {
+		t.Fatalf("unexpected peer error: %s", st.Peers[0].LastError)
+	}
+}
+
+// TestReconnectCatchUp pins retry: the first ship attempts fail at the
+// transport, and the stream still lands once the fault clears.
+func TestReconnectCatchUp(t *testing.T) {
+	ft := faulthttp.New(nil, &faulthttp.Fault{Match: RecordsPath, First: 3, Err: faulthttp.ErrInjected})
+	sender, _, recvApp := pair(t, func(o *Options) {
+		o.HTTPClient = &http.Client{Transport: ft, Timeout: 5 * time.Second}
+	})
+	for i := 1; i <= 5; i++ {
+		sender.Offer(cursorRec("u", int64(i)))
+	}
+	waitFor(t, "records applied despite faults", func() bool { return len(recvApp.applied()) == 5 })
+	if ft.Calls() < 4 {
+		t.Fatalf("transport saw %d calls, want the 3 faulted plus retries", ft.Calls())
+	}
+}
+
+// TestResponseDropRedelivers pins the at-least-once edge: the replica
+// applies a batch whose ack is lost in transit; the sender re-ships and
+// the replica answers with a watermark conflict instead of
+// double-applying.
+func TestResponseDropRedelivers(t *testing.T) {
+	ft := faulthttp.New(nil, &faulthttp.Fault{Match: RecordsPath, First: 1, Drop: true})
+	sender, _, recvApp := pair(t, func(o *Options) {
+		o.HTTPClient = &http.Client{Transport: ft, Timeout: 5 * time.Second}
+	})
+	for i := 1; i <= 4; i++ {
+		sender.Offer(cursorRec("u", int64(i)))
+	}
+	waitFor(t, "records applied", func() bool { return len(recvApp.applied()) >= 4 })
+	// Give the sender time to re-ship; duplicates would land here.
+	time.Sleep(50 * time.Millisecond)
+	if got := len(recvApp.applied()); got != 4 {
+		t.Fatalf("replica applied %d records, want exactly 4 (dropped ack must not double-apply)", got)
+	}
+	waitFor(t, "sender converged", func() bool {
+		st := sender.Status()
+		return st.Peers[0].Pending == 0 && st.Peers[0].Shipped == 4
+	})
+}
+
+// TestSnapshotResync pins the eviction path: a peer that falls off the
+// bounded log gets a full cut, then streams normally again.
+func TestSnapshotResync(t *testing.T) {
+	g := &gate{}
+	sender, recv, recvApp := pair(t, func(o *Options) {
+		o.Retain = 4
+		o.HTTPClient = &http.Client{Transport: g, Timeout: 5 * time.Second}
+	})
+	// Offer far past the retention cap while the peer is unreachable.
+	for i := 1; i <= 20; i++ {
+		sender.Offer(cursorRec("u", int64(i)))
+	}
+	waitFor(t, "sender noticed the outage", func() bool {
+		st := sender.Status()
+		return len(st.Peers) == 1 && st.Peers[0].LastError != ""
+	})
+	if st := sender.Status(); st.LogLen != 4 || st.LogStart != 17 {
+		t.Fatalf("retained log = len %d start %d, want 4 from 17", st.LogLen, st.LogStart)
+	}
+	g.open.Store(true)
+	waitFor(t, "snapshot resync", func() bool { return recvApp.cutCount() >= 1 })
+	waitFor(t, "post-cut stream drained", func() bool {
+		st := sender.Status()
+		return st.Peers[0].Pending == 0 && st.Peers[0].Resyncs >= 1
+	})
+	// Records offered after the cut stream normally again.
+	sender.Offer(cursorRec("u", 21))
+	waitFor(t, "new record after resync", func() bool {
+		for _, r := range recvApp.applied() {
+			if cursorSeq(t, r) == 21 {
+				return true
+			}
+		}
+		return false
+	})
+	if got := recv.Status().Sources; len(got) != 1 || got[0].Source != "a" {
+		t.Fatalf("receiver sources = %+v, want one from a", got)
+	}
+}
+
+// TestReceiverRestartResume pins position persistence: a receiver
+// rebuilt over the same state dir resumes at its applied watermark and
+// does not double-apply the stream prefix.
+func TestReceiverRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	nodes := []Node{{ID: "a", BaseURL: "http://unused.test"}, {ID: "b", BaseURL: "http://unused.test"}}
+	recvApp := &fakeApplier{}
+	recv, err := New(Options{Self: "b", Nodes: nodes, Applier: recvApp, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cur atomic.Pointer[Manager]
+	cur.Store(recv)
+	srv := serve(t, cur.Load)
+
+	sender, err := New(Options{
+		Self:          "a",
+		Nodes:         []Node{{ID: "a", BaseURL: "http://unused.test"}, {ID: "b", BaseURL: srv.URL}},
+		Replicas:      1,
+		Applier:       &fakeApplier{},
+		RetryInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	for i := 1; i <= 6; i++ {
+		sender.Offer(cursorRec("u", int64(i)))
+	}
+	waitFor(t, "first batch applied", func() bool { return len(recvApp.applied()) == 6 })
+
+	// "Restart" the replica: fresh manager, fresh applier, same dir.
+	recv.Close()
+	recvApp2 := &fakeApplier{}
+	recv2, err := New(Options{Self: "b", Nodes: nodes, Applier: recvApp2, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv2.Close()
+	cur.Store(recv2)
+
+	for i := 7; i <= 9; i++ {
+		sender.Offer(cursorRec("u", int64(i)))
+	}
+	waitFor(t, "only the new records applied", func() bool { return len(recvApp2.applied()) == 3 })
+	time.Sleep(50 * time.Millisecond)
+	got := recvApp2.applied()
+	if len(got) != 3 || cursorSeq(t, got[0]) != 7 {
+		t.Fatalf("restarted receiver applied %d records starting at seq %d, want exactly 7..9",
+			len(got), cursorSeq(t, got[0]))
+	}
+	if recvApp2.cutCount() != 0 {
+		t.Fatal("restart with persisted positions forced a snapshot resync")
+	}
+}
+
+// TestSenderEpochReset pins the other restart direction: a NEW sender
+// process (fresh epoch, log renumbered from 1) must not conflict-loop
+// against a receiver that remembers the old epoch's watermark.
+func TestSenderEpochReset(t *testing.T) {
+	recvApp := &fakeApplier{}
+	recv, err := New(Options{
+		Self:    "b",
+		Nodes:   []Node{{ID: "a", BaseURL: "http://unused.test"}, {ID: "b", BaseURL: "http://unused.test"}},
+		Applier: recvApp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	// Seed the receiver with an old-epoch position deep in the stream.
+	if _, err := recv.IngestRecords("a", 111, 0, 5, 1, cursorRec("u", 1).AppendEncoded(nil)); err != nil {
+		t.Fatal(err)
+	}
+	srv := serve(t, func() *Manager { return recv })
+	sender, err := New(Options{
+		Self:          "a",
+		Nodes:         []Node{{ID: "a", BaseURL: "http://unused.test"}, {ID: "b", BaseURL: srv.URL}},
+		Replicas:      1,
+		Applier:       &fakeApplier{},
+		RetryInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	sender.Offer(cursorRec("u", 2))
+	waitFor(t, "new-epoch record applied", func() bool { return len(recvApp.applied()) == 2 })
+	if got := recv.Status().Sources; len(got) != 1 || got[0].Applied != 1 {
+		t.Fatalf("receiver position after epoch reset = %+v, want applied 1", got)
+	}
+}
+
+// TestIngestValidation pins the receiver's handshake errors.
+func TestIngestValidation(t *testing.T) {
+	m, err := New(Options{
+		Self:    "b",
+		Nodes:   []Node{{ID: "a", BaseURL: "http://x.test"}, {ID: "b", BaseURL: "http://y.test"}},
+		Applier: &fakeApplier{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	frames := cursorRec("u", 1).AppendEncoded(nil)
+	// Wrong prev → conflict carrying the authoritative position.
+	var conflict *ConflictError
+	if _, err := m.IngestRecords("a", 1, 5, 6, 1, frames); !errors.As(err, &conflict) || conflict.Ack.Acked != 0 {
+		t.Fatalf("prev mismatch = %v, want ConflictError{0}", err)
+	}
+	// Count mismatch.
+	if _, err := m.IngestRecords("a", 1, 0, 1, 2, frames); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+	// Corrupt frames.
+	if _, err := m.IngestRecords("a", 1, 0, 1, 1, []byte("garbage-bytes")); err == nil {
+		t.Fatal("corrupt frames accepted")
+	}
+	// Regressing watermark.
+	if _, err := m.IngestRecords("a", 1, 3, 2, 0, nil); err == nil {
+		t.Fatal("regressing watermark accepted")
+	}
+	// count==0 with last>prev is a legitimate gap-only advance.
+	ack, err := m.IngestRecords("a", 1, 0, 4, 0, nil)
+	if err != nil || ack.Acked != 4 {
+		t.Fatalf("watermark advance = (%+v, %v), want acked 4", ack, err)
+	}
+}
+
+// slotUsers finds one user per requested slot for an n-node layout.
+func slotUsers(n int, want ...int) []string {
+	out := make([]string, len(want))
+	left := len(want)
+	for i := 0; left > 0; i++ {
+		s := routing.UserSlot(fmt.Sprintf("user-%d", i), n)
+		for j, w := range want {
+			if s == w && out[j] == "" {
+				out[j] = fmt.Sprintf("user-%d", i)
+				left--
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestOfferDestinations pins routing: with 3 nodes and k=1 a record
+// ships only to the members of its user's replica set.
+func TestOfferDestinations(t *testing.T) {
+	nodes := []Node{
+		{ID: "a", BaseURL: "http://unused.test"},
+		{ID: "b", BaseURL: "http://unused.test"},
+		{ID: "c", BaseURL: "http://unused.test"},
+	}
+	us := slotUsers(3, 0, 1) // set {a,b} and set {b,c}
+	m, err := New(Options{Self: "a", Nodes: nodes, Replicas: 1, Applier: &fakeApplier{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	pending := func() (b, c int64) {
+		for _, p := range m.Status().Peers {
+			switch p.Node {
+			case "b":
+				b = p.Pending
+			case "c":
+				c = p.Pending
+			}
+		}
+		return
+	}
+	m.Offer(cursorRec(us[0], 1))
+	if b, c := pending(); b != 1 || c != 0 {
+		t.Fatalf("pending b=%d c=%d after a slot-0 user's record, want 1/0", b, c)
+	}
+	// A slot-1 user's set is {b,c}: both are peers of a, so an offer
+	// here (e.g. from a promoted writer) ships to both.
+	m.Offer(cursorRec(us[1], 1))
+	if b, c := pending(); b != 2 || c != 1 {
+		t.Fatalf("pending b=%d c=%d after a slot-1 user's record, want 2/1", b, c)
+	}
+	// Flags have no user: they ship to self's ring successors only (k=1
+	// → just b).
+	m.Offer(durable.FlagRecord("spam.example.com", 1))
+	if b, c := pending(); b != 3 || c != 1 {
+		t.Fatalf("pending b=%d c=%d after a flag record, want 3/1", b, c)
+	}
+
+	// k=0 disables shipping entirely.
+	m0, err := New(Options{Self: "a", Nodes: nodes, Replicas: 0, Applier: &fakeApplier{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m0.Close()
+	m0.Offer(cursorRec(us[0], 1))
+	if st := m0.Status(); st.LogLen != 0 {
+		t.Fatalf("k=0 manager logged %d entries, want 0", st.LogLen)
+	}
+}
+
+// TestClicksSplitByDestination pins the clicks fan-out: a batch whose
+// users share one replica set ships as the original frame; a mixed
+// batch is re-framed per destination set.
+func TestClicksSplitByDestination(t *testing.T) {
+	nodes := []Node{
+		{ID: "a", BaseURL: "http://unused.test"},
+		{ID: "b", BaseURL: "http://unused.test"},
+		{ID: "c", BaseURL: "http://unused.test"},
+	}
+	us := slotUsers(3, 0, 0, 1)
+	m, err := New(Options{Self: "a", Nodes: nodes, Replicas: 1, Applier: &fakeApplier{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	clicks := func(users ...string) []attention.Click {
+		out := make([]attention.Click, len(users))
+		for i, u := range users {
+			out[i] = attention.Click{User: u, URL: "http://x.test/p"}
+		}
+		return out
+	}
+	// Same set (both slot 0): one log entry.
+	m.Offer(durable.ClicksRecord(clicks(us[0], us[1])))
+	if st := m.Status(); st.LogLen != 1 {
+		t.Fatalf("same-set clicks batch produced %d log entries, want 1", st.LogLen)
+	}
+	// Mixed sets (slot 0 + slot 1): one entry per set.
+	m.Offer(durable.ClicksRecord(clicks(us[0], us[2])))
+	if st := m.Status(); st.LogLen != 3 {
+		t.Fatalf("log has %d entries after the mixed-set batch, want 3 (one + one per set)", st.LogLen)
+	}
+}
+
+// TestStats pins the gauge shapes merged into /v1/stats.
+func TestStats(t *testing.T) {
+	sender, recv, _ := pair(t, nil)
+	sender.Offer(cursorRec("u", 1))
+	waitFor(t, "shipped", func() bool { return sender.Stats()["replication_pending"] == 0 })
+	s := sender.Stats()
+	if s["replication_replicas"] != 1 || s["replication_peers"] != 1 {
+		t.Fatalf("sender gauges = %v, want replicas/peers = 1", s)
+	}
+	if recv.Stats()["replication_applied_records"] != 1 {
+		t.Fatalf("receiver gauges = %v, want 1 applied record", recv.Stats())
+	}
+}
+
+// TestNewValidation pins constructor errors.
+func TestNewValidation(t *testing.T) {
+	nodes := []Node{{ID: "a", BaseURL: "http://x.test"}}
+	if _, err := New(Options{Self: "a", Nodes: nodes}); err == nil {
+		t.Fatal("nil applier accepted")
+	}
+	if _, err := New(Options{Self: "z", Nodes: nodes, Applier: &fakeApplier{}}); err == nil {
+		t.Fatal("unknown self accepted")
+	}
+	if _, err := New(Options{Self: "a", Nodes: nodes, Replicas: 1, Applier: &fakeApplier{}}); err == nil {
+		t.Fatal("replicas >= node count accepted")
+	}
+}

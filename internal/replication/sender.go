@@ -1,0 +1,303 @@
+package replication
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Wire protocol: a batch is POSTed to <peer>/v1/replication/records as
+// concatenated durable WAL frames (the on-disk codec IS the wire
+// format), with the stream handshake in headers:
+//
+//	X-Reef-Replication-Source  sender node ID
+//	X-Reef-Replication-Epoch   sender process epoch (log numbering era)
+//	X-Reef-Replication-Prev    watermark before this batch
+//	X-Reef-Replication-Last    watermark after this batch
+//	X-Reef-Replication-Count   record count
+//
+// The receiver answers 200 with an Ack, or 409 with its authoritative
+// Ack when the watermarks disagree (the sender adopts it and re-ships
+// from there). A snapshot cut POSTs to /v1/replication/snapshot with
+// the same Source/Epoch headers plus X-Reef-Replication-Seq, body =
+// JSON durable.State.
+const (
+	HdrSource = "X-Reef-Replication-Source"
+	HdrEpoch  = "X-Reef-Replication-Epoch"
+	HdrPrev   = "X-Reef-Replication-Prev"
+	HdrLast   = "X-Reef-Replication-Last"
+	HdrCount  = "X-Reef-Replication-Count"
+	HdrSeq    = "X-Reef-Replication-Seq"
+)
+
+// RecordsPath and SnapshotPath are the ingest routes, shared with
+// reefhttp so sender and server cannot drift.
+const (
+	RecordsPath  = "/v1/replication/records"
+	SnapshotPath = "/v1/replication/snapshot"
+)
+
+// lagWindow bounds the per-peer lag sample ring for the p99 gauge.
+const lagWindow = 512
+
+// peer is one outbound stream: position, health, lag samples.
+type peer struct {
+	node   Node
+	notify chan struct{}
+
+	mu        sync.Mutex
+	shipped   int64 // last acked watermark
+	resyncs   int64
+	lastAck   time.Time
+	lastErr   string
+	lagMicros []float64 // ring buffer, newest appended
+}
+
+// wake nudges the sender loop; a full buffer means a wake is already
+// pending.
+func (p *peer) wake() {
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (p *peer) position() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.shipped
+}
+
+func (p *peer) adopt(acked int64) {
+	p.mu.Lock()
+	p.shipped = acked
+	p.mu.Unlock()
+}
+
+func (p *peer) success(last int64, lags []float64) {
+	p.mu.Lock()
+	p.shipped = last
+	p.lastAck = time.Now()
+	p.lastErr = ""
+	p.lagMicros = append(p.lagMicros, lags...)
+	if len(p.lagMicros) > lagWindow {
+		p.lagMicros = p.lagMicros[len(p.lagMicros)-lagWindow:]
+	}
+	p.mu.Unlock()
+}
+
+func (p *peer) fail(err error) {
+	p.mu.Lock()
+	p.lastErr = err.Error()
+	p.mu.Unlock()
+}
+
+func (p *peer) status() PeerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ps := PeerStatus{
+		Node:    p.node.ID,
+		Shipped: p.shipped,
+		Resyncs: p.resyncs,
+		LastAck: p.lastAck,
+	}
+	ps.LastError = p.lastErr
+	if len(p.lagMicros) > 0 {
+		s := append([]float64(nil), p.lagMicros...)
+		sort.Float64s(s)
+		ps.LagP99Micros = s[(len(s)*99)/100]
+	}
+	return ps
+}
+
+// batch is one shipping unit cut from the log.
+type batch struct {
+	prev, last int64
+	count      int
+	frames     []byte
+	offeredAt  []time.Time
+	// resync is set instead when the peer fell off the retained log.
+	resync bool
+}
+
+// nextBatch cuts the peer's next unshipped subsequence under the log
+// lock. Empty batch (count 0, prev==last) means the peer is caught up.
+func (m *Manager) nextBatch(p *peer) batch {
+	shipped := p.position()
+	m.logMu.Lock()
+	defer m.logMu.Unlock()
+	if shipped+1 < m.logStart {
+		// Entries the peer never acked were evicted; whether any were
+		// destined to it is unknowable, so resync conservatively.
+		return batch{resync: true}
+	}
+	b := batch{prev: shipped, last: shipped}
+	// The log is contiguous (entry i has seq logStart+i), so the first
+	// unshipped entry is at a computable index — a caught-up peer's
+	// retry tick must not rescan the whole retained window.
+	start := shipped + 1 - m.logStart
+	if start > int64(len(m.log)) {
+		start = int64(len(m.log))
+	}
+	for _, e := range m.log[start:] {
+		destined := false
+		for _, d := range e.dests {
+			if d == p.node.ID {
+				destined = true
+				break
+			}
+		}
+		// Advance the watermark over gaps (records for other peers) so
+		// the handshake stays dense without shipping their bytes.
+		b.last = e.seq
+		if destined {
+			b.frames = append(b.frames, e.enc...)
+			b.count++
+			b.offeredAt = append(b.offeredAt, e.at)
+			if b.count >= m.opt.Window {
+				return b
+			}
+		}
+	}
+	return b
+}
+
+// sendLoop streams one peer until Close: wait for work (or the retry
+// tick), then drain batches until caught up or the peer errors.
+func (m *Manager) sendLoop(p *peer) {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.opt.RetryInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-p.notify:
+		case <-ticker.C:
+		}
+		for {
+			select {
+			case <-m.stop:
+				return
+			default:
+			}
+			b := m.nextBatch(p)
+			if b.resync {
+				if err := m.sendSnapshot(p); err != nil {
+					p.fail(err)
+					break // wait a tick, retry
+				}
+				continue
+			}
+			if b.count == 0 && b.last == b.prev {
+				break // caught up
+			}
+			ack, conflict, err := m.postRecords(p, b)
+			if err != nil {
+				p.fail(err)
+				break
+			}
+			if conflict {
+				p.adopt(ack.Acked)
+				continue
+			}
+			lags := make([]float64, len(b.offeredAt))
+			now := time.Now()
+			for i, at := range b.offeredAt {
+				lags[i] = float64(now.Sub(at).Microseconds())
+			}
+			p.success(b.last, lags)
+		}
+	}
+}
+
+// postRecords ships one batch. conflict=true carries the receiver's
+// position from a 409.
+func (m *Manager) postRecords(p *peer, b batch) (Ack, bool, error) {
+	req, err := http.NewRequest(http.MethodPost, p.node.BaseURL+RecordsPath, bytes.NewReader(b.frames))
+	if err != nil {
+		return Ack{}, false, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(HdrSource, m.opt.Self)
+	req.Header.Set(HdrEpoch, strconv.FormatInt(m.epoch, 10))
+	req.Header.Set(HdrPrev, strconv.FormatInt(b.prev, 10))
+	req.Header.Set(HdrLast, strconv.FormatInt(b.last, 10))
+	req.Header.Set(HdrCount, strconv.Itoa(b.count))
+	return m.doShip(req)
+}
+
+// sendSnapshot resyncs a peer that fell off the log: capture a cut,
+// ship it, and adopt the cut's position. The watermark is pinned
+// BEFORE the capture starts, so records tapped while the capture runs
+// re-ship after it — a record racing the cut can be applied twice on
+// the replica (the documented async caveat; subscriptions, pending
+// takes and cursor acks are idempotent, click counts can double for
+// that sliver).
+func (m *Manager) sendSnapshot(p *peer) error {
+	m.logMu.Lock()
+	seq := m.nextSeq - 1
+	m.logMu.Unlock()
+	st, err := m.opt.Applier.CaptureReplicationState()
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, p.node.BaseURL+SnapshotPath, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HdrSource, m.opt.Self)
+	req.Header.Set(HdrEpoch, strconv.FormatInt(m.epoch, 10))
+	req.Header.Set(HdrSeq, strconv.FormatInt(seq, 10))
+	ack, conflict, err := m.doShip(req)
+	if err != nil {
+		return err
+	}
+	_ = conflict // a snapshot answer is authoritative either way
+	p.mu.Lock()
+	p.shipped = ack.Acked
+	p.resyncs++
+	p.mu.Unlock()
+	return nil
+}
+
+// doShip executes a replication POST and decodes the Ack envelope.
+func (m *Manager) doShip(req *http.Request) (Ack, bool, error) {
+	resp, err := m.opt.HTTPClient.Do(req)
+	if err != nil {
+		return Ack{}, false, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return Ack{}, false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusConflict:
+		var ack Ack
+		if err := json.Unmarshal(data, &ack); err != nil {
+			return Ack{}, false, fmt.Errorf("replication: bad ack from %s: %w", req.Host, err)
+		}
+		return ack, resp.StatusCode == http.StatusConflict, nil
+	default:
+		return Ack{}, false, fmt.Errorf("replication: peer answered %s: %s", resp.Status, truncate(data, 200))
+	}
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}

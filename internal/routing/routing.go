@@ -24,6 +24,32 @@ func UserSlot(user string, n int) int {
 	return int(h % uint32(n))
 }
 
+// ReplicaSet maps a user to the ordered slot list that may hold the
+// user's state: the primary (UserSlot — unchanged, so k=0 is exactly
+// the single-copy layout and turning replication on needs no data
+// migration) followed by the next k slots mod n. Consecutive slots are
+// distinct by construction, so the set has min(1+k, n) members.
+// Routers prefer the earliest routable member, which makes promotion
+// (primary down → first replica serves) and fail-back (primary up →
+// primary serves again) pure functions of node health.
+func ReplicaSet(user string, n, k int) []int {
+	if n <= 1 {
+		return []int{0}
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	primary := UserSlot(user, n)
+	out := make([]int, 1+k)
+	for i := range out {
+		out[i] = (primary + i) % n
+	}
+	return out
+}
+
 // Merge merges per-slot stat snapshots. Counters and gauges sum;
 // histogram-derived keys keep their meaning across the merge — ".max"
 // takes the maximum and ".mean" becomes the ".count"-weighted mean —

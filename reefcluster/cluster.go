@@ -17,13 +17,18 @@
 // Membership is a static seed list plus liveness: a background prober
 // (internal/membership) walks every node's /v1/healthz and /v1/readyz
 // on a jittered interval and keeps a per-node up/draining/down state.
-// The headline behavior is failover: when a node dies mid-workload,
-// calls for its users fail fast with ErrNodeDown while every other
-// user keeps being served; when the node restarts it recovers from its
-// own WAL and the prober re-admits it — no operator action, no
-// rebalancing. Placement is intentionally static (node list order is
-// the contract, like the shard count is on disk): moving users between
-// nodes is a data migration, not a failover.
+// The headline behavior is failover. With Config.Replicas == 0, when a
+// node dies mid-workload calls for its users fail fast with ErrNodeDown
+// while every other user keeps being served; when the node restarts it
+// recovers from its own WAL and the prober re-admits it — no operator
+// action, no rebalancing. With Replicas == k > 0 the nodes ship each
+// user's WAL records to the next k nodes in list order
+// (internal/replication), and the router walks that same replica set:
+// a dead primary's users are served by the first up replica within one
+// probe interval, and fail back automatically on re-admission.
+// Placement is intentionally static (node list order is the contract,
+// like the shard count is on disk): moving users between nodes is a
+// data migration, not a failover.
 package reefcluster
 
 import (
@@ -97,6 +102,18 @@ type Node struct {
 type Config struct {
 	Nodes []Node
 
+	// Replicas is k in the replicated placement: each user's records
+	// live on a primary (the FNV-1a slot) plus the next k nodes in list
+	// order, kept in sync by WAL shipping (internal/replication) on the
+	// nodes themselves. The router walks that same replica set when the
+	// primary is down: user calls are served by the first Up member —
+	// failover promotion — and return to the primary as soon as the
+	// prober re-admits it (static preference order means automatic
+	// fail-back). 0 keeps the single-copy layout: down primary → fail
+	// fast. Must match the -replicas the nodes run with, and must be
+	// < len(Nodes).
+	Replicas int
+
 	// ProbeInterval is the base membership probe period per node
 	// (default 1s); ProbeTimeout bounds one probe (default interval).
 	ProbeInterval time.Duration
@@ -117,9 +134,10 @@ type Config struct {
 
 // Cluster routes a reef.Deployment over N reefd nodes.
 type Cluster struct {
-	nodes   []Node
-	clients []*reefclient.Client // forwarding clients, with retry
-	tracker *membership.Tracker
+	nodes    []Node
+	replicas int
+	clients  []*reefclient.Client // forwarding clients, with retry
+	tracker  *membership.Tracker
 
 	mu     sync.Mutex
 	closed bool
@@ -144,6 +162,7 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("%w: cluster needs at least one node", reef.ErrInvalidArgument)
 	}
 	seen := make(map[string]struct{}, len(cfg.Nodes))
+	seenURL := make(map[string]string, len(cfg.Nodes))
 	for _, n := range cfg.Nodes {
 		if n.ID == "" || n.BaseURL == "" {
 			return nil, fmt.Errorf("%w: node needs both an ID and a base URL (got %+v)", reef.ErrInvalidArgument, n)
@@ -152,6 +171,16 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("%w: duplicate node ID %q", reef.ErrInvalidArgument, n.ID)
 		}
 		seen[n.ID] = struct{}{}
+		// Two IDs sharing one URL would silently route two users' worth
+		// of placement to one deployment — refuse it up front.
+		if prev, dup := seenURL[n.BaseURL]; dup {
+			return nil, fmt.Errorf("%w: nodes %q and %q share base URL %q", reef.ErrInvalidArgument, prev, n.ID, n.BaseURL)
+		}
+		seenURL[n.BaseURL] = n.ID
+	}
+	if cfg.Replicas < 0 || cfg.Replicas >= len(cfg.Nodes) {
+		return nil, fmt.Errorf("%w: replicas %d out of range for %d nodes (need 0 <= k < nodes)",
+			reef.ErrInvalidArgument, cfg.Replicas, len(cfg.Nodes))
 	}
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = time.Second
@@ -172,7 +201,7 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.RetryBackoff = 25 * time.Millisecond
 	}
 
-	c := &Cluster{nodes: cfg.Nodes}
+	c := &Cluster{nodes: cfg.Nodes, replicas: cfg.Replicas}
 	clientOpts := func(extra ...reefclient.Option) []reefclient.Option {
 		opts := []reefclient.Option{reefclient.WithTimeout(cfg.CallTimeout)}
 		if cfg.HTTPClient != nil {
@@ -237,15 +266,32 @@ func probeNode(ctx context.Context, cli *reefclient.Client, wantID string) membe
 	}
 }
 
-// NodeFor reports which node owns a user: the shard router's FNV-1a
-// placement hash (internal/routing) at node granularity. Exposed so
-// tests, benches and operators can check placement against the hash.
+// NodeFor reports which node is a user's primary: the shard router's
+// FNV-1a placement hash (internal/routing) at node granularity.
+// Exposed so tests, benches and operators can check placement against
+// the hash. With replicas configured the primary is the preferred
+// owner, not necessarily the serving one — see ReplicaSetFor.
 func (c *Cluster) NodeFor(user string) Node {
 	return c.nodes[routing.UserSlot(user, len(c.nodes))]
 }
 
+// ReplicaSetFor reports a user's full replica set in preference order:
+// primary first, then the k replicas. User calls are served by the
+// first Up member.
+func (c *Cluster) ReplicaSetFor(user string) []Node {
+	slots := routing.ReplicaSet(user, len(c.nodes), c.replicas)
+	out := make([]Node, len(slots))
+	for i, s := range slots {
+		out[i] = c.nodes[s]
+	}
+	return out
+}
+
 // Nodes returns the static node list in placement order.
 func (c *Cluster) Nodes() []Node { return c.nodes }
+
+// Replicas returns k, the configured replicas per user.
+func (c *Cluster) Replicas() int { return c.replicas }
 
 // NodeStatus is one node's tracked membership state.
 type NodeStatus struct {
@@ -288,15 +334,22 @@ func (c *Cluster) checkOpen(ctx context.Context) error {
 	return nil
 }
 
-// owner resolves a user's owning node index, failing fast when the
-// membership layer says it is not routable.
+// owner resolves the node serving a user: the first Up member of the
+// user's replica set, in preference order. With the primary Up that is
+// the primary (same answer as the k=0 layout); with it Down the first
+// up replica is promoted, and because the walk order is static the
+// primary takes back over the moment the prober re-admits it. Only
+// when the whole set is unroutable does the call fail fast, reporting
+// the primary's identity and state.
 func (c *Cluster) owner(user string) (int, error) {
-	i := routing.UserSlot(user, len(c.nodes))
-	id := c.nodes[i].ID
-	if s := c.tracker.State(id); s != membership.Up {
-		return 0, &NodeDownError{Node: id, State: s.String()}
+	slots := routing.ReplicaSet(user, len(c.nodes), c.replicas)
+	for _, s := range slots {
+		if c.tracker.State(c.nodes[s].ID) == membership.Up {
+			return s, nil
+		}
 	}
-	return i, nil
+	id := c.nodes[slots[0]].ID
+	return 0, &NodeDownError{Node: id, State: c.tracker.State(id).String()}
 }
 
 // nodeFault reports whether a forwarded call's failure indicts the

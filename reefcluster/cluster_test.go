@@ -5,12 +5,14 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"testing"
 	"time"
 
 	"reef"
 	"reef/internal/durable/durabletest"
+	"reef/internal/replication"
 	"reef/internal/topics"
 	"reef/internal/websim"
 	"reef/reefcluster"
@@ -44,6 +46,13 @@ type testNode struct {
 	srv   *http.Server
 	ready *reefhttp.Readiness
 	done  chan struct{}
+
+	// Replication wiring; zero on plain cluster tests. Set replicas and
+	// peers before boot to run a replication.Manager alongside the node
+	// (see startReplCluster in replication_e2e_test.go).
+	replicas int
+	peers    []replication.Node
+	mgr      *replication.Manager
 }
 
 // startTestNode boots a fresh node: new data dir, new listener.
@@ -78,8 +87,24 @@ func (n *testNode) boot(t *testing.T, ln net.Listener) {
 	n.dep = dep
 	n.ready = reefhttp.NewReadiness()
 	n.ready.SetReady()
-	n.srv = &http.Server{Handler: reefhttp.NewHandler(dep, nil,
-		reefhttp.WithReadiness(n.ready), reefhttp.WithNodeID(n.id))}
+	opts := []reefhttp.HandlerOption{reefhttp.WithReadiness(n.ready), reefhttp.WithNodeID(n.id)}
+	if n.replicas > 0 {
+		mgr, err := replication.New(replication.Options{
+			Self:          n.id,
+			Nodes:         n.peers,
+			Replicas:      n.replicas,
+			Applier:       dep,
+			Dir:           filepath.Join(n.dir, "replication"),
+			RetryInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("node %s replication: %v", n.id, err)
+		}
+		n.mgr = mgr
+		dep.SetReplicationTap(mgr.Offer)
+		opts = append(opts, reefhttp.WithReplication(mgr))
+	}
+	n.srv = &http.Server{Handler: reefhttp.NewHandler(dep, nil, opts...)}
 	n.done = make(chan struct{})
 	go func() {
 		defer close(n.done)
@@ -100,6 +125,10 @@ func (n *testNode) kill(t *testing.T) {
 	}
 	_ = n.srv.Close()
 	<-n.done
+	if n.mgr != nil {
+		n.mgr.Close()
+		n.mgr = nil
+	}
 	n.dep, n.srv = nil, nil
 }
 
@@ -121,6 +150,9 @@ func (n *testNode) shutdown() {
 		_ = n.srv.Close()
 		<-n.done
 	}
+	if n.mgr != nil {
+		n.mgr.Close()
+	}
 	if n.dep != nil {
 		_ = n.dep.Close()
 	}
@@ -129,6 +161,11 @@ func (n *testNode) shutdown() {
 // startCluster boots count nodes and a router over them with fast
 // probes.
 func startCluster(t *testing.T, count int, web *websim.Web) (*reefcluster.Cluster, []*testNode) {
+	return startClusterK(t, count, 0, web)
+}
+
+// startClusterK is startCluster with k routing replicas per user.
+func startClusterK(t *testing.T, count, replicas int, web *websim.Web) (*reefcluster.Cluster, []*testNode) {
 	t.Helper()
 	nodes := make([]*testNode, count)
 	cfgNodes := make([]reefcluster.Node, count)
@@ -139,6 +176,7 @@ func startCluster(t *testing.T, count int, web *websim.Web) (*reefcluster.Cluste
 	}
 	cl, err := reefcluster.New(reefcluster.Config{
 		Nodes:         cfgNodes,
+		Replicas:      replicas,
 		ProbeInterval: 25 * time.Millisecond,
 		ProbeTimeout:  2 * time.Second,
 		CallTimeout:   5 * time.Second,
@@ -177,21 +215,90 @@ func shortest(m map[string][]string, nodes []*testNode) int {
 
 // TestClusterConfigValidation pins the constructor's argument checks.
 func TestClusterConfigValidation(t *testing.T) {
+	two := []reefcluster.Node{{ID: "a", BaseURL: "http://x.test"}, {ID: "b", BaseURL: "http://y.test"}}
 	for _, tc := range []struct {
-		name  string
-		nodes []reefcluster.Node
+		name     string
+		nodes    []reefcluster.Node
+		replicas int
 	}{
-		{"no nodes", nil},
-		{"missing id", []reefcluster.Node{{BaseURL: "http://x.test"}}},
-		{"missing url", []reefcluster.Node{{ID: "a"}}},
-		{"duplicate id", []reefcluster.Node{{ID: "a", BaseURL: "http://x.test"}, {ID: "a", BaseURL: "http://y.test"}}},
+		{"no nodes", nil, 0},
+		{"missing id", []reefcluster.Node{{BaseURL: "http://x.test"}}, 0},
+		{"missing url", []reefcluster.Node{{ID: "a"}}, 0},
+		{"duplicate id", []reefcluster.Node{{ID: "a", BaseURL: "http://x.test"}, {ID: "a", BaseURL: "http://y.test"}}, 0},
+		{"duplicate url", []reefcluster.Node{{ID: "a", BaseURL: "http://x.test"}, {ID: "b", BaseURL: "http://x.test"}}, 0},
+		{"negative replicas", two, -1},
+		{"replicas >= nodes", two, 2},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := reefcluster.New(reefcluster.Config{Nodes: tc.nodes, ProbeTimeout: 50 * time.Millisecond})
+			_, err := reefcluster.New(reefcluster.Config{
+				Nodes: tc.nodes, Replicas: tc.replicas, ProbeTimeout: 50 * time.Millisecond,
+			})
 			if !errors.Is(err, reef.ErrInvalidArgument) {
 				t.Fatalf("New = %v, want ErrInvalidArgument", err)
 			}
 		})
+	}
+}
+
+// TestClusterPromotionWalk pins the routing half of failover in
+// isolation (no replication streams): with k=1, a user call walks the
+// replica set and is served by the first Up member, returns to the
+// primary on re-admission, and fails fast naming the primary only when
+// the whole set is down.
+func TestClusterPromotionWalk(t *testing.T) {
+	ctx := context.Background()
+	web := testWeb(56)
+	cl, nodes := startClusterK(t, 3, 1, web)
+	byID := make(map[string]*testNode, len(nodes))
+	for _, n := range nodes {
+		byID[n.id] = n
+	}
+
+	// One user whose primary is nodes[?]; its replica is the next slot.
+	user := usersPerNode(cl, nodes, 1)[nodes[0].id][0]
+	set := cl.ReplicaSetFor(user)
+	if len(set) != 2 || set[0].ID != nodes[0].id {
+		t.Fatalf("ReplicaSetFor(%s) = %+v, want primary %s plus one replica", user, set, nodes[0].id)
+	}
+	primary, replica := byID[set[0].ID], byID[set[1].ID]
+
+	feed := feedURLs(web)[0]
+	primary.kill(t)
+	cl.ProbeNow(ctx)
+	if _, err := cl.Subscribe(ctx, user, feed); err != nil {
+		t.Fatalf("Subscribe during failover: %v", err)
+	}
+	subs, err := replica.dep.Subscriptions(ctx, user)
+	if err != nil || len(subs) != 1 {
+		t.Fatalf("replica holds %d subscriptions (%v), want the promoted write", len(subs), err)
+	}
+
+	// Whole set down → typed error naming the PRIMARY.
+	replica.kill(t)
+	cl.ProbeNow(ctx)
+	var down *reefcluster.NodeDownError
+	if _, err := cl.Subscriptions(ctx, user); !errors.As(err, &down) || down.Node != primary.id {
+		t.Fatalf("whole-set outage = %v, want NodeDownError{%s}", err, primary.id)
+	}
+
+	// Re-admission (flap damping wants consecutive up probes) fails the
+	// user back to the primary: reads go there again, and since this
+	// test runs no replication streams the promoted write is invisible.
+	primary.restart(t)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cl.ProbeNow(ctx)
+		subs, err = cl.Subscriptions(ctx, user)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("primary never re-admitted: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(subs) != 0 {
+		t.Fatalf("read after fail-back = %d subscriptions, want 0 (primary never saw the write)", len(subs))
 	}
 }
 

@@ -26,11 +26,15 @@
 //	GET    /v1/readyz                          readiness (see Readiness)
 //	GET    /v1/admin/storage                   persistence backend state
 //	POST   /v1/admin/snapshot                  force a compacting snapshot
+//	POST   /v1/replication/records             ingest a peer's WAL batch
+//	POST   /v1/replication/snapshot            ingest a peer's state cut
+//	GET    /v1/admin/replication               replication stream status
 //
 // The admin storage/snapshot endpoints require the deployment to
 // implement reef.Persister; the events/ack/deadletter endpoints require
-// reef.ReliableDeliverer. Against a deployment lacking the surface they
-// answer 501 with code "unsupported".
+// reef.ReliableDeliverer; the replication endpoints require a manager
+// mounted via WithReplication. Against a deployment lacking the surface
+// they answer 501 with code "unsupported".
 //
 // Liveness and readiness are distinct probes: /v1/healthz answers 200
 // whenever the process serves at all, while /v1/readyz answers 200 only
@@ -244,6 +248,7 @@ type Handler struct {
 	log    *log.Logger
 	ready  *Readiness
 	nodeID string
+	repl   Replicator
 }
 
 var _ http.Handler = (*Handler)(nil)
@@ -317,6 +322,12 @@ func (h *Handler) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 				h.handleFetchEvents(rw, req, id)
 			})
 		}
+	case len(seg) == 2 && seg[0] == "replication" && seg[1] == "records":
+		h.route(rw, req, "POST", h.handleReplicationRecords)
+	case len(seg) == 2 && seg[0] == "replication" && seg[1] == "snapshot":
+		h.route(rw, req, "POST", h.handleReplicationSnapshot)
+	case len(seg) == 2 && seg[0] == "admin" && seg[1] == "replication":
+		h.route(rw, req, "GET", h.handleReplicationStatus)
 	case len(seg) == 2 && seg[0] == "admin" && seg[1] == "storage":
 		h.route(rw, req, "GET", h.handleStorage)
 	case len(seg) == 2 && seg[0] == "admin" && seg[1] == "snapshot":
@@ -490,6 +501,18 @@ func (h *Handler) handleStats(rw http.ResponseWriter, req *http.Request) {
 	if err != nil {
 		h.writeDeploymentError(rw, err)
 		return
+	}
+	if h.repl != nil {
+		// The replication gauges describe this node, not the deployment;
+		// merge them in so one stats scrape covers both.
+		merged := make(reef.Stats, len(stats))
+		for k, v := range stats {
+			merged[k] = v
+		}
+		for k, v := range h.repl.Stats() {
+			merged[k] = v
+		}
+		stats = merged
 	}
 	h.writeJSON(rw, http.StatusOK, StatsResponse{Stats: stats})
 }

@@ -19,7 +19,7 @@ import (
 
 // newTestServer mounts the handler over a durable centralized deployment
 // (data dir backed, so the admin endpoints have a real backend).
-func newTestServer(t *testing.T) (*httptest.Server, *reef.Centralized) {
+func newTestServer(t *testing.T, opts ...reefhttp.HandlerOption) (*httptest.Server, *reef.Centralized) {
 	t.Helper()
 	model := topics.NewModel(21, 4, 10, 12)
 	wcfg := websim.DefaultConfig(21, time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC))
@@ -36,7 +36,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *reef.Centralized) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = dep.Close() })
-	srv := httptest.NewServer(reefhttp.NewHandler(dep, nil))
+	srv := httptest.NewServer(reefhttp.NewHandler(dep, nil, opts...))
 	t.Cleanup(srv.Close)
 	return srv, dep
 }

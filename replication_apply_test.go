@@ -1,0 +1,148 @@
+package reef_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"reef"
+	"reef/internal/durable"
+	"reef/internal/durable/durabletest"
+)
+
+// TestReplicationApplyRoundTrip is the reef-layer half of replication:
+// every record tapped from a primary's WAL, applied on a second
+// deployment through ApplyReplicated, reproduces the golden state
+// byte-exactly — including pending-recommendation IDs and durable
+// counters — even when the replica runs a different shard count (the
+// stream is re-framed per shard on ingest).
+func TestReplicationApplyRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	web := testWeb(71)
+
+	var mu sync.Mutex
+	var stream []durable.Record
+	primary, err := reef.NewCentralized(
+		reef.WithFetcher(web),
+		reef.WithDataDir(t.TempDir()),
+		reef.WithShards(2),
+		reef.WithSnapshotEvery(-1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	primary.SetReplicationTap(func(r durable.Record) {
+		mu.Lock()
+		stream = append(stream, r)
+		mu.Unlock()
+	})
+
+	replica, err := reef.NewCentralized(
+		reef.WithFetcher(web),
+		reef.WithDataDir(t.TempDir()),
+		reef.WithShards(3),
+		reef.WithSnapshotEvery(-1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+
+	users := driveCentralized(t, ctx, primary, web)
+	// Capture drains fresh recommendations into the pending ledger —
+	// journaled, so the drain itself lands in the stream before we ship.
+	want, err := durabletest.Capture(ctx, primary, users, durabletest.DurableStatKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	shipped := append([]durable.Record(nil), stream...)
+	mu.Unlock()
+	if len(shipped) == 0 {
+		t.Fatal("tap saw no records from a full drive")
+	}
+	if err := replica.ApplyReplicated(shipped); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := durabletest.Capture(ctx, replica, users, durabletest.DurableStatKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := durabletest.Diff(want, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff != "" {
+		t.Fatalf("replicated state differs from primary:\n%s", diff)
+	}
+}
+
+// TestReplicationSnapshotCut pins the catch-up path for a replica too
+// far behind to stream: a consistent cut captured on the primary and
+// absorbed through ApplyReplicatedCut reproduces the golden state, and
+// the cut is immediately durable on the replica (it survives a crash).
+func TestReplicationSnapshotCut(t *testing.T) {
+	ctx := context.Background()
+	web := testWeb(72)
+	primary, err := reef.NewCentralized(
+		reef.WithFetcher(web),
+		reef.WithDataDir(t.TempDir()),
+		reef.WithShards(2),
+		reef.WithSnapshotEvery(-1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	users := driveCentralized(t, ctx, primary, web)
+	want, err := durabletest.Capture(ctx, primary, users, durabletest.DurableStatKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := primary.CaptureReplicationState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	open := func() *reef.Centralized {
+		rep, err := reef.NewCentralized(
+			reef.WithFetcher(web),
+			reef.WithDataDir(dir),
+			reef.WithSyncPolicy(reef.SyncAlways),
+			reef.WithSnapshotEvery(-1),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	replica := open()
+	if err := replica.ApplyReplicatedCut(cut); err != nil {
+		t.Fatal(err)
+	}
+	got, err := durabletest.Capture(ctx, replica, users, durabletest.DurableStatKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff, err := durabletest.Diff(want, got); err != nil || diff != "" {
+		t.Fatalf("cut state differs (%v):\n%s", err, diff)
+	}
+
+	// Crash and recover: the cut was snapshotted, so it survives.
+	if err := durabletest.Crash(replica); err != nil {
+		t.Fatal(err)
+	}
+	replica = open()
+	defer replica.Close()
+	got, err = durabletest.Capture(ctx, replica, users, durabletest.DurableStatKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff, err := durabletest.Diff(want, got); err != nil || diff != "" {
+		t.Fatalf("cut state lost across replica crash (%v):\n%s", err, diff)
+	}
+}
