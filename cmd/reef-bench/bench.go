@@ -42,6 +42,7 @@ type BenchFile struct {
 	Benchmark  string        `json:"benchmark"`
 	Revision   string        `json:"revision,omitempty"`
 	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
 	Generated  string        `json:"generated"`
 	Results    []BenchResult `json:"results"`
 }
@@ -88,6 +89,7 @@ func writeBenchFile(dir, name string, results []BenchResult) error {
 		Benchmark:  name,
 		Revision:   gitRevision(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		Results:    results,
 	}

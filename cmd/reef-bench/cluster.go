@@ -3,9 +3,10 @@
 // on a loopback listener, so every forwarded call pays genuine HTTP
 // serialization). Three measured rows per node count:
 //
-//	publish_nodesN  PublishBatch through the router — stamps once, fans
-//	                out to every node, one HTTP round trip per node per
-//	                batch; reported per event
+//	publish_nodesN  PublishBatch through the router — encoded once, fanned
+//	                out to every node over its long-lived binary stream
+//	                (one pipelined frame per node per batch); reported per
+//	                event
 //	forward_nodesN  user-addressed reads (Subscriptions) — one routed
 //	                HTTP round trip to the owning node; the p50/p99 here
 //	                is the cluster's forwarding overhead
@@ -28,6 +29,7 @@ import (
 	"reef/internal/experiments"
 	"reef/reefcluster"
 	"reef/reefhttp"
+	"reef/reefstream"
 )
 
 // BenchClusterOptions tunes the cluster sweep.
@@ -42,11 +44,14 @@ type BenchClusterOptions struct {
 	OutDir     string
 }
 
-// benchNode is one in-process cluster member.
+// benchNode is one in-process cluster member: a memory-backed
+// deployment behind both planes — the REST surface and the binary
+// stream listener.
 type benchNode struct {
-	dep *reef.Centralized
-	srv *http.Server
-	ln  net.Listener
+	dep    *reef.Centralized
+	srv    *http.Server
+	ln     net.Listener
+	stream *reefstream.Server
 }
 
 func startBenchNode(id string) (*benchNode, reefcluster.Node) {
@@ -61,16 +66,23 @@ func startBenchNode(id string) (*benchNode, reefcluster.Node) {
 	if err != nil {
 		panic(err)
 	}
+	stream, err := reefstream.Listen("127.0.0.1:0", dep, reefstream.WithNode(id))
+	if err != nil {
+		panic(err)
+	}
 	ready := reefhttp.NewReadiness()
 	ready.SetReady()
 	srv := &http.Server{Handler: reefhttp.NewHandler(dep, nil,
-		reefhttp.WithReadiness(ready), reefhttp.WithNodeID(id))}
+		reefhttp.WithReadiness(ready), reefhttp.WithNodeID(id),
+		reefhttp.WithStreamAddr(stream.Addr().String()))}
 	go func() { _ = srv.Serve(ln) }()
-	return &benchNode{dep: dep, srv: srv, ln: ln},
-		reefcluster.Node{ID: id, BaseURL: "http://" + ln.Addr().String()}
+	return &benchNode{dep: dep, srv: srv, ln: ln, stream: stream},
+		reefcluster.Node{ID: id, BaseURL: "http://" + ln.Addr().String(),
+			StreamAddr: stream.Addr().String()}
 }
 
 func (n *benchNode) stop() {
+	_ = n.stream.Close()
 	_ = n.srv.Close()
 	_ = n.dep.Close()
 }
@@ -165,10 +177,22 @@ func benchCluster(opt BenchClusterOptions) experiments.Result {
 		values[fmt.Sprintf("forward_nodes%d_p99_us", count)] = forward.P99Micros
 		values[fmt.Sprintf("forward_nodes%d_ops_per_sec", count)] = forward.OpsPerSec
 
-		// Churn: unsub+resub pairs, each routed to the owning node.
+		// Churn: unsub+resub pairs, each routed to the owning node. Each
+		// worker gets a disjoint span of users — a shared modulo would
+		// let two workers race the same user's unsub/resub pair (worker
+		// w's contiguous index range collides with worker w+1's once
+		// pairs outnumber users) and one of them would unsubscribe a
+		// subscription the other just removed.
+		spawned := 0
+		span := len(churnUsers) / workers
+		if span < 1 {
+			span = 1
+		}
 		churn := measureEach(fmt.Sprintf("churn_nodes%d", count), opt.ChurnPairs, workers, func() func(int) {
+			base := (spawned * span) % len(churnUsers)
+			spawned++
 			return func(i int) {
-				u := churnUsers[i%len(churnUsers)]
+				u := churnUsers[base+i%span]
 				if err := cl.Unsubscribe(ctx, u, churnFeed); err != nil {
 					panic(err)
 				}
@@ -193,7 +217,7 @@ func benchCluster(opt BenchClusterOptions) experiments.Result {
 	}
 	res := benchTable("BENCH — Cluster router over in-process reefd nodes (real HTTP forwarding)", results)
 	res.Values = values
-	res.Table.AddNote("%d hot + %d churn subscribers, batch %d, %d worker(s); publish = fan-out to every node per batch, forward/churn = one routed round trip",
+	res.Table.AddNote("%d hot + %d churn subscribers, batch %d, %d worker(s); publish = binary stream fan-out to every node per batch, forward/churn = one routed HTTP round trip",
 		opt.HotUsers, opt.ChurnUsers, opt.BatchSize, workers)
 	first, last := opt.Nodes[0], opt.Nodes[len(opt.Nodes)-1]
 	if base := values[fmt.Sprintf("churn_nodes%d_pairs_per_sec", first)]; base > 0 {
@@ -204,7 +228,7 @@ func benchCluster(opt BenchClusterOptions) experiments.Result {
 	if base := values[fmt.Sprintf("publish_nodes%d_ops_per_sec", first)]; base > 0 {
 		top := values[fmt.Sprintf("publish_nodes%d_ops_per_sec", last)]
 		res.Values["publish_node_cost"] = top / base
-		res.Table.AddNote("publish per-event throughput, %d vs %d nodes: %.2fx — fan-out pays one HTTP round trip per node, the price of cluster-wide delivery", last, first, top/base)
+		res.Table.AddNote("publish per-event throughput, %d vs %d nodes: %.2fx — fan-out writes one pipelined stream frame per node, the price of cluster-wide delivery", last, first, top/base)
 	}
 	return res
 }

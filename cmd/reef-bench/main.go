@@ -2,13 +2,14 @@
 // evaluation (DESIGN.md §4), plus the substrate micro-benchmarks. With no
 // arguments it runs the full suite at paper scale; pass experiment IDs
 // (e1 e2 e3 f1 f2 a1 a2 a3 publish rank recovery shard cluster
-// delivery replication) to run a subset, and -quick for a reduced-scale
-// smoke run. The publish, rank, recovery, shard, cluster, delivery and
-// replication benchmarks write BENCH_publish.json, BENCH_rank.json,
-// BENCH_recovery.json, BENCH_shard.json, BENCH_cluster.json,
-// BENCH_delivery.json and BENCH_replication.json (ops/sec, allocs/op,
-// p50/p99, stamped with the source revision and GOMAXPROCS) into
-// -benchdir so later PRs have a performance trajectory to beat.
+// delivery replication stream) to run a subset, and -quick for a
+// reduced-scale smoke run. The publish, rank, recovery, shard, cluster,
+// delivery, replication and stream benchmarks write BENCH_publish.json,
+// BENCH_rank.json, BENCH_recovery.json, BENCH_shard.json,
+// BENCH_cluster.json, BENCH_delivery.json, BENCH_replication.json and
+// BENCH_stream.json (ops/sec, allocs/op, p50/p99, stamped with the
+// source revision, GOMAXPROCS and CPU count) into -benchdir so later
+// PRs have a performance trajectory to beat.
 //
 //	reef-bench                      # full suite
 //	reef-bench e1 e3                # just E1 and E3
@@ -17,6 +18,7 @@
 //	reef-bench -quick recovery      # durability: WAL, snapshot, cold start
 //	reef-bench publish -shards 1,2,4,8   # publish sweep across shard counts
 //	reef-bench cluster -nodes 1,2,4      # cluster router sweep across node counts
+//	reef-bench stream -nodes 1,2,4       # binary stream ingest vs REST + fan-out sweep
 //	reef-bench replication -replicas 0,1,2   # replicated placement sweep over k
 //
 // -shards, -nodes and -replicas (accepted before or after the
@@ -147,6 +149,7 @@ func run() int {
 	bclopt := BenchClusterOptions{Nodes: nodeCounts, OutDir: *benchdir}
 	bdelopt := BenchDeliveryOptions{OutDir: *benchdir}
 	brepopt := BenchReplicationOptions{Replicas: replicaCounts, OutDir: *benchdir}
+	bstopt := BenchStreamOptions{Nodes: nodeCounts, OutDir: *benchdir}
 	if *quick {
 		e1opt.Users, e1opt.Days, e1opt.Scale = 3, 10, 0.15
 		e3opt.Stories, e3opt.AttendedPages, e3opt.Trials = 200, 1500, 2
@@ -161,6 +164,7 @@ func run() int {
 		bclopt.Ops, bclopt.ForwardOps, bclopt.ChurnPairs, bclopt.ChurnUsers = 60, 300, 150, 120
 		bdelopt.Ops = 20_000
 		brepopt.Ops, brepopt.ClickOps, brepopt.Users = 60, 150, 120
+		bstopt.Ops, bstopt.FanOutOps, bstopt.HotUsers = 3000, 150, 60
 	}
 
 	suite := []exp{
@@ -179,6 +183,7 @@ func run() int {
 		{"cluster", func() experiments.Result { return benchCluster(bclopt) }},
 		{"delivery", func() experiments.Result { return benchDelivery(bdelopt) }},
 		{"replication", func() experiments.Result { return benchReplication(brepopt) }},
+		{"stream", func() experiments.Result { return benchStream(bstopt) }},
 	}
 
 	ranF := false // f1 and f2 share one table; print once

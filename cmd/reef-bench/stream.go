@@ -1,0 +1,173 @@
+// Stream sweep: the binary ingest data plane (package reefstream)
+// against the REST publish path it replaces — the fix for the cluster
+// fan-out throughput collapse. Two single-node rows pin the transport
+// gap, then a fan-out sweep shows per-event throughput holding as the
+// node count grows:
+//
+//	rest_publish          PublishBatch through reefclient — one HTTP
+//	                      round trip per batch (JSON both ways);
+//	                      reported per event
+//	stream_publish        PublishBatch through reefstream.Client — one
+//	                      pipelined binary frame per batch on a
+//	                      persistent connection; reported per event
+//	stream_fanout_nodesN  PublishBatch through the cluster router with
+//	                      the stream plane wired: events encoded once,
+//	                      one frame per node per batch
+//
+// Emits BENCH_stream.json; stream_vs_rest_speedup is the headline
+// value the ISSUE acceptance gate reads.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"reef"
+	"reef/internal/experiments"
+	"reef/reefclient"
+	"reef/reefcluster"
+	"reef/reefstream"
+)
+
+// BenchStreamOptions tunes the stream sweep.
+type BenchStreamOptions struct {
+	Nodes         []int // node counts for the fan-out sweep (default 1,2,4)
+	HotUsers      int   // subscribers of the published feed per node count
+	Ops           int   // measured single-event publishes per ingest row
+	FanOutOps     int   // measured publish batches per fan-out row
+	BatchSize     int   // fan-out batch size
+	IngestWorkers int   // concurrent producers on the ingest rows
+	OutDir        string
+}
+
+// benchStream measures REST vs stream ingest on one node, then sweeps
+// stream fan-out across node counts.
+func benchStream(opt BenchStreamOptions) experiments.Result {
+	if len(opt.Nodes) == 0 {
+		opt.Nodes = []int{1, 2, 4}
+	}
+	if opt.HotUsers <= 0 {
+		opt.HotUsers = 400
+	}
+	if opt.Ops <= 0 {
+		opt.Ops = 30_000
+	}
+	if opt.FanOutOps <= 0 {
+		opt.FanOutOps = 1500
+	}
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 32
+	}
+	if opt.IngestWorkers <= 0 {
+		opt.IngestWorkers = 64
+	}
+	ctx := context.Background()
+	workers := runtime.GOMAXPROCS(0)
+	hotFeed := "http://bench.test/hot"
+	proto := reef.Event{Attrs: map[string]string{
+		"type": "feed-item", "feed": hotFeed, "title": "t", "link": "http://bench.test/item",
+	}}
+
+	var results []BenchResult
+	values := map[string]float64{}
+
+	// Single node, both planes live: the same deployment, the same
+	// subscriber (one, so the rows measure transport, not delivery), the
+	// same producer concurrency — the only variable is the transport.
+	// One event per publish is the regime where the collapse lived: REST
+	// pays a full HTTP request per event, the stream pays one small
+	// frame that the writer and the server both coalesce.
+	node, cfg := startBenchNode("n0")
+	if _, err := node.dep.Subscribe(ctx, "hot-0000", hotFeed); err != nil {
+		panic(err)
+	}
+	restClient := reefclient.New(cfg.BaseURL)
+	rest := measure("rest_publish", opt.Ops, opt.IngestWorkers, func(int) {
+		if _, err := restClient.PublishEvent(ctx, proto); err != nil {
+			panic(err)
+		}
+	})
+	results = append(results, rest)
+
+	streamClient := reefstream.NewClient(cfg.StreamAddr, reefstream.WithExpectNode("n0"))
+	stream := measure("stream_publish", opt.Ops, opt.IngestWorkers, func(int) {
+		if _, err := streamClient.PublishEvent(ctx, proto); err != nil {
+			panic(err)
+		}
+	})
+	results = append(results, stream)
+	_ = streamClient.Close()
+	_ = restClient.Close()
+	node.stop()
+
+	values["rest_publish_ops_per_sec"] = rest.OpsPerSec
+	values["stream_publish_ops_per_sec"] = stream.OpsPerSec
+	speedup := 0.0
+	if rest.OpsPerSec > 0 {
+		speedup = stream.OpsPerSec / rest.OpsPerSec
+	}
+	values["stream_vs_rest_speedup"] = speedup
+
+	// Fan-out sweep: the router publishes over one long-lived stream per
+	// node, frames encoded once and shared.
+	for _, count := range opt.Nodes {
+		nodes := make([]*benchNode, count)
+		cfgNodes := make([]reefcluster.Node, count)
+		for i := range nodes {
+			nodes[i], cfgNodes[i] = startBenchNode(fmt.Sprintf("n%d", i))
+		}
+		cl, err := reefcluster.New(reefcluster.Config{
+			Nodes:         cfgNodes,
+			ProbeInterval: 500 * time.Millisecond,
+			CallTimeout:   30 * time.Second,
+		})
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < opt.HotUsers; i++ {
+			if _, err := cl.Subscribe(ctx, fmt.Sprintf("hot-%04d", i), hotFeed); err != nil {
+				panic(err)
+			}
+		}
+		fanout := measureEach(fmt.Sprintf("stream_fanout_nodes%d", count), opt.FanOutOps, workers, func() func(int) {
+			local := make([]reef.Event, opt.BatchSize)
+			return func(int) {
+				for i := range local {
+					local[i] = proto
+				}
+				if _, err := cl.PublishBatch(ctx, local); err != nil {
+					panic(err)
+				}
+			}
+		})
+		results = append(results, perEvent(fanout, opt.BatchSize))
+		values[fmt.Sprintf("stream_fanout_nodes%d_ops_per_sec", count)] = perEvent(fanout, opt.BatchSize).OpsPerSec
+
+		if err := cl.Close(); err != nil {
+			panic(err)
+		}
+		for _, n := range nodes {
+			n.stop()
+		}
+	}
+
+	if err := writeBenchFile(opt.OutDir, "stream", results); err != nil {
+		fmt.Fprintf(os.Stderr, "reef-bench: writing BENCH_stream.json: %v\n", err)
+	}
+	res := benchTable("BENCH — Binary stream ingest vs REST (single node + cluster fan-out)", results)
+	res.Values = values
+	res.Table.AddNote("ingest rows: %d producers, one event per publish — rest = one HTTP request per event, stream = one pipelined frame; fan-out rows: %d subscribers, batch %d, %d worker(s)",
+		opt.IngestWorkers, opt.HotUsers, opt.BatchSize, workers)
+	res.Table.AddNote("stream vs REST single-node ingest: %.2fx", speedup)
+	first, last := opt.Nodes[0], opt.Nodes[len(opt.Nodes)-1]
+	if base := values[fmt.Sprintf("stream_fanout_nodes%d_ops_per_sec", first)]; base > 0 {
+		top := values[fmt.Sprintf("stream_fanout_nodes%d_ops_per_sec", last)]
+		res.Values["stream_fanout_scaling"] = top / base
+		res.Table.AddNote("stream fan-out per-event throughput, %d vs %d nodes: %.2fx — frames are encoded once and written per node, so adding nodes adds writes, not encodes",
+			last, first, top/base)
+	}
+	return res
+}

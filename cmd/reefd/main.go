@@ -36,6 +36,28 @@
 //
 //	reefd -addr :7000 -cluster-nodes n1=http://10.0.0.1:7070,n2=http://10.0.0.2:7070
 //
+// # Streaming data plane
+//
+// REST is the control plane; the publish hot path can ride a
+// persistent, length-prefixed binary stream instead (package
+// reefstream). -stream-addr (node mode) opens the stream listener next
+// to the REST surface and advertises it in /v1/healthz:
+//
+//	reefd -addr :7070 -node-id n1 -stream-addr :7071
+//
+// -cluster-streams (router mode) maps node IDs to their stream
+// addresses; listed nodes receive fan-out publishes over one long-lived
+// stream each, with frames encoded once and shared across nodes. A node
+// whose stream fails falls back to REST for that call without being
+// demoted:
+//
+//	reefd -addr :7000 -cluster-nodes n1=http://10.0.0.1:7070,n2=http://10.0.0.2:7070 \
+//	      -cluster-streams n1=10.0.0.1:7071,n2=10.0.0.2:7071
+//
+// On shutdown the stream drains readyz-first: the listener stops
+// accepting frames, every fully-read frame is applied and acked whole,
+// and only then does the deployment close — no event is half-applied.
+//
 // # Replication
 //
 // With -replicas k (node mode), every user's WAL records ship
@@ -100,6 +122,7 @@ import (
 	"reef/internal/websim"
 	"reef/reefcluster"
 	"reef/reefhttp"
+	"reef/reefstream"
 )
 
 func main() {
@@ -115,7 +138,9 @@ func main() {
 	ackTimeout := flag.Duration("delivery-ack-timeout", 0, "default lease before an unacked reliable delivery is retried (0 = library default 30s)")
 	maxAttempts := flag.Int("delivery-max-attempts", 0, "default delivery attempts before an event dead-letters (0 = library default 5)")
 	nodeID := flag.String("node-id", "", "this node's cluster identity, stamped into /v1/healthz and /v1/readyz")
+	streamAddr := flag.String("stream-addr", "", "listen address for the binary publish stream (reefstream); empty disables the data plane")
 	clusterNodes := flag.String("cluster-nodes", "", "run as a cluster router over these nodes (comma-separated id=url pairs) instead of a local deployment")
+	clusterStreams := flag.String("cluster-streams", "", "stream addresses for -cluster-nodes entries (comma-separated id=host:port pairs); listed nodes receive publishes over the binary stream instead of REST")
 	replicas := flag.Int("replicas", 0, "replicas per user: node mode ships the WAL to each user's k replica nodes (needs -data-dir, -node-id and -peers); router mode fails user calls over to the first up replica")
 	peers := flag.String("peers", "", "the cluster seed list this node replicates over (comma-separated id=url pairs, same order on every node; must include -node-id)")
 	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "how long /v1/readyz advertises draining before the listener closes")
@@ -123,9 +148,9 @@ func main() {
 
 	var err error
 	if *clusterNodes != "" {
-		err = runRouter(*addr, *clusterNodes, *nodeID, *drainGrace, *dataDir, *shards, *replicas, *peers)
+		err = runRouter(*addr, *clusterNodes, *clusterStreams, *nodeID, *streamAddr, *drainGrace, *dataDir, *shards, *replicas, *peers)
 	} else {
-		err = run(*addr, *seed, *scale, *pipelineEvery, *pollEvery, *dataDir, *syncMode, *snapshotEvery, *shards, *nodeID, *drainGrace, *ackTimeout, *maxAttempts, *replicas, *peers)
+		err = run(*addr, *seed, *scale, *pipelineEvery, *pollEvery, *dataDir, *syncMode, *snapshotEvery, *shards, *nodeID, *streamAddr, *clusterStreams, *drainGrace, *ackTimeout, *maxAttempts, *replicas, *peers)
 	}
 	if err != nil {
 		log.Print(err)
@@ -177,6 +202,41 @@ func parseClusterNodes(flagName, spec string) ([]reefcluster.Node, error) {
 		return nil, fmt.Errorf("reefd: %s has no entries", flagName)
 	}
 	return nodes, nil
+}
+
+// applyClusterStreams parses -cluster-streams ("id=host:port,...") and
+// attaches each stream address to its -cluster-nodes entry. An id with
+// no matching node is an error: a typo here would silently leave a node
+// on the slow REST path, which is exactly the regression this flag
+// exists to prevent.
+func applyClusterStreams(nodes []reefcluster.Node, spec string) error {
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return fmt.Errorf("reefd: bad -cluster-streams entry %q (want id=host:port)", part)
+		}
+		if seen[id] {
+			return fmt.Errorf("reefd: duplicate node id %q in -cluster-streams", id)
+		}
+		seen[id] = true
+		found := false
+		for i := range nodes {
+			if nodes[i].ID == id {
+				nodes[i].StreamAddr = addr
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("reefd: -cluster-streams id %q has no -cluster-nodes entry", id)
+		}
+	}
+	return nil
 }
 
 // parsePeers parses -peers into the replication manager's node list,
@@ -256,7 +316,10 @@ func serveUntilSignal(srv *http.Server, serveErr <-chan error, ready *reefhttp.R
 	return nil
 }
 
-func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.Duration, dataDir, syncMode string, snapshotEvery, shards int, nodeID string, drainGrace time.Duration, ackTimeout time.Duration, maxAttempts int, replicas int, peersSpec string) error {
+func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.Duration, dataDir, syncMode string, snapshotEvery, shards int, nodeID, streamAddr, clusterStreams string, drainGrace time.Duration, ackTimeout time.Duration, maxAttempts int, replicas int, peersSpec string) error {
+	if clusterStreams != "" {
+		return errors.New("reefd: -cluster-streams is a router flag; a node's own stream listener is -stream-addr")
+	}
 	// Replication flags fail fast, before anything binds: shipping the
 	// WAL needs a WAL, an identity, and a seed list to place users over.
 	var replNodes []replication.Node
@@ -376,6 +439,23 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 		handlerOpts = append(handlerOpts, reefhttp.WithReplication(mgr))
 		log.Printf("replication: shipping to %d peer(s), %d replica(s) per user", len(replNodes)-1, replicas)
 	}
+	// The stream listener starts AFTER recovery (frames must land in a
+	// live deployment) and before readyz flips: a router that sees ready
+	// may open its stream immediately.
+	var streamSrv *reefstream.Server
+	if streamAddr != "" {
+		streamSrv, err = reefstream.Listen(streamAddr, dep, reefstream.WithNode(nodeID))
+		if err != nil {
+			_ = srv.Close()
+			if mgr != nil {
+				mgr.Close()
+			}
+			_ = dep.Close()
+			return fmt.Errorf("reefd: %w", err)
+		}
+		handlerOpts = append(handlerOpts, reefhttp.WithStreamAddr(streamSrv.Addr().String()))
+		log.Printf("stream ingest listening on %s", streamSrv.Addr())
+	}
 	api.set(reefhttp.NewHandler(dep, log.Default(), handlerOpts...))
 	ready.SetReady()
 
@@ -414,6 +494,17 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 	shutdown := func() error {
 		var err error
 		closeOnce.Do(func() {
+			if streamSrv != nil {
+				// Drain the stream plane FIRST, while the deployment is
+				// still open: stop accepting frames, apply and ack every
+				// frame already read, then close the connections — no
+				// event is left half-applied.
+				drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				if serr := streamSrv.Shutdown(drainCtx); serr != nil {
+					log.Printf("reefd: stream drain: %v", serr)
+				}
+				cancel()
+			}
 			stopPipeline()
 			if mgr != nil {
 				// Stop shipping before the journal closes under the
@@ -433,7 +524,7 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 // calls forward to their owning node, publishes fan out to every live
 // node. The router holds no state of its own, so there is nothing to
 // recover — it is ready as soon as the first probe round finishes.
-func runRouter(addr, spec, nodeID string, drainGrace time.Duration, dataDir string, shards, replicas int, peersSpec string) error {
+func runRouter(addr, spec, streamSpec, nodeID, streamAddr string, drainGrace time.Duration, dataDir string, shards, replicas int, peersSpec string) error {
 	if dataDir != "" {
 		return errors.New("reefd: -data-dir is a node flag; a cluster router holds no state (drop it or drop -cluster-nodes)")
 	}
@@ -443,9 +534,17 @@ func runRouter(addr, spec, nodeID string, drainGrace time.Duration, dataDir stri
 	if peersSpec != "" {
 		return errors.New("reefd: -peers is a node flag; the router's node list is -cluster-nodes")
 	}
+	if streamAddr != "" {
+		return errors.New("reefd: -stream-addr is a node flag; the router's stream map is -cluster-streams")
+	}
 	nodes, err := parseClusterNodes("-cluster-nodes", spec)
 	if err != nil {
 		return err
+	}
+	if streamSpec != "" {
+		if err := applyClusterStreams(nodes, streamSpec); err != nil {
+			return err
+		}
 	}
 	// The router's k must match the nodes' -replicas: it decides which
 	// nodes a user's calls may fail over to.

@@ -22,6 +22,12 @@
 // parallel; the Persister interface exposes the storage surface. The
 // reefhttp subpackage serves any Deployment over a versioned REST
 // surface, and reefclient is the Go SDK for it (itself a Deployment).
+// REST is the control plane; the one high-volume verb, publish, has a
+// dedicated binary data plane in reefstream — a persistent-connection,
+// length-prefixed streaming protocol (framed by the internal/durable
+// codec, pipelined by callers, batch-coalesced by the server) that a
+// reefclient can adopt via WithTransport and reefd serves next to the
+// REST listener (-stream-addr).
 // The reefcluster subpackage scales out: a Cluster is a Deployment
 // routing over N reefd nodes — users placed by a stable hash,
 // publishes fanned out to every live node, membership tracked by a

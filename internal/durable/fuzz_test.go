@@ -59,6 +59,23 @@ func FuzzWALDecode(f *testing.F) {
 	cursorsDirty := append([]byte(nil), cursors...)
 	cursorsDirty[len(cursorsDirty)-3] ^= 0x20
 	f.Add(cursorsDirty)
+	// The stream frame family: a hello, a publish frame, and an ack —
+	// the ingest wire protocol shares this codec, so the fuzzer covers
+	// both the WAL and the wire. Clean, torn mid-frame, and corrupted.
+	var stream []byte
+	stream = Record{Op: OpStreamHello, Payload: []byte(`{"node":"n1","proto":1}`)}.AppendEncoded(stream)
+	pub := binary.LittleEndian.AppendUint64(nil, 7) // seq
+	pub = append(pub, 1, 3, 's', 'r', 'c')          // 1 event, source "src"
+	stream = Record{Op: OpStreamPublish, Payload: pub}.AppendEncoded(stream)
+	ack := binary.LittleEndian.AppendUint64(nil, 7)
+	ack = binary.LittleEndian.AppendUint64(ack, 2)
+	ack = append(ack, 0, 0) // status ok, empty message
+	stream = Record{Op: OpStreamAck, Payload: ack}.AppendEncoded(stream)
+	f.Add(stream)
+	f.Add(stream[:len(stream)-5])
+	streamDirty := append([]byte(nil), stream...)
+	streamDirty[9] ^= 0x01 // flip the version byte of the first frame
+	f.Add(streamDirty)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, err := Replay(data)
@@ -82,18 +99,26 @@ func FuzzWALDecode(f *testing.F) {
 		if len(re) > len(data) || string(re) != string(data[:len(re)]) {
 			t.Fatalf("re-encoded prefix diverges after %d records", len(recs))
 		}
-		// Decoding one record at a time must agree with Replay.
+		// Decoding one record at a time must agree with Replay, and the
+		// zero-copy frame decode must agree with the copying one.
 		rest := data
 		for i := 0; ; i++ {
 			rec, n, derr := DecodeRecord(rest)
+			frame, fn, ferr := DecodeFrame(rest)
+			if (derr == nil) != (ferr == nil) || n != fn {
+				t.Fatalf("DecodeRecord/DecodeFrame disagree at %d: (%v,%d) vs (%v,%d)", i, derr, n, ferr, fn)
+			}
 			if derr != nil {
 				if i != len(recs) {
 					t.Fatalf("DecodeRecord stopped at %d, Replay at %d", i, len(recs))
 				}
 				break
 			}
-			if rec.Op != recs[i].Op {
+			if rec.Op != recs[i].Op || frame.Op != rec.Op {
 				t.Fatalf("record %d op mismatch", i)
+			}
+			if string(frame.Payload) != string(rec.Payload) {
+				t.Fatalf("record %d payload mismatch between frame and record decode", i)
 			}
 			rest = rest[n:]
 		}

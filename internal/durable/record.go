@@ -74,8 +74,23 @@ const (
 	// delivery tier.
 	OpCursorAck Op = 7
 
+	// The stream family: the binary publish data plane (reefstream)
+	// frames its wire protocol with this codec, so the on-disk WAL
+	// format and the ingest wire format stay one implementation. These
+	// ops never appear in a WAL file — they exist only on the wire.
+
+	// OpStreamHello opens a stream session (JSON payload, both
+	// directions of the handshake).
+	OpStreamHello Op = 8
+	// OpStreamPublish carries a pipelined publish batch (binary payload:
+	// sequence number + encoded events).
+	OpStreamPublish Op = 9
+	// OpStreamAck answers one publish frame (binary payload: sequence
+	// number, delivered count, status).
+	OpStreamAck Op = 10
+
 	// opMax is one past the last defined op.
-	opMax = 8
+	opMax = 11
 )
 
 // String names the op.
@@ -95,6 +110,12 @@ func (o Op) String() string {
 		return "pending-take"
 	case OpCursorAck:
 		return "cursor-ack"
+	case OpStreamHello:
+		return "stream-hello"
+	case OpStreamPublish:
+		return "stream-publish"
+	case OpStreamAck:
+		return "stream-ack"
 	default:
 		return fmt.Sprintf("op(%d)", byte(o))
 	}
@@ -112,22 +133,37 @@ func (r Record) EncodedLen() int { return frameHeaderLen + minBodyLen + len(r.Pa
 // AppendEncoded appends the record's frame to dst and returns the
 // extended slice.
 func (r Record) AppendEncoded(dst []byte) []byte {
-	bodyLen := minBodyLen + len(r.Payload)
+	return AppendFrameParts(dst, r.Op, r.Payload, nil)
+}
+
+// AppendFrameParts encodes one frame whose payload is the concatenation
+// of a and b (either may be nil), without materializing the joined
+// payload — stream transports use it to frame a header and a shared
+// body as one record with zero intermediate allocation. The fixed
+// two-part shape (rather than a variadic) keeps the arguments off the
+// heap.
+func AppendFrameParts(dst []byte, op Op, a, b []byte) []byte {
+	bodyLen := minBodyLen + len(a) + len(b)
 	var hdr [frameHeaderLen + minBodyLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(bodyLen))
 	hdr[8] = recordVersion
-	hdr[9] = byte(r.Op)
+	hdr[9] = byte(op)
 	crc := crc32.Update(0, castagnoli, hdr[8:10])
-	crc = crc32.Update(crc, castagnoli, r.Payload)
+	crc = crc32.Update(crc, castagnoli, a)
+	crc = crc32.Update(crc, castagnoli, b)
 	binary.LittleEndian.PutUint32(hdr[4:8], crc)
 	dst = append(dst, hdr[:]...)
-	return append(dst, r.Payload...)
+	dst = append(dst, a...)
+	return append(dst, b...)
 }
 
-// DecodeRecord decodes one frame from the front of buf. It returns the
-// record, the number of bytes consumed, and a typed error. On error the
-// consumed count is 0; callers must not read past the failure point.
-func DecodeRecord(buf []byte) (Record, int, error) {
+// DecodeFrame decodes one frame from the front of buf without copying:
+// the returned record's payload aliases buf, so it is only valid until
+// the caller reuses the buffer. Stream transports use this to decode a
+// frame in place before the read buffer cycles; WAL replay uses
+// DecodeRecord, which copies. On error the consumed count is 0; callers
+// must not read past the failure point.
+func DecodeFrame(buf []byte) (Record, int, error) {
 	if len(buf) < frameHeaderLen {
 		return Record{}, 0, ErrTruncated
 	}
@@ -152,9 +188,31 @@ func DecodeRecord(buf []byte) (Record, int, error) {
 	if op == 0 || op >= opMax {
 		return Record{}, 0, fmt.Errorf("%w: %d", ErrUnknownOp, body[1])
 	}
-	payload := make([]byte, bodyLen-minBodyLen)
-	copy(payload, body[minBodyLen:])
-	return Record{Op: op, Payload: payload}, frameHeaderLen + int(bodyLen), nil
+	return Record{Op: op, Payload: body[minBodyLen:]}, frameHeaderLen + int(bodyLen), nil
+}
+
+// FrameHeaderLen is the fixed frame prefix (length + CRC), exported for
+// stream readers that peek the header before the body arrives.
+const FrameHeaderLen = frameHeaderLen
+
+// FrameBodyLen reads a frame header's body length without validating
+// it; callers bound it against MaxRecordLen like DecodeFrame does.
+func FrameBodyLen(hdr []byte) int {
+	return int(binary.LittleEndian.Uint32(hdr[0:4]))
+}
+
+// DecodeRecord decodes one frame from the front of buf. It returns the
+// record (with the payload copied out of buf), the number of bytes
+// consumed, and a typed error.
+func DecodeRecord(buf []byte) (Record, int, error) {
+	rec, n, err := DecodeFrame(buf)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	payload := make([]byte, len(rec.Payload))
+	copy(payload, rec.Payload)
+	rec.Payload = payload
+	return rec, n, nil
 }
 
 // Replay decodes records from the front of data until it is exhausted or

@@ -465,6 +465,15 @@ func (b *Broker) Publish(ctx context.Context, ev Event) (int, error) {
 // context abandons the remaining deliveries and returns the count so far
 // with ctx.Err(), exactly like Publish.
 func (b *Broker) PublishBatch(ctx context.Context, evs []Event) (int, error) {
+	return b.PublishBatchCounts(ctx, evs, nil)
+}
+
+// PublishBatchCounts is PublishBatch with per-event delivery attribution:
+// when counts is non-nil it must have len(evs) entries, and counts[i] is
+// incremented once per successful delivery of evs[i]. Stream servers use
+// this to ack each pipelined frame with its exact delivered count even
+// after coalescing frames into one batch publish.
+func (b *Broker) PublishBatchCounts(ctx context.Context, evs []Event, counts []int) (int, error) {
 	if len(evs) == 0 {
 		return 0, nil
 	}
@@ -508,6 +517,9 @@ func (b *Broker) PublishBatch(ctx context.Context, evs []Event) (int, error) {
 		for _, s := range ps.targets[ps.off[i]:ps.off[i+1]] {
 			if s.deliver(ctx, evs[i]) {
 				delivered++
+				if counts != nil {
+					counts[i]++
+				}
 				b.delivered.Inc()
 			} else {
 				b.dropped.Inc()

@@ -270,3 +270,16 @@ type Deployment interface {
 	// ErrClosed.
 	Close() error
 }
+
+// BatchCountPublisher is an optional Deployment extension: a batch
+// publish that also reports per-event delivery counts. Stream servers
+// coalesce pipelined publish frames into one batch call and need to ack
+// each frame with its own delivered count; deployments that can
+// attribute deliveries per event implement this, and callers fall back
+// to per-frame PublishBatch when the deployment cannot.
+type BatchCountPublisher interface {
+	// PublishBatchCounts behaves like PublishBatch; counts must be nil
+	// or have len(evs) entries, and counts[i] is incremented once per
+	// delivery of evs[i].
+	PublishBatchCounts(ctx context.Context, evs []Event, counts []int) (int, error)
+}

@@ -59,12 +59,30 @@ func (e *APIError) Unwrap() error {
 	}
 }
 
+// Transport is a publish data plane the client can carry events over
+// instead of REST. The REST surface stays the control plane for every
+// other verb; a Transport moves only the hot, high-volume publish path
+// (reefstream.Client satisfies this). Close releases the transport's
+// connection; the Client's own Close calls it.
+type Transport interface {
+	PublishEvent(ctx context.Context, ev reef.Event) (int, error)
+	PublishBatch(ctx context.Context, evs []reef.Event) (int, error)
+	Close() error
+}
+
 // Option configures a Client.
 type Option func(*Client)
 
 // WithHTTPClient replaces the underlying *http.Client.
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithTransport routes PublishEvent/PublishBatch over a streaming data
+// plane while every other call stays on REST. The client owns the
+// transport: Close closes it.
+func WithTransport(t Transport) Option {
+	return func(c *Client) { c.transport = t }
 }
 
 // WithTimeout bounds each request attempt with its own deadline (on top
@@ -101,11 +119,12 @@ func WithRetry(retries int, backoff time.Duration) Option {
 
 // Client speaks the /v1 REST surface. Safe for concurrent use.
 type Client struct {
-	base    string
-	hc      *http.Client
-	timeout time.Duration
-	retries int
-	backoff time.Duration
+	base      string
+	hc        *http.Client
+	transport Transport
+	timeout   time.Duration
+	retries   int
+	backoff   time.Duration
 }
 
 var (
@@ -114,11 +133,27 @@ var (
 	_ reef.ReliableDeliverer = (*Client)(nil)
 )
 
+// defaultHTTPClient replaces http.DefaultClient as the client's
+// default. http.DefaultTransport caps idle connections at 2 per host
+// (MaxIdleConnsPerHost), so any concurrency beyond 2 against one server
+// — a cluster fan-out, a parallel publisher — closes and redials TCP
+// connections on nearly every call. This pool keeps enough idle
+// connections around that steady traffic reuses them.
+var defaultHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+		ForceAttemptHTTP2:   true,
+	},
+}
+
 // New builds a client for a server root, e.g. "http://127.0.0.1:7070".
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
 		base: strings.TrimRight(baseURL, "/"),
-		hc:   http.DefaultClient,
+		hc:   defaultHTTPClient,
 	}
 	for _, o := range opts {
 		o(c)
@@ -257,8 +292,12 @@ func (c *Client) IngestClicks(ctx context.Context, clicks []reef.Click) (int, er
 	return out.Accepted, nil
 }
 
-// PublishEvent implements reef.Deployment over POST /v1/events.
+// PublishEvent implements reef.Deployment over POST /v1/events, or over
+// the streaming data plane when WithTransport is set.
 func (c *Client) PublishEvent(ctx context.Context, ev reef.Event) (int, error) {
+	if c.transport != nil {
+		return c.transport.PublishEvent(ctx, ev)
+	}
 	var out reefhttp.EventResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/events", ev, &out); err != nil {
 		return 0, err
@@ -267,8 +306,12 @@ func (c *Client) PublishEvent(ctx context.Context, ev reef.Event) (int, error) {
 }
 
 // PublishBatch implements reef.Deployment over POST /v1/events:batch,
-// amortizing one HTTP round trip over the whole batch.
+// amortizing one HTTP round trip over the whole batch — or over the
+// streaming data plane when WithTransport is set.
 func (c *Client) PublishBatch(ctx context.Context, evs []reef.Event) (int, error) {
+	if c.transport != nil {
+		return c.transport.PublishBatch(ctx, evs)
+	}
 	var out reefhttp.EventResponse
 	err := c.do(ctx, http.MethodPost, "/v1/events:batch", reefhttp.EventsBatchRequest{Events: evs}, &out)
 	if err != nil {
@@ -491,5 +534,11 @@ func (c *Client) ReplicationStatus(ctx context.Context) (replication.Status, err
 }
 
 // Close implements reef.Deployment; the client holds no server-side
-// resources.
-func (c *Client) Close() error { return nil }
+// resources, but a WithTransport data plane owns a connection, which is
+// closed here.
+func (c *Client) Close() error {
+	if c.transport != nil {
+		return c.transport.Close()
+	}
+	return nil
+}

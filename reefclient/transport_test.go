@@ -1,0 +1,123 @@
+package reefclient
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"reef"
+	"reef/reefstream"
+)
+
+// The stream client is the intended data plane; pin that it satisfies
+// the Transport surface structurally (reefstream does not import this
+// package).
+var _ Transport = (*reefstream.Client)(nil)
+
+// TestDefaultClientReusesConnections is the regression test for the
+// connection-churn bug: the old default (http.DefaultClient, whose
+// transport keeps only 2 idle connections per host) redialed TCP on
+// nearly every call once concurrency passed 2. The tuned default pool
+// must serve a concurrent publish load over a bounded set of
+// connections instead of one per request.
+func TestDefaultClientReusesConnections(t *testing.T) {
+	var conns atomic.Int64
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"delivered":0}`))
+	}))
+	ts.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+
+	c := New(ts.URL)
+	ctx := context.Background()
+	const workers, perWorker = 8, 30
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := c.PublishEvent(ctx, reef.Event{Attrs: map[string]string{"k": "v"}}); err != nil {
+					t.Errorf("PublishEvent: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Every worker may own a connection, plus slack for races during
+	// ramp-up. With the 2-per-host default this load opens one
+	// connection per request (240), so the bound below has a wide
+	// margin on both sides.
+	if got := conns.Load(); got > workers*2 {
+		t.Errorf("server saw %d TCP connections for %d requests; the pool is churning", got, workers*perWorker)
+	}
+}
+
+// recordingTransport counts what the client routes to the data plane.
+type recordingTransport struct {
+	events  int
+	batches int
+	closed  bool
+}
+
+func (r *recordingTransport) PublishEvent(ctx context.Context, ev reef.Event) (int, error) {
+	r.events++
+	return 1, nil
+}
+
+func (r *recordingTransport) PublishBatch(ctx context.Context, evs []reef.Event) (int, error) {
+	r.batches += len(evs)
+	return len(evs), nil
+}
+
+func (r *recordingTransport) Close() error {
+	r.closed = true
+	return nil
+}
+
+// TestWithTransportRoutesPublishes pins the control/data-plane split:
+// publishes ride the transport, everything else still hits REST, and
+// Close tears the transport down.
+func TestWithTransportRoutesPublishes(t *testing.T) {
+	var restCalls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		restCalls.Add(1)
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	tr := &recordingTransport{}
+	c := New(ts.URL, WithTransport(tr))
+	ctx := context.Background()
+	if n, err := c.PublishEvent(ctx, reef.Event{Attrs: map[string]string{"k": "v"}}); err != nil || n != 1 {
+		t.Fatalf("PublishEvent = (%d, %v)", n, err)
+	}
+	if n, err := c.PublishBatch(ctx, make([]reef.Event, 3)); err != nil || n != 3 {
+		t.Fatalf("PublishBatch = (%d, %v)", n, err)
+	}
+	if tr.events != 1 || tr.batches != 3 {
+		t.Errorf("transport saw (%d events, %d batch events), want (1, 3)", tr.events, tr.batches)
+	}
+	if restCalls.Load() != 0 {
+		t.Errorf("publishes leaked onto REST: %d calls", restCalls.Load())
+	}
+	if _, err := c.Ready(ctx); err != nil {
+		t.Fatalf("Ready over REST: %v", err)
+	}
+	if restCalls.Load() == 0 {
+		t.Error("control-plane call did not reach REST")
+	}
+	if err := c.Close(); err != nil || !tr.closed {
+		t.Errorf("Close = %v, transport closed = %v", err, tr.closed)
+	}
+}

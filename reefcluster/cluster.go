@@ -10,7 +10,11 @@
 //     through the reef client SDK.
 //   - PublishEvent/PublishBatch stamp the events once and fan out to
 //     every routable node concurrently, mirroring the in-process
-//     fan-out; the result sums the nodes' local delivery counts.
+//     fan-out; the result sums the nodes' local delivery counts. Nodes
+//     configured with a StreamAddr receive publishes over a persistent
+//     binary stream (reefstream) — the batch is encoded once and the
+//     same payload ships to every node — while REST remains the
+//     control plane and the publish fallback.
 //   - Stats and StorageInfo aggregate across nodes with per-node
 //     breakdowns.
 //
@@ -46,6 +50,7 @@ import (
 	"reef/internal/routing"
 	"reef/reefclient"
 	"reef/reefhttp"
+	"reef/reefstream"
 )
 
 // ErrNodeDown is the typed failover error: the node owning the
@@ -93,6 +98,13 @@ func (e *NodeDownError) Unwrap() error { return e.Err }
 type Node struct {
 	ID      string
 	BaseURL string
+
+	// StreamAddr is the node's binary ingest listener (reefd
+	// -stream-addr), host:port. When set, the router publishes to this
+	// node over one long-lived reefstream connection instead of REST;
+	// empty keeps that node's publishes on REST. Control-plane calls
+	// always use BaseURL either way.
+	StreamAddr string
 }
 
 // Config describes the cluster. Nodes is the placement contract: a
@@ -137,13 +149,15 @@ type Cluster struct {
 	nodes    []Node
 	replicas int
 	clients  []*reefclient.Client // forwarding clients, with retry
+	streams  []*reefstream.Client // publish data planes; nil where the node has no StreamAddr
 	tracker  *membership.Tracker
 
 	mu     sync.Mutex
 	closed bool
 
-	forwardErrors atomic.Int64 // transport failures on forwarded calls
-	publishSkips  atomic.Int64 // node publishes skipped or lost to node failures
+	forwardErrors  atomic.Int64 // transport failures on forwarded calls
+	publishSkips   atomic.Int64 // node publishes skipped or lost to node failures
+	publishPartial atomic.Int64 // publishes that landed on fewer than all configured nodes
 }
 
 var (
@@ -177,6 +191,12 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("%w: nodes %q and %q share base URL %q", reef.ErrInvalidArgument, prev, n.ID, n.BaseURL)
 		}
 		seenURL[n.BaseURL] = n.ID
+		if n.StreamAddr != "" {
+			if prev, dup := seenURL["stream:"+n.StreamAddr]; dup {
+				return nil, fmt.Errorf("%w: nodes %q and %q share stream address %q", reef.ErrInvalidArgument, prev, n.ID, n.StreamAddr)
+			}
+			seenURL["stream:"+n.StreamAddr] = n.ID
+		}
 	}
 	if cfg.Replicas < 0 || cfg.Replicas >= len(cfg.Nodes) {
 		return nil, fmt.Errorf("%w: replicas %d out of range for %d nodes (need 0 <= k < nodes)",
@@ -210,9 +230,18 @@ func New(cfg Config) (*Cluster, error) {
 		return append(opts, extra...)
 	}
 	c.clients = make([]*reefclient.Client, len(cfg.Nodes))
+	c.streams = make([]*reefstream.Client, len(cfg.Nodes))
 	probeClients := make([]*reefclient.Client, len(cfg.Nodes))
 	mnodes := make([]membership.Node, len(cfg.Nodes))
 	for i, n := range cfg.Nodes {
+		if n.StreamAddr != "" {
+			// The stream client verifies the node's handshake identity,
+			// the same guard the prober applies to /healthz — a reused
+			// port cannot siphon another node's publishes.
+			c.streams[i] = reefstream.NewClient(n.StreamAddr,
+				reefstream.WithExpectNode(n.ID),
+				reefstream.WithCallTimeout(cfg.CallTimeout))
+		}
 		if cfg.Retries > 0 {
 			c.clients[i] = reefclient.New(n.BaseURL, clientOpts(reefclient.WithRetry(cfg.Retries, cfg.RetryBackoff))...)
 		} else {
@@ -360,6 +389,14 @@ func (c *Cluster) owner(user string) (int, error) {
 // (reef.ErrUnsupported: every retry and every node answers the same),
 // and every 4xx is the request's own fault.
 func nodeFault(err error) bool {
+	var se *reefstream.StatusError
+	if errors.As(err, &se) {
+		// A stream ack is the node's own verdict: invalid_argument is
+		// the request's fault (deterministic on every node), everything
+		// else — unavailable (draining/closed), internal — indicts the
+		// node, mirroring the 5xx rule below.
+		return se.Status != reefstream.StatusInvalidArgument
+	}
 	var apiErr *reefclient.APIError
 	if !errors.As(err, &apiErr) {
 		return true
@@ -578,14 +615,12 @@ func (c *Cluster) PublishEvent(ctx context.Context, ev reef.Event) (int, error) 
 	if ev.Published.IsZero() {
 		ev.Published = time.Now().UTC()
 	}
-	return c.fanOut(ctx, func(i int) (int, error) {
-		return c.clients[i].PublishEvent(ctx, ev)
-	})
+	return c.fanOutPublish(ctx, []reef.Event{ev})
 }
 
 // PublishBatch implements reef.Deployment: the batch is stamped once
-// and fanned out whole to every Up node (one HTTP round trip per node
-// for the entire batch).
+// and fanned out whole to every Up node (one round trip per node for
+// the entire batch, on the stream plane where the node has one).
 func (c *Cluster) PublishBatch(ctx context.Context, evs []reef.Event) (int, error) {
 	if err := c.checkOpen(ctx); err != nil {
 		return 0, err
@@ -601,9 +636,68 @@ func (c *Cluster) PublishBatch(ctx context.Context, evs []reef.Event) (int, erro
 			stamped[i].Published = now
 		}
 	}
+	return c.fanOutPublish(ctx, stamped)
+}
+
+// fanOutPublish ships stamped events to every Up node. Nodes with a
+// stream plane get binary publish frames whose payload is encoded ONCE
+// here and shared across all of them — fan-out cost grows with node
+// count only by the per-node send, not by re-encoding (the same
+// encode-once lesson the replication sender applies). Nodes without a
+// stream address, and stream sends that fail at the transport (the
+// listener is down but the node is otherwise alive), use REST.
+func (c *Cluster) fanOutPublish(ctx context.Context, evs []reef.Event) (int, error) {
+	var payloads [][]byte
+	if c.hasStreams() {
+		for start := 0; start < len(evs); start += reefstream.MaxFrameEvents {
+			end := start + reefstream.MaxFrameEvents
+			if end > len(evs) {
+				end = len(evs)
+			}
+			payloads = append(payloads, reefstream.EncodeEvents(evs[start:end]))
+		}
+	}
 	return c.fanOut(ctx, func(i int) (int, error) {
-		return c.clients[i].PublishBatch(ctx, stamped)
+		if sc := c.streams[i]; sc != nil {
+			total, err, ok := streamPublish(ctx, sc, payloads)
+			if ok {
+				return total, err
+			}
+			// Stream transport failure: the listener may be down while
+			// the node itself is alive — give REST the call.
+		}
+		return c.clients[i].PublishBatch(ctx, evs)
 	})
+}
+
+// streamPublish ships the pre-encoded payloads over one node's stream.
+// ok=false means a transport-level failure where REST may still reach
+// the node; ok=true carries the stream's verdict (including a
+// StatusError — the node's answer about the events themselves, which
+// REST would repeat).
+func streamPublish(ctx context.Context, sc *reefstream.Client, payloads [][]byte) (total int, err error, ok bool) {
+	for _, p := range payloads {
+		n, perr := sc.PublishPayload(ctx, p)
+		total += n
+		if perr == nil {
+			continue
+		}
+		var se *reefstream.StatusError
+		if errors.As(perr, &se) {
+			return total, perr, true
+		}
+		return total, perr, false
+	}
+	return total, nil, true
+}
+
+func (c *Cluster) hasStreams() bool {
+	for _, sc := range c.streams {
+		if sc != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // fanOut runs a publish against every Up node concurrently and sums
@@ -611,6 +705,14 @@ func (c *Cluster) PublishBatch(ctx context.Context, evs []reef.Event) (int, erro
 // deterministic and identical on every node; transport errors demote
 // the node and are skipped. With zero routable nodes, or when every
 // routable node failed mid-call, the publish fails with ErrNodeDown.
+//
+// Skip accounting is explicit, because a skipped node is silent data
+// loss for that node's subscribers: every skipped or failed node bumps
+// cluster_publish_skips (one per node per publish), and a publish that
+// succeeds without reaching every configured node additionally bumps
+// cluster_publish_partial (one per publish). A caller that must not
+// lose audience on a down node watches those gauges; the call itself
+// stays successful on the survivors — that is the failover contract.
 func (c *Cluster) fanOut(ctx context.Context, fn func(i int) (int, error)) (int, error) {
 	var targets []int
 	for i, n := range c.nodes {
@@ -660,6 +762,9 @@ func (c *Cluster) fanOut(ctx context.Context, fn func(i int) (int, error)) (int,
 	}
 	if landed == 0 {
 		return 0, &NodeDownError{Node: "any", State: membership.Down.String()}
+	}
+	if landed < len(c.nodes) {
+		c.publishPartial.Add(1)
 	}
 	return total, nil
 }
@@ -727,6 +832,7 @@ func (c *Cluster) Stats(ctx context.Context) (reef.Stats, error) {
 	out["nodes_down"] = states["down"]
 	out["cluster_forward_errors"] = float64(c.forwardErrors.Load())
 	out["cluster_publish_skips"] = float64(c.publishSkips.Load())
+	out["cluster_publish_partial"] = float64(c.publishPartial.Load())
 	return out, nil
 }
 
@@ -832,5 +938,10 @@ func (c *Cluster) Close() error {
 	c.closed = true
 	c.mu.Unlock()
 	c.tracker.Close()
+	for _, sc := range c.streams {
+		if sc != nil {
+			sc.Close()
+		}
+	}
 	return nil
 }

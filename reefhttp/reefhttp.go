@@ -176,11 +176,15 @@ type (
 	// deployment's shape — how many engine shards serve it and which
 	// storage backend persists it ("memory" when nothing does). Node is
 	// the server's cluster identity (reefd -node-id), empty standalone.
+	// StreamAddr advertises the node's binary ingest listener (reefd
+	// -stream-addr) when one is running, so operators and tooling can
+	// discover the publish data plane from the control plane.
 	HealthResponse struct {
-		Status  string `json:"status"`
-		Shards  int    `json:"shards"`
-		Backend string `json:"backend"`
-		Node    string `json:"node,omitempty"`
+		Status     string `json:"status"`
+		Shards     int    `json:"shards"`
+		Backend    string `json:"backend"`
+		Node       string `json:"node,omitempty"`
+		StreamAddr string `json:"stream_addr,omitempty"`
 	}
 	// ReadyResponse is the GET /v1/readyz body, served with this shape
 	// at every status code. Status is "ready" (200), "starting" or
@@ -244,11 +248,12 @@ func ReadyzHandler(r *Readiness, nodeID string) http.Handler {
 
 // Handler serves the REST surface over any reef.Deployment.
 type Handler struct {
-	dep    reef.Deployment
-	log    *log.Logger
-	ready  *Readiness
-	nodeID string
-	repl   Replicator
+	dep        reef.Deployment
+	log        *log.Logger
+	ready      *Readiness
+	nodeID     string
+	streamAddr string
+	repl       Replicator
 }
 
 var _ http.Handler = (*Handler)(nil)
@@ -267,6 +272,12 @@ func WithReadiness(r *Readiness) HandlerOption {
 // process on a reused address.
 func WithNodeID(id string) HandlerOption {
 	return func(h *Handler) { h.nodeID = id }
+}
+
+// WithStreamAddr advertises the node's binary ingest listener address
+// in the healthz body.
+func WithStreamAddr(addr string) HandlerOption {
+	return func(h *Handler) { h.streamAddr = addr }
 }
 
 // NewHandler mounts the /v1 surface over the deployment. A nil logger
@@ -521,7 +532,7 @@ func (h *Handler) handleStats(rw http.ResponseWriter, req *http.Request) {
 // failing) deployment turns the probe into the matching error envelope,
 // so an orchestrator sees 503 once the deployment stops serving.
 func (h *Handler) handleHealthz(rw http.ResponseWriter, req *http.Request) {
-	out := HealthResponse{Status: "ok", Shards: 1, Backend: "memory", Node: h.nodeID}
+	out := HealthResponse{Status: "ok", Shards: 1, Backend: "memory", Node: h.nodeID, StreamAddr: h.streamAddr}
 	if s, ok := h.dep.(reef.Sharder); ok {
 		out.Shards = s.ShardCount()
 	}

@@ -515,4 +515,20 @@ func TestHealthz(t *testing.T) {
 			}
 		})
 	}
+
+	// WithStreamAddr advertises the binary ingest listener in healthz.
+	t.Run("stream addr advertised", func(t *testing.T) {
+		dep := open(t)
+		t.Cleanup(func() { _ = dep.Close() })
+		srv := httptest.NewServer(reefhttp.NewHandler(dep, nil, reefhttp.WithStreamAddr("127.0.0.1:7071")))
+		t.Cleanup(srv.Close)
+		_, _, raw := do(t, "GET", srv.URL+"/v1/healthz", "")
+		var h reefhttp.HealthResponse
+		if err := json.Unmarshal([]byte(raw), &h); err != nil {
+			t.Fatalf("decoding healthz body %q: %v", raw, err)
+		}
+		if h.StreamAddr != "127.0.0.1:7071" {
+			t.Errorf("stream_addr = %q, want advertised listener", h.StreamAddr)
+		}
+	})
 }

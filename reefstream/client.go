@@ -1,0 +1,509 @@
+package reefstream
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reef"
+	"reef/internal/durable"
+)
+
+// Client publishes events over one long-lived stream connection. It is
+// safe for concurrent use: callers pipeline publish frames onto the
+// shared connection without waiting for each other's acks, a writer
+// goroutine batches their frames into single flushes, and a reader
+// goroutine matches acks back to callers by sequence number. A dead
+// connection is redialed lazily (single-flight) on the next publish.
+type Client struct {
+	addr        string
+	expectNode  string
+	dialTimeout time.Duration
+	callTimeout time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	conn    *streamConn
+	dialing bool
+	closed  bool
+}
+
+// ClientOption configures a stream client.
+type ClientOption func(*Client)
+
+// WithExpectNode makes the client verify the node identity the server
+// reports in its handshake, refusing the connection on mismatch — the
+// stream-plane analogue of the cluster prober's /healthz identity check.
+func WithExpectNode(id string) ClientOption {
+	return func(c *Client) { c.expectNode = id }
+}
+
+// WithDialTimeout bounds connection establishment (default 5s).
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.dialTimeout = d }
+}
+
+// WithCallTimeout bounds one publish round trip when the caller's
+// context has no deadline of its own (default 10s).
+func WithCallTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.callTimeout = d }
+}
+
+// NewClient creates a stream client for addr. No connection is made
+// until the first publish.
+func NewClient(addr string, opts ...ClientOption) *Client {
+	c := &Client{
+		addr:        addr,
+		dialTimeout: 5 * time.Second,
+		callTimeout: 10 * time.Second,
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Addr reports the address the client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// payloadPool recycles publish payload encode buffers. Safe because
+// roundTrip copies the payload into its own frame buffer before
+// queueing it, so the payload is unreferenced once PublishPayload
+// returns.
+var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// PublishEvent publishes one event and returns its delivered count.
+func (c *Client) PublishEvent(ctx context.Context, ev reef.Event) (int, error) {
+	pp := payloadPool.Get().(*[]byte)
+	buf := binary.AppendUvarint((*pp)[:0], 1)
+	buf = AppendEvent(buf, ev)
+	delivered, err := c.PublishPayload(ctx, buf)
+	*pp = buf
+	payloadPool.Put(pp)
+	return delivered, err
+}
+
+// PublishBatch publishes a batch, splitting it into frames of at most
+// MaxFrameEvents. It returns the total delivered count; on error the
+// count covers the frames that were acked before the failure.
+func (c *Client) PublishBatch(ctx context.Context, evs []reef.Event) (int, error) {
+	pp := payloadPool.Get().(*[]byte)
+	defer payloadPool.Put(pp)
+	total := 0
+	for len(evs) > 0 {
+		n := len(evs)
+		if n > MaxFrameEvents {
+			n = MaxFrameEvents
+		}
+		buf := AppendEvents((*pp)[:0], evs[:n])
+		delivered, err := c.PublishPayload(ctx, buf)
+		*pp = buf
+		total += delivered
+		if err != nil {
+			return total, err
+		}
+		evs = evs[n:]
+	}
+	return total, nil
+}
+
+// errCallTimeout reports a stream that stopped acking for a full call
+// timeout; it unwraps to context.DeadlineExceeded like the per-call
+// deadline it replaces. The connection's watchdog raises it (see
+// streamConn.watchdog) so the ingest hot path pays no per-call timer.
+var errCallTimeout = fmt.Errorf("reefstream: publish round trip timed out: %w", context.DeadlineExceeded)
+
+// PublishPayload ships an EncodeEvents payload as one publish frame and
+// waits for its ack. The cluster router encodes a batch once and calls
+// this per node, so fan-out does not re-encode per destination. A
+// connection-level failure is retried once on a fresh connection;
+// server-side rejections (StatusError) and timeouts are not retried.
+func (c *Client) PublishPayload(ctx context.Context, payload []byte) (int, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		sc, err := c.getConn(ctx)
+		if err != nil {
+			return 0, err
+		}
+		delivered, err := sc.roundTrip(ctx, payload)
+		if err == nil {
+			return delivered, nil
+		}
+		var se *StatusError
+		if errors.As(err, &se) || ctx.Err() != nil || errors.Is(err, context.DeadlineExceeded) {
+			return delivered, err
+		}
+		// Connection-level failure: drop the conn so the next attempt
+		// (ours or a concurrent caller's) redials.
+		c.dropConn(sc)
+		lastErr = err
+	}
+	return 0, fmt.Errorf("reefstream: publish to %s: %w", c.addr, lastErr)
+}
+
+// Close closes the client and its connection. Further publishes return
+// reef.ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	sc := c.conn
+	c.conn = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if sc != nil {
+		sc.markDead(reef.ErrClosed)
+	}
+	return nil
+}
+
+// getConn returns the live connection, dialing one (single-flight) if
+// needed. Concurrent callers wait for the dialer rather than piling on.
+func (c *Client) getConn(ctx context.Context) (*streamConn, error) {
+	c.mu.Lock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return nil, reef.ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		if c.conn != nil && !c.conn.isDead() {
+			sc := c.conn
+			c.mu.Unlock()
+			return sc, nil
+		}
+		if !c.dialing {
+			c.dialing = true
+			c.mu.Unlock()
+			sc, err := c.dial()
+			c.mu.Lock()
+			c.dialing = false
+			if err == nil {
+				c.conn = sc
+			}
+			c.cond.Broadcast()
+			if err != nil {
+				c.mu.Unlock()
+				return nil, err
+			}
+			continue
+		}
+		c.cond.Wait()
+	}
+}
+
+// dropConn forgets sc if it is still the current connection, so the
+// next getConn redials. The conn itself is torn down by markDead.
+func (c *Client) dropConn(sc *streamConn) {
+	sc.markDead(errors.New("reefstream: connection dropped"))
+	c.mu.Lock()
+	if c.conn == sc {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) dial() (*streamConn, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("reefstream: dial %s: %w", c.addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	sc, err := newStreamConn(conn, c.expectNode, c.dialTimeout, c.callTimeout)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return sc, nil
+}
+
+// streamConn is one handshaken connection: a writer goroutine drains
+// queued frames and flushes them in batches, a reader goroutine
+// dispatches acks to per-sequence waiters. Death is sticky.
+type streamConn struct {
+	conn    net.Conn
+	writeCh chan *[]byte
+
+	wmu     sync.Mutex
+	nextSeq uint64
+	waiters map[uint64]chan ack
+
+	acks atomic.Uint64 // total acks received; the watchdog's progress signal
+
+	dead    chan struct{}
+	deadErr error
+	once    sync.Once
+}
+
+func newStreamConn(conn net.Conn, expectNode string, hsTimeout, callTimeout time.Duration) (*streamConn, error) {
+	conn.SetDeadline(time.Now().Add(hsTimeout))
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	helloBytes, err := json.Marshal(hello{Proto: ProtoVersion})
+	if err != nil {
+		return nil, err
+	}
+	frame := durable.Record{Op: durable.OpStreamHello, Payload: helloBytes}.AppendEncoded(nil)
+	if _, err := bw.Write(frame); err != nil {
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(conn, 256<<10)
+	var buf []byte
+	rec, err := readFrame(br, &buf)
+	if err != nil {
+		return nil, fmt.Errorf("reefstream: handshake: %w", err)
+	}
+	if rec.Op != durable.OpStreamHello {
+		return nil, fmt.Errorf("%w: expected hello, got %v", ErrBadFrame, rec.Op)
+	}
+	var h hello
+	if err := json.Unmarshal(rec.Payload, &h); err != nil {
+		return nil, fmt.Errorf("%w: hello: %v", ErrBadFrame, err)
+	}
+	if h.Proto != ProtoVersion {
+		return nil, fmt.Errorf("reefstream: server speaks protocol %d, want %d", h.Proto, ProtoVersion)
+	}
+	if expectNode != "" && h.Node != expectNode {
+		return nil, fmt.Errorf("reefstream: node identity mismatch: dialed %q, got %q", expectNode, h.Node)
+	}
+	conn.SetDeadline(time.Time{})
+
+	sc := &streamConn{
+		conn:    conn,
+		writeCh: make(chan *[]byte, 256),
+		waiters: make(map[uint64]chan ack),
+		dead:    make(chan struct{}),
+	}
+	go sc.writeLoop(bw)
+	go sc.readLoop(br)
+	go sc.watchdog(callTimeout / 2)
+	return sc, nil
+}
+
+// watchdog enforces the call timeout per connection instead of per
+// call: the stream is FIFO, so if any ack is outstanding across a full
+// interval in which zero acks arrived, the connection is stuck — kill
+// it, failing every waiter with the timeout error. This keeps a timer
+// and an extra select case off the publish hot path.
+func (sc *streamConn) watchdog(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var lastAcks uint64
+	stalled := false // a waiter was already pending at the previous tick
+	for {
+		select {
+		case <-sc.dead:
+			return
+		case <-t.C:
+			acks := sc.acks.Load()
+			sc.wmu.Lock()
+			pending := len(sc.waiters)
+			sc.wmu.Unlock()
+			if pending > 0 && stalled && acks == lastAcks {
+				sc.markDead(errCallTimeout)
+				return
+			}
+			stalled = pending > 0
+			lastAcks = acks
+		}
+	}
+}
+
+func (sc *streamConn) isDead() bool {
+	select {
+	case <-sc.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+// markDead tears the connection down exactly once: the error becomes
+// sticky, the socket closes (kicking both loops), and every waiter is
+// failed so no caller hangs on an ack that will never come. Waiters are
+// failed with a connDead ack rather than a close so their channels stay
+// poolable.
+func (sc *streamConn) markDead(err error) {
+	sc.once.Do(func() {
+		sc.deadErr = err
+		close(sc.dead)
+		sc.conn.Close()
+		sc.wmu.Lock()
+		waiters := sc.waiters
+		sc.waiters = nil
+		sc.wmu.Unlock()
+		for _, ch := range waiters {
+			// Guaranteed room: a channel still registered has no
+			// pending send (readLoop deletes before sending).
+			ch <- ack{connDead: true}
+		}
+	})
+}
+
+// framePool recycles publish frame buffers: roundTrip fills one, the
+// write loop hands it back once the bytes are on the wire.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// waiterPool recycles ack waiter channels. A channel is pooled only
+// after its owner received from it (buffer empty again); abandoned
+// waiters — context cancellation racing a late ack — are left to the
+// garbage collector.
+var waiterPool = sync.Pool{New: func() any { return make(chan ack, 1) }}
+
+// writeLoop drains queued frames, opportunistically batching every
+// frame already queued into one flush — concurrent publishers share
+// flushes instead of paying one syscall each.
+func (sc *streamConn) writeLoop(bw *bufio.Writer) {
+	for {
+		select {
+		case <-sc.dead:
+			return
+		case frame := <-sc.writeCh:
+			if !sc.writeFrame(bw, frame) {
+				return
+			}
+		batch:
+			for {
+				select {
+				case frame := <-sc.writeCh:
+					if !sc.writeFrame(bw, frame) {
+						return
+					}
+				default:
+					break batch
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				sc.markDead(err)
+				return
+			}
+		}
+	}
+}
+
+func (sc *streamConn) writeFrame(bw *bufio.Writer, frame *[]byte) bool {
+	_, err := bw.Write(*frame)
+	framePool.Put(frame)
+	if err != nil {
+		sc.markDead(err)
+		return false
+	}
+	return true
+}
+
+func (sc *streamConn) readLoop(br *bufio.Reader) {
+	var buf []byte
+	for {
+		rec, err := readFrame(br, &buf)
+		if err != nil {
+			sc.markDead(fmt.Errorf("reefstream: connection lost: %w", err))
+			return
+		}
+		if rec.Op != durable.OpStreamAck {
+			sc.markDead(fmt.Errorf("%w: unexpected op %v from server", ErrBadFrame, rec.Op))
+			return
+		}
+		a, err := decodeAck(rec.Payload)
+		if err != nil {
+			sc.markDead(err)
+			return
+		}
+		sc.acks.Add(1)
+		sc.wmu.Lock()
+		ch := sc.waiters[a.Seq]
+		delete(sc.waiters, a.Seq)
+		sc.wmu.Unlock()
+		if ch != nil {
+			ch <- a
+		}
+	}
+}
+
+// roundTrip queues one publish frame and waits for its ack. The
+// connection's watchdog bounds the wait when the caller's context
+// cannot (markDead fails every waiter), so the no-deadline hot path is
+// a plain channel receive, not a select.
+func (sc *streamConn) roundTrip(ctx context.Context, payload []byte) (int, error) {
+	sc.wmu.Lock()
+	if sc.waiters == nil {
+		sc.wmu.Unlock()
+		return 0, sc.deadErr
+	}
+	sc.nextSeq++
+	seq := sc.nextSeq
+	waiter := waiterPool.Get().(chan ack)
+	sc.waiters[seq] = waiter
+	sc.wmu.Unlock()
+
+	done := ctx.Done()
+	fp := framePool.Get().(*[]byte)
+	*fp = appendPublishFrame((*fp)[:0], seq, payload)
+	// Fast path: the write queue almost always has room, and the
+	// non-blocking send is far cheaper than a three-way select.
+	select {
+	case sc.writeCh <- fp:
+	default:
+		select {
+		case sc.writeCh <- fp:
+		case <-sc.dead:
+			sc.forget(seq)
+			return 0, sc.deadErr
+		case <-done:
+			sc.forget(seq)
+			return 0, ctx.Err()
+		}
+	}
+
+	var a ack
+	if done == nil {
+		a = <-waiter
+	} else {
+		select {
+		case a = <-waiter:
+		case <-done:
+			// The abandoned channel may still receive a late ack; it is
+			// dropped, not pooled.
+			sc.forget(seq)
+			return 0, ctx.Err()
+		}
+	}
+	waiterPool.Put(waiter)
+	if a.connDead {
+		return 0, sc.deadErr
+	}
+	if a.Status != StatusOK {
+		return int(a.Delivered), &StatusError{Status: a.Status, Message: a.Message}
+	}
+	return int(a.Delivered), nil
+}
+
+// forget abandons a waiter (timeout, cancellation, queue failure) so a
+// late ack does not leak the channel entry.
+func (sc *streamConn) forget(seq uint64) {
+	sc.wmu.Lock()
+	if sc.waiters != nil {
+		delete(sc.waiters, seq)
+	}
+	sc.wmu.Unlock()
+}

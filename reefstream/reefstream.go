@@ -1,0 +1,319 @@
+// Package reefstream is the binary publish data plane: a persistent-
+// connection, length-prefixed streaming protocol that carries events to
+// a reef deployment without the per-call HTTP/1.1 + JSON envelope the
+// REST transport pays. REST (reefclient) remains the control plane —
+// subscriptions, recommendations, stats — while this package moves the
+// one hot, high-volume verb: publish.
+//
+// # Wire format
+//
+// Every message on the wire is one internal/durable record frame
+// ([4B body length][4B CRC32-C][1B version][1B op][payload]), so the
+// ingest wire format and the WAL/replication format are a single codec
+// with a single fuzzer. Three ops exist only on the wire and never in a
+// WAL file:
+//
+//	OpStreamHello   (8)  JSON handshake, both directions
+//	OpStreamPublish (9)  [8B LE seq][uvarint n][n × event]
+//	OpStreamAck     (10) [8B LE seq][8B LE delivered][1B status][uvarint-len message]
+//
+// An event is encoded as [uvarint-len source][uvarint nattrs]
+// [nattrs × (uvarint-len key, uvarint-len value)][uvarint-len payload]
+// [8B LE unix-nanos published] where published 0 means unset.
+//
+// # Session
+//
+// The client opens a TCP connection and sends a hello; the server
+// answers with its own hello carrying its node ID, which the client may
+// verify against an expected identity (the same guard the cluster
+// prober applies to /healthz). After the handshake the client pipelines
+// publish frames without waiting for acks; the server reads frames,
+// coalesces whatever is already buffered into one PublishBatch call
+// against the deployment, and acks every frame with its exact delivered
+// count (via reef.BatchCountPublisher when the deployment offers it).
+// Acks may arrive out of order with respect to nothing — the server
+// acks in frame order — but the client matches them by sequence number
+// regardless.
+//
+// # Drain
+//
+// Server.Shutdown stops accepting new connections and new frames, then
+// applies and acks every frame already read before closing each
+// connection. The invariant: a frame the server read is fully applied
+// and acked; bytes still in flight are never partially applied.
+package reefstream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"reef"
+	"reef/internal/durable"
+)
+
+// ProtoVersion is the handshake protocol version. A server rejects a
+// hello with a version it does not speak.
+const ProtoVersion = 1
+
+// MaxFrameEvents bounds the events one publish frame may carry; larger
+// batches are split by the client. It keeps a single frame's decode
+// allocation and the server's coalescing buffer bounded.
+const MaxFrameEvents = 4096
+
+// Ack status bytes. The numeric values are part of the wire format.
+const (
+	StatusOK              = 0
+	StatusInvalidArgument = 1
+	StatusUnavailable     = 2
+	StatusInternal        = 3
+)
+
+// ErrBadFrame marks a structurally invalid stream payload: the durable
+// frame decoded (length and CRC were fine) but the op-specific payload
+// inside it is malformed. Like the durable codec's errors it is a
+// typed, terminal decode verdict — never a panic.
+var ErrBadFrame = errors.New("reefstream: malformed frame payload")
+
+// StatusError is a non-OK ack surfaced to the publisher. It unwraps to
+// the matching reef sentinel so callers keep their errors.Is checks.
+type StatusError struct {
+	Status  int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("reefstream: publish rejected (status %d): %s", e.Status, e.Message)
+}
+
+// Unwrap maps wire statuses onto the reef sentinels: invalid_argument
+// publishes unwrap to reef.ErrInvalidArgument, unavailable (server
+// draining or closed) to reef.ErrClosed.
+func (e *StatusError) Unwrap() error {
+	switch e.Status {
+	case StatusInvalidArgument:
+		return reef.ErrInvalidArgument
+	case StatusUnavailable:
+		return reef.ErrClosed
+	}
+	return nil
+}
+
+// statusFor classifies a deployment error into a wire status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, reef.ErrInvalidArgument):
+		return StatusInvalidArgument
+	case errors.Is(err, reef.ErrClosed):
+		return StatusUnavailable
+	default:
+		return StatusInternal
+	}
+}
+
+// hello is the JSON handshake payload. The client sends {Proto}; the
+// server answers {Proto, Node}.
+type hello struct {
+	Proto int    `json:"proto"`
+	Node  string `json:"node,omitempty"`
+}
+
+// AppendEvent appends one encoded event to dst. Attribute order is not
+// canonicalized: encode→decode round-trips the event, but two equal
+// events may encode differently. That is fine — frames are transport,
+// not identity.
+func AppendEvent(dst []byte, ev reef.Event) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ev.Source)))
+	dst = append(dst, ev.Source...)
+	dst = binary.AppendUvarint(dst, uint64(len(ev.Attrs)))
+	for k, v := range ev.Attrs {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(ev.Payload)))
+	dst = append(dst, ev.Payload...)
+	var nanos uint64
+	if !ev.Published.IsZero() {
+		nanos = uint64(ev.Published.UnixNano())
+	}
+	return binary.LittleEndian.AppendUint64(dst, nanos)
+}
+
+// EncodeEvents encodes a batch into the seq-less body of a publish
+// frame: [uvarint n][n × event]. The cluster router calls this once and
+// ships the same payload to every node (each node's client prepends its
+// own sequence number), so fan-out pays the encode cost once.
+func EncodeEvents(evs []reef.Event) []byte {
+	return AppendEvents(nil, evs)
+}
+
+// AppendEvents appends the EncodeEvents body to dst, for callers that
+// reuse an encode buffer across publishes.
+func AppendEvents(dst []byte, evs []reef.Event) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(evs)))
+	for _, ev := range evs {
+		dst = AppendEvent(dst, ev)
+	}
+	return dst
+}
+
+func decodeUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrBadFrame)
+	}
+	return v, buf[n:], nil
+}
+
+func decodeBytes(buf []byte) ([]byte, []byte, error) {
+	n, rest, err := decodeUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("%w: length %d exceeds remaining %d", ErrBadFrame, n, len(rest))
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// decodeEvent decodes one event from the front of buf. shared is the
+// string conversion of the same byte region buf is a suffix of: every
+// decoded string is sliced out of it, so a frame pays one string
+// allocation instead of one per field (frames decode zero-copy from a
+// reused read buffer, so the event must not alias buf itself).
+func decodeEvent(buf []byte, shared string) (reef.Event, []byte, error) {
+	// view maps a field slice (cut from the same backing array) to its
+	// window of shared: f ends where rest begins.
+	view := func(f, rest []byte) string {
+		end := len(shared) - len(rest)
+		return shared[end-len(f) : end]
+	}
+	var ev reef.Event
+	src, rest, err := decodeBytes(buf)
+	if err != nil {
+		return ev, nil, err
+	}
+	if len(src) > 0 {
+		ev.Source = view(src, rest)
+	}
+	nattrs, rest, err := decodeUvarint(rest)
+	if err != nil {
+		return ev, nil, err
+	}
+	// Each attribute costs at least two length bytes; anything claiming
+	// more attributes than remaining bytes is garbage, not a big event.
+	if nattrs > uint64(len(rest)) {
+		return ev, nil, fmt.Errorf("%w: %d attrs in %d bytes", ErrBadFrame, nattrs, len(rest))
+	}
+	if nattrs > 0 {
+		ev.Attrs = make(map[string]string, nattrs)
+	}
+	for i := uint64(0); i < nattrs; i++ {
+		var k, v []byte
+		if k, rest, err = decodeBytes(rest); err != nil {
+			return ev, nil, err
+		}
+		kv := view(k, rest)
+		if v, rest, err = decodeBytes(rest); err != nil {
+			return ev, nil, err
+		}
+		ev.Attrs[kv] = view(v, rest)
+	}
+	payload, rest, err := decodeBytes(rest)
+	if err != nil {
+		return ev, nil, err
+	}
+	if len(payload) > 0 {
+		ev.Payload = append([]byte(nil), payload...)
+	}
+	if len(rest) < 8 {
+		return ev, nil, fmt.Errorf("%w: truncated publish timestamp", ErrBadFrame)
+	}
+	if nanos := binary.LittleEndian.Uint64(rest[:8]); nanos != 0 {
+		ev.Published = time.Unix(0, int64(nanos)).UTC()
+	}
+	return ev, rest[8:], nil
+}
+
+// decodePublish decodes an OpStreamPublish payload into its sequence
+// number and events. evs is appended to and returned, so the caller can
+// reuse a scratch slice across frames.
+func decodePublish(payload []byte, evs []reef.Event) (uint64, []reef.Event, error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("%w: truncated publish header", ErrBadFrame)
+	}
+	seq := binary.LittleEndian.Uint64(payload[:8])
+	n, rest, err := decodeUvarint(payload[8:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > MaxFrameEvents || n > uint64(len(rest)) {
+		return 0, nil, fmt.Errorf("%w: %d events in %d bytes", ErrBadFrame, n, len(rest))
+	}
+	// One copy of the whole event region up front; decodeEvent slices
+	// every string out of it instead of copying field by field.
+	shared := string(rest)
+	for i := uint64(0); i < n; i++ {
+		var ev reef.Event
+		if ev, rest, err = decodeEvent(rest, shared); err != nil {
+			return 0, nil, err
+		}
+		evs = append(evs, ev)
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes after events", ErrBadFrame, len(rest))
+	}
+	return seq, evs, nil
+}
+
+// appendPublishFrame frames seq + an EncodeEvents payload as one
+// OpStreamPublish record appended to dst, without materializing the
+// joined body.
+func appendPublishFrame(dst []byte, seq uint64, payload []byte) []byte {
+	var seqBuf [8]byte
+	binary.LittleEndian.PutUint64(seqBuf[:], seq)
+	return durable.AppendFrameParts(dst, durable.OpStreamPublish, seqBuf[:], payload)
+}
+
+// ack is a decoded OpStreamAck. connDead is never on the wire: it is
+// the in-process verdict markDead delivers to pending waiters so their
+// channels can be pooled instead of closed.
+type ack struct {
+	Seq       uint64
+	Delivered uint64
+	Status    int
+	Message   string
+	connDead  bool
+}
+
+func appendAckFrame(dst []byte, a ack) []byte {
+	var fixed [17 + binary.MaxVarintLen64]byte
+	binary.LittleEndian.PutUint64(fixed[0:8], a.Seq)
+	binary.LittleEndian.PutUint64(fixed[8:16], a.Delivered)
+	fixed[16] = byte(a.Status)
+	n := 17 + binary.PutUvarint(fixed[17:], uint64(len(a.Message)))
+	return durable.AppendFrameParts(dst, durable.OpStreamAck, fixed[:n], []byte(a.Message))
+}
+
+func decodeAck(payload []byte) (ack, error) {
+	if len(payload) < 17 {
+		return ack{}, fmt.Errorf("%w: truncated ack", ErrBadFrame)
+	}
+	a := ack{
+		Seq:       binary.LittleEndian.Uint64(payload[0:8]),
+		Delivered: binary.LittleEndian.Uint64(payload[8:16]),
+		Status:    int(payload[16]),
+	}
+	msg, rest, err := decodeBytes(payload[17:])
+	if err != nil {
+		return ack{}, err
+	}
+	if len(rest) != 0 {
+		return ack{}, fmt.Errorf("%w: %d trailing bytes after ack", ErrBadFrame, len(rest))
+	}
+	a.Message = string(msg)
+	return a, nil
+}

@@ -1,0 +1,362 @@
+package reefstream
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reef"
+	"reef/internal/durable"
+)
+
+// handshakeTimeout bounds how long a fresh connection may sit between
+// accept and a completed hello before the server drops it.
+const handshakeTimeout = 10 * time.Second
+
+// maxCoalesceEvents bounds how many events one server-side coalescing
+// pass may gather across pipelined frames before applying them as a
+// single batch publish.
+const maxCoalesceEvents = 16384
+
+// ServerOption configures a stream server.
+type ServerOption func(*Server)
+
+// WithNode sets the node identity the server reports in its handshake
+// hello, letting clients verify they reached the node they dialed (the
+// same identity guard the cluster prober applies to /healthz).
+func WithNode(id string) ServerOption {
+	return func(s *Server) { s.node = id }
+}
+
+// Server accepts stream connections and feeds decoded publish frames
+// into a deployment. One goroutine per connection reads frames,
+// coalesces whatever is already buffered into a single batch publish,
+// and acks every frame with its exact delivered count.
+type Server struct {
+	dep    reef.Deployment
+	counts reef.BatchCountPublisher // non-nil when dep attributes per-event counts
+	node   string
+	ln     net.Listener
+
+	frames atomic.Int64
+	events atomic.Int64
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining bool
+	closed   bool
+
+	acceptDone chan struct{}
+	handlers   sync.WaitGroup
+}
+
+// Listen starts a stream server on addr (e.g. "127.0.0.1:0") serving
+// the deployment. The listener is accepting when Listen returns.
+func Listen(addr string, dep reef.Deployment, opts ...ServerOption) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("reefstream: listen %s: %w", addr, err)
+	}
+	return NewServer(ln, dep, opts...), nil
+}
+
+// NewServer serves stream connections from an existing listener. The
+// server owns the listener and closes it on Shutdown/Close.
+func NewServer(ln net.Listener, dep reef.Deployment, opts ...ServerOption) *Server {
+	s := &Server{
+		dep:        dep,
+		ln:         ln,
+		conns:      make(map[net.Conn]struct{}),
+		acceptDone: make(chan struct{}),
+	}
+	if bc, ok := dep.(reef.BatchCountPublisher); ok {
+		s.counts = bc
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	go s.acceptLoop()
+	return s
+}
+
+// Addr reports the listener address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Stats reports how many publish frames and events this server has
+// applied since start.
+func (s *Server) Stats() (frames, events int64) {
+	return s.frames.Load(), s.events.Load()
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.acceptDone)
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown/Close
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.handlers.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.handlers.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown drains the server: stop accepting connections and frames,
+// apply and ack every frame already read, flush, then close. It blocks
+// until all connection handlers have finished or ctx expires; on expiry
+// remaining connections are force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyDraining := s.draining
+	s.draining = true
+	if !alreadyDraining {
+		s.ln.Close()
+		// Kick handlers blocked in a read. Frames already buffered in
+		// a handler's reader still decode fine; only the blocking wait
+		// on the socket is interrupted.
+		for conn := range s.conns {
+			conn.SetReadDeadline(time.Now())
+		}
+	}
+	s.mu.Unlock()
+	<-s.acceptDone
+
+	done := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-closes the server without waiting for in-flight frames.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.draining = true
+	s.ln.Close()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	<-s.acceptDone
+	s.handlers.Wait()
+	return nil
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// frameSpan marks one publish frame's slice of the coalesced event
+// batch, so its ack can report exactly its own deliveries.
+type frameSpan struct {
+	seq        uint64
+	start, end int
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 256<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	if err := s.handshake(br, bw); err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	var (
+		readBuf []byte
+		evs     []reef.Event
+		spans   []frameSpan
+		ackBuf  []byte
+		counts  []int
+	)
+	for {
+		evs, spans = evs[:0], spans[:0]
+		// Block for one frame, then keep decoding as long as more
+		// frames are already buffered — pipelined publishes coalesce
+		// into one batch publish without adding latency to a lone one.
+		rec, err := s.readFrame(br, &readBuf)
+		for {
+			if err != nil {
+				break
+			}
+			if rec.Op != durable.OpStreamPublish {
+				err = fmt.Errorf("%w: unexpected op %v mid-stream", ErrBadFrame, rec.Op)
+				break
+			}
+			var seq uint64
+			start := len(evs)
+			seq, evs, err = decodePublish(rec.Payload, evs)
+			if err != nil {
+				break
+			}
+			spans = append(spans, frameSpan{seq: seq, start: start, end: len(evs)})
+			if br.Buffered() < durable.FrameHeaderLen || len(evs) >= maxCoalesceEvents {
+				break
+			}
+			rec, err = s.readFrame(br, &readBuf)
+		}
+		// Apply and ack everything that was fully read, even when the
+		// read that followed it failed (drain kick, peer gone, corrupt
+		// frame): a frame the server read is never left half-applied.
+		if len(spans) > 0 {
+			ackBuf, counts = s.applyAndAck(evs, spans, ackBuf[:0], counts)
+			if _, werr := bw.Write(ackBuf); werr == nil {
+				bw.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+		if s.isDraining() && br.Buffered() < durable.FrameHeaderLen {
+			return
+		}
+	}
+}
+
+// applyAndAck publishes the coalesced batch and appends one ack frame
+// per span to dst. When the deployment attributes per-event delivery
+// counts the whole batch goes down in one call; otherwise — or when the
+// batch call fails and error attribution matters — each frame is
+// published on its own. countScratch is the caller's reusable per-event
+// count slice; it is returned (possibly regrown) for the next pass.
+func (s *Server) applyAndAck(evs []reef.Event, spans []frameSpan, dst []byte, countScratch []int) ([]byte, []int) {
+	ctx := context.Background()
+	if s.counts != nil {
+		if cap(countScratch) < len(evs) {
+			countScratch = make([]int, len(evs))
+		}
+		counts := countScratch[:len(evs)]
+		clear(counts)
+		if _, err := s.counts.PublishBatchCounts(ctx, evs, counts); err == nil {
+			s.frames.Add(int64(len(spans)))
+			s.events.Add(int64(len(evs)))
+			for _, sp := range spans {
+				delivered := 0
+				for _, c := range counts[sp.start:sp.end] {
+					delivered += c
+				}
+				dst = appendAckFrame(dst, ack{Seq: sp.seq, Delivered: uint64(delivered)})
+			}
+			return dst, countScratch
+		}
+		// Group publish failed: fall through and retry per frame so
+		// each ack carries its own verdict, not the group's.
+	}
+	for _, sp := range spans {
+		delivered, err := s.dep.PublishBatch(ctx, evs[sp.start:sp.end])
+		a := ack{Seq: sp.seq, Delivered: uint64(delivered)}
+		if err != nil {
+			a.Status = statusFor(err)
+			a.Message = err.Error()
+		} else {
+			s.frames.Add(1)
+			s.events.Add(int64(sp.end - sp.start))
+		}
+		dst = appendAckFrame(dst, a)
+	}
+	return dst, countScratch
+}
+
+func (s *Server) handshake(br *bufio.Reader, bw *bufio.Writer) error {
+	var readBuf []byte
+	rec, err := s.readFrame(br, &readBuf)
+	if err != nil {
+		return err
+	}
+	if rec.Op != durable.OpStreamHello {
+		return fmt.Errorf("%w: expected hello, got %v", ErrBadFrame, rec.Op)
+	}
+	var h hello
+	if err := json.Unmarshal(rec.Payload, &h); err != nil {
+		return fmt.Errorf("%w: hello: %v", ErrBadFrame, err)
+	}
+	if h.Proto != ProtoVersion {
+		return fmt.Errorf("%w: protocol version %d", ErrBadFrame, h.Proto)
+	}
+	reply, err := json.Marshal(hello{Proto: ProtoVersion, Node: s.node})
+	if err != nil {
+		return err
+	}
+	frame := durable.Record{Op: durable.OpStreamHello, Payload: reply}.AppendEncoded(nil)
+	if _, err := bw.Write(frame); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// readFrame reads exactly one durable frame from br into *buf (grown
+// and reused across calls) and decodes it zero-copy: the returned
+// record's payload aliases *buf and is only valid until the next call.
+func (s *Server) readFrame(br *bufio.Reader, buf *[]byte) (durable.Record, error) {
+	return readFrame(br, buf)
+}
+
+func readFrame(br *bufio.Reader, buf *[]byte) (durable.Record, error) {
+	if cap(*buf) < durable.FrameHeaderLen {
+		*buf = make([]byte, durable.FrameHeaderLen, 4096)
+	}
+	hdr := (*buf)[:durable.FrameHeaderLen]
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return durable.Record{}, err
+	}
+	bodyLen := durable.FrameBodyLen(hdr)
+	if bodyLen > durable.MaxRecordLen {
+		return durable.Record{}, durable.ErrTooLarge
+	}
+	total := durable.FrameHeaderLen + bodyLen
+	if cap(*buf) < total {
+		grown := make([]byte, total)
+		copy(grown, hdr)
+		*buf = grown
+	}
+	frame := (*buf)[:total]
+	if _, err := io.ReadFull(br, frame[durable.FrameHeaderLen:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return durable.Record{}, err
+	}
+	rec, _, err := durable.DecodeFrame(frame)
+	return rec, err
+}
