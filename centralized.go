@@ -415,6 +415,36 @@ func (c *Centralized) FetchEvents(ctx context.Context, user, subID string, max i
 }
 
 var _ ReliableDeliverer = (*Centralized)(nil)
+var _ StreamDeliverer = (*Centralized)(nil)
+
+// FetchEventsInto implements StreamDeliverer: FetchEvents appending into
+// a caller-reused buffer, for the streaming push path.
+func (c *Centralized) FetchEventsInto(ctx context.Context, user, subID string, dst []DeliveredEvent, max int) ([]DeliveredEvent, error) {
+	if err := c.reliableArgs(ctx, user); err != nil {
+		return dst, err
+	}
+	if err := validateSubID(subID); err != nil {
+		return dst, err
+	}
+	return c.shard(user).fetchEventsInto(user, subID, dst, max)
+}
+
+// NotifyEvents implements StreamDeliverer: it registers ch on the
+// subscription's append hook so a pushed or long-polling consumer wakes
+// the moment an event is retained, with the same resolution errors as
+// FetchEvents.
+func (c *Centralized) NotifyEvents(user, subID string, ch chan<- struct{}) (func(), error) {
+	if err := c.checkOpen(context.Background()); err != nil {
+		return nil, err
+	}
+	if err := validateUser(user); err != nil {
+		return nil, err
+	}
+	if err := validateSubID(subID); err != nil {
+		return nil, err
+	}
+	return c.shard(user).notifyEvents(user, subID, ch)
+}
 
 // Ack implements ReliableDeliverer: it advances the subscription's
 // durable cumulative cursor (or, with nack set, requests immediate

@@ -54,11 +54,11 @@ type benchNode struct {
 	stream *reefstream.Server
 }
 
-func startBenchNode(id string) (*benchNode, reefcluster.Node) {
-	dep, err := reef.NewCentralized(
+func startBenchNode(id string, extra ...reef.Option) (*benchNode, reefcluster.Node) {
+	dep, err := reef.NewCentralized(append([]reef.Option{
 		reef.WithFetcher(nopFetcher{}),
 		reef.WithQueueSize(1),
-	)
+	}, extra...)...)
 	if err != nil {
 		panic(err)
 	}

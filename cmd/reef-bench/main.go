@@ -163,6 +163,7 @@ func run() int {
 		bshopt.Ops, bshopt.ChurnUsers = 400, 800
 		bclopt.Ops, bclopt.ForwardOps, bclopt.ChurnPairs, bclopt.ChurnUsers = 60, 300, 150, 120
 		bdelopt.Ops = 20_000
+		bdelopt.ConsumeOps, bdelopt.E2EOps = 10_000, 300
 		brepopt.Ops, brepopt.ClickOps, brepopt.Users = 60, 150, 120
 		bstopt.Ops, bstopt.FanOutOps, bstopt.HotUsers = 3000, 150, 60
 	}

@@ -38,8 +38,9 @@
 //
 // # Streaming data plane
 //
-// REST is the control plane; the publish hot path can ride a
-// persistent, length-prefixed binary stream instead (package
+// REST is the control plane; the two hot paths — publish, and the
+// reliable consume loop (server-pushed fetches with pipelined acks) —
+// can ride a persistent, length-prefixed binary stream instead (package
 // reefstream). -stream-addr (node mode) opens the stream listener next
 // to the REST surface and advertises it in /v1/healthz:
 //
@@ -47,9 +48,10 @@
 //
 // -cluster-streams (router mode) maps node IDs to their stream
 // addresses; listed nodes receive fan-out publishes over one long-lived
-// stream each, with frames encoded once and shared across nodes. A node
-// whose stream fails falls back to REST for that call without being
-// demoted:
+// stream each, with frames encoded once and shared across nodes, and
+// serve their own users' consume traffic over the same connection. A
+// node whose stream fails falls back to REST for that call without
+// being demoted:
 //
 //	reefd -addr :7000 -cluster-nodes n1=http://10.0.0.1:7070,n2=http://10.0.0.2:7070 \
 //	      -cluster-streams n1=10.0.0.1:7071,n2=10.0.0.2:7071
@@ -138,7 +140,7 @@ func main() {
 	ackTimeout := flag.Duration("delivery-ack-timeout", 0, "default lease before an unacked reliable delivery is retried (0 = library default 30s)")
 	maxAttempts := flag.Int("delivery-max-attempts", 0, "default delivery attempts before an event dead-letters (0 = library default 5)")
 	nodeID := flag.String("node-id", "", "this node's cluster identity, stamped into /v1/healthz and /v1/readyz")
-	streamAddr := flag.String("stream-addr", "", "listen address for the binary publish stream (reefstream); empty disables the data plane")
+	streamAddr := flag.String("stream-addr", "", "listen address for the binary data plane (reefstream publish + consume); empty disables it")
 	clusterNodes := flag.String("cluster-nodes", "", "run as a cluster router over these nodes (comma-separated id=url pairs) instead of a local deployment")
 	clusterStreams := flag.String("cluster-streams", "", "stream addresses for -cluster-nodes entries (comma-separated id=host:port pairs); listed nodes receive publishes over the binary stream instead of REST")
 	replicas := flag.Int("replicas", 0, "replicas per user: node mode ships the WAL to each user's k replica nodes (needs -data-dir, -node-id and -peers); router mode fails user calls over to the first up replica")
@@ -454,7 +456,7 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 			return fmt.Errorf("reefd: %w", err)
 		}
 		handlerOpts = append(handlerOpts, reefhttp.WithStreamAddr(streamSrv.Addr().String()))
-		log.Printf("stream ingest listening on %s", streamSrv.Addr())
+		log.Printf("stream data plane listening on %s", streamSrv.Addr())
 	}
 	api.set(reefhttp.NewHandler(dep, log.Default(), handlerOpts...))
 	ready.SetReady()

@@ -242,3 +242,27 @@ type ReliableDeliverer interface {
 	// the same subID semantics as DeadLetters.
 	DrainDeadLetters(ctx context.Context, user, subID string) ([]DeadLetter, error)
 }
+
+// StreamDeliverer is the push-capable extension of ReliableDeliverer: a
+// deployment that can tell a waiting consumer the moment a reliable
+// subscription retains new events, and lease events into a
+// caller-provided buffer without allocating per fetch. The streaming
+// data plane (reefstream) and the REST long-poll are both built on it;
+// transports probe for it with a type assertion and fall back to
+// polling FetchEvents when absent.
+type StreamDeliverer interface {
+	ReliableDeliverer
+	// FetchEventsInto is FetchEvents appending into dst (which may be
+	// nil), so hot push loops reuse one buffer across fetches. max
+	// bounds the events appended by this call.
+	FetchEventsInto(ctx context.Context, user, subID string, dst []DeliveredEvent, max int) ([]DeliveredEvent, error)
+	// NotifyEvents registers ch for a non-blocking signal whenever the
+	// subscription retains a new event, returning a cancel func that
+	// unregisters it. The signal is an edge, not a level: pass a
+	// 1-buffered channel and always re-fetch after waking. Lease expiry
+	// does not signal, so a waiter that also wants redeliveries must
+	// keep a coarse retry timer of its own. Fails with ErrNotFound for
+	// an unknown subscription and an ErrInvalidArgument-wrapping error
+	// for a best-effort one, mirroring FetchEvents.
+	NotifyEvents(user, subID string, ch chan<- struct{}) (cancel func(), err error)
+}

@@ -22,10 +22,12 @@
 // parallel; the Persister interface exposes the storage surface. The
 // reefhttp subpackage serves any Deployment over a versioned REST
 // surface, and reefclient is the Go SDK for it (itself a Deployment).
-// REST is the control plane; the one high-volume verb, publish, has a
-// dedicated binary data plane in reefstream — a persistent-connection,
-// length-prefixed streaming protocol (framed by the internal/durable
-// codec, pipelined by callers, batch-coalesced by the server) that a
+// REST is the control plane; the high-volume verbs — publish and
+// reliable consume — have a dedicated binary data plane in reefstream,
+// a persistent-connection, length-prefixed streaming protocol (framed
+// by the internal/durable codec, pipelined by callers, batch-coalesced
+// by the server; consumers attach a subscription and are pushed leased
+// events under a credit window the moment they are retained) that a
 // reefclient can adopt via WithTransport and reefd serves next to the
 // REST listener (-stream-addr).
 // The reefcluster subpackage scales out: a Cluster is a Deployment
@@ -50,9 +52,12 @@
 // after the ack timeout, and events exhausting WithMaxAttempts land in
 // a dead-letter queue (DeadLetters / DrainDeadLetters). The
 // centralized deployment, client SDK and cluster router implement it;
-// the distributed pipeline stays best-effort, as in the paper. See
-// DESIGN.md for the interface, route, error-model, sharding, cluster,
-// durability and delivery-semantics reference.
+// the distributed pipeline stays best-effort, as in the paper.
+// StreamDeliverer extends it with an append-notify hook, which feeds
+// both the reefstream push path and the REST fetch's bounded wait=
+// long-poll, so consumers on either plane block instead of polling.
+// See DESIGN.md for the interface, route, error-model, sharding,
+// cluster, durability and delivery-semantics reference.
 //
 // The components live under internal/: the pub-sub substrate (eventalg,
 // pubsub), the IR toolkit (ir), the Web and workload simulation (websim,

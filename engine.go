@@ -405,6 +405,39 @@ func (e *engine) fetchEvents(user, id string, max int) ([]DeliveredEvent, error)
 	return toPublicDelivered(q.Fetch(max, e.clock.Now())), nil
 }
 
+// deliveredScratch pools the internal lease buffer fetchEventsInto
+// drains the queue through, so a steady-state push loop allocates only
+// the public events it appends into the caller's buffer.
+var deliveredScratch = sync.Pool{New: func() any { return new([]delivery.Delivered) }}
+
+// fetchEventsInto is fetchEvents appending into dst: the queue leases
+// into a pooled scratch buffer and the public conversion appends onto
+// the caller's (reused) slice.
+func (e *engine) fetchEventsInto(user, id string, dst []DeliveredEvent, max int) ([]DeliveredEvent, error) {
+	q, err := e.deliveryQueue(user, id)
+	if err != nil {
+		return dst, err
+	}
+	sp := deliveredScratch.Get().(*[]delivery.Delivered)
+	ds := q.FetchInto((*sp)[:0], max, e.clock.Now())
+	for _, d := range ds {
+		dst = append(dst, DeliveredEvent{Seq: d.Seq, Attempts: d.Attempts, Event: fromPubsubEvent(d.Event)})
+	}
+	*sp = ds[:0]
+	deliveredScratch.Put(sp)
+	return dst, nil
+}
+
+// notifyEvents registers ch on a reliable subscription's append hook,
+// with the same resolution errors as fetchEvents.
+func (e *engine) notifyEvents(user, id string, ch chan<- struct{}) (func(), error) {
+	q, err := e.deliveryQueue(user, id)
+	if err != nil {
+		return nil, err
+	}
+	return q.Notify(ch), nil
+}
+
 // ack advances (or nacks against) a reliable subscription's cursor. Acks
 // are durable: the cursor advance and its WAL record commit under the
 // journal lock like every other mutation. Nacks only reshape in-memory

@@ -145,6 +145,12 @@ type Queue struct {
 	pending []*entry
 	dlq     []DeadLetter
 
+	// watchers receive a non-blocking signal on every Append; this is
+	// the hook that lets pushed delivery (and REST long-poll) replace
+	// tight fetch loops. Keyed so cancel is O(1) under churn.
+	watchers   map[uint64]chan<- struct{}
+	watcherSeq uint64
+
 	appended     int64
 	ackedCount   int64
 	redeliveries int64
@@ -163,7 +169,9 @@ func (q *Queue) Config() Config {
 	return q.cfg
 }
 
-// Append retains one event under the next sequence number.
+// Append retains one event under the next sequence number and signals
+// every registered watcher (non-blocking: a watcher channel that is
+// already full has already been told there is work).
 func (q *Queue) Append(ev pubsub.Event, now time.Time) int64 {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -174,7 +182,34 @@ func (q *Queue) Append(ev pubsub.Event, now time.Time) int64 {
 		q.deadLetterLocked(q.pending[0], now, ReasonOverflow)
 		q.pending = q.pending[1:]
 	}
+	for _, ch := range q.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
 	return q.nextSeq
+}
+
+// Notify registers ch for a non-blocking signal on every Append, and
+// returns a cancel func that unregisters it. The signal is an edge, not
+// a level: use a 1-buffered channel and always re-Fetch after waking.
+// Lease expiry does NOT signal — a waiter that also cares about
+// redelivery must poll on its own (coarse) timer.
+func (q *Queue) Notify(ch chan<- struct{}) (cancel func()) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.watchers == nil {
+		q.watchers = make(map[uint64]chan<- struct{})
+	}
+	q.watcherSeq++
+	id := q.watcherSeq
+	q.watchers[id] = ch
+	return func() {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		delete(q.watchers, id)
+	}
 }
 
 // deadLetterLocked moves one entry to the DLQ. Caller must hold q.mu and
@@ -194,16 +229,29 @@ func (q *Queue) deadLetterLocked(e *entry, now time.Time, reason string) {
 // exponential backoff. Entries that already exhausted MaxAttempts are
 // moved to the dead-letter queue and the fetch continues past them.
 func (q *Queue) Fetch(max int, now time.Time) []Delivered {
+	out := q.FetchInto(nil, max, now)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// FetchInto is Fetch appending into dst, so a hot consumer path (the
+// stream pusher) can reuse one buffer across fetches instead of
+// allocating a fresh slice per cycle. Semantics are identical to Fetch;
+// max bounds the events appended by this call, not len(dst)+new.
+func (q *Queue) FetchInto(dst []Delivered, max int, now time.Time) []Delivered {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if max <= 0 {
 		max = len(q.pending)
 	}
-	var out []Delivered
+	out := dst
+	start := len(dst)
 	keep := q.pending[:0]
 	blocked := false
 	for _, e := range q.pending {
-		if blocked || len(out) >= max {
+		if blocked || len(out)-start >= max {
 			keep = append(keep, e)
 			continue
 		}

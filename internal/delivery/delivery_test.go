@@ -248,3 +248,89 @@ func TestSetRegisterCursorsTotals(t *testing.T) {
 		t.Fatal("User(alice) lost its queue")
 	}
 }
+
+// TestNotifySignalsOnAppend pins the push hook: Append signals every
+// registered watcher exactly edge-wise (non-blocking against a full
+// channel), and cancel unregisters.
+func TestNotifySignalsOnAppend(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := testQueue(Config{AckTimeout: time.Second, MaxAttempts: 3})
+
+	a := make(chan struct{}, 1)
+	b := make(chan struct{}, 1)
+	cancelA := q.Notify(a)
+	cancelB := q.Notify(b)
+
+	q.Append(ev(1), now)
+	select {
+	case <-a:
+	default:
+		t.Fatal("watcher a not signalled by Append")
+	}
+	select {
+	case <-b:
+	default:
+		t.Fatal("watcher b not signalled by Append")
+	}
+
+	// A full watcher channel must not block Append: the signal is an
+	// edge, coalescing is the watcher's job.
+	a <- struct{}{}
+	q.Append(ev(2), now)
+	if len(a) != 1 {
+		t.Fatalf("full watcher channel grew to %d pending signals", len(a))
+	}
+	<-b // drain the second edge
+
+	cancelA()
+	cancelA() // cancel is idempotent
+	q.Append(ev(3), now)
+	<-a // only the stale pre-cancel signal remains
+	select {
+	case <-a:
+		t.Fatal("cancelled watcher a still signalled")
+	default:
+	}
+	select {
+	case <-b:
+	default:
+		t.Fatal("watcher b lost its signal after a's cancel")
+	}
+	cancelB()
+}
+
+// TestFetchIntoReusesBuffer pins the pooled fetch path: FetchInto
+// appends onto dst, max bounds only the newly appended events, and a
+// recycled buffer serves the next fetch without reallocating.
+func TestFetchIntoReusesBuffer(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := testQueue(Config{AckTimeout: time.Second, MaxAttempts: 3})
+	for i := 1; i <= 6; i++ {
+		q.Append(ev(i), now)
+	}
+
+	buf := make([]Delivered, 0, 8)
+	buf = append(buf, Delivered{Seq: -7}) // pre-existing element survives
+	out := q.FetchInto(buf, 2, now)
+	if want := []int64{-7, 1, 2}; len(out) != 3 || out[0].Seq != want[0] || out[1].Seq != want[1] || out[2].Seq != want[2] {
+		t.Fatalf("FetchInto = %v, want %v", seqs(out), want)
+	}
+	if &out[0] != &buf[0] {
+		t.Fatal("FetchInto reallocated despite sufficient capacity")
+	}
+	if err := q.Ack(2, now); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reuse the same backing array for the next cycle.
+	out = q.FetchInto(out[:0], 10, now)
+	if want := []int64{3, 4, 5, 6}; len(out) != 4 || out[0].Seq != want[0] || out[3].Seq != want[3] {
+		t.Fatalf("second FetchInto = %v, want %v", seqs(out), want)
+	}
+	if err := q.Ack(6, now); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.FetchInto(out[:0], 10, now); len(got) != 0 {
+		t.Fatalf("drained queue fetched %v", seqs(got))
+	}
+}

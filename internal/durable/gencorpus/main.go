@@ -89,4 +89,53 @@ func main() {
 	curDirty := append([]byte(nil), cur...)
 	curDirty[len(curDirty)-3] ^= 0x20
 	write("seed-cursor-corrupt", curDirty)
+
+	// The stream consume family (ops 11–14). These never appear in a WAL
+	// file, but they share the frame codec, so the WAL fuzzer must keep
+	// decoding them losslessly. Payloads are built by hand against the
+	// wire layouts documented in package reefstream.
+	subscribe := binary.LittleEndian.AppendUint64(nil, 7)      // seq
+	subscribe = binary.LittleEndian.AppendUint64(subscribe, 1) // cid
+	subscribe = binary.AppendUvarint(subscribe, 4096)          // credit
+	subscribe = binary.AppendUvarint(subscribe, uint64(len("bob")))
+	subscribe = append(subscribe, "bob"...)
+	subID := "http://news.test/feed.xml"
+	subscribe = binary.AppendUvarint(subscribe, uint64(len(subID)))
+	subscribe = append(subscribe, subID...)
+
+	ev := binary.AppendUvarint(nil, uint64(len("crawler"))) // event: source
+	ev = append(ev, "crawler"...)
+	ev = binary.AppendUvarint(ev, 1) // nattrs
+	ev = binary.AppendUvarint(ev, uint64(len("type")))
+	ev = append(ev, "type"...)
+	ev = binary.AppendUvarint(ev, uint64(len("feed-item")))
+	ev = append(ev, "feed-item"...)
+	ev = binary.AppendUvarint(ev, uint64(len("payload")))
+	ev = append(ev, "payload"...)
+	ev = binary.LittleEndian.AppendUint64(ev, uint64(time.Unix(1136073600, 0).UnixNano()))
+	deliver := binary.LittleEndian.AppendUint64(nil, 1)    // cid
+	deliver = binary.AppendUvarint(deliver, 1)             // n
+	deliver = binary.LittleEndian.AppendUint64(deliver, 4) // delivery seq
+	deliver = binary.AppendUvarint(deliver, 1)             // attempts
+	deliver = append(deliver, ev...)
+
+	cack := binary.LittleEndian.AppendUint64(nil, 8) // seq
+	cack = binary.LittleEndian.AppendUint64(cack, 1) // cid
+	cack = binary.LittleEndian.AppendUint64(cack, 4) // ackSeq
+	cack = append(cack, 0)                           // nack
+
+	grant := binary.LittleEndian.AppendUint64(nil, 1) // cid
+	grant = binary.AppendUvarint(grant, 64)           // n
+
+	var consume []byte
+	consume = durable.Record{Op: durable.OpStreamSubscribe, Payload: subscribe}.AppendEncoded(consume)
+	consume = durable.Record{Op: durable.OpStreamDeliver, Payload: deliver}.AppendEncoded(consume)
+	consume = durable.Record{Op: durable.OpStreamConsumeAck, Payload: cack}.AppendEncoded(consume)
+	consume = durable.Record{Op: durable.OpStreamCredit, Payload: grant}.AppendEncoded(consume)
+	write("seed-stream-consume-ops", consume)
+
+	// A deliver frame torn mid-event: the frame envelope itself is
+	// truncated, so the decoder must stop with a typed error.
+	deliverFrame := durable.Record{Op: durable.OpStreamDeliver, Payload: deliver}.AppendEncoded(nil)
+	write("seed-truncated-deliver", deliverFrame[:len(deliverFrame)-7])
 }

@@ -89,8 +89,28 @@ const (
 	// number, delivered count, status).
 	OpStreamAck Op = 10
 
+	// The consume family extends the stream plane into a bidirectional
+	// data plane: a consumer attaches a reliable subscription over the
+	// persistent connection and the server pushes leased events to it,
+	// flow-controlled by a credit window. Like 8–10 these ops exist only
+	// on the wire, never in a WAL file.
+
+	// OpStreamSubscribe attaches a consumer (binary payload: sequence
+	// number, consumer ID, credit window, user, subscription ID).
+	OpStreamSubscribe Op = 11
+	// OpStreamDeliver pushes a batch of leased events to a consumer
+	// (binary payload: consumer ID + per-event seq/attempts/event).
+	OpStreamDeliver Op = 12
+	// OpStreamConsumeAck advances (or nacks against) a consumer's
+	// cumulative delivery cursor (binary payload: sequence number,
+	// consumer ID, acked seq, nack flag).
+	OpStreamConsumeAck Op = 13
+	// OpStreamCredit grants a consumer additional credit, fire-and-
+	// forget (binary payload: consumer ID + event count).
+	OpStreamCredit Op = 14
+
 	// opMax is one past the last defined op.
-	opMax = 11
+	opMax = 15
 )
 
 // String names the op.
@@ -116,6 +136,14 @@ func (o Op) String() string {
 		return "stream-publish"
 	case OpStreamAck:
 		return "stream-ack"
+	case OpStreamSubscribe:
+		return "stream-subscribe"
+	case OpStreamDeliver:
+		return "stream-deliver"
+	case OpStreamConsumeAck:
+		return "stream-consume-ack"
+	case OpStreamCredit:
+		return "stream-credit"
 	default:
 		return fmt.Sprintf("op(%d)", byte(o))
 	}

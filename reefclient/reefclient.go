@@ -18,6 +18,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"reef/internal/replication"
@@ -70,6 +71,18 @@ type Transport interface {
 	Close() error
 }
 
+// ConsumerTransport is a Transport that also carries the reliable
+// consume path — server-pushed fetches and pipelined acks
+// (reefstream.Client satisfies this). When the configured Transport
+// implements it, FetchEvents and Ack ride the stream; REST remains the
+// fallback when the stream cannot serve a call (connection failure, or
+// a server that predates the consume plane).
+type ConsumerTransport interface {
+	Transport
+	FetchEvents(ctx context.Context, user, subID string, max int) ([]reef.DeliveredEvent, error)
+	Ack(ctx context.Context, user, subID string, seq int64, nack bool) error
+}
+
 // Option configures a Client.
 type Option func(*Client)
 
@@ -78,11 +91,17 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
-// WithTransport routes PublishEvent/PublishBatch over a streaming data
-// plane while every other call stays on REST. The client owns the
+// WithTransport routes PublishEvent/PublishBatch — and, when the
+// transport is a ConsumerTransport, FetchEvents/Ack — over a streaming
+// data plane while every other call stays on REST. The client owns the
 // transport: Close closes it.
 func WithTransport(t Transport) Option {
-	return func(c *Client) { c.transport = t }
+	return func(c *Client) {
+		c.transport = t
+		if ct, ok := t.(ConsumerTransport); ok {
+			c.consumer = ct
+		}
+	}
 }
 
 // WithTimeout bounds each request attempt with its own deadline (on top
@@ -122,9 +141,15 @@ type Client struct {
 	base      string
 	hc        *http.Client
 	transport Transport
+	consumer  ConsumerTransport
 	timeout   time.Duration
 	retries   int
 	backoff   time.Duration
+
+	// restOnlyConsume latches when the stream answers a consume call
+	// with "unsupported" (a server predating the consume plane): no
+	// point re-asking per call.
+	restOnlyConsume atomic.Bool
 }
 
 var (
@@ -356,6 +381,15 @@ func (c *Client) Subscribe(ctx context.Context, user, feedURL string, opts ...re
 // FetchEvents implements reef.ReliableDeliverer over GET
 // /v1/subscriptions/{id}/events.
 func (c *Client) FetchEvents(ctx context.Context, user, subID string, max int) ([]reef.DeliveredEvent, error) {
+	if t := c.consumer; t != nil && !c.restOnlyConsume.Load() {
+		evs, err := t.FetchEvents(ctx, user, subID, max)
+		if err == nil {
+			return evs, nil
+		}
+		if verdict := c.consumeErr(ctx, err); verdict != nil {
+			return nil, verdict
+		}
+	}
 	path := "/v1/subscriptions/" + url.PathEscape(subID) + "/events?user=" + url.QueryEscape(user)
 	if max > 0 {
 		path += "&max=" + strconv.Itoa(max)
@@ -368,11 +402,41 @@ func (c *Client) FetchEvents(ctx context.Context, user, subID string, max int) (
 }
 
 // Ack implements reef.ReliableDeliverer over POST
-// /v1/subscriptions/{id}/ack. Acks are cumulative and idempotent on the
-// server, so WithRetry may safely repeat one.
+// /v1/subscriptions/{id}/ack (or the stream when the transport carries
+// the consume plane). Acks are cumulative and idempotent on the server,
+// so WithRetry — and the stream-to-REST fallback — may safely repeat
+// one.
 func (c *Client) Ack(ctx context.Context, user, subID string, seq int64, nack bool) error {
+	if t := c.consumer; t != nil && !c.restOnlyConsume.Load() {
+		err := t.Ack(ctx, user, subID, seq, nack)
+		if err == nil {
+			return nil
+		}
+		if verdict := c.consumeErr(ctx, err); verdict != nil {
+			return verdict
+		}
+	}
 	return c.do(ctx, http.MethodPost, "/v1/subscriptions/"+url.PathEscape(subID)+"/ack",
 		reefhttp.AckRequest{User: user, Seq: seq, Nack: nack}, nil)
+}
+
+// consumeErr classifies a stream-consume failure. A non-nil return is
+// the caller's final verdict; nil means "absorb it and fall back to
+// REST for this call". Server verdicts (bad argument, unknown
+// subscription, draining) and caller timeouts surface; an unsupported
+// verdict latches the REST fallback permanently; anything else is a
+// connection-level failure the REST path can ride out.
+func (c *Client) consumeErr(ctx context.Context, err error) error {
+	if errors.Is(err, reef.ErrUnsupported) {
+		c.restOnlyConsume.Store(true)
+		return nil
+	}
+	if ctx.Err() != nil || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, reef.ErrInvalidArgument) || errors.Is(err, reef.ErrNotFound) ||
+		errors.Is(err, reef.ErrClosed) {
+		return err
+	}
+	return nil
 }
 
 // DeadLetters implements reef.ReliableDeliverer over GET

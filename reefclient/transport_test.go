@@ -2,6 +2,7 @@ package reefclient
 
 import (
 	"context"
+	"errors"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -15,8 +16,9 @@ import (
 
 // The stream client is the intended data plane; pin that it satisfies
 // the Transport surface structurally (reefstream does not import this
-// package).
+// package), including the consume side.
 var _ Transport = (*reefstream.Client)(nil)
+var _ ConsumerTransport = (*reefstream.Client)(nil)
 
 // TestDefaultClientReusesConnections is the regression test for the
 // connection-churn bug: the old default (http.DefaultClient, whose
@@ -120,4 +122,102 @@ func TestWithTransportRoutesPublishes(t *testing.T) {
 	if err := c.Close(); err != nil || !tr.closed {
 		t.Errorf("Close = %v, transport closed = %v", err, tr.closed)
 	}
+}
+
+// consumerTransportStub scripts the stream consume plane's failures.
+type consumerTransportStub struct {
+	recordingTransport
+	fetches  int
+	acks     int
+	fetchErr error
+	ackErr   error
+}
+
+func (s *consumerTransportStub) FetchEvents(ctx context.Context, user, subID string, max int) ([]reef.DeliveredEvent, error) {
+	s.fetches++
+	if s.fetchErr != nil {
+		return nil, s.fetchErr
+	}
+	return []reef.DeliveredEvent{{Seq: 1}}, nil
+}
+
+func (s *consumerTransportStub) Ack(ctx context.Context, user, subID string, seq int64, nack bool) error {
+	s.acks++
+	return s.ackErr
+}
+
+// TestConsumerTransportFallback pins the consume routing contract:
+// healthy calls ride the stream and never touch REST; a connection-level
+// failure falls back to REST for that call but keeps trying the stream;
+// an unsupported verdict latches REST permanently; server verdicts
+// (unknown subscription) surface without a REST retry.
+func TestConsumerTransportFallback(t *testing.T) {
+	var restFetches atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		restFetches.Add(1)
+		w.Write([]byte(`{"events":[]}`))
+	}))
+	defer ts.Close()
+	ctx := context.Background()
+
+	// Healthy stream: REST never sees the fetch or the ack.
+	tr := &consumerTransportStub{}
+	c := New(ts.URL, WithTransport(tr))
+	if evs, err := c.FetchEvents(ctx, "u", "s", 8); err != nil || len(evs) != 1 {
+		t.Fatalf("FetchEvents = (%d events, %v), want the stream's delivery", len(evs), err)
+	}
+	if err := c.Ack(ctx, "u", "s", 1, false); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+	if tr.fetches != 1 || tr.acks != 1 || restFetches.Load() != 0 {
+		t.Fatalf("healthy routing = (%d stream fetches, %d stream acks, %d REST calls), want (1, 1, 0)",
+			tr.fetches, tr.acks, restFetches.Load())
+	}
+	_ = c.Close()
+
+	// Connection-level failure: this call lands on REST, the next one
+	// tries the stream again.
+	tr = &consumerTransportStub{fetchErr: errors.New("conn reset")}
+	c = New(ts.URL, WithTransport(tr))
+	if _, err := c.FetchEvents(ctx, "u", "s", 8); err != nil {
+		t.Fatalf("FetchEvents with broken stream: %v (REST must absorb it)", err)
+	}
+	if _, err := c.FetchEvents(ctx, "u", "s", 8); err != nil {
+		t.Fatal(err)
+	}
+	if tr.fetches != 2 || restFetches.Load() != 2 {
+		t.Fatalf("transient routing = (%d stream tries, %d REST calls), want (2, 2)", tr.fetches, restFetches.Load())
+	}
+	_ = c.Close()
+
+	// Unsupported server: the first failure latches REST; the stream is
+	// never asked again.
+	restFetches.Store(0)
+	tr = &consumerTransportStub{fetchErr: reef.ErrUnsupported}
+	c = New(ts.URL, WithTransport(tr))
+	for i := 0; i < 3; i++ {
+		if _, err := c.FetchEvents(ctx, "u", "s", 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.fetches != 1 || restFetches.Load() != 3 {
+		t.Fatalf("unsupported routing = (%d stream tries, %d REST calls), want (1, 3)", tr.fetches, restFetches.Load())
+	}
+	_ = c.Close()
+
+	// A server verdict surfaces as-is: REST cannot do better than the
+	// deployment's own answer.
+	restFetches.Store(0)
+	tr = &consumerTransportStub{fetchErr: reef.ErrNotFound, ackErr: reef.ErrInvalidArgument}
+	c = New(ts.URL, WithTransport(tr))
+	if _, err := c.FetchEvents(ctx, "u", "ghost", 8); !errors.Is(err, reef.ErrNotFound) {
+		t.Fatalf("FetchEvents verdict = %v, want ErrNotFound", err)
+	}
+	if err := c.Ack(ctx, "u", "s", 9, false); !errors.Is(err, reef.ErrInvalidArgument) {
+		t.Fatalf("Ack verdict = %v, want ErrInvalidArgument", err)
+	}
+	if restFetches.Load() != 0 {
+		t.Fatalf("server verdicts leaked onto REST: %d calls", restFetches.Load())
+	}
+	_ = c.Close()
 }

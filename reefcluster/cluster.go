@@ -391,11 +391,14 @@ func (c *Cluster) owner(user string) (int, error) {
 func nodeFault(err error) bool {
 	var se *reefstream.StatusError
 	if errors.As(err, &se) {
-		// A stream ack is the node's own verdict: invalid_argument is
-		// the request's fault (deterministic on every node), everything
-		// else — unavailable (draining/closed), internal — indicts the
-		// node, mirroring the 5xx rule below.
-		return se.Status != reefstream.StatusInvalidArgument
+		// A stream ack is the node's own verdict: invalid_argument and
+		// not_found are the request's fault (deterministic on every
+		// node) and unsupported is a capability answer (the 501
+		// analogue); everything else — unavailable (draining/closed),
+		// internal — indicts the node, mirroring the 5xx rule below.
+		return se.Status != reefstream.StatusInvalidArgument &&
+			se.Status != reefstream.StatusNotFound &&
+			se.Status != reefstream.StatusUnsupported
 	}
 	var apiErr *reefclient.APIError
 	if !errors.As(err, &apiErr) {
@@ -507,24 +510,69 @@ func (c *Cluster) Subscribe(ctx context.Context, user, feedURL string, opts ...r
 
 // FetchEvents implements reef.ReliableDeliverer by forwarding to the
 // node owning the user — the cursor and retained window live there.
+// When the owner has a stream, the fetch rides it (server-pushed, no
+// polling); ownership is resolved per call, so after a failover the
+// consumer session re-attaches on the promoted replica's stream, and
+// when the primary is re-admitted it snaps back the same way. The
+// unacked window straddling the switch redelivers under its lease.
 func (c *Cluster) FetchEvents(ctx context.Context, user, subID string, max int) ([]reef.DeliveredEvent, error) {
 	i, err := c.userCall(ctx, user)
 	if err != nil {
 		return nil, err
 	}
+	if sc := c.streams[i]; sc != nil {
+		evs, serr, ok := streamConsume(ctx, func() ([]reef.DeliveredEvent, error) {
+			return sc.FetchEvents(ctx, user, subID, max)
+		})
+		if ok {
+			return evs, c.forwardErr(i, serr)
+		}
+		// Stream transport failure or a node predating the consume
+		// plane: REST serves the same call.
+	}
 	evs, err := c.clients[i].FetchEvents(ctx, user, subID, max)
 	return evs, c.forwardErr(i, err)
 }
 
-// Ack implements reef.ReliableDeliverer by forwarding to the owner.
-// Acks are cumulative and idempotent, so the forwarding retry policy is
-// safe here too.
+// Ack implements reef.ReliableDeliverer by forwarding to the owner,
+// over its stream when it has one. Acks are cumulative and idempotent,
+// so the forwarding retry policy — and the stream-to-REST fallback —
+// are safe here too.
 func (c *Cluster) Ack(ctx context.Context, user, subID string, seq int64, nack bool) error {
 	i, err := c.userCall(ctx, user)
 	if err != nil {
 		return err
 	}
+	if sc := c.streams[i]; sc != nil {
+		_, serr, ok := streamConsume(ctx, func() ([]reef.DeliveredEvent, error) {
+			return nil, sc.Ack(ctx, user, subID, seq, nack)
+		})
+		if ok {
+			return c.forwardErr(i, serr)
+		}
+	}
 	return c.forwardErr(i, c.clients[i].Ack(ctx, user, subID, seq, nack))
+}
+
+// streamConsume runs one consume call against a node's stream with the
+// same ok-contract as streamPublish: ok=true carries the node's own
+// verdict (success or a StatusError REST would repeat); ok=false means
+// the call should fall back to REST — a transport-level failure, or an
+// unsupported verdict from a node that predates the consume plane but
+// still serves the REST fetch/ack endpoints.
+func streamConsume(ctx context.Context, call func() ([]reef.DeliveredEvent, error)) ([]reef.DeliveredEvent, error, bool) {
+	evs, err := call()
+	if err == nil {
+		return evs, nil, true
+	}
+	if errors.Is(err, reef.ErrUnsupported) {
+		return nil, err, false
+	}
+	var se *reefstream.StatusError
+	if errors.As(err, &se) || ctx.Err() != nil || errors.Is(err, context.DeadlineExceeded) {
+		return nil, err, true
+	}
+	return nil, err, false
 }
 
 // DeadLetters implements reef.ReliableDeliverer by forwarding to the

@@ -17,6 +17,7 @@ import (
 	"reef/internal/websim"
 	"reef/reefcluster"
 	"reef/reefhttp"
+	"reef/reefstream"
 )
 
 var t0 = time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
@@ -53,6 +54,14 @@ type testNode struct {
 	replicas int
 	peers    []replication.Node
 	mgr      *replication.Manager
+
+	// Stream data plane wiring; zero unless the cluster runs one. Set
+	// streamLn (a pre-bound listener) before the first boot; restarts
+	// rebind the recorded streamAddr so the cluster's static config
+	// stays valid across a kill.
+	streamLn   net.Listener
+	streamAddr string
+	stream     *reefstream.Server
 }
 
 // startTestNode boots a fresh node: new data dir, new listener.
@@ -110,6 +119,26 @@ func (n *testNode) boot(t *testing.T, ln net.Listener) {
 		defer close(n.done)
 		_ = n.srv.Serve(ln)
 	}()
+	if n.streamLn != nil || n.streamAddr != "" {
+		sln := n.streamLn
+		n.streamLn = nil
+		if sln == nil {
+			// Restart after a kill: rebind the original stream address,
+			// retrying briefly in case the port lingers in TIME_WAIT.
+			var err error
+			for i := 0; i < 50; i++ {
+				if sln, err = net.Listen("tcp", n.streamAddr); err == nil {
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			if sln == nil {
+				t.Fatalf("node %s rebind stream %s: %v", n.id, n.streamAddr, err)
+			}
+		}
+		n.streamAddr = sln.Addr().String()
+		n.stream = reefstream.NewServer(sln, dep, reefstream.WithNode(n.id))
+	}
 }
 
 // url is the node's API root.
@@ -125,6 +154,10 @@ func (n *testNode) kill(t *testing.T) {
 	}
 	_ = n.srv.Close()
 	<-n.done
+	if n.stream != nil {
+		n.stream.Close()
+		n.stream = nil
+	}
 	if n.mgr != nil {
 		n.mgr.Close()
 		n.mgr = nil
@@ -149,6 +182,10 @@ func (n *testNode) shutdown() {
 	if n.srv != nil {
 		_ = n.srv.Close()
 		<-n.done
+	}
+	if n.stream != nil {
+		n.stream.Close()
+		n.stream = nil
 	}
 	if n.mgr != nil {
 		n.mgr.Close()

@@ -19,7 +19,9 @@ import (
 // startReplCluster boots count nodes that each run a replication
 // manager with k replicas per user, plus a router configured with the
 // same k. All listeners bind before any node boots, because every
-// manager needs every peer's base URL up front.
+// manager needs every peer's base URL up front. Each node also runs a
+// binary stream listener, so publishes and reliable consumes ride the
+// data plane across failovers.
 func startReplCluster(t *testing.T, count, k int, web *websim.Web) (*reefcluster.Cluster, []*testNode) {
 	t.Helper()
 	nodes := make([]*testNode, count)
@@ -32,10 +34,17 @@ func startReplCluster(t *testing.T, count, k int, web *websim.Web) (*reefcluster
 		if err != nil {
 			t.Fatal(err)
 		}
+		sln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
 		lns[i] = ln
-		nodes[i] = &testNode{id: id, dir: t.TempDir(), web: web, addr: ln.Addr().String(), replicas: k}
+		nodes[i] = &testNode{
+			id: id, dir: t.TempDir(), web: web, addr: ln.Addr().String(), replicas: k,
+			streamLn: sln, streamAddr: sln.Addr().String(),
+		}
 		peers[i] = replication.Node{ID: id, BaseURL: "http://" + nodes[i].addr}
-		cfgNodes[i] = reefcluster.Node{ID: id, BaseURL: "http://" + nodes[i].addr}
+		cfgNodes[i] = reefcluster.Node{ID: id, BaseURL: "http://" + nodes[i].addr, StreamAddr: nodes[i].streamAddr}
 	}
 	for i, n := range nodes {
 		n.peers = peers
@@ -231,6 +240,11 @@ func TestClusterReplicationFailoverE2E(t *testing.T) {
 	if err := cl.Ack(ctx, vUsers[1], reliable.ID, evs[len(evs)-1].Seq, false); err != nil {
 		t.Fatal(err)
 	}
+	// That fetch rode the victim's stream plane, not REST: the router
+	// attaches a server-pushed consumer session on the owning node.
+	if attached, delivered := victim.stream.ConsumeStats(); attached < 1 || delivered < 1 {
+		t.Fatalf("victim stream consume stats = (%d attached, %d delivered), want a pushed delivery", attached, delivered)
+	}
 
 	// --- 2. drain, so the kill loses nothing --------------------------
 	waitReplDrained(t, nodes, "")
@@ -289,6 +303,12 @@ func TestClusterReplicationFailoverE2E(t *testing.T) {
 	}
 	if err := cl.Ack(ctx, vUsers[1], reliable.ID, evs[len(evs)-1].Seq, false); err != nil {
 		t.Fatalf("reliable ack after failover: %v", err)
+	}
+	// The consume stream healed across the promotion: the fetch above
+	// attached a fresh pushed session on the standby's stream plane — the
+	// victim's session died with its connection.
+	if attached, delivered := standby.stream.ConsumeStats(); attached < 1 || delivered < 1 {
+		t.Fatalf("standby stream consume stats after promotion = (%d attached, %d delivered), want a pushed delivery", attached, delivered)
 	}
 
 	// --- 5. outage writes mutate the replica and queue for the victim -

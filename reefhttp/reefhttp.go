@@ -14,7 +14,7 @@
 //	GET    /v1/users/{user}/subscriptions      list live subscriptions
 //	PUT    /v1/users/{user}/subscriptions      place a feed subscription
 //	DELETE /v1/users/{user}/subscriptions      remove one (?feed=URL)
-//	GET    /v1/subscriptions/{id}/events       lease retained events (?user=U&max=N)
+//	GET    /v1/subscriptions/{id}/events       lease retained events (?user=U&max=N&wait=D long-poll)
 //	POST   /v1/subscriptions/{id}/ack          ack/nack a delivery cursor
 //	GET    /v1/admin/deadletter                inspect dead letters (?user=U&subscription=S)
 //	POST   /v1/admin/deadletter                drain dead letters (body: {"user","subscription"})
@@ -48,6 +48,7 @@
 package reefhttp
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -652,12 +653,89 @@ func (h *Handler) handleFetchEvents(rw http.ResponseWriter, req *http.Request, i
 		}
 		max = n
 	}
-	evs, err := r.FetchEvents(req.Context(), user, id, max)
+	var wait time.Duration
+	if v := q.Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			h.writeError(rw, http.StatusBadRequest, CodeInvalidArgument, "bad wait parameter: "+err.Error())
+			return
+		}
+		if d < 0 {
+			h.writeError(rw, http.StatusBadRequest, CodeInvalidArgument, "bad wait parameter: negative duration")
+			return
+		}
+		if d > MaxFetchWait {
+			h.writeError(rw, http.StatusBadRequest, CodeInvalidArgument,
+				fmt.Sprintf("bad wait parameter: %s exceeds the %s maximum", d, MaxFetchWait))
+			return
+		}
+		wait = d
+	}
+	evs, err := h.fetchEventsWait(req.Context(), r, user, id, max, wait)
 	if err != nil {
 		h.writeDeploymentError(rw, err)
 		return
 	}
 	h.writeJSON(rw, http.StatusOK, DeliveredResponse{Events: evs})
+}
+
+// MaxFetchWait caps the wait= long-poll parameter of the fetch-events
+// endpoint, keeping a handler goroutine's lifetime bounded.
+const MaxFetchWait = 30 * time.Second
+
+// fetchEventsWait is the bounded long-poll behind wait=: when the first
+// fetch comes back empty it parks on the deployment's queue-notify hook
+// (the same hook the streaming push path uses) and re-fetches when the
+// subscription retains something, until the wait budget runs out. A
+// deployment without the hook falls back to a coarse poll tick, so the
+// parameter works — just less efficiently — against any reliable
+// deployment.
+func (h *Handler) fetchEventsWait(ctx context.Context, r reef.ReliableDeliverer, user, id string, max int, wait time.Duration) ([]reef.DeliveredEvent, error) {
+	evs, err := r.FetchEvents(ctx, user, id, max)
+	if err != nil || len(evs) > 0 || wait <= 0 {
+		return evs, err
+	}
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	notify := make(chan struct{}, 1)
+	if sd, ok := r.(reef.StreamDeliverer); ok {
+		cancel, err := sd.NotifyEvents(user, id, notify)
+		if err != nil {
+			return nil, err
+		}
+		defer cancel()
+	} else {
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			for {
+				select {
+				case <-tick.C:
+					select {
+					case notify <- struct{}{}:
+					default:
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	for {
+		select {
+		case <-notify:
+		case <-deadline.C:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		evs, err := r.FetchEvents(ctx, user, id, max)
+		if err != nil || len(evs) > 0 {
+			return evs, err
+		}
+	}
 }
 
 // handleDeadLetter inspects (GET) or drains (POST) dead-letter queues.

@@ -235,6 +235,10 @@ func TestDeliveryEndpointErrorPaths(t *testing.T) {
 		{"deadletter drain bad JSON", "POST", "/v1/admin/deadletter", "[", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
 		{"events missing user", "GET", "/v1/subscriptions/" + encReliable + "/events", "", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
 		{"events bad max", "GET", "/v1/subscriptions/" + encReliable + "/events?user=u&max=lots", "", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"events bad wait", "GET", "/v1/subscriptions/" + encReliable + "/events?user=u&wait=soon", "", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"events bare-number wait", "GET", "/v1/subscriptions/" + encReliable + "/events?user=u&wait=5", "", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"events negative wait", "GET", "/v1/subscriptions/" + encReliable + "/events?user=u&wait=-1s", "", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
+		{"events oversized wait", "GET", "/v1/subscriptions/" + encReliable + "/events?user=u&wait=31s", "", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
 		{"deadletter missing user", "GET", "/v1/admin/deadletter", "", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
 		{"deadletter drain missing user", "POST", "/v1/admin/deadletter", "{}", http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
 		{"blank subscription segment", "POST", "/v1/subscriptions/%20/ack", `{"user":"u","seq":1}`, http.StatusBadRequest, reefhttp.CodeInvalidArgument, ""},
@@ -276,6 +280,62 @@ func TestDeliveryEndpointErrorPaths(t *testing.T) {
 	_, envelope, _ := do(t, "POST", srv.URL+"/v1/subscriptions/"+enc+"/ack", `{"user":"u","seq":1}`)
 	if !strings.Contains(envelope.Error.Message, "best-effort") || !strings.Contains(envelope.Error.Message, "AtLeastOnce") {
 		t.Errorf("best-effort ack message = %q, want tier explanation with the WithGuarantee fix", envelope.Error.Message)
+	}
+}
+
+// TestFetchEventsLongPoll pins the bounded long-poll on the fetch
+// endpoint: an expired wait returns an empty 200 (not an error), and a
+// publish mid-wait wakes the parked request through the queue's notify
+// hook well before the bound.
+func TestFetchEventsLongPoll(t *testing.T) {
+	srv, dep := newTestServer(t)
+	ctx := context.Background()
+	const feed = "http://f.test/poll.xml"
+	if _, err := dep.Subscribe(ctx, "u", feed, reef.WithGuarantee(reef.AtLeastOnce)); err != nil {
+		t.Fatal(err)
+	}
+	enc := url.PathEscape(feed)
+
+	// Empty queue: the request parks for the full wait, then answers
+	// with zero events.
+	start := time.Now()
+	resp, _, raw := do(t, "GET", srv.URL+"/v1/subscriptions/"+enc+"/events?user=u&wait=150ms", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty long-poll status = %d, want 200 (body %s)", resp.StatusCode, raw)
+	}
+	var out reefhttp.DeliveredResponse
+	if err := json.Unmarshal([]byte(raw), &out); err != nil {
+		t.Fatalf("decode %q: %v", raw, err)
+	}
+	if len(out.Events) != 0 {
+		t.Fatalf("empty long-poll returned %d events", len(out.Events))
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Errorf("empty long-poll answered after %v, want it parked near the 150ms bound", elapsed)
+	}
+
+	// Publish mid-wait: the notify hook must wake the poll long before
+	// the 10s bound.
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		_, _ = dep.PublishEvent(ctx, reef.Event{Attrs: map[string]string{
+			"type": "feed-item", "feed": feed, "title": "t", "link": "http://x.test/i",
+		}})
+	}()
+	start = time.Now()
+	resp, _, raw = do(t, "GET", srv.URL+"/v1/subscriptions/"+enc+"/events?user=u&wait=10s", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("long-poll status = %d, want 200 (body %s)", resp.StatusCode, raw)
+	}
+	out = reefhttp.DeliveredResponse{}
+	if err := json.Unmarshal([]byte(raw), &out); err != nil {
+		t.Fatalf("decode %q: %v", raw, err)
+	}
+	if len(out.Events) == 0 {
+		t.Fatal("long-poll returned no events after a mid-wait publish")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("long-poll took %v, want a prompt wake on the publish", elapsed)
 	}
 }
 

@@ -244,6 +244,17 @@ type streamConn struct {
 	nextSeq uint64
 	waiters map[uint64]chan ack
 
+	// Consumer sessions (the read side of the data plane). attachMu
+	// single-flights session creation per (user, subID); cmu guards the
+	// maps shared with the read loop's deliver dispatch. Sessions die
+	// with the connection and re-attach lazily after a redial — the
+	// delivery queue's leases make the re-sent window safe.
+	attachMu  sync.Mutex
+	cmu       sync.Mutex
+	nextCID   uint64
+	consumers map[string]*clientConsumer // keyed user + "\x00" + subID
+	byCID     map[uint64]*clientConsumer
+
 	acks atomic.Uint64 // total acks received; the watchdog's progress signal
 
 	dead    chan struct{}
@@ -287,10 +298,12 @@ func newStreamConn(conn net.Conn, expectNode string, hsTimeout, callTimeout time
 	conn.SetDeadline(time.Time{})
 
 	sc := &streamConn{
-		conn:    conn,
-		writeCh: make(chan *[]byte, 256),
-		waiters: make(map[uint64]chan ack),
-		dead:    make(chan struct{}),
+		conn:      conn,
+		writeCh:   make(chan *[]byte, 256),
+		waiters:   make(map[uint64]chan ack),
+		consumers: make(map[string]*clientConsumer),
+		byCID:     make(map[uint64]*clientConsumer),
+		dead:      make(chan struct{}),
 	}
 	go sc.writeLoop(bw)
 	go sc.readLoop(br)
@@ -420,6 +433,18 @@ func (sc *streamConn) readLoop(br *bufio.Reader) {
 			sc.markDead(fmt.Errorf("reefstream: connection lost: %w", err))
 			return
 		}
+		if rec.Op == durable.OpStreamDeliver {
+			// Pushed delivery: buffer it on its consumer session. The
+			// events get their own allocation — they outlive the read
+			// buffer, handed to the application by FetchEvents.
+			cid, evs, derr := decodeDeliver(rec.Payload, nil)
+			if derr != nil {
+				sc.markDead(derr)
+				return
+			}
+			sc.dispatchDeliver(cid, evs)
+			continue
+		}
 		if rec.Op != durable.OpStreamAck {
 			sc.markDead(fmt.Errorf("%w: unexpected op %v from server", ErrBadFrame, rec.Op))
 			return
@@ -440,25 +465,29 @@ func (sc *streamConn) readLoop(br *bufio.Reader) {
 	}
 }
 
-// roundTrip queues one publish frame and waits for its ack. The
-// connection's watchdog bounds the wait when the caller's context
-// cannot (markDead fails every waiter), so the no-deadline hot path is
-// a plain channel receive, not a select.
-func (sc *streamConn) roundTrip(ctx context.Context, payload []byte) (int, error) {
+// beginCall registers an ack waiter under the next sequence number.
+// Every acked verb (publish, subscribe, consume-ack) claims its slot
+// here before framing, so the sequence space stays shared and FIFO.
+func (sc *streamConn) beginCall() (uint64, chan ack, error) {
 	sc.wmu.Lock()
 	if sc.waiters == nil {
 		sc.wmu.Unlock()
-		return 0, sc.deadErr
+		return 0, nil, sc.deadErr
 	}
 	sc.nextSeq++
 	seq := sc.nextSeq
 	waiter := waiterPool.Get().(chan ack)
 	sc.waiters[seq] = waiter
 	sc.wmu.Unlock()
+	return seq, waiter, nil
+}
 
+// finishCall queues the framed call and waits for its ack. The
+// connection's watchdog bounds the wait when the caller's context
+// cannot (markDead fails every waiter), so the no-deadline hot path is
+// a plain channel receive, not a select.
+func (sc *streamConn) finishCall(ctx context.Context, seq uint64, waiter chan ack, fp *[]byte) (ack, error) {
 	done := ctx.Done()
-	fp := framePool.Get().(*[]byte)
-	*fp = appendPublishFrame((*fp)[:0], seq, payload)
 	// Fast path: the write queue almost always has room, and the
 	// non-blocking send is far cheaper than a three-way select.
 	select {
@@ -468,10 +497,10 @@ func (sc *streamConn) roundTrip(ctx context.Context, payload []byte) (int, error
 		case sc.writeCh <- fp:
 		case <-sc.dead:
 			sc.forget(seq)
-			return 0, sc.deadErr
+			return ack{}, sc.deadErr
 		case <-done:
 			sc.forget(seq)
-			return 0, ctx.Err()
+			return ack{}, ctx.Err()
 		}
 	}
 
@@ -485,12 +514,27 @@ func (sc *streamConn) roundTrip(ctx context.Context, payload []byte) (int, error
 			// The abandoned channel may still receive a late ack; it is
 			// dropped, not pooled.
 			sc.forget(seq)
-			return 0, ctx.Err()
+			return ack{}, ctx.Err()
 		}
 	}
 	waiterPool.Put(waiter)
 	if a.connDead {
-		return 0, sc.deadErr
+		return ack{}, sc.deadErr
+	}
+	return a, nil
+}
+
+// roundTrip queues one publish frame and waits for its ack.
+func (sc *streamConn) roundTrip(ctx context.Context, payload []byte) (int, error) {
+	seq, waiter, err := sc.beginCall()
+	if err != nil {
+		return 0, err
+	}
+	fp := framePool.Get().(*[]byte)
+	*fp = appendPublishFrame((*fp)[:0], seq, payload)
+	a, err := sc.finishCall(ctx, seq, waiter, fp)
+	if err != nil {
+		return 0, err
 	}
 	if a.Status != StatusOK {
 		return int(a.Delivered), &StatusError{Status: a.Status, Message: a.Message}

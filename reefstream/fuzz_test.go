@@ -89,27 +89,51 @@ func TestAckCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// sampleDelivered wraps the sample events in delivery metadata for the
+// consume-plane codecs.
+func sampleDelivered() []reef.DeliveredEvent {
+	evs := sampleEvents()
+	out := make([]reef.DeliveredEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = reef.DeliveredEvent{Seq: int64(i) + 10, Attempts: i + 1, Event: ev}
+	}
+	return out
+}
+
 // FuzzStreamDecode extends the FuzzWALDecode contract to the stream
 // payload decoders: arbitrary bytes inside a valid frame envelope must
 // produce a typed error (ErrBadFrame) or a valid decode — never a
-// panic, never an unbounded allocation.
+// panic, never an unbounded allocation. The consume payload is run
+// through all four consume-plane decoders (subscribe, deliver,
+// consume-ack, credit) with a round-trip invariant on clean decodes.
 func FuzzStreamDecode(f *testing.F) {
-	f.Add(EncodeEvents(sampleEvents()), appendAckFrame(nil, ack{Seq: 9, Delivered: 3})[10:])
+	f.Add(EncodeEvents(sampleEvents()), appendAckFrame(nil, ack{Seq: 9, Delivered: 3})[10:], []byte{})
 	// A publish body with seq prefix, as decodePublish sees it.
 	pub := binary.LittleEndian.AppendUint64(nil, 7)
 	pub = append(pub, EncodeEvents(sampleEvents())...)
-	f.Add(pub, []byte{})
+	f.Add(pub, []byte{}, []byte{})
 	// Corrupt length prefix: claims more events than bytes.
 	huge := binary.LittleEndian.AppendUint64(nil, 1)
 	huge = binary.AppendUvarint(huge, 1<<40)
-	f.Add(huge, []byte("x"))
+	f.Add(huge, []byte("x"), []byte("x"))
 	// Truncated mid-event.
 	trunc := binary.LittleEndian.AppendUint64(nil, 2)
 	trunc = append(trunc, EncodeEvents(sampleEvents())...)
-	f.Add(trunc[:len(trunc)-9], []byte{0, 0, 0})
-	f.Add([]byte{}, []byte{})
+	f.Add(trunc[:len(trunc)-9], []byte{0, 0, 0}, []byte{0, 0, 0})
+	f.Add([]byte{}, []byte{}, []byte{})
+	// Clean consume payloads, one per op.
+	subPayload := appendSubscribeFrame(nil, subscribe{Seq: 3, CID: 1, Credit: 4096, User: "bob", SubID: "http://h.test/f"})
+	f.Add([]byte{}, []byte{}, subPayload[10:])
+	delPayload := appendDeliverFrame(nil, 1, sampleDelivered())
+	f.Add([]byte{}, []byte{}, delPayload[10:])
+	// The same deliver payload truncated mid-event.
+	f.Add([]byte{}, []byte{}, delPayload[10:len(delPayload)-5])
+	cackPayload := appendConsumeAckFrame(nil, consumeAck{Seq: 4, CID: 1, AckSeq: 12, Nack: true})
+	f.Add([]byte{}, []byte{}, cackPayload[10:])
+	creditPayload := appendCreditFrame(nil, credit{CID: 1, N: 64})
+	f.Add([]byte{}, []byte{}, creditPayload[10:])
 
-	f.Fuzz(func(t *testing.T, pubPayload, ackPayload []byte) {
+	f.Fuzz(func(t *testing.T, pubPayload, ackPayload, consumePayload []byte) {
 		if seq, evs, err := decodePublish(pubPayload, nil); err != nil {
 			if !errors.Is(err, ErrBadFrame) {
 				t.Fatalf("decodePublish returned untyped error %v", err)
@@ -132,5 +156,121 @@ func FuzzStreamDecode(f *testing.F) {
 		if _, err := decodeAck(ackPayload); err != nil && !errors.Is(err, ErrBadFrame) {
 			t.Fatalf("decodeAck returned untyped error %v", err)
 		}
+
+		if s, err := decodeSubscribe(consumePayload); err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("decodeSubscribe returned untyped error %v", err)
+			}
+		} else {
+			re := appendSubscribeFrame(nil, s)
+			rec, _, derr := durable.DecodeFrame(re)
+			if derr != nil {
+				t.Fatalf("re-encoded subscribe does not frame: %v", derr)
+			}
+			if s2, derr := decodeSubscribe(rec.Payload); derr != nil || s2 != s {
+				t.Fatalf("subscribe re-decode = (%+v, %v), want (%+v, nil)", s2, derr, s)
+			}
+		}
+		if cid, evs, err := decodeDeliver(consumePayload, nil); err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("decodeDeliver returned untyped error %v", err)
+			}
+		} else {
+			re := appendDeliverFrame(nil, cid, evs)
+			rec, _, derr := durable.DecodeFrame(re)
+			if derr != nil {
+				t.Fatalf("re-encoded deliver does not frame: %v", derr)
+			}
+			cid2, evs2, derr := decodeDeliver(rec.Payload, nil)
+			if derr != nil || cid2 != cid || len(evs2) != len(evs) {
+				t.Fatalf("deliver re-decode = (%d, %d events, %v), want (%d, %d, nil)",
+					cid2, len(evs2), derr, cid, len(evs))
+			}
+			for i := range evs {
+				if evs2[i].Seq != evs[i].Seq || evs2[i].Attempts != evs[i].Attempts {
+					t.Fatalf("delivery %d metadata = (%d, %d), want (%d, %d)",
+						i, evs2[i].Seq, evs2[i].Attempts, evs[i].Seq, evs[i].Attempts)
+				}
+			}
+		}
+		if ca, err := decodeConsumeAck(consumePayload); err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("decodeConsumeAck returned untyped error %v", err)
+			}
+		} else {
+			re := appendConsumeAckFrame(nil, ca)
+			rec, _, derr := durable.DecodeFrame(re)
+			if derr != nil {
+				t.Fatalf("re-encoded consume-ack does not frame: %v", derr)
+			}
+			if ca2, derr := decodeConsumeAck(rec.Payload); derr != nil || ca2 != ca {
+				t.Fatalf("consume-ack re-decode = (%+v, %v), want (%+v, nil)", ca2, derr, ca)
+			}
+		}
+		if cr, err := decodeCredit(consumePayload); err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("decodeCredit returned untyped error %v", err)
+			}
+		} else {
+			re := appendCreditFrame(nil, cr)
+			rec, _, derr := durable.DecodeFrame(re)
+			if derr != nil {
+				t.Fatalf("re-encoded credit does not frame: %v", derr)
+			}
+			if cr2, derr := decodeCredit(rec.Payload); derr != nil || cr2 != cr {
+				t.Fatalf("credit re-decode = (%+v, %v), want (%+v, nil)", cr2, derr, cr)
+			}
+		}
 	})
+}
+
+// TestConsumeCodecRoundTrip pins the four consume-plane encodings.
+func TestConsumeCodecRoundTrip(t *testing.T) {
+	wantSub := subscribe{Seq: 11, CID: 3, Credit: 4096, User: "alice", SubID: "http://h.test/f"}
+	rec, _, err := durable.DecodeFrame(appendSubscribeFrame(nil, wantSub))
+	if err != nil || rec.Op != durable.OpStreamSubscribe {
+		t.Fatalf("subscribe frame = (%v, %v)", rec.Op, err)
+	}
+	if got, err := decodeSubscribe(rec.Payload); err != nil || got != wantSub {
+		t.Errorf("subscribe round trip = (%+v, %v), want %+v", got, err, wantSub)
+	}
+
+	wantDel := sampleDelivered()
+	rec, _, err = durable.DecodeFrame(appendDeliverFrame(nil, 7, wantDel))
+	if err != nil || rec.Op != durable.OpStreamDeliver {
+		t.Fatalf("deliver frame = (%v, %v)", rec.Op, err)
+	}
+	cid, got, err := decodeDeliver(rec.Payload, nil)
+	if err != nil || cid != 7 || len(got) != len(wantDel) {
+		t.Fatalf("deliver round trip = (%d, %d events, %v)", cid, len(got), err)
+	}
+	for i, d := range got {
+		w := wantDel[i]
+		if d.Seq != w.Seq || d.Attempts != w.Attempts || d.Event.Source != w.Event.Source ||
+			string(d.Event.Payload) != string(w.Event.Payload) || !d.Event.Published.Equal(w.Event.Published) {
+			t.Errorf("delivery %d = %+v, want %+v", i, d, w)
+		}
+	}
+
+	for _, wantCA := range []consumeAck{
+		{Seq: 1, CID: 2, AckSeq: 3, Nack: false},
+		{Seq: 1 << 60, CID: 1<<64 - 1, AckSeq: -1, Nack: true},
+	} {
+		rec, _, err = durable.DecodeFrame(appendConsumeAckFrame(nil, wantCA))
+		if err != nil || rec.Op != durable.OpStreamConsumeAck {
+			t.Fatalf("consume-ack frame = (%v, %v)", rec.Op, err)
+		}
+		if got, err := decodeConsumeAck(rec.Payload); err != nil || got != wantCA {
+			t.Errorf("consume-ack round trip = (%+v, %v), want %+v", got, err, wantCA)
+		}
+	}
+
+	wantCr := credit{CID: 9, N: 128}
+	rec, _, err = durable.DecodeFrame(appendCreditFrame(nil, wantCr))
+	if err != nil || rec.Op != durable.OpStreamCredit {
+		t.Fatalf("credit frame = (%v, %v)", rec.Op, err)
+	}
+	if got, err := decodeCredit(rec.Payload); err != nil || got != wantCr {
+		t.Errorf("credit round trip = (%+v, %v), want %+v", got, err, wantCr)
+	}
 }

@@ -1,21 +1,26 @@
-// Package reefstream is the binary publish data plane: a persistent-
-// connection, length-prefixed streaming protocol that carries events to
-// a reef deployment without the per-call HTTP/1.1 + JSON envelope the
+// Package reefstream is the binary data plane: a persistent-connection,
+// length-prefixed streaming protocol that carries events to and from a
+// reef deployment without the per-call HTTP/1.1 + JSON envelope the
 // REST transport pays. REST (reefclient) remains the control plane —
 // subscriptions, recommendations, stats — while this package moves the
-// one hot, high-volume verb: publish.
+// two hot, high-volume verbs: publish (ingest) and reliable consume
+// (server-pushed delivery with pipelined acks).
 //
 // # Wire format
 //
 // Every message on the wire is one internal/durable record frame
 // ([4B body length][4B CRC32-C][1B version][1B op][payload]), so the
 // ingest wire format and the WAL/replication format are a single codec
-// with a single fuzzer. Three ops exist only on the wire and never in a
+// with a single fuzzer. Seven ops exist only on the wire and never in a
 // WAL file:
 //
-//	OpStreamHello   (8)  JSON handshake, both directions
-//	OpStreamPublish (9)  [8B LE seq][uvarint n][n × event]
-//	OpStreamAck     (10) [8B LE seq][8B LE delivered][1B status][uvarint-len message]
+//	OpStreamHello      (8)  JSON handshake, both directions
+//	OpStreamPublish    (9)  [8B LE seq][uvarint n][n × event]
+//	OpStreamAck        (10) [8B LE seq][8B LE delivered][1B status][uvarint-len message]
+//	OpStreamSubscribe  (11) [8B LE seq][8B LE cid][uvarint credit][uvarint-len user][uvarint-len subID]
+//	OpStreamDeliver    (12) [8B LE cid][uvarint n][n × ([8B LE seq][uvarint attempts][event])]
+//	OpStreamConsumeAck (13) [8B LE seq][8B LE cid][8B LE ackSeq][1B nack]
+//	OpStreamCredit     (14) [8B LE cid][uvarint n]
 //
 // An event is encoded as [uvarint-len source][uvarint nattrs]
 // [nattrs × (uvarint-len key, uvarint-len value)][uvarint-len payload]
@@ -35,18 +40,34 @@
 // acks in frame order — but the client matches them by sequence number
 // regardless.
 //
+// # Consume
+//
+// The same connection carries the read side. A subscribe frame attaches
+// a consumer for one (user, subscription) with an initial credit window
+// (answered by an ack frame matched on its sequence number); the server
+// then pushes deliver frames the moment events are retained — woken by
+// the delivery queue's notify hook, not by polling — decrementing
+// credit per pushed event and stopping at zero. The client replenishes
+// credit with fire-and-forget credit frames as its application consumes,
+// and advances the durable cursor with consume-ack frames that pipeline
+// like publishes: cumulative, matched by sequence number, never blocking
+// the push direction.
+//
 // # Drain
 //
 // Server.Shutdown stops accepting new connections and new frames, then
 // applies and acks every frame already read before closing each
 // connection. The invariant: a frame the server read is fully applied
-// and acked; bytes still in flight are never partially applied.
+// and acked; bytes still in flight are never partially applied. Pushed
+// deliveries need no drain step: an unacked delivery is redelivered
+// after its lease, on this node or on a promoted replica.
 package reefstream
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"reef"
@@ -68,6 +89,8 @@ const (
 	StatusInvalidArgument = 1
 	StatusUnavailable     = 2
 	StatusInternal        = 3
+	StatusUnsupported     = 4
+	StatusNotFound        = 5
 )
 
 // ErrBadFrame marks a structurally invalid stream payload: the durable
@@ -84,18 +107,24 @@ type StatusError struct {
 }
 
 func (e *StatusError) Error() string {
-	return fmt.Sprintf("reefstream: publish rejected (status %d): %s", e.Status, e.Message)
+	return fmt.Sprintf("reefstream: rejected (status %d): %s", e.Status, e.Message)
 }
 
 // Unwrap maps wire statuses onto the reef sentinels: invalid_argument
-// publishes unwrap to reef.ErrInvalidArgument, unavailable (server
-// draining or closed) to reef.ErrClosed.
+// unwraps to reef.ErrInvalidArgument, unavailable (server draining or
+// closed) to reef.ErrClosed, unsupported (no reliable-delivery surface
+// behind the stream) to reef.ErrUnsupported, not_found (unknown
+// subscription) to reef.ErrNotFound.
 func (e *StatusError) Unwrap() error {
 	switch e.Status {
 	case StatusInvalidArgument:
 		return reef.ErrInvalidArgument
 	case StatusUnavailable:
 		return reef.ErrClosed
+	case StatusUnsupported:
+		return reef.ErrUnsupported
+	case StatusNotFound:
+		return reef.ErrNotFound
 	}
 	return nil
 }
@@ -107,6 +136,10 @@ func statusFor(err error) int {
 		return StatusInvalidArgument
 	case errors.Is(err, reef.ErrClosed):
 		return StatusUnavailable
+	case errors.Is(err, reef.ErrUnsupported):
+		return StatusUnsupported
+	case errors.Is(err, reef.ErrNotFound):
+		return StatusNotFound
 	default:
 		return StatusInternal
 	}
@@ -316,4 +349,188 @@ func decodeAck(payload []byte) (ack, error) {
 	}
 	a.Message = string(msg)
 	return a, nil
+}
+
+// ---- Consume-plane codecs ---------------------------------------------
+
+// subscribe is a decoded OpStreamSubscribe: one consumer attach. Seq is
+// the frame's place in the shared pipelined sequence space (its ack
+// carries the server's verdict); CID is the connection-local consumer
+// identity every later deliver/consume-ack/credit frame refers to.
+type subscribe struct {
+	Seq    uint64
+	CID    uint64
+	Credit uint64
+	User   string
+	SubID  string
+}
+
+func appendSubscribeFrame(dst []byte, s subscribe) []byte {
+	var fixed [16 + binary.MaxVarintLen64]byte
+	binary.LittleEndian.PutUint64(fixed[0:8], s.Seq)
+	binary.LittleEndian.PutUint64(fixed[8:16], s.CID)
+	n := 16 + binary.PutUvarint(fixed[16:], s.Credit)
+	body := make([]byte, 0, 2*binary.MaxVarintLen64+len(s.User)+len(s.SubID))
+	body = binary.AppendUvarint(body, uint64(len(s.User)))
+	body = append(body, s.User...)
+	body = binary.AppendUvarint(body, uint64(len(s.SubID)))
+	body = append(body, s.SubID...)
+	return durable.AppendFrameParts(dst, durable.OpStreamSubscribe, fixed[:n], body)
+}
+
+func decodeSubscribe(payload []byte) (subscribe, error) {
+	if len(payload) < 16 {
+		return subscribe{}, fmt.Errorf("%w: truncated subscribe", ErrBadFrame)
+	}
+	s := subscribe{
+		Seq: binary.LittleEndian.Uint64(payload[0:8]),
+		CID: binary.LittleEndian.Uint64(payload[8:16]),
+	}
+	credit, rest, err := decodeUvarint(payload[16:])
+	if err != nil {
+		return subscribe{}, err
+	}
+	s.Credit = credit
+	user, rest, err := decodeBytes(rest)
+	if err != nil {
+		return subscribe{}, err
+	}
+	subID, rest, err := decodeBytes(rest)
+	if err != nil {
+		return subscribe{}, err
+	}
+	if len(rest) != 0 {
+		return subscribe{}, fmt.Errorf("%w: %d trailing bytes after subscribe", ErrBadFrame, len(rest))
+	}
+	s.User, s.SubID = string(user), string(subID)
+	return s, nil
+}
+
+// appendDeliverFrame frames one pushed batch for a consumer: the CID,
+// then each leased event as [8B LE seq][uvarint attempts][event]. The
+// caller passes reef-level delivered events; encode allocates nothing
+// beyond dst's growth.
+var deliverBodyPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func appendDeliverFrame(dst []byte, cid uint64, evs []reef.DeliveredEvent) []byte {
+	bp := deliverBodyPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = binary.LittleEndian.AppendUint64(buf, cid)
+	buf = binary.AppendUvarint(buf, uint64(len(evs)))
+	for _, d := range evs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(d.Seq))
+		buf = binary.AppendUvarint(buf, uint64(d.Attempts))
+		buf = AppendEvent(buf, d.Event)
+	}
+	dst = durable.AppendFrameParts(dst, durable.OpStreamDeliver, buf, nil)
+	*bp = buf
+	deliverBodyPool.Put(bp)
+	return dst
+}
+
+// decodeDeliver decodes an OpStreamDeliver payload into its consumer ID
+// and events, appending to evs (reusable across frames). Strings share
+// one allocation via the same shared-string technique decodePublish
+// uses, so a pushed frame costs one string copy, not one per field.
+func decodeDeliver(payload []byte, evs []reef.DeliveredEvent) (uint64, []reef.DeliveredEvent, error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("%w: truncated deliver header", ErrBadFrame)
+	}
+	cid := binary.LittleEndian.Uint64(payload[:8])
+	n, rest, err := decodeUvarint(payload[8:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > MaxFrameEvents || n > uint64(len(rest)) {
+		return 0, nil, fmt.Errorf("%w: %d deliveries in %d bytes", ErrBadFrame, n, len(rest))
+	}
+	shared := string(rest)
+	for i := uint64(0); i < n; i++ {
+		if len(rest) < 8 {
+			return 0, nil, fmt.Errorf("%w: truncated delivery seq", ErrBadFrame)
+		}
+		seq := binary.LittleEndian.Uint64(rest[:8])
+		rest = rest[8:]
+		attempts, r2, err := decodeUvarint(rest)
+		if err != nil {
+			return 0, nil, err
+		}
+		rest = r2
+		var ev reef.Event
+		// Re-anchor shared to the remaining window so decodeEvent's
+		// offset math (computed against the suffix it was handed) holds.
+		if ev, rest, err = decodeEvent(rest, shared[len(shared)-len(rest):]); err != nil {
+			return 0, nil, err
+		}
+		evs = append(evs, reef.DeliveredEvent{Seq: int64(seq), Attempts: int(attempts), Event: ev})
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes after deliveries", ErrBadFrame, len(rest))
+	}
+	return cid, evs, nil
+}
+
+// consumeAck is a decoded OpStreamConsumeAck: one cumulative cursor
+// advance (or nack) pipelined from a consumer. Fixed 25-byte payload.
+type consumeAck struct {
+	Seq    uint64
+	CID    uint64
+	AckSeq int64
+	Nack   bool
+}
+
+func appendConsumeAckFrame(dst []byte, a consumeAck) []byte {
+	var fixed [25]byte
+	binary.LittleEndian.PutUint64(fixed[0:8], a.Seq)
+	binary.LittleEndian.PutUint64(fixed[8:16], a.CID)
+	binary.LittleEndian.PutUint64(fixed[16:24], uint64(a.AckSeq))
+	if a.Nack {
+		fixed[24] = 1
+	}
+	return durable.AppendFrameParts(dst, durable.OpStreamConsumeAck, fixed[:], nil)
+}
+
+func decodeConsumeAck(payload []byte) (consumeAck, error) {
+	if len(payload) != 25 {
+		return consumeAck{}, fmt.Errorf("%w: consume-ack length %d, want 25", ErrBadFrame, len(payload))
+	}
+	if payload[24] > 1 {
+		return consumeAck{}, fmt.Errorf("%w: consume-ack nack byte %d", ErrBadFrame, payload[24])
+	}
+	return consumeAck{
+		Seq:    binary.LittleEndian.Uint64(payload[0:8]),
+		CID:    binary.LittleEndian.Uint64(payload[8:16]),
+		AckSeq: int64(binary.LittleEndian.Uint64(payload[16:24])),
+		Nack:   payload[24] == 1,
+	}, nil
+}
+
+// credit is a decoded OpStreamCredit: a fire-and-forget flow-control
+// grant of n more events for one consumer.
+type credit struct {
+	CID uint64
+	N   uint64
+}
+
+func appendCreditFrame(dst []byte, c credit) []byte {
+	var fixed [8 + binary.MaxVarintLen64]byte
+	binary.LittleEndian.PutUint64(fixed[0:8], c.CID)
+	n := 8 + binary.PutUvarint(fixed[8:], c.N)
+	return durable.AppendFrameParts(dst, durable.OpStreamCredit, fixed[:n], nil)
+}
+
+func decodeCredit(payload []byte) (credit, error) {
+	if len(payload) < 8 {
+		return credit{}, fmt.Errorf("%w: truncated credit", ErrBadFrame)
+	}
+	c := credit{CID: binary.LittleEndian.Uint64(payload[0:8])}
+	n, rest, err := decodeUvarint(payload[8:])
+	if err != nil {
+		return credit{}, err
+	}
+	if len(rest) != 0 {
+		return credit{}, fmt.Errorf("%w: %d trailing bytes after credit", ErrBadFrame, len(rest))
+	}
+	c.N = n
+	return c, nil
 }

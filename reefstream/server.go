@@ -42,11 +42,15 @@ func WithNode(id string) ServerOption {
 type Server struct {
 	dep    reef.Deployment
 	counts reef.BatchCountPublisher // non-nil when dep attributes per-event counts
+	stream reef.StreamDeliverer     // non-nil when dep can push reliable deliveries
 	node   string
 	ln     net.Listener
 
 	frames atomic.Int64
 	events atomic.Int64
+
+	consumers atomic.Int64 // consumer sessions currently attached
+	delivered atomic.Int64 // events pushed to consumers since start
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -79,6 +83,9 @@ func NewServer(ln net.Listener, dep reef.Deployment, opts ...ServerOption) *Serv
 	if bc, ok := dep.(reef.BatchCountPublisher); ok {
 		s.counts = bc
 	}
+	if sd, ok := dep.(reef.StreamDeliverer); ok {
+		s.stream = sd
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -93,6 +100,13 @@ func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 // applied since start.
 func (s *Server) Stats() (frames, events int64) {
 	return s.frames.Load(), s.events.Load()
+}
+
+// ConsumeStats reports the consume side of the data plane: how many
+// consumer sessions are attached right now, and how many events have
+// been pushed to consumers since start (redeliveries included).
+func (s *Server) ConsumeStats() (attached, delivered int64) {
+	return s.consumers.Load(), s.delivered.Load()
 }
 
 func (s *Server) acceptLoop() {
@@ -203,6 +217,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	conn.SetReadDeadline(time.Time{})
 
+	// All further writes go through cs: consumer pushers share the
+	// socket with the ack path, so the bufio writer is mutex-serialized
+	// from here on.
+	cs := newConnState(s, bw)
+	defer cs.closeConsumers()
+
 	var (
 		readBuf []byte
 		evs     []reef.Event
@@ -212,16 +232,20 @@ func (s *Server) serveConn(conn net.Conn) {
 	)
 	for {
 		evs, spans = evs[:0], spans[:0]
+		var ctrl durable.Record
+		hasCtrl := false
 		// Block for one frame, then keep decoding as long as more
 		// frames are already buffered — pipelined publishes coalesce
 		// into one batch publish without adding latency to a lone one.
+		// A consume-plane frame ends the pass (it is handled after the
+		// publishes it trailed, preserving frame order).
 		rec, err := s.readFrame(br, &readBuf)
 		for {
 			if err != nil {
 				break
 			}
 			if rec.Op != durable.OpStreamPublish {
-				err = fmt.Errorf("%w: unexpected op %v mid-stream", ErrBadFrame, rec.Op)
+				ctrl, hasCtrl = rec, true
 				break
 			}
 			var seq uint64
@@ -241,8 +265,18 @@ func (s *Server) serveConn(conn net.Conn) {
 		// frame): a frame the server read is never left half-applied.
 		if len(spans) > 0 {
 			ackBuf, counts = s.applyAndAck(evs, spans, ackBuf[:0], counts)
-			if _, werr := bw.Write(ackBuf); werr == nil {
-				bw.Flush()
+			if cs.write(ackBuf) != nil {
+				return
+			}
+		}
+		if hasCtrl {
+			var cerr error
+			ackBuf, cerr = s.handleControl(cs, ctrl, ackBuf[:0])
+			if cerr != nil {
+				return
+			}
+			if len(ackBuf) > 0 && cs.write(ackBuf) != nil {
+				return
 			}
 		}
 		if err != nil {
@@ -251,6 +285,47 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.isDraining() && br.Buffered() < durable.FrameHeaderLen {
 			return
 		}
+	}
+}
+
+// handleControl dispatches one consume-plane frame: subscribe and
+// consume-ack get an ack frame appended to dst (matched by sequence
+// number client-side), credit is fire-and-forget. A malformed payload
+// or an op that has no business arriving from a client is a protocol
+// error that kills the connection.
+func (s *Server) handleControl(cs *connState, rec durable.Record, dst []byte) ([]byte, error) {
+	switch rec.Op {
+	case durable.OpStreamSubscribe:
+		sub, err := decodeSubscribe(rec.Payload)
+		if err != nil {
+			return dst, err
+		}
+		a := ack{Seq: sub.Seq}
+		if err := cs.attach(sub); err != nil {
+			a.Status = statusFor(err)
+			a.Message = err.Error()
+		}
+		return appendAckFrame(dst, a), nil
+	case durable.OpStreamConsumeAck:
+		ca, err := decodeConsumeAck(rec.Payload)
+		if err != nil {
+			return dst, err
+		}
+		a := ack{Seq: ca.Seq}
+		if err := cs.consumeAck(ca); err != nil {
+			a.Status = statusFor(err)
+			a.Message = err.Error()
+		}
+		return appendAckFrame(dst, a), nil
+	case durable.OpStreamCredit:
+		cr, err := decodeCredit(rec.Payload)
+		if err != nil {
+			return dst, err
+		}
+		cs.addCredit(cr)
+		return dst, nil
+	default:
+		return dst, fmt.Errorf("%w: unexpected op %v mid-stream", ErrBadFrame, rec.Op)
 	}
 }
 
