@@ -8,6 +8,7 @@ import (
 
 	"reef/internal/attention"
 	"reef/internal/durable"
+	"reef/internal/metrics"
 	"reef/internal/pubsub"
 	"reef/internal/simclock"
 )
@@ -550,7 +551,7 @@ func (c *Centralized) Stats(ctx context.Context) (Stats, error) {
 	n := len(c.shards)
 	if n == 1 {
 		out := c.shards[0].stats()
-		out["shards"] = 1
+		out[metrics.Shards.Key] = 1
 		return out, nil
 	}
 	perShard := make([]Stats, n)
@@ -563,12 +564,12 @@ func (c *Centralized) Stats(ctx context.Context) (Stats, error) {
 		for _, h := range e.server.Store().Hosts() {
 			hosts[h] = struct{}{}
 		}
-		out[fmt.Sprintf("shard%d_clicks_stored", i)] = perShard[i]["clicks_stored"]
-		out[fmt.Sprintf("shard%d_users_with_frontends", i)] = perShard[i]["users_with_frontends"]
-		out[fmt.Sprintf("shard%d_pending_recommendations", i)] = perShard[i]["pending_recommendations"]
+		out[fmt.Sprintf("shard%d_%s", i, metrics.ClicksStored.Key)] = perShard[i][metrics.ClicksStored.Key]
+		out[fmt.Sprintf("shard%d_%s", i, metrics.UsersWithFrontends.Key)] = perShard[i][metrics.UsersWithFrontends.Key]
+		out[fmt.Sprintf("shard%d_%s", i, metrics.PendingRecommendations.Key)] = perShard[i][metrics.PendingRecommendations.Key]
 	}
-	out["distinct_servers"] = float64(len(hosts))
-	out["shards"] = float64(n)
+	out[metrics.DistinctServers.Key] = float64(len(hosts))
+	out[metrics.Shards.Key] = float64(n)
 	return out, nil
 }
 

@@ -76,6 +76,24 @@
 // <data-dir>/replication/, and GET /v1/admin/replication reports both
 // directions' stream positions, lag and backlog.
 //
+// # Observability
+//
+// Every reefd (node or router) serves GET /v1/metrics, a dependency-free
+// Prometheus text exposition covering the REST middleware, the stream
+// data plane, delivery queues, replication, and (router mode) the
+// cluster's routing health — one shared registry per process. Requests
+// are traced: a 16-byte ID minted at ingress (or taken from the
+// X-Reef-Trace header) is echoed on the response, forwarded on fan-out
+// and replication calls, carried on stream publish frames, and recorded
+// into a bounded per-node span ring dumped by GET /v1/admin/trace
+// (?trace=HEX&limit=N). Logs go through log/slog — -log-level picks the
+// threshold (debug, info, warn, error), -log-format text or json — and
+// the startup line records the build version and effective config.
+// -pprof-addr serves net/http/pprof on a separate listener (keep it off
+// public interfaces):
+//
+//	reefd -addr :7070 -log-format json -log-level debug -pprof-addr localhost:6060
+//
 // Endpoints (see package reefhttp for the full wire contract):
 //
 //	POST   /v1/clicks                          ingest a click batch
@@ -89,8 +107,10 @@
 //	POST   /v1/recommendations/{id}/accept     accept one
 //	POST   /v1/recommendations/{id}/reject     reject one
 //	GET    /v1/stats                           counters
-//	GET    /v1/healthz                         liveness + shape + node ID
+//	GET    /v1/metrics                         Prometheus text exposition
+//	GET    /v1/healthz                         liveness + shape + node ID + version/uptime
 //	GET    /v1/readyz                          readiness (starting/ready/draining)
+//	GET    /v1/admin/trace                     span ring dump (?trace=HEX&limit=N)
 //	GET    /v1/admin/storage                   persistence backend state
 //	GET    /v1/admin/replication               replication stream positions + lag
 //	POST   /v1/replication/records             peer WAL batch ingest (internal)
@@ -106,9 +126,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -119,8 +140,10 @@ import (
 	"time"
 
 	"reef"
+	"reef/internal/metrics"
 	"reef/internal/replication"
 	"reef/internal/topics"
+	"reef/internal/trace"
 	"reef/internal/websim"
 	"reef/reefcluster"
 	"reef/reefhttp"
@@ -146,18 +169,79 @@ func main() {
 	replicas := flag.Int("replicas", 0, "replicas per user: node mode ships the WAL to each user's k replica nodes (needs -data-dir, -node-id and -peers); router mode fails user calls over to the first up replica")
 	peers := flag.String("peers", "", "the cluster seed list this node replicates over (comma-separated id=url pairs, same order on every node; must include -node-id)")
 	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "how long /v1/readyz advertises draining before the listener closes")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for the net/http/pprof debug server (empty disables it; keep it off public interfaces)")
 	flag.Parse()
 
-	var err error
-	if *clusterNodes != "" {
-		err = runRouter(*addr, *clusterNodes, *clusterStreams, *nodeID, *streamAddr, *drainGrace, *dataDir, *shards, *replicas, *peers)
-	} else {
-		err = run(*addr, *seed, *scale, *pipelineEvery, *pollEvery, *dataDir, *syncMode, *snapshotEvery, *shards, *nodeID, *streamAddr, *clusterStreams, *drainGrace, *ackTimeout, *maxAttempts, *replicas, *peers)
-	}
+	logger, err := buildLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
-		log.Print(err)
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *nodeID != "" {
+		logger = logger.With("node", *nodeID)
+	}
+	slog.SetDefault(logger)
+	if *pprofAddr != "" {
+		if err := startPprof(*pprofAddr, logger); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *clusterNodes != "" {
+		err = runRouter(logger, *addr, *clusterNodes, *clusterStreams, *nodeID, *streamAddr, *drainGrace, *dataDir, *shards, *replicas, *peers)
+	} else {
+		err = run(logger, *addr, *seed, *scale, *pipelineEvery, *pollEvery, *dataDir, *syncMode, *snapshotEvery, *shards, *nodeID, *streamAddr, *clusterStreams, *drainGrace, *ackTimeout, *maxAttempts, *replicas, *peers)
+	}
+	if err != nil {
+		logger.Error("reefd exiting", "err", err)
+		os.Exit(1)
+	}
+}
+
+// buildLogger assembles the process logger from the -log-level and
+// -log-format flags.
+func buildLogger(w *os.File, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("reefd: bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("reefd: bad -log-format %q (want text or json)", format)
+	}
+}
+
+// startPprof serves net/http/pprof on its own listener with an explicit
+// mux — the profiles never mount on the API listener, so exposing the
+// API does not expose heap dumps. Errors binding the address fail
+// startup; errors after that are logged, not fatal (losing the debug
+// listener must not take the data path down).
+func startPprof(addr string, logger *slog.Logger) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("reefd: pprof listener: %w", err)
+	}
+	logger.Info("pprof listening", "addr", ln.Addr().String())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			logger.Warn("pprof server stopped", "err", err)
+		}
+	}()
+	return nil
 }
 
 // syncPolicy parses the -sync flag.
@@ -291,7 +375,7 @@ func startingHandler() http.Handler {
 // the listener drains in-flight requests, and finally shutdown()
 // releases whatever the mode holds. The caller starts srv.Serve itself
 // (feeding serveErr) so the accept loop can predate recovery replay.
-func serveUntilSignal(srv *http.Server, serveErr <-chan error, ready *reefhttp.Readiness, drainGrace time.Duration, shutdown func() error) error {
+func serveUntilSignal(logger *slog.Logger, srv *http.Server, serveErr <-chan error, ready *reefhttp.Readiness, drainGrace time.Duration, shutdown func() error) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancel()
 	select {
@@ -300,28 +384,38 @@ func serveUntilSignal(srv *http.Server, serveErr <-chan error, ready *reefhttp.R
 		return fmt.Errorf("reefd: %w", err)
 	case <-ctx.Done():
 	}
-	log.Print("reefd: signal received, draining (readyz -> 503)")
+	logger.Info("signal received, draining (readyz -> 503)", "grace", drainGrace)
 	ready.SetDraining()
 	time.Sleep(drainGrace)
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer shutCancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("reefd: shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("reefd: serve: %v", err)
+		logger.Warn("serve", "err", err)
 	}
 	if err := shutdown(); err != nil {
 		return err
 	}
-	log.Print("reefd: shut down cleanly")
+	logger.Info("shut down cleanly")
 	return nil
 }
 
-func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.Duration, dataDir, syncMode string, snapshotEvery, shards int, nodeID, streamAddr, clusterStreams string, drainGrace time.Duration, ackTimeout time.Duration, maxAttempts int, replicas int, peersSpec string) error {
+func run(logger *slog.Logger, addr string, seed int64, scale float64, pipelineEvery, pollEvery time.Duration, dataDir, syncMode string, snapshotEvery, shards int, nodeID, streamAddr, clusterStreams string, drainGrace time.Duration, ackTimeout time.Duration, maxAttempts int, replicas int, peersSpec string) error {
 	if clusterStreams != "" {
 		return errors.New("reefd: -cluster-streams is a router flag; a node's own stream listener is -stream-addr")
 	}
+	logger.Info("reefd starting",
+		"version", reefhttp.Version(), "addr", addr,
+		"data_dir", dataDir, "sync", syncMode, "shards", shards,
+		"stream_addr", streamAddr, "replicas", replicas,
+		"scale", scale, "pipeline_every", pipelineEvery)
+	// One registry and one span ring per node: the REST handler, the
+	// stream data plane and the replication sender all record into them,
+	// so /v1/metrics and /v1/admin/trace each cover the whole node.
+	reg := metrics.NewRegistry()
+	rec := trace.NewRecorder(0)
 	// Replication flags fail fast, before anything binds: shipping the
 	// WAL needs a WAL, an identity, and a seed list to place users over.
 	var replNodes []replication.Node
@@ -400,7 +494,7 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	if dataDir != "" {
-		log.Printf("reefd listening on %s (starting: recovering %s)", addr, dataDir)
+		logger.Info("listening, recovering WAL", "addr", addr, "data_dir", dataDir)
 	}
 
 	dep, err := reef.NewCentralized(opts...)
@@ -415,10 +509,15 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 			_ = dep.Close()
 			return fmt.Errorf("reefd: %w", err)
 		}
-		log.Printf("durable: dir=%s sync=%s shards=%d generation=%d recovered=%d records torn_tail=%v",
-			info.Dir, info.Sync, dep.ShardCount(), info.Generation, info.RecoveredRecords, info.TornTail)
+		logger.Info("durable storage recovered",
+			"dir", info.Dir, "sync", info.Sync, "shards", dep.ShardCount(),
+			"generation", info.Generation, "recovered_records", info.RecoveredRecords,
+			"torn_tail", info.TornTail)
 	}
-	handlerOpts := []reefhttp.HandlerOption{reefhttp.WithReadiness(ready), reefhttp.WithNodeID(nodeID)}
+	handlerOpts := []reefhttp.HandlerOption{
+		reefhttp.WithReadiness(ready), reefhttp.WithNodeID(nodeID),
+		reefhttp.WithMetrics(reg), reefhttp.WithTrace(rec),
+	}
 	var mgr *replication.Manager
 	if replicas > 0 {
 		// The tap is set BEFORE the handler swaps in: every record the
@@ -431,6 +530,8 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 			Replicas: replicas,
 			Applier:  dep,
 			Dir:      filepath.Join(dataDir, "replication"),
+			Logger:   logger,
+			Trace:    rec,
 		})
 		if err != nil {
 			_ = srv.Close()
@@ -439,14 +540,17 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 		}
 		dep.SetReplicationTap(mgr.Offer)
 		handlerOpts = append(handlerOpts, reefhttp.WithReplication(mgr))
-		log.Printf("replication: shipping to %d peer(s), %d replica(s) per user", len(replNodes)-1, replicas)
+		logger.Info("replication shipping", "peers", len(replNodes)-1, "replicas", replicas)
 	}
 	// The stream listener starts AFTER recovery (frames must land in a
 	// live deployment) and before readyz flips: a router that sees ready
 	// may open its stream immediately.
 	var streamSrv *reefstream.Server
 	if streamAddr != "" {
-		streamSrv, err = reefstream.Listen(streamAddr, dep, reefstream.WithNode(nodeID))
+		streamSrv, err = reefstream.Listen(streamAddr, dep,
+			reefstream.WithNode(nodeID),
+			reefstream.WithMetrics(reg),
+			reefstream.WithTraceRecorder(rec))
 		if err != nil {
 			_ = srv.Close()
 			if mgr != nil {
@@ -456,9 +560,9 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 			return fmt.Errorf("reefd: %w", err)
 		}
 		handlerOpts = append(handlerOpts, reefhttp.WithStreamAddr(streamSrv.Addr().String()))
-		log.Printf("stream data plane listening on %s", streamSrv.Addr())
+		logger.Info("stream data plane listening", "addr", streamSrv.Addr().String())
 	}
-	api.set(reefhttp.NewHandler(dep, log.Default(), handlerOpts...))
+	api.set(reefhttp.NewHandler(dep, slog.NewLogLogger(logger.Handler(), slog.LevelError), handlerOpts...))
 	ready.SetReady()
 
 	stop := make(chan struct{})
@@ -477,9 +581,10 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 				stats := dep.RunPipeline(now)
 				polled, published := dep.PollFeeds(context.Background(), now)
 				if stats.Crawled > 0 || stats.Recommendations > 0 || published > 0 {
-					log.Printf("pipeline: crawled=%d feeds=%d recs=%d errors=%d polled=%d pushed=%d",
-						stats.Crawled, stats.FeedsDiscovered, stats.Recommendations,
-						stats.CrawlErrors, polled, published)
+					logger.Info("pipeline round",
+						"crawled", stats.Crawled, "feeds", stats.FeedsDiscovered,
+						"recommendations", stats.Recommendations, "errors", stats.CrawlErrors,
+						"polled", polled, "pushed", published)
 				}
 			}
 		}
@@ -487,11 +592,9 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 	var stopOnce sync.Once
 	stopPipeline := func() { stopOnce.Do(func() { close(stop); <-done }) }
 
-	idLabel := ""
-	if nodeID != "" {
-		idLabel = "node " + nodeID + ", "
-	}
-	log.Printf("reefd ready on %s (%sweb scale %.2f, %d shard(s), pipeline every %s)", addr, idLabel, scale, dep.ShardCount(), pipelineEvery)
+	logger.Info("reefd ready",
+		"addr", addr, "scale", scale, "shards", dep.ShardCount(),
+		"pipeline_every", pipelineEvery)
 	var closeOnce sync.Once
 	shutdown := func() error {
 		var err error
@@ -503,7 +606,7 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 				// event is left half-applied.
 				drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 				if serr := streamSrv.Shutdown(drainCtx); serr != nil {
-					log.Printf("reefd: stream drain: %v", serr)
+					logger.Warn("stream drain", "err", serr)
 				}
 				cancel()
 			}
@@ -519,14 +622,14 @@ func run(addr string, seed int64, scale float64, pipelineEvery, pollEvery time.D
 		})
 		return err
 	}
-	return serveUntilSignal(srv, serveErr, ready, drainGrace, shutdown)
+	return serveUntilSignal(logger, srv, serveErr, ready, drainGrace, shutdown)
 }
 
 // runRouter serves the /v1 surface over a cluster of reefd nodes: user
 // calls forward to their owning node, publishes fan out to every live
 // node. The router holds no state of its own, so there is nothing to
 // recover — it is ready as soon as the first probe round finishes.
-func runRouter(addr, spec, streamSpec, nodeID, streamAddr string, drainGrace time.Duration, dataDir string, shards, replicas int, peersSpec string) error {
+func runRouter(logger *slog.Logger, addr, spec, streamSpec, nodeID, streamAddr string, drainGrace time.Duration, dataDir string, shards, replicas int, peersSpec string) error {
 	if dataDir != "" {
 		return errors.New("reefd: -data-dir is a node flag; a cluster router holds no state (drop it or drop -cluster-nodes)")
 	}
@@ -548,28 +651,41 @@ func runRouter(addr, spec, streamSpec, nodeID, streamAddr string, drainGrace tim
 			return err
 		}
 	}
+	logger.Info("reefd router starting",
+		"version", reefhttp.Version(), "addr", addr,
+		"nodes", len(nodes), "replicas", replicas)
+	// The router shares one registry and span ring between its REST
+	// surface and the cluster's routing-health counters, so /v1/metrics
+	// on the router reports forwarding and fan-out health too.
+	reg := metrics.NewRegistry()
+	rec := trace.NewRecorder(0)
 	// The router's k must match the nodes' -replicas: it decides which
 	// nodes a user's calls may fail over to.
-	cl, err := reefcluster.New(reefcluster.Config{Nodes: nodes, Replicas: replicas})
+	cl, err := reefcluster.New(reefcluster.Config{
+		Nodes: nodes, Replicas: replicas,
+		Metrics: reg, Logger: logger,
+	})
 	if err != nil {
 		return fmt.Errorf("reefd: %w", err)
 	}
 	for _, s := range cl.Status() {
-		log.Printf("cluster node %s (%s): %s", s.Node.ID, s.Node.BaseURL, s.State)
+		logger.Info("cluster node probed",
+			"peer", s.Node.ID, "url", s.Node.BaseURL, "state", s.State)
 	}
 
 	ready := reefhttp.NewReadiness()
 	ready.SetReady()
 	mux := http.NewServeMux()
-	mux.Handle("/v1/", reefhttp.NewHandler(cl, log.Default(),
-		reefhttp.WithReadiness(ready), reefhttp.WithNodeID(nodeID)))
+	mux.Handle("/v1/", reefhttp.NewHandler(cl, slog.NewLogLogger(logger.Handler(), slog.LevelError),
+		reefhttp.WithReadiness(ready), reefhttp.WithNodeID(nodeID),
+		reefhttp.WithMetrics(reg), reefhttp.WithTrace(rec)))
 	mux.Handle("/v1/readyz", reefhttp.ReadyzHandler(ready, nodeID))
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		_ = cl.Close()
 		return fmt.Errorf("reefd: %w", err)
 	}
-	log.Printf("reefd routing %d nodes on %s", len(nodes), addr)
+	logger.Info("reefd routing", "nodes", len(nodes), "addr", addr)
 	srv := &http.Server{Handler: mux}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -578,5 +694,5 @@ func runRouter(addr, spec, streamSpec, nodeID, streamAddr string, drainGrace tim
 		closeOnce.Do(func() { _ = cl.Close() })
 		return nil
 	}
-	return serveUntilSignal(srv, serveErr, ready, drainGrace, shutdown)
+	return serveUntilSignal(logger, srv, serveErr, ready, drainGrace, shutdown)
 }

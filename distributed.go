@@ -11,6 +11,7 @@ import (
 	"reef/internal/core"
 	"reef/internal/durable"
 	"reef/internal/frontend"
+	"reef/internal/metrics"
 	"reef/internal/pubsub"
 	"reef/internal/recommend"
 	"reef/internal/simclock"
@@ -691,19 +692,19 @@ func (d *Distributed) Stats(ctx context.Context) (Stats, error) {
 			peers++
 		}
 		pending += s.pending.size()
-		ss := Stats{"proxy_feeds": float64(s.proxy.NumFeeds())}
+		ss := Stats{metrics.ProxyFeeds.Key: float64(s.proxy.NumFeeds())}
 		for name, v := range s.broker.Metrics().Snapshot() {
 			ss["broker_"+name] = v
 		}
 		perShard[i] = ss
 	}
 	out := mergeStats(perShard)
-	out["peers"] = float64(peers)
-	out["subscriptions"] = float64(subs)
-	out["known_feeds"] = float64(feeds)
-	out["applied_recommendations"] = float64(applied)
-	out["pending_recommendations"] = float64(pending)
-	out["shards"] = float64(len(d.shards))
+	out[metrics.DistributedPeers.Key] = float64(peers)
+	out[metrics.DistributedSubs.Key] = float64(subs)
+	out[metrics.DistributedKnownFeeds.Key] = float64(feeds)
+	out[metrics.DistributedApplied.Key] = float64(applied)
+	out[metrics.PendingRecommendations.Key] = float64(pending)
+	out[metrics.Shards.Key] = float64(len(d.shards))
 	return out, nil
 }
 

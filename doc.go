@@ -56,8 +56,17 @@
 // StreamDeliverer extends it with an append-notify hook, which feeds
 // both the reefstream push path and the REST fetch's bounded wait=
 // long-poll, so consumers on either plane block instead of polling.
-// See DESIGN.md for the interface, route, error-model, sharding,
-// cluster, durability and delivery-semantics reference.
+//
+// Every surface is observable end to end: GET /v1/metrics serves a
+// dependency-free Prometheus exposition (internal/metrics — one
+// constant table binds legacy Stats() keys to uniformly named
+// reef_<subsystem>_<name> families), requests carry a 16-byte trace ID
+// across nodes (X-Reef-Trace on REST and replication, an optional
+// trailer on stream frames) into per-node span rings dumped by GET
+// /v1/admin/trace, and reefd logs through log/slog with pprof on a
+// separate listener. See DESIGN.md for the interface, route,
+// error-model, sharding, cluster, durability, delivery-semantics and
+// observability reference.
 //
 // The components live under internal/: the pub-sub substrate (eventalg,
 // pubsub), the IR toolkit (ir), the Web and workload simulation (websim,

@@ -11,6 +11,7 @@ import (
 	"reef/internal/delivery"
 	"reef/internal/durable"
 	"reef/internal/frontend"
+	"reef/internal/metrics"
 	"reef/internal/pubsub"
 	"reef/internal/recommend"
 	"reef/internal/simclock"
@@ -565,26 +566,29 @@ func (e *engine) rejectRecommendation(user, id string) error {
 }
 
 // stats snapshots this shard's counters, in the exact key set the
-// unsharded deployment has always reported.
+// unsharded deployment has always reported. Keys come from the shared
+// constant table (internal/metrics) so the cluster merge rules and the
+// /v1/metrics exposition can never drift from what is emitted here.
 func (e *engine) stats() Stats {
 	out := Stats(e.server.Metrics().Snapshot())
-	out["clicks_stored"] = float64(e.server.Store().Len())
-	out["distinct_servers"] = float64(e.server.Store().DistinctServers())
-	out["feeds_discovered"] = float64(e.server.DistinctFeedsFound())
-	out["upload_bytes"] = float64(e.server.UploadBytes())
-	out["proxy_feeds"] = float64(e.proxy.NumFeeds())
+	out[metrics.ClicksStored.Key] = float64(e.server.Store().Len())
+	out[metrics.DistinctServers.Key] = float64(e.server.Store().DistinctServers())
+	out[metrics.FeedsDiscovered.Key] = float64(e.server.DistinctFeedsFound())
+	out[metrics.UploadBytes.Key] = float64(e.server.UploadBytes())
+	out[metrics.ProxyFeeds.Key] = float64(e.proxy.NumFeeds())
 	for name, v := range e.proxy.Metrics().Snapshot() {
 		out["proxy_"+name] = v
 	}
-	out["pending_recommendations"] = float64(e.pending.size())
+	out[metrics.PendingRecommendations.Key] = float64(e.pending.size())
 	dt := e.deliveries.Totals()
-	out["delivery_reliable_subs"] = float64(dt.Queues)
-	out["delivery_retained"] = float64(dt.Retained)
-	out["delivery_acked"] = float64(dt.Acked)
-	out["delivery_redeliveries"] = float64(dt.Redeliveries)
-	out["delivery_deadletters"] = float64(dt.DeadLetters)
+	out[metrics.DeliveryReliableSubs.Key] = float64(dt.Queues)
+	out[metrics.DeliveryRetained.Key] = float64(dt.Retained)
+	out[metrics.DeliveryAcked.Key] = float64(dt.Acked)
+	out[metrics.DeliveryRedeliveries.Key] = float64(dt.Redeliveries)
+	out[metrics.DeliveryDeadLetters.Key] = float64(dt.DeadLetters)
+	out[metrics.DeliveryLeaseExpiries.Key] = float64(dt.LeaseExpiries)
 	e.mu.Lock()
-	out["users_with_frontends"] = float64(len(e.fronts))
+	out[metrics.UsersWithFrontends.Key] = float64(len(e.fronts))
 	e.mu.Unlock()
 	for name, v := range e.broker.Metrics().Snapshot() {
 		out["broker_"+name] = v

@@ -132,6 +132,10 @@ type entry struct {
 	// nextAt is the earliest instant the entry may be delivered again
 	// (zero for never-delivered entries, which are always eligible).
 	nextAt time.Time
+	// nacked marks that the entry's next redelivery was requested by the
+	// consumer (Nack) rather than forced by a lease running out —
+	// FetchInto uses it to attribute the redelivery correctly.
+	nacked bool
 	ev     pubsub.Event
 }
 
@@ -151,10 +155,11 @@ type Queue struct {
 	watchers   map[uint64]chan<- struct{}
 	watcherSeq uint64
 
-	appended     int64
-	ackedCount   int64
-	redeliveries int64
-	deadLettered int64
+	appended      int64
+	ackedCount    int64
+	redeliveries  int64
+	deadLettered  int64
+	leaseExpiries int64
 }
 
 // NewQueue builds a queue, applying defaults for zero Config knobs.
@@ -269,6 +274,13 @@ func (q *Queue) FetchInto(dst []Delivered, max int, now time.Time) []Delivered {
 		e.attempts++
 		if e.attempts > 1 {
 			q.redeliveries++
+			if e.nacked {
+				e.nacked = false
+			} else {
+				// Redelivered without the consumer asking: the previous
+				// delivery's ack lease ran out.
+				q.leaseExpiries++
+			}
 		}
 		e.nextAt = now.Add(q.cfg.AckTimeout + q.backoffLocked(e.attempts))
 		out = append(out, Delivered{Seq: e.seq, Attempts: e.attempts, Event: e.ev})
@@ -341,6 +353,7 @@ func (q *Queue) Nack(seq int64, now time.Time) error {
 		}
 		if e.attempts > 0 {
 			e.nextAt = now.Add(q.backoffLocked(e.attempts))
+			e.nacked = true
 		}
 	}
 	return nil
@@ -418,13 +431,14 @@ type Cursor struct {
 
 // Totals aggregates counters across a Set for stats reporting.
 type Totals struct {
-	Queues       int
-	Retained     int
-	DeadLetters  int
-	Appended     int64
-	Acked        int64
-	Redeliveries int64
-	DeadLettered int64
+	Queues        int
+	Retained      int
+	DeadLetters   int
+	Appended      int64
+	Acked         int64
+	Redeliveries  int64
+	DeadLettered  int64
+	LeaseExpiries int64
 }
 
 // Set is the engine-side registry of reliable queues, keyed by
@@ -525,6 +539,7 @@ func (s *Set) Totals() Totals {
 			t.Acked += q.ackedCount
 			t.Redeliveries += q.redeliveries
 			t.DeadLettered += q.deadLettered
+			t.LeaseExpiries += q.leaseExpiries
 			q.mu.Unlock()
 		}
 	}

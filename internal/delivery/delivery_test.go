@@ -334,3 +334,45 @@ func TestFetchIntoReusesBuffer(t *testing.T) {
 		t.Fatalf("drained queue fetched %v", seqs(got))
 	}
 }
+
+// TestLeaseExpiryAttribution pins the redelivery split behind the
+// reef_delivery_lease_expiries_total metric: a redelivery the consumer
+// asked for (nack) counts only as a redelivery, while a silent lease
+// timeout also counts as a lease expiry.
+func TestLeaseExpiryAttribution(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := NewSet()
+	q := s.Register("bob", "http://a", Config{AckTimeout: time.Second, MaxAttempts: 5, BackoffBase: 0})
+
+	q.Append(ev(1), now)
+	if got := q.Fetch(0, now); len(got) != 1 {
+		t.Fatalf("first fetch = %v, want [1]", seqs(got))
+	}
+	if tot := s.Totals(); tot.Redeliveries != 0 || tot.LeaseExpiries != 0 {
+		t.Fatalf("totals after first delivery = %+v, want no redeliveries", tot)
+	}
+
+	// Consumer-requested redelivery: redelivery counted, no expiry. The
+	// fetch time only has to clear the nack backoff — attribution rides
+	// on the nack itself, not on when redelivery happens.
+	if err := q.Nack(1, now); err != nil {
+		t.Fatal(err)
+	}
+	afterBackoff := now.Add(time.Minute)
+	if got := q.Fetch(0, afterBackoff); len(got) != 1 || got[0].Attempts != 2 {
+		t.Fatalf("post-nack fetch = %v, want attempt 2", got)
+	}
+	if tot := s.Totals(); tot.Redeliveries != 1 || tot.LeaseExpiries != 0 {
+		t.Fatalf("totals after nack redelivery = %+v, want 1 redelivery, 0 expiries", tot)
+	}
+
+	// Silent timeout: the lease runs out without an ack or nack, and the
+	// next fetch is attributed to a lease expiry.
+	later := afterBackoff.Add(10 * time.Minute)
+	if got := q.Fetch(0, later); len(got) != 1 || got[0].Attempts != 3 {
+		t.Fatalf("post-expiry fetch = %v, want attempt 3", got)
+	}
+	if tot := s.Totals(); tot.Redeliveries != 2 || tot.LeaseExpiries != 1 {
+		t.Fatalf("totals after lease expiry = %+v, want 2 redeliveries, 1 expiry", tot)
+	}
+}

@@ -185,6 +185,27 @@ func AppendFrameParts(dst []byte, op Op, a, b []byte) []byte {
 	return append(dst, b...)
 }
 
+// AppendFrameParts3 is AppendFrameParts with a third payload part, for
+// frames that append a fixed trailer (the stream publish trace field)
+// after a shared body that must not be copied or mutated. Like the
+// two-part shape, the fixed arity keeps the arguments off the heap.
+func AppendFrameParts3(dst []byte, op Op, a, b, c []byte) []byte {
+	bodyLen := minBodyLen + len(a) + len(b) + len(c)
+	var hdr [frameHeaderLen + minBodyLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(bodyLen))
+	hdr[8] = recordVersion
+	hdr[9] = byte(op)
+	crc := crc32.Update(0, castagnoli, hdr[8:10])
+	crc = crc32.Update(crc, castagnoli, a)
+	crc = crc32.Update(crc, castagnoli, b)
+	crc = crc32.Update(crc, castagnoli, c)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, a...)
+	dst = append(dst, b...)
+	return append(dst, c...)
+}
+
 // DecodeFrame decodes one frame from the front of buf without copying:
 // the returned record's payload aliases buf, so it is only valid until
 // the caller reuses the buffer. Stream transports use this to decode a

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestMetricNamesUseConstantTable walks every non-test Go file in the
+// repository and rejects "reef_"-prefixed string literals outside this
+// package. Metric families must be spelled via the Def table (names.go)
+// so the legacy Stats() key and the Prometheus name cannot drift apart;
+// a raw literal is exactly the drift this table exists to prevent.
+func TestMetricNamesUseConstantTable(t *testing.T) {
+	root := moduleRoot(t)
+	selfDir := filepath.Join(root, "internal", "metrics")
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || path == selfDir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if strings.HasPrefix(s, "reef_") {
+				rel, _ := filepath.Rel(root, path)
+				t.Errorf("%s:%d: raw metric name %q; use the internal/metrics Def table instead",
+					rel, fset.Position(lit.Pos()).Line, s)
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

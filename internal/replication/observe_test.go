@@ -1,0 +1,82 @@
+package replication
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+
+	"reef/internal/trace"
+)
+
+// headerTap records the X-Reef-Trace header of every outbound ship.
+type headerTap struct {
+	mu  sync.Mutex
+	ids []string
+}
+
+func (h *headerTap) RoundTrip(req *http.Request) (*http.Response, error) {
+	h.mu.Lock()
+	h.ids = append(h.ids, req.Header.Get(trace.Header))
+	h.mu.Unlock()
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+func (h *headerTap) seen() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.ids...)
+}
+
+// TestShipTraceStitching pins the replication half of cross-node
+// tracing: every ship mints a fresh trace ID, sends it in X-Reef-Trace
+// (so the receiver's REST middleware records the apply under it), and
+// records the matching repl.records span in the sender's own ring.
+func TestShipTraceStitching(t *testing.T) {
+	tap := &headerTap{}
+	rec := trace.NewRecorder(32)
+	sender, _, recvApp := pair(t, func(o *Options) {
+		o.Trace = rec
+		o.HTTPClient = &http.Client{Transport: tap}
+	})
+	sender.Offer(cursorRec("u", 1))
+	waitFor(t, "record applied", func() bool { return len(recvApp.applied()) == 1 })
+
+	waitFor(t, "ship span recorded", func() bool { return rec.Total() > 0 })
+	spans := rec.Spans(trace.ID{}, 0)
+	byID := make(map[string]trace.Span, len(spans))
+	for _, sp := range spans {
+		if sp.Op != "repl.records" || sp.Node != "a" || sp.Err != "" {
+			t.Fatalf("span = %+v, want clean repl.records from node a", sp)
+		}
+		byID[sp.Trace.String()] = sp
+	}
+	wired := 0
+	for _, id := range tap.seen() {
+		if _, ok := trace.Parse(id); !ok {
+			t.Fatalf("ship went out with bad trace header %q", id)
+		}
+		if _, ok := byID[id]; ok {
+			wired++
+		}
+	}
+	if wired == 0 {
+		t.Fatal("no wire trace ID matches a recorded sender span")
+	}
+}
+
+// TestShipUntracedWhenUnset: with no recorder configured, ships still
+// carry a header (the receiver may trace) but the sender records
+// nothing and must not crash on the nil recorder.
+func TestShipUntracedWhenUnset(t *testing.T) {
+	tap := &headerTap{}
+	sender, _, recvApp := pair(t, func(o *Options) {
+		o.HTTPClient = &http.Client{Transport: tap}
+	})
+	sender.Offer(cursorRec("u", 1))
+	waitFor(t, "record applied", func() bool { return len(recvApp.applied()) == 1 })
+	for _, id := range tap.seen() {
+		if _, ok := trace.Parse(id); !ok {
+			t.Fatalf("ship went out with bad trace header %q", id)
+		}
+	}
+}

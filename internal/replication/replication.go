@@ -37,6 +37,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -46,7 +47,9 @@ import (
 
 	"reef/internal/attention"
 	"reef/internal/durable"
+	"reef/internal/metrics"
 	"reef/internal/routing"
+	"reef/internal/trace"
 )
 
 // Node is one cluster member, mirroring the seed list the cluster
@@ -115,6 +118,14 @@ type Options struct {
 	RetryInterval time.Duration
 	// HTTPClient ships batches (default: 10s timeout client).
 	HTTPClient *http.Client
+	// Logger receives structured shipping events (resyncs, ship
+	// failures) with the node ID attached. Nil discards them.
+	Logger *slog.Logger
+	// Trace, when set, records one span per shipped batch/snapshot into
+	// the node's span ring. Each ship mints a trace ID that also travels
+	// to the receiver in the X-Reef-Trace header, so a batch's send and
+	// its apply stitch together across the two nodes' rings.
+	Trace *trace.Recorder
 }
 
 // logEntry is one tapped record with its destinations and offer time
@@ -194,6 +205,9 @@ func New(opt Options) (*Manager, error) {
 	}
 	if opt.HTTPClient == nil {
 		opt.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	if opt.Logger == nil {
+		opt.Logger = slog.New(slog.DiscardHandler)
 	}
 	m := &Manager{
 		opt:      opt,
@@ -557,9 +571,9 @@ func (m *Manager) Status() Status {
 func (m *Manager) Stats() map[string]float64 {
 	st := m.Status()
 	out := map[string]float64{
-		"replication_replicas": float64(st.Replicas),
-		"replication_log_len":  float64(st.LogLen),
-		"replication_peers":    float64(len(st.Peers)),
+		metrics.ReplicationReplicas.Key: float64(st.Replicas),
+		metrics.ReplicationLogLen.Key:   float64(st.LogLen),
+		metrics.ReplicationPeers.Key:    float64(len(st.Peers)),
 	}
 	var pending, resyncs, lagMax float64
 	for _, p := range st.Peers {
@@ -569,13 +583,13 @@ func (m *Manager) Stats() map[string]float64 {
 			lagMax = p.LagP99Micros
 		}
 	}
-	out["replication_pending"] = pending
-	out["replication_resyncs"] = resyncs
-	out["replication_lag_p99_micros.max"] = lagMax
+	out[metrics.ReplicationPending.Key] = pending
+	out[metrics.ReplicationResyncs.Key] = resyncs
+	out[metrics.ReplicationLagP99Micros.Key+".max"] = lagMax
 	var applied float64
 	for _, s := range st.Sources {
 		applied += float64(s.Applied)
 	}
-	out["replication_applied_records"] = applied
+	out[metrics.ReplicationAppliedRecords.Key] = applied
 	return out
 }

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"reef/internal/trace"
 )
 
 // Wire protocol: a batch is POSTed to <peer>/v1/replication/records as
@@ -189,7 +191,11 @@ func (m *Manager) sendLoop(p *peer) {
 			}
 			b := m.nextBatch(p)
 			if b.resync {
+				m.opt.Logger.Info("replication resync",
+					"node", m.opt.Self, "peer", p.node.ID)
 				if err := m.sendSnapshot(p); err != nil {
+					m.opt.Logger.Warn("replication snapshot ship failed",
+						"node", m.opt.Self, "peer", p.node.ID, "err", err)
 					p.fail(err)
 					break // wait a tick, retry
 				}
@@ -200,6 +206,9 @@ func (m *Manager) sendLoop(p *peer) {
 			}
 			ack, conflict, err := m.postRecords(p, b)
 			if err != nil {
+				m.opt.Logger.Warn("replication batch ship failed",
+					"node", m.opt.Self, "peer", p.node.ID,
+					"records", b.count, "err", err)
 				p.fail(err)
 				break
 			}
@@ -230,7 +239,7 @@ func (m *Manager) postRecords(p *peer, b batch) (Ack, bool, error) {
 	req.Header.Set(HdrPrev, strconv.FormatInt(b.prev, 10))
 	req.Header.Set(HdrLast, strconv.FormatInt(b.last, 10))
 	req.Header.Set(HdrCount, strconv.Itoa(b.count))
-	return m.doShip(req)
+	return m.doShip(req, "repl.records")
 }
 
 // sendSnapshot resyncs a peer that fell off the log: capture a cut,
@@ -260,7 +269,7 @@ func (m *Manager) sendSnapshot(p *peer) error {
 	req.Header.Set(HdrSource, m.opt.Self)
 	req.Header.Set(HdrEpoch, strconv.FormatInt(m.epoch, 10))
 	req.Header.Set(HdrSeq, strconv.FormatInt(seq, 10))
-	ack, conflict, err := m.doShip(req)
+	ack, conflict, err := m.doShip(req, "repl.snapshot")
 	if err != nil {
 		return err
 	}
@@ -272,8 +281,29 @@ func (m *Manager) sendSnapshot(p *peer) error {
 	return nil
 }
 
-// doShip executes a replication POST and decodes the Ack envelope.
-func (m *Manager) doShip(req *http.Request) (Ack, bool, error) {
+// doShip executes a replication POST and decodes the Ack envelope. Each
+// ship mints its own trace ID: the header makes the receiver's span ring
+// record the apply under it, and the sender records the matching ship
+// span (when Options.Trace is set), so one ID stitches both nodes.
+func (m *Manager) doShip(req *http.Request, op string) (Ack, bool, error) {
+	id := trace.NewID()
+	req.Header.Set(trace.Header, id.String())
+	begin := time.Now()
+	ack, conflict, err := m.doShipRaw(req)
+	if m.opt.Trace != nil {
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		m.opt.Trace.Record(trace.Span{
+			Trace: id, Op: op, Node: m.opt.Self, Shard: -1,
+			Start: begin, Duration: time.Since(begin), Err: errStr,
+		})
+	}
+	return ack, conflict, err
+}
+
+func (m *Manager) doShipRaw(req *http.Request) (Ack, bool, error) {
 	resp, err := m.opt.HTTPClient.Do(req)
 	if err != nil {
 		return Ack{}, false, err

@@ -1,0 +1,195 @@
+// Package trace implements the lightweight request tracing used across
+// the reef planes. A 16-byte trace ID is minted at ingress (REST
+// handler, stream server, or cluster router), propagated across node
+// boundaries via the X-Reef-Trace header on REST and replication calls
+// and an optional trailing field in stream publish frames, and recorded
+// into a bounded per-node ring of spans. The ring is deliberately
+// per-Recorder (not package-global): multi-node tests run several nodes
+// in one process, and each node's /v1/admin/trace must answer with its
+// own spans only.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// IDLen is the wire length of a trace ID in bytes. The hex form used in
+// headers is twice this.
+const IDLen = 16
+
+// Header is the HTTP header carrying a hex-encoded trace ID across
+// REST and replication calls.
+const Header = "X-Reef-Trace"
+
+// ID is a 16-byte request trace identifier. The zero value means "no
+// trace".
+type ID [IDLen]byte
+
+// NewID mints a random trace ID. It never returns the zero ID.
+func NewID() ID {
+	var id ID
+	for {
+		if _, err := rand.Read(id[:]); err != nil {
+			// crypto/rand failing is effectively fatal elsewhere in the
+			// runtime; degrade to an all-ones ID rather than panic in an
+			// instrumentation path.
+			for i := range id {
+				id[i] = 0xff
+			}
+			return id
+		}
+		if !id.IsZero() {
+			return id
+		}
+	}
+}
+
+// IsZero reports whether the ID is the zero "no trace" value.
+func (id ID) IsZero() bool { return id == ID{} }
+
+// String renders the ID as 32 lowercase hex characters.
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// Parse decodes a 32-character hex trace ID. It returns false for the
+// empty string, malformed hex, wrong lengths, and the zero ID, so
+// callers can treat any false as "no trace attached".
+func Parse(s string) (ID, bool) {
+	if len(s) != 2*IDLen {
+		return ID{}, false
+	}
+	var id ID
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return ID{}, false
+	}
+	if id.IsZero() {
+		return ID{}, false
+	}
+	return id, true
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the trace ID. A zero ID returns ctx
+// unchanged.
+func NewContext(ctx context.Context, id ID) context.Context {
+	if id.IsZero() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// FromContext extracts the trace ID carried by ctx, if any.
+func FromContext(ctx context.Context) (ID, bool) {
+	id, ok := ctx.Value(ctxKey{}).(ID)
+	return id, ok && !id.IsZero()
+}
+
+// Span is one recorded operation under a trace: which op ran, on which
+// node, against which shard (-1 when not shard-scoped), when, for how
+// long, and whether it failed.
+type Span struct {
+	// Trace is the ID stitching spans across nodes.
+	Trace ID
+	// Op names the operation ("http.publish", "stream.publish",
+	// "cluster.fanout", "replication.apply", ...).
+	Op string
+	// Node is the recording node's ID ("" when the node is anonymous).
+	Node string
+	// Shard is the shard index the op touched, or -1.
+	Shard int
+	// Start is when the op began.
+	Start time.Time
+	// Duration is how long it ran.
+	Duration time.Duration
+	// Err is the error string, "" on success.
+	Err string
+}
+
+// DefaultRingSize is the span capacity a zero-configured Recorder uses.
+const DefaultRingSize = 4096
+
+// Recorder keeps the most recent spans in a fixed-size ring. All
+// methods are safe for concurrent use and safe on a nil *Recorder
+// (they no-op / return nothing), so instrumentation call sites never
+// need nil checks.
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	total int64
+}
+
+// NewRecorder returns a recorder retaining up to capacity spans
+// (DefaultRingSize when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &Recorder{ring: make([]Span, 0, capacity)}
+}
+
+// Record appends one span, evicting the oldest when the ring is full.
+// Spans with a zero trace ID are dropped: untraced requests are the
+// common case and must not wash traced spans out of the ring.
+func (r *Recorder) Record(sp Span) {
+	if r == nil || sp.Trace.IsZero() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, sp)
+	} else {
+		r.ring[r.next] = sp
+		r.next = (r.next + 1) % len(r.ring)
+	}
+	r.total++
+}
+
+// Total returns how many spans have ever been recorded (including ones
+// already evicted from the ring).
+func (r *Recorder) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Spans returns recorded spans, oldest first. A non-zero trace filters
+// to that trace; limit > 0 keeps only the newest limit spans after
+// filtering.
+func (r *Recorder) Spans(trace ID, limit int) []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ordered := make([]Span, 0, len(r.ring))
+	// r.next is the oldest entry once the ring has wrapped.
+	if len(r.ring) == cap(r.ring) {
+		ordered = append(ordered, r.ring[r.next:]...)
+		ordered = append(ordered, r.ring[:r.next]...)
+	} else {
+		ordered = append(ordered, r.ring...)
+	}
+	r.mu.Unlock()
+
+	out := ordered
+	if !trace.IsZero() {
+		out = out[:0]
+		for _, sp := range ordered {
+			if sp.Trace == trace {
+				out = append(out, sp)
+			}
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}

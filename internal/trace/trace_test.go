@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	id := NewID()
+	if id.IsZero() {
+		t.Fatal("NewID returned the zero ID")
+	}
+	s := id.String()
+	if len(s) != 2*IDLen || strings.ToLower(s) != s {
+		t.Fatalf("String() = %q, want %d lowercase hex chars", s, 2*IDLen)
+	}
+	back, ok := Parse(s)
+	if !ok || back != id {
+		t.Fatalf("Parse(String()) = (%v, %v), want original ID", back, ok)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"abc",
+		strings.Repeat("0", 2*IDLen),   // zero ID means "no trace"
+		strings.Repeat("z", 2*IDLen),   // not hex
+		strings.Repeat("a", 2*IDLen+2), // too long
+		strings.Repeat("a", 2*IDLen-2), // too short
+	} {
+		if id, ok := Parse(bad); ok {
+			t.Errorf("Parse(%q) = (%v, true), want rejection", bad, id)
+		}
+	}
+}
+
+func TestContextCarrier(t *testing.T) {
+	ctx := context.Background()
+	if id, ok := FromContext(ctx); ok {
+		t.Fatalf("empty context carried trace %v", id)
+	}
+	if got := NewContext(ctx, ID{}); got != ctx {
+		t.Error("NewContext with zero ID should return ctx unchanged")
+	}
+	id := NewID()
+	got, ok := FromContext(NewContext(ctx, id))
+	if !ok || got != id {
+		t.Fatalf("FromContext = (%v, %v), want stored ID", got, ok)
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(3)
+	ids := make([]ID, 5)
+	for i := range ids {
+		ids[i] = NewID()
+		r.Record(Span{Trace: ids[i], Op: "op", Start: time.Now()})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+	got := r.Spans(ID{}, 0)
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d spans, want 3", len(got))
+	}
+	for i, sp := range got {
+		if sp.Trace != ids[i+2] {
+			t.Errorf("span %d is trace %v, want %v (oldest-first after eviction)", i, sp.Trace, ids[i+2])
+		}
+	}
+}
+
+func TestRecorderFilterAndLimit(t *testing.T) {
+	r := NewRecorder(16)
+	want := NewID()
+	other := NewID()
+	r.Record(Span{Trace: other, Op: "a"})
+	r.Record(Span{Trace: want, Op: "b"})
+	r.Record(Span{Trace: want, Op: "c"})
+	r.Record(Span{Trace: other, Op: "d"})
+
+	got := r.Spans(want, 0)
+	if len(got) != 2 || got[0].Op != "b" || got[1].Op != "c" {
+		t.Fatalf("filtered spans = %+v, want ops b,c", got)
+	}
+	if got = r.Spans(ID{}, 2); len(got) != 2 || got[0].Op != "c" || got[1].Op != "d" {
+		t.Fatalf("limited spans = %+v, want newest ops c,d", got)
+	}
+	if got = r.Spans(want, 1); len(got) != 1 || got[0].Op != "c" {
+		t.Fatalf("filtered+limited spans = %+v, want op c", got)
+	}
+}
+
+func TestRecorderDropsUntraced(t *testing.T) {
+	r := NewRecorder(4)
+	r.Record(Span{Op: "untraced"})
+	if r.Total() != 0 || len(r.Spans(ID{}, 0)) != 0 {
+		t.Error("zero-trace span must be dropped, not recorded")
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Span{Trace: NewID()})
+	if r.Total() != 0 || r.Spans(ID{}, 0) != nil {
+		t.Error("nil recorder must no-op")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := NewID()
+			for {
+				r.Record(Span{Trace: id, Op: "w"})
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		r.Spans(ID{}, 10)
+		r.Total()
+	}
+	close(stop)
+	wg.Wait()
+	if r.Total() == 0 {
+		t.Error("no spans recorded")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"reef/internal/replication"
+	"reef/internal/trace"
 
 	"reef"
 	"reef/reefhttp"
@@ -274,6 +275,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, h
 	}
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if id, ok := trace.FromContext(ctx); ok {
+		req.Header.Set(trace.Header, id.String())
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -595,6 +599,56 @@ func (c *Client) ReplicationStatus(ctx context.Context) (replication.Status, err
 		return replication.Status{}, err
 	}
 	return out.Replication, nil
+}
+
+// Metrics fetches GET /v1/metrics: the server's Prometheus text
+// exposition, verbatim. Callers forwarding it to a scraper should use
+// reefhttp.ContentTypeMetrics as the Content-Type.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("reefclient: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("reefclient: GET /v1/metrics: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", fmt.Errorf("reefclient: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Code: reefhttp.CodeInternal,
+			Message: strings.TrimSpace(string(data))}
+	}
+	return string(data), nil
+}
+
+// TraceDump fetches GET /v1/admin/trace: the server's span ring, oldest
+// first. A non-empty traceID (32 hex characters, as echoed in the
+// X-Reef-Trace response header) filters to that trace; limit > 0 keeps
+// the newest limit spans.
+func (c *Client) TraceDump(ctx context.Context, traceID string, limit int) (reefhttp.TraceResponse, error) {
+	path := "/v1/admin/trace"
+	sep := "?"
+	if traceID != "" {
+		path += sep + "trace=" + url.QueryEscape(traceID)
+		sep = "&"
+	}
+	if limit > 0 {
+		path += sep + "limit=" + strconv.Itoa(limit)
+	}
+	var out reefhttp.TraceResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return reefhttp.TraceResponse{}, err
+	}
+	return out, nil
 }
 
 // Close implements reef.Deployment; the client holds no server-side

@@ -39,14 +39,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"reef"
 	"reef/internal/membership"
+	"reef/internal/metrics"
 	"reef/internal/routing"
 	"reef/reefclient"
 	"reef/reefhttp"
@@ -142,6 +143,17 @@ type Config struct {
 
 	// HTTPClient overrides the transport for every node client (tests).
 	HTTPClient *http.Client
+
+	// Metrics is the registry the router's counters (forward errors,
+	// publish skips/partials) register into. The router reefd passes its
+	// REST handler's registry so one /v1/metrics scrape covers routing
+	// health; nil uses a private registry (Stats still reports the
+	// counters either way).
+	Metrics *metrics.Registry
+
+	// Logger receives the router's structured events — node demotions
+	// above all. Nil discards them.
+	Logger *slog.Logger
 }
 
 // Cluster routes a reef.Deployment over N reefd nodes.
@@ -151,13 +163,17 @@ type Cluster struct {
 	clients  []*reefclient.Client // forwarding clients, with retry
 	streams  []*reefstream.Client // publish data planes; nil where the node has no StreamAddr
 	tracker  *membership.Tracker
+	metrics  *metrics.Registry
+	logger   *slog.Logger
 
 	mu     sync.Mutex
 	closed bool
 
-	forwardErrors  atomic.Int64 // transport failures on forwarded calls
-	publishSkips   atomic.Int64 // node publishes skipped or lost to node failures
-	publishPartial atomic.Int64 // publishes that landed on fewer than all configured nodes
+	// Registry-backed routing-health counters (named from the shared
+	// constant table, so Stats keys and /v1/metrics families agree).
+	mForwardErrors  *metrics.Counter // transport failures on forwarded calls
+	mPublishSkips   *metrics.Counter // node publishes skipped or lost to node failures
+	mPublishPartial *metrics.Counter // publishes that landed on fewer than all configured nodes
 }
 
 var (
@@ -221,7 +237,16 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.RetryBackoff = 25 * time.Millisecond
 	}
 
-	c := &Cluster{nodes: cfg.Nodes, replicas: cfg.Replicas}
+	c := &Cluster{nodes: cfg.Nodes, replicas: cfg.Replicas, metrics: cfg.Metrics, logger: cfg.Logger}
+	if c.metrics == nil {
+		c.metrics = metrics.NewRegistry()
+	}
+	if c.logger == nil {
+		c.logger = slog.New(slog.DiscardHandler)
+	}
+	c.mForwardErrors = c.metrics.Counter(metrics.ClusterForwardErrors.Name)
+	c.mPublishSkips = c.metrics.Counter(metrics.ClusterPublishSkips.Name)
+	c.mPublishPartial = c.metrics.Counter(metrics.ClusterPublishPartial.Name)
 	clientOpts := func(extra ...reefclient.Option) []reefclient.Option {
 		opts := []reefclient.Option{reefclient.WithTimeout(cfg.CallTimeout)}
 		if cfg.HTTPClient != nil {
@@ -419,7 +444,9 @@ func (c *Cluster) forwardErr(i int, err error) error {
 	if !nodeFault(err) {
 		return err
 	}
-	c.forwardErrors.Add(1)
+	c.mForwardErrors.Add(1)
+	c.logger.Warn("node demoted on forward failure",
+		"node", c.nodes[i].ID, "err", err)
 	c.tracker.Report(c.nodes[i].ID, membership.Down)
 	return &NodeDownError{Node: c.nodes[i].ID, State: membership.Down.String(), Err: err}
 }
@@ -767,7 +794,7 @@ func (c *Cluster) fanOut(ctx context.Context, fn func(i int) (int, error)) (int,
 		if c.tracker.State(n.ID) == membership.Up {
 			targets = append(targets, i)
 		} else {
-			c.publishSkips.Add(1)
+			c.mPublishSkips.Add(1)
 		}
 	}
 	if len(targets) == 0 {
@@ -796,7 +823,7 @@ func (c *Cluster) fanOut(ctx context.Context, fn func(i int) (int, error)) (int,
 					}
 					return
 				}
-				c.publishSkips.Add(1)
+				c.mPublishSkips.Add(1)
 				_ = c.forwardErr(i, err) // demote; publish itself continues
 				return
 			}
@@ -812,7 +839,7 @@ func (c *Cluster) fanOut(ctx context.Context, fn func(i int) (int, error)) (int,
 		return 0, &NodeDownError{Node: "any", State: membership.Down.String()}
 	}
 	if landed < len(c.nodes) {
-		c.publishPartial.Add(1)
+		c.mPublishPartial.Add(1)
 	}
 	return total, nil
 }
@@ -868,19 +895,22 @@ func (c *Cluster) Stats(ctx context.Context) (reef.Stats, error) {
 	out := routing.Merge(merged)
 	for _, ns := range per {
 		id := c.nodes[ns.i].ID
-		for _, k := range []string{"clicks_stored", "users_with_frontends", "pending_recommendations", "shards"} {
+		for _, k := range []string{
+			metrics.ClicksStored.Key, metrics.UsersWithFrontends.Key,
+			metrics.PendingRecommendations.Key, metrics.Shards.Key,
+		} {
 			if v, ok := ns.st[k]; ok {
 				out["node_"+id+"_"+k] = v
 			}
 		}
 	}
-	out["nodes"] = float64(len(c.nodes))
-	out["nodes_up"] = states["up"]
-	out["nodes_draining"] = states["draining"]
-	out["nodes_down"] = states["down"]
-	out["cluster_forward_errors"] = float64(c.forwardErrors.Load())
-	out["cluster_publish_skips"] = float64(c.publishSkips.Load())
-	out["cluster_publish_partial"] = float64(c.publishPartial.Load())
+	out[metrics.ClusterNodes.Key] = float64(len(c.nodes))
+	out[metrics.ClusterNodesUp.Key] = states["up"]
+	out[metrics.ClusterNodesDraining.Key] = states["draining"]
+	out[metrics.ClusterNodesDown.Key] = states["down"]
+	out[metrics.ClusterForwardErrors.Key] = float64(c.mForwardErrors.Value())
+	out[metrics.ClusterPublishSkips.Key] = float64(c.mPublishSkips.Value())
+	out[metrics.ClusterPublishPartial.Key] = float64(c.mPublishPartial.Value())
 	return out, nil
 }
 

@@ -1,0 +1,113 @@
+package reefcluster_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"reef"
+	"reef/internal/metrics"
+	"reef/internal/trace"
+	"reef/reefclient"
+)
+
+// TestClusterObservabilityE2E pins the cross-node observability story on
+// a live 3-node cluster: a trace ID minted at the router rides the
+// X-Reef-Trace header on every fan-out leg and is visible in each node's
+// /v1/admin/trace ring, and every node's /v1/metrics scrape is parseable
+// Prometheus text covering the HTTP, engine, and delivery families.
+func TestClusterObservabilityE2E(t *testing.T) {
+	ctx := context.Background()
+	web := testWeb(57)
+	cl, nodes := startCluster(t, 3, web)
+	byNode := usersPerNode(cl, nodes, 1)
+
+	feed := feedURLs(web)[0]
+	for _, users := range byNode {
+		if _, err := cl.Subscribe(ctx, users[0], feed); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Mint the trace at the router, as reefd's REST middleware would,
+	// and publish under it: the fan-out forwards the header to every
+	// node.
+	id := trace.NewID()
+	traced := trace.NewContext(ctx, id)
+	delivered, err := cl.PublishEvent(traced, reef.Event{Attrs: map[string]string{
+		"type": "feed-item", "feed": feed, "title": "t", "link": "http://x.test/item",
+	}})
+	if err != nil || delivered != 3 {
+		t.Fatalf("PublishEvent = (%d, %v), want 3 deliveries", delivered, err)
+	}
+
+	// Every node's span ring must hold the publish leg under the router's
+	// trace ID (the acceptance bar is >= 2 of 3; all three legs ran, so
+	// all three rings must have it). The dumps use an untraced context so
+	// the inspection itself records nothing under the ID.
+	stitched := 0
+	for _, n := range nodes {
+		cli := reefclient.New(n.url())
+		dump, err := cli.TraceDump(ctx, id.String(), 0)
+		if err != nil {
+			t.Fatalf("TraceDump(%s): %v", n.id, err)
+		}
+		found := false
+		for _, sp := range dump.Spans {
+			// The router fans single events out over the batch endpoint.
+			if sp.Op == "http.events:batch" && sp.Node == n.id && sp.Trace == id.String() {
+				found = true
+			}
+		}
+		if found {
+			stitched++
+		} else {
+			t.Errorf("node %s ring has no http.events:batch span for trace %s: %+v", n.id, id, dump.Spans)
+		}
+	}
+	if stitched != len(nodes) {
+		t.Fatalf("trace stitched across %d/%d nodes", stitched, len(nodes))
+	}
+
+	// Each node's scrape is well-formed text exposition with the
+	// middleware, engine, delivery, and trace families present.
+	for _, n := range nodes {
+		cli := reefclient.New(n.url())
+		body, err := cli.Metrics(ctx)
+		if err != nil {
+			t.Fatalf("Metrics(%s): %v", n.id, err)
+		}
+		for _, want := range []string{
+			metrics.HTTPRequests.Name + `{class="2xx",route="events:batch"} 1`,
+			"# TYPE " + metrics.HTTPRequestSeconds.Name + " histogram",
+			metrics.Shards.Name + " ",
+			metrics.DeliveryAcked.Name + " ",
+			metrics.TraceSpans.Name + " ",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("node %s scrape missing %q", n.id, want)
+			}
+		}
+		for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+			if !strings.HasPrefix(line, "#") && len(strings.Fields(line)) != 2 {
+				t.Errorf("node %s: malformed sample line %q", n.id, line)
+			}
+		}
+	}
+
+	// The router's own counters surface through cluster Stats under the
+	// constant-table keys.
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		metrics.ClusterForwardErrors.Key,
+		metrics.ClusterPublishSkips.Key,
+		metrics.ClusterPublishPartial.Key,
+	} {
+		if v, ok := stats[key]; !ok || v != 0 {
+			t.Errorf("router stats[%s] = (%v, %v), want 0 on a healthy cluster", key, v, ok)
+		}
+	}
+}

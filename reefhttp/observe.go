@@ -1,0 +1,278 @@
+package reefhttp
+
+import (
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"reef/internal/metrics"
+	"reef/internal/trace"
+)
+
+// This file is the observability middleware of the REST surface: the
+// ServeHTTP wrapper that mints/propagates trace IDs and feeds the
+// per-route metrics, plus the /v1/metrics exposition and
+// /v1/admin/trace span-dump endpoints.
+
+// TraceHeader is the HTTP header carrying a hex trace ID across REST
+// and replication calls (re-exported so wire-level callers need not
+// import the internal package).
+const TraceHeader = trace.Header
+
+// WithMetrics substitutes a shared metrics registry, so a process
+// hosting several surfaces (REST handler, stream listener, cluster
+// router) exposes them in one /v1/metrics scrape.
+func WithMetrics(r *metrics.Registry) HandlerOption {
+	return func(h *Handler) { h.metrics = r }
+}
+
+// WithTrace substitutes a shared span recorder, so spans recorded by
+// the stream data plane and the REST surface land in the same
+// /v1/admin/trace ring.
+func WithTrace(r *trace.Recorder) HandlerOption {
+	return func(h *Handler) { h.tracer = r }
+}
+
+// WithStartTime overrides the uptime epoch reported by healthz/readyz
+// (reefd passes its process start, which predates handler creation by
+// the whole WAL recovery replay).
+func WithStartTime(t time.Time) HandlerOption {
+	return func(h *Handler) { h.start = t }
+}
+
+// Metrics returns the handler's registry, for callers instrumenting
+// adjacent components into the same scrape.
+func (h *Handler) Metrics() *metrics.Registry { return h.metrics }
+
+// Tracer returns the handler's span recorder.
+func (h *Handler) Tracer() *trace.Recorder { return h.tracer }
+
+var (
+	versionOnce sync.Once
+	versionStr  string
+)
+
+// Version reports the serving build: the main module version from
+// debug/buildinfo, with the stamped VCS revision (shortened) appended
+// when present, or "devel" when nothing is stamped.
+func Version() string {
+	versionOnce.Do(func() {
+		versionStr = "devel"
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			versionStr = v
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				rev := s.Value
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+				versionStr += "+" + rev
+				break
+			}
+		}
+	})
+	return versionStr
+}
+
+func (h *Handler) uptimeSeconds() float64 {
+	if h.start.IsZero() {
+		return 0
+	}
+	return time.Since(h.start).Seconds()
+}
+
+// statusWriter captures the status code for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// probeRoutes are scraped or polled continuously; the middleware never
+// mints trace IDs for them (an incoming X-Reef-Trace still propagates),
+// keeping probe noise out of the span ring.
+var probeRoutes = map[string]bool{
+	"healthz": true, "readyz": true, "metrics": true, "admin.trace": true,
+}
+
+// ServeHTTP implements http.Handler: the observability middleware
+// around dispatch. It resolves the trace ID (the X-Reef-Trace request
+// header when present, a freshly minted ID otherwise — except on probe
+// routes), threads it through the request context, echoes it on the
+// response, and records one span plus the per-route latency histogram,
+// status-class counter and in-flight gauge.
+func (h *Handler) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	rest, ok := strings.CutPrefix(req.URL.EscapedPath(), "/v1/")
+	if !ok {
+		h.writeError(rw, http.StatusNotFound, CodeNotFound, "unknown path "+req.URL.Path)
+		return
+	}
+	seg := strings.Split(strings.Trim(rest, "/"), "/")
+	route := routeLabel(seg)
+
+	id, traced := trace.Parse(req.Header.Get(trace.Header))
+	if !traced && !probeRoutes[route] {
+		id, traced = trace.NewID(), true
+	}
+	if traced {
+		req = req.WithContext(trace.NewContext(req.Context(), id))
+		rw.Header().Set(trace.Header, id.String())
+	}
+
+	sw := &statusWriter{ResponseWriter: rw}
+	var inFlight *metrics.Gauge
+	start := time.Now()
+	if h.metrics != nil {
+		inFlight = h.metrics.Gauge(metrics.HTTPInFlight.Name)
+		inFlight.Add(1)
+	}
+
+	h.dispatch(sw, req, seg)
+
+	elapsed := time.Since(start)
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	if h.metrics != nil {
+		inFlight.Add(-1)
+		routeLbl := metrics.Label{Key: "route", Value: route}
+		h.metrics.Histogram(metrics.LabeledName(metrics.HTTPRequestSeconds, routeLbl)).
+			Observe(elapsed.Seconds())
+		h.metrics.Counter(metrics.LabeledName(metrics.HTTPRequests, routeLbl,
+			metrics.Label{Key: "class", Value: strconv.Itoa(status/100) + "xx"})).Inc()
+	}
+	if traced {
+		errStr := ""
+		if status >= 400 {
+			errStr = "HTTP " + strconv.Itoa(status)
+		}
+		h.tracer.Record(trace.Span{
+			Trace: id, Op: "http." + route, Node: h.nodeID, Shard: -1,
+			Start: start, Duration: elapsed, Err: errStr,
+		})
+		if h.metrics != nil {
+			h.metrics.Counter(metrics.TraceSpans.Name).Inc()
+		}
+	}
+}
+
+// routeLabel collapses a split request path into a bounded route label
+// (wildcard segments dropped), mirroring the dispatch switch so every
+// served route gets a stable, low-cardinality name.
+func routeLabel(seg []string) string {
+	switch {
+	case len(seg) == 1:
+		return seg[0]
+	case len(seg) == 2 && (seg[0] == "admin" || seg[0] == "replication"):
+		return seg[0] + "." + seg[1]
+	case len(seg) == 3 && seg[0] == "subscriptions":
+		return "subscriptions." + seg[2]
+	case len(seg) == 3 && seg[0] == "recommendations":
+		return "recommendations." + seg[2]
+	case len(seg) == 3 && seg[0] == "users":
+		return "users.subscriptions"
+	default:
+		return "unknown"
+	}
+}
+
+// ContentTypeMetrics is the Content-Type of the /v1/metrics exposition.
+const ContentTypeMetrics = "text/plain; version=0.0.4; charset=utf-8"
+
+// handleMetrics serves the Prometheus text exposition: the handler's
+// registry (HTTP/stream/delivery instrumentation) followed by the
+// deployment's Stats() snapshot translated through the constant table
+// in internal/metrics. A failing deployment degrades the scrape to
+// registry-only rather than failing it: a half-blind scrape beats a
+// gap in every series.
+func (h *Handler) handleMetrics(rw http.ResponseWriter, req *http.Request) {
+	stats, err := h.mergedStats(req.Context())
+	if err != nil {
+		stats = nil
+	}
+	rw.Header().Set("Content-Type", ContentTypeMetrics)
+	rw.WriteHeader(http.StatusOK)
+	if err := metrics.WriteText(rw, h.metrics, stats); err != nil && h.log != nil {
+		h.log.Printf("reefhttp: writing metrics exposition: %v", err)
+	}
+}
+
+// TraceSpan is one span in the /v1/admin/trace dump.
+type TraceSpan struct {
+	Trace          string `json:"trace"`
+	Op             string `json:"op"`
+	Node           string `json:"node,omitempty"`
+	Shard          int    `json:"shard"`
+	StartUnixNano  int64  `json:"start_unix_nano"`
+	DurationMicros int64  `json:"duration_micros"`
+	Error          string `json:"error,omitempty"`
+}
+
+// TraceResponse is the GET /v1/admin/trace body. Total counts every
+// span ever recorded on this node, including ones evicted from the
+// ring.
+type TraceResponse struct {
+	Node  string      `json:"node,omitempty"`
+	Total int64       `json:"total"`
+	Spans []TraceSpan `json:"spans"`
+}
+
+// handleTrace dumps the span ring, oldest first. ?trace=HEX filters to
+// one trace; ?limit=N keeps the newest N after filtering.
+func (h *Handler) handleTrace(rw http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	var filter trace.ID
+	if v := q.Get("trace"); v != "" {
+		id, ok := trace.Parse(v)
+		if !ok {
+			h.writeError(rw, http.StatusBadRequest, CodeInvalidArgument, "bad trace parameter: want 32 hex characters")
+			return
+		}
+		filter = id
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			h.writeError(rw, http.StatusBadRequest, CodeInvalidArgument, "bad limit parameter")
+			return
+		}
+		limit = n
+	}
+	spans := h.tracer.Spans(filter, limit)
+	out := TraceResponse{Node: h.nodeID, Total: h.tracer.Total(), Spans: make([]TraceSpan, 0, len(spans))}
+	for _, sp := range spans {
+		out.Spans = append(out.Spans, TraceSpan{
+			Trace:          sp.Trace.String(),
+			Op:             sp.Op,
+			Node:           sp.Node,
+			Shard:          sp.Shard,
+			StartUnixNano:  sp.Start.UnixNano(),
+			DurationMicros: sp.Duration.Microseconds(),
+			Error:          sp.Err,
+		})
+	}
+	h.writeJSON(rw, http.StatusOK, out)
+}

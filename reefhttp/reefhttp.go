@@ -22,8 +22,10 @@
 //	POST   /v1/recommendations/{id}/accept     execute one   (body: {"user":U})
 //	POST   /v1/recommendations/{id}/reject     discard one   (body: {"user":U})
 //	GET    /v1/stats                           counters snapshot
+//	GET    /v1/metrics                         Prometheus text exposition
 //	GET    /v1/healthz                         liveness + shard count + backend
 //	GET    /v1/readyz                          readiness (see Readiness)
+//	GET    /v1/admin/trace                     span ring dump (?trace=HEX&limit=N)
 //	GET    /v1/admin/storage                   persistence backend state
 //	POST   /v1/admin/snapshot                  force a compacting snapshot
 //	POST   /v1/replication/records             ingest a peer's WAL batch
@@ -62,6 +64,8 @@ import (
 	"time"
 
 	"reef"
+	"reef/internal/metrics"
+	"reef/internal/trace"
 )
 
 // maxBodyBytes bounds request bodies (the click batch is the largest).
@@ -186,13 +190,21 @@ type (
 		Backend    string `json:"backend"`
 		Node       string `json:"node,omitempty"`
 		StreamAddr string `json:"stream_addr,omitempty"`
+		// Version identifies the serving build (module version plus VCS
+		// revision when stamped); UptimeSeconds is time since the server
+		// came up. Both also appear on readyz, so a prober can spot a
+		// restarted or upgraded node across consecutive probes.
+		Version       string  `json:"version,omitempty"`
+		UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
 	}
 	// ReadyResponse is the GET /v1/readyz body, served with this shape
 	// at every status code. Status is "ready" (200), "starting" or
 	// "draining" (both 503).
 	ReadyResponse struct {
-		Status string `json:"status"`
-		Node   string `json:"node,omitempty"`
+		Status        string  `json:"status"`
+		Node          string  `json:"node,omitempty"`
+		Version       string  `json:"version,omitempty"`
+		UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
 	}
 )
 
@@ -241,7 +253,7 @@ func (r *Readiness) State() string {
 // connections. Mounted on a mux at the exact path, it takes precedence
 // over the full Handler's /v1/ prefix route.
 func ReadyzHandler(r *Readiness, nodeID string) http.Handler {
-	h := &Handler{ready: r, nodeID: nodeID}
+	h := &Handler{ready: r, nodeID: nodeID, start: time.Now()}
 	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
 		h.route(rw, req, "GET", h.handleReadyz)
 	})
@@ -255,6 +267,9 @@ type Handler struct {
 	nodeID     string
 	streamAddr string
 	repl       Replicator
+	metrics    *metrics.Registry
+	tracer     *trace.Recorder
+	start      time.Time
 }
 
 var _ http.Handler = (*Handler)(nil)
@@ -282,27 +297,32 @@ func WithStreamAddr(addr string) HandlerOption {
 }
 
 // NewHandler mounts the /v1 surface over the deployment. A nil logger
-// discards encode-failure diagnostics.
+// discards encode-failure diagnostics. Every handler carries a metrics
+// registry (per-route instrumentation, served at /v1/metrics) and a
+// trace span ring (served at /v1/admin/trace); WithMetrics/WithTrace
+// substitute shared instances so reefd's stream listener and REST
+// surface report into the same ring and registry.
 func NewHandler(dep reef.Deployment, logger *log.Logger, opts ...HandlerOption) *Handler {
-	h := &Handler{dep: dep, log: logger}
+	h := &Handler{dep: dep, log: logger, start: time.Now()}
 	for _, o := range opts {
 		o(h)
+	}
+	if h.metrics == nil {
+		h.metrics = metrics.NewRegistry()
+	}
+	if h.tracer == nil {
+		h.tracer = trace.NewRecorder(0)
 	}
 	return h
 }
 
-// ServeHTTP implements http.Handler with explicit routing so unknown
-// paths and wrong methods get the same JSON envelope as handler errors.
+// dispatch routes one request with explicit matching so unknown paths
+// and wrong methods get the same JSON envelope as handler errors.
 // Routing splits the escaped path, so identifiers containing %2F (e.g.
 // user IDs with slashes, sent path-escaped by reefclient) stay one
-// segment; wildcard segments are unescaped before use.
-func (h *Handler) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
-	rest, ok := strings.CutPrefix(req.URL.EscapedPath(), "/v1/")
-	if !ok {
-		h.writeError(rw, http.StatusNotFound, CodeNotFound, "unknown path "+req.URL.Path)
-		return
-	}
-	seg := strings.Split(strings.Trim(rest, "/"), "/")
+// segment; wildcard segments are unescaped before use. ServeHTTP (in
+// observe.go) wraps this with the tracing and metrics middleware.
+func (h *Handler) dispatch(rw http.ResponseWriter, req *http.Request, seg []string) {
 	switch {
 	case len(seg) == 1 && seg[0] == "clicks":
 		h.route(rw, req, "POST", h.handleClicks)
@@ -312,6 +332,10 @@ func (h *Handler) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 		h.route(rw, req, "POST", h.handleEventsBatch)
 	case len(seg) == 1 && seg[0] == "stats":
 		h.route(rw, req, "GET", h.handleStats)
+	case len(seg) == 1 && seg[0] == "metrics":
+		h.route(rw, req, "GET", h.handleMetrics)
+	case len(seg) == 2 && seg[0] == "admin" && seg[1] == "trace":
+		h.route(rw, req, "GET", h.handleTrace)
 	case len(seg) == 1 && seg[0] == "healthz":
 		h.route(rw, req, "GET", h.handleHealthz)
 	case len(seg) == 1 && seg[0] == "readyz":
@@ -509,14 +533,23 @@ func (h *Handler) handleDecision(rw http.ResponseWriter, req *http.Request, id, 
 }
 
 func (h *Handler) handleStats(rw http.ResponseWriter, req *http.Request) {
-	stats, err := h.dep.Stats(req.Context())
+	stats, err := h.mergedStats(req.Context())
 	if err != nil {
 		h.writeDeploymentError(rw, err)
 		return
 	}
+	h.writeJSON(rw, http.StatusOK, StatsResponse{Stats: stats})
+}
+
+// mergedStats snapshots the deployment, merging in the node-scoped
+// replication gauges when a manager is mounted, so one scrape covers
+// both.
+func (h *Handler) mergedStats(ctx context.Context) (reef.Stats, error) {
+	stats, err := h.dep.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
 	if h.repl != nil {
-		// The replication gauges describe this node, not the deployment;
-		// merge them in so one stats scrape covers both.
 		merged := make(reef.Stats, len(stats))
 		for k, v := range stats {
 			merged[k] = v
@@ -526,14 +559,15 @@ func (h *Handler) handleStats(rw http.ResponseWriter, req *http.Request) {
 		}
 		stats = merged
 	}
-	h.writeJSON(rw, http.StatusOK, StatsResponse{Stats: stats})
+	return stats, nil
 }
 
 // handleHealthz answers the liveness probe. A closed (or otherwise
 // failing) deployment turns the probe into the matching error envelope,
 // so an orchestrator sees 503 once the deployment stops serving.
 func (h *Handler) handleHealthz(rw http.ResponseWriter, req *http.Request) {
-	out := HealthResponse{Status: "ok", Shards: 1, Backend: "memory", Node: h.nodeID, StreamAddr: h.streamAddr}
+	out := HealthResponse{Status: "ok", Shards: 1, Backend: "memory", Node: h.nodeID,
+		StreamAddr: h.streamAddr, Version: Version(), UptimeSeconds: h.uptimeSeconds()}
 	if s, ok := h.dep.(reef.Sharder); ok {
 		out.Shards = s.ShardCount()
 	}
@@ -559,7 +593,7 @@ func (h *Handler) handleHealthz(rw http.ResponseWriter, req *http.Request) {
 // 200 and 503 answers carry the ReadyResponse shape (not the error
 // envelope) so probers can read the status string.
 func (h *Handler) handleReadyz(rw http.ResponseWriter, req *http.Request) {
-	out := ReadyResponse{Status: ReadyOK, Node: h.nodeID}
+	out := ReadyResponse{Status: ReadyOK, Node: h.nodeID, Version: Version(), UptimeSeconds: h.uptimeSeconds()}
 	if h.ready != nil {
 		out.Status = h.ready.State()
 	} else if _, err := h.dep.Stats(req.Context()); err != nil {

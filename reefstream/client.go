@@ -14,6 +14,8 @@ import (
 
 	"reef"
 	"reef/internal/durable"
+	"reef/internal/metrics"
+	"reef/internal/trace"
 )
 
 // Client publishes events over one long-lived stream connection. It is
@@ -27,6 +29,9 @@ type Client struct {
 	expectNode  string
 	dialTimeout time.Duration
 	callTimeout time.Duration
+
+	metrics *metrics.Registry
+	mAckRTT *metrics.Histogram
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -56,6 +61,14 @@ func WithCallTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.callTimeout = d }
 }
 
+// WithClientMetrics reports the client's ack round-trip latency
+// histogram into a shared registry (the cluster router passes its own,
+// so one scrape covers every node's publish leg). Without it the
+// client keeps a private registry, readable via Metrics.
+func WithClientMetrics(r *metrics.Registry) ClientOption {
+	return func(c *Client) { c.metrics = r }
+}
+
 // NewClient creates a stream client for addr. No connection is made
 // until the first publish.
 func NewClient(addr string, opts ...ClientOption) *Client {
@@ -68,8 +81,15 @@ func NewClient(addr string, opts ...ClientOption) *Client {
 	for _, opt := range opts {
 		opt(c)
 	}
+	if c.metrics == nil {
+		c.metrics = metrics.NewRegistry()
+	}
+	c.mAckRTT = c.metrics.Histogram(metrics.StreamAckSeconds.Name)
 	return c
 }
+
+// Metrics returns the client's instrumentation registry.
+func (c *Client) Metrics() *metrics.Registry { return c.metrics }
 
 // Addr reports the address the client dials.
 func (c *Client) Addr() string { return c.addr }
@@ -133,8 +153,10 @@ func (c *Client) PublishPayload(ctx context.Context, payload []byte) (int, error
 		if err != nil {
 			return 0, err
 		}
+		begin := time.Now()
 		delivered, err := sc.roundTrip(ctx, payload)
 		if err == nil {
+			c.mAckRTT.Observe(time.Since(begin).Seconds())
 			return delivered, nil
 		}
 		var se *StatusError
@@ -524,14 +546,17 @@ func (sc *streamConn) finishCall(ctx context.Context, seq uint64, waiter chan ac
 	return a, nil
 }
 
-// roundTrip queues one publish frame and waits for its ack.
+// roundTrip queues one publish frame and waits for its ack. A trace ID
+// carried by ctx rides the frame's optional trailing field, stitching
+// the publish into the server's span ring.
 func (sc *streamConn) roundTrip(ctx context.Context, payload []byte) (int, error) {
 	seq, waiter, err := sc.beginCall()
 	if err != nil {
 		return 0, err
 	}
+	tr, _ := trace.FromContext(ctx)
 	fp := framePool.Get().(*[]byte)
-	*fp = appendPublishFrame((*fp)[:0], seq, payload)
+	*fp = appendPublishFrame((*fp)[:0], seq, payload, tr)
 	a, err := sc.finishCall(ctx, seq, waiter, fp)
 	if err != nil {
 		return 0, err

@@ -129,7 +129,7 @@ func (cs *connState) attach(sub subscribe) error {
 	cs.consumers[sub.CID] = c
 	cs.pushers.Add(1)
 	cs.cmu.Unlock()
-	cs.s.consumers.Add(1)
+	cs.s.mConsumers.Add(1)
 	go cs.runPusher(c)
 	return nil
 }
@@ -176,7 +176,7 @@ func (cs *connState) closeConsumers() {
 		c.cancel()
 		close(c.done)
 	}
-	cs.s.consumers.Add(-int64(len(consumers)))
+	cs.s.mConsumers.Add(-int64(len(consumers)))
 	cs.pushers.Wait()
 }
 
@@ -233,7 +233,8 @@ func (cs *connState) push(c *consumerState, evs *[]reef.DeliveredEvent, frame *[
 		if cs.write(*frame) != nil {
 			return false
 		}
-		cs.s.delivered.Add(int64(pushed))
+		cs.s.mDelivered.Add(int64(pushed))
+		cs.s.mFramesOut.Add(1)
 		if len(batch) < n {
 			return true
 		}

@@ -8,6 +8,7 @@ import (
 
 	"reef"
 	"reef/internal/durable"
+	"reef/internal/trace"
 )
 
 func sampleEvents() []reef.Event {
@@ -28,7 +29,9 @@ func sampleEvents() []reef.Event {
 // from its durable envelope.
 func TestPublishCodecRoundTrip(t *testing.T) {
 	evs := sampleEvents()
-	frame := appendPublishFrame(nil, 99, EncodeEvents(evs))
+	var wantTr trace.ID
+	copy(wantTr[:], "0123456789abcdef")
+	frame := appendPublishFrame(nil, 99, EncodeEvents(evs), wantTr)
 	rec, n, err := durable.DecodeFrame(frame)
 	if err != nil || n != len(frame) {
 		t.Fatalf("DecodeFrame = (%d, %v)", n, err)
@@ -36,12 +39,28 @@ func TestPublishCodecRoundTrip(t *testing.T) {
 	if rec.Op != durable.OpStreamPublish {
 		t.Fatalf("op = %v", rec.Op)
 	}
-	seq, got, err := decodePublish(rec.Payload, nil)
+	seq, tr, got, err := decodePublish(rec.Payload, nil)
 	if err != nil {
 		t.Fatalf("decodePublish: %v", err)
 	}
 	if seq != 99 {
 		t.Errorf("seq = %d", seq)
+	}
+	if tr != wantTr {
+		t.Errorf("trace = %v, want %v", tr, wantTr)
+	}
+	// An untraced frame decodes with a zero trace ID and is byte-for-byte
+	// what the pre-trace wire produced (no trailer).
+	plain := appendPublishFrame(nil, 99, EncodeEvents(evs), trace.ID{})
+	if len(plain) != len(frame)-trace.IDLen {
+		t.Errorf("untraced frame len = %d, want %d", len(plain), len(frame)-trace.IDLen)
+	}
+	rec2, _, err := durable.DecodeFrame(plain)
+	if err != nil {
+		t.Fatalf("DecodeFrame(plain): %v", err)
+	}
+	if _, tr2, _, err := decodePublish(rec2.Payload, nil); err != nil || !tr2.IsZero() {
+		t.Errorf("untraced decode = (trace %v, %v), want zero trace", tr2, err)
 	}
 	if len(got) != len(evs) {
 		t.Fatalf("decoded %d events, want %d", len(got), len(evs))
@@ -112,6 +131,10 @@ func FuzzStreamDecode(f *testing.F) {
 	pub := binary.LittleEndian.AppendUint64(nil, 7)
 	pub = append(pub, EncodeEvents(sampleEvents())...)
 	f.Add(pub, []byte{}, []byte{})
+	// The same publish body with a 16-byte trace trailer.
+	f.Add(append(append([]byte{}, pub...), []byte("0123456789abcdef")...), []byte{}, []byte{})
+	// A trailer of the wrong length must be rejected, not absorbed.
+	f.Add(append(append([]byte{}, pub...), []byte("0123456")...), []byte{}, []byte{})
 	// Corrupt length prefix: claims more events than bytes.
 	huge := binary.LittleEndian.AppendUint64(nil, 1)
 	huge = binary.AppendUvarint(huge, 1<<40)
@@ -134,23 +157,24 @@ func FuzzStreamDecode(f *testing.F) {
 	f.Add([]byte{}, []byte{}, creditPayload[10:])
 
 	f.Fuzz(func(t *testing.T, pubPayload, ackPayload, consumePayload []byte) {
-		if seq, evs, err := decodePublish(pubPayload, nil); err != nil {
+		if seq, tr, evs, err := decodePublish(pubPayload, nil); err != nil {
 			if !errors.Is(err, ErrBadFrame) {
 				t.Fatalf("decodePublish returned untyped error %v", err)
 			}
 		} else {
 			// A clean decode must re-encode to an equivalent frame: the
 			// re-encoded form must decode to the same events (attribute
-			// order may differ, so compare decoded-to-decoded).
-			re := appendPublishFrame(nil, seq, EncodeEvents(evs))
+			// order may differ, so compare decoded-to-decoded) and the
+			// same trace ID.
+			re := appendPublishFrame(nil, seq, EncodeEvents(evs), tr)
 			rec, _, derr := durable.DecodeFrame(re)
 			if derr != nil {
 				t.Fatalf("re-encoded frame does not decode: %v", derr)
 			}
-			seq2, evs2, derr := decodePublish(rec.Payload, nil)
-			if derr != nil || seq2 != seq || len(evs2) != len(evs) {
-				t.Fatalf("re-decode = (%d, %d events, %v), want (%d, %d, nil)",
-					seq2, len(evs2), derr, seq, len(evs))
+			seq2, tr2, evs2, derr := decodePublish(rec.Payload, nil)
+			if derr != nil || seq2 != seq || tr2 != tr || len(evs2) != len(evs) {
+				t.Fatalf("re-decode = (%d, %v, %d events, %v), want (%d, %v, %d, nil)",
+					seq2, tr2, len(evs2), derr, seq, tr, len(evs))
 			}
 		}
 		if _, err := decodeAck(ackPayload); err != nil && !errors.Is(err, ErrBadFrame) {

@@ -1,0 +1,102 @@
+package reefstream_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"reef"
+	"reef/internal/metrics"
+	"reef/internal/trace"
+	"reef/reefstream"
+)
+
+// TestStreamTracePropagation pins the trace trailer end to end: a
+// publish under a traced context carries the ID over the binary wire,
+// and the server records a stream.publish span under it; an untraced
+// publish records nothing.
+func TestStreamTracePropagation(t *testing.T) {
+	const feed = "http://h.test/f"
+	dep := newDep(t, feed, 1)
+	rec := trace.NewRecorder(16)
+	srv, err := reefstream.Listen("127.0.0.1:0", dep,
+		reefstream.WithNode("n1"), reefstream.WithTraceRecorder(rec))
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+	cl := reefstream.NewClient(srv.Addr().String())
+	defer cl.Close()
+
+	id := trace.NewID()
+	ctx := trace.NewContext(context.Background(), id)
+	if _, err := cl.PublishEvent(ctx, feedEvent(feed)); err != nil {
+		t.Fatalf("traced PublishEvent: %v", err)
+	}
+	if _, err := cl.PublishEvent(context.Background(), feedEvent(feed)); err != nil {
+		t.Fatalf("untraced PublishEvent: %v", err)
+	}
+
+	// The span is recorded after the coalesced batch applies; the acks
+	// above guarantee both frames were processed.
+	deadline := time.Now().Add(2 * time.Second)
+	var spans []trace.Span
+	for {
+		if spans = rec.Spans(id, 0); len(spans) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(spans) != 1 {
+		t.Fatalf("traced spans = %d, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Op != "stream.publish" || sp.Node != "n1" || sp.Err != "" {
+		t.Errorf("span = %+v, want op stream.publish on n1", sp)
+	}
+	if got := rec.Total(); got != 1 {
+		t.Errorf("recorder total = %d, want 1 (untraced publish must not record)", got)
+	}
+}
+
+// TestStreamMetrics checks the data-plane instrumentation lands in a
+// shared registry: connection gauge, frame/event counters, and the
+// coalesced batch-size histogram, plus the client-side ack RTT.
+func TestStreamMetrics(t *testing.T) {
+	const feed = "http://h.test/f"
+	dep := newDep(t, feed, 1)
+	reg := metrics.NewRegistry()
+	srv, err := reefstream.Listen("127.0.0.1:0", dep, reefstream.WithMetrics(reg))
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	clReg := metrics.NewRegistry()
+	cl := reefstream.NewClient(srv.Addr().String(), reefstream.WithClientMetrics(clReg))
+	defer cl.Close()
+
+	ctx := context.Background()
+	if _, err := cl.PublishEvent(ctx, feedEvent(feed)); err != nil {
+		t.Fatalf("PublishEvent: %v", err)
+	}
+	if _, err := cl.PublishBatch(ctx, []reef.Event{feedEvent(feed), feedEvent(feed)}); err != nil {
+		t.Fatalf("PublishBatch: %v", err)
+	}
+
+	if got := reg.Counter(metrics.StreamFramesIn.Name).Value(); got != 2 {
+		t.Errorf("frames in = %d, want 2", got)
+	}
+	if got := reg.Counter(metrics.StreamEventsIn.Name).Value(); got != 3 {
+		t.Errorf("events in = %d, want 3", got)
+	}
+	if got := reg.Gauge(metrics.StreamConns.Name).Value(); got != 1 {
+		t.Errorf("conns gauge = %d, want 1", got)
+	}
+	if got := reg.Histogram(metrics.StreamBatchEvents.Name).Count(); got == 0 {
+		t.Error("batch histogram has no observations")
+	}
+	if got := clReg.Histogram(metrics.StreamAckSeconds.Name).Count(); got != 2 {
+		t.Errorf("client ack RTT observations = %d, want 2", got)
+	}
+}

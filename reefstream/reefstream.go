@@ -15,7 +15,7 @@
 // WAL file:
 //
 //	OpStreamHello      (8)  JSON handshake, both directions
-//	OpStreamPublish    (9)  [8B LE seq][uvarint n][n × event]
+//	OpStreamPublish    (9)  [8B LE seq][uvarint n][n × event][optional 16B trace ID]
 //	OpStreamAck        (10) [8B LE seq][8B LE delivered][1B status][uvarint-len message]
 //	OpStreamSubscribe  (11) [8B LE seq][8B LE cid][uvarint credit][uvarint-len user][uvarint-len subID]
 //	OpStreamDeliver    (12) [8B LE cid][uvarint n][n × ([8B LE seq][uvarint attempts][event])]
@@ -72,6 +72,7 @@ import (
 
 	"reef"
 	"reef/internal/durable"
+	"reef/internal/trace"
 )
 
 // ProtoVersion is the handshake protocol version. A server rejects a
@@ -272,19 +273,24 @@ func decodeEvent(buf []byte, shared string) (reef.Event, []byte, error) {
 }
 
 // decodePublish decodes an OpStreamPublish payload into its sequence
-// number and events. evs is appended to and returned, so the caller can
-// reuse a scratch slice across frames.
-func decodePublish(payload []byte, evs []reef.Event) (uint64, []reef.Event, error) {
+// number, optional trace ID and events. evs is appended to and
+// returned, so the caller can reuse a scratch slice across frames.
+// After the events the payload may carry exactly one trailing field: a
+// 16-byte trace ID stitching the publish into a cross-node trace. An
+// empty tail means "untraced" (the pre-trace wire shape, still what
+// untraced publishers send); any other tail length is malformed.
+func decodePublish(payload []byte, evs []reef.Event) (uint64, trace.ID, []reef.Event, error) {
+	var tr trace.ID
 	if len(payload) < 8 {
-		return 0, nil, fmt.Errorf("%w: truncated publish header", ErrBadFrame)
+		return 0, tr, nil, fmt.Errorf("%w: truncated publish header", ErrBadFrame)
 	}
 	seq := binary.LittleEndian.Uint64(payload[:8])
 	n, rest, err := decodeUvarint(payload[8:])
 	if err != nil {
-		return 0, nil, err
+		return 0, tr, nil, err
 	}
 	if n > MaxFrameEvents || n > uint64(len(rest)) {
-		return 0, nil, fmt.Errorf("%w: %d events in %d bytes", ErrBadFrame, n, len(rest))
+		return 0, tr, nil, fmt.Errorf("%w: %d events in %d bytes", ErrBadFrame, n, len(rest))
 	}
 	// One copy of the whole event region up front; decodeEvent slices
 	// every string out of it instead of copying field by field.
@@ -292,23 +298,33 @@ func decodePublish(payload []byte, evs []reef.Event) (uint64, []reef.Event, erro
 	for i := uint64(0); i < n; i++ {
 		var ev reef.Event
 		if ev, rest, err = decodeEvent(rest, shared); err != nil {
-			return 0, nil, err
+			return 0, tr, nil, err
 		}
 		evs = append(evs, ev)
 	}
-	if len(rest) != 0 {
-		return 0, nil, fmt.Errorf("%w: %d trailing bytes after events", ErrBadFrame, len(rest))
+	switch len(rest) {
+	case 0:
+	case trace.IDLen:
+		copy(tr[:], rest)
+	default:
+		return 0, tr, nil, fmt.Errorf("%w: %d trailing bytes after events", ErrBadFrame, len(rest))
 	}
-	return seq, evs, nil
+	return seq, tr, evs, nil
 }
 
-// appendPublishFrame frames seq + an EncodeEvents payload as one
-// OpStreamPublish record appended to dst, without materializing the
-// joined body.
-func appendPublishFrame(dst []byte, seq uint64, payload []byte) []byte {
+// appendPublishFrame frames seq + an EncodeEvents payload (+ the
+// optional trailing trace ID) as one OpStreamPublish record appended to
+// dst, without materializing the joined body. The payload slice is
+// never appended into — a cluster fan-out ships the same encoded body
+// to every node, so writing the trace into its spare capacity would
+// race across connections.
+func appendPublishFrame(dst []byte, seq uint64, payload []byte, tr trace.ID) []byte {
 	var seqBuf [8]byte
 	binary.LittleEndian.PutUint64(seqBuf[:], seq)
-	return durable.AppendFrameParts(dst, durable.OpStreamPublish, seqBuf[:], payload)
+	if tr.IsZero() {
+		return durable.AppendFrameParts(dst, durable.OpStreamPublish, seqBuf[:], payload)
+	}
+	return durable.AppendFrameParts3(dst, durable.OpStreamPublish, seqBuf[:], payload, tr[:])
 }
 
 // ack is a decoded OpStreamAck. connDead is never on the wire: it is

@@ -9,11 +9,12 @@ import (
 	"io"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"reef"
 	"reef/internal/durable"
+	"reef/internal/metrics"
+	"reef/internal/trace"
 )
 
 // handshakeTimeout bounds how long a fresh connection may sit between
@@ -35,6 +36,23 @@ func WithNode(id string) ServerOption {
 	return func(s *Server) { s.node = id }
 }
 
+// WithMetrics reports the server's instrumentation (connection gauge,
+// frame/event counters, coalesced-batch histogram) into a shared
+// registry — reefd passes its REST handler's registry so one
+// /v1/metrics scrape covers both planes. Without it the server uses a
+// private registry.
+func WithMetrics(r *metrics.Registry) ServerOption {
+	return func(s *Server) { s.metrics = r }
+}
+
+// WithTraceRecorder records a span per traced publish frame into the
+// given ring (shared with the node's REST handler, so /v1/admin/trace
+// stitches both planes). Without it traced frames are applied but not
+// recorded.
+func WithTraceRecorder(r *trace.Recorder) ServerOption {
+	return func(s *Server) { s.tracer = r }
+}
+
 // Server accepts stream connections and feeds decoded publish frames
 // into a deployment. One goroutine per connection reads frames,
 // coalesces whatever is already buffered into a single batch publish,
@@ -46,11 +64,18 @@ type Server struct {
 	node   string
 	ln     net.Listener
 
-	frames atomic.Int64
-	events atomic.Int64
+	metrics *metrics.Registry
+	tracer  *trace.Recorder
 
-	consumers atomic.Int64 // consumer sessions currently attached
-	delivered atomic.Int64 // events pushed to consumers since start
+	// Registry-backed instrumentation, resolved once in NewServer so
+	// the hot paths never take the registry lock.
+	mConns     *metrics.Gauge
+	mFramesIn  *metrics.Counter
+	mFramesOut *metrics.Counter
+	mEventsIn  *metrics.Counter
+	mBatch     *metrics.Histogram
+	mConsumers *metrics.Gauge
+	mDelivered *metrics.Counter
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -89,6 +114,16 @@ func NewServer(ln net.Listener, dep reef.Deployment, opts ...ServerOption) *Serv
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.metrics == nil {
+		s.metrics = metrics.NewRegistry()
+	}
+	s.mConns = s.metrics.Gauge(metrics.StreamConns.Name)
+	s.mFramesIn = s.metrics.Counter(metrics.StreamFramesIn.Name)
+	s.mFramesOut = s.metrics.Counter(metrics.StreamFramesOut.Name)
+	s.mEventsIn = s.metrics.Counter(metrics.StreamEventsIn.Name)
+	s.mBatch = s.metrics.Histogram(metrics.StreamBatchEvents.Name)
+	s.mConsumers = s.metrics.Gauge(metrics.StreamConsumers.Name)
+	s.mDelivered = s.metrics.Counter(metrics.StreamDelivered.Name)
 	go s.acceptLoop()
 	return s
 }
@@ -97,17 +132,24 @@ func NewServer(ln net.Listener, dep reef.Deployment, opts ...ServerOption) *Serv
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
 // Stats reports how many publish frames and events this server has
-// applied since start.
+// applied since start. The counts are views over the server's registry
+// metrics (reef_stream_frames_in_total / reef_stream_events_in_total),
+// so this legacy accessor and the /v1/metrics exposition can never
+// disagree.
 func (s *Server) Stats() (frames, events int64) {
-	return s.frames.Load(), s.events.Load()
+	return s.mFramesIn.Value(), s.mEventsIn.Value()
 }
 
 // ConsumeStats reports the consume side of the data plane: how many
 // consumer sessions are attached right now, and how many events have
-// been pushed to consumers since start (redeliveries included).
+// been pushed to consumers since start (redeliveries included). Like
+// Stats, the counts are views over the registry metrics.
 func (s *Server) ConsumeStats() (attached, delivered int64) {
-	return s.consumers.Load(), s.delivered.Load()
+	return s.mConsumers.Value(), s.mDelivered.Value()
 }
+
+// Metrics returns the server's instrumentation registry.
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
 
 func (s *Server) acceptLoop() {
 	defer close(s.acceptDone)
@@ -125,12 +167,14 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.handlers.Add(1)
 		s.mu.Unlock()
+		s.mConns.Add(1)
 		go func() {
 			defer s.handlers.Done()
 			s.serveConn(conn)
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
+			s.mConns.Add(-1)
 		}()
 	}
 }
@@ -200,10 +244,12 @@ func (s *Server) isDraining() bool {
 }
 
 // frameSpan marks one publish frame's slice of the coalesced event
-// batch, so its ack can report exactly its own deliveries.
+// batch, so its ack can report exactly its own deliveries; tr is the
+// frame's trace ID (zero when untraced).
 type frameSpan struct {
 	seq        uint64
 	start, end int
+	tr         trace.ID
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -249,12 +295,13 @@ func (s *Server) serveConn(conn net.Conn) {
 				break
 			}
 			var seq uint64
+			var tr trace.ID
 			start := len(evs)
-			seq, evs, err = decodePublish(rec.Payload, evs)
+			seq, tr, evs, err = decodePublish(rec.Payload, evs)
 			if err != nil {
 				break
 			}
-			spans = append(spans, frameSpan{seq: seq, start: start, end: len(evs)})
+			spans = append(spans, frameSpan{seq: seq, start: start, end: len(evs), tr: tr})
 			if br.Buffered() < durable.FrameHeaderLen || len(evs) >= maxCoalesceEvents {
 				break
 			}
@@ -337,6 +384,8 @@ func (s *Server) handleControl(cs *connState, rec durable.Record, dst []byte) ([
 // count slice; it is returned (possibly regrown) for the next pass.
 func (s *Server) applyAndAck(evs []reef.Event, spans []frameSpan, dst []byte, countScratch []int) ([]byte, []int) {
 	ctx := context.Background()
+	begin := time.Now()
+	s.mBatch.Observe(float64(len(evs)))
 	if s.counts != nil {
 		if cap(countScratch) < len(evs) {
 			countScratch = make([]int, len(evs))
@@ -344,14 +393,16 @@ func (s *Server) applyAndAck(evs []reef.Event, spans []frameSpan, dst []byte, co
 		counts := countScratch[:len(evs)]
 		clear(counts)
 		if _, err := s.counts.PublishBatchCounts(ctx, evs, counts); err == nil {
-			s.frames.Add(int64(len(spans)))
-			s.events.Add(int64(len(evs)))
+			s.mFramesIn.Add(int64(len(spans)))
+			s.mEventsIn.Add(int64(len(evs)))
+			s.mFramesOut.Add(int64(len(spans)))
 			for _, sp := range spans {
 				delivered := 0
 				for _, c := range counts[sp.start:sp.end] {
 					delivered += c
 				}
 				dst = appendAckFrame(dst, ack{Seq: sp.seq, Delivered: uint64(delivered)})
+				s.recordPublishSpan(sp, begin, "")
 			}
 			return dst, countScratch
 		}
@@ -361,16 +412,33 @@ func (s *Server) applyAndAck(evs []reef.Event, spans []frameSpan, dst []byte, co
 	for _, sp := range spans {
 		delivered, err := s.dep.PublishBatch(ctx, evs[sp.start:sp.end])
 		a := ack{Seq: sp.seq, Delivered: uint64(delivered)}
+		errStr := ""
 		if err != nil {
 			a.Status = statusFor(err)
 			a.Message = err.Error()
+			errStr = err.Error()
 		} else {
-			s.frames.Add(1)
-			s.events.Add(int64(sp.end - sp.start))
+			s.mFramesIn.Add(1)
+			s.mEventsIn.Add(int64(sp.end - sp.start))
 		}
+		s.mFramesOut.Add(1)
 		dst = appendAckFrame(dst, a)
+		s.recordPublishSpan(sp, begin, errStr)
 	}
 	return dst, countScratch
+}
+
+// recordPublishSpan records one traced publish frame into the node's
+// span ring; untraced frames (the common case) are free.
+func (s *Server) recordPublishSpan(sp frameSpan, begin time.Time, errStr string) {
+	if sp.tr.IsZero() {
+		return
+	}
+	s.tracer.Record(trace.Span{
+		Trace: sp.tr, Op: "stream.publish", Node: s.node, Shard: -1,
+		Start: begin, Duration: time.Since(begin), Err: errStr,
+	})
+	s.metrics.Counter(metrics.TraceSpans.Name).Inc()
 }
 
 func (s *Server) handshake(br *bufio.Reader, bw *bufio.Writer) error {
